@@ -1,0 +1,198 @@
+// Shared helpers for the per-table/figure benchmark harnesses.
+//
+// Conventions:
+//  * Every harness runs in seconds at its default scale so the whole
+//    bench/ directory can be executed in one sweep.
+//  * RLC_SCALE (0 < s <= 1) scales dataset surrogates towards the paper's
+//    full published sizes.
+//  * RLC_DATASETS="AD,EP,..." restricts a harness to a subset of Table III
+//    datasets ("all" = every dataset, the default).
+//  * RLC_DATA_DIR=<dir> makes GetDataset() load the *real* SNAP/KONECT edge
+//    list from <dir>/<abbrev>.txt instead of generating a surrogate.
+//  * RLC_QUERIES overrides the per-set workload size (paper: 1000).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rlc/baselines/online_search.h"
+#include "rlc/core/indexer.h"
+#include "rlc/graph/datasets.h"
+#include "rlc/graph/edge_list_io.h"
+#include "rlc/util/timer.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc::bench {
+
+inline uint32_t QueriesPerSet(uint32_t def = 1000) {
+  const char* env = std::getenv("RLC_QUERIES");
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<uint32_t>(v);
+  }
+  return def;
+}
+
+/// Datasets selected via RLC_DATASETS (comma-separated abbreviations).
+inline std::vector<DatasetSpec> SelectedDatasets() {
+  const char* env = std::getenv("RLC_DATASETS");
+  const auto& all = TableIIIDatasets();
+  if (env == nullptr || std::string(env) == "all") return all;
+  std::vector<DatasetSpec> picked;
+  std::string list(env);
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    const size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    if (auto spec = FindDataset(name)) picked.push_back(*spec);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return picked.empty() ? all : picked;
+}
+
+/// Per-dataset effective scale for the full Table III suite. Unless the
+/// user pins RLC_SCALE explicitly, the scale is additionally capped so that
+/// the surrogate has at most RLC_TARGET_EDGES edges (default 25K): shrinking
+/// |V| while holding the published average degree makes dense graphs
+/// saturate (every pair reachable), so the heaviest datasets need smaller
+/// relative scales to stay laptop-sized. Hardness *ordering* across
+/// datasets is preserved (|V| grows suite-wide at fixed edge budget only
+/// for the sparse graphs).
+inline double EffectiveScale(const DatasetSpec& spec, double default_scale) {
+  uint64_t target_edges = 25'000;
+  if (const char* env = std::getenv("RLC_TARGET_EDGES")) {
+    const auto v = std::strtoull(env, nullptr, 10);
+    if (v > 0) target_edges = v;
+  }
+  if (std::getenv("RLC_SCALE") != nullptr) {
+    return ScaleFromEnv(default_scale);  // explicit user choice wins
+  }
+  const double cap = static_cast<double>(target_edges) /
+                     static_cast<double>(spec.num_edges);
+  return std::min(default_scale, std::max(cap, 1e-6));
+}
+
+/// Real dataset file if RLC_DATA_DIR is set and the file exists, otherwise
+/// a scaled surrogate (see DESIGN.md §2, substitution 1).
+inline DiGraph GetDataset(const DatasetSpec& spec, double scale, uint64_t seed) {
+  if (const char* dir = std::getenv("RLC_DATA_DIR")) {
+    const std::string path = std::string(dir) + "/" + spec.name + ".txt";
+    if (FILE* f = std::fopen(path.c_str(), "r")) {
+      std::fclose(f);
+      std::printf("# loading real dataset %s from %s\n", spec.name.c_str(),
+                  path.c_str());
+      return LoadEdgeListText(path);
+    }
+  }
+  return MakeSurrogate(spec, scale, seed);
+}
+
+/// Minimal fixed-width table printer for paper-style output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    PrintRow(headers_, width);
+    std::string rule;
+    for (size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c], '-');
+      if (c + 1 < width.size()) rule += "-+-";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) PrintRow(row, width);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& width) {
+    std::string line;
+    for (size_t c = 0; c < width.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(width[c], ' ');
+      line += cell;
+      if (c + 1 < width.size()) line += " | ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string Human(uint64_t n) {
+  char buf[64];
+  if (n >= 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(n) / 1e6);
+  } else if (n >= 10'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(n) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+inline std::string Mb(uint64_t bytes) {
+  return Fmt("%.2f", static_cast<double>(bytes) / (1024.0 * 1024.0));
+}
+
+/// Total time (microseconds) to run every query in `set` on the RLC index.
+inline double TimeRlcQueries(const RlcIndex& index,
+                             const std::vector<RlcQuery>& set) {
+  Timer t;
+  uint64_t hits = 0;
+  for (const RlcQuery& q : set) hits += index.Query(q.s, q.t, q.constraint);
+  const double us = t.ElapsedMicros();
+  // Consume `hits` so the loop cannot be optimized away.
+  if (hits == UINT64_MAX) std::printf("impossible\n");
+  return us;
+}
+
+enum class Traversal { kBfs, kBiBfs };
+
+/// Total time (microseconds) for the online baseline over `set`, with a
+/// per-set budget: returns -1 ("timeout") when the budget is exceeded.
+inline double TimeOnlineQueries(const DiGraph& g, const std::vector<RlcQuery>& set,
+                                Traversal method, double budget_seconds) {
+  OnlineSearcher searcher(g);
+  Timer t;
+  for (const RlcQuery& q : set) {
+    const auto pc = PathConstraint::RlcPlus(q.constraint);
+    const CompiledConstraint cc(pc, g.num_labels());
+    const bool got = method == Traversal::kBfs ? searcher.QueryBfs(q.s, q.t, cc)
+                                               : searcher.QueryBiBfs(q.s, q.t, cc);
+    if (got != q.expected) std::printf("!! baseline disagrees with oracle\n");
+    if (t.ElapsedSeconds() > budget_seconds) return -1.0;
+  }
+  return t.ElapsedMicros();
+}
+
+inline std::string TimeCell(double us) {
+  if (us < 0) return "timeout";
+  return Fmt("%.0f", us);
+}
+
+}  // namespace rlc::bench

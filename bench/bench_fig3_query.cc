@@ -1,0 +1,72 @@
+// Fig. 3 — execution time of 1000 true-queries and 1000 false-queries per
+// dataset for BFS, BiBFS, ETC and the RLC index (k = 2, 2-label recursive
+// concatenations).
+//
+// Expected shape (paper): the RLC index answers a 1000-query set in ~1ms,
+// BFS/BiBFS take orders of magnitude longer and time out on the biggest
+// graphs; ETC (where buildable) is close to the RLC index.
+
+#include "bench_common.h"
+#include "rlc/baselines/etc_index.h"
+
+int main() {
+  using namespace rlc;
+  using namespace rlc::bench;
+
+  const uint32_t queries = QueriesPerSet();
+  double budget_seconds = 30.0;
+  if (const char* env = std::getenv("RLC_BASELINE_BUDGET_S")) {
+    budget_seconds = std::strtod(env, nullptr);
+  }
+  uint64_t etc_max_edges = 10'000;
+  if (const char* env = std::getenv("RLC_ETC_MAX_EDGES")) {
+    etc_max_edges = std::strtoull(env, nullptr, 10);
+  }
+
+  std::printf(
+      "== Fig. 3: total execution time (us) of %u true / %u false queries "
+      "(k=2) ==\n",
+      queries, queries);
+  Table table({"Dataset", "Set", "BFS (us)", "BiBFS (us)", "ETC (us)",
+               "RLC (us)", "BiBFS/RLC"});
+
+  for (const DatasetSpec& spec : SelectedDatasets()) {
+    const DiGraph g = GetDataset(spec, EffectiveScale(spec, 0.01), /*seed=*/3);
+
+    WorkloadOptions wopts;
+    wopts.count = queries;
+    wopts.constraint_length = 2;
+    wopts.seed = 1000 + g.num_vertices();
+    // Guard against degenerate surrogates where one class is too rare.
+    wopts.max_attempts = 200'000;
+    wopts.fill_true_with_walks = true;
+    const Workload w = GenerateWorkload(g, wopts);
+
+    const RlcIndex index = BuildRlcIndex(g, 2);
+    const bool build_etc = g.num_edges() <= etc_max_edges;
+    EtcIndex etc = build_etc ? EtcIndex::Build(g, 2) : EtcIndex::Build(DiGraph(), 2);
+
+    for (const bool true_set : {true, false}) {
+      const auto& set = true_set ? w.true_queries : w.false_queries;
+      if (set.empty()) continue;
+      const double bfs = TimeOnlineQueries(g, set, Traversal::kBfs, budget_seconds);
+      const double bibfs =
+          TimeOnlineQueries(g, set, Traversal::kBiBfs, budget_seconds);
+      const double rlc = TimeRlcQueries(index, set);
+      std::string etc_cell = "-";
+      if (build_etc) {
+        Timer t;
+        uint64_t hits = 0;
+        for (const RlcQuery& q : set) hits += etc.Query(q.s, q.t, q.constraint);
+        etc_cell = Fmt("%.0f", t.ElapsedMicros());
+        if (hits == UINT64_MAX) std::printf("impossible\n");
+      }
+      table.AddRow({spec.name, true_set ? "true" : "false", TimeCell(bfs),
+                    TimeCell(bibfs), etc_cell, Fmt("%.0f", rlc),
+                    bibfs < 0 ? ">" + Fmt("%.0fx", budget_seconds * 1e6 / rlc)
+                              : Fmt("%.0fx", bibfs / rlc)});
+    }
+  }
+  table.Print();
+  return 0;
+}

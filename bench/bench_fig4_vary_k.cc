@@ -1,0 +1,55 @@
+// Fig. 4 — RLC index performance on the TW (Twitter) and WG (Google)
+// surrogates with recursive k in {2, 3, 4}: indexing time, index size and
+// query time of 1000 true / 1000 false queries whose constraints have
+// exactly k labels.
+//
+// Expected shape: indexing time and index size grow with k (time much
+// faster than size), query time rises mildly.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rlc;
+  using namespace rlc::bench;
+
+  const double scale = ScaleFromEnv(0.005);
+  const uint32_t queries = QueriesPerSet();
+
+  std::printf(
+      "== Fig. 4: RLC index vs recursive k on TW and WG (scale %.4f) ==\n",
+      scale);
+  Table table({"Dataset", "k", "IT (s)", "IS (MB)", "Entries",
+               "T-query (us)", "F-query (us)"});
+
+  for (const char* name : {"TW", "WG"}) {
+    const DatasetSpec spec = *FindDataset(name);
+    const DiGraph g = GetDataset(spec, scale, /*seed=*/4);
+    for (const uint32_t k : {2u, 3u, 4u}) {
+      IndexerOptions options;
+      options.k = k;
+      RlcIndexBuilder builder(g, options);
+      const RlcIndex index = builder.Build();
+
+      WorkloadOptions wopts;
+      wopts.count = queries;
+      wopts.constraint_length = k;  // "recursive concatenation of k labels"
+      wopts.seed = 40 + k;
+      wopts.max_attempts = 200'000;
+      wopts.fill_true_with_walks = true;
+      const Workload w = GenerateWorkload(g, wopts);
+
+      const double t_us =
+          w.true_queries.empty() ? -1 : TimeRlcQueries(index, w.true_queries);
+      const double f_us =
+          w.false_queries.empty() ? -1 : TimeRlcQueries(index, w.false_queries);
+
+      table.AddRow({name, std::to_string(k),
+                    Fmt("%.2f", builder.stats().build_seconds),
+                    Mb(index.MemoryBytes()), Human(index.NumEntries()),
+                    t_us < 0 ? "n/a" : Fmt("%.0f", t_us),
+                    f_us < 0 ? "n/a" : Fmt("%.0f", f_us)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 5 — impact of label-set size |L| and average degree d on the RLC
+// index over ER- and BA-graphs (paper: |V| = 1M, d in 2..5, |L| in 8..36;
+// here |V| scales via RLC_SCALE, default 20K).
+//
+// Expected shape: indexing time grows ~linearly in |L| and in d; index size
+// grows with d everywhere and with |L| markedly on BA-graphs; query time is
+// flat for ER, slightly rising for BA true-queries.
+
+#include "bench_common.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+
+int main() {
+  using namespace rlc;
+  using namespace rlc::bench;
+
+  const double scale = ScaleFromEnv(0.01);
+  const VertexId n = static_cast<VertexId>(1'000'000 * scale);
+  const uint32_t queries = QueriesPerSet(200);
+  const bool full = std::getenv("RLC_FULL") != nullptr;
+  const std::vector<Label> label_sizes =
+      full ? std::vector<Label>{8, 12, 16, 20, 24, 28, 32, 36}
+           : std::vector<Label>{8, 16, 24, 36};
+  const std::vector<uint32_t> degrees = {2, 3, 4, 5};
+
+  std::printf(
+      "== Fig. 5: |L| and d sweeps on ER/BA graphs, |V|=%u, k=2 ==\n", n);
+  Table table({"Model", "d", "|L|", "IT (s)", "IS (MB)", "T-query (us)",
+               "F-query (us)"});
+
+  for (const bool ba : {false, true}) {
+    for (const uint32_t d : degrees) {
+      for (const Label labels : label_sizes) {
+        Rng rng(9000 + d * 100 + labels + (ba ? 1 : 0));
+        auto edges = ba ? BarabasiAlbertEdges(n, d, rng)
+                        : ErdosRenyiEdges(n, static_cast<uint64_t>(n) * d, rng);
+        AssignZipfLabels(&edges, labels, 2.0, rng);
+        const DiGraph g(n, std::move(edges), labels);
+
+        IndexerOptions options;
+        options.k = 2;
+        RlcIndexBuilder builder(g, options);
+        const RlcIndex index = builder.Build();
+
+        WorkloadOptions wopts;
+        wopts.count = queries;
+        wopts.constraint_length = 2;
+        wopts.seed = 70 + d + labels;
+        wopts.max_attempts = 150'000;
+        wopts.fill_true_with_walks = true;
+        const Workload w = GenerateWorkload(g, wopts);
+
+        const double t_us =
+            w.true_queries.empty() ? -1 : TimeRlcQueries(index, w.true_queries);
+        const double f_us = w.false_queries.empty()
+                                ? -1
+                                : TimeRlcQueries(index, w.false_queries);
+        table.AddRow({ba ? "BA" : "ER", std::to_string(d),
+                      std::to_string(labels),
+                      Fmt("%.2f", builder.stats().build_seconds),
+                      Mb(index.MemoryBytes()),
+                      t_us < 0 ? "n/a" : Fmt("%.0f", t_us),
+                      f_us < 0 ? "n/a" : Fmt("%.0f", f_us)});
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 6 — scalability of the RLC index in |V| for ER- and BA-graphs with
+// d = 5, |L| = 16 (paper: |V| in 125K..2M; scaled by RLC_SCALE, default
+// 1/20 of the paper's sizes).
+//
+// Expected shape: indexing time and index size grow with |V|; ER index size
+// grows at a sharper rate than BA; false-query time > true-query time on
+// ER, the reverse on BA.
+
+#include "bench_common.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+
+int main() {
+  using namespace rlc;
+  using namespace rlc::bench;
+
+  const double scale = ScaleFromEnv(0.02);
+  const uint32_t queries = QueriesPerSet(200);
+  const Label labels = 16;
+  const uint32_t d = 5;
+
+  std::printf("== Fig. 6: scalability in |V| (d=5, |L|=16, k=2, scale %.4f) ==\n",
+              scale);
+  Table table({"Model", "|V|", "|E|", "IT (s)", "IS (MB)", "T-query (us)",
+               "F-query (us)"});
+
+  for (const uint64_t base : {125'000u, 250'000u, 500'000u, 1'000'000u,
+                              2'000'000u}) {
+    const VertexId n = static_cast<VertexId>(base * scale);
+    for (const bool ba : {false, true}) {
+      Rng rng(31'000 + base / 1000 + (ba ? 7 : 0));
+      auto edges = ba ? BarabasiAlbertEdges(n, d, rng)
+                      : ErdosRenyiEdges(n, static_cast<uint64_t>(n) * d, rng);
+      AssignZipfLabels(&edges, labels, 2.0, rng);
+      const DiGraph g(n, std::move(edges), labels);
+
+      IndexerOptions options;
+      options.k = 2;
+      RlcIndexBuilder builder(g, options);
+      const RlcIndex index = builder.Build();
+
+      WorkloadOptions wopts;
+      wopts.count = queries;
+      wopts.constraint_length = 2;
+      wopts.seed = base;
+      wopts.max_attempts = 150'000;
+      wopts.fill_true_with_walks = true;
+      const Workload w = GenerateWorkload(g, wopts);
+
+      const double t_us =
+          w.true_queries.empty() ? -1 : TimeRlcQueries(index, w.true_queries);
+      const double f_us =
+          w.false_queries.empty() ? -1 : TimeRlcQueries(index, w.false_queries);
+      table.AddRow({ba ? "BA" : "ER", Human(n), Human(g.num_edges()),
+                    Fmt("%.2f", builder.stats().build_seconds),
+                    Mb(index.MemoryBytes()),
+                    t_us < 0 ? "n/a" : Fmt("%.0f", t_us),
+                    f_us < 0 ? "n/a" : Fmt("%.0f", f_us)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 7 (Appendix C) — impact of recursive k in {2,3,4} on ER- and
+// BA-graphs with |V| = 125K (scaled), d = 5, |L| = 16.
+//
+// Expected shape: indexing time and index size rise steeply (exponentially
+// in k); query time rises most for BA true-queries and ER false-queries.
+
+#include "bench_common.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+
+int main() {
+  using namespace rlc;
+  using namespace rlc::bench;
+
+  const double scale = ScaleFromEnv(0.02);
+  const VertexId n = static_cast<VertexId>(125'000 * scale);
+  const uint32_t queries = QueriesPerSet(200);
+
+  std::printf("== Fig. 7: recursive k sweep on ER/BA (|V|=%u, d=5, |L|=16) ==\n",
+              n);
+  Table table({"Model", "k", "IT (s)", "IS (MB)", "Entries", "T-query (us)",
+               "F-query (us)"});
+
+  for (const bool ba : {false, true}) {
+    Rng rng(555 + (ba ? 1 : 0));
+    auto edges = ba ? BarabasiAlbertEdges(n, 5, rng)
+                    : ErdosRenyiEdges(n, static_cast<uint64_t>(n) * 5, rng);
+    AssignZipfLabels(&edges, 16, 2.0, rng);
+    const DiGraph g(n, std::move(edges), 16);
+
+    for (const uint32_t k : {2u, 3u, 4u}) {
+      IndexerOptions options;
+      options.k = k;
+      RlcIndexBuilder builder(g, options);
+      const RlcIndex index = builder.Build();
+
+      WorkloadOptions wopts;
+      wopts.count = queries;
+      wopts.constraint_length = k;
+      wopts.seed = 600 + k;
+      wopts.max_attempts = 150'000;
+      wopts.fill_true_with_walks = true;
+      const Workload w = GenerateWorkload(g, wopts);
+
+      const double t_us =
+          w.true_queries.empty() ? -1 : TimeRlcQueries(index, w.true_queries);
+      const double f_us =
+          w.false_queries.empty() ? -1 : TimeRlcQueries(index, w.false_queries);
+      table.AddRow({ba ? "BA" : "ER", std::to_string(k),
+                    Fmt("%.2f", builder.stats().build_seconds),
+                    Mb(index.MemoryBytes()), Human(index.NumEntries()),
+                    t_us < 0 ? "n/a" : Fmt("%.0f", t_us),
+                    f_us < 0 ? "n/a" : Fmt("%.0f", f_us)});
+    }
+  }
+  table.Print();
+  return 0;
+}

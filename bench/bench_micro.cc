@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark): minimum-repeat computation, kernel
+// decomposition, index query latency, and online-traversal latency on a
+// mid-size synthetic graph. These complement the per-table/figure harnesses
+// with operation-level numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "rlc/baselines/online_search.h"
+#include "rlc/core/indexer.h"
+#include "rlc/core/label_seq.h"
+#include "rlc/engines/rlc_hybrid_engine.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/plain/plain_reach_index.h"
+#include "rlc/util/rng.h"
+#include "rlc/workload/query_gen.h"
+
+namespace {
+
+using namespace rlc;
+
+std::vector<Label> RandomWord(size_t n, Label alphabet, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Label> w(n);
+  for (auto& l : w) l = static_cast<Label>(rng.Below(alphabet));
+  return w;
+}
+
+void BM_MinimumRepeat(benchmark::State& state) {
+  const auto word = RandomWord(static_cast<size_t>(state.range(0)), 2, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimumRepeatLength(word));
+  }
+}
+BENCHMARK(BM_MinimumRepeat)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DecomposeKernel(benchmark::State& state) {
+  const auto word = RandomWord(static_cast<size_t>(state.range(0)), 2, 43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecomposeKernel(word));
+  }
+}
+BENCHMARK(BM_DecomposeKernel)->Arg(4)->Arg(8)->Arg(16);
+
+struct BenchFixture {
+  DiGraph graph;
+  RlcIndex index;
+  PlainReachIndex plain;
+  Workload workload;
+
+  static const BenchFixture& Get() {
+    static BenchFixture* fixture = [] {
+      Rng rng(7);
+      auto edges = ErdosRenyiEdges(20'000, 100'000, rng);
+      AssignZipfLabels(&edges, 8, 2.0, rng);
+      DiGraph g(20'000, std::move(edges), 8);
+      RlcIndex idx = BuildRlcIndex(g, 2);
+      PlainReachIndex plain = PlainReachIndex::Build(g);
+      WorkloadOptions wopts;
+      wopts.count = 200;
+      Workload w = GenerateWorkload(g, wopts);
+      return new BenchFixture{std::move(g), std::move(idx), std::move(plain),
+                              std::move(w)};
+    }();
+    return *fixture;
+  }
+};
+
+void BM_IndexQuery(benchmark::State& state) {
+  const auto& f = BenchFixture::Get();
+  const auto& queries =
+      state.range(0) == 1 ? f.workload.true_queries : f.workload.false_queries;
+  if (queries.empty()) {
+    state.SkipWithError("empty query set");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const RlcQuery& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(f.index.Query(q.s, q.t, q.constraint));
+  }
+}
+BENCHMARK(BM_IndexQuery)->Arg(1)->Arg(0);
+
+void BM_IndexQueryWithPrefilter(benchmark::State& state) {
+  const auto& f = BenchFixture::Get();
+  const auto& queries =
+      state.range(0) == 1 ? f.workload.true_queries : f.workload.false_queries;
+  if (queries.empty()) {
+    state.SkipWithError("empty query set");
+    return;
+  }
+  RlcHybridEngine engine(f.graph, f.index, &f.plain);
+  size_t i = 0;
+  for (auto _ : state) {
+    const RlcQuery& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(
+        engine.Evaluate(q.s, q.t, PathConstraint::RlcPlus(q.constraint)));
+  }
+}
+BENCHMARK(BM_IndexQueryWithPrefilter)->Arg(1)->Arg(0);
+
+void BM_PlainReachability(benchmark::State& state) {
+  const auto& f = BenchFixture::Get();
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.Below(f.graph.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.Below(f.graph.num_vertices()));
+    benchmark::DoNotOptimize(f.plain.Reachable(s, t));
+  }
+}
+BENCHMARK(BM_PlainReachability);
+
+void BM_OnlineBfs(benchmark::State& state) {
+  const auto& f = BenchFixture::Get();
+  const auto& queries =
+      state.range(0) == 1 ? f.workload.true_queries : f.workload.false_queries;
+  if (queries.empty()) {
+    state.SkipWithError("empty query set");
+    return;
+  }
+  OnlineSearcher searcher(f.graph);
+  size_t i = 0;
+  for (auto _ : state) {
+    const RlcQuery& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(
+        searcher.QueryBfsOnce(q.s, q.t, PathConstraint::RlcPlus(q.constraint)));
+  }
+}
+BENCHMARK(BM_OnlineBfs)->Arg(1)->Arg(0);
+
+void BM_OnlineBiBfs(benchmark::State& state) {
+  const auto& f = BenchFixture::Get();
+  const auto& queries =
+      state.range(0) == 1 ? f.workload.true_queries : f.workload.false_queries;
+  if (queries.empty()) {
+    state.SkipWithError("empty query set");
+    return;
+  }
+  OnlineSearcher searcher(f.graph);
+  size_t i = 0;
+  for (auto _ : state) {
+    const RlcQuery& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(searcher.QueryBiBfsOnce(
+        q.s, q.t, PathConstraint::RlcPlus(q.constraint)));
+  }
+}
+BENCHMARK(BM_OnlineBiBfs)->Arg(1)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

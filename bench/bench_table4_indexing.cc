@@ -1,0 +1,52 @@
+// Table IV — indexing time (IT) and index size (IS) of the RLC index vs the
+// extended transitive closure (ETC), k = 2.
+//
+// The paper's headline: ETC cannot be built within 24h for any graph except
+// the smallest (AD), while the RLC index builds on all 13. We reproduce the
+// shape with a per-dataset ETC budget (env RLC_ETC_MAX_EDGES, default 100K
+// scaled edges): beyond it ETC is reported "-" exactly as in the paper.
+
+#include "bench_common.h"
+#include "rlc/baselines/etc_index.h"
+
+int main() {
+  using namespace rlc;
+  using namespace rlc::bench;
+
+  uint64_t etc_max_edges = 10'000;
+  if (const char* env = std::getenv("RLC_ETC_MAX_EDGES")) {
+    etc_max_edges = std::strtoull(env, nullptr, 10);
+  }
+
+  std::printf("== Table IV: indexing time and index size, k=2 ==\n");
+  Table table({"Dataset", "|V|", "|E|", "RLC IT (s)", "RLC IS (MB)",
+               "ETC IT (s)", "ETC IS (MB)", "IS ratio"});
+
+  for (const DatasetSpec& spec : SelectedDatasets()) {
+    const DiGraph g = GetDataset(spec, EffectiveScale(spec, 0.01), /*seed=*/2);
+
+    IndexerOptions options;
+    options.k = 2;
+    RlcIndexBuilder builder(g, options);
+    const RlcIndex index = builder.Build();
+    const double rlc_it = builder.stats().build_seconds;
+    const uint64_t rlc_is = index.MemoryBytes();
+
+    std::string etc_it = "-", etc_is = "-", ratio = "-";
+    if (g.num_edges() <= etc_max_edges) {
+      EtcStats etc_stats;
+      const EtcIndex etc = EtcIndex::Build(g, 2, &etc_stats);
+      etc_it = Fmt("%.2f", etc_stats.build_seconds);
+      etc_is = Mb(etc.MemoryBytes());
+      ratio = Fmt("%.1fx", static_cast<double>(etc.MemoryBytes()) /
+                               static_cast<double>(rlc_is));
+    }
+    table.AddRow({spec.name, Human(g.num_vertices()), Human(g.num_edges()),
+                  Fmt("%.2f", rlc_it), Mb(rlc_is), etc_it, etc_is, ratio});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: '-' = ETC exceeded the budget (paper: timed out after 24h /\n"
+      "out of memory on every graph but AD). Raise RLC_ETC_MAX_EDGES to try.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Dense transition-table form of an NFA, for product-graph searches.
+//
+// The NFAs of RLC-class constraints have a handful of states, so a dense
+// (state, label) -> [next states] table is tiny and removes per-step binary
+// searches from the baselines' hot loops.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rlc/automaton/nfa.h"
+
+namespace rlc {
+
+/// Dense transition table over a fixed label alphabet.
+class DenseNfa {
+ public:
+  /// \param nfa         source automaton
+  /// \param num_labels  alphabet size; transitions on labels >= num_labels
+  ///                    are dropped (they cannot occur in the graph).
+  DenseNfa(const Nfa& nfa, Label num_labels)
+      : num_states_(nfa.num_states()),
+        num_labels_(num_labels),
+        table_(static_cast<size_t>(num_states_) * num_labels),
+        accept_(num_states_, false),
+        starts_(nfa.start_states()) {
+    for (uint32_t s = 0; s < num_states_; ++s) {
+      accept_[s] = nfa.IsAccept(s);
+      for (const NfaTransition& t : nfa.Transitions(s)) {
+        if (t.label < num_labels) {
+          table_[static_cast<size_t>(s) * num_labels_ + t.label].push_back(t.to);
+        }
+      }
+    }
+  }
+
+  uint32_t num_states() const { return num_states_; }
+  const std::vector<uint32_t>& starts() const { return starts_; }
+  bool IsAccept(uint32_t state) const { return accept_[state]; }
+
+  /// States reachable from `state` on `label`.
+  std::span<const uint32_t> Next(uint32_t state, Label label) const {
+    return table_[static_cast<size_t>(state) * num_labels_ + label];
+  }
+
+ private:
+  uint32_t num_states_;
+  Label num_labels_;
+  std::vector<std::vector<uint32_t>> table_;
+  std::vector<bool> accept_;
+  std::vector<uint32_t> starts_;
+};
+
+}  // namespace rlc

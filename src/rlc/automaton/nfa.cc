@@ -1,0 +1,147 @@
+#include "rlc/automaton/nfa.h"
+
+#include <algorithm>
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+namespace {
+
+// Intermediate automaton with epsilon moves, produced by the Thompson-style
+// chain construction and then eliminated.
+struct EpsNfa {
+  std::vector<std::vector<NfaTransition>> labeled;
+  std::vector<std::vector<uint32_t>> eps;
+  uint32_t start = 0;
+  std::vector<bool> accept;
+
+  uint32_t AddState() {
+    labeled.emplace_back();
+    eps.emplace_back();
+    accept.push_back(false);
+    return static_cast<uint32_t>(labeled.size() - 1);
+  }
+};
+
+// Epsilon closure of `state` (including itself), depth-first.
+void Closure(const EpsNfa& a, uint32_t state, std::vector<bool>* seen,
+             std::vector<uint32_t>* out) {
+  if ((*seen)[state]) return;
+  (*seen)[state] = true;
+  out->push_back(state);
+  for (uint32_t nxt : a.eps[state]) Closure(a, nxt, seen, out);
+}
+
+}  // namespace
+
+Nfa Nfa::FromConstraint(const PathConstraint& constraint) {
+  RLC_REQUIRE(!constraint.atoms().empty(), "Nfa: empty constraint");
+
+  EpsNfa a;
+  const uint32_t start = a.AddState();
+  a.start = start;
+
+  uint32_t prev_end = start;  // state reached after completing previous atoms
+  for (const ConstraintAtom& atom : constraint.atoms()) {
+    const uint32_t atom_start = a.AddState();
+    a.eps[prev_end].push_back(atom_start);
+    uint32_t cur = atom_start;
+    if (atom.alternation) {
+      // One step consuming any label of the set: (l1|...|lj).
+      const uint32_t nxt = a.AddState();
+      for (uint32_t i = 0; i < atom.seq.size(); ++i) {
+        a.labeled[cur].push_back({atom.seq[i], nxt});
+      }
+      cur = nxt;
+    } else {
+      // The concatenation l1 ∘ ... ∘ lj.
+      for (uint32_t i = 0; i < atom.seq.size(); ++i) {
+        const uint32_t nxt = a.AddState();
+        a.labeled[cur].push_back({atom.seq[i], nxt});
+        cur = nxt;
+      }
+    }
+    if (atom.plus) {
+      a.eps[cur].push_back(atom_start);  // allow another repetition
+    }
+    prev_end = cur;
+  }
+  a.accept[prev_end] = true;
+
+  // Eliminate epsilon transitions.
+  const uint32_t n = static_cast<uint32_t>(a.labeled.size());
+  std::vector<std::vector<uint32_t>> closures(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    std::vector<bool> seen(n, false);
+    Closure(a, s, &seen, &closures[s]);
+  }
+
+  Nfa out;
+  out.transitions_.resize(n);
+  out.accept_.assign(n, false);
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t c : closures[s]) {
+      out.accept_[s] = out.accept_[s] || a.accept[c];
+      for (const NfaTransition& t : a.labeled[c]) {
+        out.transitions_[s].push_back(t);
+      }
+    }
+    auto& ts = out.transitions_[s];
+    std::sort(ts.begin(), ts.end(), [](const NfaTransition& x, const NfaTransition& y) {
+      return std::tie(x.label, x.to) < std::tie(y.label, y.to);
+    });
+    ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  }
+  out.start_states_ = {a.start};
+  return out;
+}
+
+Nfa Nfa::Reversed() const {
+  Nfa rev;
+  const uint32_t n = num_states();
+  rev.transitions_.resize(n);
+  rev.accept_.assign(n, false);
+  for (uint32_t s = 0; s < n; ++s) {
+    for (const NfaTransition& t : transitions_[s]) {
+      rev.transitions_[t.to].push_back({t.label, s});
+    }
+    if (accept_[s]) rev.start_states_.push_back(s);
+  }
+  for (uint32_t s : start_states_) rev.accept_[s] = true;
+  for (auto& ts : rev.transitions_) {
+    std::sort(ts.begin(), ts.end(),
+              [](const NfaTransition& x, const NfaTransition& y) {
+                return std::tie(x.label, x.to) < std::tie(y.label, y.to);
+              });
+    ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  }
+  return rev;
+}
+
+bool Nfa::Accepts(std::span<const Label> word) const {
+  std::vector<bool> current(num_states(), false);
+  for (uint32_t s : start_states_) current[s] = true;
+  for (Label l : word) {
+    std::vector<bool> next(num_states(), false);
+    for (uint32_t s = 0; s < num_states(); ++s) {
+      if (!current[s]) continue;
+      for (const NfaTransition& t : transitions_[s]) {
+        if (t.label == l) next[t.to] = true;
+      }
+    }
+    current.swap(next);
+  }
+  for (uint32_t s = 0; s < num_states(); ++s) {
+    if (current[s] && accept_[s]) return true;
+  }
+  return false;
+}
+
+uint64_t Nfa::num_transitions() const {
+  uint64_t total = 0;
+  for (const auto& ts : transitions_) total += ts.size();
+  return total;
+}
+
+}  // namespace rlc

@@ -1,0 +1,64 @@
+// Epsilon-free NFA for path constraints.
+//
+// The paper's first baseline evaluates RLC queries "by online graph
+// traversals, e.g., BFS, guided by a minimized NFA constructed according to
+// the regular expression" (§III-B). Constraints here are concatenations of
+// (sequence, plus) atoms, so the Thompson construction is a chain of label
+// transitions with back-loops; epsilon transitions are eliminated at build
+// time, which keeps the product-graph searches (baselines/) free of closure
+// bookkeeping.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rlc/automaton/path_constraint.h"
+#include "rlc/graph/types.h"
+
+namespace rlc {
+
+/// One labeled NFA transition.
+struct NfaTransition {
+  Label label;
+  uint32_t to;
+
+  friend bool operator==(const NfaTransition&, const NfaTransition&) = default;
+};
+
+/// Epsilon-free NFA with a set of start states and a set of accept states.
+class Nfa {
+ public:
+  /// Builds the NFA recognizing `constraint` (language over edge labels).
+  static Nfa FromConstraint(const PathConstraint& constraint);
+
+  uint32_t num_states() const { return static_cast<uint32_t>(transitions_.size()); }
+
+  const std::vector<uint32_t>& start_states() const { return start_states_; }
+
+  bool IsAccept(uint32_t state) const { return accept_[state]; }
+
+  /// All labeled transitions out of `state`.
+  std::span<const NfaTransition> Transitions(uint32_t state) const {
+    return transitions_[state];
+  }
+
+  /// The reversed automaton: recognizes the reversal of the language.
+  /// Used by the backward frontier of the bidirectional baseline.
+  Nfa Reversed() const;
+
+  /// Language membership test by subset simulation; O(|word| * states^2).
+  /// Intended for unit tests, not the query path.
+  bool Accepts(std::span<const Label> word) const;
+
+  /// Total transition count (for tests / diagnostics).
+  uint64_t num_transitions() const;
+
+ private:
+  std::vector<std::vector<NfaTransition>> transitions_;
+  std::vector<uint32_t> start_states_;
+  std::vector<bool> accept_;
+};
+
+}  // namespace rlc

@@ -1,0 +1,121 @@
+#include "rlc/automaton/path_constraint.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace rlc {
+
+namespace {
+
+Label ResolveLabel(const std::string& token, const DiGraph& g) {
+  if (g.has_label_names()) {
+    if (auto l = g.FindLabel(token)) return *l;
+  }
+  // Fall back to numeric ids.
+  Label value = 0;
+  bool numeric = !token.empty();
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      numeric = false;
+      break;
+    }
+    value = value * 10 + static_cast<Label>(c - '0');
+  }
+  RLC_REQUIRE(numeric && (g.num_labels() == 0 || value < g.num_labels()),
+              "PathConstraint: unknown label '" << token << "'");
+  return value;
+}
+
+}  // namespace
+
+PathConstraint PathConstraint::Parse(const std::string& text, const DiGraph& g) {
+  std::vector<ConstraintAtom> atoms;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto skip_ws = [&] {
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  auto read_token = [&]() -> std::string {
+    std::string tok;
+    while (i < n && !std::isspace(static_cast<unsigned char>(text[i])) &&
+           text[i] != '(' && text[i] != ')' && text[i] != '+' &&
+           text[i] != '|') {
+      tok += text[i++];
+    }
+    return tok;
+  };
+
+  skip_ws();
+  while (i < n) {
+    ConstraintAtom atom;
+    if (text[i] == '(') {
+      ++i;
+      skip_ws();
+      bool saw_pipe = false;
+      bool expect_more = false;
+      while (i < n && text[i] != ')') {
+        if (text[i] == '|') {
+          saw_pipe = true;
+          expect_more = true;
+          ++i;
+          skip_ws();
+          continue;
+        }
+        const std::string tok = read_token();
+        RLC_REQUIRE(!tok.empty(), "PathConstraint: empty token in '" << text << "'");
+        atom.seq.PushBack(ResolveLabel(tok, g));
+        expect_more = false;
+        skip_ws();
+      }
+      RLC_REQUIRE(i < n, "PathConstraint: unmatched '(' in '" << text << "'");
+      RLC_REQUIRE(!expect_more, "PathConstraint: dangling '|' in '" << text << "'");
+      RLC_REQUIRE(!saw_pipe || atom.seq.size() >= 2,
+                  "PathConstraint: alternation needs >= 2 labels in '" << text
+                                                                       << "'");
+      atom.alternation = saw_pipe;
+      ++i;  // consume ')'
+    } else {
+      const std::string tok = read_token();
+      RLC_REQUIRE(!tok.empty(), "PathConstraint: unexpected character at position "
+                                    << i << " in '" << text << "'");
+      atom.seq.PushBack(ResolveLabel(tok, g));
+    }
+    if (i < n && text[i] == '+') {
+      atom.plus = true;
+      ++i;
+    }
+    RLC_REQUIRE(!atom.seq.empty(), "PathConstraint: empty atom in '" << text << "'");
+    atoms.push_back(atom);
+    skip_ws();
+  }
+  RLC_REQUIRE(!atoms.empty(), "PathConstraint: empty constraint '" << text << "'");
+  return PathConstraint(std::move(atoms));
+}
+
+std::string PathConstraint::ToString(const DiGraph& g) const {
+  std::ostringstream oss;
+  bool first = true;
+  for (const ConstraintAtom& a : atoms_) {
+    if (!first) oss << ' ';
+    first = false;
+    const bool parens = a.seq.size() > 1;
+    if (parens) oss << '(';
+    for (uint32_t j = 0; j < a.seq.size(); ++j) {
+      if (j > 0) oss << (a.alternation ? "|" : " ");
+      if (g.has_label_names()) {
+        oss << g.LabelName(a.seq[j]);
+      } else {
+        oss << a.seq[j];
+      }
+    }
+    if (parens) oss << ')';
+    if (a.plus) oss << '+';
+  }
+  return oss.str();
+}
+
+std::string PathConstraint::ToString() const {
+  return ToString(DiGraph());
+}
+
+}  // namespace rlc

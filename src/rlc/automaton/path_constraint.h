@@ -1,0 +1,95 @@
+// Path-constraint AST for the query classes the paper evaluates.
+//
+// A constraint is a concatenation of *atoms*; each atom is a fixed label
+// sequence, optionally under the Kleene plus:
+//
+//   RLC query  (s,t,(l1..lj)+)        -> one atom, plus=true    (Def. 1)
+//   Kleene-star variant (l1..lj)*     -> same atom; star is handled at the
+//                                        query layer (s==t shortcut, §III-B)
+//   extended query Q4 = a+ ∘ b+       -> two atoms, both plus=true (§VI-C)
+//   bounded concatenation l1 ∘ l2     -> one atom, plus=false
+//
+// This covers every query shape in the paper's evaluation while staying a
+// strict subset of regular expressions, so the NFA construction (nfa.h)
+// stays small and obviously correct.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rlc/core/label_seq.h"
+#include "rlc/graph/digraph.h"
+
+namespace rlc {
+
+/// One atom. Two interpretations of `seq`:
+///  * concatenation (default): the labels in order, optionally under '+'
+///    — the paper's RLC building block, e.g. (a b)+;
+///  * alternation (`alternation = true`): any ONE label of the set per
+///    step, optionally under '+' — the LCR-style constraints of the
+///    paper's §II related work, e.g. (a|b)+.
+struct ConstraintAtom {
+  LabelSeq seq;
+  bool plus = false;
+  bool alternation = false;
+
+  friend bool operator==(const ConstraintAtom&, const ConstraintAtom&) = default;
+};
+
+/// A concatenation of atoms (never empty, atoms never have empty sequences).
+class PathConstraint {
+ public:
+  PathConstraint() = default;
+
+  explicit PathConstraint(std::vector<ConstraintAtom> atoms)
+      : atoms_(std::move(atoms)) {
+    for (const ConstraintAtom& a : atoms_) {
+      RLC_REQUIRE(!a.seq.empty(), "PathConstraint: empty atom sequence");
+    }
+  }
+
+  /// The RLC constraint L+ (paper Definition 1).
+  static PathConstraint RlcPlus(const LabelSeq& seq) {
+    return PathConstraint({ConstraintAtom{seq, true}});
+  }
+
+  /// A fixed (non-recursive) concatenation L.
+  static PathConstraint Fixed(const LabelSeq& seq) {
+    return PathConstraint({ConstraintAtom{seq, false}});
+  }
+
+  /// The LCR-style alternation constraint (l1|...|lj)+ (§II related work).
+  static PathConstraint LcrPlus(const LabelSeq& labels) {
+    return PathConstraint({ConstraintAtom{labels, true, true}});
+  }
+
+  /// Parses a textual constraint, e.g. "(a b)+", "a+ b+", "a b c",
+  /// "(knows worksFor)+", "(a|b)+". Atoms are whitespace-separated;
+  /// parentheses group a multi-label sequence (concatenation when space-
+  /// separated, alternation when '|'-separated); a trailing '+' marks
+  /// recursion. Label names are resolved through `g` when it has a label
+  /// dictionary, otherwise tokens must be numeric label ids.
+  /// \throws std::invalid_argument on syntax errors or unknown labels.
+  static PathConstraint Parse(const std::string& text, const DiGraph& g);
+
+  const std::vector<ConstraintAtom>& atoms() const { return atoms_; }
+
+  /// True when the constraint is a single `L+` atom (an RLC constraint).
+  bool IsRlc() const { return atoms_.size() == 1 && atoms_[0].plus; }
+
+  /// The single atom's sequence; only valid for 1-atom constraints.
+  const LabelSeq& seq() const {
+    RLC_CHECK(atoms_.size() == 1);
+    return atoms_[0].seq;
+  }
+
+  /// Renders the constraint, using `g`'s label names when available.
+  std::string ToString(const DiGraph& g) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<ConstraintAtom> atoms_;
+};
+
+}  // namespace rlc

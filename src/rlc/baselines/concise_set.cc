@@ -1,0 +1,96 @@
+#include "rlc/baselines/concise_set.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+namespace {
+
+struct VertexSeq {
+  VertexId v;
+  LabelSeq seq;
+  friend bool operator==(const VertexSeq&, const VertexSeq&) = default;
+};
+
+struct VertexSeqHash {
+  uint64_t operator()(const VertexSeq& vs) const {
+    return vs.seq.Hash() * 0x9E3779B97F4A7C15ULL + vs.v;
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<LabelSeq>> ComputeConciseSetsFrom(const DiGraph& g,
+                                                          VertexId s,
+                                                          uint32_t k) {
+  RLC_REQUIRE(s < g.num_vertices(), "ComputeConciseSetsFrom: vertex out of range");
+  RLC_REQUIRE(k >= 1 && k <= kMaxK,
+              "ComputeConciseSetsFrom: k must be in [1," << kMaxK << "]");
+
+  std::vector<std::vector<LabelSeq>> sets(g.num_vertices());
+  auto add = [&](VertexId u, const LabelSeq& mr) {
+    auto& set = sets[u];
+    if (std::find(set.begin(), set.end(), mr) == set.end()) set.push_back(mr);
+  };
+
+  // Phase 1: forward kernel search to depth k (eager strategy).
+  std::vector<VertexSeq> queue{{s, LabelSeq{}}};
+  std::unordered_set<VertexSeq, VertexSeqHash> seen{queue.front()};
+  std::map<LabelSeq, std::vector<VertexId>> frontier;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexSeq cur = queue[head];
+    for (const LabeledNeighbor& nb : g.OutEdges(cur.v)) {
+      VertexSeq next{nb.v, cur.seq};
+      next.seq.PushBack(nb.label);
+      if (!seen.insert(next).second) continue;
+      const LabelSeq mr = MinimumRepeatSeq(next.seq);
+      add(nb.v, mr);
+      frontier[mr].push_back(nb.v);
+      if (next.seq.size() < k) queue.push_back(next);
+    }
+  }
+
+  // Phase 2: kernel-guided BFS per candidate (records at full copies).
+  std::vector<uint32_t> stamp(static_cast<uint64_t>(g.num_vertices()) * k, 0);
+  uint32_t epoch = 0;
+  std::vector<std::pair<VertexId, uint32_t>> bfs;
+  for (const auto& [kernel, fset] : frontier) {
+    ++epoch;
+    bfs.clear();
+    const uint32_t len = kernel.size();
+    auto slot = [&](VertexId v, uint32_t pos) -> uint32_t& {
+      return stamp[static_cast<uint64_t>(v) * k + (pos - 1)];
+    };
+    for (VertexId x : fset) {
+      if (slot(x, 1) == epoch) continue;
+      slot(x, 1) = epoch;
+      bfs.push_back({x, 1});
+    }
+    for (size_t head = 0; head < bfs.size(); ++head) {
+      const auto [x, pos] = bfs[head];
+      const bool boundary = (pos == len);
+      const uint32_t next_pos = boundary ? 1 : pos + 1;
+      for (const LabeledNeighbor& nb : g.OutEdgesWithLabel(x, kernel[pos - 1])) {
+        if (slot(nb.v, next_pos) == epoch) continue;
+        if (boundary) add(nb.v, kernel);
+        slot(nb.v, next_pos) = epoch;
+        bfs.push_back({nb.v, next_pos});
+      }
+    }
+  }
+
+  for (auto& set : sets) std::sort(set.begin(), set.end());
+  return sets;
+}
+
+std::vector<LabelSeq> ComputeConciseSet(const DiGraph& g, VertexId s, VertexId t,
+                                        uint32_t k) {
+  RLC_REQUIRE(t < g.num_vertices(), "ComputeConciseSet: vertex out of range");
+  return ComputeConciseSetsFrom(g, s, k)[t];
+}
+
+}  // namespace rlc

@@ -1,0 +1,34 @@
+// Online computation of concise label-sequence sets (paper Definition 2):
+//
+//   Sk(s,t) = { MR(Λ(p)) : p ∈ P(s,t), |MR(Λ(p))| <= k }
+//
+// The RLC index answers membership (L ∈ Sk(s,t)?) in microseconds; this
+// utility *enumerates* the whole set with one forward kernel-based search
+// from s (Theorem 1 guarantees completeness despite the infinite path set).
+// It is the per-source building block of the ETC baseline, exposed as a
+// library function because applications of Example 1's kind often want all
+// recursive patterns connecting two entities, not a yes/no answer.
+
+#pragma once
+
+#include <vector>
+
+#include "rlc/core/label_seq.h"
+#include "rlc/graph/digraph.h"
+
+namespace rlc {
+
+/// All k-bounded minimum repeats of label sequences of paths from s to t,
+/// sorted lexicographically. O(|L|^k (|V| + |E|) k) like one ETC source.
+/// \throws std::invalid_argument for out-of-range vertices or k outside
+///         [1, kMaxK].
+std::vector<LabelSeq> ComputeConciseSet(const DiGraph& g, VertexId s, VertexId t,
+                                        uint32_t k);
+
+/// Single-source form: for every target u reachable from s, the sorted set
+/// Sk(s,u). Index into the returned vector by target vertex id (empty for
+/// unreachable targets).
+std::vector<std::vector<LabelSeq>> ComputeConciseSetsFrom(const DiGraph& g,
+                                                          VertexId s, uint32_t k);
+
+}  // namespace rlc

@@ -1,0 +1,144 @@
+#include "rlc/baselines/etc_index.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "rlc/util/timer.h"
+
+namespace rlc {
+
+namespace {
+
+// A kernel-search state: vertex reached with a concrete label sequence.
+struct VertexSeq {
+  VertexId v;
+  LabelSeq seq;
+  friend bool operator==(const VertexSeq&, const VertexSeq&) = default;
+};
+
+struct VertexSeqHash {
+  uint64_t operator()(const VertexSeq& vs) const {
+    return vs.seq.Hash() * 0x9E3779B97F4A7C15ULL + vs.v;
+  }
+};
+
+}  // namespace
+
+bool EtcIndex::Add(VertexId u, VertexId v, MrId mr) {
+  std::vector<MrId>& set = pairs_[Key(u, v)];
+  if (std::find(set.begin(), set.end(), mr) != set.end()) return false;
+  set.push_back(mr);
+  return true;
+}
+
+bool EtcIndex::Query(VertexId s, VertexId t, const LabelSeq& constraint) const {
+  RLC_REQUIRE(s < num_vertices_ && t < num_vertices_,
+              "EtcIndex::Query: vertex out of range");
+  RLC_REQUIRE(!constraint.empty() && constraint.size() <= k_,
+              "EtcIndex::Query: constraint length must be in [1," << k_ << "]");
+  RLC_REQUIRE(IsPrimitive(constraint.labels()),
+              "EtcIndex::Query: constraint is not a minimum repeat");
+  const MrId mr = mrs_.Find(constraint);
+  if (mr == kInvalidMrId) return false;
+  auto it = pairs_.find(Key(s, t));
+  if (it == pairs_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), mr) != it->second.end();
+}
+
+uint64_t EtcIndex::MemoryBytes() const {
+  uint64_t bytes = mrs_.MemoryBytes();
+  // Hash-map accounting: one node (key + vector header + pointers) per pair
+  // plus the bucket array, plus the MR id payloads.
+  bytes += pairs_.bucket_count() * sizeof(void*);
+  for (const auto& [key, set] : pairs_) {
+    (void)key;
+    bytes += sizeof(uint64_t) + sizeof(std::vector<MrId>) + 2 * sizeof(void*);
+    bytes += set.capacity() * sizeof(MrId);
+  }
+  return bytes;
+}
+
+uint64_t EtcIndex::NumEntries() const {
+  uint64_t total = 0;
+  for (const auto& [key, set] : pairs_) {
+    (void)key;
+    total += set.size();
+  }
+  return total;
+}
+
+EtcIndex EtcIndex::Build(const DiGraph& g, uint32_t k, EtcStats* stats) {
+  RLC_REQUIRE(k >= 1 && k <= kMaxK, "EtcIndex: k must be in [1," << kMaxK << "]");
+  Timer timer;
+  EtcIndex etc(g.num_vertices(), k);
+
+  std::vector<VertexSeq> queue;
+  std::unordered_set<VertexSeq, VertexSeqHash> seen;
+  std::map<LabelSeq, std::vector<VertexId>> frontier;
+  std::vector<uint64_t> visit_stamp(static_cast<uint64_t>(g.num_vertices()) * k, 0);
+  uint64_t epoch = 0;
+  std::vector<std::pair<VertexId, uint32_t>> bfs_queue;
+
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    // Phase 1: forward kernel search to depth k.
+    queue.clear();
+    seen.clear();
+    frontier.clear();
+    queue.push_back({u, LabelSeq{}});
+    seen.insert(queue.front());
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const VertexSeq cur = queue[head];
+      for (const LabeledNeighbor& nb : g.OutEdges(cur.v)) {
+        VertexSeq next{nb.v, cur.seq};
+        next.seq.PushBack(nb.label);
+        if (!seen.insert(next).second) continue;
+        const LabelSeq mr = MinimumRepeatSeq(next.seq);
+        etc.Add(u, nb.v, etc.mrs_.Intern(mr));
+        frontier[mr].push_back(nb.v);
+        if (next.seq.size() < k) queue.push_back(next);
+      }
+    }
+
+    // Phase 2: kernel-guided BFS per candidate, no pruning rules.
+    for (const auto& [kernel, fset] : frontier) {
+      ++epoch;
+      bfs_queue.clear();
+      const uint32_t len = kernel.size();
+      auto slot = [&](VertexId v, uint32_t pos) {
+        return visit_stamp[static_cast<uint64_t>(v) * k + (pos - 1)];
+      };
+      auto mark = [&](VertexId v, uint32_t pos) {
+        visit_stamp[static_cast<uint64_t>(v) * k + (pos - 1)] = epoch;
+      };
+      for (VertexId x : fset) {
+        if (slot(x, 1) == epoch) continue;
+        mark(x, 1);
+        bfs_queue.push_back({x, 1});
+      }
+      for (size_t head = 0; head < bfs_queue.size(); ++head) {
+        const auto [x, pos] = bfs_queue[head];
+        const Label expected = kernel[pos - 1];
+        const bool boundary = (pos == len);
+        const uint32_t next_pos = boundary ? 1 : pos + 1;
+        for (const LabeledNeighbor& nb : g.OutEdgesWithLabel(x, expected)) {
+          if (slot(nb.v, next_pos) == epoch) continue;
+          if (boundary) {
+            etc.Add(u, nb.v, etc.mrs_.Intern(kernel));
+          }
+          mark(nb.v, next_pos);
+          bfs_queue.push_back({nb.v, next_pos});
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->entries = etc.NumEntries();
+    stats->reachable_pairs = etc.NumPairs();
+    stats->build_seconds = timer.ElapsedSeconds();
+  }
+  return etc;
+}
+
+}  // namespace rlc

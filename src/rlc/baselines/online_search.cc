@@ -1,0 +1,140 @@
+#include "rlc/baselines/online_search.h"
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+void OnlineSearcher::EnsureCapacity(uint32_t num_states) {
+  const uint64_t needed = static_cast<uint64_t>(g_.num_vertices()) * num_states;
+  if (fwd_stamp_.size() < needed) {
+    fwd_stamp_.assign(needed, 0);
+    bwd_stamp_.assign(needed, 0);
+    epoch_ = 0;
+  }
+}
+
+bool OnlineSearcher::QueryBfs(VertexId s, VertexId t, const CompiledConstraint& c) {
+  RLC_REQUIRE(s < g_.num_vertices() && t < g_.num_vertices(),
+              "QueryBfs: vertex out of range");
+  const DenseNfa& nfa = c.forward();
+  const uint32_t nq = nfa.num_states();
+  EnsureCapacity(nq);
+  ++epoch_;
+
+  fwd_frontier_.clear();
+  for (uint32_t q : nfa.starts()) {
+    fwd_stamp_[Slot(s, q, nq)] = epoch_;
+    fwd_frontier_.push_back({s, q});
+  }
+  // Start states are never accepting (every RLC-class constraint consumes at
+  // least one label), so no zero-length check is needed.
+  for (size_t head = 0; head < fwd_frontier_.size(); ++head) {
+    const auto [v, q] = fwd_frontier_[head];
+    for (const LabeledNeighbor& nb : g_.OutEdges(v)) {
+      for (uint32_t q2 : nfa.Next(q, nb.label)) {
+        uint64_t& stamp = fwd_stamp_[Slot(nb.v, q2, nq)];
+        if (stamp == epoch_) continue;
+        if (nb.v == t && nfa.IsAccept(q2)) return true;
+        stamp = epoch_;
+        fwd_frontier_.push_back({nb.v, q2});
+      }
+    }
+  }
+  return false;
+}
+
+bool OnlineSearcher::QueryDfs(VertexId s, VertexId t, const CompiledConstraint& c) {
+  RLC_REQUIRE(s < g_.num_vertices() && t < g_.num_vertices(),
+              "QueryDfs: vertex out of range");
+  const DenseNfa& nfa = c.forward();
+  const uint32_t nq = nfa.num_states();
+  EnsureCapacity(nq);
+  ++epoch_;
+
+  auto& stack = fwd_frontier_;
+  stack.clear();
+  for (uint32_t q : nfa.starts()) {
+    fwd_stamp_[Slot(s, q, nq)] = epoch_;
+    stack.push_back({s, q});
+  }
+  while (!stack.empty()) {
+    const auto [v, q] = stack.back();
+    stack.pop_back();
+    for (const LabeledNeighbor& nb : g_.OutEdges(v)) {
+      for (uint32_t q2 : nfa.Next(q, nb.label)) {
+        uint64_t& stamp = fwd_stamp_[Slot(nb.v, q2, nq)];
+        if (stamp == epoch_) continue;
+        if (nb.v == t && nfa.IsAccept(q2)) return true;
+        stamp = epoch_;
+        stack.push_back({nb.v, q2});
+      }
+    }
+  }
+  return false;
+}
+
+bool OnlineSearcher::QueryBiBfs(VertexId s, VertexId t,
+                                const CompiledConstraint& c) {
+  RLC_REQUIRE(s < g_.num_vertices() && t < g_.num_vertices(),
+              "QueryBiBfs: vertex out of range");
+  const DenseNfa& fwd = c.forward();
+  const DenseNfa& bwd = c.reverse();
+  const uint32_t nq = fwd.num_states();
+  EnsureCapacity(nq);
+  ++epoch_;
+
+  // Forward states (v,q): some prefix from s drives the NFA into q at v.
+  // Backward states (v,q): some suffix from v to t drives q into an accept.
+  // A pair visited by both sides witnesses an accepted s-t path. A path
+  // fully discovered by one side meets at (t, accept) or (s, start).
+  fwd_frontier_.clear();
+  bwd_frontier_.clear();
+  for (uint32_t q : fwd.starts()) {
+    fwd_stamp_[Slot(s, q, nq)] = epoch_;
+    if (bwd_stamp_[Slot(s, q, nq)] == epoch_) return true;
+    fwd_frontier_.push_back({s, q});
+  }
+  for (uint32_t q : bwd.starts()) {  // = accept states of the forward NFA
+    bwd_stamp_[Slot(t, q, nq)] = epoch_;
+    if (fwd_stamp_[Slot(t, q, nq)] == epoch_) return true;
+    bwd_frontier_.push_back({t, q});
+  }
+
+  while (!fwd_frontier_.empty() && !bwd_frontier_.empty()) {
+    const bool expand_fwd = fwd_frontier_.size() <= bwd_frontier_.size();
+    auto& frontier = expand_fwd ? fwd_frontier_ : bwd_frontier_;
+    auto& own = expand_fwd ? fwd_stamp_ : bwd_stamp_;
+    auto& other = expand_fwd ? bwd_stamp_ : fwd_stamp_;
+    const DenseNfa& nfa = expand_fwd ? fwd : bwd;
+
+    scratch_.clear();
+    for (const auto& [v, q] : frontier) {
+      const auto edges = expand_fwd ? g_.OutEdges(v) : g_.InEdges(v);
+      for (const LabeledNeighbor& nb : edges) {
+        for (uint32_t q2 : nfa.Next(q, nb.label)) {
+          uint64_t& stamp = own[Slot(nb.v, q2, nq)];
+          if (stamp == epoch_) continue;
+          if (other[Slot(nb.v, q2, nq)] == epoch_) return true;
+          stamp = epoch_;
+          scratch_.push_back({nb.v, q2});
+        }
+      }
+    }
+    frontier.swap(scratch_);
+  }
+  return false;
+}
+
+bool OnlineSearcher::QueryBfsOnce(VertexId s, VertexId t,
+                                  const PathConstraint& constraint) {
+  CompiledConstraint c(constraint, g_.num_labels());
+  return QueryBfs(s, t, c);
+}
+
+bool OnlineSearcher::QueryBiBfsOnce(VertexId s, VertexId t,
+                                    const PathConstraint& constraint) {
+  CompiledConstraint c(constraint, g_.num_labels());
+  return QueryBiBfs(s, t, c);
+}
+
+}  // namespace rlc

@@ -1,0 +1,77 @@
+// Online-traversal baselines: NFA-guided BFS, DFS and bidirectional BFS over
+// the product of the graph and the constraint automaton (paper §III-B and
+// the BFS/BiBFS baselines of §VI).
+//
+// A searcher owns reusable stamped visited arrays, so evaluating thousands
+// of workload queries allocates nothing per query. Constraints are compiled
+// once (CompiledConstraint) and can be shared across queries, mirroring how
+// the paper's baseline constructs the minimized NFA per query template.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rlc/automaton/dense_nfa.h"
+#include "rlc/automaton/path_constraint.h"
+#include "rlc/graph/digraph.h"
+
+namespace rlc {
+
+/// A constraint compiled to forward and reverse dense automata.
+class CompiledConstraint {
+ public:
+  CompiledConstraint(const PathConstraint& constraint, Label num_labels)
+      : nfa_(Nfa::FromConstraint(constraint)),
+        forward_(nfa_, num_labels),
+        reverse_(nfa_.Reversed(), num_labels) {}
+
+  const DenseNfa& forward() const { return forward_; }
+  const DenseNfa& reverse() const { return reverse_; }
+  uint32_t num_states() const { return forward_.num_states(); }
+
+ private:
+  Nfa nfa_;
+  DenseNfa forward_;
+  DenseNfa reverse_;
+};
+
+/// Reusable online evaluator for one graph.
+class OnlineSearcher {
+ public:
+  explicit OnlineSearcher(const DiGraph& g) : g_(g) {}
+
+  /// Unidirectional BFS over (vertex, NFA state) product pairs.
+  bool QueryBfs(VertexId s, VertexId t, const CompiledConstraint& c);
+
+  /// Iterative DFS; same complexity as BFS (paper: "an alternative to BFS
+  /// with the same time complexity but not as efficient as BiBFS").
+  bool QueryDfs(VertexId s, VertexId t, const CompiledConstraint& c);
+
+  /// Bidirectional BFS, expanding the smaller frontier first; meets on a
+  /// common (vertex, state) product pair.
+  bool QueryBiBfs(VertexId s, VertexId t, const CompiledConstraint& c);
+
+  /// Convenience: compile + run once (used by tests and the oracle).
+  bool QueryBfsOnce(VertexId s, VertexId t, const PathConstraint& constraint);
+  bool QueryBiBfsOnce(VertexId s, VertexId t, const PathConstraint& constraint);
+
+ private:
+  // Ensures the stamp arrays cover num_vertices * num_states slots.
+  void EnsureCapacity(uint32_t num_states);
+
+  uint64_t Slot(VertexId v, uint32_t q, uint32_t num_states) const {
+    return static_cast<uint64_t>(v) * num_states + q;
+  }
+
+  const DiGraph& g_;
+  std::vector<uint64_t> fwd_stamp_;
+  std::vector<uint64_t> bwd_stamp_;
+  uint64_t epoch_ = 0;
+  std::vector<std::pair<VertexId, uint32_t>> fwd_frontier_;
+  std::vector<std::pair<VertexId, uint32_t>> bwd_frontier_;
+  std::vector<std::pair<VertexId, uint32_t>> scratch_;
+};
+
+}  // namespace rlc

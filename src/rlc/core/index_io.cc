@@ -1,0 +1,117 @@
+#include "rlc/core/index_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace rlc {
+
+namespace {
+
+constexpr uint64_t kIndexMagic = 0x524C43494458ULL;  // "RLCIDX"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void Put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T Get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("ReadIndex: truncated stream");
+  return v;
+}
+
+void PutEntries(std::ostream& out, const std::vector<IndexEntry>& entries) {
+  Put<uint32_t>(out, static_cast<uint32_t>(entries.size()));
+  for (const IndexEntry& e : entries) {
+    Put<uint32_t>(out, e.hub_aid);
+    Put<uint32_t>(out, e.mr);
+  }
+}
+
+}  // namespace
+
+void WriteIndex(const RlcIndex& index, std::ostream& out) {
+  Put(out, kIndexMagic);
+  Put(out, kVersion);
+  Put<uint32_t>(out, index.k());
+  Put<uint64_t>(out, index.num_vertices());
+
+  for (uint32_t aid = 1; aid <= index.num_vertices(); ++aid) {
+    Put<uint32_t>(out, index.VertexOfAid(aid));
+  }
+
+  const MrTable& mrs = index.mr_table();
+  Put<uint32_t>(out, mrs.size());
+  for (MrId id = 0; id < mrs.size(); ++id) {
+    const LabelSeq& seq = mrs.Get(id);
+    Put<uint8_t>(out, static_cast<uint8_t>(seq.size()));
+    for (uint32_t i = 0; i < seq.size(); ++i) Put<uint32_t>(out, seq[i]);
+  }
+
+  for (VertexId v = 0; v < index.num_vertices(); ++v) {
+    PutEntries(out, index.Lout(v));
+    PutEntries(out, index.Lin(v));
+  }
+}
+
+RlcIndex ReadIndex(std::istream& in) {
+  if (Get<uint64_t>(in) != kIndexMagic) {
+    throw std::runtime_error("ReadIndex: bad magic (not an rlc index file)");
+  }
+  if (Get<uint32_t>(in) != kVersion) {
+    throw std::runtime_error("ReadIndex: unsupported version");
+  }
+  const uint32_t k = Get<uint32_t>(in);
+  const uint64_t n = Get<uint64_t>(in);
+
+  RlcIndex index(static_cast<VertexId>(n), k);
+
+  std::vector<VertexId> order(n);
+  for (uint64_t i = 0; i < n; ++i) order[i] = Get<uint32_t>(in);
+  index.SetAccessOrder(std::move(order));
+
+  const uint32_t num_mrs = Get<uint32_t>(in);
+  for (uint32_t i = 0; i < num_mrs; ++i) {
+    const uint8_t len = Get<uint8_t>(in);
+    LabelSeq seq;
+    for (uint8_t j = 0; j < len; ++j) seq.PushBack(Get<uint32_t>(in));
+    const MrId id = index.mr_table().Intern(seq);
+    if (id != i) throw std::runtime_error("ReadIndex: corrupt MR table");
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t out_count = Get<uint32_t>(in);
+    for (uint32_t i = 0; i < out_count; ++i) {
+      const uint32_t aid = Get<uint32_t>(in);
+      const MrId mr = Get<uint32_t>(in);
+      if (mr >= num_mrs) throw std::runtime_error("ReadIndex: corrupt entry");
+      index.AddOut(v, aid, mr);
+    }
+    const uint32_t in_count = Get<uint32_t>(in);
+    for (uint32_t i = 0; i < in_count; ++i) {
+      const uint32_t aid = Get<uint32_t>(in);
+      const MrId mr = Get<uint32_t>(in);
+      if (mr >= num_mrs) throw std::runtime_error("ReadIndex: corrupt entry");
+      index.AddIn(v, aid, mr);
+    }
+  }
+  return index;
+}
+
+void SaveIndex(const RlcIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  WriteIndex(index, out);
+}
+
+RlcIndex LoadIndex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open index file: " + path);
+  return ReadIndex(in);
+}
+
+}  // namespace rlc

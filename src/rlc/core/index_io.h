@@ -1,0 +1,35 @@
+// Binary serialization of RLC indexes.
+//
+// Little-endian format:
+//   u64 magic  u32 version  u32 k  u64 num_vertices
+//   access order: num_vertices * u32 (vertex id at access position i)
+//   MR table: u32 count, then per MR: u8 length + length * u32 labels
+//   per vertex: u32 |Lout| + entries, u32 |Lin| + entries
+//   entry: u32 hub_aid, u32 mr_id
+//
+// Intended use: build once offline (the expensive step the paper measures in
+// Table IV), persist, then serve queries from a load that is a straight
+// sequential read.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rlc/core/rlc_index.h"
+
+namespace rlc {
+
+/// Writes `index` to `out`.
+void WriteIndex(const RlcIndex& index, std::ostream& out);
+
+/// Reads an index from `in`.
+/// \throws std::runtime_error on bad magic, version or truncation.
+RlcIndex ReadIndex(std::istream& in);
+
+/// Saves/loads via a file path.
+/// \throws std::runtime_error when the file cannot be opened.
+void SaveIndex(const RlcIndex& index, const std::string& path);
+RlcIndex LoadIndex(const std::string& path);
+
+}  // namespace rlc

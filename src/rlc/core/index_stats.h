@@ -1,0 +1,95 @@
+// Introspection over a built RLC index: size breakdown, entry distribution
+// and MR-length histogram. Used by `rlc_tool inspect` and by operators
+// deciding whether an index is worth shipping (the paper's index-size
+// discussion, Table IV / Fig. 5).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rlc/core/rlc_index.h"
+
+namespace rlc {
+
+/// Aggregated statistics of one RLC index.
+struct IndexSummary {
+  uint64_t num_vertices = 0;
+  uint32_t k = 0;
+  uint64_t total_entries = 0;
+  uint64_t out_entries = 0;
+  uint64_t in_entries = 0;
+  uint64_t memory_bytes = 0;
+  uint64_t distinct_mrs = 0;
+  uint64_t max_out_list = 0;   ///< largest |Lout(v)|
+  uint64_t max_in_list = 0;    ///< largest |Lin(v)|
+  double avg_out_list = 0.0;
+  double avg_in_list = 0.0;
+  uint64_t empty_vertices = 0;  ///< vertices with no entries at all
+  /// mr_length_histogram[j] = number of entries whose MR has j+1 labels.
+  std::vector<uint64_t> mr_length_histogram;
+};
+
+/// Computes the summary in one pass over the index.
+inline IndexSummary Summarize(const RlcIndex& index) {
+  IndexSummary s;
+  s.num_vertices = index.num_vertices();
+  s.k = index.k();
+  s.memory_bytes = index.MemoryBytes();
+  s.distinct_mrs = index.mr_table().size();
+  s.mr_length_histogram.assign(index.k(), 0);
+  for (VertexId v = 0; v < index.num_vertices(); ++v) {
+    const auto& out = index.Lout(v);
+    const auto& in = index.Lin(v);
+    s.out_entries += out.size();
+    s.in_entries += in.size();
+    s.max_out_list = std::max<uint64_t>(s.max_out_list, out.size());
+    s.max_in_list = std::max<uint64_t>(s.max_in_list, in.size());
+    s.empty_vertices += (out.empty() && in.empty());
+    for (const auto* list : {&out, &in}) {
+      for (const IndexEntry& e : *list) {
+        const uint32_t len = index.mr_table().Get(e.mr).size();
+        RLC_DCHECK(len >= 1 && len <= index.k());
+        ++s.mr_length_histogram[len - 1];
+      }
+    }
+  }
+  s.total_entries = s.out_entries + s.in_entries;
+  if (s.num_vertices > 0) {
+    s.avg_out_list = static_cast<double>(s.out_entries) / s.num_vertices;
+    s.avg_in_list = static_cast<double>(s.in_entries) / s.num_vertices;
+  }
+  return s;
+}
+
+/// Renders the summary as a human-readable multi-line report.
+inline std::string Describe(const IndexSummary& s) {
+  std::string out;
+  char buf[160];
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+  line("RLC index: |V|=%llu k=%u", static_cast<unsigned long long>(s.num_vertices),
+       s.k);
+  line("entries: %llu total (%llu out, %llu in), %.2f MB",
+       static_cast<unsigned long long>(s.total_entries),
+       static_cast<unsigned long long>(s.out_entries),
+       static_cast<unsigned long long>(s.in_entries),
+       static_cast<double>(s.memory_bytes) / (1024.0 * 1024.0));
+  line("lists: avg out %.2f / in %.2f, max out %llu / in %llu, %llu empty vertices",
+       s.avg_out_list, s.avg_in_list,
+       static_cast<unsigned long long>(s.max_out_list),
+       static_cast<unsigned long long>(s.max_in_list),
+       static_cast<unsigned long long>(s.empty_vertices));
+  line("distinct MRs: %llu", static_cast<unsigned long long>(s.distinct_mrs));
+  for (uint32_t j = 0; j < s.mr_length_histogram.size(); ++j) {
+    line("  entries with |MR| = %u: %llu", j + 1,
+         static_cast<unsigned long long>(s.mr_length_histogram[j]));
+  }
+  return out;
+}
+
+}  // namespace rlc

@@ -1,0 +1,237 @@
+#include "rlc/core/indexer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rlc/util/rng.h"
+#include "rlc/util/timer.h"
+
+namespace rlc {
+
+RlcIndexBuilder::RlcIndexBuilder(const DiGraph& g, IndexerOptions options)
+    : g_(g),
+      options_(options),
+      // PR3's completeness argument (paper Lemma 5) relies on PR1 and PR2
+      // being active; silently degrade rather than build an unsound index.
+      pr3_effective_(options.pr3 && options.pr1 && options.pr2),
+      index_(g.num_vertices(), options.k),
+      visit_stamp_(static_cast<uint64_t>(g.num_vertices()) * options.k, 0) {
+  RLC_REQUIRE(options.strategy == KbsStrategy::kEager || 2 * options.k <= kMaxK,
+              "RlcIndexBuilder: lazy KBS enumerates sequences of length 2k and"
+              " requires 2k <= kMaxK=" << kMaxK);
+}
+
+std::vector<VertexId> RlcIndexBuilder::ComputeOrder(const DiGraph& g,
+                                                    VertexOrdering ordering,
+                                                    uint64_t seed) {
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  switch (ordering) {
+    case VertexOrdering::kInOut: {
+      // IN-OUT strategy: descending (|out(v)|+1)*(|in(v)|+1), ties by id.
+      std::vector<uint64_t> weight(g.num_vertices());
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        weight[v] = (g.OutDegree(v) + 1) * (g.InDegree(v) + 1);
+      }
+      std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+        return weight[a] != weight[b] ? weight[a] > weight[b] : a < b;
+      });
+      break;
+    }
+    case VertexOrdering::kVertexId:
+      break;
+    case VertexOrdering::kRandom: {
+      Rng rng(seed);
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.Below(i)]);
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+RlcIndex RlcIndexBuilder::Build() {
+  RLC_CHECK_MSG(!built_, "RlcIndexBuilder::Build() called twice");
+  built_ = true;
+
+  Timer timer;
+  index_.SetAccessOrder(ComputeOrder(g_, options_.ordering, options_.seed));
+
+  for (uint32_t aid = 1; aid <= g_.num_vertices(); ++aid) {
+    const VertexId v = index_.VertexOfAid(aid);
+    Kbs(v, /*backward=*/true);
+    Kbs(v, /*backward=*/false);
+  }
+
+  stats_.build_seconds = timer.ElapsedSeconds();
+  return std::move(index_);
+}
+
+RlcIndexBuilder::InsertResult RlcIndexBuilder::Insert(VertexId y, VertexId hub,
+                                                      const LabelSeq& mr,
+                                                      bool backward) {
+  // PR2: entries are only recorded against hubs that precede the visited
+  // vertex in the access order (equal ids = self entries are allowed).
+  if (options_.pr2 && index_.AccessId(hub) > index_.AccessId(y)) {
+    ++stats_.pruned_pr2;
+    return InsertResult::kPrunedPr2;
+  }
+
+  const MrId id = index_.mr_table().Intern(mr);
+  // For a backward KBS the witnessed path is y ⇝ hub; forward is hub ⇝ y.
+  const VertexId s = backward ? y : hub;
+  const VertexId t = backward ? hub : y;
+
+  if (options_.pr1) {
+    // PR1: skip entries answerable from the current index snapshot. This
+    // subsumes exact-duplicate suppression (Case 2 of the query).
+    if (index_.QueryInterned(s, t, id)) {
+      ++stats_.pruned_pr1;
+      return InsertResult::kPrunedPr1;
+    }
+  } else {
+    // Index entries are sets: never store exact duplicates even when PR1 is
+    // disabled (ablation builds would otherwise blow up unboundedly).
+    const bool dup = backward ? index_.HasOutEntry(y, index_.AccessId(hub), id)
+                              : index_.HasInEntry(y, index_.AccessId(hub), id);
+    if (dup) {
+      ++stats_.pruned_duplicate;
+      return InsertResult::kDuplicate;
+    }
+  }
+
+  if (backward) {
+    index_.AddOut(y, index_.AccessId(hub), id);
+  } else {
+    index_.AddIn(y, index_.AccessId(hub), id);
+  }
+  ++stats_.entries_inserted;
+  return InsertResult::kInserted;
+}
+
+void RlcIndexBuilder::Kbs(VertexId hub, bool backward) {
+  // ---- Phase 1: kernel search over (vertex, seq) states ----
+  // Eager: BFS to depth k, every k-bounded MR becomes a kernel candidate.
+  // Lazy: BFS to depth 2k, kernels are extracted from the (unique)
+  // kernel/tail decomposition of full-depth sequences (Theorem 1).
+  const bool lazy = options_.strategy == KbsStrategy::kLazy;
+  const uint32_t max_depth = lazy ? 2 * options_.k : options_.k;
+
+  search_queue_.clear();
+  seen_.clear();
+  frontier_.clear();
+
+  search_queue_.push_back({hub, LabelSeq{}});
+  seen_.insert(search_queue_.front());
+
+  for (size_t head = 0; head < search_queue_.size(); ++head) {
+    // Copy: growing the queue may reallocate underneath a reference.
+    const VertexSeq cur = search_queue_[head];
+    const auto edges = backward ? g_.InEdges(cur.v) : g_.OutEdges(cur.v);
+    for (const LabeledNeighbor& nb : edges) {
+      VertexSeq next{nb.v, cur.seq};
+      if (backward) {
+        next.seq.PushFront(nb.label);  // seq' = λ(e) ∘ seq
+      } else {
+        next.seq.PushBack(nb.label);  // seq' = seq ∘ λ(e)
+      }
+      if (!seen_.insert(next).second) continue;
+      ++stats_.kernel_search_states;
+
+      const LabelSeq mr = MinimumRepeatSeq(next.seq);
+      if (mr.size() <= options_.k) {
+        // Theorem 1 cases 1-2: a k-bounded MR witnessed by this very path.
+        // The insert result is deliberately ignored: PR3 does not apply to
+        // the kernel-search phase (paper §V-B).
+        Insert(nb.v, hub, mr, backward);
+        if (!lazy) {
+          // Eager kernel candidate: paths reaching nb.v read mr^z, so the
+          // continuation expects mr[|mr|] backward / mr[1] forward.
+          frontier_[mr].push_back(
+              {nb.v, backward ? mr.size() : 1});
+        }
+      }
+
+      if (next.seq.size() < max_depth) {
+        search_queue_.push_back(next);
+      } else if (lazy) {
+        // Depth 2k reached: extract the provably valid kernel (Theorem 1
+        // case 3). Backward sequences decompose in suffix form
+        // (head ∘ kernel^h), forward ones in prefix form (kernel^h ∘ tail).
+        const auto kt = backward ? DecomposeKernelSuffix(next.seq.labels())
+                                 : DecomposeKernel(next.seq.labels());
+        if (kt.has_value() && kt->kernel.size() <= options_.k) {
+          const LabelSeq kernel(std::span<const Label>(kt->kernel));
+          const auto rem = static_cast<uint32_t>(kt->tail.size());
+          // Next expected 1-based position in the kernel: walking backward
+          // the label preceding the head; walking forward the label after
+          // the consumed tail prefix.
+          const uint32_t position =
+              backward ? kernel.size() - rem : rem + 1;
+          frontier_[kernel].push_back({nb.v, position});
+        }
+      }
+    }
+  }
+
+  // ---- Phase 2: one kernel-guided BFS per kernel candidate ----
+  for (const auto& [kernel, frontier] : frontier_) {
+    KernelBfs(hub, kernel, frontier, backward);
+  }
+}
+
+void RlcIndexBuilder::KernelBfs(VertexId hub, const LabelSeq& kernel,
+                                const std::vector<FrontierSeed>& frontier,
+                                bool backward) {
+  ++stats_.kernel_bfs_runs;
+  ++epoch_;
+  bfs_queue_.clear();
+
+  const uint32_t len = kernel.size();
+  // Each seed carries the 1-based position of the next expected kernel
+  // label: eager seeds sit on a kernel boundary (len backward / 1 forward),
+  // lazy seeds may start mid-kernel when the depth-2k sequence ends in a
+  // partial copy.
+  for (const FrontierSeed& seed : frontier) {
+    if (!MarkVisited(seed.v, seed.position)) continue;  // lists may repeat
+    bfs_queue_.push_back({seed.v, seed.position});
+  }
+
+  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const auto [x, pos] = bfs_queue_[head];
+    const Label expected = kernel[pos - 1];
+    // Completing position 1 backward (or len forward) closes a full copy of
+    // the kernel: the path seen so far is kernel^m and an entry is due.
+    const bool boundary = backward ? (pos == 1) : (pos == len);
+    const uint32_t next_pos = backward ? (pos == 1 ? len : pos - 1)
+                                       : (pos == len ? 1 : pos + 1);
+
+    const auto edges = backward ? g_.InEdgesWithLabel(x, expected)
+                                : g_.OutEdgesWithLabel(x, expected);
+    for (const LabeledNeighbor& nb : edges) {
+      const VertexId y = nb.v;
+      if (WasVisited(y, next_pos)) continue;
+      if (boundary) {
+        const InsertResult r = Insert(y, hub, kernel, backward);
+        if (pr3_effective_ && r != InsertResult::kInserted) {
+          // PR3: the entry was derivable, so everything beyond y is
+          // derivable too — do not expand past it.
+          continue;
+        }
+      }
+      MarkVisited(y, next_pos);
+      bfs_queue_.push_back({y, next_pos});
+      ++stats_.kernel_bfs_visits;
+    }
+  }
+}
+
+RlcIndex BuildRlcIndex(const DiGraph& g, uint32_t k) {
+  IndexerOptions options;
+  options.k = k;
+  RlcIndexBuilder builder(g, options);
+  return builder.Build();
+}
+
+}  // namespace rlc

@@ -1,0 +1,172 @@
+// The RLC indexing algorithm (paper Algorithm 2).
+//
+// Vertices are processed in the IN-OUT order (descending
+// (|out(v)|+1)·(|in(v)|+1)); for each vertex v a backward and a forward
+// kernel-based search (KBS) are run. Each KBS has two phases:
+//
+//  1. *kernel search*: a BFS bounded to depth k enumerating distinct
+//     (vertex, label-sequence) states. Every reached vertex y with sequence
+//     seq yields a tentative index entry (v, MR(seq)) and registers y in the
+//     frontier set of the kernel candidate MR(seq). This is the *eager* KBS
+//     strategy of §IV (kernel candidates are emitted as soon as a k-bounded
+//     MR is seen, instead of waiting for paths of length 2k).
+//
+//  2. *kernel BFS*: for every kernel candidate L, a BFS from its frontier
+//     guided by L+ — each product state is (vertex, position in L); an index
+//     entry is recorded exactly when a full copy of L completes. A vertex is
+//     visited at most once per position, which bounds the search even on
+//     cyclic graphs.
+//
+// Pruning rules (§V-B):
+//   PR1  skip an entry derivable from the current index snapshot (query it);
+//   PR2  skip an entry whose hub has a larger access id than the visited
+//        vertex (a later KBS records it from the other side);
+//   PR3  when the entry completed by a kernel-BFS step is pruned by PR1/PR2,
+//        do not expand past that vertex.
+//
+// Note on the paper's pseudocode: the published listing has two off-by-one /
+// polarity typos (the cyclic position is decremented before the expected
+// label is read, and insert's return value is used inverted at line 36).
+// Both contradict the paper's own worked Examples 5 and 6; this
+// implementation follows the examples, which we verified reproduce Table II
+// exactly (see tests/indexer_test.cc).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "rlc/core/rlc_index.h"
+#include "rlc/graph/digraph.h"
+
+namespace rlc {
+
+/// Vertex processing order strategies (IN-OUT is the paper's choice; the
+/// others exist for the ordering ablation benchmark).
+enum class VertexOrdering {
+  kInOut,     ///< descending (|out(v)|+1)*(|in(v)|+1), ties by vertex id
+  kVertexId,  ///< plain ascending vertex id
+  kRandom,    ///< uniformly random permutation (seeded)
+};
+
+/// Kernel-determination strategy (paper §IV). Eager treats every k-bounded
+/// MR seen at depth <= k as a kernel candidate and switches to kernel-BFS
+/// immediately; lazy enumerates all label sequences to depth 2k and only
+/// then extracts (provably valid) kernels via Theorem 1. The paper adopts
+/// eager because "generating all label sequences of length 2k from a source
+/// vertex is more expensive than the case of paths of length k"; the lazy
+/// implementation exists to reproduce that comparison.
+enum class KbsStrategy {
+  kEager,
+  kLazy,  ///< requires 2k <= kMaxK
+};
+
+/// Build-time configuration.
+struct IndexerOptions {
+  uint32_t k = 2;                                    ///< recursive bound
+  VertexOrdering ordering = VertexOrdering::kInOut;  ///< hub order
+  KbsStrategy strategy = KbsStrategy::kEager;        ///< kernel search mode
+  bool pr1 = true;  ///< prune entries derivable from the snapshot
+  bool pr2 = true;  ///< prune entries against later-ordered hubs
+  bool pr3 = true;  ///< stop kernel-BFS expansion on pruned inserts
+                    ///< (only sound together with PR1+PR2; automatically
+                    ///< disabled otherwise, see Appendix D of the paper)
+  uint64_t seed = 42;  ///< used by VertexOrdering::kRandom
+};
+
+/// Counters reported by the builder (benchmarks and tests).
+struct IndexerStats {
+  uint64_t entries_inserted = 0;
+  uint64_t pruned_pr1 = 0;
+  uint64_t pruned_pr2 = 0;
+  uint64_t pruned_duplicate = 0;       ///< exact duplicates (PR1 disabled)
+  uint64_t kernel_search_states = 0;   ///< distinct (vertex, seq) states
+  uint64_t kernel_bfs_runs = 0;        ///< number of kernel candidates chased
+  uint64_t kernel_bfs_visits = 0;      ///< product states expanded in phase 2
+  double build_seconds = 0.0;
+};
+
+/// Single-use builder: constructs the RLC index of `g` for bound k.
+class RlcIndexBuilder {
+ public:
+  RlcIndexBuilder(const DiGraph& g, IndexerOptions options);
+
+  /// Runs Algorithm 2 and returns the finished index. Call at most once.
+  RlcIndex Build();
+
+  const IndexerStats& stats() const { return stats_; }
+
+  /// The vertex ordering used for access ids (exposed for tests/ablation).
+  static std::vector<VertexId> ComputeOrder(const DiGraph& g,
+                                            VertexOrdering ordering,
+                                            uint64_t seed);
+
+ private:
+  enum class InsertResult { kInserted, kPrunedPr1, kPrunedPr2, kDuplicate };
+
+  /// Records (hub, L) into Lout(y) (backward) or Lin(y) (forward), subject
+  /// to PR1/PR2 and exact-duplicate suppression.
+  InsertResult Insert(VertexId y, VertexId hub, const LabelSeq& mr, bool backward);
+
+  /// A kernel-BFS seed: the frontier vertex and the 1-based position in the
+  /// kernel of the next expected label.
+  struct FrontierSeed {
+    VertexId v;
+    uint32_t position;
+  };
+
+  /// One full KBS (kernel search + kernel BFSs) from `hub`.
+  void Kbs(VertexId hub, bool backward);
+
+  /// Phase 2 for one kernel candidate.
+  void KernelBfs(VertexId hub, const LabelSeq& kernel,
+                 const std::vector<FrontierSeed>& frontier, bool backward);
+
+  bool MarkVisited(VertexId v, uint32_t position) {
+    uint64_t& slot = visit_stamp_[static_cast<uint64_t>(v) * options_.k +
+                                  (position - 1)];
+    if (slot == epoch_) return false;
+    slot = epoch_;
+    return true;
+  }
+
+  bool WasVisited(VertexId v, uint32_t position) const {
+    return visit_stamp_[static_cast<uint64_t>(v) * options_.k + (position - 1)] ==
+           epoch_;
+  }
+
+  struct VertexSeq {
+    VertexId v;
+    LabelSeq seq;
+    friend bool operator==(const VertexSeq&, const VertexSeq&) = default;
+  };
+  struct VertexSeqHash {
+    uint64_t operator()(const VertexSeq& vs) const {
+      return vs.seq.Hash() * 0x9E3779B97F4A7C15ULL + vs.v;
+    }
+  };
+
+  const DiGraph& g_;
+  IndexerOptions options_;
+  bool pr3_effective_;
+  IndexerStats stats_;
+  RlcIndex index_;
+  bool built_ = false;
+
+  // Reused per-KBS scratch.
+  std::vector<VertexSeq> search_queue_;
+  std::unordered_set<VertexSeq, VertexSeqHash> seen_;
+  std::map<LabelSeq, std::vector<FrontierSeed>> frontier_;
+  std::vector<std::pair<VertexId, uint32_t>> bfs_queue_;
+  std::vector<uint64_t> visit_stamp_;
+  uint64_t epoch_ = 0;
+};
+
+/// Convenience wrapper: builds the RLC index of `g` with bound `k` using
+/// the paper's default configuration.
+RlcIndex BuildRlcIndex(const DiGraph& g, uint32_t k);
+
+}  // namespace rlc

@@ -1,0 +1,109 @@
+#include "rlc/core/label_seq.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rlc {
+
+std::string LabelSeq::ToString() const {
+  std::ostringstream oss;
+  oss << '(';
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (i > 0) oss << ' ';
+    oss << labels_[i];
+  }
+  oss << ')';
+  return oss.str();
+}
+
+std::string LabelSeq::ToString(const std::vector<std::string>& label_names) const {
+  std::ostringstream oss;
+  oss << '(';
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (i > 0) oss << ' ';
+    if (labels_[i] < label_names.size()) {
+      oss << label_names[labels_[i]];
+    } else {
+      oss << labels_[i];
+    }
+  }
+  oss << ')';
+  return oss.str();
+}
+
+size_t MinimumRepeatLength(std::span<const Label> seq) {
+  const size_t n = seq.size();
+  if (n == 0) return 0;
+  // KMP failure function: fail[i] = length of the longest proper border of
+  // seq[0..i].
+  std::vector<size_t> fail(n, 0);
+  for (size_t i = 1; i < n; ++i) {
+    size_t j = fail[i - 1];
+    while (j > 0 && seq[i] != seq[j]) j = fail[j - 1];
+    if (seq[i] == seq[j]) ++j;
+    fail[i] = j;
+  }
+  const size_t p = n - fail[n - 1];  // smallest period of the whole sequence
+  // Only periods that divide |seq| yield a repeat in the paper's sense
+  // (L = (L')^z with integer z).
+  return (n % p == 0) ? p : n;
+}
+
+std::vector<Label> MinimumRepeat(std::span<const Label> seq) {
+  const size_t p = MinimumRepeatLength(seq);
+  return std::vector<Label>(seq.begin(), seq.begin() + static_cast<int64_t>(p));
+}
+
+LabelSeq MinimumRepeatSeq(const LabelSeq& seq) {
+  const size_t p = MinimumRepeatLength(seq.labels());
+  return LabelSeq(seq.labels().first(p));
+}
+
+bool IsPrimitive(std::span<const Label> seq) {
+  return !seq.empty() && MinimumRepeatLength(seq) == seq.size();
+}
+
+std::optional<KernelTail> DecomposeKernel(std::span<const Label> seq) {
+  const size_t n = seq.size();
+  // Need at least two full kernel copies, so the kernel length is <= n/2.
+  for (size_t c = 1; c * 2 <= n; ++c) {
+    // seq must be c-periodic over its entire length...
+    bool periodic = true;
+    for (size_t j = c; j < n; ++j) {
+      if (seq[j] != seq[j - c]) {
+        periodic = false;
+        break;
+      }
+    }
+    if (!periodic) continue;
+    // ...and the kernel must be primitive.
+    if (!IsPrimitive(seq.first(c))) continue;
+    KernelTail kt;
+    kt.kernel.assign(seq.begin(), seq.begin() + static_cast<int64_t>(c));
+    kt.repetitions = static_cast<uint32_t>(n / c);
+    kt.tail.assign(seq.begin() + static_cast<int64_t>((n / c) * c), seq.end());
+    return kt;
+  }
+  return std::nullopt;
+}
+
+std::optional<KernelTail> DecomposeKernelSuffix(std::span<const Label> seq) {
+  std::vector<Label> rev(seq.rbegin(), seq.rend());
+  auto kt = DecomposeKernel(rev);
+  if (!kt.has_value()) return std::nullopt;
+  // rev(seq) = rev(kernel')^h ∘ rev(head), so reversing the parts of the
+  // prefix-form decomposition yields the suffix form.
+  std::reverse(kt->kernel.begin(), kt->kernel.end());
+  std::reverse(kt->tail.begin(), kt->tail.end());
+  return kt;
+}
+
+std::vector<Label> Concat(std::span<const Label> a, std::span<const Label> b) {
+  std::vector<Label> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace rlc

@@ -1,0 +1,157 @@
+// Label-sequence algebra: minimum repeats (paper §III-A) and kernel/tail
+// decomposition (paper Definition 3 / Theorem 1).
+//
+// A label sequence L' is a *repeat* of L when L = (L')^z for an integer
+// z >= 1; the *minimum repeat* MR(L) is the shortest repeat, which is unique
+// (Lemma 1) and equals the prefix of length p where p is the smallest full
+// period of L. MR is computed with the KMP failure function in O(|L|)
+// exactly as the paper prescribes ([75] in the paper).
+//
+// A sequence L has *kernel* L' and *tail* L'' when L = (L')^h ∘ L'' with
+// h >= 2, L' primitive (MR(L') = L') and L'' a proper prefix of L' or ε;
+// the kernel, when it exists, is unique (Lemma 2).
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rlc/graph/types.h"
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+/// Maximum supported number of labels in a recursive concatenation (the
+/// paper's `recursive k`). Real workloads use k <= 2 (Wikidata logs), the
+/// paper's sweeps go to 4; 8 leaves generous headroom while keeping
+/// LabelSeq a small trivially copyable value type.
+inline constexpr uint32_t kMaxK = 8;
+
+/// A short label sequence with inline storage (capacity kMaxK).
+///
+/// Used for everything the RLC machinery stores or matches: raw search
+/// sequences (length <= k), minimum repeats and query constraints. Longer
+/// sequences (arbitrary-length path label strings in tests/oracles) use
+/// std::vector<Label> with the span-based free functions below.
+class LabelSeq {
+ public:
+  LabelSeq() = default;
+
+  /// Builds from a span of at most kMaxK labels.
+  explicit LabelSeq(std::span<const Label> labels) {
+    RLC_REQUIRE(labels.size() <= kMaxK,
+                "LabelSeq: sequence longer than kMaxK=" << kMaxK);
+    size_ = static_cast<uint8_t>(labels.size());
+    for (uint32_t i = 0; i < size_; ++i) labels_[i] = labels[i];
+  }
+
+  LabelSeq(std::initializer_list<Label> labels)
+      : LabelSeq(std::span<const Label>(labels.begin(), labels.size())) {}
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Label operator[](uint32_t i) const {
+    RLC_DCHECK(i < size_);
+    return labels_[i];
+  }
+
+  std::span<const Label> labels() const { return {labels_, size_}; }
+
+  /// Appends one label. Size must stay <= kMaxK.
+  void PushBack(Label l) {
+    RLC_CHECK_MSG(size_ < kMaxK, "LabelSeq overflow: recursive k exceeds " << kMaxK);
+    labels_[size_++] = l;
+  }
+
+  /// Prepends one label (backward searches extend sequences at the front).
+  void PushFront(Label l) {
+    RLC_CHECK_MSG(size_ < kMaxK, "LabelSeq overflow: recursive k exceeds " << kMaxK);
+    for (uint32_t i = size_; i > 0; --i) labels_[i] = labels_[i - 1];
+    labels_[0] = l;
+    ++size_;
+  }
+
+  friend bool operator==(const LabelSeq& a, const LabelSeq& b) {
+    if (a.size_ != b.size_) return false;
+    for (uint32_t i = 0; i < a.size_; ++i) {
+      if (a.labels_[i] != b.labels_[i]) return false;
+    }
+    return true;
+  }
+
+  friend std::strong_ordering operator<=>(const LabelSeq& a, const LabelSeq& b) {
+    const uint32_t n = a.size_ < b.size_ ? a.size_ : b.size_;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (auto c = a.labels_[i] <=> b.labels_[i]; c != 0) return c;
+    }
+    return a.size_ <=> b.size_;
+  }
+
+  /// FNV-1a style hash for unordered containers.
+  uint64_t Hash() const {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (uint32_t i = 0; i < size_; ++i) {
+      h ^= labels_[i];
+      h *= 0x100000001B3ULL;
+    }
+    h ^= size_;
+    h *= 0x100000001B3ULL;
+    return h;
+  }
+
+  /// Renders like "(3 0 1)" or "(knows worksFor)" when names are provided.
+  std::string ToString() const;
+  std::string ToString(const std::vector<std::string>& label_names) const;
+
+ private:
+  Label labels_[kMaxK] = {};
+  uint8_t size_ = 0;
+};
+
+struct LabelSeqHash {
+  uint64_t operator()(const LabelSeq& s) const { return s.Hash(); }
+};
+
+/// Length of the minimum repeat of `seq` (smallest p dividing |seq| such
+/// that seq is p-periodic); |seq| when no proper repeat exists. O(|seq|).
+/// The empty sequence has MR length 0.
+size_t MinimumRepeatLength(std::span<const Label> seq);
+
+/// MR(seq) as a fresh vector. O(|seq|).
+std::vector<Label> MinimumRepeat(std::span<const Label> seq);
+
+/// MR of a short sequence as a LabelSeq (requires MR length <= kMaxK, which
+/// holds whenever |seq| <= kMaxK).
+LabelSeq MinimumRepeatSeq(const LabelSeq& seq);
+
+/// True when seq is primitive, i.e. seq == MR(seq). ε is not primitive.
+bool IsPrimitive(std::span<const Label> seq);
+
+/// Kernel/tail decomposition result (Definition 3).
+struct KernelTail {
+  std::vector<Label> kernel;  ///< primitive L', repeated h >= 2 times
+  std::vector<Label> tail;    ///< ε or a proper prefix of the kernel
+  uint32_t repetitions = 0;   ///< h
+};
+
+/// Decomposes `seq` into kernel and tail when possible (Definition 3);
+/// std::nullopt when `seq` has no kernel. The decomposition is unique
+/// (Lemma 2). O(|seq|^2 / 4) worst case, |seq| <= 2k in practice.
+std::optional<KernelTail> DecomposeKernel(std::span<const Label> seq);
+
+/// Mirror decomposition seq = head ∘ (kernel)^h with h >= 2, kernel
+/// primitive and `head` a proper *suffix* of the kernel (or ε). This is the
+/// form needed by backward searches, where sequences grow at the front; it
+/// is computed by decomposing the reversal. In the result, `kernel` holds
+/// the kernel and `tail` holds the head.
+std::optional<KernelTail> DecomposeKernelSuffix(std::span<const Label> seq);
+
+/// Concatenation helper: a ∘ b.
+std::vector<Label> Concat(std::span<const Label> a, std::span<const Label> b);
+
+}  // namespace rlc

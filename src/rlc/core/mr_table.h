@@ -1,0 +1,63 @@
+// Interning table for minimum repeats.
+//
+// Every distinct k-MR that appears anywhere in an RLC index (or in the ETC
+// baseline) is stored once and referred to by a dense 32-bit id. Index
+// entries then are 8 bytes — (hub access id, MR id) — which both shrinks the
+// index (the paper's index-size metric) and turns MR equality checks in the
+// merge-join query into integer compares.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rlc/core/label_seq.h"
+
+namespace rlc {
+
+/// Dense id of an interned minimum repeat.
+using MrId = uint32_t;
+
+/// Sentinel: the sequence is not interned (used by lookups on the query
+/// path; a constraint whose MR was never recorded cannot be satisfied).
+inline constexpr MrId kInvalidMrId = UINT32_MAX;
+
+/// Append-only interning table: LabelSeq <-> MrId.
+class MrTable {
+ public:
+  /// Returns the id of `seq`, interning it on first sight.
+  MrId Intern(const LabelSeq& seq) {
+    auto [it, inserted] = ids_.emplace(seq, static_cast<MrId>(seqs_.size()));
+    if (inserted) seqs_.push_back(seq);
+    return it->second;
+  }
+
+  /// Returns the id of `seq` or kInvalidMrId when never interned.
+  MrId Find(const LabelSeq& seq) const {
+    auto it = ids_.find(seq);
+    return it == ids_.end() ? kInvalidMrId : it->second;
+  }
+
+  /// The sequence with id `id`.
+  const LabelSeq& Get(MrId id) const {
+    RLC_DCHECK(id < seqs_.size());
+    return seqs_[id];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(seqs_.size()); }
+
+  /// Estimated heap footprint in bytes (counted into index size).
+  uint64_t MemoryBytes() const {
+    // unordered_map nodes ~ (key + value + bucket overhead); a conservative
+    // estimate consistent across runs.
+    return seqs_.capacity() * sizeof(LabelSeq) +
+           ids_.size() * (sizeof(LabelSeq) + sizeof(MrId) + 2 * sizeof(void*));
+  }
+
+ private:
+  std::vector<LabelSeq> seqs_;
+  std::unordered_map<LabelSeq, MrId, LabelSeqHash> ids_;
+};
+
+}  // namespace rlc

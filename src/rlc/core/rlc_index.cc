@@ -1,0 +1,117 @@
+#include "rlc/core/rlc_index.h"
+
+#include <algorithm>
+
+namespace rlc {
+
+bool RlcIndex::Query(VertexId s, VertexId t, const LabelSeq& constraint) const {
+  RLC_REQUIRE(s < num_vertices() && t < num_vertices(),
+              "RlcIndex::Query: vertex out of range");
+  RLC_REQUIRE(!constraint.empty(), "RlcIndex::Query: empty constraint");
+  RLC_REQUIRE(constraint.size() <= k_,
+              "RlcIndex::Query: |L|=" << constraint.size()
+                                      << " exceeds the index's recursive k=" << k_);
+  RLC_REQUIRE(IsPrimitive(constraint.labels()),
+              "RlcIndex::Query: constraint " << constraint.ToString()
+                  << " is not a minimum repeat (L != MR(L)); such queries add a"
+                     " path-length constraint and are outside the RLC class");
+  return QueryInterned(s, t, mrs_.Find(constraint));
+}
+
+bool RlcIndex::QueryStar(VertexId s, VertexId t, const LabelSeq& constraint) const {
+  if (s == t) {
+    RLC_REQUIRE(s < num_vertices(), "RlcIndex::QueryStar: vertex out of range");
+    return true;
+  }
+  return Query(s, t, constraint);
+}
+
+bool RlcIndex::QueryInterned(VertexId s, VertexId t, MrId mr) const {
+  if (mr == kInvalidMrId) return false;
+
+  const std::vector<IndexEntry>& lout = out_[s];
+  const std::vector<IndexEntry>& lin = in_[t];
+
+  // Case 2: (t,L) ∈ Lout(s) or (s,L) ∈ Lin(t).
+  if (ContainsEntry(lout, aid_[t], mr)) return true;
+  if (ContainsEntry(lin, aid_[s], mr)) return true;
+
+  // Case 1: merge join over the access-id-sorted entry lists.
+  size_t i = 0, j = 0;
+  while (i < lout.size() && j < lin.size()) {
+    const uint32_t ha = lout[i].hub_aid;
+    const uint32_t hb = lin[j].hub_aid;
+    if (ha < hb) {
+      ++i;
+    } else if (hb < ha) {
+      ++j;
+    } else {
+      bool out_has = false;
+      bool in_has = false;
+      while (i < lout.size() && lout[i].hub_aid == ha) {
+        out_has |= (lout[i].mr == mr);
+        ++i;
+      }
+      while (j < lin.size() && lin[j].hub_aid == ha) {
+        in_has |= (lin[j].mr == mr);
+        ++j;
+      }
+      if (out_has && in_has) return true;
+    }
+  }
+  return false;
+}
+
+bool RlcIndex::ContainsEntry(const std::vector<IndexEntry>& entries,
+                             uint32_t hub_aid, MrId mr) const {
+  auto it = std::lower_bound(entries.begin(), entries.end(), hub_aid,
+                             [](const IndexEntry& e, uint32_t aid) {
+                               return e.hub_aid < aid;
+                             });
+  for (; it != entries.end() && it->hub_aid == hub_aid; ++it) {
+    if (it->mr == mr) return true;
+  }
+  return false;
+}
+
+void RlcIndex::SetAccessOrder(std::vector<VertexId> order_to_vertex) {
+  RLC_REQUIRE(order_to_vertex.size() == out_.size(),
+              "SetAccessOrder: order size mismatch");
+  order_ = std::move(order_to_vertex);
+  for (uint32_t i = 0; i < order_.size(); ++i) {
+    RLC_REQUIRE(order_[i] < out_.size(), "SetAccessOrder: vertex out of range");
+    aid_[order_[i]] = i + 1;  // access ids are 1-based, as in the paper
+  }
+}
+
+void RlcIndex::AddOut(VertexId v, uint32_t hub_aid, MrId mr) {
+  RLC_DCHECK(v < out_.size());
+  RLC_DCHECK(out_[v].empty() || out_[v].back().hub_aid <= hub_aid);
+  out_[v].push_back({hub_aid, mr});
+}
+
+void RlcIndex::AddIn(VertexId v, uint32_t hub_aid, MrId mr) {
+  RLC_DCHECK(v < in_.size());
+  RLC_DCHECK(in_[v].empty() || in_[v].back().hub_aid <= hub_aid);
+  in_[v].push_back({hub_aid, mr});
+}
+
+uint64_t RlcIndex::NumEntries() const {
+  uint64_t total = 0;
+  for (const auto& e : out_) total += e.size();
+  for (const auto& e : in_) total += e.size();
+  return total;
+}
+
+uint64_t RlcIndex::MemoryBytes() const {
+  uint64_t bytes = mrs_.MemoryBytes();
+  bytes += aid_.capacity() * sizeof(uint32_t);
+  bytes += order_.capacity() * sizeof(VertexId);
+  for (const auto& e : out_) bytes += e.size() * sizeof(IndexEntry);
+  for (const auto& e : in_) bytes += e.size() * sizeof(IndexEntry);
+  // Per-vertex vector headers are part of the materialized index.
+  bytes += (out_.size() + in_.size()) * sizeof(std::vector<IndexEntry>);
+  return bytes;
+}
+
+}  // namespace rlc

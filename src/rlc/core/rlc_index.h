@@ -1,0 +1,125 @@
+// The RLC index (paper Definition 4) and its query algorithm (Algorithm 1).
+//
+// For every vertex v the index stores two entry lists:
+//
+//   Lout(v) = {(u, L) : v ⇝ u and L ∈ Sk(v,u)}   ("v reaches hub u")
+//   Lin(v)  = {(u, L) : u ⇝ v and L ∈ Sk(u,v)}   ("hub u reaches v")
+//
+// where Sk is the concise set of k-bounded minimum repeats (Definition 2).
+// Hubs are identified by their *access id* (position in the IN-OUT vertex
+// ordering); entries are appended in increasing access id as the indexing
+// algorithm processes hubs in that order, so both lists stay sorted and the
+// query is a sort-free merge join exactly as the paper describes.
+//
+// A query (s,t,L+) with |L| <= k and L primitive is answered true iff
+//   Case 2: (t,L) ∈ Lout(s) or (s,L) ∈ Lin(t), or
+//   Case 1: ∃ hub x with (x,L) ∈ Lout(s) and (x,L) ∈ Lin(t).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rlc/core/label_seq.h"
+#include "rlc/core/mr_table.h"
+#include "rlc/graph/types.h"
+
+namespace rlc {
+
+/// One index entry: 8 bytes. `hub_aid` is the hub's access id; `mr` the
+/// interned minimum repeat.
+struct IndexEntry {
+  uint32_t hub_aid;
+  MrId mr;
+
+  friend bool operator==(const IndexEntry&, const IndexEntry&) = default;
+};
+
+/// The RLC reachability index for one graph and one recursive bound k.
+///
+/// Instances are produced by RlcIndexBuilder (indexer.h) or loaded from disk
+/// (index_io.h); the mutation API (AddOut/AddIn/...) is public for those
+/// components and for tests but not intended for end users.
+class RlcIndex {
+ public:
+  /// An empty index for `num_vertices` vertices and recursion bound `k`.
+  RlcIndex(VertexId num_vertices, uint32_t k)
+      : k_(k), out_(num_vertices), in_(num_vertices), aid_(num_vertices, 0) {
+    RLC_REQUIRE(k >= 1 && k <= kMaxK, "RlcIndex: k must be in [1," << kMaxK << "]");
+  }
+
+  uint32_t k() const { return k_; }
+  VertexId num_vertices() const { return static_cast<VertexId>(out_.size()); }
+
+  /// \name Query interface
+  ///@{
+
+  /// Answers the RLC query (s, t, L+), paper Algorithm 1.
+  ///
+  /// \throws std::invalid_argument when s/t are out of range, L is empty or
+  ///         not primitive (L != MR(L); such constraints add a path-length
+  ///         side condition the paper scopes out), or |L| > k.
+  bool Query(VertexId s, VertexId t, const LabelSeq& constraint) const;
+
+  /// Answers the Kleene-star variant (s, t, L*): true iff s == t or the
+  /// plus-query holds (paper §III-B).
+  bool QueryStar(VertexId s, VertexId t, const LabelSeq& constraint) const;
+
+  /// Hot-path query on a pre-interned MR id; no argument validation.
+  /// kInvalidMrId never matches (such an MR was recorded nowhere).
+  bool QueryInterned(VertexId s, VertexId t, MrId mr) const;
+
+  /// Interns-or-looks-up a query constraint. Returns kInvalidMrId when the
+  /// MR was never recorded (the query is then necessarily false).
+  MrId FindMr(const LabelSeq& seq) const { return mrs_.Find(seq); }
+  ///@}
+
+  /// \name Builder interface
+  ///@{
+  void SetAccessOrder(std::vector<VertexId> order_to_vertex);
+  void AddOut(VertexId v, uint32_t hub_aid, MrId mr);
+  void AddIn(VertexId v, uint32_t hub_aid, MrId mr);
+  MrTable& mr_table() { return mrs_; }
+  ///@}
+
+  /// \name Introspection
+  ///@{
+  const std::vector<IndexEntry>& Lout(VertexId v) const { return out_[v]; }
+  const std::vector<IndexEntry>& Lin(VertexId v) const { return in_[v]; }
+  const MrTable& mr_table() const { return mrs_; }
+
+  /// True when (hub, mr) ∈ Lout(v) / Lin(v). O(log |list|).
+  bool HasOutEntry(VertexId v, uint32_t hub_aid, MrId mr) const {
+    return ContainsEntry(out_[v], hub_aid, mr);
+  }
+  bool HasInEntry(VertexId v, uint32_t hub_aid, MrId mr) const {
+    return ContainsEntry(in_[v], hub_aid, mr);
+  }
+
+  /// Access id of vertex v (1-based, as in the paper).
+  uint32_t AccessId(VertexId v) const { return aid_[v]; }
+
+  /// Vertex with access id `aid`.
+  VertexId VertexOfAid(uint32_t aid) const { return order_[aid - 1]; }
+
+  /// Total number of index entries across all Lin/Lout lists.
+  uint64_t NumEntries() const;
+
+  /// Index size in bytes: entry lists + MR table + ordering arrays. This is
+  /// the "index size" metric of the paper's Table IV.
+  uint64_t MemoryBytes() const;
+  ///@}
+
+ private:
+  bool ContainsEntry(const std::vector<IndexEntry>& entries, uint32_t hub_aid,
+                     MrId mr) const;
+
+  uint32_t k_;
+  std::vector<std::vector<IndexEntry>> out_;
+  std::vector<std::vector<IndexEntry>> in_;
+  std::vector<uint32_t> aid_;       // vertex id -> access id (1-based)
+  std::vector<VertexId> order_;     // access id - 1 -> vertex id
+  MrTable mrs_;
+};
+
+}  // namespace rlc

@@ -1,0 +1,47 @@
+#include "rlc/engines/frontier_engine.h"
+
+#include "rlc/automaton/dense_nfa.h"
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+bool FrontierEngine::Evaluate(VertexId s, VertexId t,
+                              const PathConstraint& constraint) {
+  RLC_REQUIRE(s < g_.num_vertices() && t < g_.num_vertices(),
+              "FrontierEngine: vertex out of range");
+  const Nfa nfa = Nfa::FromConstraint(constraint);
+  RLC_CHECK_MSG(nfa.num_states() < 256,
+                "FrontierEngine: NFA too large for the packed visited key");
+  const DenseNfa dense(nfa, g_.num_labels());
+
+  auto key = [](VertexId v, uint32_t q) {
+    return (static_cast<uint64_t>(v) << 8) | q;
+  };
+
+  std::unordered_set<uint64_t> visited;
+  std::vector<std::pair<VertexId, uint32_t>> frontier;
+  for (uint32_t q : dense.starts()) {
+    if (visited.insert(key(s, q)).second) frontier.push_back({s, q});
+  }
+
+  while (!frontier.empty()) {
+    // Materialize the full next level before probing (set-at-a-time).
+    std::vector<std::pair<VertexId, uint32_t>> next_level;
+    for (const auto& [v, q] : frontier) {
+      for (const LabeledNeighbor& nb : g_.OutEdges(v)) {
+        for (uint32_t q2 : dense.Next(q, nb.label)) {
+          if (visited.insert(key(nb.v, q2)).second) {
+            next_level.push_back({nb.v, q2});
+          }
+        }
+      }
+    }
+    for (const auto& [v, q] : next_level) {
+      if (v == t && dense.IsAccept(q)) return true;
+    }
+    frontier = std::move(next_level);
+  }
+  return false;
+}
+
+}  // namespace rlc

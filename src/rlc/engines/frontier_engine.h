@@ -1,0 +1,30 @@
+// Set-at-a-time frontier engine (the "Virtuoso" archetype of Table V).
+//
+// Evaluates recursive property paths the way Virtuoso's SPARQL engine does:
+// breadth-first expansion where each step materializes the entire next
+// binding set into fresh vectors, deduplicated through a hash set that
+// persists for the query. The target probe runs once per completed level
+// (set-at-a-time semantics), not per tuple.
+
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "rlc/engines/engine.h"
+
+namespace rlc {
+
+class FrontierEngine : public Engine {
+ public:
+  explicit FrontierEngine(const DiGraph& g) : g_(g) {}
+
+  std::string name() const override { return "FrontierSPARQL(Virtuoso-like)"; }
+
+  bool Evaluate(VertexId s, VertexId t, const PathConstraint& constraint) override;
+
+ private:
+  const DiGraph& g_;
+};
+
+}  // namespace rlc

@@ -1,0 +1,69 @@
+#include "rlc/engines/recursive_join_engine.h"
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+std::unordered_set<VertexId> RecursiveJoinEngine::ComposeAtom(
+    const ConstraintAtom& atom, const std::unordered_set<VertexId>& sources) const {
+  if (atom.alternation) {
+    // One step over any label of the set: union of per-label scans.
+    std::unordered_set<VertexId> next;
+    next.reserve(sources.size());
+    for (VertexId u : sources) {
+      for (uint32_t i = 0; i < atom.seq.size(); ++i) {
+        for (const LabeledNeighbor& nb : g_.OutEdgesWithLabel(u, atom.seq[i])) {
+          next.insert(nb.v);
+        }
+      }
+    }
+    return next;
+  }
+
+  // Chain of hash joins: bindings_i = { v : u in bindings_{i-1},
+  // u -seq[i]-> v }. Each step fully materializes its bindings, as a
+  // relational plan would.
+  std::unordered_set<VertexId> bindings = sources;
+  for (uint32_t i = 0; i < atom.seq.size(); ++i) {
+    std::unordered_set<VertexId> next;
+    next.reserve(bindings.size());
+    for (VertexId u : bindings) {
+      for (const LabeledNeighbor& nb : g_.OutEdgesWithLabel(u, atom.seq[i])) {
+        next.insert(nb.v);
+      }
+    }
+    bindings = std::move(next);
+    if (bindings.empty()) break;
+  }
+  return bindings;
+}
+
+std::unordered_set<VertexId> RecursiveJoinEngine::AtomFixpoint(
+    const ConstraintAtom& atom, const std::unordered_set<VertexId>& sources) const {
+  std::unordered_set<VertexId> reached;   // >= 1 applications
+  std::unordered_set<VertexId> delta = ComposeAtom(atom, sources);
+  while (!delta.empty()) {
+    std::unordered_set<VertexId> fresh;
+    for (VertexId v : delta) {
+      if (reached.insert(v).second) fresh.insert(v);
+    }
+    if (fresh.empty()) break;
+    delta = ComposeAtom(atom, fresh);
+  }
+  return reached;
+}
+
+bool RecursiveJoinEngine::Evaluate(VertexId s, VertexId t,
+                                   const PathConstraint& constraint) {
+  RLC_REQUIRE(s < g_.num_vertices() && t < g_.num_vertices(),
+              "RecursiveJoinEngine: vertex out of range");
+  std::unordered_set<VertexId> bindings{s};
+  for (const ConstraintAtom& atom : constraint.atoms()) {
+    bindings = atom.plus ? AtomFixpoint(atom, bindings)
+                         : ComposeAtom(atom, bindings);
+    if (bindings.empty()) return false;
+  }
+  return bindings.contains(t);
+}
+
+}  // namespace rlc

@@ -1,0 +1,70 @@
+#include "rlc/engines/rlc_hybrid_engine.h"
+
+#include <vector>
+
+#include "rlc/automaton/dense_nfa.h"
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+bool RlcHybridEngine::Evaluate(VertexId s, VertexId t,
+                               const PathConstraint& constraint) {
+  RLC_REQUIRE(s < g_.num_vertices() && t < g_.num_vertices(),
+              "RlcHybridEngine: vertex out of range");
+  const auto& atoms = constraint.atoms();
+  RLC_REQUIRE(!atoms.empty(), "RlcHybridEngine: empty constraint");
+
+  const ConstraintAtom& last = atoms.back();
+  RLC_REQUIRE(last.plus, "RlcHybridEngine: final atom must be recursive (L+)");
+  RLC_REQUIRE(!last.alternation,
+              "RlcHybridEngine: the final atom must be a concatenation (RLC);"
+              " alternation atoms are only supported in the prefix");
+  RLC_REQUIRE(last.seq.size() <= index_.k(),
+              "RlcHybridEngine: final atom longer than the index's k");
+
+  // Unreachability prefilter: no plain path means no constrained path.
+  if (prefilter_ != nullptr && !prefilter_->Reachable(s, t)) return false;
+
+  // Fast path: a pure RLC constraint is one index lookup.
+  if (atoms.size() == 1) {
+    return index_.Query(s, t, last.seq);
+  }
+
+  // Hybrid path: traverse the prefix online, probe the index at every
+  // prefix-accepting vertex.
+  PathConstraint prefix(
+      std::vector<ConstraintAtom>(atoms.begin(), atoms.end() - 1));
+  const Nfa nfa = Nfa::FromConstraint(prefix);
+  const DenseNfa dense(nfa, g_.num_labels());
+  const MrId last_mr = index_.FindMr(last.seq);
+
+  const uint32_t nq = dense.num_states();
+  std::vector<bool> visited(static_cast<uint64_t>(g_.num_vertices()) * nq, false);
+  std::vector<std::pair<VertexId, uint32_t>> queue;
+  auto visit = [&](VertexId v, uint32_t q) -> bool {
+    const uint64_t slot = static_cast<uint64_t>(v) * nq + q;
+    if (visited[slot]) return false;
+    visited[slot] = true;
+    return true;
+  };
+
+  for (uint32_t q : dense.starts()) {
+    if (visit(s, q)) queue.push_back({s, q});
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const auto [v, q] = queue[head];
+    for (const LabeledNeighbor& nb : g_.OutEdges(v)) {
+      for (uint32_t q2 : dense.Next(q, nb.label)) {
+        if (!visit(nb.v, q2)) continue;
+        if (dense.IsAccept(q2) &&
+            index_.QueryInterned(nb.v, t, last_mr)) {
+          return true;
+        }
+        queue.push_back({nb.v, q2});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace rlc

@@ -1,0 +1,45 @@
+// The paper's approach wrapped in the Engine interface.
+//
+// Pure RLC constraints (one L+ atom with |L| <= k) are answered by a single
+// index lookup. Extended constraints such as Q4 = a+ ∘ b+ combine the index
+// with an online traversal (paper §VI-C: "we use the RLC index in
+// combination with an online traversal to continuously check whether
+// intermediately visited vertices can satisfy the path constraint"): the
+// prefix atoms (all but the last) are evaluated by an NFA-guided BFS, and
+// every vertex reached at a prefix-accepting state issues an index lookup
+// for the final atom.
+
+#pragma once
+
+#include <memory>
+
+#include "rlc/core/rlc_index.h"
+#include "rlc/engines/engine.h"
+#include "rlc/plain/plain_reach_index.h"
+
+namespace rlc {
+
+class RlcHybridEngine : public Engine {
+ public:
+  /// `index` must be built on `g` (same vertex space); its recursive k must
+  /// cover the atoms of every constraint passed to Evaluate.
+  ///
+  /// `prefilter` (optional, may be nullptr, not owned) is a plain
+  /// 2-hop reachability index on the same graph: when s cannot reach t at
+  /// all, no label constraint can hold and the query short-circuits to
+  /// false before touching the (larger) RLC entry lists.
+  RlcHybridEngine(const DiGraph& g, const RlcIndex& index,
+                  const PlainReachIndex* prefilter = nullptr)
+      : g_(g), index_(index), prefilter_(prefilter) {}
+
+  std::string name() const override { return "RlcIndex(paper)"; }
+
+  bool Evaluate(VertexId s, VertexId t, const PathConstraint& constraint) override;
+
+ private:
+  const DiGraph& g_;
+  const RlcIndex& index_;
+  const PlainReachIndex* prefilter_;
+};
+
+}  // namespace rlc

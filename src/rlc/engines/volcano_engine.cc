@@ -1,0 +1,136 @@
+#include "rlc/engines/volcano_engine.h"
+
+#include "rlc/automaton/dense_nfa.h"
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+namespace {
+
+/// One binding flowing through the pipeline.
+struct Binding {
+  VertexId v;
+  uint32_t q;
+};
+
+/// Volcano operator interface: pull-based, one tuple per Next() call.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  /// Produces the next binding; returns false at end of stream.
+  virtual bool Next(Binding* out) = 0;
+};
+
+/// Leaf: emits the start bindings (s, q0) for every NFA start state.
+class StartScan : public Operator {
+ public:
+  StartScan(VertexId s, const DenseNfa& nfa) : s_(s), nfa_(nfa) {}
+
+  bool Next(Binding* out) override {
+    if (pos_ >= nfa_.starts().size()) return false;
+    *out = {s_, nfa_.starts()[pos_++]};
+    return true;
+  }
+
+ private:
+  VertexId s_;
+  const DenseNfa& nfa_;
+  size_t pos_ = 0;
+};
+
+/// Recursive expand-distinct: the work queue IS the operator state; each
+/// Next() pulls one deduplicated product binding, expanding lazily, exactly
+/// like an interpreted transitive-closure operator with a spool.
+class ExpandDistinct : public Operator {
+ public:
+  ExpandDistinct(const DiGraph& g, const DenseNfa& nfa,
+                 std::unique_ptr<Operator> child)
+      : g_(g), nfa_(nfa), child_(std::move(child)) {}
+
+  bool Next(Binding* out) override {
+    while (true) {
+      // Prefer pending expansions (depth-first spool).
+      if (!pending_.empty()) {
+        const Binding b = pending_.back();
+        pending_.pop_back();
+        if (!MarkVisited(b)) continue;
+        Expand(b);
+        *out = b;
+        return true;
+      }
+      // Pull the next seed from the child.
+      Binding seed;
+      if (!child_->Next(&seed)) return false;
+      if (!MarkVisited(seed)) continue;
+      Expand(seed);
+      *out = seed;
+      return true;
+    }
+  }
+
+ private:
+  bool MarkVisited(const Binding& b) {
+    return visited_.insert((static_cast<uint64_t>(b.v) << 8) | b.q).second;
+  }
+
+  void Expand(const Binding& b) {
+    for (const LabeledNeighbor& nb : g_.OutEdges(b.v)) {
+      for (uint32_t q2 : nfa_.Next(b.q, nb.label)) {
+        pending_.push_back({nb.v, q2});
+      }
+    }
+  }
+
+  const DiGraph& g_;
+  const DenseNfa& nfa_;
+  std::unique_ptr<Operator> child_;
+  std::vector<Binding> pending_;
+  std::unordered_set<uint64_t> visited_;
+};
+
+/// Filter on (v == t && accept); the root of the plan.
+class TargetFilter : public Operator {
+ public:
+  TargetFilter(VertexId t, const DenseNfa& nfa, std::unique_ptr<Operator> child)
+      : t_(t), nfa_(nfa), child_(std::move(child)) {}
+
+  bool Next(Binding* out) override {
+    Binding b;
+    while (child_->Next(&b)) {
+      if (b.v == t_ && nfa_.IsAccept(b.q)) {
+        *out = b;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  VertexId t_;
+  const DenseNfa& nfa_;
+  std::unique_ptr<Operator> child_;
+};
+
+}  // namespace
+
+bool VolcanoEngine::Evaluate(VertexId s, VertexId t,
+                             const PathConstraint& constraint) {
+  RLC_REQUIRE(s < g_.num_vertices() && t < g_.num_vertices(),
+              "VolcanoEngine: vertex out of range");
+  const Nfa nfa = Nfa::FromConstraint(constraint);
+  RLC_CHECK_MSG(nfa.num_states() < 256,
+                "VolcanoEngine: NFA too large for the packed visited key");
+  const DenseNfa dense(nfa, g_.num_labels());
+
+  // Plan: TargetFilter <- ExpandDistinct <- StartScan.   The seed binding
+  // (s, start) itself is never accepting (start states accept nothing in
+  // RLC-class constraints), but it flows through the filter uniformly.
+  auto plan = std::make_unique<TargetFilter>(
+      t, dense,
+      std::make_unique<ExpandDistinct>(g_, dense,
+                                       std::make_unique<StartScan>(s, dense)));
+  Binding result;
+  return plan->Next(&result);
+}
+
+}  // namespace rlc

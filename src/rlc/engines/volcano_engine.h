@@ -1,0 +1,32 @@
+// Tuple-at-a-time iterator engine (the "Sys2" archetype of Table V).
+//
+// Evaluates the product of the graph and the constraint NFA through a
+// Volcano-style operator pipeline: every binding (vertex, nfa state) flows
+// through virtual Next() calls one tuple at a time, with hash-table visited
+// deduplication — the classic interpreted-engine overheads (virtual
+// dispatch, per-tuple hashing, no batching) that make commercial engines
+// orders of magnitude slower than a dedicated index on recursive paths.
+
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "rlc/engines/engine.h"
+
+namespace rlc {
+
+class VolcanoEngine : public Engine {
+ public:
+  explicit VolcanoEngine(const DiGraph& g) : g_(g) {}
+
+  std::string name() const override { return "VolcanoIterator(Sys2-like)"; }
+
+  bool Evaluate(VertexId s, VertexId t, const PathConstraint& constraint) override;
+
+ private:
+  const DiGraph& g_;
+};
+
+}  // namespace rlc

@@ -1,0 +1,62 @@
+// Surrogate registry for the 13 real-world datasets of the paper's
+// Table III.
+//
+// The paper evaluates on SNAP/KONECT graphs downloaded from the internet;
+// this repository must build and run offline, so for each dataset we record
+// its published characteristics (|V|, |E|, |L|, loop count, degree skew) and
+// generate a synthetic surrogate that matches them: BA topology for the
+// skewed social/web graphs, ER for near-uniform ones, Zipfian(2) labels —
+// the same label generator the paper itself applies to 11 of the 13 graphs —
+// and injected self-loops for datasets whose Table III loop count is
+// nonzero. A global scale factor (env RLC_SCALE, default bench-specific)
+// shrinks |V| and |E| proportionally so every benchmark binary completes in
+// seconds on a laptop; pass scale=1.0 to reproduce at full published size.
+//
+// If you have the real SNAP files, LoadEdgeListText() accepts them directly
+// and every bench accepts a directory of real datasets via RLC_DATA_DIR.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rlc/graph/digraph.h"
+
+namespace rlc {
+
+/// Topology family of a surrogate.
+enum class TopologyModel {
+  kErdosRenyi,       ///< near-uniform degree distribution
+  kBarabasiAlbert,   ///< skewed degrees, complete seed sub-graph
+};
+
+/// Published characteristics of one Table III dataset.
+struct DatasetSpec {
+  std::string name;        ///< paper's abbreviation, e.g. "AD"
+  std::string full_name;   ///< e.g. "Advogato"
+  uint64_t num_vertices;   ///< published |V|
+  uint64_t num_edges;      ///< published |E|
+  uint32_t num_labels;     ///< published |L|
+  uint64_t loop_count;     ///< published self-loop count
+  bool synthetic_labels;   ///< paper assigned Zipf(2) labels itself
+  TopologyModel model;     ///< surrogate topology family
+};
+
+/// All 13 Table III datasets, in the paper's order (sorted by |E|).
+const std::vector<DatasetSpec>& TableIIIDatasets();
+
+/// Looks up a dataset spec by its abbreviation (e.g. "WN").
+/// \returns std::nullopt when the name is unknown.
+std::optional<DatasetSpec> FindDataset(const std::string& name);
+
+/// Generates the surrogate graph for `spec`, scaled by `scale` in (0, 1]:
+/// |V| and |E| (and the injected loop count) are multiplied by `scale`.
+/// Deterministic in `seed`.
+DiGraph MakeSurrogate(const DatasetSpec& spec, double scale, uint64_t seed);
+
+/// Reads the scale factor from env var RLC_SCALE, falling back to
+/// `default_scale`. Values are clamped to (0, 1].
+double ScaleFromEnv(double default_scale);
+
+}  // namespace rlc

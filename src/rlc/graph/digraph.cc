@@ -1,0 +1,138 @@
+#include "rlc/graph/digraph.h"
+
+#include <algorithm>
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+DiGraph::DiGraph(VertexId num_vertices, std::vector<Edge> edges, Label num_labels,
+                 bool dedup_parallel)
+    : num_vertices_(num_vertices) {
+  Label max_label = 0;
+  for (const Edge& e : edges) {
+    RLC_REQUIRE(e.src < num_vertices && e.dst < num_vertices,
+                "DiGraph: edge (" << e.src << "," << e.dst
+                                  << ") out of range for num_vertices="
+                                  << num_vertices);
+    max_label = std::max(max_label, e.label);
+  }
+  num_labels_ = edges.empty() ? num_labels : std::max(num_labels, max_label + 1);
+
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.label, a.dst) < std::tie(b.src, b.label, b.dst);
+  });
+  if (dedup_parallel) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  // Out CSR. Edges are already sorted by (src, label, dst).
+  out_off_.assign(num_vertices_ + 1, 0);
+  for (const Edge& e : edges) ++out_off_[e.src + 1];
+  for (VertexId v = 0; v < num_vertices_; ++v) out_off_[v + 1] += out_off_[v];
+  out_adj_.reserve(edges.size());
+  for (const Edge& e : edges) out_adj_.push_back({e.dst, e.label});
+
+  // In CSR: counting sort by dst, then per-vertex sort by (label, src).
+  in_off_.assign(num_vertices_ + 1, 0);
+  for (const Edge& e : edges) ++in_off_[e.dst + 1];
+  for (VertexId v = 0; v < num_vertices_; ++v) in_off_[v + 1] += in_off_[v];
+  in_adj_.resize(edges.size());
+  std::vector<uint64_t> cursor(in_off_.begin(), in_off_.end() - 1);
+  for (const Edge& e : edges) in_adj_[cursor[e.dst]++] = {e.src, e.label};
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    std::sort(in_adj_.begin() + static_cast<int64_t>(in_off_[v]),
+              in_adj_.begin() + static_cast<int64_t>(in_off_[v + 1]),
+              [](const LabeledNeighbor& a, const LabeledNeighbor& b) {
+                return std::tie(a.label, a.v) < std::tie(b.label, b.v);
+              });
+  }
+}
+
+std::span<const LabeledNeighbor> DiGraph::LabelRange(
+    std::span<const LabeledNeighbor> adj, Label l) {
+  auto lo = std::lower_bound(adj.begin(), adj.end(), l,
+                             [](const LabeledNeighbor& nb, Label lbl) {
+                               return nb.label < lbl;
+                             });
+  auto hi = std::upper_bound(lo, adj.end(), l,
+                             [](Label lbl, const LabeledNeighbor& nb) {
+                               return lbl < nb.label;
+                             });
+  return {lo, hi};
+}
+
+bool DiGraph::HasEdge(VertexId src, VertexId dst, Label label) const {
+  RLC_REQUIRE(src < num_vertices_ && dst < num_vertices_,
+              "HasEdge: vertex out of range");
+  const auto out = OutEdges(src);
+  const LabeledNeighbor key{dst, label};
+  return std::binary_search(out.begin(), out.end(), key,
+                            [](const LabeledNeighbor& a, const LabeledNeighbor& b) {
+                              return std::tie(a.label, a.v) < std::tie(b.label, b.v);
+                            });
+}
+
+std::vector<Edge> DiGraph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (const LabeledNeighbor& nb : OutEdges(v)) {
+      edges.push_back({v, nb.v, nb.label});
+    }
+  }
+  return edges;
+}
+
+void DiGraph::SetVertexNames(std::vector<std::string> names) {
+  RLC_REQUIRE(names.size() == num_vertices_,
+              "SetVertexNames: expected " << num_vertices_ << " names, got "
+                                          << names.size());
+  vertex_names_ = std::move(names);
+  vertex_by_name_.clear();
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    vertex_by_name_.emplace(vertex_names_[v], v);
+  }
+}
+
+void DiGraph::SetLabelNames(std::vector<std::string> names) {
+  RLC_REQUIRE(names.size() == num_labels_,
+              "SetLabelNames: expected " << num_labels_ << " names, got "
+                                         << names.size());
+  label_names_ = std::move(names);
+  label_by_name_.clear();
+  for (Label l = 0; l < num_labels_; ++l) {
+    label_by_name_.emplace(label_names_[l], l);
+  }
+}
+
+const std::string& DiGraph::VertexName(VertexId v) const {
+  RLC_REQUIRE(has_vertex_names() && v < num_vertices_,
+              "VertexName: no names or vertex out of range");
+  return vertex_names_[v];
+}
+
+const std::string& DiGraph::LabelName(Label l) const {
+  RLC_REQUIRE(has_label_names() && l < num_labels_,
+              "LabelName: no names or label out of range");
+  return label_names_[l];
+}
+
+std::optional<VertexId> DiGraph::FindVertex(const std::string& name) const {
+  auto it = vertex_by_name_.find(name);
+  if (it == vertex_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Label> DiGraph::FindLabel(const std::string& name) const {
+  auto it = label_by_name_.find(name);
+  if (it == label_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint64_t DiGraph::MemoryBytes() const {
+  return (out_off_.capacity() + in_off_.capacity()) * sizeof(uint64_t) +
+         (out_adj_.capacity() + in_adj_.capacity()) * sizeof(LabeledNeighbor);
+}
+
+}  // namespace rlc

@@ -1,0 +1,163 @@
+#include "rlc/graph/edge_list_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "rlc/graph/graph_builder.h"
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+namespace {
+
+// Attempts to parse `tok` as an unsigned integer; returns false when the
+// token is not fully numeric (then it is treated as a name).
+bool ParseUint(const std::string& tok, uint64_t* out) {
+  if (tok.empty()) return false;
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+constexpr uint64_t kBinaryMagic = 0x524C43475250'01ULL;  // "RLCGRP" v1
+
+template <typename T>
+void PutRaw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T GetRaw(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("ReadGraphBinary: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+DiGraph ReadEdgeListText(std::istream& in) {
+  GraphBuilder named;
+  std::vector<Edge> numeric_edges;
+  uint64_t max_vertex = 0;
+  bool any_named = false;
+  bool any_numeric = false;
+
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::string a, b, c;
+    if (!(ls >> a >> b)) {
+      throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                               ": expected at least two columns");
+    }
+    const bool has_label = static_cast<bool>(ls >> c);
+
+    uint64_t ua = 0, ub = 0, uc = 0;
+    const bool numeric = ParseUint(a, &ua) && ParseUint(b, &ub) &&
+                         (!has_label || ParseUint(c, &uc));
+    if (numeric && !any_named) {
+      any_numeric = true;
+      RLC_REQUIRE(ua <= kInvalidVertex - 1 && ub <= kInvalidVertex - 1,
+                  "edge list line " << line_no << ": vertex id too large");
+      numeric_edges.push_back({static_cast<VertexId>(ua),
+                               static_cast<VertexId>(ub),
+                               static_cast<Label>(uc)});
+      max_vertex = std::max({max_vertex, ua, ub});
+    } else {
+      if (any_numeric) {
+        throw std::runtime_error(
+            "edge list line " + std::to_string(line_no) +
+            ": cannot mix numeric-id and named edges in one file");
+      }
+      any_named = true;
+      named.AddEdge(a, b, has_label ? c : std::string("label_0"));
+    }
+  }
+
+  if (any_named) return named.Build();
+  const VertexId n = numeric_edges.empty() ? 0 : static_cast<VertexId>(max_vertex + 1);
+  return DiGraph(n, std::move(numeric_edges));
+}
+
+DiGraph LoadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list file: " + path);
+  return ReadEdgeListText(in);
+}
+
+void WriteEdgeListText(const DiGraph& g, std::ostream& out) {
+  out << "# rlc-index edge list |V|=" << g.num_vertices()
+      << " |E|=" << g.num_edges() << " |L|=" << g.num_labels() << "\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const LabeledNeighbor& nb : g.OutEdges(v)) {
+      if (g.has_vertex_names() && g.has_label_names()) {
+        out << g.VertexName(v) << ' ' << g.VertexName(nb.v) << ' '
+            << g.LabelName(nb.label) << "\n";
+      } else {
+        out << v << ' ' << nb.v << ' ' << nb.label << "\n";
+      }
+    }
+  }
+}
+
+void SaveEdgeListText(const DiGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  WriteEdgeListText(g, out);
+}
+
+void WriteGraphBinary(const DiGraph& g, std::ostream& out) {
+  PutRaw(out, kBinaryMagic);
+  PutRaw<uint64_t>(out, g.num_vertices());
+  PutRaw<uint64_t>(out, g.num_edges());
+  PutRaw<uint64_t>(out, g.num_labels());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const LabeledNeighbor& nb : g.OutEdges(v)) {
+      PutRaw<uint32_t>(out, v);
+      PutRaw<uint32_t>(out, nb.v);
+      PutRaw<uint32_t>(out, nb.label);
+    }
+  }
+}
+
+DiGraph ReadGraphBinary(std::istream& in) {
+  const auto magic = GetRaw<uint64_t>(in);
+  if (magic != kBinaryMagic) {
+    throw std::runtime_error("ReadGraphBinary: bad magic (not an rlc graph file)");
+  }
+  const auto nv = GetRaw<uint64_t>(in);
+  const auto ne = GetRaw<uint64_t>(in);
+  const auto nl = GetRaw<uint64_t>(in);
+  std::vector<Edge> edges;
+  edges.reserve(ne);
+  for (uint64_t i = 0; i < ne; ++i) {
+    const auto s = GetRaw<uint32_t>(in);
+    const auto d = GetRaw<uint32_t>(in);
+    const auto l = GetRaw<uint32_t>(in);
+    edges.push_back({s, d, l});
+  }
+  return DiGraph(static_cast<VertexId>(nv), std::move(edges),
+                 static_cast<Label>(nl), /*dedup_parallel=*/false);
+}
+
+void SaveGraphBinary(const DiGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  WriteGraphBinary(g, out);
+}
+
+DiGraph LoadGraphBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return ReadGraphBinary(in);
+}
+
+}  // namespace rlc

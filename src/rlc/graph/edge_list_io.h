@@ -1,0 +1,52 @@
+// Text and binary graph I/O.
+//
+// The text format is SNAP-compatible: one edge per line, whitespace
+// separated, `#`-prefixed comment lines ignored. Two- and three-column
+// variants are accepted:
+//
+//   src dst          (label 0 assigned to every edge)
+//   src dst label
+//
+// Tokens may be integers (dense ids) or arbitrary strings (interned in
+// order of first appearance), so the real SNAP/KONECT datasets used in the
+// paper's Table III can be dropped in unchanged.
+//
+// The binary format is a little-endian dump of the edge list with a magic
+// header, used to cache generated graphs between benchmark runs.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rlc/graph/digraph.h"
+
+namespace rlc {
+
+/// Parses a text edge list from `in`.
+/// \throws std::runtime_error on malformed lines.
+DiGraph ReadEdgeListText(std::istream& in);
+
+/// Loads a text edge list from `path`.
+/// \throws std::runtime_error when the file cannot be opened or parsed.
+DiGraph LoadEdgeListText(const std::string& path);
+
+/// Writes the graph as a three-column text edge list (names used when
+/// available, dense ids otherwise).
+void WriteEdgeListText(const DiGraph& g, std::ostream& out);
+
+/// Saves the graph to `path` in text form.
+void SaveEdgeListText(const DiGraph& g, const std::string& path);
+
+/// Writes the graph in the binary cache format.
+void WriteGraphBinary(const DiGraph& g, std::ostream& out);
+
+/// Reads a graph from the binary cache format.
+/// \throws std::runtime_error on magic/size mismatch or truncation.
+DiGraph ReadGraphBinary(std::istream& in);
+
+/// Saves/loads the binary format to/from a file path.
+void SaveGraphBinary(const DiGraph& g, const std::string& path);
+DiGraph LoadGraphBinary(const std::string& path);
+
+}  // namespace rlc

@@ -1,0 +1,99 @@
+#include "rlc/graph/generators.h"
+
+#include <unordered_set>
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+namespace {
+
+// Packs an ordered pair into one 64-bit key for dedup.
+uint64_t PairKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+std::vector<Edge> ErdosRenyiEdges(VertexId num_vertices, uint64_t num_edges,
+                                  Rng& rng) {
+  const uint64_t n = num_vertices;
+  RLC_REQUIRE(num_edges <= n * (n - 1),
+              "ErdosRenyiEdges: too many edges requested (" << num_edges
+                  << " > " << n * (n - 1) << ")");
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (edges.size() < num_edges) {
+    const auto u = static_cast<VertexId>(rng.Below(n));
+    const auto v = static_cast<VertexId>(rng.Below(n));
+    if (u == v) continue;
+    if (!seen.insert(PairKey(u, v)).second) continue;
+    edges.push_back({u, v, 0});
+  }
+  return edges;
+}
+
+std::vector<Edge> BarabasiAlbertEdges(VertexId num_vertices,
+                                      uint32_t edges_per_vertex, Rng& rng) {
+  const uint32_t m = edges_per_vertex;
+  const VertexId m0 = m + 1;  // complete seed graph size
+  RLC_REQUIRE(m >= 1, "BarabasiAlbertEdges: edges_per_vertex must be >= 1");
+  RLC_REQUIRE(num_vertices > m0, "BarabasiAlbertEdges: num_vertices must exceed "
+                                     << m0 << " (seed size)");
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<uint64_t>(m0) * (m0 - 1) +
+                static_cast<uint64_t>(num_vertices - m0) * m);
+
+  // `targets` holds one entry per edge endpoint, so sampling a uniform
+  // element of it realizes preferential attachment by (total) degree.
+  std::vector<VertexId> targets;
+  targets.reserve(edges.capacity() * 2);
+
+  // Complete directed seed: all ordered pairs among {0..m0-1}.
+  for (VertexId u = 0; u < m0; ++u) {
+    for (VertexId v = 0; v < m0; ++v) {
+      if (u == v) continue;
+      edges.push_back({u, v, 0});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> picked;
+  picked.reserve(m);
+  for (VertexId v = m0; v < num_vertices; ++v) {
+    picked.clear();
+    // Choose m distinct existing endpoints preferentially by degree.
+    while (picked.size() < m) {
+      const VertexId t = targets[rng.Below(targets.size())];
+      bool duplicate = false;
+      for (VertexId p : picked) duplicate |= (p == t);
+      if (!duplicate) picked.push_back(t);
+    }
+    for (VertexId t : picked) {
+      edges.push_back({v, t, 0});
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return edges;
+}
+
+void AddRandomSelfLoops(std::vector<Edge>* edges, VertexId num_vertices,
+                        uint64_t count, Rng& rng) {
+  RLC_REQUIRE(count <= num_vertices,
+              "AddRandomSelfLoops: more loops than vertices");
+  std::unordered_set<VertexId> chosen;
+  chosen.reserve(count * 2);
+  while (chosen.size() < count) {
+    const auto v = static_cast<VertexId>(rng.Below(num_vertices));
+    if (chosen.insert(v).second) {
+      edges->push_back({v, v, 0});
+    }
+  }
+}
+
+}  // namespace rlc

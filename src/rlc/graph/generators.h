@@ -1,0 +1,48 @@
+// Synthetic graph generators (Erdős–Rényi and Barabási–Albert).
+//
+// The paper generates its synthetic graphs with JGraphT (Section VI-b):
+// ER graphs with an (almost) uniform degree distribution and BA graphs with
+// a degree skew and a complete seed sub-graph. These generators reproduce
+// those topologies natively:
+//
+//  * ErdosRenyi produces the G(n, m) variant: m distinct directed edges
+//    sampled uniformly (no self-loops), matching JGraphT's
+//    GnmRandomGraphGenerator used with directed graphs.
+//  * BarabasiAlbert starts from a complete directed seed graph on m0
+//    vertices and attaches every new vertex with `m` edges whose endpoints
+//    are chosen preferentially by current degree, matching JGraphT's
+//    BarabasiAlbertGraphGenerator (each attachment edge is oriented from
+//    the new vertex, as JGraphT does for directed targets).
+//
+// Labels are assigned separately (see label_assign.h) so topology and label
+// distribution can be controlled independently, exactly as in the paper.
+
+#pragma once
+
+#include <vector>
+
+#include "rlc/graph/types.h"
+#include "rlc/util/rng.h"
+
+namespace rlc {
+
+/// Generates the edge set of a directed G(n, m) Erdős–Rényi graph:
+/// `num_edges` distinct ordered pairs without self-loops. All labels are 0.
+/// \throws std::invalid_argument when num_edges exceeds n*(n-1).
+std::vector<Edge> ErdosRenyiEdges(VertexId num_vertices, uint64_t num_edges,
+                                  Rng& rng);
+
+/// Generates the edge set of a directed Barabási–Albert graph: complete
+/// directed seed on `edges_per_vertex + 1` vertices, then preferential
+/// attachment with `edges_per_vertex` out-edges per new vertex. All labels 0.
+/// \throws std::invalid_argument when num_vertices <= edges_per_vertex.
+std::vector<Edge> BarabasiAlbertEdges(VertexId num_vertices,
+                                      uint32_t edges_per_vertex, Rng& rng);
+
+/// Adds `count` self-loop edges on distinct uniformly chosen vertices
+/// (labels 0). Used by the dataset surrogates to match the paper's Table III
+/// loop counts.
+void AddRandomSelfLoops(std::vector<Edge>* edges, VertexId num_vertices,
+                        uint64_t count, Rng& rng);
+
+}  // namespace rlc

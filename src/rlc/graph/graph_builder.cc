@@ -1,0 +1,70 @@
+#include "rlc/graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+VertexId GraphBuilder::Vertex(const std::string& name) {
+  auto [it, inserted] = vertex_by_name_.emplace(name, num_vertices_);
+  if (inserted) {
+    RLC_CHECK_MSG(vertex_names_.size() == num_vertices_,
+                  "named and anonymous vertices cannot be mixed");
+    vertex_names_.push_back(name);
+    ++num_vertices_;
+  }
+  return it->second;
+}
+
+Label GraphBuilder::LabelId(const std::string& name) {
+  auto [it, inserted] = label_by_name_.emplace(name, num_labels_);
+  if (inserted) {
+    label_names_.push_back(name);
+    ++num_labels_;
+  }
+  return it->second;
+}
+
+GraphBuilder& GraphBuilder::AddEdge(VertexId src, VertexId dst, Label label) {
+  num_vertices_ = std::max(num_vertices_, std::max(src, dst) + 1);
+  num_labels_ = std::max(num_labels_, label + 1);
+  edges_.push_back({src, dst, label});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddEdge(const std::string& src, const std::string& dst,
+                                    const std::string& label) {
+  const VertexId s = Vertex(src);
+  const VertexId d = Vertex(dst);
+  return AddEdge(s, d, LabelId(label));
+}
+
+DiGraph GraphBuilder::Build(bool dedup_parallel) {
+  DiGraph g(num_vertices_, edges_, num_labels_, dedup_parallel);
+  if (!vertex_names_.empty()) {
+    g.SetVertexNames(vertex_names_);
+  }
+  if (!label_names_.empty()) {
+    std::vector<std::string> names = label_names_;
+    names.resize(g.num_labels());  // pad unnamed labels, if ids were mixed in
+    for (Label l = static_cast<Label>(label_names_.size()); l < g.num_labels();
+         ++l) {
+      names[l] = "label_" + std::to_string(l);
+    }
+    g.SetLabelNames(names);
+  }
+  return g;
+}
+
+void GraphBuilder::Clear() {
+  num_vertices_ = 0;
+  num_labels_ = 0;
+  edges_.clear();
+  vertex_names_.clear();
+  label_names_.clear();
+  vertex_by_name_.clear();
+  label_by_name_.clear();
+}
+
+}  // namespace rlc

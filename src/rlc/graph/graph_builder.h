@@ -1,0 +1,61 @@
+// Incremental construction of DiGraph instances with optional name
+// dictionaries, used by loaders, generators and the example programs.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rlc/graph/digraph.h"
+#include "rlc/graph/types.h"
+
+namespace rlc {
+
+/// Accumulates vertices and labeled edges, then produces an immutable
+/// DiGraph. Vertices and labels can be addressed by dense id or by name
+/// (names are interned on first use).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares `n` anonymous vertices (ids 0..n-1). Only valid before any
+  /// named vertex was added.
+  explicit GraphBuilder(VertexId n) : num_vertices_(n) {}
+
+  /// Interns `name` and returns its vertex id (stable across calls).
+  VertexId Vertex(const std::string& name);
+
+  /// Interns `name` and returns its label id (stable across calls).
+  Label LabelId(const std::string& name);
+
+  /// Adds the edge src --label--> dst by ids, growing the vertex count as
+  /// needed.
+  GraphBuilder& AddEdge(VertexId src, VertexId dst, Label label);
+
+  /// Adds the edge src --label--> dst by names.
+  GraphBuilder& AddEdge(const std::string& src, const std::string& dst,
+                        const std::string& label);
+
+  /// Number of vertices added so far.
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Builds the graph. The builder can be reused afterwards only after
+  /// Clear(). Name dictionaries are attached when any name was used.
+  /// \param dedup_parallel  collapse exact duplicate edges (default true).
+  DiGraph Build(bool dedup_parallel = true);
+
+  /// Resets the builder to the empty state.
+  void Clear();
+
+ private:
+  VertexId num_vertices_ = 0;
+  Label num_labels_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::string> vertex_names_;
+  std::vector<std::string> label_names_;
+  std::unordered_map<std::string, VertexId> vertex_by_name_;
+  std::unordered_map<std::string, Label> label_by_name_;
+};
+
+}  // namespace rlc

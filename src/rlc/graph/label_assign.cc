@@ -1,0 +1,24 @@
+#include "rlc/graph/label_assign.h"
+
+#include "rlc/util/common.h"
+#include "rlc/util/zipf.h"
+
+namespace rlc {
+
+void AssignZipfLabels(std::vector<Edge>* edges, Label num_labels, double exponent,
+                      Rng& rng) {
+  RLC_REQUIRE(num_labels > 0, "AssignZipfLabels: num_labels must be positive");
+  ZipfSampler zipf(num_labels, exponent);
+  for (Edge& e : *edges) {
+    e.label = static_cast<Label>(zipf.Sample(rng));
+  }
+}
+
+void AssignUniformLabels(std::vector<Edge>* edges, Label num_labels, Rng& rng) {
+  RLC_REQUIRE(num_labels > 0, "AssignUniformLabels: num_labels must be positive");
+  for (Edge& e : *edges) {
+    e.label = static_cast<Label>(rng.Below(num_labels));
+  }
+}
+
+}  // namespace rlc

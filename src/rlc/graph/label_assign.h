@@ -1,0 +1,21 @@
+// Zipfian edge-label assignment (paper Section VI-b: "The edge labels have
+// been generated according to the Zipfian distribution with exponent 2").
+
+#pragma once
+
+#include <vector>
+
+#include "rlc/graph/types.h"
+#include "rlc/util/rng.h"
+
+namespace rlc {
+
+/// Overwrites every edge's label with a draw from Zipf(exponent) over
+/// {0..num_labels-1}. Label 0 is the most frequent, matching gMark's setup.
+void AssignZipfLabels(std::vector<Edge>* edges, Label num_labels, double exponent,
+                      Rng& rng);
+
+/// Overwrites every edge's label with a uniform draw over {0..num_labels-1}.
+void AssignUniformLabels(std::vector<Edge>* edges, Label num_labels, Rng& rng);
+
+}  // namespace rlc

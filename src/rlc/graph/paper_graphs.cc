@@ -1,0 +1,61 @@
+#include "rlc/graph/paper_graphs.h"
+
+#include "rlc/graph/graph_builder.h"
+
+namespace rlc {
+
+DiGraph BuildFig1Graph() {
+  GraphBuilder b;
+  // Fix the id order of vertices and labels for readable test output.
+  for (const char* v :
+       {"P10", "P11", "P12", "P13", "A14", "E15", "P16", "A17", "E18", "A19"}) {
+    b.Vertex(v);
+  }
+  for (const char* l : {"knows", "worksFor", "holds", "debits", "credits"}) {
+    b.LabelId(l);
+  }
+
+  // Social / professional layer.
+  b.AddEdge("P10", "P11", "knows");
+  b.AddEdge("P11", "P12", "knows");
+  b.AddEdge("P11", "P12", "worksFor");
+  b.AddEdge("P12", "P13", "knows");
+  b.AddEdge("P13", "P11", "knows");   // closes the P11-P12-P13 cycle
+  b.AddEdge("P12", "P16", "knows");
+  b.AddEdge("P13", "P16", "knows");
+  b.AddEdge("P13", "P16", "worksFor");
+
+  // Account-holding layer.
+  b.AddEdge("P11", "A14", "holds");
+  b.AddEdge("P16", "A19", "holds");
+
+  // Financial-transaction layer (the fraud pattern of Example 1).
+  b.AddEdge("A14", "E15", "debits");
+  b.AddEdge("E15", "A17", "credits");
+  b.AddEdge("A17", "E18", "debits");
+  b.AddEdge("E18", "A19", "credits");
+
+  return b.Build();
+}
+
+DiGraph BuildFig2Graph() {
+  GraphBuilder b;
+  for (const char* v : {"v1", "v2", "v3", "v4", "v5", "v6"}) b.Vertex(v);
+  for (const char* l : {"l1", "l2", "l3"}) b.LabelId(l);
+
+  b.AddEdge("v1", "v2", "l1");
+  b.AddEdge("v1", "v3", "l2");
+  b.AddEdge("v2", "v5", "l1");
+  b.AddEdge("v2", "v5", "l2");  // parallel edge with a different label
+  b.AddEdge("v3", "v2", "l1");
+  b.AddEdge("v3", "v6", "l1");
+  b.AddEdge("v3", "v1", "l2");
+  b.AddEdge("v3", "v4", "l2");
+  b.AddEdge("v4", "v1", "l1");
+  b.AddEdge("v4", "v6", "l3");
+  b.AddEdge("v5", "v1", "l1");
+
+  return b.Build();
+}
+
+}  // namespace rlc

@@ -1,0 +1,43 @@
+// The two worked-example graphs of the paper, reconstructed edge-by-edge
+// from its text. They serve as golden fixtures for the unit tests (every
+// Example 1–6 claim and the full Table II index content are asserted against
+// them) and as the data for the quickstart example program.
+
+#pragma once
+
+#include "rlc/graph/digraph.h"
+
+namespace rlc {
+
+/// Paper Fig. 1: the interleaved social/professional/financial property
+/// graph. Vertices P10,P11,P12,P13,P16 (persons), A14,A17,A19 (accounts),
+/// E15,E18 (intermediary entities); labels knows, worksFor, holds, debits,
+/// credits.
+///
+/// The figure's exact geometry is not machine-readable; this reconstruction
+/// is derived from the paper's worked examples and satisfies every claim the
+/// text makes about the graph:
+///  * Q1(A14,A19,(debits,credits)+) = true via the path
+///    (A14,debits,E15,credits,A17,debits,E18,credits,A19)   [Example 1]
+///  * Q2(P10,P13,(knows,knows,worksFor)+) = false            [Example 1]
+///  * S2(P11,P13) first adds (knows) and (worksFor,knows); the depth-4
+///    frontier at P12 carries exactly the four sequences L1..L4 of Example 2
+///  * the eager kernel candidates at P12 from P10 are (knows) and
+///    (knows,worksFor), and (knows,worksFor)+ cannot reach P13  [Example 3]
+///  * two paths P10 -> P16 have label sequences (knows,knows,knows) and
+///    (knows,knows,knows,knows), sharing MR (knows)           [Sec. III-C]
+///  * S2(P12,P16) = {(knows),(knows,worksFor)}                [Sec. III-C]
+///  * label multiset: knows x6, worksFor x2, holds x2, debits x2, credits x2
+DiGraph BuildFig1Graph();
+
+/// Paper Fig. 2: the 6-vertex running example for the RLC index (Table II).
+/// Vertices are named v1..v6; labels l1,l2,l3. The edge set is uniquely
+/// determined by Examples 4–6 and Table II:
+///   v1-l1->v2, v1-l2->v3, v2-l1->v5, v2-l2->v5 (parallel edges),
+///   v3-l1->v2, v3-l1->v6, v3-l2->v1, v3-l2->v4,
+///   v4-l1->v1, v4-l3->v6, v5-l1->v1
+/// With the paper's IN-OUT ordering this yields access order
+/// (v1,v3,v2,v4,v5,v6), matching the superscripts in Fig. 2.
+DiGraph BuildFig2Graph();
+
+}  // namespace rlc

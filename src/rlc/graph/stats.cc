@@ -1,0 +1,90 @@
+#include "rlc/graph/stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rlc {
+
+uint64_t CountSelfLoops(const DiGraph& g) {
+  uint64_t loops = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const LabeledNeighbor& nb : g.OutEdges(v)) {
+      loops += (nb.v == v);
+    }
+  }
+  return loops;
+}
+
+uint64_t CountTriangles(const DiGraph& g) {
+  const VertexId n = g.num_vertices();
+
+  // Build the undirected simple adjacency (neighbours deduped, no loops).
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const LabeledNeighbor& nb : g.OutEdges(v)) {
+      if (nb.v == v) continue;
+      adj[v].push_back(nb.v);
+      adj[nb.v].push_back(v);
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  // Orient each undirected edge from lower "rank" (degree, id) to higher, so
+  // every triangle is counted exactly once at its lowest-rank corner.
+  auto rank_less = [&](VertexId a, VertexId b) {
+    return std::make_pair(adj[a].size(), a) < std::make_pair(adj[b].size(), b);
+  };
+  std::vector<std::vector<VertexId>> fwd(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : adj[v]) {
+      if (rank_less(v, u)) fwd[v].push_back(u);
+    }
+  }
+  for (auto& f : fwd) std::sort(f.begin(), f.end());
+
+  uint64_t triangles = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto& fv = fwd[v];
+    for (VertexId u : fv) {
+      const auto& fu = fwd[u];
+      // |fv ∩ fu| via sorted intersection.
+      auto it1 = fv.begin();
+      auto it2 = fu.begin();
+      while (it1 != fv.end() && it2 != fu.end()) {
+        if (*it1 < *it2) {
+          ++it1;
+        } else if (*it2 < *it1) {
+          ++it2;
+        } else {
+          ++triangles;
+          ++it1;
+          ++it2;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+GraphStats ComputeStats(const DiGraph& g, bool with_triangles) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.num_labels = g.num_labels();
+  s.loop_count = CountSelfLoops(g);
+  s.triangle_count = with_triangles ? CountTriangles(g) : 0;
+  s.avg_degree =
+      s.num_vertices == 0
+          ? 0.0
+          : static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(v));
+    s.max_in_degree = std::max(s.max_in_degree, g.InDegree(v));
+  }
+  return s;
+}
+
+}  // namespace rlc

@@ -1,0 +1,39 @@
+// Graph statistics matching the columns of the paper's Table III:
+// |V|, |E|, |L|, loop count (cycles of length 1) and triangle count
+// (cycles of length 3, counted on the underlying undirected simple graph,
+// as SNAP reports them), plus degree statistics used by the analysis
+// sections.
+
+#pragma once
+
+#include <cstdint>
+
+#include "rlc/graph/digraph.h"
+
+namespace rlc {
+
+/// Aggregate statistics for one graph.
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_labels = 0;
+  uint64_t loop_count = 0;      ///< self-loop edges (length-1 cycles)
+  uint64_t triangle_count = 0;  ///< undirected triangles
+  double avg_degree = 0.0;      ///< |E| / |V|
+  uint64_t max_out_degree = 0;
+  uint64_t max_in_degree = 0;
+};
+
+/// Number of self-loop edges in `g` (parallel self-loops all counted).
+uint64_t CountSelfLoops(const DiGraph& g);
+
+/// Number of triangles in the undirected simple graph underlying `g`
+/// (direction, labels and multiplicity ignored). Node-iterator algorithm
+/// with degree ordering: O(|E|^1.5) worst case.
+uint64_t CountTriangles(const DiGraph& g);
+
+/// Computes all statistics. Triangle counting can dominate on dense graphs;
+/// pass `with_triangles=false` to skip it.
+GraphStats ComputeStats(const DiGraph& g, bool with_triangles = true);
+
+}  // namespace rlc

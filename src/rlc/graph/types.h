@@ -1,0 +1,41 @@
+// Fundamental value types for edge-labeled directed graphs.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rlc {
+
+/// Dense vertex identifier in [0, num_vertices).
+using VertexId = uint32_t;
+
+/// Dense edge-label identifier in [0, num_labels).
+using Label = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no label".
+inline constexpr Label kInvalidLabel = std::numeric_limits<Label>::max();
+
+/// A labeled directed edge (src --label--> dst).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Label label = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// One adjacency slot: the neighbour vertex and the connecting edge's label.
+struct LabeledNeighbor {
+  VertexId v = 0;
+  Label label = 0;
+
+  friend bool operator==(const LabeledNeighbor&, const LabeledNeighbor&) = default;
+  friend auto operator<=>(const LabeledNeighbor&, const LabeledNeighbor&) = default;
+};
+
+}  // namespace rlc

@@ -1,0 +1,105 @@
+#include "rlc/plain/plain_reach_index.h"
+
+#include "rlc/core/indexer.h"
+#include "rlc/util/common.h"
+#include "rlc/util/timer.h"
+
+namespace rlc {
+
+bool PlainReachIndex::Intersect(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PlainReachIndex::Reachable(VertexId s, VertexId t) const {
+  RLC_REQUIRE(s < num_vertices() && t < num_vertices(),
+              "PlainReachIndex::Reachable: vertex out of range");
+  if (s == t) return true;
+  return Intersect(out_[s], in_[t]);
+}
+
+uint64_t PlainReachIndex::NumEntries() const {
+  uint64_t total = 0;
+  for (const auto& l : out_) total += l.size();
+  for (const auto& l : in_) total += l.size();
+  return total;
+}
+
+uint64_t PlainReachIndex::MemoryBytes() const {
+  uint64_t bytes = (out_.size() + in_.size()) * sizeof(std::vector<uint32_t>);
+  for (const auto& l : out_) bytes += l.size() * sizeof(uint32_t);
+  for (const auto& l : in_) bytes += l.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+PlainReachIndex PlainReachIndex::Build(const DiGraph& g, PlainReachStats* stats) {
+  Timer timer;
+  PlainReachIndex index(g.num_vertices());
+  uint64_t pruned = 0;
+
+  // Same IN-OUT landmark ordering the RLC index uses.
+  const std::vector<VertexId> order =
+      RlcIndexBuilder::ComputeOrder(g, VertexOrdering::kInOut, 0);
+
+  std::vector<uint64_t> visited(g.num_vertices(), 0);
+  uint64_t epoch = 0;
+  std::vector<VertexId> queue;
+
+  for (uint32_t rank = 0; rank < order.size(); ++rank) {
+    const VertexId v = order[rank];
+    // The landmark covers itself: rank goes into both of its own lists, so
+    // direct landmark endpoints resolve through the same intersection.
+    index.out_[v].push_back(rank);
+    index.in_[v].push_back(rank);
+
+    // Pruned forward BFS: v reaches u  ->  rank ∈ Lin(u).
+    for (const bool forward : {true, false}) {
+      ++epoch;
+      queue.clear();
+      queue.push_back(v);
+      visited[v] = epoch;
+      for (size_t head = 0; head < queue.size(); ++head) {
+        const VertexId x = queue[head];
+        const auto edges = forward ? g.OutEdges(x) : g.InEdges(x);
+        for (const LabeledNeighbor& nb : edges) {
+          if (visited[nb.v] == epoch) continue;
+          visited[nb.v] = epoch;
+          // Prune: if the current snapshot already proves reachability
+          // between v and nb.v, everything beyond nb.v is covered too.
+          const bool covered = forward
+                                   ? Intersect(index.out_[v], index.in_[nb.v])
+                                   : Intersect(index.out_[nb.v], index.in_[v]);
+          if (covered) {
+            ++pruned;
+            continue;
+          }
+          if (forward) {
+            index.in_[nb.v].push_back(rank);
+          } else {
+            index.out_[nb.v].push_back(rank);
+          }
+          queue.push_back(nb.v);
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->entries = index.NumEntries();
+    stats->pruned = pruned;
+    stats->build_seconds = timer.ElapsedSeconds();
+  }
+  return index;
+}
+
+}  // namespace rlc

@@ -1,0 +1,70 @@
+// Common macros and small helpers shared across the RLC library.
+//
+// Style note: following the conventions used by production database code
+// (Arrow, RocksDB), invariant violations inside the library abort with a
+// message rather than throwing; recoverable user-facing errors (bad files,
+// malformed queries) throw std::runtime_error / std::invalid_argument and
+// are documented on the API surface that can raise them.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rlc {
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "RLC_CHECK failed: %s at %s:%d %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Aborts with a diagnostic when `cond` is false. Active in all build types:
+/// index correctness bugs must never be silently ignored in release builds.
+#define RLC_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::rlc::internal::CheckFailed(#cond, __FILE__, __LINE__, "");     \
+    }                                                                  \
+  } while (0)
+
+#define RLC_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream rlc_check_oss_;                                  \
+      rlc_check_oss_ << msg;                                              \
+      ::rlc::internal::CheckFailed(#cond, __FILE__, __LINE__,             \
+                                   rlc_check_oss_.str());                 \
+    }                                                                     \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds (hot paths).
+#ifdef NDEBUG
+#define RLC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define RLC_DCHECK(cond) RLC_CHECK(cond)
+#endif
+
+/// Throws std::invalid_argument with a streamed message when `cond` is false.
+/// Used to validate user-supplied arguments on public entry points.
+#define RLC_REQUIRE(cond, msg)                 \
+  do {                                         \
+    if (!(cond)) {                             \
+      std::ostringstream rlc_req_oss_;         \
+      rlc_req_oss_ << msg;                     \
+      throw std::invalid_argument(rlc_req_oss_.str()); \
+    }                                          \
+  } while (0)
+
+}  // namespace rlc

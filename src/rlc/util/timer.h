@@ -1,0 +1,34 @@
+// Wall-clock timing helper used by the benchmark harnesses.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rlc {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rlc

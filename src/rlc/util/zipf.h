@@ -1,0 +1,64 @@
+// Zipfian sampling over a finite domain.
+//
+// The paper assigns synthetic edge labels "according to the Zipfian
+// distribution with exponent 2" (Section VI-b, following the gMark
+// benchmark). This sampler draws rank r in {0..n-1} with probability
+// proportional to 1/(r+1)^s using an inverse-CDF table, which is exact and
+// O(log n) per draw.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "rlc/util/common.h"
+#include "rlc/util/rng.h"
+
+namespace rlc {
+
+/// Samples ranks {0..n-1} with P(r) ∝ 1/(r+1)^s.
+class ZipfSampler {
+ public:
+  /// \param n     domain size (> 0)
+  /// \param s     exponent (paper uses 2.0)
+  ZipfSampler(uint64_t n, double s) : cdf_(n) {
+    RLC_REQUIRE(n > 0, "ZipfSampler: domain size must be positive");
+    double acc = 0.0;
+    for (uint64_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = acc;
+    }
+    const double total = cdf_.back();
+    for (auto& c : cdf_) c /= total;
+  }
+
+  /// Draws one rank using `rng`.
+  uint64_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // Binary search for the first cdf entry >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Probability mass of rank r (for tests).
+  double Pmf(uint64_t r) const {
+    RLC_DCHECK(r < cdf_.size());
+    return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+  }
+
+  uint64_t domain_size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rlc

@@ -1,0 +1,141 @@
+#include "rlc/workload/query_gen.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "rlc/baselines/online_search.h"
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+LabelSeq RandomPrimitiveSeq(uint32_t length, Label num_labels, Rng& rng) {
+  RLC_REQUIRE(length >= 1 && length <= kMaxK,
+              "RandomPrimitiveSeq: length must be in [1," << kMaxK << "]");
+  RLC_REQUIRE(num_labels >= 1, "RandomPrimitiveSeq: empty alphabet");
+  RLC_REQUIRE(length == 1 || num_labels >= 2,
+              "RandomPrimitiveSeq: no primitive sequence of length >= 2 exists"
+              " over a single label");
+  while (true) {
+    LabelSeq seq;
+    for (uint32_t i = 0; i < length; ++i) {
+      seq.PushBack(static_cast<Label>(rng.Below(num_labels)));
+    }
+    if (IsPrimitive(seq.labels())) return seq;
+  }
+}
+
+Workload GenerateWorkload(const DiGraph& g, const WorkloadOptions& options) {
+  RLC_REQUIRE(g.num_vertices() > 0 && g.num_labels() > 0,
+              "GenerateWorkload: graph must have vertices and labels");
+  Rng rng(options.seed);
+  OnlineSearcher oracle(g);
+
+  Workload w;
+  w.true_queries.reserve(options.count);
+  w.false_queries.reserve(options.count);
+
+  for (uint64_t attempt = 0;
+       attempt < options.max_attempts &&
+       (w.true_queries.size() < options.count ||
+        w.false_queries.size() < options.count);
+       ++attempt) {
+    RlcQuery q;
+    q.s = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    q.t = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    q.constraint = RandomPrimitiveSeq(options.constraint_length, g.num_labels(), rng);
+    q.expected = oracle.QueryBiBfsOnce(
+        q.s, q.t, PathConstraint::RlcPlus(q.constraint));
+    auto& set = q.expected ? w.true_queries : w.false_queries;
+    if (set.size() < options.count) set.push_back(q);
+  }
+
+  if (options.fill_true_with_walks && w.true_queries.size() < options.count) {
+    // Walk-derived fallback: read the label word of a random walk; when the
+    // word is mr^z for a primitive mr of the requested length, the walk
+    // itself witnesses (start, end, mr+).
+    const uint64_t budget = options.max_attempts;
+    for (uint64_t attempt = 0;
+         attempt < budget && w.true_queries.size() < options.count; ++attempt) {
+      RlcQuery q;
+      q.s = static_cast<VertexId>(rng.Below(g.num_vertices()));
+      VertexId v = q.s;
+      std::vector<Label> word;
+      const uint32_t len =
+          options.constraint_length * (1 + static_cast<uint32_t>(rng.Below(3)));
+      for (uint32_t i = 0; i < len; ++i) {
+        const auto out = g.OutEdges(v);
+        if (out.empty()) break;
+        const LabeledNeighbor& nb = out[rng.Below(out.size())];
+        word.push_back(nb.label);
+        v = nb.v;
+      }
+      if (word.empty()) continue;
+      const auto mr = MinimumRepeat(word);
+      if (mr.size() != options.constraint_length) continue;
+      q.t = v;
+      q.constraint = LabelSeq(std::span<const Label>(mr));
+      q.expected = true;
+      w.true_queries.push_back(q);
+    }
+  }
+  return w;
+}
+
+void WriteWorkload(const Workload& w, std::ostream& out) {
+  auto write_set = [&](const std::vector<RlcQuery>& queries) {
+    for (const RlcQuery& q : queries) {
+      out << q.s << ' ' << q.t << ' ';
+      for (uint32_t i = 0; i < q.constraint.size(); ++i) {
+        if (i > 0) out << ',';
+        out << q.constraint[i];
+      }
+      out << ' ' << (q.expected ? 1 : 0) << "\n";
+    }
+  };
+  write_set(w.true_queries);
+  write_set(w.false_queries);
+}
+
+Workload ReadWorkload(std::istream& in) {
+  Workload w;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    RlcQuery q;
+    std::string labels;
+    int expected = 0;
+    if (!(ls >> q.s >> q.t >> labels >> expected)) {
+      throw std::runtime_error("workload line " + std::to_string(line_no) +
+                               ": expected 's t l1,l2,... 0|1'");
+    }
+    std::istringstream lab(labels);
+    std::string tok;
+    while (std::getline(lab, tok, ',')) {
+      q.constraint.PushBack(static_cast<Label>(std::stoul(tok)));
+    }
+    if (q.constraint.empty()) {
+      throw std::runtime_error("workload line " + std::to_string(line_no) +
+                               ": empty constraint");
+    }
+    q.expected = (expected != 0);
+    (q.expected ? w.true_queries : w.false_queries).push_back(q);
+  }
+  return w;
+}
+
+void SaveWorkload(const Workload& w, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  WriteWorkload(w, out);
+}
+
+Workload LoadWorkload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open workload file: " + path);
+  return ReadWorkload(in);
+}
+
+}  // namespace rlc

@@ -1,0 +1,144 @@
+// Tests for alternation (LCR-style) constraints — the §II counterpart class
+// the paper contrasts RLC queries with. Covers parsing, NFA semantics, the
+// fundamental LCR ≠ RLC separation, and engine agreement.
+
+#include <gtest/gtest.h>
+
+#include "rlc/automaton/nfa.h"
+#include "rlc/automaton/path_constraint.h"
+#include "rlc/baselines/online_search.h"
+#include "rlc/engines/frontier_engine.h"
+#include "rlc/engines/recursive_join_engine.h"
+#include "rlc/engines/rlc_hybrid_engine.h"
+#include "rlc/engines/volcano_engine.h"
+#include "rlc/core/indexer.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/graph/paper_graphs.h"
+#include "rlc/util/rng.h"
+
+namespace rlc {
+namespace {
+
+using Word = std::vector<Label>;
+
+TEST(AlternationTest, ParseAndToString) {
+  const DiGraph g(2, {{0, 1, 0}, {1, 0, 1}, {0, 0, 2}}, 3);
+  const auto c = PathConstraint::Parse("(0|1)+", g);
+  ASSERT_EQ(c.atoms().size(), 1u);
+  EXPECT_TRUE(c.atoms()[0].alternation);
+  EXPECT_TRUE(c.atoms()[0].plus);
+  EXPECT_EQ(c.atoms()[0].seq, (LabelSeq{0, 1}));
+  EXPECT_EQ(c.ToString(g), "(0|1)+");
+
+  const auto mixed = PathConstraint::Parse("(0|1)+ (0 2)+", g);
+  ASSERT_EQ(mixed.atoms().size(), 2u);
+  EXPECT_TRUE(mixed.atoms()[0].alternation);
+  EXPECT_FALSE(mixed.atoms()[1].alternation);
+  EXPECT_EQ(mixed.ToString(g), "(0|1)+ (0 2)+");
+}
+
+TEST(AlternationTest, ParseErrors) {
+  const DiGraph g(2, {{0, 1, 0}}, 2);
+  EXPECT_THROW(PathConstraint::Parse("(0|)+", g), std::invalid_argument);
+  EXPECT_THROW(PathConstraint::Parse("(|0)+", g), std::invalid_argument);
+  EXPECT_THROW(PathConstraint::Parse("(0|9)+", g), std::invalid_argument);
+}
+
+TEST(AlternationTest, NfaSemantics) {
+  // (a|b)+ accepts every non-empty word over {a,b} and nothing else.
+  const Nfa nfa = Nfa::FromConstraint(PathConstraint::LcrPlus(LabelSeq{0, 1}));
+  EXPECT_FALSE(nfa.Accepts(Word{}));
+  EXPECT_TRUE(nfa.Accepts(Word{0}));
+  EXPECT_TRUE(nfa.Accepts(Word{1}));
+  EXPECT_TRUE(nfa.Accepts(Word{1, 0, 0, 1}));
+  EXPECT_FALSE(nfa.Accepts(Word{2}));
+  EXPECT_FALSE(nfa.Accepts(Word{0, 2, 1}));
+}
+
+TEST(AlternationTest, NonRecursiveAlternation) {
+  // (a|b) without plus: exactly one step.
+  const PathConstraint c({ConstraintAtom{LabelSeq{0, 1}, false, true}});
+  const Nfa nfa = Nfa::FromConstraint(c);
+  EXPECT_TRUE(nfa.Accepts(Word{0}));
+  EXPECT_TRUE(nfa.Accepts(Word{1}));
+  EXPECT_FALSE(nfa.Accepts(Word{0, 1}));
+}
+
+TEST(AlternationTest, LcrAndRlcSemanticsDiffer) {
+  // The separation the paper's §II argues: (a b)+ (concatenation) requires
+  // strict alternation of a and b; (a|b)+ (LCR) accepts any mix. The path
+  // 0 -a-> 1 -a-> 2 satisfies the latter but not the former.
+  const DiGraph g(3, {{0, 1, 0}, {1, 2, 0}}, 2);
+  OnlineSearcher searcher(g);
+  EXPECT_TRUE(searcher.QueryBfsOnce(0, 2, PathConstraint::LcrPlus(LabelSeq{0, 1})));
+  EXPECT_FALSE(searcher.QueryBfsOnce(0, 2, PathConstraint::RlcPlus(LabelSeq{0, 1})));
+
+  // Conversely a strict a-b-a-b path satisfies both.
+  const DiGraph h(5, {{0, 1, 0}, {1, 2, 1}, {2, 3, 0}, {3, 4, 1}}, 2);
+  OnlineSearcher hs(h);
+  EXPECT_TRUE(hs.QueryBfsOnce(0, 4, PathConstraint::LcrPlus(LabelSeq{0, 1})));
+  EXPECT_TRUE(hs.QueryBfsOnce(0, 4, PathConstraint::RlcPlus(LabelSeq{0, 1})));
+}
+
+TEST(AlternationTest, Fig1KnowsOrWorksFor) {
+  // LCR query on the paper's Fig. 1: P10 reaches P16 under (knows|worksFor)+
+  // and even under knows-only; A14 is not reachable from P10 under it
+  // (requires a holds step).
+  const DiGraph g = BuildFig1Graph();
+  OnlineSearcher searcher(g);
+  const LabelSeq kw{*g.FindLabel("knows"), *g.FindLabel("worksFor")};
+  EXPECT_TRUE(searcher.QueryBfsOnce(*g.FindVertex("P10"), *g.FindVertex("P16"),
+                                    PathConstraint::LcrPlus(kw)));
+  EXPECT_FALSE(searcher.QueryBfsOnce(*g.FindVertex("P10"), *g.FindVertex("A14"),
+                                     PathConstraint::LcrPlus(kw)));
+}
+
+TEST(AlternationTest, EnginesAgreeOnMixedConstraints) {
+  Rng rng(41);
+  auto edges = ErdosRenyiEdges(80, 320, rng);
+  AssignZipfLabels(&edges, 3, 2.0, rng);
+  const DiGraph g(80, std::move(edges), 3);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+
+  // (a|b)+ (c)+ : alternation prefix, RLC-final atom — hybrid-plan capable.
+  const PathConstraint mixed({ConstraintAtom{LabelSeq{0, 1}, true, true},
+                              ConstraintAtom{LabelSeq{2}, true, false}});
+  // Pure LCR constraint for the traversal engines.
+  const PathConstraint lcr = PathConstraint::LcrPlus(LabelSeq{0, 2});
+
+  OnlineSearcher oracle(g);
+  RecursiveJoinEngine join_engine(g);
+  VolcanoEngine volcano_engine(g);
+  FrontierEngine frontier_engine(g);
+  RlcHybridEngine rlc_engine(g, index);
+
+  for (int trial = 0; trial < 150; ++trial) {
+    const auto s = static_cast<VertexId>(rng.Below(80));
+    const auto t = static_cast<VertexId>(rng.Below(80));
+    {
+      const bool expected = oracle.QueryBfsOnce(s, t, mixed);
+      ASSERT_EQ(join_engine.Evaluate(s, t, mixed), expected);
+      ASSERT_EQ(volcano_engine.Evaluate(s, t, mixed), expected);
+      ASSERT_EQ(frontier_engine.Evaluate(s, t, mixed), expected);
+      ASSERT_EQ(rlc_engine.Evaluate(s, t, mixed), expected);
+    }
+    {
+      const bool expected = oracle.QueryBfsOnce(s, t, lcr);
+      ASSERT_EQ(join_engine.Evaluate(s, t, lcr), expected);
+      ASSERT_EQ(volcano_engine.Evaluate(s, t, lcr), expected);
+      ASSERT_EQ(frontier_engine.Evaluate(s, t, lcr), expected);
+    }
+  }
+}
+
+TEST(AlternationTest, HybridRejectsAlternationFinalAtom) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  RlcHybridEngine engine(g, index);
+  EXPECT_THROW(engine.Evaluate(0, 1, PathConstraint::LcrPlus(LabelSeq{0, 1})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,123 @@
+// Tests for concise-set enumeration (paper Definition 2 / Proposition 1).
+
+#include "rlc/baselines/concise_set.h"
+
+#include <gtest/gtest.h>
+
+#include "rlc/baselines/online_search.h"
+#include "rlc/core/indexer.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/graph/paper_graphs.h"
+#include "rlc/util/rng.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc {
+namespace {
+
+TEST(ConciseSetTest, PaperClaimS2P12P16) {
+  // §III-C: S2(P12,P16) = {(knows), (knows worksFor)}.
+  const DiGraph g = BuildFig1Graph();
+  const Label knows = *g.FindLabel("knows");
+  const Label works_for = *g.FindLabel("worksFor");
+  const auto set =
+      ComputeConciseSet(g, *g.FindVertex("P12"), *g.FindVertex("P16"), 2);
+  const std::vector<LabelSeq> expected = {LabelSeq{knows},
+                                          LabelSeq{knows, works_for}};
+  EXPECT_EQ(set, expected);
+}
+
+TEST(ConciseSetTest, PaperClaimS2P11P13) {
+  // Example 2: S2(P11,P13) contains (knows) and (worksFor knows).
+  const DiGraph g = BuildFig1Graph();
+  const Label knows = *g.FindLabel("knows");
+  const Label works_for = *g.FindLabel("worksFor");
+  const auto set =
+      ComputeConciseSet(g, *g.FindVertex("P11"), *g.FindVertex("P13"), 2);
+  EXPECT_NE(std::find(set.begin(), set.end(), LabelSeq{knows}), set.end());
+  EXPECT_NE(std::find(set.begin(), set.end(), (LabelSeq{works_for, knows})),
+            set.end());
+}
+
+TEST(ConciseSetTest, Fig2TableIIConsistency) {
+  // Proposition 1: L ∈ Sk(s,t) iff the index answers (s,t,L+) true. Verify
+  // the enumeration against the index for every pair and every MR seen.
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    const auto sets = ComputeConciseSetsFrom(g, s, 2);
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      for (const LabelSeq& mr : sets[t]) {
+        EXPECT_TRUE(index.Query(s, t, mr))
+            << "s=" << s << " t=" << t << " mr=" << mr.ToString();
+      }
+      // And the converse for all primitive sequences up to length 2.
+      for (Label a = 0; a < g.num_labels(); ++a) {
+        for (Label b = 0; b < g.num_labels(); ++b) {
+          const LabelSeq c = (a == b) ? LabelSeq{a} : LabelSeq{a, b};
+          const bool in_set =
+              std::find(sets[t].begin(), sets[t].end(), c) != sets[t].end();
+          EXPECT_EQ(index.Query(s, t, c), in_set)
+              << "s=" << s << " t=" << t << " c=" << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ConciseSetTest, AgreesWithOracleOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto edges = ErdosRenyiEdges(50, 200, rng);
+    AssignZipfLabels(&edges, 3, 2.0, rng);
+    const DiGraph g(50, std::move(edges), 3);
+    OnlineSearcher oracle(g);
+    const auto s = static_cast<VertexId>(rng.Below(50));
+    const auto sets = ComputeConciseSetsFrom(g, s, 2);
+    for (VertexId t = 0; t < 50; ++t) {
+      for (Label a = 0; a < 3; ++a) {
+        for (Label b = 0; b < 3; ++b) {
+          const LabelSeq c = (a == b) ? LabelSeq{a} : LabelSeq{a, b};
+          const bool expected =
+              oracle.QueryBfsOnce(s, t, PathConstraint::RlcPlus(c));
+          const bool in_set =
+              std::find(sets[t].begin(), sets[t].end(), c) != sets[t].end();
+          ASSERT_EQ(in_set, expected)
+              << "s=" << s << " t=" << t << " c=" << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ConciseSetTest, SetsAreSortedAndDeduped) {
+  const DiGraph g = BuildFig2Graph();
+  const auto sets = ComputeConciseSetsFrom(g, *g.FindVertex("v1"), 2);
+  for (const auto& set : sets) {
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    EXPECT_EQ(std::adjacent_find(set.begin(), set.end()), set.end());
+    for (const LabelSeq& mr : set) {
+      EXPECT_TRUE(IsPrimitive(mr.labels()));
+      EXPECT_LE(mr.size(), 2u);
+    }
+  }
+}
+
+TEST(ConciseSetTest, Validation) {
+  const DiGraph g = BuildFig2Graph();
+  EXPECT_THROW(ComputeConciseSet(g, 99, 0, 2), std::invalid_argument);
+  EXPECT_THROW(ComputeConciseSet(g, 0, 99, 2), std::invalid_argument);
+  EXPECT_THROW(ComputeConciseSet(g, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(ComputeConciseSet(g, 0, 1, kMaxK + 1), std::invalid_argument);
+}
+
+TEST(ConciseSetTest, UnreachableTargetsEmpty) {
+  const DiGraph g(3, {{0, 1, 0}}, 1);
+  const auto sets = ComputeConciseSetsFrom(g, 0, 2);
+  EXPECT_EQ(sets[1].size(), 1u);
+  EXPECT_TRUE(sets[2].empty());
+  EXPECT_TRUE(sets[0].empty());  // no cycle through 0
+}
+
+}  // namespace
+}  // namespace rlc

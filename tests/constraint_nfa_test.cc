@@ -1,0 +1,183 @@
+// Tests for the path-constraint AST, the parser and the NFA construction.
+
+#include <gtest/gtest.h>
+
+#include "rlc/automaton/dense_nfa.h"
+#include "rlc/automaton/nfa.h"
+#include "rlc/automaton/path_constraint.h"
+#include "rlc/graph/graph_builder.h"
+#include "rlc/util/rng.h"
+
+namespace rlc {
+namespace {
+
+using Word = std::vector<Label>;
+
+DiGraph NamedGraph() {
+  GraphBuilder b;
+  b.AddEdge("x", "y", "a");
+  b.AddEdge("y", "x", "b");
+  b.AddEdge("x", "x", "c");
+  return b.Build();
+}
+
+TEST(PathConstraintTest, Factories) {
+  const auto rlc = PathConstraint::RlcPlus(LabelSeq{0, 1});
+  EXPECT_TRUE(rlc.IsRlc());
+  EXPECT_EQ(rlc.seq(), (LabelSeq{0, 1}));
+
+  const auto fixed = PathConstraint::Fixed(LabelSeq{2});
+  EXPECT_FALSE(fixed.IsRlc());
+}
+
+TEST(PathConstraintTest, RejectsEmptyAtom) {
+  EXPECT_THROW(PathConstraint({ConstraintAtom{LabelSeq{}, true}}),
+               std::invalid_argument);
+}
+
+TEST(PathConstraintTest, ParseNamedLabels) {
+  const DiGraph g = NamedGraph();
+  const auto c = PathConstraint::Parse("(a b)+", g);
+  ASSERT_EQ(c.atoms().size(), 1u);
+  EXPECT_TRUE(c.atoms()[0].plus);
+  EXPECT_EQ(c.atoms()[0].seq,
+            (LabelSeq{*g.FindLabel("a"), *g.FindLabel("b")}));
+}
+
+TEST(PathConstraintTest, ParseMultiAtom) {
+  const DiGraph g = NamedGraph();
+  const auto c = PathConstraint::Parse("a+ b+", g);
+  ASSERT_EQ(c.atoms().size(), 2u);
+  EXPECT_TRUE(c.atoms()[0].plus);
+  EXPECT_TRUE(c.atoms()[1].plus);
+  EXPECT_FALSE(c.IsRlc());
+}
+
+TEST(PathConstraintTest, ParseFixedConcatenation) {
+  const DiGraph g = NamedGraph();
+  const auto c = PathConstraint::Parse("a b c", g);
+  ASSERT_EQ(c.atoms().size(), 3u);
+  for (const auto& atom : c.atoms()) EXPECT_FALSE(atom.plus);
+}
+
+TEST(PathConstraintTest, ParseNumericLabels) {
+  const DiGraph g(3, {{0, 1, 0}, {1, 2, 1}}, 2);
+  const auto c = PathConstraint::Parse("(0 1)+", g);
+  EXPECT_EQ(c.atoms()[0].seq, (LabelSeq{0, 1}));
+}
+
+TEST(PathConstraintTest, ParseErrors) {
+  const DiGraph g = NamedGraph();
+  EXPECT_THROW(PathConstraint::Parse("", g), std::invalid_argument);
+  EXPECT_THROW(PathConstraint::Parse("(a b", g), std::invalid_argument);
+  EXPECT_THROW(PathConstraint::Parse("unknown+", g), std::invalid_argument);
+  EXPECT_THROW(PathConstraint::Parse("()+", g), std::invalid_argument);
+}
+
+TEST(PathConstraintTest, ToStringRoundTrip) {
+  const DiGraph g = NamedGraph();
+  for (const char* text : {"(a b)+", "a+ b+", "a b", "c+"}) {
+    const auto c = PathConstraint::Parse(text, g);
+    EXPECT_EQ(c.ToString(g), text);
+  }
+}
+
+TEST(NfaTest, SingleLabelPlus) {
+  const Nfa nfa = Nfa::FromConstraint(PathConstraint::RlcPlus(LabelSeq{0}));
+  EXPECT_FALSE(nfa.Accepts(Word{}));
+  EXPECT_TRUE(nfa.Accepts(Word{0}));
+  EXPECT_TRUE(nfa.Accepts(Word{0, 0, 0}));
+  EXPECT_FALSE(nfa.Accepts(Word{1}));
+  EXPECT_FALSE(nfa.Accepts(Word{0, 1}));
+}
+
+TEST(NfaTest, SequencePlus) {
+  const Nfa nfa = Nfa::FromConstraint(PathConstraint::RlcPlus(LabelSeq{0, 1}));
+  EXPECT_TRUE(nfa.Accepts(Word{0, 1}));
+  EXPECT_TRUE(nfa.Accepts(Word{0, 1, 0, 1}));
+  EXPECT_FALSE(nfa.Accepts(Word{0}));
+  EXPECT_FALSE(nfa.Accepts(Word{0, 1, 0}));
+  EXPECT_FALSE(nfa.Accepts(Word{1, 0}));
+  EXPECT_FALSE(nfa.Accepts(Word{0, 0, 1, 1}));
+}
+
+TEST(NfaTest, FixedConcatenation) {
+  const Nfa nfa = Nfa::FromConstraint(PathConstraint::Fixed(LabelSeq{0, 1, 2}));
+  EXPECT_TRUE(nfa.Accepts(Word{0, 1, 2}));
+  EXPECT_FALSE(nfa.Accepts(Word{0, 1}));
+  EXPECT_FALSE(nfa.Accepts(Word{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(NfaTest, MultiAtomQ4Shape) {
+  // a+ b+  (the paper's Q4)
+  const PathConstraint q4({ConstraintAtom{LabelSeq{0}, true},
+                           ConstraintAtom{LabelSeq{1}, true}});
+  const Nfa nfa = Nfa::FromConstraint(q4);
+  EXPECT_TRUE(nfa.Accepts(Word{0, 1}));
+  EXPECT_TRUE(nfa.Accepts(Word{0, 0, 1, 1, 1}));
+  EXPECT_FALSE(nfa.Accepts(Word{0}));
+  EXPECT_FALSE(nfa.Accepts(Word{1}));
+  EXPECT_FALSE(nfa.Accepts(Word{1, 0}));
+  EXPECT_FALSE(nfa.Accepts(Word{0, 1, 0}));
+}
+
+TEST(NfaTest, ReversedAcceptsMirrorLanguage) {
+  Rng rng(3);
+  const PathConstraint c({ConstraintAtom{LabelSeq{0, 1}, true},
+                          ConstraintAtom{LabelSeq{2}, false}});
+  const Nfa fwd = Nfa::FromConstraint(c);
+  const Nfa rev = fwd.Reversed();
+  for (int trial = 0; trial < 2000; ++trial) {
+    Word w(rng.Below(7));
+    for (auto& l : w) l = static_cast<Label>(rng.Below(3));
+    Word r(w.rbegin(), w.rend());
+    EXPECT_EQ(fwd.Accepts(w), rev.Accepts(r)) << "trial " << trial;
+  }
+}
+
+// Reference DP: does an accepted word of the RLC language (l_1..l_j)+ equal
+// the candidate? Check against direct MR semantics.
+TEST(NfaTest, RlcLanguageMatchesMrSemantics) {
+  Rng rng(8);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const uint32_t j = 1 + static_cast<uint32_t>(rng.Below(3));
+    LabelSeq seq;
+    for (uint32_t i = 0; i < j; ++i) {
+      seq.PushBack(static_cast<Label>(rng.Below(2)));
+    }
+    if (!IsPrimitive(seq.labels())) continue;
+    const Nfa nfa = Nfa::FromConstraint(PathConstraint::RlcPlus(seq));
+
+    Word w(1 + rng.Below(9));
+    for (auto& l : w) l = static_cast<Label>(rng.Below(2));
+    // Word satisfies L+ iff MR(w) == L (paper §III-B definition).
+    const auto mr = MinimumRepeat(w);
+    const bool expected =
+        mr.size() == seq.size() &&
+        std::equal(mr.begin(), mr.end(), seq.labels().begin());
+    EXPECT_EQ(nfa.Accepts(w), expected)
+        << "constraint " << seq.ToString() << " word len " << w.size();
+  }
+}
+
+TEST(DenseNfaTest, TransitionsMatchSparse) {
+  const PathConstraint c({ConstraintAtom{LabelSeq{0, 1}, true}});
+  const Nfa nfa = Nfa::FromConstraint(c);
+  const DenseNfa dense(nfa, 3);
+  EXPECT_EQ(dense.num_states(), nfa.num_states());
+  for (uint32_t s = 0; s < nfa.num_states(); ++s) {
+    EXPECT_EQ(dense.IsAccept(s), nfa.IsAccept(s));
+    for (Label l = 0; l < 3; ++l) {
+      std::vector<uint32_t> sparse_next;
+      for (const NfaTransition& t : nfa.Transitions(s)) {
+        if (t.label == l) sparse_next.push_back(t.to);
+      }
+      const auto dense_next = dense.Next(s, l);
+      EXPECT_EQ(std::vector<uint32_t>(dense_next.begin(), dense_next.end()),
+                sparse_next);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,95 @@
+// Tests for the Table III dataset surrogate registry.
+
+#include "rlc/graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "rlc/graph/stats.h"
+
+namespace rlc {
+namespace {
+
+TEST(DatasetsTest, RegistryMatchesTableIII) {
+  const auto& specs = TableIIIDatasets();
+  ASSERT_EQ(specs.size(), 13u);
+  EXPECT_EQ(specs.front().name, "AD");
+  EXPECT_EQ(specs.back().name, "WF");
+  // Spot-check a few published values.
+  const auto wn = FindDataset("WN");
+  ASSERT_TRUE(wn.has_value());
+  EXPECT_EQ(wn->full_name, "Web-NotreDame");
+  EXPECT_EQ(wn->num_vertices, 325'000u);
+  EXPECT_EQ(wn->num_edges, 1'400'000u);
+  EXPECT_EQ(wn->num_labels, 8u);
+  EXPECT_EQ(wn->loop_count, 27'000u);
+  const auto lj = FindDataset("LiveJournal");
+  ASSERT_TRUE(lj.has_value());
+  EXPECT_EQ(lj->num_labels, 50u);
+  // Sorted by |E| as in the paper.
+  for (size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_LE(specs[i - 1].num_edges, specs[i].num_edges);
+  }
+}
+
+TEST(DatasetsTest, UnknownNameReturnsNullopt) {
+  EXPECT_FALSE(FindDataset("nope").has_value());
+}
+
+TEST(DatasetsTest, SurrogateMatchesScaledShape) {
+  const auto spec = *FindDataset("AD");
+  const double scale = 0.2;
+  const DiGraph g = MakeSurrogate(spec, scale, 42);
+  // |V| and |E| within a factor ~2 of the scaled spec (BA quantizes d).
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()), spec.num_vertices * scale,
+              spec.num_vertices * scale * 0.1);
+  EXPECT_GT(g.num_edges(), spec.num_edges * scale / 2);
+  EXPECT_LT(g.num_edges(), spec.num_edges * scale * 2);
+  EXPECT_EQ(g.num_labels(), spec.num_labels);
+  // Loop count scales too (AD has 4K loops at full size).
+  const uint64_t loops = CountSelfLoops(g);
+  EXPECT_GT(loops, 0u);
+  EXPECT_NEAR(static_cast<double>(loops), spec.loop_count * scale,
+              spec.loop_count * scale * 0.5 + 2);
+}
+
+TEST(DatasetsTest, SurrogateDeterministicInSeed) {
+  const auto spec = *FindDataset("EP");
+  const DiGraph a = MakeSurrogate(spec, 0.01, 7);
+  const DiGraph b = MakeSurrogate(spec, 0.01, 7);
+  EXPECT_EQ(a.ToEdgeList(), b.ToEdgeList());
+  const DiGraph c = MakeSurrogate(spec, 0.01, 8);
+  EXPECT_NE(a.ToEdgeList(), c.ToEdgeList());
+}
+
+TEST(DatasetsTest, ErSurrogate) {
+  // The ER path of MakeSurrogate, exercised with a custom spec.
+  const DatasetSpec spec{"XX", "CustomUniform", 200'000, 600'000, 5,
+                         100,  true,            TopologyModel::kErdosRenyi};
+  const DiGraph g = MakeSurrogate(spec, 0.01, 3);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  EXPECT_EQ(g.num_labels(), 5u);
+  EXPECT_GT(g.num_edges(), 5900u);
+}
+
+TEST(DatasetsTest, ScaleValidation) {
+  const auto spec = *FindDataset("AD");
+  EXPECT_THROW(MakeSurrogate(spec, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(MakeSurrogate(spec, 1.5, 1), std::invalid_argument);
+}
+
+TEST(DatasetsTest, ScaleFromEnv) {
+  unsetenv("RLC_SCALE");
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(0.25), 0.25);
+  setenv("RLC_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(0.25), 0.5);
+  setenv("RLC_SCALE", "7.0", 1);  // clamped to 1.0
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(0.25), 1.0);
+  setenv("RLC_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(0.25), 0.25);
+  unsetenv("RLC_SCALE");
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,171 @@
+// Unit tests for the CSR digraph and the builder.
+
+#include "rlc/graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rlc/graph/graph_builder.h"
+
+namespace rlc {
+namespace {
+
+TEST(DiGraphTest, EmptyGraph) {
+  const DiGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_labels(), 0u);
+}
+
+TEST(DiGraphTest, BasicAdjacency) {
+  const DiGraph g(3, {{0, 1, 0}, {0, 2, 1}, {1, 2, 0}, {2, 0, 2}}, 3);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_labels(), 3u);
+
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.OutDegree(2), 1u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+
+  const auto out0 = g.OutEdges(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], (LabeledNeighbor{1, 0}));  // sorted by (label, dst)
+  EXPECT_EQ(out0[1], (LabeledNeighbor{2, 1}));
+
+  const auto in2 = g.InEdges(2);
+  ASSERT_EQ(in2.size(), 2u);
+  EXPECT_EQ(in2[0], (LabeledNeighbor{1, 0}));
+  EXPECT_EQ(in2[1], (LabeledNeighbor{0, 1}));
+}
+
+TEST(DiGraphTest, LabelInference) {
+  const DiGraph g(2, {{0, 1, 7}});
+  EXPECT_EQ(g.num_labels(), 8u);  // max label + 1
+}
+
+TEST(DiGraphTest, NumLabelsOverride) {
+  const DiGraph g(2, {{0, 1, 0}}, 5);
+  EXPECT_EQ(g.num_labels(), 5u);
+}
+
+TEST(DiGraphTest, RejectsOutOfRangeEdges) {
+  EXPECT_THROW(DiGraph(2, {{0, 2, 0}}), std::invalid_argument);
+  EXPECT_THROW(DiGraph(2, {{5, 0, 0}}), std::invalid_argument);
+}
+
+TEST(DiGraphTest, DedupParallelEdges) {
+  const std::vector<Edge> edges = {{0, 1, 0}, {0, 1, 0}, {0, 1, 1}};
+  const DiGraph deduped(2, edges, 2, /*dedup_parallel=*/true);
+  EXPECT_EQ(deduped.num_edges(), 2u);
+  const DiGraph kept(2, edges, 2, /*dedup_parallel=*/false);
+  EXPECT_EQ(kept.num_edges(), 3u);
+}
+
+TEST(DiGraphTest, SelfLoops) {
+  const DiGraph g(2, {{0, 0, 0}, {0, 1, 1}}, 2);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 0, 0));
+}
+
+TEST(DiGraphTest, HasEdge) {
+  const DiGraph g(3, {{0, 1, 0}, {1, 2, 1}}, 2);
+  EXPECT_TRUE(g.HasEdge(0, 1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0, 0));
+  EXPECT_THROW(g.HasEdge(0, 9, 0), std::invalid_argument);
+}
+
+TEST(DiGraphTest, LabelRangeLookup) {
+  const DiGraph g(4, {{0, 1, 0}, {0, 2, 0}, {0, 3, 1}, {1, 0, 1}}, 2);
+  const auto zeros = g.OutEdgesWithLabel(0, 0);
+  ASSERT_EQ(zeros.size(), 2u);
+  EXPECT_EQ(zeros[0].v, 1u);
+  EXPECT_EQ(zeros[1].v, 2u);
+  const auto ones = g.OutEdgesWithLabel(0, 1);
+  ASSERT_EQ(ones.size(), 1u);
+  EXPECT_EQ(ones[0].v, 3u);
+  EXPECT_TRUE(g.OutEdgesWithLabel(1, 0).empty());
+  const auto in_ones = g.InEdgesWithLabel(0, 1);
+  ASSERT_EQ(in_ones.size(), 1u);
+  EXPECT_EQ(in_ones[0].v, 1u);
+}
+
+TEST(DiGraphTest, ToEdgeListRoundTrip) {
+  std::vector<Edge> edges = {{2, 0, 1}, {0, 1, 0}, {1, 2, 2}};
+  const DiGraph g(3, edges, 3);
+  auto out = g.ToEdgeList();
+  std::sort(edges.begin(), edges.end());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, edges);
+}
+
+TEST(DiGraphTest, MemoryBytesNonZero) {
+  const DiGraph g(3, {{0, 1, 0}});
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+TEST(DiGraphTest, NamesRequireCorrectCount) {
+  DiGraph g(2, {{0, 1, 0}});
+  EXPECT_THROW(g.SetVertexNames({"a"}), std::invalid_argument);
+  g.SetVertexNames({"a", "b"});
+  EXPECT_EQ(g.VertexName(1), "b");
+  EXPECT_EQ(*g.FindVertex("a"), 0u);
+  EXPECT_FALSE(g.FindVertex("zzz").has_value());
+}
+
+TEST(GraphBuilderTest, NamedConstruction) {
+  GraphBuilder b;
+  b.AddEdge("a", "b", "x");
+  b.AddEdge("b", "c", "y");
+  b.AddEdge("a", "c", "x");
+  const DiGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_labels(), 2u);
+  EXPECT_TRUE(g.has_vertex_names());
+  EXPECT_TRUE(g.has_label_names());
+  EXPECT_TRUE(g.HasEdge(*g.FindVertex("a"), *g.FindVertex("c"), *g.FindLabel("x")));
+  EXPECT_EQ(g.LabelName(*g.FindLabel("y")), "y");
+}
+
+TEST(GraphBuilderTest, IdConstructionGrowsVertexCount) {
+  GraphBuilder b;
+  b.AddEdge(0, 5, 1);
+  const DiGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_labels(), 2u);
+  EXPECT_FALSE(g.has_vertex_names());
+}
+
+TEST(GraphBuilderTest, VertexInterningIsStable) {
+  GraphBuilder b;
+  const VertexId a1 = b.Vertex("a");
+  const VertexId bb = b.Vertex("b");
+  const VertexId a2 = b.Vertex("a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, bb);
+}
+
+TEST(GraphBuilderTest, ClearResets) {
+  GraphBuilder b;
+  b.AddEdge("a", "b", "x");
+  b.Clear();
+  EXPECT_EQ(b.num_vertices(), 0u);
+  b.AddEdge("c", "d", "y");
+  const DiGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_TRUE(g.FindVertex("a") == std::nullopt);
+}
+
+TEST(GraphBuilderTest, DedupControl) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 0);
+  b.AddEdge(0, 1, 0);
+  EXPECT_EQ(b.Build(/*dedup_parallel=*/false).num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace rlc

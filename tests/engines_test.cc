@@ -1,0 +1,131 @@
+// Tests for the Table V engine archetypes: every engine must agree with the
+// online oracle on RLC queries (Q1-Q3 shapes) and extended queries (Q4).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rlc/baselines/online_search.h"
+#include "rlc/core/indexer.h"
+#include "rlc/engines/frontier_engine.h"
+#include "rlc/engines/recursive_join_engine.h"
+#include "rlc/engines/rlc_hybrid_engine.h"
+#include "rlc/engines/volcano_engine.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/graph/paper_graphs.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc {
+namespace {
+
+DiGraph TestGraph(uint64_t seed) {
+  Rng rng(seed);
+  auto edges = ErdosRenyiEdges(90, 400, rng);
+  AssignZipfLabels(&edges, 4, 2.0, rng);
+  return DiGraph(90, std::move(edges), 4);
+}
+
+// Builds the four paper query shapes over labels a,b,c.
+std::vector<PathConstraint> PaperQueryShapes() {
+  return {
+      PathConstraint::RlcPlus(LabelSeq{0}),           // Q1: a+
+      PathConstraint::RlcPlus(LabelSeq{0, 1}),        // Q2: (a b)+
+      PathConstraint::RlcPlus(LabelSeq{0, 1, 2}),     // Q3: (a b c)+
+      PathConstraint({ConstraintAtom{LabelSeq{0}, true},
+                      ConstraintAtom{LabelSeq{1}, true}}),  // Q4: a+ b+
+  };
+}
+
+class EngineAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineAgreementTest, MatchesOracleOnAllQueryShapes) {
+  const DiGraph g = TestGraph(100 + GetParam());
+  const RlcIndex index = BuildRlcIndex(g, 3);
+
+  RecursiveJoinEngine join_engine(g);
+  VolcanoEngine volcano_engine(g);
+  FrontierEngine frontier_engine(g);
+  RlcHybridEngine rlc_engine(g, index);
+  Engine* engines[] = {&join_engine, &volcano_engine, &frontier_engine,
+                       &rlc_engine};
+
+  OnlineSearcher oracle(g);
+  Rng rng(17 + GetParam());
+  for (const PathConstraint& shape : PaperQueryShapes()) {
+    for (int trial = 0; trial < 60; ++trial) {
+      const auto s = static_cast<VertexId>(rng.Below(g.num_vertices()));
+      const auto t = static_cast<VertexId>(rng.Below(g.num_vertices()));
+      const bool expected = oracle.QueryBfsOnce(s, t, shape);
+      for (Engine* engine : engines) {
+        ASSERT_EQ(engine->Evaluate(s, t, shape), expected)
+            << engine->name() << " on " << shape.ToString() << " s=" << s
+            << " t=" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreementTest, ::testing::Values(0, 1, 2));
+
+TEST(EngineTest, NamesAreDistinct) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  RecursiveJoinEngine a(g);
+  VolcanoEngine b(g);
+  FrontierEngine c(g);
+  RlcHybridEngine d(g, index);
+  EXPECT_NE(a.name(), b.name());
+  EXPECT_NE(b.name(), c.name());
+  EXPECT_NE(c.name(), d.name());
+}
+
+TEST(EngineTest, Q4OnHandBuiltChain) {
+  // 0 -a-> 1 -a-> 2 -b-> 3; Q4 = a+ b+.
+  const DiGraph g(4, {{0, 1, 0}, {1, 2, 0}, {2, 3, 1}}, 2);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  const PathConstraint q4({ConstraintAtom{LabelSeq{0}, true},
+                           ConstraintAtom{LabelSeq{1}, true}});
+  RecursiveJoinEngine join_engine(g);
+  VolcanoEngine volcano_engine(g);
+  FrontierEngine frontier_engine(g);
+  RlcHybridEngine rlc_engine(g, index);
+  Engine* engines[] = {&join_engine, &volcano_engine, &frontier_engine,
+                       &rlc_engine};
+  for (Engine* e : engines) {
+    EXPECT_TRUE(e->Evaluate(0, 3, q4)) << e->name();
+    EXPECT_TRUE(e->Evaluate(1, 3, q4)) << e->name();
+    EXPECT_FALSE(e->Evaluate(0, 2, q4)) << e->name();
+    EXPECT_FALSE(e->Evaluate(2, 3, q4)) << e->name();
+    EXPECT_FALSE(e->Evaluate(3, 0, q4)) << e->name();
+  }
+}
+
+TEST(EngineTest, RlcHybridValidatesConstraint) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  RlcHybridEngine engine(g, index);
+  // Final atom longer than k.
+  EXPECT_THROW(
+      engine.Evaluate(0, 1, PathConstraint::RlcPlus(LabelSeq{0, 1, 2})),
+      std::invalid_argument);
+  // Non-recursive final atom unsupported by the hybrid plan.
+  EXPECT_THROW(engine.Evaluate(0, 1, PathConstraint::Fixed(LabelSeq{0})),
+               std::invalid_argument);
+  EXPECT_THROW(engine.Evaluate(0, 99, PathConstraint::RlcPlus(LabelSeq{0})),
+               std::invalid_argument);
+}
+
+TEST(EngineTest, EnginesValidateVertices) {
+  const DiGraph g = BuildFig2Graph();
+  RecursiveJoinEngine join_engine(g);
+  VolcanoEngine volcano_engine(g);
+  FrontierEngine frontier_engine(g);
+  const auto c = PathConstraint::RlcPlus(LabelSeq{0});
+  EXPECT_THROW(join_engine.Evaluate(0, 99, c), std::invalid_argument);
+  EXPECT_THROW(volcano_engine.Evaluate(99, 0, c), std::invalid_argument);
+  EXPECT_THROW(frontier_engine.Evaluate(99, 99, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,131 @@
+// Tests for the ER/BA generators and label assignment.
+
+#include "rlc/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rlc/graph/digraph.h"
+#include "rlc/graph/label_assign.h"
+
+namespace rlc {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCountNoLoopsNoDup) {
+  Rng rng(1);
+  const auto edges = ErdosRenyiEdges(50, 300, rng);
+  EXPECT_EQ(edges.size(), 300u);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_LT(e.src, 50u);
+    EXPECT_LT(e.dst, 50u);
+    EXPECT_TRUE(seen.insert({e.src, e.dst}).second) << "duplicate pair";
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleDensity) {
+  Rng rng(1);
+  EXPECT_THROW(ErdosRenyiEdges(3, 7, rng), std::invalid_argument);
+  // Exactly n*(n-1) is the complete digraph and must succeed.
+  EXPECT_EQ(ErdosRenyiEdges(3, 6, rng).size(), 6u);
+}
+
+TEST(ErdosRenyiTest, DeterministicInSeed) {
+  Rng a(9), b(9), c(10), d(9);
+  EXPECT_EQ(ErdosRenyiEdges(40, 100, a), ErdosRenyiEdges(40, 100, b));
+  EXPECT_NE(ErdosRenyiEdges(40, 100, d), ErdosRenyiEdges(40, 100, c));
+}
+
+TEST(BarabasiAlbertTest, SeedCliqueAndAttachment) {
+  Rng rng(3);
+  const uint32_t m = 3;
+  const VertexId n = 100;
+  const auto edges = BarabasiAlbertEdges(n, m, rng);
+  // Complete directed seed on m+1 vertices, then m edges per new vertex.
+  const uint64_t expected = (m + 1) * m + (n - (m + 1)) * m;
+  EXPECT_EQ(edges.size(), expected);
+  // Seed is complete: every ordered pair among {0..m}.
+  const DiGraph g(n, edges, 1, /*dedup_parallel=*/false);
+  for (VertexId u = 0; u <= m; ++u) {
+    for (VertexId v = 0; v <= m; ++v) {
+      if (u != v) {
+        EXPECT_TRUE(g.HasEdge(u, v, 0));
+      }
+    }
+  }
+  // Every non-seed vertex has out-degree exactly m.
+  for (VertexId v = m + 1; v < n; ++v) {
+    EXPECT_EQ(g.OutDegree(v), m);
+  }
+}
+
+TEST(BarabasiAlbertTest, DegreeSkewExceedsErdosRenyi) {
+  // The BA hubs should dominate: max total degree far above the average.
+  Rng rng(5);
+  const auto edges = BarabasiAlbertEdges(2000, 3, rng);
+  const DiGraph g(2000, edges, 1, false);
+  uint64_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.OutDegree(v) + g.InDegree(v));
+  }
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(static_cast<double>(max_deg), 10.0 * avg);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParams) {
+  Rng rng(1);
+  EXPECT_THROW(BarabasiAlbertEdges(3, 3, rng), std::invalid_argument);
+  EXPECT_THROW(BarabasiAlbertEdges(10, 0, rng), std::invalid_argument);
+}
+
+TEST(SelfLoopTest, AddsDistinctLoops) {
+  Rng rng(1);
+  std::vector<Edge> edges;
+  AddRandomSelfLoops(&edges, 20, 5, rng);
+  EXPECT_EQ(edges.size(), 5u);
+  std::set<VertexId> vs;
+  for (const Edge& e : edges) {
+    EXPECT_EQ(e.src, e.dst);
+    EXPECT_TRUE(vs.insert(e.src).second);
+  }
+  EXPECT_THROW(AddRandomSelfLoops(&edges, 3, 4, rng), std::invalid_argument);
+}
+
+TEST(LabelAssignTest, ZipfIsSkewedTowardLabelZero) {
+  Rng rng(2);
+  std::vector<Edge> edges(20000, Edge{0, 1, 99});
+  AssignZipfLabels(&edges, 8, 2.0, rng);
+  std::vector<uint64_t> counts(8, 0);
+  for (const Edge& e : edges) {
+    ASSERT_LT(e.label, 8u);
+    ++counts[e.label];
+  }
+  // Zipf(2): P(0) ~ 0.66 of the mass over 8 labels; allow slack.
+  EXPECT_GT(counts[0], edges.size() / 2);
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+}
+
+TEST(LabelAssignTest, UniformCoversAlphabet) {
+  Rng rng(2);
+  std::vector<Edge> edges(5000, Edge{0, 1, 0});
+  AssignUniformLabels(&edges, 4, rng);
+  std::vector<uint64_t> counts(4, 0);
+  for (const Edge& e : edges) ++counts[e.label];
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, edges.size() / 8);  // each within 2x of fair share
+    EXPECT_LT(c, edges.size() / 2);
+  }
+}
+
+TEST(LabelAssignTest, RejectsEmptyAlphabet) {
+  Rng rng(1);
+  std::vector<Edge> edges = {{0, 1, 0}};
+  EXPECT_THROW(AssignZipfLabels(&edges, 0, 2.0, rng), std::invalid_argument);
+  EXPECT_THROW(AssignUniformLabels(&edges, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,116 @@
+// Tests for text and binary graph I/O.
+
+#include "rlc/graph/edge_list_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "rlc/graph/graph_builder.h"
+
+namespace rlc {
+namespace {
+
+TEST(EdgeListTextTest, NumericThreeColumn) {
+  std::istringstream in("# comment\n0 1 0\n1 2 1\n\n2 0 0\n");
+  const DiGraph g = ReadEdgeListText(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_labels(), 2u);
+  EXPECT_TRUE(g.HasEdge(1, 2, 1));
+}
+
+TEST(EdgeListTextTest, NumericTwoColumnDefaultsLabelZero) {
+  std::istringstream in("0 1\n1 2\n");
+  const DiGraph g = ReadEdgeListText(in);
+  EXPECT_EQ(g.num_labels(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1, 0));
+}
+
+TEST(EdgeListTextTest, SnapStyleCommentsAndGaps) {
+  // SNAP files use '#' headers and may skip vertex ids.
+  std::istringstream in("# Nodes: 5 Edges: 2\n0 4 1\n2 3 0\n");
+  const DiGraph g = ReadEdgeListText(in);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+}
+
+TEST(EdgeListTextTest, NamedTokens) {
+  std::istringstream in("alice bob knows\nbob carol worksFor\n");
+  const DiGraph g = ReadEdgeListText(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_TRUE(g.has_vertex_names());
+  EXPECT_TRUE(
+      g.HasEdge(*g.FindVertex("alice"), *g.FindVertex("bob"), *g.FindLabel("knows")));
+}
+
+TEST(EdgeListTextTest, RejectsMixedNumericAndNamed) {
+  std::istringstream in("0 1 0\nalice bob knows\n");
+  EXPECT_THROW(ReadEdgeListText(in), std::runtime_error);
+}
+
+TEST(EdgeListTextTest, RejectsShortLines) {
+  std::istringstream in("0\n");
+  EXPECT_THROW(ReadEdgeListText(in), std::runtime_error);
+}
+
+TEST(EdgeListTextTest, MissingFileThrows) {
+  EXPECT_THROW(LoadEdgeListText("/nonexistent/path/graph.txt"), std::runtime_error);
+}
+
+TEST(EdgeListTextTest, WriteReadRoundTripNumeric) {
+  const DiGraph g(4, {{0, 1, 2}, {1, 2, 0}, {3, 0, 1}}, 3);
+  std::stringstream buf;
+  WriteEdgeListText(g, buf);
+  const DiGraph h = ReadEdgeListText(buf);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  auto a = g.ToEdgeList();
+  auto b = h.ToEdgeList();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(EdgeListTextTest, WriteReadRoundTripNamed) {
+  GraphBuilder builder;
+  builder.AddEdge("a", "b", "x");
+  builder.AddEdge("b", "a", "y");
+  const DiGraph g = builder.Build();
+  std::stringstream buf;
+  WriteEdgeListText(g, buf);
+  const DiGraph h = ReadEdgeListText(buf);
+  EXPECT_TRUE(h.has_vertex_names());
+  EXPECT_TRUE(
+      h.HasEdge(*h.FindVertex("b"), *h.FindVertex("a"), *h.FindLabel("y")));
+}
+
+TEST(GraphBinaryTest, RoundTrip) {
+  const DiGraph g(5, {{0, 1, 0}, {1, 2, 3}, {4, 4, 1}}, 4);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  WriteGraphBinary(g, buf);
+  const DiGraph h = ReadGraphBinary(buf);
+  EXPECT_EQ(h.num_vertices(), 5u);
+  EXPECT_EQ(h.num_edges(), 3u);
+  EXPECT_EQ(h.num_labels(), 4u);
+  EXPECT_TRUE(h.HasEdge(4, 4, 1));
+}
+
+TEST(GraphBinaryTest, BadMagicRejected) {
+  std::stringstream buf;
+  buf << "garbage data that is not a graph";
+  EXPECT_THROW(ReadGraphBinary(buf), std::runtime_error);
+}
+
+TEST(GraphBinaryTest, TruncationRejected) {
+  const DiGraph g(3, {{0, 1, 0}, {1, 2, 0}});
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  WriteGraphBinary(g, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() - 5),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(ReadGraphBinary(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,111 @@
+// Serialization round-trip and corruption tests for the index format.
+
+#include "rlc/core/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rlc/baselines/online_search.h"
+#include "rlc/core/indexer.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/graph/paper_graphs.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc {
+namespace {
+
+void ExpectSameIndex(const RlcIndex& a, const RlcIndex& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.k(), b.k());
+  ASSERT_EQ(a.mr_table().size(), b.mr_table().size());
+  for (MrId id = 0; id < a.mr_table().size(); ++id) {
+    EXPECT_EQ(a.mr_table().Get(id), b.mr_table().Get(id));
+  }
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.AccessId(v), b.AccessId(v));
+    EXPECT_EQ(a.Lout(v), b.Lout(v));
+    EXPECT_EQ(a.Lin(v), b.Lin(v));
+  }
+}
+
+TEST(IndexIoTest, RoundTripFig2) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, buf);
+  const RlcIndex loaded = ReadIndex(buf);
+  ExpectSameIndex(index, loaded);
+  // Loaded index answers like the original.
+  const Label l1 = *g.FindLabel("l1");
+  const Label l2 = *g.FindLabel("l2");
+  EXPECT_TRUE(loaded.Query(*g.FindVertex("v3"), *g.FindVertex("v6"),
+                           LabelSeq{l2, l1}));
+  EXPECT_FALSE(loaded.Query(*g.FindVertex("v1"), *g.FindVertex("v3"),
+                            LabelSeq{l1}));
+}
+
+TEST(IndexIoTest, RoundTripRandomGraphQueriesAgree) {
+  Rng rng(31);
+  auto edges = ErdosRenyiEdges(120, 420, rng);
+  AssignZipfLabels(&edges, 4, 2.0, rng);
+  const DiGraph g(120, std::move(edges), 4);
+  const RlcIndex index = BuildRlcIndex(g, 3);
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, buf);
+  const RlcIndex loaded = ReadIndex(buf);
+  ExpectSameIndex(index, loaded);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s = static_cast<VertexId>(rng.Below(120));
+    const auto t = static_cast<VertexId>(rng.Below(120));
+    const LabelSeq c = RandomPrimitiveSeq(1 + rng.Below(3), 4, rng);
+    ASSERT_EQ(index.Query(s, t, c), loaded.Query(s, t, c));
+  }
+}
+
+TEST(IndexIoTest, RoundTripEmptyIndex) {
+  const RlcIndex index = BuildRlcIndex(DiGraph(), 2);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, buf);
+  const RlcIndex loaded = ReadIndex(buf);
+  EXPECT_EQ(loaded.num_vertices(), 0u);
+  EXPECT_EQ(loaded.NumEntries(), 0u);
+}
+
+TEST(IndexIoTest, BadMagicRejected) {
+  std::stringstream buf;
+  buf << "this is not an index file at all, sorry";
+  EXPECT_THROW(ReadIndex(buf), std::runtime_error);
+}
+
+TEST(IndexIoTest, TruncationRejected) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, buf);
+  const std::string full = buf.str();
+  for (const size_t cut : {size_t{4}, full.size() / 2, full.size() - 3}) {
+    std::stringstream trunc(full.substr(0, cut), std::ios::in | std::ios::binary);
+    EXPECT_THROW(ReadIndex(trunc), std::runtime_error) << "cut at " << cut;
+  }
+}
+
+TEST(IndexIoTest, FileRoundTrip) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  const std::string path = ::testing::TempDir() + "/rlc_index_io_test.idx";
+  SaveIndex(index, path);
+  const RlcIndex loaded = LoadIndex(path);
+  ExpectSameIndex(index, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadIndex("/nonexistent/dir/index.idx"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rlc

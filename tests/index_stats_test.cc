@@ -1,0 +1,59 @@
+// Tests for index introspection (index_stats.h).
+
+#include "rlc/core/index_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "rlc/core/indexer.h"
+#include "rlc/graph/paper_graphs.h"
+
+namespace rlc {
+namespace {
+
+TEST(IndexStatsTest, Fig2Summary) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  const IndexSummary s = Summarize(index);
+
+  EXPECT_EQ(s.num_vertices, 6u);
+  EXPECT_EQ(s.k, 2u);
+  // Table II: 13 Lout entries and 13 Lin entries.
+  EXPECT_EQ(s.out_entries, 13u);
+  EXPECT_EQ(s.in_entries, 13u);
+  EXPECT_EQ(s.total_entries, 26u);
+  EXPECT_EQ(s.memory_bytes, index.MemoryBytes());
+  // Distinct MRs in Table II: l1, l2, l3, (l2 l1), (l1 l2), (l2 l3).
+  EXPECT_EQ(s.distinct_mrs, 6u);
+  // Lout(v3) is the longest out list (4 entries); Lin(v6)/Lin(v5) have 4.
+  EXPECT_EQ(s.max_out_list, 4u);
+  EXPECT_EQ(s.max_in_list, 4u);
+  EXPECT_EQ(s.empty_vertices, 0u);
+  // Histogram: 14 single-label entries + 12 two-label entries = 26.
+  ASSERT_EQ(s.mr_length_histogram.size(), 2u);
+  EXPECT_EQ(s.mr_length_histogram[0] + s.mr_length_histogram[1], 26u);
+  EXPECT_GT(s.mr_length_histogram[0], 0u);
+  EXPECT_GT(s.mr_length_histogram[1], 0u);
+  EXPECT_NEAR(s.avg_out_list, 13.0 / 6.0, 1e-9);
+}
+
+TEST(IndexStatsTest, DescribeMentionsKeyNumbers) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  const std::string report = Describe(Summarize(index));
+  EXPECT_NE(report.find("|V|=6"), std::string::npos);
+  EXPECT_NE(report.find("26 total"), std::string::npos);
+  EXPECT_NE(report.find("|MR| = 1"), std::string::npos);
+  EXPECT_NE(report.find("|MR| = 2"), std::string::npos);
+}
+
+TEST(IndexStatsTest, EmptyIndex) {
+  const RlcIndex index = BuildRlcIndex(DiGraph(), 3);
+  const IndexSummary s = Summarize(index);
+  EXPECT_EQ(s.total_entries, 0u);
+  EXPECT_EQ(s.empty_vertices, 0u);
+  EXPECT_EQ(s.mr_length_histogram.size(), 3u);
+  EXPECT_FALSE(Describe(s).empty());
+}
+
+}  // namespace
+}  // namespace rlc

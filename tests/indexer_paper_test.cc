@@ -1,0 +1,262 @@
+// Golden tests against every worked example in the paper: the Fig. 2
+// running example (Examples 4–6, Table II), the IN-OUT access order, and
+// the Fig. 1 examples (Examples 1–3, §III-C).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "rlc/core/indexer.h"
+#include "rlc/graph/paper_graphs.h"
+
+namespace rlc {
+namespace {
+
+// (vertex name, hub name, mr as label names) — readable golden entries.
+using NamedEntry = std::tuple<std::string, std::string, std::vector<std::string>>;
+
+std::set<NamedEntry> CollectEntries(const DiGraph& g, const RlcIndex& index,
+                                    bool out_side) {
+  std::set<NamedEntry> entries;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto& list = out_side ? index.Lout(v) : index.Lin(v);
+    for (const IndexEntry& e : list) {
+      const VertexId hub = index.VertexOfAid(e.hub_aid);
+      const LabelSeq& mr = index.mr_table().Get(e.mr);
+      std::vector<std::string> labels;
+      for (uint32_t i = 0; i < mr.size(); ++i) {
+        labels.push_back(g.LabelName(mr[i]));
+      }
+      entries.insert({g.VertexName(v), g.VertexName(hub), labels});
+    }
+  }
+  return entries;
+}
+
+class Fig2IndexTest : public ::testing::Test {
+ protected:
+  Fig2IndexTest() : g_(BuildFig2Graph()), index_(BuildRlcIndex(g_, 2)) {}
+
+  VertexId V(const std::string& name) const { return *g_.FindVertex(name); }
+  Label L(const std::string& name) const { return *g_.FindLabel(name); }
+
+  DiGraph g_;
+  RlcIndex index_;
+};
+
+TEST_F(Fig2IndexTest, AccessOrderMatchesPaper) {
+  // Fig. 2 superscripts: v1^(1), v3^(2), v2^(3), v4^(4), v5^(5), v6^(6).
+  EXPECT_EQ(index_.AccessId(V("v1")), 1u);
+  EXPECT_EQ(index_.AccessId(V("v3")), 2u);
+  EXPECT_EQ(index_.AccessId(V("v2")), 3u);
+  EXPECT_EQ(index_.AccessId(V("v4")), 4u);
+  EXPECT_EQ(index_.AccessId(V("v5")), 5u);
+  EXPECT_EQ(index_.AccessId(V("v6")), 6u);
+}
+
+TEST_F(Fig2IndexTest, LoutMatchesTableII) {
+  const std::set<NamedEntry> expected = {
+      {"v1", "v1", {"l2"}},
+      {"v1", "v1", {"l1"}},
+      {"v1", "v1", {"l2", "l1"}},
+      {"v2", "v1", {"l2", "l1"}},
+      {"v2", "v1", {"l1"}},
+      {"v3", "v1", {"l2"}},
+      {"v3", "v1", {"l2", "l1"}},
+      {"v3", "v1", {"l1"}},
+      {"v3", "v3", {"l1", "l2"}},
+      {"v4", "v1", {"l1"}},
+      {"v4", "v3", {"l1", "l2"}},
+      {"v5", "v1", {"l1"}},
+      {"v5", "v3", {"l1", "l2"}},
+  };
+  EXPECT_EQ(CollectEntries(g_, index_, /*out_side=*/true), expected);
+}
+
+TEST_F(Fig2IndexTest, LinMatchesTableII) {
+  const std::set<NamedEntry> expected = {
+      {"v2", "v1", {"l1"}},
+      {"v2", "v1", {"l2", "l1"}},
+      {"v3", "v1", {"l2"}},
+      {"v3", "v1", {"l1", "l2"}},
+      {"v4", "v1", {"l2"}},
+      {"v5", "v1", {"l1", "l2"}},
+      {"v5", "v1", {"l1"}},
+      {"v5", "v3", {"l1", "l2"}},
+      {"v5", "v2", {"l2"}},
+      {"v6", "v1", {"l2", "l1"}},
+      {"v6", "v3", {"l1"}},
+      {"v6", "v3", {"l2", "l3"}},
+      {"v6", "v4", {"l3"}},
+  };
+  EXPECT_EQ(CollectEntries(g_, index_, /*out_side=*/false), expected);
+}
+
+TEST_F(Fig2IndexTest, Example4Queries) {
+  // Q1(v3, v6, (l2,l1)+) = true via (v3,l2,v4,l1,v1,l2,v3,l1,v6).
+  EXPECT_TRUE(index_.Query(V("v3"), V("v6"), LabelSeq{L("l2"), L("l1")}));
+  // Q2(v1, v2, (l2,l1)+) = true via (v1,(l2,l1)) ∈ Lin(v2).
+  EXPECT_TRUE(index_.Query(V("v1"), V("v2"), LabelSeq{L("l2"), L("l1")}));
+  // Q3(v1, v3, (l1)+) = false although v1 reaches v3.
+  EXPECT_FALSE(index_.Query(V("v1"), V("v3"), LabelSeq{L("l1")}));
+}
+
+TEST_F(Fig2IndexTest, LoutOrderOfV1FollowsIndexingTrace) {
+  // Example 5's trace inserts into Lout(v1): (v1,l2) during kernel-search,
+  // then (v1,l1) during the (l1)+ kernel-BFS, then (v1,(l2,l1)) during the
+  // (l2,l1)+ kernel-BFS. Entry order is observable (append-only lists).
+  const auto& lout = index_.Lout(V("v1"));
+  ASSERT_EQ(lout.size(), 3u);
+  EXPECT_EQ(index_.mr_table().Get(lout[0].mr), (LabelSeq{L("l2")}));
+  EXPECT_EQ(index_.mr_table().Get(lout[1].mr), (LabelSeq{L("l1")}));
+  EXPECT_EQ(index_.mr_table().Get(lout[2].mr), (LabelSeq{L("l2"), L("l1")}));
+}
+
+TEST_F(Fig2IndexTest, EntriesSortedByAccessId) {
+  for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+    for (const auto* list : {&index_.Lout(v), &index_.Lin(v)}) {
+      EXPECT_TRUE(std::is_sorted(list->begin(), list->end(),
+                                 [](const IndexEntry& a, const IndexEntry& b) {
+                                   return a.hub_aid < b.hub_aid;
+                                 }));
+    }
+  }
+}
+
+TEST_F(Fig2IndexTest, StarQueries) {
+  // (s,s,L*) is trivially true; otherwise star reduces to plus (§III-B).
+  EXPECT_TRUE(index_.QueryStar(V("v6"), V("v6"), LabelSeq{L("l3")}));
+  EXPECT_TRUE(index_.QueryStar(V("v3"), V("v6"), LabelSeq{L("l2"), L("l1")}));
+  EXPECT_FALSE(index_.QueryStar(V("v1"), V("v3"), LabelSeq{L("l1")}));
+}
+
+TEST_F(Fig2IndexTest, QueryValidation) {
+  EXPECT_THROW(index_.Query(V("v1"), V("v2"), LabelSeq{}), std::invalid_argument);
+  // Non-primitive constraint (l1 l1): L != MR(L).
+  EXPECT_THROW(index_.Query(V("v1"), V("v2"), LabelSeq{L("l1"), L("l1")}),
+               std::invalid_argument);
+  // Longer than k.
+  EXPECT_THROW(
+      index_.Query(V("v1"), V("v2"), LabelSeq{L("l1"), L("l2"), L("l3")}),
+      std::invalid_argument);
+  // Vertex out of range.
+  EXPECT_THROW(index_.Query(99, V("v2"), LabelSeq{L("l1")}),
+               std::invalid_argument);
+  // Unknown-to-the-index MR: valid arguments, never recorded -> false.
+  EXPECT_FALSE(index_.Query(V("v1"), V("v2"), LabelSeq{L("l3"), L("l1")}));
+}
+
+class Fig1IndexTest : public ::testing::Test {
+ protected:
+  Fig1IndexTest() : g_(BuildFig1Graph()), index2_(BuildRlcIndex(g_, 2)) {}
+
+  VertexId V(const std::string& name) const { return *g_.FindVertex(name); }
+  Label L(const std::string& name) const { return *g_.FindLabel(name); }
+
+  DiGraph g_;
+  RlcIndex index2_;
+};
+
+TEST_F(Fig1IndexTest, Example1FraudQuery) {
+  EXPECT_TRUE(index2_.Query(V("A14"), V("A19"),
+                            LabelSeq{L("debits"), L("credits")}));
+  // No reverse money trail.
+  EXPECT_FALSE(index2_.Query(V("A19"), V("A14"),
+                             LabelSeq{L("debits"), L("credits")}));
+}
+
+TEST_F(Fig1IndexTest, Example1SocialQueryNeedsK3) {
+  const RlcIndex index3 = BuildRlcIndex(g_, 3);
+  EXPECT_FALSE(index3.Query(V("P10"), V("P13"),
+                            LabelSeq{L("knows"), L("knows"), L("worksFor")}));
+  // Sanity: P10 does reach P13 under (knows)+.
+  EXPECT_TRUE(index3.Query(V("P10"), V("P13"), LabelSeq{L("knows")}));
+}
+
+TEST_F(Fig1IndexTest, SectionIIIConciseSetClaims) {
+  // S2(P12,P16) = {(knows), (knows worksFor)}: both constraints hold...
+  EXPECT_TRUE(index2_.Query(V("P12"), V("P16"), LabelSeq{L("knows")}));
+  EXPECT_TRUE(index2_.Query(V("P12"), V("P16"),
+                            LabelSeq{L("knows"), L("worksFor")}));
+  // ...and nothing else of length <= 2 does.
+  for (Label a = 0; a < g_.num_labels(); ++a) {
+    for (Label b = 0; b < g_.num_labels(); ++b) {
+      const bool in_s2 =
+          (a == L("knows") && b == L("knows")) ||
+          (a == L("knows") && b == L("worksFor"));
+      LabelSeq c = (a == b) ? LabelSeq{a} : LabelSeq{a, b};
+      if (a == b && a != L("knows")) {
+        EXPECT_FALSE(index2_.Query(V("P12"), V("P16"), c));
+      } else if (a != b) {
+        EXPECT_EQ(index2_.Query(V("P12"), V("P16"), c), in_s2)
+            << "constraint (" << a << " " << b << ")";
+      }
+    }
+  }
+}
+
+TEST_F(Fig1IndexTest, Example2ConciseSet) {
+  // S2(P11,P13) contains (knows) and (worksFor,knows).
+  EXPECT_TRUE(index2_.Query(V("P11"), V("P13"), LabelSeq{L("knows")}));
+  EXPECT_TRUE(index2_.Query(V("P11"), V("P13"),
+                            LabelSeq{L("worksFor"), L("knows")}));
+}
+
+TEST_F(Fig1IndexTest, Example3InvalidKernelCannotReachP13) {
+  // The eager kernel candidate (knows worksFor) from P10 must not produce a
+  // P10 -> P13 result.
+  EXPECT_FALSE(index2_.Query(V("P10"), V("P13"),
+                             LabelSeq{L("knows"), L("worksFor")}));
+  // But it is a real kernel for P10 -> P16.
+  EXPECT_TRUE(index2_.Query(V("P10"), V("P16"),
+                            LabelSeq{L("knows"), L("worksFor")}));
+}
+
+TEST(IndexerConfigTest, BuilderRejectsBadK) {
+  const DiGraph g = BuildFig2Graph();
+  EXPECT_THROW(BuildRlcIndex(g, 0), std::invalid_argument);
+  EXPECT_THROW(BuildRlcIndex(g, kMaxK + 1), std::invalid_argument);
+}
+
+TEST(IndexerConfigTest, BuildTwiceAborts) {
+  const DiGraph g = BuildFig2Graph();
+  IndexerOptions options;
+  RlcIndexBuilder builder(g, options);
+  (void)builder.Build();
+  EXPECT_DEATH((void)builder.Build(), "called twice");
+}
+
+TEST(IndexerConfigTest, OrderingStrategies) {
+  const DiGraph g = BuildFig2Graph();
+  const auto in_out =
+      RlcIndexBuilder::ComputeOrder(g, VertexOrdering::kInOut, 0);
+  EXPECT_EQ(in_out.size(), g.num_vertices());
+  const auto by_id =
+      RlcIndexBuilder::ComputeOrder(g, VertexOrdering::kVertexId, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(by_id[v], v);
+  const auto random =
+      RlcIndexBuilder::ComputeOrder(g, VertexOrdering::kRandom, 123);
+  auto sorted = random;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(sorted[v], v);
+  // Determinism in the seed.
+  EXPECT_EQ(random, RlcIndexBuilder::ComputeOrder(g, VertexOrdering::kRandom, 123));
+}
+
+TEST(IndexerStatsTest, CountersPopulated) {
+  const DiGraph g = BuildFig2Graph();
+  IndexerOptions options;
+  RlcIndexBuilder builder(g, options);
+  const RlcIndex index = builder.Build();
+  const IndexerStats& stats = builder.stats();
+  EXPECT_EQ(stats.entries_inserted, index.NumEntries());
+  EXPECT_GT(stats.kernel_search_states, 0u);
+  EXPECT_GT(stats.kernel_bfs_runs, 0u);
+  EXPECT_GT(stats.pruned_pr1 + stats.pruned_pr2, 0u);
+  EXPECT_GE(stats.build_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,281 @@
+// Unit and property tests for the label-sequence algebra: minimum repeats
+// (Lemma 1), kernel/tail decomposition (Definition 3, Lemma 2) and the
+// Theorem 1 case analysis.
+
+#include "rlc/core/label_seq.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rlc/core/mr_table.h"
+#include "rlc/util/rng.h"
+
+namespace rlc {
+namespace {
+
+using L = std::vector<Label>;
+
+// Brute-force reference: smallest p such that p divides |seq| and seq is a
+// repetition of its p-prefix.
+size_t BruteForceMrLength(const L& seq) {
+  const size_t n = seq.size();
+  for (size_t p = 1; p <= n; ++p) {
+    if (n % p != 0) continue;
+    bool ok = true;
+    for (size_t i = p; i < n && ok; ++i) ok = (seq[i] == seq[i % p]);
+    if (ok) return p;
+  }
+  return n;
+}
+
+TEST(LabelSeqTest, BasicAccessors) {
+  LabelSeq s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  s.PushBack(3);
+  s.PushBack(7);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 3u);
+  EXPECT_EQ(s[1], 7u);
+  s.PushFront(9);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 9u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(s[2], 7u);
+}
+
+TEST(LabelSeqTest, EqualityAndOrdering) {
+  EXPECT_EQ((LabelSeq{1, 2}), (LabelSeq{1, 2}));
+  EXPECT_NE((LabelSeq{1, 2}), (LabelSeq{2, 1}));
+  EXPECT_NE((LabelSeq{1}), (LabelSeq{1, 1}));
+  EXPECT_LT((LabelSeq{0}), (LabelSeq{1}));
+  EXPECT_LT((LabelSeq{1}), (LabelSeq{1, 0}));  // prefix sorts first
+  EXPECT_LT((LabelSeq{0, 9}), (LabelSeq{1}));  // lexicographic on content
+}
+
+TEST(LabelSeqTest, HashDistinguishesPermutations) {
+  EXPECT_NE((LabelSeq{1, 2}).Hash(), (LabelSeq{2, 1}).Hash());
+  EXPECT_NE((LabelSeq{1}).Hash(), (LabelSeq{1, 1}).Hash());
+}
+
+TEST(LabelSeqTest, ToString) {
+  EXPECT_EQ((LabelSeq{1, 0}).ToString(), "(1 0)");
+  const std::vector<std::string> names = {"a", "b"};
+  EXPECT_EQ((LabelSeq{1, 0}).ToString(names), "(b a)");
+  EXPECT_EQ(LabelSeq{}.ToString(), "()");
+}
+
+TEST(LabelSeqTest, OverflowChecked) {
+  std::vector<Label> too_long(kMaxK + 1, 0);
+  EXPECT_THROW(LabelSeq(std::span<const Label>(too_long)), std::invalid_argument);
+}
+
+TEST(MinimumRepeatTest, PaperExamples) {
+  // MR(knows,worksFor,knows,worksFor) = (knows,worksFor)  [Sec. III-A]
+  EXPECT_EQ(MinimumRepeat(L{0, 1, 0, 1}), (L{0, 1}));
+  // (knows,knows,knows,knows) and (knows,knows,knows) share MR (knows).
+  EXPECT_EQ(MinimumRepeat(L{0, 0, 0, 0}), (L{0}));
+  EXPECT_EQ(MinimumRepeat(L{0, 0, 0}), (L{0}));
+}
+
+TEST(MinimumRepeatTest, EdgeCases) {
+  EXPECT_EQ(MinimumRepeatLength(L{}), 0u);
+  EXPECT_EQ(MinimumRepeat(L{5}), (L{5}));
+  // Non-dividing period: (a b a) has border "a", period 2, but 3 % 2 != 0,
+  // so the MR is the sequence itself.
+  EXPECT_EQ(MinimumRepeat(L{0, 1, 0}), (L{0, 1, 0}));
+  // (a b a a b a) is (a b a)^2.
+  EXPECT_EQ(MinimumRepeat(L{0, 1, 0, 0, 1, 0}), (L{0, 1, 0}));
+}
+
+TEST(MinimumRepeatTest, IsPrimitive) {
+  EXPECT_FALSE(IsPrimitive(L{}));
+  EXPECT_TRUE(IsPrimitive(L{0}));
+  EXPECT_FALSE(IsPrimitive(L{0, 0}));
+  EXPECT_TRUE(IsPrimitive(L{0, 1}));
+  EXPECT_TRUE(IsPrimitive(L{0, 0, 1}));
+  EXPECT_FALSE(IsPrimitive(L{0, 1, 0, 1}));
+}
+
+TEST(MinimumRepeatTest, MrOfMrIsIdentity) {
+  Rng rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    L seq(1 + rng.Below(12));
+    for (auto& l : seq) l = static_cast<Label>(rng.Below(3));
+    const L mr = MinimumRepeat(seq);
+    EXPECT_EQ(MinimumRepeat(mr), mr) << "MR not idempotent";
+    EXPECT_TRUE(IsPrimitive(mr));
+  }
+}
+
+TEST(MinimumRepeatTest, MatchesBruteForceOnRandomSequences) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const size_t n = 1 + rng.Below(16);
+    const Label alphabet = static_cast<Label>(1 + rng.Below(3));
+    L seq(n);
+    for (auto& l : seq) l = static_cast<Label>(rng.Below(alphabet));
+    EXPECT_EQ(MinimumRepeatLength(seq), BruteForceMrLength(seq))
+        << "mismatch on seq of length " << n;
+  }
+}
+
+TEST(MinimumRepeatTest, SeqVariantAgrees) {
+  Rng rng(99);
+  for (int trial = 0; trial < 1000; ++trial) {
+    LabelSeq seq;
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.Below(kMaxK));
+    for (uint32_t i = 0; i < n; ++i) {
+      seq.PushBack(static_cast<Label>(rng.Below(3)));
+    }
+    const LabelSeq mr = MinimumRepeatSeq(seq);
+    const L expected = MinimumRepeat(seq.labels());
+    ASSERT_EQ(mr.size(), expected.size());
+    for (uint32_t i = 0; i < mr.size(); ++i) EXPECT_EQ(mr[i], expected[i]);
+  }
+}
+
+TEST(KernelTest, PaperExample) {
+  // (knows,knows,knows,knows) has kernel (knows) and tail ε  [Sec. IV].
+  const auto kt = DecomposeKernel(L{0, 0, 0, 0});
+  ASSERT_TRUE(kt.has_value());
+  EXPECT_EQ(kt->kernel, (L{0}));
+  EXPECT_TRUE(kt->tail.empty());
+  EXPECT_EQ(kt->repetitions, 4u);
+}
+
+TEST(KernelTest, KernelWithTail) {
+  // (a b a b a) = (a b)^2 ∘ (a): kernel (a b), tail (a).
+  const auto kt = DecomposeKernel(L{0, 1, 0, 1, 0});
+  ASSERT_TRUE(kt.has_value());
+  EXPECT_EQ(kt->kernel, (L{0, 1}));
+  EXPECT_EQ(kt->tail, (L{0}));
+  EXPECT_EQ(kt->repetitions, 2u);
+}
+
+TEST(KernelTest, NoKernel) {
+  EXPECT_FALSE(DecomposeKernel(L{}).has_value());
+  EXPECT_FALSE(DecomposeKernel(L{0}).has_value());
+  EXPECT_FALSE(DecomposeKernel(L{0, 1}).has_value());
+  EXPECT_FALSE(DecomposeKernel(L{0, 1, 1}).has_value());
+  // (a b a) is 2-periodic only with non-integer repetitions and the prefix
+  // (a b) repeats < 2 full times: no kernel.
+  EXPECT_FALSE(DecomposeKernel(L{0, 1, 0}).has_value());
+}
+
+TEST(KernelTest, KernelIsPrimitiveAndUnique) {
+  // Lemma 2 (uniqueness): verify against brute-force enumeration of all
+  // valid (kernel, tail) decompositions on random sequences.
+  Rng rng(5);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const size_t n = 2 + rng.Below(12);
+    L seq(n);
+    for (auto& l : seq) l = static_cast<Label>(rng.Below(2));
+    std::vector<L> kernels;
+    for (size_t c = 1; c * 2 <= n; ++c) {
+      L prefix(seq.begin(), seq.begin() + static_cast<int64_t>(c));
+      if (!IsPrimitive(prefix)) continue;
+      bool periodic = true;
+      for (size_t j = c; j < n && periodic; ++j) periodic = (seq[j] == seq[j - c]);
+      if (periodic) kernels.push_back(prefix);
+    }
+    EXPECT_LE(kernels.size(), 1u) << "kernel not unique (Lemma 2 violated)";
+    const auto kt = DecomposeKernel(seq);
+    if (kernels.empty()) {
+      EXPECT_FALSE(kt.has_value());
+    } else {
+      ASSERT_TRUE(kt.has_value());
+      EXPECT_EQ(kt->kernel, kernels[0]);
+      EXPECT_TRUE(IsPrimitive(kt->kernel));
+      EXPECT_GE(kt->repetitions, 2u);
+      EXPECT_LT(kt->tail.size(), kt->kernel.size());
+      // Tail must be a prefix of the kernel.
+      for (size_t i = 0; i < kt->tail.size(); ++i) {
+        EXPECT_EQ(kt->tail[i], kt->kernel[i]);
+      }
+      // Recomposition must reproduce the sequence.
+      L recomposed;
+      for (uint32_t r = 0; r < kt->repetitions; ++r) {
+        recomposed.insert(recomposed.end(), kt->kernel.begin(), kt->kernel.end());
+      }
+      recomposed.insert(recomposed.end(), kt->tail.begin(), kt->tail.end());
+      EXPECT_EQ(recomposed, seq);
+    }
+  }
+}
+
+// Theorem 1 (Case 3) property check: for |p| > 2k, p has a non-empty k-MR
+// iff its 2k-prefix has a kernel L' whose tail L'' satisfies
+// MR(L'' ∘ rest) = L'.
+TEST(KernelTest, TheoremOneCaseThree) {
+  Rng rng(17);
+  const uint32_t k = 3;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const size_t n = 2 * k + 1 + rng.Below(6);  // |p| > 2k
+    L seq(n);
+    for (auto& l : seq) l = static_cast<Label>(rng.Below(2));
+
+    const bool has_kmr = MinimumRepeatLength(seq) <= k;
+
+    const std::span<const Label> prefix(seq.data(), 2 * k);
+    const auto kt = DecomposeKernel(prefix);
+    bool theorem_says = false;
+    if (kt.has_value() && kt->kernel.size() <= k) {
+      const std::span<const Label> rest(seq.data() + 2 * k, n - 2 * k);
+      const L combined = Concat(kt->tail, rest);
+      theorem_says = (MinimumRepeat(combined) == kt->kernel);
+    }
+    EXPECT_EQ(has_kmr, theorem_says)
+        << "Theorem 1 case 3 mismatch at length " << n;
+  }
+}
+
+TEST(ConcatTest, Basics) {
+  EXPECT_EQ(Concat(L{1, 2}, L{3}), (L{1, 2, 3}));
+  EXPECT_EQ(Concat(L{}, L{3}), (L{3}));
+  EXPECT_EQ(Concat(L{3}, L{}), (L{3}));
+  EXPECT_EQ(Concat(L{}, L{}), (L{}));
+}
+
+TEST(MrTableTest, InternAndFind) {
+  MrTable table;
+  EXPECT_EQ(table.size(), 0u);
+  const MrId a = table.Intern(LabelSeq{1});
+  const MrId b = table.Intern(LabelSeq{1, 2});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern(LabelSeq{1}), a);  // stable
+  EXPECT_EQ(table.Find(LabelSeq{1, 2}), b);
+  EXPECT_EQ(table.Find(LabelSeq{9}), kInvalidMrId);
+  EXPECT_EQ(table.Get(a), (LabelSeq{1}));
+  EXPECT_EQ(table.Get(b), (LabelSeq{1, 2}));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_GT(table.MemoryBytes(), 0u);
+}
+
+// Parameterized sweep: MR length divides the sequence length, MR is
+// primitive, and repetition reconstructs the input — for every length and
+// alphabet combination.
+class MrPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MrPropertyTest, DivisibilityPrimitivityReconstruction) {
+  const auto [len, alphabet] = GetParam();
+  Rng rng(static_cast<uint64_t>(len) * 31 + alphabet);
+  for (int trial = 0; trial < 400; ++trial) {
+    L seq(len);
+    for (auto& l : seq) l = static_cast<Label>(rng.Below(alphabet));
+    const size_t p = MinimumRepeatLength(seq);
+    ASSERT_EQ(static_cast<size_t>(len) % p, 0u);
+    EXPECT_TRUE(IsPrimitive(std::span<const Label>(seq.data(), p)));
+    for (size_t i = p; i < seq.size(); ++i) EXPECT_EQ(seq[i], seq[i % p]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MrPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8, 12, 16),
+                       ::testing::Values(1, 2, 3, 5)));
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,160 @@
+// Tests for the lazy KBS strategy (paper §IV): the lazy-built index must be
+// exactly as sound and complete as the eager one, and the suffix-form
+// kernel decomposition backing it must mirror the prefix form.
+
+#include <gtest/gtest.h>
+
+#include "rlc/baselines/online_search.h"
+#include "rlc/core/indexer.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/graph/paper_graphs.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc {
+namespace {
+
+using L = std::vector<Label>;
+
+TEST(SuffixDecompositionTest, MirrorsPrefixForm) {
+  // (b a b a b): suffix form = head (b) ∘ (a b)^2.
+  const auto kt = DecomposeKernelSuffix(L{1, 0, 1, 0, 1});
+  ASSERT_TRUE(kt.has_value());
+  EXPECT_EQ(kt->kernel, (L{0, 1}));
+  EXPECT_EQ(kt->tail, (L{1}));  // head, a proper suffix of the kernel
+  EXPECT_EQ(kt->repetitions, 2u);
+}
+
+TEST(SuffixDecompositionTest, PureRepetition) {
+  const auto kt = DecomposeKernelSuffix(L{0, 1, 0, 1});
+  ASSERT_TRUE(kt.has_value());
+  EXPECT_EQ(kt->kernel, (L{0, 1}));
+  EXPECT_TRUE(kt->tail.empty());
+}
+
+TEST(SuffixDecompositionTest, NoKernel) {
+  EXPECT_FALSE(DecomposeKernelSuffix(L{0, 1}).has_value());
+  EXPECT_FALSE(DecomposeKernelSuffix(L{0, 1, 1}).has_value());
+}
+
+TEST(SuffixDecompositionTest, RandomPropertyHeadIsSuffix) {
+  Rng rng(77);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const size_t n = 2 + rng.Below(10);
+    L seq(n);
+    for (auto& l : seq) l = static_cast<Label>(rng.Below(2));
+    const auto kt = DecomposeKernelSuffix(seq);
+    const auto fwd = DecomposeKernel(L(seq.rbegin(), seq.rend()));
+    EXPECT_EQ(kt.has_value(), fwd.has_value());
+    if (!kt.has_value()) continue;
+    EXPECT_TRUE(IsPrimitive(kt->kernel));
+    EXPECT_GE(kt->repetitions, 2u);
+    // head must be a proper suffix of the kernel...
+    ASSERT_LT(kt->tail.size(), kt->kernel.size());
+    for (size_t i = 0; i < kt->tail.size(); ++i) {
+      EXPECT_EQ(kt->tail[i],
+                kt->kernel[kt->kernel.size() - kt->tail.size() + i]);
+    }
+    // ...and head ∘ kernel^h must reproduce the sequence.
+    L recomposed = kt->tail;
+    for (uint32_t r = 0; r < kt->repetitions; ++r) {
+      recomposed.insert(recomposed.end(), kt->kernel.begin(), kt->kernel.end());
+    }
+    EXPECT_EQ(recomposed, seq);
+  }
+}
+
+TEST(LazyKbsTest, Fig2QueriesMatchEager) {
+  const DiGraph g = BuildFig2Graph();
+  IndexerOptions lazy_options;
+  lazy_options.k = 2;
+  lazy_options.strategy = KbsStrategy::kLazy;
+  RlcIndexBuilder lazy_builder(g, lazy_options);
+  const RlcIndex lazy = lazy_builder.Build();
+  const RlcIndex eager = BuildRlcIndex(g, 2);
+
+  const Label l1 = *g.FindLabel("l1");
+  const Label l2 = *g.FindLabel("l2");
+  const Label l3 = *g.FindLabel("l3");
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      for (const LabelSeq& c :
+           {LabelSeq{l1}, LabelSeq{l2}, LabelSeq{l3}, LabelSeq{l1, l2},
+            LabelSeq{l2, l1}, LabelSeq{l2, l3}, LabelSeq{l3, l1}}) {
+        ASSERT_EQ(lazy.Query(s, t, c), eager.Query(s, t, c))
+            << "s=" << s << " t=" << t << " c=" << c.ToString();
+      }
+    }
+  }
+}
+
+class LazyKbsSweepTest
+    : public ::testing::TestWithParam<std::tuple<int /*k*/, int /*seed*/,
+                                                 bool /*ba*/>> {};
+
+TEST_P(LazyKbsSweepTest, LazyAgreesWithOracle) {
+  const auto [k, seed, ba] = GetParam();
+  Rng rng(800 + seed);
+  auto edges = ba ? BarabasiAlbertEdges(90, 3, rng)
+                  : ErdosRenyiEdges(90, 360, rng);
+  AssignZipfLabels(&edges, 3, 2.0, rng);
+  const DiGraph g(90, std::move(edges), 3);
+
+  IndexerOptions options;
+  options.k = static_cast<uint32_t>(k);
+  options.strategy = KbsStrategy::kLazy;
+  RlcIndexBuilder builder(g, options);
+  const RlcIndex index = builder.Build();
+
+  OnlineSearcher oracle(g);
+  Rng qrng(55 + seed);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s = static_cast<VertexId>(qrng.Below(g.num_vertices()));
+    const auto t = static_cast<VertexId>(qrng.Below(g.num_vertices()));
+    const LabelSeq c =
+        RandomPrimitiveSeq(1 + static_cast<uint32_t>(qrng.Below(k)),
+                           g.num_labels(), qrng);
+    ASSERT_EQ(index.Query(s, t, c),
+              oracle.QueryBfsOnce(s, t, PathConstraint::RlcPlus(c)))
+        << "k=" << k << " s=" << s << " t=" << t << " c=" << c.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LazyKbsSweepTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(0, 1),
+                                            ::testing::Bool()));
+
+TEST(LazyKbsTest, RejectsOversizedK) {
+  const DiGraph g = BuildFig2Graph();
+  IndexerOptions options;
+  options.k = kMaxK / 2 + 1;  // 2k exceeds the LabelSeq capacity
+  options.strategy = KbsStrategy::kLazy;
+  EXPECT_THROW(RlcIndexBuilder(g, options), std::invalid_argument);
+}
+
+TEST(LazyKbsTest, EagerVisitsFewerSearchStates) {
+  // The paper's argument for eager KBS: enumerating sequences of length 2k
+  // costs far more states than length k.
+  Rng rng(5);
+  auto edges = ErdosRenyiEdges(200, 1400, rng);
+  AssignZipfLabels(&edges, 4, 2.0, rng);
+  const DiGraph g(200, std::move(edges), 4);
+
+  IndexerOptions eager_options;
+  eager_options.k = 2;
+  RlcIndexBuilder eager_builder(g, eager_options);
+  (void)eager_builder.Build();
+
+  IndexerOptions lazy_options;
+  lazy_options.k = 2;
+  lazy_options.strategy = KbsStrategy::kLazy;
+  RlcIndexBuilder lazy_builder(g, lazy_options);
+  (void)lazy_builder.Build();
+
+  EXPECT_LT(eager_builder.stats().kernel_search_states,
+            lazy_builder.stats().kernel_search_states);
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,157 @@
+// Tests for the online-traversal baselines: BFS, DFS and BiBFS must agree
+// with each other and with brute-force path enumeration on small graphs.
+
+#include "rlc/baselines/online_search.h"
+
+#include <gtest/gtest.h>
+
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/graph/paper_graphs.h"
+#include "rlc/util/rng.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc {
+namespace {
+
+// Brute-force: enumerate all walks up to `max_len` edges and test acceptance.
+bool BruteForce(const DiGraph& g, VertexId s, VertexId t, const Nfa& nfa,
+                uint32_t max_len) {
+  std::vector<std::pair<VertexId, std::vector<Label>>> stack{{s, {}}};
+  while (!stack.empty()) {
+    auto [v, word] = stack.back();
+    stack.pop_back();
+    if (v == t && !word.empty() && nfa.Accepts(word)) return true;
+    if (word.size() >= max_len) continue;
+    for (const LabeledNeighbor& nb : g.OutEdges(v)) {
+      auto next = word;
+      next.push_back(nb.label);
+      stack.push_back({nb.v, std::move(next)});
+    }
+  }
+  return false;
+}
+
+TEST(OnlineSearchTest, Fig2QueriesAllMethods) {
+  const DiGraph g = BuildFig2Graph();
+  OnlineSearcher searcher(g);
+  auto V = [&](const char* n) { return *g.FindVertex(n); };
+  auto L = [&](const char* n) { return *g.FindLabel(n); };
+
+  struct Case {
+    const char* s;
+    const char* t;
+    LabelSeq c;
+    bool expected;
+  };
+  const std::vector<Case> cases = {
+      {"v3", "v6", {L("l2"), L("l1")}, true},
+      {"v1", "v2", {L("l2"), L("l1")}, true},
+      {"v1", "v3", {L("l1")}, false},
+      {"v1", "v1", {L("l1")}, true},
+      {"v6", "v1", {L("l1")}, false},
+  };
+  for (const Case& c : cases) {
+    const auto pc = PathConstraint::RlcPlus(c.c);
+    const CompiledConstraint cc(pc, g.num_labels());
+    EXPECT_EQ(searcher.QueryBfs(V(c.s), V(c.t), cc), c.expected)
+        << "BFS " << c.s << "->" << c.t;
+    EXPECT_EQ(searcher.QueryDfs(V(c.s), V(c.t), cc), c.expected)
+        << "DFS " << c.s << "->" << c.t;
+    EXPECT_EQ(searcher.QueryBiBfs(V(c.s), V(c.t), cc), c.expected)
+        << "BiBFS " << c.s << "->" << c.t;
+  }
+}
+
+TEST(OnlineSearchTest, AgreesWithBruteForceOnTinyGraphs) {
+  Rng rng(21);
+  for (int trial = 0; trial < 60; ++trial) {
+    const VertexId n = 5 + static_cast<VertexId>(rng.Below(4));
+    const uint64_t m = 6 + rng.Below(12);
+    auto edges = ErdosRenyiEdges(n, std::min<uint64_t>(m, n * (n - 1)), rng);
+    AssignUniformLabels(&edges, 2, rng);
+    const DiGraph g(n, std::move(edges), 2);
+    OnlineSearcher searcher(g);
+
+    for (int q = 0; q < 25; ++q) {
+      const auto s = static_cast<VertexId>(rng.Below(n));
+      const auto t = static_cast<VertexId>(rng.Below(n));
+      const LabelSeq seq = RandomPrimitiveSeq(1 + rng.Below(2), 2, rng);
+      const auto pc = PathConstraint::RlcPlus(seq);
+      const Nfa nfa = Nfa::FromConstraint(pc);
+      // Walks up to length 2*|V| suffice to witness L+ reachability in the
+      // product graph of |V| * |L| states with |L| <= 2.
+      const bool expected = BruteForce(g, s, t, nfa, 2 * n);
+      const CompiledConstraint cc(pc, g.num_labels());
+      ASSERT_EQ(searcher.QueryBfs(s, t, cc), expected);
+      ASSERT_EQ(searcher.QueryDfs(s, t, cc), expected);
+      ASSERT_EQ(searcher.QueryBiBfs(s, t, cc), expected);
+    }
+  }
+}
+
+TEST(OnlineSearchTest, MultiAtomAndFixedConstraints) {
+  // Chain 0 -a-> 1 -a-> 2 -b-> 3 -b-> 4
+  const DiGraph g(5, {{0, 1, 0}, {1, 2, 0}, {2, 3, 1}, {3, 4, 1}}, 2);
+  OnlineSearcher searcher(g);
+  const PathConstraint q4({ConstraintAtom{LabelSeq{0}, true},
+                           ConstraintAtom{LabelSeq{1}, true}});
+  EXPECT_TRUE(searcher.QueryBfsOnce(0, 4, q4));
+  EXPECT_TRUE(searcher.QueryBfsOnce(0, 3, q4));
+  EXPECT_TRUE(searcher.QueryBiBfsOnce(1, 3, q4));
+  EXPECT_FALSE(searcher.QueryBfsOnce(0, 2, q4));  // no b segment
+  EXPECT_FALSE(searcher.QueryBiBfsOnce(2, 4, q4));  // no a segment
+
+  const PathConstraint fixed = PathConstraint::Fixed(LabelSeq{0, 0, 1});
+  EXPECT_TRUE(searcher.QueryBfsOnce(0, 3, fixed));
+  EXPECT_FALSE(searcher.QueryBfsOnce(0, 4, fixed));
+  EXPECT_TRUE(searcher.QueryBiBfsOnce(0, 3, fixed));
+  EXPECT_FALSE(searcher.QueryBiBfsOnce(0, 4, fixed));
+}
+
+TEST(OnlineSearchTest, SelfLoopCycles) {
+  const DiGraph g(2, {{0, 0, 0}, {0, 1, 1}}, 2);
+  OnlineSearcher searcher(g);
+  const auto a_plus = PathConstraint::RlcPlus(LabelSeq{0});
+  EXPECT_TRUE(searcher.QueryBfsOnce(0, 0, a_plus));
+  EXPECT_TRUE(searcher.QueryBiBfsOnce(0, 0, a_plus));
+  EXPECT_FALSE(searcher.QueryBfsOnce(1, 1, a_plus));
+  EXPECT_FALSE(searcher.QueryBiBfsOnce(1, 1, a_plus));
+}
+
+TEST(OnlineSearchTest, STEqualWithoutCycleIsFalse) {
+  const DiGraph g(2, {{0, 1, 0}}, 1);
+  OnlineSearcher searcher(g);
+  const auto c = PathConstraint::RlcPlus(LabelSeq{0});
+  EXPECT_FALSE(searcher.QueryBfsOnce(0, 0, c));
+  EXPECT_FALSE(searcher.QueryBiBfsOnce(0, 0, c));
+  EXPECT_FALSE(searcher.QueryDfs(0, 0, CompiledConstraint(c, 1)));
+}
+
+TEST(OnlineSearchTest, VertexRangeValidation) {
+  const DiGraph g(2, {{0, 1, 0}}, 1);
+  OnlineSearcher searcher(g);
+  const CompiledConstraint c(PathConstraint::RlcPlus(LabelSeq{0}), 1);
+  EXPECT_THROW(searcher.QueryBfs(0, 9, c), std::invalid_argument);
+  EXPECT_THROW(searcher.QueryBiBfs(9, 0, c), std::invalid_argument);
+  EXPECT_THROW(searcher.QueryDfs(9, 9, c), std::invalid_argument);
+}
+
+TEST(OnlineSearchTest, ReusedSearcherIsConsistent) {
+  // Stamp-array reuse across many queries must not leak state.
+  const DiGraph g = BuildFig2Graph();
+  OnlineSearcher searcher(g);
+  const CompiledConstraint c(
+      PathConstraint::RlcPlus(LabelSeq{*g.FindLabel("l1")}), g.num_labels());
+  const VertexId v1 = *g.FindVertex("v1");
+  const VertexId v3 = *g.FindVertex("v3");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(searcher.QueryBfs(v1, v1, c));
+    ASSERT_FALSE(searcher.QueryBfs(v1, v3, c));
+    ASSERT_TRUE(searcher.QueryBiBfs(v1, v1, c));
+    ASSERT_FALSE(searcher.QueryBiBfs(v1, v3, c));
+  }
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,149 @@
+// Structural validation of the reconstructed Fig. 1 and Fig. 2 graphs
+// against every machine-checkable claim the paper makes about them.
+
+#include "rlc/graph/paper_graphs.h"
+
+#include <gtest/gtest.h>
+
+#include "rlc/automaton/path_constraint.h"
+#include "rlc/baselines/online_search.h"
+#include "rlc/core/indexer.h"
+
+namespace rlc {
+namespace {
+
+TEST(Fig1GraphTest, Cardinalities) {
+  const DiGraph g = BuildFig1Graph();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_EQ(g.num_labels(), 5u);
+}
+
+TEST(Fig1GraphTest, LabelMultiset) {
+  const DiGraph g = BuildFig1Graph();
+  std::vector<uint64_t> counts(g.num_labels(), 0);
+  for (const Edge& e : g.ToEdgeList()) ++counts[e.label];
+  EXPECT_EQ(counts[*g.FindLabel("knows")], 6u);
+  EXPECT_EQ(counts[*g.FindLabel("worksFor")], 2u);
+  EXPECT_EQ(counts[*g.FindLabel("holds")], 2u);
+  EXPECT_EQ(counts[*g.FindLabel("debits")], 2u);
+  EXPECT_EQ(counts[*g.FindLabel("credits")], 2u);
+}
+
+TEST(Fig1GraphTest, Example1Path) {
+  // (A14, debits, E15, credits, A17, debits, E18, credits, A19)
+  const DiGraph g = BuildFig1Graph();
+  auto V = [&](const char* n) { return *g.FindVertex(n); };
+  auto L = [&](const char* n) { return *g.FindLabel(n); };
+  EXPECT_TRUE(g.HasEdge(V("A14"), V("E15"), L("debits")));
+  EXPECT_TRUE(g.HasEdge(V("E15"), V("A17"), L("credits")));
+  EXPECT_TRUE(g.HasEdge(V("A17"), V("E18"), L("debits")));
+  EXPECT_TRUE(g.HasEdge(V("E18"), V("A19"), L("credits")));
+}
+
+TEST(Fig1GraphTest, SectionIIIPathsFromP10ToP16) {
+  // "two paths from P10 to P16 having the label sequence (knows, knows,
+  //  knows, knows) and (knows, knows, knows)".
+  const DiGraph g = BuildFig1Graph();
+  OnlineSearcher searcher(g);
+  auto V = [&](const char* n) { return *g.FindVertex(n); };
+  const Label k = *g.FindLabel("knows");
+  // Fixed (non-recursive) concatenations of 3 and 4 knows:
+  EXPECT_TRUE(searcher.QueryBfsOnce(
+      V("P10"), V("P16"), PathConstraint::Fixed(LabelSeq{k, k, k})));
+  EXPECT_TRUE(searcher.QueryBfsOnce(
+      V("P10"), V("P16"), PathConstraint::Fixed(LabelSeq{k, k, k, k})));
+}
+
+TEST(Fig1GraphTest, Example2DepthFourSequencesFromP11) {
+  // The four depth-4 sequences from P11 ending at P12: L1=(k,k,k,k),
+  // L2=(k,k,k,w), L3=(w,k,k,k), L4=(w,k,k,w). Exactly these 4 length-4
+  // walks from P11 land on P12.
+  const DiGraph g = BuildFig1Graph();
+  OnlineSearcher searcher(g);
+  auto V = [&](const char* n) { return *g.FindVertex(n); };
+  const Label k = *g.FindLabel("knows");
+  const Label w = *g.FindLabel("worksFor");
+
+  int hits = 0;
+  for (Label a : {k, w}) {
+    for (Label b : {k, w}) {
+      for (Label c : {k, w}) {
+        for (Label d : {k, w}) {
+          const bool reaches = searcher.QueryBfsOnce(
+              V("P11"), V("P12"), PathConstraint::Fixed(LabelSeq{a, b, c, d}));
+          const bool expected = (b == k && c == k) && (a == k || a == w) &&
+                                (d == k || d == w);
+          // L1..L4 all have shape (?,k,k,?) per the example.
+          EXPECT_EQ(reaches, expected)
+              << "(" << a << " " << b << " " << c << " " << d << ")";
+          hits += reaches;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(hits, 4);
+}
+
+TEST(Fig1GraphTest, InfinitePathsP11ToP13) {
+  // |P(P11,P13)| is infinite: there must be a cycle on some P11->P13 path.
+  // The P11 -> P12 -> P13 -> P11 knows-cycle provides it.
+  const DiGraph g = BuildFig1Graph();
+  auto V = [&](const char* n) { return *g.FindVertex(n); };
+  const Label k = *g.FindLabel("knows");
+  EXPECT_TRUE(g.HasEdge(V("P11"), V("P12"), k));
+  EXPECT_TRUE(g.HasEdge(V("P12"), V("P13"), k));
+  EXPECT_TRUE(g.HasEdge(V("P13"), V("P11"), k));
+}
+
+TEST(Fig2GraphTest, Cardinalities) {
+  const DiGraph g = BuildFig2Graph();
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 11u);
+  EXPECT_EQ(g.num_labels(), 3u);
+}
+
+TEST(Fig2GraphTest, LabelMultisetMatchesFigure) {
+  // Fig. 2 shows labels l1 x6, l2 x4, l3 x1.
+  const DiGraph g = BuildFig2Graph();
+  std::vector<uint64_t> counts(g.num_labels(), 0);
+  for (const Edge& e : g.ToEdgeList()) ++counts[e.label];
+  EXPECT_EQ(counts[*g.FindLabel("l1")], 6u);
+  EXPECT_EQ(counts[*g.FindLabel("l2")], 4u);
+  EXPECT_EQ(counts[*g.FindLabel("l3")], 1u);
+}
+
+TEST(Fig2GraphTest, Example4WitnessPath) {
+  // (v3, l2, v4, l1, v1, l2, v3, l1, v6)
+  const DiGraph g = BuildFig2Graph();
+  auto V = [&](const char* n) { return *g.FindVertex(n); };
+  auto L = [&](const char* n) { return *g.FindLabel(n); };
+  EXPECT_TRUE(g.HasEdge(V("v3"), V("v4"), L("l2")));
+  EXPECT_TRUE(g.HasEdge(V("v4"), V("v1"), L("l1")));
+  EXPECT_TRUE(g.HasEdge(V("v1"), V("v3"), L("l2")));
+  EXPECT_TRUE(g.HasEdge(V("v3"), V("v6"), L("l1")));
+}
+
+TEST(Fig2GraphTest, Example6PruningWitnessPaths) {
+  const DiGraph g = BuildFig2Graph();
+  auto V = [&](const char* n) { return *g.FindVertex(n); };
+  auto L = [&](const char* n) { return *g.FindLabel(n); };
+  // PR2 example path (v1, l2, v3, l1, v2).
+  EXPECT_TRUE(g.HasEdge(V("v1"), V("v3"), L("l2")));
+  EXPECT_TRUE(g.HasEdge(V("v3"), V("v2"), L("l1")));
+  // PR3 example path (v2, l2, v5, l1, v1, l2, v3, l1, v2).
+  EXPECT_TRUE(g.HasEdge(V("v2"), V("v5"), L("l2")));
+  EXPECT_TRUE(g.HasEdge(V("v5"), V("v1"), L("l1")));
+}
+
+TEST(Fig2GraphTest, ParallelEdgesPresent) {
+  // v2 -l1-> v5 and v2 -l2-> v5 (needed for (v1,l1) and (v1,(l2,l1)) in
+  // Lout(v2)).
+  const DiGraph g = BuildFig2Graph();
+  auto V = [&](const char* n) { return *g.FindVertex(n); };
+  EXPECT_TRUE(g.HasEdge(V("v2"), V("v5"), *g.FindLabel("l1")));
+  EXPECT_TRUE(g.HasEdge(V("v2"), V("v5"), *g.FindLabel("l2")));
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,138 @@
+// Tests for the plain 2-hop reachability index and its use as an RLC
+// prefilter.
+
+#include "rlc/plain/plain_reach_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rlc/core/indexer.h"
+#include "rlc/engines/rlc_hybrid_engine.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/graph/paper_graphs.h"
+#include "rlc/util/rng.h"
+
+namespace rlc {
+namespace {
+
+// Plain-reachability oracle: label-oblivious BFS.
+bool BfsReachable(const DiGraph& g, VertexId s, VertexId t) {
+  if (s == t) return true;
+  std::vector<bool> visited(g.num_vertices(), false);
+  std::vector<VertexId> queue{s};
+  visited[s] = true;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    for (const LabeledNeighbor& nb : g.OutEdges(queue[head])) {
+      if (visited[nb.v]) continue;
+      if (nb.v == t) return true;
+      visited[nb.v] = true;
+      queue.push_back(nb.v);
+    }
+  }
+  return false;
+}
+
+TEST(PlainReachTest, Fig2AllPairs) {
+  const DiGraph g = BuildFig2Graph();
+  const PlainReachIndex index = PlainReachIndex::Build(g);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      EXPECT_EQ(index.Reachable(s, t), BfsReachable(g, s, t))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+class PlainReachSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(PlainReachSweepTest, AgreesWithBfsOracle) {
+  const auto [seed, ba] = GetParam();
+  Rng rng(300 + seed);
+  auto edges = ba ? BarabasiAlbertEdges(120, 3, rng)
+                  : ErdosRenyiEdges(120, 360, rng);
+  AssignZipfLabels(&edges, 3, 2.0, rng);
+  const DiGraph g(120, std::move(edges), 3);
+
+  PlainReachStats stats;
+  const PlainReachIndex index = PlainReachIndex::Build(g, &stats);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_GE(stats.build_seconds, 0.0);
+
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      ASSERT_EQ(index.Reachable(s, t), BfsReachable(g, s, t))
+          << "seed=" << seed << " ba=" << ba << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlainReachSweepTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Bool()));
+
+TEST(PlainReachTest, HubListsAreSorted) {
+  Rng rng(9);
+  auto edges = ErdosRenyiEdges(80, 240, rng);
+  const DiGraph g(80, std::move(edges), 1);
+  const PlainReachIndex index = PlainReachIndex::Build(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(std::is_sorted(index.Lout(v).begin(), index.Lout(v).end()));
+    EXPECT_TRUE(std::is_sorted(index.Lin(v).begin(), index.Lin(v).end()));
+  }
+}
+
+TEST(PlainReachTest, PruningKeepsIndexSmallerThanClosure) {
+  // On a strongly-connected-ish dense graph the pruned index must stay far
+  // below the |V|^2 transitive closure.
+  Rng rng(11);
+  auto edges = ErdosRenyiEdges(200, 2000, rng);
+  const DiGraph g(200, std::move(edges), 1);
+  PlainReachStats stats;
+  const PlainReachIndex index = PlainReachIndex::Build(g, &stats);
+  EXPECT_GT(stats.pruned, 0u);
+  EXPECT_LT(index.NumEntries(), 200ull * 200ull / 4);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+TEST(PlainReachTest, EdgeCases) {
+  const PlainReachIndex empty = PlainReachIndex::Build(DiGraph());
+  EXPECT_EQ(empty.NumEntries(), 0u);
+
+  const DiGraph single(1, {});
+  const PlainReachIndex one = PlainReachIndex::Build(single);
+  EXPECT_TRUE(one.Reachable(0, 0));  // s == t is trivially reachable
+  EXPECT_THROW(one.Reachable(0, 5), std::invalid_argument);
+
+  const DiGraph two(2, {{0, 1, 0}});
+  const PlainReachIndex idx = PlainReachIndex::Build(two);
+  EXPECT_TRUE(idx.Reachable(0, 1));
+  EXPECT_FALSE(idx.Reachable(1, 0));
+}
+
+TEST(PlainReachTest, PrefilterPreservesEngineAnswers) {
+  Rng rng(21);
+  auto edges = ErdosRenyiEdges(100, 300, rng);
+  AssignZipfLabels(&edges, 3, 2.0, rng);
+  const DiGraph g(100, std::move(edges), 3);
+
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  const PlainReachIndex plain = PlainReachIndex::Build(g);
+  RlcHybridEngine bare(g, index);
+  RlcHybridEngine filtered(g, index, &plain);
+
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto s = static_cast<VertexId>(rng.Below(100));
+    const auto t = static_cast<VertexId>(rng.Below(100));
+    const Label a = static_cast<Label>(rng.Below(3));
+    const Label b = static_cast<Label>(rng.Below(3));
+    const auto c = PathConstraint::RlcPlus(a == b ? LabelSeq{a} : LabelSeq{a, b});
+    ASSERT_EQ(bare.Evaluate(s, t, c), filtered.Evaluate(s, t, c))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace rlc

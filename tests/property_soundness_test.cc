@@ -1,0 +1,251 @@
+// Property suite for Theorem 3 (soundness and completeness of the RLC
+// index): across random graph families, recursion bounds and seeds, the
+// index must answer exactly like the NFA-guided online oracle for
+//  (a) uniformly sampled queries, and
+//  (b) "path-derived" queries (constraints read off actual walks, which are
+//      biased towards true answers and exercise completeness).
+// The ETC baseline and the PR-ablation builds are held to the same bar.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rlc/baselines/etc_index.h"
+#include "rlc/baselines/online_search.h"
+#include "rlc/core/indexer.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/util/rng.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc {
+namespace {
+
+struct GraphConfig {
+  bool ba;  // Barabási–Albert vs Erdős–Rényi
+  VertexId n;
+  uint64_t m;       // ER edge count / BA edges-per-vertex
+  Label labels;
+  uint64_t loops;   // injected self-loops
+};
+
+DiGraph MakeGraph(const GraphConfig& cfg, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges =
+      cfg.ba ? BarabasiAlbertEdges(cfg.n, static_cast<uint32_t>(cfg.m), rng)
+             : ErdosRenyiEdges(cfg.n, cfg.m, rng);
+  if (cfg.loops > 0) AddRandomSelfLoops(&edges, cfg.n, cfg.loops, rng);
+  AssignZipfLabels(&edges, cfg.labels, 2.0, rng);
+  return DiGraph(cfg.n, std::move(edges), cfg.labels);
+}
+
+// Reads the label sequence of a random walk of the given length and returns
+// (start, end, MR) — if the MR fits in k it is a guaranteed-true query.
+struct WalkQuery {
+  VertexId s, t;
+  LabelSeq mr;
+  bool valid;
+};
+
+WalkQuery SampleWalkQuery(const DiGraph& g, uint32_t max_len, uint32_t k,
+                          Rng& rng) {
+  WalkQuery wq{0, 0, {}, false};
+  if (g.num_vertices() == 0) return wq;
+  const VertexId start = static_cast<VertexId>(rng.Below(g.num_vertices()));
+  std::vector<Label> word;
+  VertexId v = start;
+  const uint32_t len = 1 + static_cast<uint32_t>(rng.Below(max_len));
+  for (uint32_t i = 0; i < len; ++i) {
+    const auto out = g.OutEdges(v);
+    if (out.empty()) break;
+    const auto& nb = out[rng.Below(out.size())];
+    word.push_back(nb.label);
+    v = nb.v;
+  }
+  if (word.empty()) return wq;
+  // MinimumRepeat guarantees word == mr^z, so the walk witnesses (s, v, mr+)
+  // whenever the MR fits the recursion bound.
+  const auto mr = MinimumRepeat(word);
+  if (mr.size() > k) return wq;
+  wq.s = start;
+  wq.t = v;
+  wq.mr = LabelSeq(std::span<const Label>(mr));
+  wq.valid = true;
+  return wq;
+}
+
+class SoundnessTest : public ::testing::TestWithParam<
+                          std::tuple<int /*cfg*/, int /*k*/, int /*seed*/>> {
+ protected:
+  static GraphConfig Config(int id) {
+    switch (id) {
+      case 0: return {false, 60, 240, 3, 4};    // small dense ER + loops
+      case 1: return {false, 200, 500, 4, 0};   // sparse ER
+      case 2: return {true, 80, 3, 3, 2};       // BA, skewed, loops
+      case 3: return {true, 150, 2, 6, 0};      // BA, more labels
+      case 4: return {false, 30, 250, 2, 6};    // tiny very dense, 2 labels
+      default: return {false, 50, 100, 3, 0};
+    }
+  }
+};
+
+TEST_P(SoundnessTest, IndexAgreesWithOracleEverywhere) {
+  const auto [cfg_id, k, seed] = GetParam();
+  const GraphConfig cfg = Config(cfg_id);
+  const DiGraph g = MakeGraph(cfg, 1000 + seed);
+
+  const RlcIndex index = BuildRlcIndex(g, static_cast<uint32_t>(k));
+  OnlineSearcher oracle(g);
+  Rng rng(77 + seed);
+
+  int true_seen = 0;
+  // Uniform random queries.
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto s = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const uint32_t len = 1 + static_cast<uint32_t>(rng.Below(k));
+    const LabelSeq c = RandomPrimitiveSeq(len, g.num_labels(), rng);
+    const bool expected = oracle.QueryBfsOnce(s, t, PathConstraint::RlcPlus(c));
+    true_seen += expected;
+    ASSERT_EQ(index.Query(s, t, c), expected)
+        << "cfg=" << cfg_id << " k=" << k << " s=" << s << " t=" << t
+        << " c=" << c.ToString();
+  }
+  // Path-derived queries (guaranteed true; stress completeness).
+  for (int trial = 0; trial < 400; ++trial) {
+    const WalkQuery wq =
+        SampleWalkQuery(g, 3 * static_cast<uint32_t>(k), static_cast<uint32_t>(k), rng);
+    if (!wq.valid) continue;
+    ASSERT_TRUE(index.Query(wq.s, wq.t, wq.mr))
+        << "walk-derived query must be true: s=" << wq.s << " t=" << wq.t
+        << " c=" << wq.mr.ToString();
+    ++true_seen;
+  }
+  EXPECT_GT(true_seen, 0) << "test vacuous: no true queries sampled";
+}
+
+TEST_P(SoundnessTest, EtcAgreesWithOracle) {
+  const auto [cfg_id, k, seed] = GetParam();
+  const DiGraph g = MakeGraph(Config(cfg_id), 1000 + seed);
+
+  const EtcIndex etc = EtcIndex::Build(g, static_cast<uint32_t>(k));
+  OnlineSearcher oracle(g);
+  Rng rng(901 + seed);
+  for (int trial = 0; trial < 250; ++trial) {
+    const auto s = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const uint32_t len = 1 + static_cast<uint32_t>(rng.Below(k));
+    const LabelSeq c = RandomPrimitiveSeq(len, g.num_labels(), rng);
+    const bool expected = oracle.QueryBfsOnce(s, t, PathConstraint::RlcPlus(c));
+    ASSERT_EQ(etc.Query(s, t, c), expected)
+        << "ETC mismatch: s=" << s << " t=" << t << " c=" << c.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SoundnessTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1)));
+
+// The pruning-rule ablations must preserve correctness (they only change
+// index size / build time). PR3 is auto-disabled when PR1/PR2 are off.
+class AblationSoundnessTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(AblationSoundnessTest, PrunedVariantsStayCorrect) {
+  const auto [pr1, pr2, pr3] = GetParam();
+  const DiGraph g = MakeGraph({false, 70, 280, 3, 3}, 555);
+
+  IndexerOptions options;
+  options.k = 2;
+  options.pr1 = pr1;
+  options.pr2 = pr2;
+  options.pr3 = pr3;
+  RlcIndexBuilder builder(g, options);
+  const RlcIndex index = builder.Build();
+
+  OnlineSearcher oracle(g);
+  Rng rng(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const LabelSeq c = RandomPrimitiveSeq(1 + (trial % 2), g.num_labels(), rng);
+    ASSERT_EQ(index.Query(s, t, c),
+              oracle.QueryBfsOnce(s, t, PathConstraint::RlcPlus(c)))
+        << "pr1=" << pr1 << " pr2=" << pr2 << " pr3=" << pr3;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AblationSoundnessTest,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                                            ::testing::Bool()));
+
+// Degenerate graphs.
+TEST(SoundnessEdgeCasesTest, EmptyGraph) {
+  const DiGraph g(0, {});
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  EXPECT_EQ(index.NumEntries(), 0u);
+}
+
+TEST(SoundnessEdgeCasesTest, SingleVertexNoEdges) {
+  const DiGraph g(1, {});
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  EXPECT_EQ(index.NumEntries(), 0u);
+  EXPECT_FALSE(index.Query(0, 0, LabelSeq{0}));
+}
+
+TEST(SoundnessEdgeCasesTest, SelfLoopOnly) {
+  const DiGraph g(1, {{0, 0, 0}}, 2);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  EXPECT_TRUE(index.Query(0, 0, LabelSeq{0}));
+  EXPECT_FALSE(index.Query(0, 0, LabelSeq{1}));
+  EXPECT_FALSE(index.Query(0, 0, LabelSeq{0, 1}));
+}
+
+TEST(SoundnessEdgeCasesTest, TwoVertexMultiEdge) {
+  // Parallel edges with different labels plus a back edge.
+  const DiGraph g(2, {{0, 1, 0}, {0, 1, 1}, {1, 0, 0}}, 2);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  EXPECT_TRUE(index.Query(0, 1, LabelSeq{0}));
+  EXPECT_TRUE(index.Query(0, 1, LabelSeq{1}));
+  EXPECT_TRUE(index.Query(1, 0, LabelSeq{0}));
+  EXPECT_TRUE(index.Query(0, 0, LabelSeq{0}));       // 0->1->0 on label 0
+  EXPECT_TRUE(index.Query(1, 1, LabelSeq{0}));
+  EXPECT_TRUE(index.Query(1, 1, LabelSeq{0, 1}));    // 1-0->0-1->1
+  EXPECT_FALSE(index.Query(1, 0, LabelSeq{1}));
+  EXPECT_FALSE(index.Query(0, 0, LabelSeq{1}));
+}
+
+TEST(SoundnessEdgeCasesTest, DisconnectedComponents) {
+  const DiGraph g(4, {{0, 1, 0}, {2, 3, 0}}, 1);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  EXPECT_TRUE(index.Query(0, 1, LabelSeq{0}));
+  EXPECT_TRUE(index.Query(2, 3, LabelSeq{0}));
+  EXPECT_FALSE(index.Query(0, 3, LabelSeq{0}));
+  EXPECT_FALSE(index.Query(2, 1, LabelSeq{0}));
+}
+
+TEST(SoundnessEdgeCasesTest, LongCycleNeedsManyKernelLaps) {
+  // Directed 6-cycle labeled (a b a b a b): (a b)+ holds around the cycle.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < 6; ++v) {
+    edges.push_back({v, static_cast<VertexId>((v + 1) % 6), static_cast<Label>(v % 2)});
+  }
+  const DiGraph g(6, std::move(edges), 2);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  OnlineSearcher oracle(g);
+  for (VertexId s = 0; s < 6; ++s) {
+    for (VertexId t = 0; t < 6; ++t) {
+      for (const LabelSeq& c :
+           {LabelSeq{0}, LabelSeq{1}, LabelSeq{0, 1}, LabelSeq{1, 0}}) {
+        ASSERT_EQ(index.Query(s, t, c),
+                  oracle.QueryBfsOnce(s, t, PathConstraint::RlcPlus(c)))
+            << "s=" << s << " t=" << t << " c=" << c.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlc

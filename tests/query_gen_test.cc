@@ -1,0 +1,169 @@
+// Tests for workload generation and workload I/O.
+
+#include "rlc/workload/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rlc/baselines/online_search.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+
+namespace rlc {
+namespace {
+
+DiGraph TestGraph(uint64_t seed) {
+  Rng rng(seed);
+  auto edges = ErdosRenyiEdges(80, 320, rng);
+  AssignZipfLabels(&edges, 4, 2.0, rng);
+  return DiGraph(80, std::move(edges), 4);
+}
+
+TEST(RandomPrimitiveSeqTest, AlwaysPrimitiveAndRightLength) {
+  Rng rng(1);
+  for (uint32_t len = 1; len <= 4; ++len) {
+    for (int trial = 0; trial < 500; ++trial) {
+      const LabelSeq seq = RandomPrimitiveSeq(len, 3, rng);
+      EXPECT_EQ(seq.size(), len);
+      EXPECT_TRUE(IsPrimitive(seq.labels()));
+      for (uint32_t i = 0; i < len; ++i) EXPECT_LT(seq[i], 3u);
+    }
+  }
+}
+
+TEST(RandomPrimitiveSeqTest, Validation) {
+  Rng rng(1);
+  EXPECT_THROW(RandomPrimitiveSeq(0, 3, rng), std::invalid_argument);
+  EXPECT_THROW(RandomPrimitiveSeq(kMaxK + 1, 3, rng), std::invalid_argument);
+  EXPECT_THROW(RandomPrimitiveSeq(2, 1, rng), std::invalid_argument);
+  // Length 1 over 1 label is fine.
+  EXPECT_EQ(RandomPrimitiveSeq(1, 1, rng).size(), 1u);
+}
+
+TEST(GenerateWorkloadTest, SetsAreCorrectlyLabeled) {
+  const DiGraph g = TestGraph(3);
+  WorkloadOptions options;
+  options.count = 50;
+  options.constraint_length = 2;
+  const Workload w = GenerateWorkload(g, options);
+  EXPECT_EQ(w.true_queries.size(), 50u);
+  EXPECT_EQ(w.false_queries.size(), 50u);
+
+  OnlineSearcher oracle(g);
+  for (const RlcQuery& q : w.true_queries) {
+    EXPECT_TRUE(q.expected);
+    EXPECT_EQ(q.constraint.size(), 2u);
+    EXPECT_TRUE(
+        oracle.QueryBfsOnce(q.s, q.t, PathConstraint::RlcPlus(q.constraint)));
+  }
+  for (const RlcQuery& q : w.false_queries) {
+    EXPECT_FALSE(q.expected);
+    EXPECT_FALSE(
+        oracle.QueryBfsOnce(q.s, q.t, PathConstraint::RlcPlus(q.constraint)));
+  }
+}
+
+TEST(GenerateWorkloadTest, DeterministicInSeed) {
+  const DiGraph g = TestGraph(3);
+  WorkloadOptions options;
+  options.count = 20;
+  const Workload a = GenerateWorkload(g, options);
+  const Workload b = GenerateWorkload(g, options);
+  ASSERT_EQ(a.true_queries.size(), b.true_queries.size());
+  for (size_t i = 0; i < a.true_queries.size(); ++i) {
+    EXPECT_EQ(a.true_queries[i].s, b.true_queries[i].s);
+    EXPECT_EQ(a.true_queries[i].t, b.true_queries[i].t);
+    EXPECT_EQ(a.true_queries[i].constraint, b.true_queries[i].constraint);
+  }
+}
+
+TEST(GenerateWorkloadTest, AttemptCapReturnsShortSets) {
+  // A graph with no edges has no true queries at all.
+  const DiGraph g(10, {}, 2);
+  WorkloadOptions options;
+  options.count = 5;
+  options.max_attempts = 200;
+  const Workload w = GenerateWorkload(g, options);
+  EXPECT_TRUE(w.true_queries.empty());
+  EXPECT_EQ(w.false_queries.size(), 5u);
+}
+
+TEST(GenerateWorkloadTest, Validation) {
+  WorkloadOptions options;
+  EXPECT_THROW(GenerateWorkload(DiGraph(), options), std::invalid_argument);
+}
+
+TEST(GenerateWorkloadTest, WalkFallbackFillsTrueSet) {
+  // A tiny alternating 2-cycle buried in a long single-label chain:
+  // uniformly sampled (s,t,(l0 l1)+) pairs are satisfying with probability
+  // ~2e-5, so uniform generation falls short; walks starting on the cycle
+  // still witness the constraint, so the fallback can fill the set.
+  std::vector<Edge> edges = {{0, 1, 0}, {1, 0, 1}};
+  for (VertexId v = 2; v < 400; ++v) {
+    edges.push_back({v, v + 1, 0});
+  }
+  const DiGraph g(401, std::move(edges), 2);
+
+  WorkloadOptions options;
+  options.count = 30;
+  options.constraint_length = 2;
+  options.max_attempts = 2'000;  // uniform sampling will fall short
+
+  const Workload uniform_only = GenerateWorkload(g, options);
+  EXPECT_LT(uniform_only.true_queries.size(), 30u);
+
+  options.fill_true_with_walks = true;
+  options.max_attempts = 500'000;
+  const Workload filled = GenerateWorkload(g, options);
+  EXPECT_EQ(filled.true_queries.size(), 30u);
+
+  // Every walk-derived query must really be true and keep the requested
+  // constraint length.
+  OnlineSearcher oracle(g);
+  for (const RlcQuery& q : filled.true_queries) {
+    EXPECT_EQ(q.constraint.size(), 2u);
+    EXPECT_TRUE(
+        oracle.QueryBfsOnce(q.s, q.t, PathConstraint::RlcPlus(q.constraint)));
+  }
+}
+
+TEST(WorkloadIoTest, RoundTrip) {
+  const DiGraph g = TestGraph(5);
+  WorkloadOptions options;
+  options.count = 30;
+  const Workload w = GenerateWorkload(g, options);
+
+  std::stringstream buf;
+  WriteWorkload(w, buf);
+  const Workload r = ReadWorkload(buf);
+  ASSERT_EQ(r.true_queries.size(), w.true_queries.size());
+  ASSERT_EQ(r.false_queries.size(), w.false_queries.size());
+  for (size_t i = 0; i < w.true_queries.size(); ++i) {
+    EXPECT_EQ(r.true_queries[i].s, w.true_queries[i].s);
+    EXPECT_EQ(r.true_queries[i].t, w.true_queries[i].t);
+    EXPECT_EQ(r.true_queries[i].constraint, w.true_queries[i].constraint);
+    EXPECT_TRUE(r.true_queries[i].expected);
+  }
+}
+
+TEST(WorkloadIoTest, MalformedLinesRejected) {
+  {
+    std::istringstream in("1 2\n");
+    EXPECT_THROW(ReadWorkload(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1 2 0,1\n");  // missing expected flag
+    EXPECT_THROW(ReadWorkload(in), std::runtime_error);
+  }
+}
+
+TEST(WorkloadIoTest, CommentsSkipped) {
+  std::istringstream in("# header\n1 2 0,1 1\n");
+  const Workload w = ReadWorkload(in);
+  ASSERT_EQ(w.true_queries.size(), 1u);
+  EXPECT_EQ(w.true_queries[0].constraint, (LabelSeq{0, 1}));
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,131 @@
+// Unit tests for RlcIndex storage mechanics and the Algorithm 1 query:
+// entry ordering, Case 1 / Case 2 resolution, the merge join, and the
+// mutation API contracts — independent of the indexing algorithm.
+
+#include "rlc/core/rlc_index.h"
+
+#include <gtest/gtest.h>
+
+namespace rlc {
+namespace {
+
+// A hand-built index over 4 vertices with access order (2,0,1,3):
+// hub aids: v2 -> 1, v0 -> 2, v1 -> 3, v3 -> 4.
+class HandBuiltIndexTest : public ::testing::Test {
+ protected:
+  HandBuiltIndexTest() : index_(4, 2) {
+    index_.SetAccessOrder({2, 0, 1, 3});
+    mr_a_ = index_.mr_table().Intern(LabelSeq{0});
+    mr_ab_ = index_.mr_table().Intern(LabelSeq{0, 1});
+    // v0 reaches hub v2 with (a) and (a b); hub v2 reaches v1 with (a b).
+    index_.AddOut(0, 1, mr_a_);
+    index_.AddOut(0, 1, mr_ab_);
+    index_.AddIn(1, 1, mr_ab_);
+    // Case 2 material: hub v0 reaches v3 directly with (a).
+    index_.AddIn(3, 2, mr_a_);
+    index_.AddOut(2, 2, mr_a_);  // v2 reaches hub v0 with (a)
+  }
+
+  RlcIndex index_;
+  MrId mr_a_, mr_ab_;
+};
+
+TEST_F(HandBuiltIndexTest, AccessOrderMapping) {
+  EXPECT_EQ(index_.AccessId(2), 1u);
+  EXPECT_EQ(index_.AccessId(0), 2u);
+  EXPECT_EQ(index_.AccessId(1), 3u);
+  EXPECT_EQ(index_.AccessId(3), 4u);
+  EXPECT_EQ(index_.VertexOfAid(1), 2u);
+  EXPECT_EQ(index_.VertexOfAid(4), 3u);
+}
+
+TEST_F(HandBuiltIndexTest, CaseOneMergeJoin) {
+  // v0 -> v1 via hub v2 with (a b): (v2,(ab)) ∈ Lout(v0) ∧ ∈ Lin(v1).
+  EXPECT_TRUE(index_.Query(0, 1, LabelSeq{0, 1}));
+  // MR mismatch on one side: (a) only in Lout(v0), not Lin(v1).
+  EXPECT_FALSE(index_.Query(0, 1, LabelSeq{0}));
+}
+
+TEST_F(HandBuiltIndexTest, CaseTwoDirectEntries) {
+  // (s,L) ∈ Lin(t): hub v0 -> v3 with (a).
+  EXPECT_TRUE(index_.Query(0, 3, LabelSeq{0}));
+  // (t,L) ∈ Lout(s): v2 -> hub v0 with (a).
+  EXPECT_TRUE(index_.Query(2, 0, LabelSeq{0}));
+  EXPECT_FALSE(index_.Query(2, 0, LabelSeq{0, 1}));
+}
+
+TEST_F(HandBuiltIndexTest, NoFalsePositives) {
+  EXPECT_FALSE(index_.Query(1, 0, LabelSeq{0}));
+  EXPECT_FALSE(index_.Query(3, 0, LabelSeq{0}));
+  EXPECT_FALSE(index_.Query(0, 3, LabelSeq{0, 1}));
+  // Unknown MR -> necessarily false.
+  EXPECT_FALSE(index_.Query(0, 1, LabelSeq{1, 0}));
+}
+
+TEST_F(HandBuiltIndexTest, HasEntryLookups) {
+  EXPECT_TRUE(index_.HasOutEntry(0, 1, mr_a_));
+  EXPECT_TRUE(index_.HasOutEntry(0, 1, mr_ab_));
+  EXPECT_FALSE(index_.HasOutEntry(0, 2, mr_a_));
+  EXPECT_TRUE(index_.HasInEntry(3, 2, mr_a_));
+  EXPECT_FALSE(index_.HasInEntry(3, 2, mr_ab_));
+}
+
+TEST_F(HandBuiltIndexTest, QueryInternedInvalidIdIsFalse) {
+  EXPECT_FALSE(index_.QueryInterned(0, 1, kInvalidMrId));
+}
+
+TEST_F(HandBuiltIndexTest, CountsAndMemory) {
+  EXPECT_EQ(index_.NumEntries(), 5u);
+  EXPECT_GT(index_.MemoryBytes(), 5 * sizeof(IndexEntry));
+}
+
+TEST(RlcIndexTest, MergeJoinScansWholeHubGroups) {
+  // Regression: multiple MRs under the same hub on both sides; the matching
+  // MR sits at different offsets within each group. The hub (vertex 2,
+  // access id 1) is distinct from both endpoints so only Case 1 can fire.
+  RlcIndex index(3, 2);
+  index.SetAccessOrder({2, 0, 1});
+  const MrId a = index.mr_table().Intern(LabelSeq{0});
+  const MrId b = index.mr_table().Intern(LabelSeq{1});
+  const MrId c = index.mr_table().Intern(LabelSeq{2});
+  index.AddOut(0, 1, a);
+  index.AddOut(0, 1, b);
+  index.AddIn(1, 1, b);
+  index.AddIn(1, 1, c);
+  EXPECT_TRUE(index.Query(0, 1, LabelSeq{1}));   // b on both sides of hub v2
+  EXPECT_FALSE(index.Query(0, 1, LabelSeq{0}));  // a only on the out side
+  EXPECT_FALSE(index.Query(0, 1, LabelSeq{2}));  // c only on the in side
+}
+
+TEST(RlcIndexTest, MergeJoinAdvancesPastNonCommonHubs) {
+  RlcIndex index(3, 1);
+  index.SetAccessOrder({0, 1, 2});
+  const MrId a = index.mr_table().Intern(LabelSeq{0});
+  index.AddOut(0, 1, a);  // hub aid 1 only on out side
+  index.AddOut(0, 3, a);  // hub aid 3 on both
+  index.AddIn(2, 2, a);   // hub aid 2 only on in side
+  index.AddIn(2, 3, a);
+  EXPECT_TRUE(index.Query(0, 2, LabelSeq{0}));
+}
+
+TEST(RlcIndexTest, SetAccessOrderValidation) {
+  RlcIndex index(2, 1);
+  EXPECT_THROW(index.SetAccessOrder({0}), std::invalid_argument);
+  EXPECT_THROW(index.SetAccessOrder({0, 7}), std::invalid_argument);
+}
+
+TEST(RlcIndexTest, ConstructorValidatesK) {
+  EXPECT_THROW(RlcIndex(1, 0), std::invalid_argument);
+  EXPECT_THROW(RlcIndex(1, kMaxK + 1), std::invalid_argument);
+}
+
+TEST(RlcIndexTest, SelfQueryThroughSelfEntry) {
+  RlcIndex index(1, 1);
+  index.SetAccessOrder({0});
+  const MrId a = index.mr_table().Intern(LabelSeq{0});
+  index.AddOut(0, 1, a);
+  EXPECT_TRUE(index.Query(0, 0, LabelSeq{0}));
+}
+
+}  // namespace
+}  // namespace rlc

@@ -1,0 +1,101 @@
+// Tests for graph statistics (Table III columns).
+
+#include "rlc/graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "rlc/graph/generators.h"
+#include "rlc/util/rng.h"
+
+namespace rlc {
+namespace {
+
+TEST(StatsTest, SelfLoops) {
+  const DiGraph g(3, {{0, 0, 0}, {1, 2, 0}, {2, 2, 1}, {2, 2, 0}}, 2,
+                  /*dedup_parallel=*/false);
+  EXPECT_EQ(CountSelfLoops(g), 3u);
+}
+
+TEST(StatsTest, TriangleDirectedCycle) {
+  // A directed 3-cycle is one undirected triangle.
+  const DiGraph g(3, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  EXPECT_EQ(CountTriangles(g), 1u);
+}
+
+TEST(StatsTest, TriangleIgnoresDirectionAndMultiplicity) {
+  // All edges pointing "inward", plus parallel edges: still one triangle.
+  const DiGraph g(3, {{1, 0, 0}, {2, 1, 0}, {0, 2, 0}, {0, 2, 1}}, 2,
+                  /*dedup_parallel=*/false);
+  EXPECT_EQ(CountTriangles(g), 1u);
+}
+
+TEST(StatsTest, TriangleSelfLoopsIgnored) {
+  const DiGraph g(3, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}, {0, 0, 0}});
+  EXPECT_EQ(CountTriangles(g), 1u);
+}
+
+TEST(StatsTest, CompleteGraphTriangles) {
+  // K5 (directed both ways) has C(5,3) = 10 undirected triangles.
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = 0; v < 5; ++v) {
+      if (u != v) edges.push_back({u, v, 0});
+    }
+  }
+  const DiGraph g(5, std::move(edges));
+  EXPECT_EQ(CountTriangles(g), 10u);
+}
+
+TEST(StatsTest, PathHasNoTriangles) {
+  const DiGraph g(4, {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}});
+  EXPECT_EQ(CountTriangles(g), 0u);
+}
+
+// Brute-force cross-check on random graphs.
+TEST(StatsTest, TrianglesMatchBruteForce) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto edges = ErdosRenyiEdges(20, 60, rng);
+    const DiGraph g(20, edges);
+    // Brute force on the undirected simple graph.
+    bool adj[20][20] = {};
+    for (const Edge& e : edges) {
+      adj[e.src][e.dst] = adj[e.dst][e.src] = true;
+    }
+    uint64_t expected = 0;
+    for (int a = 0; a < 20; ++a) {
+      for (int b = a + 1; b < 20; ++b) {
+        for (int c = b + 1; c < 20; ++c) {
+          expected += (adj[a][b] && adj[b][c] && adj[a][c]);
+        }
+      }
+    }
+    EXPECT_EQ(CountTriangles(g), expected) << "trial " << trial;
+  }
+}
+
+TEST(StatsTest, ComputeStatsAggregates) {
+  const DiGraph g(4, {{0, 1, 0}, {1, 2, 1}, {2, 0, 0}, {3, 3, 2}}, 3);
+  const GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_vertices, 4u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.num_labels, 3u);
+  EXPECT_EQ(s.loop_count, 1u);
+  EXPECT_EQ(s.triangle_count, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 1.0);
+  EXPECT_EQ(s.max_out_degree, 1u);
+  EXPECT_EQ(s.max_in_degree, 1u);
+
+  const GraphStats fast = ComputeStats(g, /*with_triangles=*/false);
+  EXPECT_EQ(fast.triangle_count, 0u);
+}
+
+TEST(StatsTest, EmptyGraph) {
+  const GraphStats s = ComputeStats(DiGraph());
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.triangle_count, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace rlc

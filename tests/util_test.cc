@@ -1,0 +1,124 @@
+// Tests for the utility layer: RNG determinism and distribution sanity,
+// Zipf sampler exactness, timers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rlc/util/rng.h"
+#include "rlc/util/timer.h"
+#include "rlc/util/zipf.h"
+
+namespace rlc {
+namespace {
+
+TEST(RngTest, DeterministicInSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= (a2.Next64() != c.Next64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::vector<uint64_t> counts(10, 0);
+  const int draws = 100'000;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t x = rng.Below(10);
+    ASSERT_LT(x, 10u);
+    ++counts[x];
+  }
+  for (uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 10.0, draws / 10.0 * 0.15);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t x = rng.Range(5, 8);
+    ASSERT_GE(x, 5u);
+    ASSERT_LE(x, 8u);
+    saw_lo |= (x == 5);
+    saw_hi |= (x == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, Bernoulli) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits, 3000, 300);
+}
+
+TEST(ZipfTest, PmfMatchesFormula) {
+  const ZipfSampler zipf(4, 2.0);
+  const double z = 1.0 + 1.0 / 4 + 1.0 / 9 + 1.0 / 16;
+  EXPECT_NEAR(zipf.Pmf(0), 1.0 / z, 1e-12);
+  EXPECT_NEAR(zipf.Pmf(1), 0.25 / z, 1e-12);
+  EXPECT_NEAR(zipf.Pmf(3), 0.0625 / z, 1e-12);
+  EXPECT_EQ(zipf.domain_size(), 4u);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesTrackPmf) {
+  const ZipfSampler zipf(8, 2.0);
+  Rng rng(3);
+  std::vector<uint64_t> counts(8, 0);
+  const int draws = 200'000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf.Sample(rng)];
+  for (uint64_t r = 0; r < 8; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / draws, zipf.Pmf(r),
+                0.01 + zipf.Pmf(r) * 0.1)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 2.0), std::invalid_argument);
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  const ZipfSampler zipf(5, 0.0);
+  for (uint64_t r = 0; r < 5; ++r) EXPECT_NEAR(zipf.Pmf(r), 0.2, 1e-12);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  // Burn a little CPU deterministically.
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 2'000'000; ++i) x = x + static_cast<uint64_t>(i);
+  const double s = t.ElapsedSeconds();
+  EXPECT_GT(s, 0.0);
+  EXPECT_NEAR(t.ElapsedMicros(), t.ElapsedSeconds() * 1e6,
+              t.ElapsedSeconds() * 1e6 * 0.5);
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), s + 1.0);
+}
+
+TEST(CheckTest, RequireThrows) {
+  EXPECT_THROW(RLC_REQUIRE(false, "boom " << 42), std::invalid_argument);
+  EXPECT_NO_THROW(RLC_REQUIRE(true, "fine"));
+}
+
+}  // namespace
+}  // namespace rlc
