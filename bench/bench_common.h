@@ -16,7 +16,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "rlc/baselines/online_search.h"
@@ -92,6 +95,124 @@ inline DiGraph GetDataset(const DatasetSpec& spec, double scale, uint64_t seed) 
     }
   }
   return MakeSurrogate(spec, scale, seed);
+}
+
+/// Machine-readable benchmark output: collects flat records and writes them
+/// as a JSON array to BENCH_<harness>.json on destruction, so the perf
+/// trajectory can be tracked across PRs without scraping the tables.
+/// Output directory: RLC_BENCH_JSON_DIR (default: current directory).
+///
+///   JsonWriter json("table4_indexing");
+///   json.AddRecord()
+///       .Set("name", spec.name).Set("threads", threads)
+///       .Set("wall_ms", seconds * 1e3).Set("entries_per_s", rate);
+class JsonWriter {
+ public:
+  class Record {
+   public:
+    Record& Set(const std::string& key, const std::string& value) {
+      return SetRaw(key, Quote(value));
+    }
+    Record& Set(const std::string& key, const char* value) {
+      return SetRaw(key, Quote(value));
+    }
+    Record& Set(const std::string& key, bool value) {
+      return SetRaw(key, value ? "true" : "false");
+    }
+    template <typename T>
+      requires std::is_arithmetic_v<T>
+    Record& Set(const std::string& key, T value) {
+      char buf[64];
+      if constexpr (std::is_floating_point_v<T>) {
+        std::snprintf(buf, sizeof(buf), "%.8g", static_cast<double>(value));
+      } else if constexpr (std::is_signed_v<T>) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(value));
+      }
+      return SetRaw(key, buf);
+    }
+
+   private:
+    friend class JsonWriter;
+    Record& SetRaw(const std::string& key, std::string json_value) {
+      fields_.emplace_back(key, std::move(json_value));
+      return *this;
+    }
+    static std::string Quote(const std::string& s) {
+      std::string out = "\"";
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (c == '\n') {
+          out += "\\n";
+        } else {
+          out += c;
+        }
+      }
+      out += '"';
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonWriter(std::string harness) : harness_(std::move(harness)) {}
+  ~JsonWriter() { Flush(); }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  Record& AddRecord() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes BENCH_<harness>.json (idempotent; also run by the destructor).
+  void Flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const char* dir = std::getenv("RLC_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir != nullptr ? dir : ".") + "/BENCH_" + harness_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "JsonWriter: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "[\n";
+    for (size_t r = 0; r < records_.size(); ++r) {
+      out << "  {";
+      for (size_t f = 0; f < records_[r].fields_.size(); ++f) {
+        if (f > 0) out << ", ";
+        out << Record::Quote(records_[r].fields_[f].first) << ": "
+            << records_[r].fields_[f].second;
+      }
+      out << (r + 1 < records_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+    std::printf("# wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string harness_;
+  std::vector<Record> records_;
+  bool flushed_ = false;
+};
+
+/// Thread counts selected via RLC_THREADS (comma-separated, e.g. "1,4,8").
+inline std::vector<uint32_t> SelectedThreadCounts(
+    std::vector<uint32_t> def = {1, 2, 4}) {
+  const char* env = std::getenv("RLC_THREADS");
+  if (env == nullptr) return def;
+  std::vector<uint32_t> picked;
+  for (const char* p = env; *p != '\0';) {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end != p && v > 0) picked.push_back(static_cast<uint32_t>(v));
+    // Skip to the next comma-separated token, ignoring malformed ones.
+    while (*end != '\0' && *end != ',') ++end;
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return picked.empty() ? def : picked;
 }
 
 /// Minimal fixed-width table printer for paper-style output.

@@ -44,7 +44,8 @@ BENCHMARK(BM_DecomposeKernel)->Arg(4)->Arg(8)->Arg(16);
 
 struct BenchFixture {
   DiGraph graph;
-  RlcIndex index;
+  RlcIndex index;         ///< sealed CSR layout (the default)
+  RlcIndex index_nested;  ///< same entries, nested-vector layout
   PlainReachIndex plain;
   Workload workload;
 
@@ -54,12 +55,19 @@ struct BenchFixture {
       auto edges = ErdosRenyiEdges(20'000, 100'000, rng);
       AssignZipfLabels(&edges, 8, 2.0, rng);
       DiGraph g(20'000, std::move(edges), 8);
-      RlcIndex idx = BuildRlcIndex(g, 2);
+      IndexerOptions options;
+      options.k = 2;
+      options.seal = false;
+      RlcIndexBuilder builder(g, options);
+      RlcIndex nested = builder.Build();
+      RlcIndex sealed = nested;  // copy, then flatten one of the two
+      sealed.Seal();
       PlainReachIndex plain = PlainReachIndex::Build(g);
       WorkloadOptions wopts;
       wopts.count = 200;
       Workload w = GenerateWorkload(g, wopts);
-      return new BenchFixture{std::move(g), std::move(idx), std::move(plain),
+      return new BenchFixture{std::move(g), std::move(sealed),
+                              std::move(nested), std::move(plain),
                               std::move(w)};
     }();
     return *fixture;
@@ -81,6 +89,97 @@ void BM_IndexQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IndexQuery)->Arg(1)->Arg(0);
+
+// The same workload against the build-time nested-vector layout: the gap to
+// BM_IndexQuery is what Seal() buys on the query path.
+void BM_IndexQueryNestedLayout(benchmark::State& state) {
+  const auto& f = BenchFixture::Get();
+  const auto& queries =
+      state.range(0) == 1 ? f.workload.true_queries : f.workload.false_queries;
+  if (queries.empty()) {
+    state.SkipWithError("empty query set");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const RlcQuery& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(f.index_nested.Query(q.s, q.t, q.constraint));
+  }
+}
+BENCHMARK(BM_IndexQueryNestedLayout)->Arg(1)->Arg(0);
+
+// QueryInterned is the hot path the hybrid engine drives (constraint already
+// interned, no validation): layout effects show here undiluted. Arg: 0 =
+// random pairs, 1 = hub-heavy pairs (endpoints with the largest entry
+// lists, where the merge join and the galloping fallback do real work).
+template <bool kSealed>
+void BM_QueryInterned(benchmark::State& state) {
+  const auto& f = BenchFixture::Get();
+  const RlcIndex& index = kSealed ? f.index : f.index_nested;
+
+  // Pre-intern every distinct workload constraint.
+  std::vector<std::tuple<VertexId, VertexId, MrId>> probes;
+  if (state.range(0) == 0) {
+    // Serving-shaped traffic: enough uniformly random pairs that the entry
+    // lists do not stay cache-resident between repeat visits.
+    const MrId mr = index.FindMr(f.workload.true_queries.empty()
+                                     ? LabelSeq{0}
+                                     : f.workload.true_queries[0].constraint);
+    Rng rng(11);
+    for (int i = 0; i < 1 << 18; ++i) {
+      probes.emplace_back(static_cast<VertexId>(rng.Below(f.graph.num_vertices())),
+                          static_cast<VertexId>(rng.Below(f.graph.num_vertices())),
+                          mr);
+    }
+  } else {
+    // The 64 vertices with the largest Lout+Lin footprints, all pairs.
+    std::vector<std::pair<uint64_t, VertexId>> sized;
+    for (VertexId v = 0; v < f.graph.num_vertices(); ++v) {
+      sized.push_back({f.index.Lout(v).size() + f.index.Lin(v).size(), v});
+    }
+    std::sort(sized.rbegin(), sized.rend());
+    const MrId mr = index.FindMr(f.workload.true_queries.empty()
+                                     ? LabelSeq{0}
+                                     : f.workload.true_queries[0].constraint);
+    for (size_t i = 0; i < 64 && i < sized.size(); ++i) {
+      for (size_t j = 0; j < 64 && j < sized.size(); ++j) {
+        probes.emplace_back(sized[i].second, sized[j].second, mr);
+      }
+    }
+  }
+  if (probes.empty()) {
+    state.SkipWithError("no probes");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t, mr] = probes[i++ % probes.size()];
+    benchmark::DoNotOptimize(index.QueryInterned(s, t, mr));
+  }
+}
+BENCHMARK_TEMPLATE(BM_QueryInterned, true)->Arg(0)->Arg(1);
+BENCHMARK_TEMPLATE(BM_QueryInterned, false)->Arg(0)->Arg(1);
+
+// Full-index sweep (the shape of Summarize/WriteIndex/stats endpoints): the
+// contiguous sealed buffers stream, the nested layout chases one heap block
+// per vertex per side.
+template <bool kSealed>
+void BM_IndexScan(benchmark::State& state) {
+  const auto& f = BenchFixture::Get();
+  const RlcIndex& index = kSealed ? f.index : f.index_nested;
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (VertexId v = 0; v < index.num_vertices(); ++v) {
+      for (const IndexEntry& e : index.Lout(v)) acc += e.hub_aid + e.mr;
+      for (const IndexEntry& e : index.Lin(v)) acc += e.hub_aid + e.mr;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(index.NumEntries()));
+}
+BENCHMARK_TEMPLATE(BM_IndexScan, true);
+BENCHMARK_TEMPLATE(BM_IndexScan, false);
 
 void BM_IndexQueryWithPrefilter(benchmark::State& state) {
   const auto& f = BenchFixture::Get();

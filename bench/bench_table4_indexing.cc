@@ -1,10 +1,16 @@
 // Table IV — indexing time (IT) and index size (IS) of the RLC index vs the
-// extended transitive closure (ETC), k = 2.
+// extended transitive closure (ETC), k = 2 — extended with a build-thread
+// sweep over the hub-batched parallel builder.
 //
 // The paper's headline: ETC cannot be built within 24h for any graph except
 // the smallest (AD), while the RLC index builds on all 13. We reproduce the
 // shape with a per-dataset ETC budget (env RLC_ETC_MAX_EDGES, default 100K
 // scaled edges): beyond it ETC is reported "-" exactly as in the paper.
+//
+// RLC_THREADS="1,2,4" selects the sweep; each row reports the build wall
+// time, throughput (entries/s) and the speedup over the single-thread build
+// of the same dataset. Machine-readable results land in
+// BENCH_table4_indexing.json (see bench_common.h JsonWriter).
 
 #include "bench_common.h"
 #include "rlc/baselines/etc_index.h"
@@ -17,36 +23,63 @@ int main() {
   if (const char* env = std::getenv("RLC_ETC_MAX_EDGES")) {
     etc_max_edges = std::strtoull(env, nullptr, 10);
   }
+  const std::vector<uint32_t> thread_counts = SelectedThreadCounts();
+  JsonWriter json("table4_indexing");
 
   std::printf("== Table IV: indexing time and index size, k=2 ==\n");
-  Table table({"Dataset", "|V|", "|E|", "RLC IT (s)", "RLC IS (MB)",
-               "ETC IT (s)", "ETC IS (MB)", "IS ratio"});
+  Table table({"Dataset", "|V|", "|E|", "thr", "RLC IT (s)", "speedup",
+               "Mentry/s", "RLC IS (MB)", "ETC IT (s)", "ETC IS (MB)",
+               "IS ratio"});
 
   for (const DatasetSpec& spec : SelectedDatasets()) {
     const DiGraph g = GetDataset(spec, EffectiveScale(spec, 0.01), /*seed=*/2);
 
-    IndexerOptions options;
-    options.k = 2;
-    RlcIndexBuilder builder(g, options);
-    const RlcIndex index = builder.Build();
-    const double rlc_it = builder.stats().build_seconds;
-    const uint64_t rlc_is = index.MemoryBytes();
+    double single_thread_seconds = 0.0;
+    for (const uint32_t threads : thread_counts) {
+      IndexerOptions options;
+      options.k = 2;
+      options.num_threads = threads;
+      RlcIndexBuilder builder(g, options);
+      const RlcIndex index = builder.Build();
+      const double rlc_it = builder.stats().build_seconds;
+      const uint64_t rlc_is = index.MemoryBytes();
+      const uint64_t entries = index.NumEntries();
+      if (threads == thread_counts.front()) single_thread_seconds = rlc_it;
+      const double speedup =
+          rlc_it > 0 ? single_thread_seconds / rlc_it : 0.0;
+      const double entries_per_s =
+          rlc_it > 0 ? static_cast<double>(entries) / rlc_it : 0.0;
 
-    std::string etc_it = "-", etc_is = "-", ratio = "-";
-    if (g.num_edges() <= etc_max_edges) {
-      EtcStats etc_stats;
-      const EtcIndex etc = EtcIndex::Build(g, 2, &etc_stats);
-      etc_it = Fmt("%.2f", etc_stats.build_seconds);
-      etc_is = Mb(etc.MemoryBytes());
-      ratio = Fmt("%.1fx", static_cast<double>(etc.MemoryBytes()) /
-                               static_cast<double>(rlc_is));
+      // ETC comparison only once per dataset (it is single-threaded).
+      std::string etc_it = "-", etc_is = "-", ratio = "-";
+      if (threads == thread_counts.front() && g.num_edges() <= etc_max_edges) {
+        EtcStats etc_stats;
+        const EtcIndex etc = EtcIndex::Build(g, 2, &etc_stats);
+        etc_it = Fmt("%.2f", etc_stats.build_seconds);
+        etc_is = Mb(etc.MemoryBytes());
+        ratio = Fmt("%.1fx", static_cast<double>(etc.MemoryBytes()) /
+                                 static_cast<double>(rlc_is));
+      }
+      table.AddRow({spec.name, Human(g.num_vertices()), Human(g.num_edges()),
+                    std::to_string(threads), Fmt("%.2f", rlc_it),
+                    Fmt("%.2fx", speedup), Fmt("%.2f", entries_per_s / 1e6),
+                    Mb(rlc_is), etc_it, etc_is, ratio});
+      json.AddRecord()
+          .Set("name", spec.name)
+          .Set("threads", threads)
+          .Set("wall_ms", rlc_it * 1e3)
+          .Set("speedup", speedup)
+          .Set("entries", entries)
+          .Set("entries_per_s", entries_per_s)
+          .Set("index_bytes", rlc_is)
+          .Set("num_vertices", g.num_vertices())
+          .Set("num_edges", g.num_edges());
     }
-    table.AddRow({spec.name, Human(g.num_vertices()), Human(g.num_edges()),
-                  Fmt("%.2f", rlc_it), Mb(rlc_is), etc_it, etc_is, ratio});
   }
   table.Print();
   std::printf(
       "\nNote: '-' = ETC exceeded the budget (paper: timed out after 24h /\n"
-      "out of memory on every graph but AD). Raise RLC_ETC_MAX_EDGES to try.\n");
+      "out of memory on every graph but AD). Raise RLC_ETC_MAX_EDGES to try.\n"
+      "speedup is relative to the first entry of RLC_THREADS on each dataset.\n");
   return 0;
 }

@@ -1,9 +1,10 @@
 // rlc_tool — command-line interface to the library, the fourth "example":
 //
-//   rlc_tool build <graph.txt> <index.rlc> [k]
+//   rlc_tool build <graph.txt> <index.rlc> [k] [threads]
 //       Load a SNAP-style edge list (2 or 3 columns, numeric or named
 //       tokens), build the RLC index with recursion bound k (default 2)
-//       and save it.
+//       and save it. threads > 1 uses the hub-batched parallel builder
+//       (identical output; 0 = all hardware threads).
 //
 //   rlc_tool query <graph.txt> <index.rlc> <s> <t> "<constraint>"
 //       Load graph + index and answer one query. The constraint uses the
@@ -37,7 +38,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  rlc_tool build <graph.txt> <index.rlc> [k]\n"
+               "  rlc_tool build <graph.txt> <index.rlc> [k] [threads]\n"
                "  rlc_tool query <graph.txt> <index.rlc> <s> <t> <constraint>\n"
                "  rlc_tool stats <graph.txt>\n"
                "  rlc_tool inspect <index.rlc>\n");
@@ -57,6 +58,16 @@ VertexId ResolveVertex(const DiGraph& g, const std::string& token) {
 int CmdBuild(int argc, char** argv) {
   if (argc < 4) return Usage();
   const uint32_t k = argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 2;
+  long threads = 1;
+  if (argc > 5) {
+    char* end = nullptr;
+    threads = std::strtol(argv[5], &end, 10);
+    if (end == argv[5] || *end != '\0' || threads < 0 || threads > 4096) {
+      std::fprintf(stderr, "invalid thread count '%s' (want 0..4096, 0 = all)\n",
+                   argv[5]);
+      return 2;
+    }
+  }
   Timer load_timer;
   const DiGraph g = LoadEdgeListText(argv[2]);
   std::printf("loaded %s: |V|=%u |E|=%llu |L|=%u (%.2f s)\n", argv[2],
@@ -65,6 +76,7 @@ int CmdBuild(int argc, char** argv) {
 
   IndexerOptions options;
   options.k = k;
+  options.num_threads = static_cast<uint32_t>(threads);
   RlcIndexBuilder builder(g, options);
   const RlcIndex index = builder.Build();
   std::printf("index built: k=%u, %llu entries, %.2f MB, %.2f s\n", k,

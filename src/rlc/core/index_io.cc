@@ -9,7 +9,6 @@ namespace rlc {
 namespace {
 
 constexpr uint64_t kIndexMagic = 0x524C43494458ULL;  // "RLCIDX"
-constexpr uint32_t kVersion = 1;
 
 template <typename T>
 void Put(std::ostream& out, const T& v) {
@@ -24,7 +23,7 @@ T Get(std::istream& in) {
   return v;
 }
 
-void PutEntries(std::ostream& out, const std::vector<IndexEntry>& entries) {
+void PutEntriesV1(std::ostream& out, std::span<const IndexEntry> entries) {
   Put<uint32_t>(out, static_cast<uint32_t>(entries.size()));
   for (const IndexEntry& e : entries) {
     Put<uint32_t>(out, e.hub_aid);
@@ -32,11 +31,74 @@ void PutEntries(std::ostream& out, const std::vector<IndexEntry>& entries) {
   }
 }
 
+/// One side of the v2 body: CSR offsets, then the entry buffer as raw bytes.
+void PutSideV2(std::ostream& out, const RlcIndex& index, bool out_side) {
+  const VertexId n = index.num_vertices();
+  uint64_t offset = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    Put<uint64_t>(out, offset);
+    offset += (out_side ? index.Lout(v) : index.Lin(v)).size();
+  }
+  Put<uint64_t>(out, offset);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto entries = out_side ? index.Lout(v) : index.Lin(v);
+    out.write(reinterpret_cast<const char*>(entries.data()),
+              static_cast<std::streamsize>(entries.size() * sizeof(IndexEntry)));
+  }
+}
+
+struct SideV2 {
+  std::vector<uint64_t> offsets;
+  std::vector<IndexEntry> entries;
+};
+
+/// Bytes left in `in` from the current position; UINT64_MAX when the stream
+/// is not seekable.
+uint64_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return UINT64_MAX;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return UINT64_MAX;
+  return static_cast<uint64_t>(end - pos);
+}
+
+// Monotonicity and per-list sortedness are validated once, by the throwing
+// AdoptSealed call in ReadIndex; here we only check what AdoptSealed cannot
+// see (stream truncation, entry id ranges) plus an allocation bound.
+SideV2 GetSideV2(std::istream& in, uint64_t n, uint32_t num_mrs,
+                 uint64_t num_vertices) {
+  SideV2 side;
+  side.offsets.resize(n + 1);
+  in.read(reinterpret_cast<char*>(side.offsets.data()),
+          static_cast<std::streamsize>(side.offsets.size() * sizeof(uint64_t)));
+  if (!in) throw std::runtime_error("ReadIndex: truncated offset block");
+  const uint64_t total = side.offsets.back();
+  // A corrupt count must fail cleanly, not OOM: the entry block cannot be
+  // larger than what is actually left in the stream.
+  if (total > RemainingBytes(in) / sizeof(IndexEntry)) {
+    throw std::runtime_error("ReadIndex: corrupt offsets");
+  }
+  side.entries.resize(total);
+  in.read(reinterpret_cast<char*>(side.entries.data()),
+          static_cast<std::streamsize>(side.entries.size() * sizeof(IndexEntry)));
+  if (!in) throw std::runtime_error("ReadIndex: truncated entry block");
+  for (const IndexEntry& e : side.entries) {
+    if (e.mr >= num_mrs || e.hub_aid == 0 || e.hub_aid > num_vertices) {
+      throw std::runtime_error("ReadIndex: corrupt entry");
+    }
+  }
+  return side;
+}
+
 }  // namespace
 
-void WriteIndex(const RlcIndex& index, std::ostream& out) {
+void WriteIndex(const RlcIndex& index, std::ostream& out, uint32_t version) {
+  RLC_REQUIRE(version == 1 || version == 2,
+              "WriteIndex: unsupported format version " << version);
   Put(out, kIndexMagic);
-  Put(out, kVersion);
+  Put<uint32_t>(out, version);
   Put<uint32_t>(out, index.k());
   Put<uint64_t>(out, index.num_vertices());
 
@@ -52,9 +114,14 @@ void WriteIndex(const RlcIndex& index, std::ostream& out) {
     for (uint32_t i = 0; i < seq.size(); ++i) Put<uint32_t>(out, seq[i]);
   }
 
-  for (VertexId v = 0; v < index.num_vertices(); ++v) {
-    PutEntries(out, index.Lout(v));
-    PutEntries(out, index.Lin(v));
+  if (version == 1) {
+    for (VertexId v = 0; v < index.num_vertices(); ++v) {
+      PutEntriesV1(out, index.Lout(v));
+      PutEntriesV1(out, index.Lin(v));
+    }
+  } else {
+    PutSideV2(out, index, /*out_side=*/true);
+    PutSideV2(out, index, /*out_side=*/false);
   }
 }
 
@@ -62,7 +129,8 @@ RlcIndex ReadIndex(std::istream& in) {
   if (Get<uint64_t>(in) != kIndexMagic) {
     throw std::runtime_error("ReadIndex: bad magic (not an rlc index file)");
   }
-  if (Get<uint32_t>(in) != kVersion) {
+  const uint32_t version = Get<uint32_t>(in);
+  if (version != 1 && version != 2) {
     throw std::runtime_error("ReadIndex: unsupported version");
   }
   const uint32_t k = Get<uint32_t>(in);
@@ -83,20 +151,32 @@ RlcIndex ReadIndex(std::istream& in) {
     if (id != i) throw std::runtime_error("ReadIndex: corrupt MR table");
   }
 
-  for (VertexId v = 0; v < n; ++v) {
-    const uint32_t out_count = Get<uint32_t>(in);
-    for (uint32_t i = 0; i < out_count; ++i) {
-      const uint32_t aid = Get<uint32_t>(in);
-      const MrId mr = Get<uint32_t>(in);
-      if (mr >= num_mrs) throw std::runtime_error("ReadIndex: corrupt entry");
-      index.AddOut(v, aid, mr);
+  if (version == 1) {
+    for (VertexId v = 0; v < n; ++v) {
+      const uint32_t out_count = Get<uint32_t>(in);
+      for (uint32_t i = 0; i < out_count; ++i) {
+        const uint32_t aid = Get<uint32_t>(in);
+        const MrId mr = Get<uint32_t>(in);
+        if (mr >= num_mrs) throw std::runtime_error("ReadIndex: corrupt entry");
+        index.AddOut(v, aid, mr);
+      }
+      const uint32_t in_count = Get<uint32_t>(in);
+      for (uint32_t i = 0; i < in_count; ++i) {
+        const uint32_t aid = Get<uint32_t>(in);
+        const MrId mr = Get<uint32_t>(in);
+        if (mr >= num_mrs) throw std::runtime_error("ReadIndex: corrupt entry");
+        index.AddIn(v, aid, mr);
+      }
     }
-    const uint32_t in_count = Get<uint32_t>(in);
-    for (uint32_t i = 0; i < in_count; ++i) {
-      const uint32_t aid = Get<uint32_t>(in);
-      const MrId mr = Get<uint32_t>(in);
-      if (mr >= num_mrs) throw std::runtime_error("ReadIndex: corrupt entry");
-      index.AddIn(v, aid, mr);
+    index.Seal();
+  } else {
+    SideV2 out_side = GetSideV2(in, n, num_mrs, n);
+    SideV2 in_side = GetSideV2(in, n, num_mrs, n);
+    try {
+      index.AdoptSealed(std::move(out_side.offsets), std::move(out_side.entries),
+                        std::move(in_side.offsets), std::move(in_side.entries));
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("ReadIndex: ") + e.what());
     }
   }
   return index;

@@ -1,18 +1,29 @@
 // Binary serialization of RLC indexes.
 //
-// Little-endian format:
+// Little-endian format, common header:
 //   u64 magic  u32 version  u32 k  u64 num_vertices
 //   access order: num_vertices * u32 (vertex id at access position i)
 //   MR table: u32 count, then per MR: u8 length + length * u32 labels
+//
+// Version 1 (legacy, still readable):
 //   per vertex: u32 |Lout| + entries, u32 |Lin| + entries
 //   entry: u32 hub_aid, u32 mr_id
 //
+// Version 2 (default): the sealed CSR layout written as four flat blocks,
+// loaded back with bulk reads straight into the query-time representation —
+// no per-entry parsing, no per-vertex allocation:
+//   out offsets: (num_vertices+1) * u64
+//   out entries: offsets.back() * 8 bytes (IndexEntry, packed)
+//   in  offsets: (num_vertices+1) * u64
+//   in  entries: offsets.back() * 8 bytes
+//
 // Intended use: build once offline (the expensive step the paper measures in
 // Table IV), persist, then serve queries from a load that is a straight
-// sequential read.
+// sequential read. Loaded indexes are always sealed.
 
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -20,10 +31,16 @@
 
 namespace rlc {
 
-/// Writes `index` to `out`.
-void WriteIndex(const RlcIndex& index, std::ostream& out);
+/// The version WriteIndex emits by default.
+inline constexpr uint32_t kIndexFormatVersion = 2;
 
-/// Reads an index from `in`.
+/// Writes `index` to `out` in format `version` (1 or 2). The index may be
+/// sealed or not; the bytes are identical either way.
+/// \throws std::invalid_argument on an unsupported version.
+void WriteIndex(const RlcIndex& index, std::ostream& out,
+                uint32_t version = kIndexFormatVersion);
+
+/// Reads an index (any supported version) from `in`. The result is sealed.
 /// \throws std::runtime_error on bad magic, version or truncation.
 RlcIndex ReadIndex(std::istream& in);
 

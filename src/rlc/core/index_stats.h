@@ -17,6 +17,7 @@ namespace rlc {
 struct IndexSummary {
   uint64_t num_vertices = 0;
   uint32_t k = 0;
+  bool sealed = false;  ///< CSR query layout (rlc_index.h Seal())
   uint64_t total_entries = 0;
   uint64_t out_entries = 0;
   uint64_t in_entries = 0;
@@ -36,6 +37,7 @@ inline IndexSummary Summarize(const RlcIndex& index) {
   IndexSummary s;
   s.num_vertices = index.num_vertices();
   s.k = index.k();
+  s.sealed = index.sealed();
   s.memory_bytes = index.MemoryBytes();
   s.distinct_mrs = index.mr_table().size();
   s.mr_length_histogram.assign(index.k(), 0);
@@ -72,8 +74,9 @@ inline std::string Describe(const IndexSummary& s) {
     out += buf;
     out += '\n';
   };
-  line("RLC index: |V|=%llu k=%u", static_cast<unsigned long long>(s.num_vertices),
-       s.k);
+  line("RLC index: |V|=%llu k=%u layout=%s",
+       static_cast<unsigned long long>(s.num_vertices), s.k,
+       s.sealed ? "sealed-csr" : "vectors");
   line("entries: %llu total (%llu out, %llu in), %.2f MB",
        static_cast<unsigned long long>(s.total_entries),
        static_cast<unsigned long long>(s.out_entries),

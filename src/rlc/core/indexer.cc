@@ -1,9 +1,11 @@
 #include "rlc/core/indexer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "rlc/util/rng.h"
+#include "rlc/util/thread_pool.h"
 #include "rlc/util/timer.h"
 
 namespace rlc {
@@ -14,11 +16,17 @@ RlcIndexBuilder::RlcIndexBuilder(const DiGraph& g, IndexerOptions options)
       // PR3's completeness argument (paper Lemma 5) relies on PR1 and PR2
       // being active; silently degrade rather than build an unsound index.
       pr3_effective_(options.pr3 && options.pr1 && options.pr2),
-      index_(g.num_vertices(), options.k),
-      visit_stamp_(static_cast<uint64_t>(g.num_vertices()) * options.k, 0) {
+      index_(g.num_vertices(), options.k) {
   RLC_REQUIRE(options.strategy == KbsStrategy::kEager || 2 * options.k <= kMaxK,
               "RlcIndexBuilder: lazy KBS enumerates sequences of length 2k and"
               " requires 2k <= kMaxK=" << kMaxK);
+}
+
+void RlcIndexBuilder::SearchContext::EnsureSized(uint64_t num_vertices,
+                                                 uint32_t k, bool with_slots) {
+  const uint64_t states = num_vertices * k;
+  if (visit_stamp.size() < states) visit_stamp.assign(states, 0);
+  if (with_slots && slot_of_state.size() < states) slot_of_state.resize(states);
 }
 
 std::vector<VertexId> RlcIndexBuilder::ComputeOrder(const DiGraph& g,
@@ -58,12 +66,20 @@ RlcIndex RlcIndexBuilder::Build() {
   Timer timer;
   index_.SetAccessOrder(ComputeOrder(g_, options_.ordering, options_.seed));
 
-  for (uint32_t aid = 1; aid <= g_.num_vertices(); ++aid) {
-    const VertexId v = index_.VertexOfAid(aid);
-    Kbs(v, /*backward=*/true);
-    Kbs(v, /*backward=*/false);
+  const uint32_t threads = ThreadPool::ResolveThreads(options_.num_threads);
+  if (threads <= 1 || g_.num_vertices() == 0) {
+    main_ctx_.EnsureSized(g_.num_vertices(), options_.k, /*with_slots=*/false);
+    for (uint32_t aid = 1; aid <= g_.num_vertices(); ++aid) {
+      const VertexId v = index_.VertexOfAid(aid);
+      Kbs(v, /*backward=*/true);
+      Kbs(v, /*backward=*/false);
+    }
+    stats_.kernel_search_states += main_ctx_.kernel_search_states;
+  } else {
+    ParallelBuild(threads);
   }
 
+  if (options_.seal) index_.Seal();
   stats_.build_seconds = timer.ElapsedSeconds();
   return std::move(index_);
 }
@@ -110,24 +126,25 @@ RlcIndexBuilder::InsertResult RlcIndexBuilder::Insert(VertexId y, VertexId hub,
   return InsertResult::kInserted;
 }
 
-void RlcIndexBuilder::Kbs(VertexId hub, bool backward) {
-  // ---- Phase 1: kernel search over (vertex, seq) states ----
+template <typename AttemptFn>
+void RlcIndexBuilder::KernelSearch(VertexId hub, bool backward,
+                                   SearchContext& ctx, AttemptFn&& on_attempt) {
   // Eager: BFS to depth k, every k-bounded MR becomes a kernel candidate.
   // Lazy: BFS to depth 2k, kernels are extracted from the (unique)
   // kernel/tail decomposition of full-depth sequences (Theorem 1).
   const bool lazy = options_.strategy == KbsStrategy::kLazy;
   const uint32_t max_depth = lazy ? 2 * options_.k : options_.k;
 
-  search_queue_.clear();
-  seen_.clear();
-  frontier_.clear();
+  ctx.search_queue.clear();
+  ctx.seen.clear();
+  ctx.frontier.clear();
 
-  search_queue_.push_back({hub, LabelSeq{}});
-  seen_.insert(search_queue_.front());
+  ctx.search_queue.push_back({hub, LabelSeq{}});
+  ctx.seen.insert(ctx.search_queue.front());
 
-  for (size_t head = 0; head < search_queue_.size(); ++head) {
+  for (size_t head = 0; head < ctx.search_queue.size(); ++head) {
     // Copy: growing the queue may reallocate underneath a reference.
-    const VertexSeq cur = search_queue_[head];
+    const VertexSeq cur = ctx.search_queue[head];
     const auto edges = backward ? g_.InEdges(cur.v) : g_.OutEdges(cur.v);
     for (const LabeledNeighbor& nb : edges) {
       VertexSeq next{nb.v, cur.seq};
@@ -136,25 +153,24 @@ void RlcIndexBuilder::Kbs(VertexId hub, bool backward) {
       } else {
         next.seq.PushBack(nb.label);  // seq' = seq ∘ λ(e)
       }
-      if (!seen_.insert(next).second) continue;
-      ++stats_.kernel_search_states;
+      if (!ctx.seen.insert(next).second) continue;
+      ++ctx.kernel_search_states;
 
       const LabelSeq mr = MinimumRepeatSeq(next.seq);
       if (mr.size() <= options_.k) {
         // Theorem 1 cases 1-2: a k-bounded MR witnessed by this very path.
-        // The insert result is deliberately ignored: PR3 does not apply to
+        // The attempt result is deliberately ignored: PR3 does not apply to
         // the kernel-search phase (paper §V-B).
-        Insert(nb.v, hub, mr, backward);
+        on_attempt(nb.v, mr);
         if (!lazy) {
           // Eager kernel candidate: paths reaching nb.v read mr^z, so the
           // continuation expects mr[|mr|] backward / mr[1] forward.
-          frontier_[mr].push_back(
-              {nb.v, backward ? mr.size() : 1});
+          ctx.frontier[mr].push_back({nb.v, backward ? mr.size() : 1});
         }
       }
 
       if (next.seq.size() < max_depth) {
-        search_queue_.push_back(next);
+        ctx.search_queue.push_back(next);
       } else if (lazy) {
         // Depth 2k reached: extract the provably valid kernel (Theorem 1
         // case 3). Backward sequences decompose in suffix form
@@ -169,14 +185,19 @@ void RlcIndexBuilder::Kbs(VertexId hub, bool backward) {
           // the consumed tail prefix.
           const uint32_t position =
               backward ? kernel.size() - rem : rem + 1;
-          frontier_[kernel].push_back({nb.v, position});
+          ctx.frontier[kernel].push_back({nb.v, position});
         }
       }
     }
   }
+}
+
+void RlcIndexBuilder::Kbs(VertexId hub, bool backward) {
+  KernelSearch(hub, backward, main_ctx_,
+               [&](VertexId y, const LabelSeq& mr) { Insert(y, hub, mr, backward); });
 
   // ---- Phase 2: one kernel-guided BFS per kernel candidate ----
-  for (const auto& [kernel, frontier] : frontier_) {
+  for (const auto& [kernel, frontier] : main_ctx_.frontier) {
     KernelBfs(hub, kernel, frontier, backward);
   }
 }
@@ -184,9 +205,10 @@ void RlcIndexBuilder::Kbs(VertexId hub, bool backward) {
 void RlcIndexBuilder::KernelBfs(VertexId hub, const LabelSeq& kernel,
                                 const std::vector<FrontierSeed>& frontier,
                                 bool backward) {
+  SearchContext& ctx = main_ctx_;
   ++stats_.kernel_bfs_runs;
-  ++epoch_;
-  bfs_queue_.clear();
+  ++ctx.epoch;
+  ctx.bfs_queue.clear();
 
   const uint32_t len = kernel.size();
   // Each seed carries the 1-based position of the next expected kernel
@@ -194,12 +216,12 @@ void RlcIndexBuilder::KernelBfs(VertexId hub, const LabelSeq& kernel,
   // lazy seeds may start mid-kernel when the depth-2k sequence ends in a
   // partial copy.
   for (const FrontierSeed& seed : frontier) {
-    if (!MarkVisited(seed.v, seed.position)) continue;  // lists may repeat
-    bfs_queue_.push_back({seed.v, seed.position});
+    if (!MarkVisited(ctx, seed.v, seed.position)) continue;  // lists may repeat
+    ctx.bfs_queue.push_back({seed.v, seed.position});
   }
 
-  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
-    const auto [x, pos] = bfs_queue_[head];
+  for (size_t head = 0; head < ctx.bfs_queue.size(); ++head) {
+    const auto [x, pos] = ctx.bfs_queue[head];
     const Label expected = kernel[pos - 1];
     // Completing position 1 backward (or len forward) closes a full copy of
     // the kernel: the path seen so far is kernel^m and an entry is due.
@@ -211,7 +233,7 @@ void RlcIndexBuilder::KernelBfs(VertexId hub, const LabelSeq& kernel,
                                 : g_.OutEdgesWithLabel(x, expected);
     for (const LabeledNeighbor& nb : edges) {
       const VertexId y = nb.v;
-      if (WasVisited(y, next_pos)) continue;
+      if (WasVisited(ctx, y, next_pos)) continue;
       if (boundary) {
         const InsertResult r = Insert(y, hub, kernel, backward);
         if (pr3_effective_ && r != InsertResult::kInserted) {
@@ -220,10 +242,249 @@ void RlcIndexBuilder::KernelBfs(VertexId hub, const LabelSeq& kernel,
           continue;
         }
       }
-      MarkVisited(y, next_pos);
-      bfs_queue_.push_back({y, next_pos});
+      MarkVisited(ctx, y, next_pos);
+      ctx.bfs_queue.push_back({y, next_pos});
       ++stats_.kernel_bfs_visits;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel build: speculate per hub against the frozen index, then commit
+// sequentially in access order. See the header comment for the argument that
+// the committed index is bit-identical to the sequential one.
+// ---------------------------------------------------------------------------
+
+RlcIndexBuilder::AttemptHint RlcIndexBuilder::SpecInsertHint(
+    VertexId y, VertexId hub, const LabelSeq& mr, bool backward) const {
+  if (options_.pr2 && index_.AccessId(hub) > index_.AccessId(y)) {
+    return AttemptHint::kPr2;  // access ids are fixed: exact
+  }
+  // Find (not Intern): speculation must never mutate the shared MR table.
+  const MrId id = index_.FindMr(mr);
+  if (id == kInvalidMrId) return AttemptHint::kUnknown;
+  const VertexId s = backward ? y : hub;
+  const VertexId t = backward ? hub : y;
+  if (options_.pr1) {
+    if (index_.QueryInterned(s, t, id)) return AttemptHint::kPr1;
+  } else {
+    const bool dup = backward ? index_.HasOutEntry(y, index_.AccessId(hub), id)
+                              : index_.HasInEntry(y, index_.AccessId(hub), id);
+    if (dup) return AttemptHint::kDup;
+  }
+  return AttemptHint::kUnknown;
+}
+
+void RlcIndexBuilder::SpecKbs(VertexId hub, bool backward, SearchContext& ctx,
+                              DirectionRecord& rec) {
+  rec.p1.clear();
+  rec.kernels.clear();
+  KernelSearch(hub, backward, ctx, [&](VertexId y, const LabelSeq& mr) {
+    rec.p1.push_back({y, SpecInsertHint(y, hub, mr, backward), mr});
+  });
+  rec.kernels.resize(ctx.frontier.size());
+  size_t i = 0;
+  for (const auto& [kernel, frontier] : ctx.frontier) {
+    SpecKernelBfs(hub, kernel, frontier, backward, ctx, rec.kernels[i++]);
+  }
+}
+
+void RlcIndexBuilder::SpecKernelBfs(VertexId hub, const LabelSeq& kernel,
+                                    const std::vector<FrontierSeed>& frontier,
+                                    bool backward, SearchContext& ctx,
+                                    SpecKernelRun& run) {
+  ++ctx.epoch;
+  run.kernel = kernel;
+  run.slots.clear();
+  run.event_begin.clear();
+  run.events.clear();
+
+  const uint32_t len = kernel.size();
+  for (const FrontierSeed& seed : frontier) {
+    if (!MarkVisited(ctx, seed.v, seed.position)) continue;
+    ctx.slot_of_state[StateIndex(seed.v, seed.position)] =
+        static_cast<uint32_t>(run.slots.size());
+    run.slots.push_back({seed.v, seed.position});
+  }
+  run.num_seeds = static_cast<uint32_t>(run.slots.size());
+
+  for (size_t head = 0; head < run.slots.size(); ++head) {
+    run.event_begin.push_back(static_cast<uint32_t>(run.events.size()));
+    const auto [x, pos] = run.slots[head];
+    const Label expected = kernel[pos - 1];
+    const bool boundary = backward ? (pos == 1) : (pos == len);
+    const uint32_t next_pos = backward ? (pos == 1 ? len : pos - 1)
+                                       : (pos == len ? 1 : pos + 1);
+
+    const auto edges = backward ? g_.InEdgesWithLabel(x, expected)
+                                : g_.OutEdgesWithLabel(x, expected);
+    for (const LabeledNeighbor& nb : edges) {
+      const VertexId y = nb.v;
+      const bool fresh = !WasVisited(ctx, y, next_pos);
+      AttemptHint hint = AttemptHint::kUnknown;
+      if (boundary && fresh) hint = SpecInsertHint(y, hub, kernel, backward);
+      // Record every scanned edge — the commit may traverse an edge whose
+      // target speculation had already visited (when it kills the earlier
+      // visit), so skipping visited targets here would lose information.
+      run.events.push_back({y, hint});
+      if (!fresh) continue;
+      if (boundary && pr3_effective_ && hint != AttemptHint::kUnknown) {
+        // The snapshot already proves the sequential build prunes this
+        // entry, so it provably stops expanding here (PR3) — safe to stop.
+        continue;
+      }
+      // Optimistic expansion: a kUnknown boundary attempt may still be
+      // pruned at commit; exploring past it records a superset of the
+      // sequential traversal, which the commit narrows back down.
+      MarkVisited(ctx, y, next_pos);
+      ctx.slot_of_state[StateIndex(y, next_pos)] =
+          static_cast<uint32_t>(run.slots.size());
+      run.slots.push_back({y, next_pos});
+    }
+  }
+  run.event_begin.push_back(static_cast<uint32_t>(run.events.size()));
+}
+
+void RlcIndexBuilder::CommitHub(HubRecord& rec) {
+  CommitDirection(rec.hub, rec.backward, /*backward=*/true);
+  CommitDirection(rec.hub, rec.forward, /*backward=*/false);
+}
+
+void RlcIndexBuilder::CommitDirection(VertexId hub, DirectionRecord& rec,
+                                      bool backward) {
+  // Phase-1 attempts replay in exact traversal order. Decided hints only
+  // update counters (plus the MR-table side effect sequential Insert has on
+  // every attempt that passes PR2).
+  for (const P1Attempt& a : rec.p1) {
+    switch (a.hint) {
+      case AttemptHint::kPr2:
+        ++stats_.pruned_pr2;
+        break;
+      case AttemptHint::kPr1:
+        index_.mr_table().Intern(a.mr);
+        ++stats_.pruned_pr1;
+        break;
+      case AttemptHint::kDup:
+        index_.mr_table().Intern(a.mr);
+        ++stats_.pruned_duplicate;
+        break;
+      case AttemptHint::kUnknown:
+        Insert(a.y, hub, a.mr, backward);
+        break;
+    }
+  }
+  for (SpecKernelRun& run : rec.kernels) {
+    CommitKernelBfs(hub, run, backward);
+  }
+}
+
+void RlcIndexBuilder::CommitKernelBfs(VertexId hub, SpecKernelRun& run,
+                                      bool backward) {
+  SearchContext& ctx = main_ctx_;
+  ++stats_.kernel_bfs_runs;
+  ++ctx.epoch;
+
+  // Register every speculative state so commit can map (vertex, position)
+  // back to its slot; commit_alive_ is the live visited set.
+  for (size_t i = 0; i < run.slots.size(); ++i) {
+    const uint64_t s = StateIndex(run.slots[i].v, run.slots[i].position);
+    ctx.visit_stamp[s] = ctx.epoch;
+    ctx.slot_of_state[s] = static_cast<uint32_t>(i);
+  }
+  commit_alive_.assign(run.slots.size(), 0);
+  commit_queue_.clear();
+
+  // Seeds are never pruned (frontier registration precedes any insert), so
+  // the speculative seed prefix is exactly the sequential seed set.
+  for (uint32_t i = 0; i < run.num_seeds; ++i) {
+    commit_alive_[i] = 1;
+    commit_queue_.push_back(i);
+  }
+
+  const uint32_t len = run.kernel.size();
+  for (size_t qhead = 0; qhead < commit_queue_.size(); ++qhead) {
+    const uint32_t slot = commit_queue_[qhead];
+    const auto [x, pos] = run.slots[slot];
+    const bool boundary = backward ? (pos == 1) : (pos == len);
+    const uint32_t next_pos = backward ? (pos == 1 ? len : pos - 1)
+                                       : (pos == len ? 1 : pos + 1);
+    (void)x;
+
+    for (uint32_t e = run.event_begin[slot]; e < run.event_begin[slot + 1]; ++e) {
+      const SpecEvent& ev = run.events[e];
+      const uint64_t state = StateIndex(ev.y, next_pos);
+      const bool has_slot = ctx.visit_stamp[state] == ctx.epoch;
+      if (has_slot && commit_alive_[ctx.slot_of_state[state]]) continue;
+      if (boundary) {
+        InsertResult r;
+        switch (ev.hint) {
+          case AttemptHint::kPr2:
+            ++stats_.pruned_pr2;
+            r = InsertResult::kPrunedPr2;
+            break;
+          case AttemptHint::kPr1:
+            index_.mr_table().Intern(run.kernel);
+            ++stats_.pruned_pr1;
+            r = InsertResult::kPrunedPr1;
+            break;
+          case AttemptHint::kDup:
+            index_.mr_table().Intern(run.kernel);
+            ++stats_.pruned_duplicate;
+            r = InsertResult::kDuplicate;
+            break;
+          case AttemptHint::kUnknown:
+            r = Insert(ev.y, hub, run.kernel, backward);
+            break;
+        }
+        if (pr3_effective_ && r != InsertResult::kInserted) continue;
+      }
+      // Expanding: the state must have a speculative slot — speculation
+      // only ever skipped expansion when the snapshot proved a prune, and
+      // a proven prune cannot succeed here.
+      RLC_CHECK_MSG(has_slot, "parallel build: commit expanded an unrecorded"
+                              " kernel-BFS state");
+      commit_alive_[ctx.slot_of_state[state]] = 1;
+      commit_queue_.push_back(ctx.slot_of_state[state]);
+      ++stats_.kernel_bfs_visits;
+    }
+  }
+}
+
+void RlcIndexBuilder::ParallelBuild(uint32_t num_threads) {
+  const VertexId n = g_.num_vertices();
+  const uint32_t batch =
+      options_.batch_size != 0 ? options_.batch_size : 8 * num_threads;
+  main_ctx_.EnsureSized(n, options_.k, /*with_slots=*/true);
+
+  ThreadPool pool(num_threads);
+  std::vector<SearchContext> contexts(num_threads);
+  std::vector<HubRecord> records;
+
+  for (uint32_t base = 1; base <= n; base += batch) {
+    const uint32_t count = std::min<uint64_t>(batch, n - base + 1);
+    records.resize(count);
+    std::atomic<uint32_t> cursor{0};
+
+    // Parallel phase: the index is frozen; workers only read it.
+    pool.Run([&](uint32_t worker) {
+      SearchContext& ctx = contexts[worker];
+      ctx.EnsureSized(n, options_.k, /*with_slots=*/true);
+      for (;;) {
+        const uint32_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        HubRecord& rec = records[i];
+        rec.hub = index_.VertexOfAid(base + i);
+        SpecKbs(rec.hub, /*backward=*/true, ctx, rec.backward);
+        SpecKbs(rec.hub, /*backward=*/false, ctx, rec.forward);
+      }
+    });
+
+    // Sequential commit in access-id order restores Algorithm 2 semantics.
+    for (uint32_t i = 0; i < count; ++i) CommitHub(records[i]);
+  }
+
+  for (const SearchContext& ctx : contexts) {
+    stats_.kernel_search_states += ctx.kernel_search_states;
   }
 }
 

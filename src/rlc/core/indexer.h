@@ -24,17 +24,31 @@
 //   PR3  when the entry completed by a kernel-BFS step is pruned by PR1/PR2,
 //        do not expand past that vertex.
 //
+// Parallel construction (num_threads > 1) processes hubs in batches along
+// the access order. Within a batch every hub runs its full KBS
+// *speculatively* on a worker thread against a read-only snapshot of the
+// index (the state at the start of the batch), using thread-local scratch.
+// Because PR1 is monotone — an entry derivable from the snapshot stays
+// derivable as the index only ever grows — a speculative prune is always a
+// correct sequential prune, so the speculative searches explore a superset
+// of the sequential searches and record their traversal (insert attempts
+// plus kernel-BFS edge events). A sequential *commit* phase then replays
+// the records in exact access-id order against the live index, re-applying
+// PR1/PR2/PR3 for every attempt the snapshot could not decide. The result —
+// entry lists, MR-table ids, and all counters except build_seconds — is
+// bit-identical to the sequential build for every thread count and batch
+// size (tests/parallel_build_test.cc).
+//
 // Note on the paper's pseudocode: the published listing has two off-by-one /
 // polarity typos (the cyclic position is decremented before the expected
 // label is read, and insert's return value is used inverted at line 36).
 // Both contradict the paper's own worked Examples 5 and 6; this
 // implementation follows the examples, which we verified reproduce Table II
-// exactly (see tests/indexer_test.cc).
+// exactly (see tests/indexer_paper_test.cc).
 
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <unordered_set>
 #include <vector>
@@ -75,9 +89,21 @@ struct IndexerOptions {
                     ///< (only sound together with PR1+PR2; automatically
                     ///< disabled otherwise, see Appendix D of the paper)
   uint64_t seed = 42;  ///< used by VertexOrdering::kRandom
+  /// Worker threads for the batched speculative build. 1 = the plain
+  /// sequential Algorithm 2; 0 = all hardware threads. Any value produces
+  /// the same index.
+  uint32_t num_threads = 1;
+  /// Hubs speculated per batch (parallel build only). Larger batches expose
+  /// more parallelism but speculate against a staler snapshot; 0 picks
+  /// 8 * num_threads.
+  uint32_t batch_size = 0;
+  /// Seal the finished index into the CSR query layout (rlc_index.h) before
+  /// returning. Disable only to benchmark the unsealed layout.
+  bool seal = true;
 };
 
-/// Counters reported by the builder (benchmarks and tests).
+/// Counters reported by the builder (benchmarks and tests). All counters
+/// except build_seconds are independent of num_threads/batch_size.
 struct IndexerStats {
   uint64_t entries_inserted = 0;
   uint64_t pruned_pr1 = 0;
@@ -107,6 +133,13 @@ class RlcIndexBuilder {
  private:
   enum class InsertResult { kInserted, kPrunedPr1, kPrunedPr2, kDuplicate };
 
+  /// Outcome of an insert attempt that the speculative phase could already
+  /// decide from the snapshot. kUnknown attempts are re-evaluated against
+  /// the live index at commit time; the others are final (PR2 depends only
+  /// on access ids, and snapshot-PR1/duplicate hits stay hits because the
+  /// index only grows).
+  enum class AttemptHint : uint8_t { kUnknown, kPr1, kPr2, kDup };
+
   /// Records (hub, L) into Lout(y) (backward) or Lin(y) (forward), subject
   /// to PR1/PR2 and exact-duplicate suppression.
   InsertResult Insert(VertexId y, VertexId hub, const LabelSeq& mr, bool backward);
@@ -117,26 +150,6 @@ class RlcIndexBuilder {
     VertexId v;
     uint32_t position;
   };
-
-  /// One full KBS (kernel search + kernel BFSs) from `hub`.
-  void Kbs(VertexId hub, bool backward);
-
-  /// Phase 2 for one kernel candidate.
-  void KernelBfs(VertexId hub, const LabelSeq& kernel,
-                 const std::vector<FrontierSeed>& frontier, bool backward);
-
-  bool MarkVisited(VertexId v, uint32_t position) {
-    uint64_t& slot = visit_stamp_[static_cast<uint64_t>(v) * options_.k +
-                                  (position - 1)];
-    if (slot == epoch_) return false;
-    slot = epoch_;
-    return true;
-  }
-
-  bool WasVisited(VertexId v, uint32_t position) const {
-    return visit_stamp_[static_cast<uint64_t>(v) * options_.k + (position - 1)] ==
-           epoch_;
-  }
 
   struct VertexSeq {
     VertexId v;
@@ -149,6 +162,120 @@ class RlcIndexBuilder {
     }
   };
 
+  /// Per-thread scratch. The sequential build and the commit phase use the
+  /// builder's main context; every worker owns one.
+  struct SearchContext {
+    std::vector<VertexSeq> search_queue;
+    std::unordered_set<VertexSeq, VertexSeqHash> seen;
+    std::map<LabelSeq, std::vector<FrontierSeed>> frontier;
+    std::vector<std::pair<VertexId, uint32_t>> bfs_queue;
+    /// (vertex, kernel position) -> last epoch it was visited in.
+    std::vector<uint64_t> visit_stamp;
+    /// Valid where visit_stamp matches: the state's slot in the current
+    /// speculative kernel run (parallel build only).
+    std::vector<uint32_t> slot_of_state;
+    uint64_t epoch = 0;
+    uint64_t kernel_search_states = 0;
+
+    void EnsureSized(uint64_t num_vertices, uint32_t k, bool with_slots);
+  };
+
+  /// \name Speculation record (parallel build)
+  ///@{
+
+  /// One kernel-search (phase 1) insert attempt, in traversal order.
+  struct P1Attempt {
+    VertexId y;
+    AttemptHint hint;
+    LabelSeq mr;
+  };
+
+  /// One scanned edge of a speculative kernel BFS. The source state is
+  /// implicit (events are grouped per source slot); the target position is
+  /// the source's next_pos.
+  struct SpecEvent {
+    VertexId y;
+    AttemptHint hint;  ///< meaningful for boundary edges only
+  };
+
+  struct SpecSlot {
+    VertexId v;
+    uint32_t position;
+  };
+
+  /// Full traversal record of one speculative kernel BFS: the states in
+  /// speculative BFS order (seeds first) and, per state, the contiguous
+  /// range of scanned edges events[event_begin[i] .. event_begin[i+1]).
+  struct SpecKernelRun {
+    LabelSeq kernel;
+    uint32_t num_seeds = 0;
+    std::vector<SpecSlot> slots;
+    std::vector<uint32_t> event_begin;
+    std::vector<SpecEvent> events;
+  };
+
+  struct DirectionRecord {
+    std::vector<P1Attempt> p1;
+    std::vector<SpecKernelRun> kernels;
+  };
+
+  struct HubRecord {
+    VertexId hub = 0;
+    DirectionRecord backward;
+    DirectionRecord forward;
+  };
+  ///@}
+
+  /// Phase 1 shared by the sequential and speculative paths: the traversal
+  /// depends only on the graph; `on_attempt(y, mr)` observes every insert
+  /// attempt in order. Fills ctx.frontier with the kernel candidates.
+  template <typename AttemptFn>
+  void KernelSearch(VertexId hub, bool backward, SearchContext& ctx,
+                    AttemptFn&& on_attempt);
+
+  /// One full sequential KBS (kernel search + kernel BFSs) from `hub`.
+  void Kbs(VertexId hub, bool backward);
+
+  /// Sequential phase 2 for one kernel candidate.
+  void KernelBfs(VertexId hub, const LabelSeq& kernel,
+                 const std::vector<FrontierSeed>& frontier, bool backward);
+
+  /// \name Parallel build
+  ///@{
+  void ParallelBuild(uint32_t num_threads);
+
+  /// Snapshot-side verdict for an insert attempt (see AttemptHint).
+  AttemptHint SpecInsertHint(VertexId y, VertexId hub, const LabelSeq& mr,
+                             bool backward) const;
+
+  /// Speculative KBS from `hub` against the frozen index, recording into rec.
+  void SpecKbs(VertexId hub, bool backward, SearchContext& ctx,
+               DirectionRecord& rec);
+  void SpecKernelBfs(VertexId hub, const LabelSeq& kernel,
+                     const std::vector<FrontierSeed>& frontier, bool backward,
+                     SearchContext& ctx, SpecKernelRun& run);
+
+  /// Replays one hub's record against the live index in sequential order.
+  void CommitHub(HubRecord& rec);
+  void CommitDirection(VertexId hub, DirectionRecord& rec, bool backward);
+  void CommitKernelBfs(VertexId hub, SpecKernelRun& run, bool backward);
+  ///@}
+
+  bool MarkVisited(SearchContext& ctx, VertexId v, uint32_t position) {
+    uint64_t& slot = ctx.visit_stamp[StateIndex(v, position)];
+    if (slot == ctx.epoch) return false;
+    slot = ctx.epoch;
+    return true;
+  }
+
+  bool WasVisited(const SearchContext& ctx, VertexId v, uint32_t position) const {
+    return ctx.visit_stamp[StateIndex(v, position)] == ctx.epoch;
+  }
+
+  uint64_t StateIndex(VertexId v, uint32_t position) const {
+    return static_cast<uint64_t>(v) * options_.k + (position - 1);
+  }
+
   const DiGraph& g_;
   IndexerOptions options_;
   bool pr3_effective_;
@@ -156,13 +283,11 @@ class RlcIndexBuilder {
   RlcIndex index_;
   bool built_ = false;
 
-  // Reused per-KBS scratch.
-  std::vector<VertexSeq> search_queue_;
-  std::unordered_set<VertexSeq, VertexSeqHash> seen_;
-  std::map<LabelSeq, std::vector<FrontierSeed>> frontier_;
-  std::vector<std::pair<VertexId, uint32_t>> bfs_queue_;
-  std::vector<uint64_t> visit_stamp_;
-  uint64_t epoch_ = 0;
+  /// Scratch of the sequential path and of the commit phase.
+  SearchContext main_ctx_;
+  /// Commit-phase aliveness per speculative slot, and the commit BFS queue.
+  std::vector<uint8_t> commit_alive_;
+  std::vector<uint32_t> commit_queue_;
 };
 
 /// Convenience wrapper: builds the RLC index of `g` with bound `k` using

@@ -4,6 +4,33 @@
 
 namespace rlc {
 
+namespace {
+
+/// Lists more than this factor apart in length are joined by galloping
+/// instead of a linear merge.
+constexpr size_t kGallopRatio = 16;
+
+/// First position in `entries[lo..)` whose hub_aid is >= `aid`, found by
+/// exponential probing followed by binary search. O(log distance).
+size_t GallopLowerBound(std::span<const IndexEntry> entries, size_t lo,
+                        uint32_t aid) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < entries.size() && entries[hi].hub_aid < aid) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, entries.size());
+  const auto it = std::lower_bound(
+      entries.begin() + static_cast<ptrdiff_t>(lo),
+      entries.begin() + static_cast<ptrdiff_t>(hi), aid,
+      [](const IndexEntry& e, uint32_t a) { return e.hub_aid < a; });
+  return static_cast<size_t>(it - entries.begin());
+}
+
+}  // namespace
+
 bool RlcIndex::Query(VertexId s, VertexId t, const LabelSeq& constraint) const {
   RLC_REQUIRE(s < num_vertices() && t < num_vertices(),
               "RlcIndex::Query: vertex out of range");
@@ -29,14 +56,24 @@ bool RlcIndex::QueryStar(VertexId s, VertexId t, const LabelSeq& constraint) con
 bool RlcIndex::QueryInterned(VertexId s, VertexId t, MrId mr) const {
   if (mr == kInvalidMrId) return false;
 
-  const std::vector<IndexEntry>& lout = out_[s];
-  const std::vector<IndexEntry>& lin = in_[t];
+  const std::span<const IndexEntry> lout = Lout(s);
+  const std::span<const IndexEntry> lin = Lin(t);
 
   // Case 2: (t,L) ∈ Lout(s) or (s,L) ∈ Lin(t).
   if (ContainsEntry(lout, aid_[t], mr)) return true;
   if (ContainsEntry(lin, aid_[s], mr)) return true;
 
-  // Case 1: merge join over the access-id-sorted entry lists.
+  // Case 1: a common hub carrying L on both sides.
+  return JoinHasCommonHub(lout, lin, mr);
+}
+
+bool RlcIndex::JoinHasCommonHub(std::span<const IndexEntry> lout,
+                                std::span<const IndexEntry> lin, MrId mr) {
+  if (lout.empty() || lin.empty()) return false;
+  if (lout.size() > lin.size() * kGallopRatio) return GallopJoin(lin, lout, mr);
+  if (lin.size() > lout.size() * kGallopRatio) return GallopJoin(lout, lin, mr);
+
+  // Merge join over the access-id-sorted entry lists.
   size_t i = 0, j = 0;
   while (i < lout.size() && j < lin.size()) {
     const uint32_t ha = lout[i].hub_aid;
@@ -62,8 +99,28 @@ bool RlcIndex::QueryInterned(VertexId s, VertexId t, MrId mr) const {
   return false;
 }
 
-bool RlcIndex::ContainsEntry(const std::vector<IndexEntry>& entries,
-                             uint32_t hub_aid, MrId mr) const {
+bool RlcIndex::GallopJoin(std::span<const IndexEntry> small,
+                          std::span<const IndexEntry> large, MrId mr) {
+  size_t lo = 0;  // galloping resumes where the previous group ended
+  for (size_t i = 0; i < small.size();) {
+    const uint32_t aid = small[i].hub_aid;
+    bool small_has = false;
+    while (i < small.size() && small[i].hub_aid == aid) {
+      small_has |= (small[i].mr == mr);
+      ++i;
+    }
+    if (!small_has) continue;
+    lo = GallopLowerBound(large, lo, aid);
+    for (size_t j = lo; j < large.size() && large[j].hub_aid == aid; ++j) {
+      if (large[j].mr == mr) return true;
+    }
+    if (lo == large.size()) return false;  // everything left is larger
+  }
+  return false;
+}
+
+bool RlcIndex::ContainsEntry(std::span<const IndexEntry> entries,
+                             uint32_t hub_aid, MrId mr) {
   auto it = std::lower_bound(entries.begin(), entries.end(), hub_aid,
                              [](const IndexEntry& e, uint32_t aid) {
                                return e.hub_aid < aid;
@@ -75,28 +132,93 @@ bool RlcIndex::ContainsEntry(const std::vector<IndexEntry>& entries,
 }
 
 void RlcIndex::SetAccessOrder(std::vector<VertexId> order_to_vertex) {
-  RLC_REQUIRE(order_to_vertex.size() == out_.size(),
+  RLC_REQUIRE(order_to_vertex.size() == aid_.size(),
               "SetAccessOrder: order size mismatch");
   order_ = std::move(order_to_vertex);
   for (uint32_t i = 0; i < order_.size(); ++i) {
-    RLC_REQUIRE(order_[i] < out_.size(), "SetAccessOrder: vertex out of range");
+    RLC_REQUIRE(order_[i] < aid_.size(), "SetAccessOrder: vertex out of range");
     aid_[order_[i]] = i + 1;  // access ids are 1-based, as in the paper
   }
 }
 
 void RlcIndex::AddOut(VertexId v, uint32_t hub_aid, MrId mr) {
+  RLC_CHECK_MSG(!sealed_, "RlcIndex::AddOut: index is sealed");
   RLC_DCHECK(v < out_.size());
   RLC_DCHECK(out_[v].empty() || out_[v].back().hub_aid <= hub_aid);
   out_[v].push_back({hub_aid, mr});
 }
 
 void RlcIndex::AddIn(VertexId v, uint32_t hub_aid, MrId mr) {
+  RLC_CHECK_MSG(!sealed_, "RlcIndex::AddIn: index is sealed");
   RLC_DCHECK(v < in_.size());
   RLC_DCHECK(in_[v].empty() || in_[v].back().hub_aid <= hub_aid);
   in_[v].push_back({hub_aid, mr});
 }
 
+namespace {
+
+void Flatten(std::vector<std::vector<IndexEntry>>& lists,
+             std::vector<uint64_t>& offsets, std::vector<IndexEntry>& entries) {
+  offsets.resize(lists.size() + 1);
+  uint64_t total = 0;
+  for (size_t v = 0; v < lists.size(); ++v) {
+    offsets[v] = total;
+    total += lists[v].size();
+  }
+  offsets[lists.size()] = total;
+  entries.reserve(total);
+  for (auto& list : lists) {
+    entries.insert(entries.end(), list.begin(), list.end());
+  }
+  lists.clear();
+  lists.shrink_to_fit();
+}
+
+}  // namespace
+
+void RlcIndex::Seal() {
+  if (sealed_) return;
+  Flatten(out_, out_offsets_, out_entries_);
+  Flatten(in_, in_offsets_, in_entries_);
+  sealed_ = true;
+}
+
+void RlcIndex::AdoptSealed(std::vector<uint64_t> out_offsets,
+                           std::vector<IndexEntry> out_entries,
+                           std::vector<uint64_t> in_offsets,
+                           std::vector<IndexEntry> in_entries) {
+  RLC_CHECK_MSG(!sealed_ && NumEntries() == 0,
+                "RlcIndex::AdoptSealed: index already has entries");
+  auto validate = [&](const std::vector<uint64_t>& offsets,
+                      const std::vector<IndexEntry>& entries) {
+    RLC_REQUIRE(offsets.size() == aid_.size() + 1,
+                "AdoptSealed: offset array size mismatch");
+    RLC_REQUIRE(offsets.front() == 0 && offsets.back() == entries.size(),
+                "AdoptSealed: offsets do not cover the entry buffer");
+    for (size_t v = 0; v + 1 < offsets.size(); ++v) {
+      RLC_REQUIRE(offsets[v] <= offsets[v + 1],
+                  "AdoptSealed: offsets not monotone");
+      for (uint64_t i = offsets[v]; i + 1 < offsets[v + 1]; ++i) {
+        RLC_REQUIRE(entries[i].hub_aid <= entries[i + 1].hub_aid,
+                    "AdoptSealed: entry list not sorted by access id");
+      }
+    }
+  };
+  validate(out_offsets, out_entries);
+  validate(in_offsets, in_entries);
+  out_offsets_ = std::move(out_offsets);
+  out_entries_ = std::move(out_entries);
+  in_offsets_ = std::move(in_offsets);
+  in_entries_ = std::move(in_entries);
+  out_.clear();
+  out_.shrink_to_fit();
+  in_.clear();
+  in_.shrink_to_fit();
+  sealed_ = true;
+}
+
 uint64_t RlcIndex::NumEntries() const {
+  if (sealed_) return out_entries_.size() + in_entries_.size();
   uint64_t total = 0;
   for (const auto& e : out_) total += e.size();
   for (const auto& e : in_) total += e.size();
@@ -107,10 +229,15 @@ uint64_t RlcIndex::MemoryBytes() const {
   uint64_t bytes = mrs_.MemoryBytes();
   bytes += aid_.capacity() * sizeof(uint32_t);
   bytes += order_.capacity() * sizeof(VertexId);
-  for (const auto& e : out_) bytes += e.size() * sizeof(IndexEntry);
-  for (const auto& e : in_) bytes += e.size() * sizeof(IndexEntry);
-  // Per-vertex vector headers are part of the materialized index.
-  bytes += (out_.size() + in_.size()) * sizeof(std::vector<IndexEntry>);
+  if (sealed_) {
+    bytes += (out_offsets_.capacity() + in_offsets_.capacity()) * sizeof(uint64_t);
+    bytes += (out_entries_.capacity() + in_entries_.capacity()) * sizeof(IndexEntry);
+  } else {
+    for (const auto& e : out_) bytes += e.size() * sizeof(IndexEntry);
+    for (const auto& e : in_) bytes += e.size() * sizeof(IndexEntry);
+    // Per-vertex vector headers are part of the materialized index.
+    bytes += (out_.size() + in_.size()) * sizeof(std::vector<IndexEntry>);
+  }
   return bytes;
 }
 

@@ -14,10 +14,18 @@
 // A query (s,t,L+) with |L| <= k and L primitive is answered true iff
 //   Case 2: (t,L) ∈ Lout(s) or (s,L) ∈ Lin(t), or
 //   Case 1: ∃ hub x with (x,L) ∈ Lout(s) and (x,L) ∈ Lin(t).
+//
+// Storage has two phases. During construction entries live in per-vertex
+// vectors (cheap appends). Seal() then flattens both sides into CSR form —
+// one offset array plus one contiguous IndexEntry buffer per side — which
+// removes a pointer chase per query, halves allocator metadata, and enables
+// the memcpy'd v2 serialization format (index_io.h). Queries work in either
+// phase; mutation is only allowed before sealing.
 
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "rlc/core/label_seq.h"
@@ -35,6 +43,8 @@ struct IndexEntry {
   friend bool operator==(const IndexEntry&, const IndexEntry&) = default;
 };
 
+static_assert(sizeof(IndexEntry) == 8, "IndexEntry must stay 8 bytes (v2 io)");
+
 /// The RLC reachability index for one graph and one recursive bound k.
 ///
 /// Instances are produced by RlcIndexBuilder (indexer.h) or loaded from disk
@@ -49,7 +59,7 @@ class RlcIndex {
   }
 
   uint32_t k() const { return k_; }
-  VertexId num_vertices() const { return static_cast<VertexId>(out_.size()); }
+  VertexId num_vertices() const { return static_cast<VertexId>(aid_.size()); }
 
   /// \name Query interface
   ///@{
@@ -80,20 +90,44 @@ class RlcIndex {
   void AddOut(VertexId v, uint32_t hub_aid, MrId mr);
   void AddIn(VertexId v, uint32_t hub_aid, MrId mr);
   MrTable& mr_table() { return mrs_; }
+
+  /// Flattens both entry sides into CSR arrays and frees the per-vertex
+  /// vectors. Idempotent. After sealing the mutation API aborts; the query
+  /// and introspection APIs are unaffected (and faster).
+  void Seal();
+
+  /// True once Seal() has run (or the index was loaded from a v2 file).
+  bool sealed() const { return sealed_; }
+
+  /// Installs pre-built CSR storage (the v2 deserialization path). Offsets
+  /// must be monotone with offsets.front() == 0, offsets.back() ==
+  /// entries.size() and size num_vertices()+1; entry lists must be sorted by
+  /// hub access id.
+  /// \throws std::invalid_argument on violation.
+  void AdoptSealed(std::vector<uint64_t> out_offsets,
+                   std::vector<IndexEntry> out_entries,
+                   std::vector<uint64_t> in_offsets,
+                   std::vector<IndexEntry> in_entries);
   ///@}
 
   /// \name Introspection
   ///@{
-  const std::vector<IndexEntry>& Lout(VertexId v) const { return out_[v]; }
-  const std::vector<IndexEntry>& Lin(VertexId v) const { return in_[v]; }
+  std::span<const IndexEntry> Lout(VertexId v) const {
+    return sealed_ ? Csr(out_offsets_, out_entries_, v)
+                   : std::span<const IndexEntry>(out_[v]);
+  }
+  std::span<const IndexEntry> Lin(VertexId v) const {
+    return sealed_ ? Csr(in_offsets_, in_entries_, v)
+                   : std::span<const IndexEntry>(in_[v]);
+  }
   const MrTable& mr_table() const { return mrs_; }
 
   /// True when (hub, mr) ∈ Lout(v) / Lin(v). O(log |list|).
   bool HasOutEntry(VertexId v, uint32_t hub_aid, MrId mr) const {
-    return ContainsEntry(out_[v], hub_aid, mr);
+    return ContainsEntry(Lout(v), hub_aid, mr);
   }
   bool HasInEntry(VertexId v, uint32_t hub_aid, MrId mr) const {
-    return ContainsEntry(in_[v], hub_aid, mr);
+    return ContainsEntry(Lin(v), hub_aid, mr);
   }
 
   /// Access id of vertex v (1-based, as in the paper).
@@ -111,12 +145,36 @@ class RlcIndex {
   ///@}
 
  private:
-  bool ContainsEntry(const std::vector<IndexEntry>& entries, uint32_t hub_aid,
-                     MrId mr) const;
+  static bool ContainsEntry(std::span<const IndexEntry> entries,
+                            uint32_t hub_aid, MrId mr);
+
+  /// Case-1 join: true iff some hub aid carries `mr` on both sides. Uses a
+  /// linear merge when the lists are comparable in length and a galloping
+  /// (exponential + binary search) probe of the longer list when they are
+  /// badly skewed — hub vertices accumulate huge Lin/Lout lists while most
+  /// vertices keep a handful of entries.
+  static bool JoinHasCommonHub(std::span<const IndexEntry> lout,
+                               std::span<const IndexEntry> lin, MrId mr);
+  static bool GallopJoin(std::span<const IndexEntry> small,
+                         std::span<const IndexEntry> large, MrId mr);
+
+  static std::span<const IndexEntry> Csr(const std::vector<uint64_t>& offsets,
+                                         const std::vector<IndexEntry>& entries,
+                                         VertexId v) {
+    return std::span<const IndexEntry>(entries.data() + offsets[v],
+                                       entries.data() + offsets[v + 1]);
+  }
 
   uint32_t k_;
+  bool sealed_ = false;
+  // Build-phase storage (empty once sealed).
   std::vector<std::vector<IndexEntry>> out_;
   std::vector<std::vector<IndexEntry>> in_;
+  // Sealed CSR storage (empty until sealed).
+  std::vector<uint64_t> out_offsets_;
+  std::vector<IndexEntry> out_entries_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<IndexEntry> in_entries_;
   std::vector<uint32_t> aid_;       // vertex id -> access id (1-based)
   std::vector<VertexId> order_;     // access id - 1 -> vertex id
   MrTable mrs_;

@@ -31,12 +31,15 @@ bool RlcHybridEngine::Evaluate(VertexId s, VertexId t,
   }
 
   // Hybrid path: traverse the prefix online, probe the index at every
-  // prefix-accepting vertex.
+  // prefix-accepting vertex. An MR the index never recorded cannot satisfy
+  // the final atom anywhere — skip the whole prefix traversal.
+  const MrId last_mr = index_.FindMr(last.seq);
+  if (last_mr == kInvalidMrId) return false;
+
   PathConstraint prefix(
       std::vector<ConstraintAtom>(atoms.begin(), atoms.end() - 1));
   const Nfa nfa = Nfa::FromConstraint(prefix);
   const DenseNfa dense(nfa, g_.num_labels());
-  const MrId last_mr = index_.FindMr(last.seq);
 
   const uint32_t nq = dense.num_states();
   std::vector<bool> visited(static_cast<uint64_t>(g_.num_vertices()) * nq, false);

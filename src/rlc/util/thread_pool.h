@@ -1,0 +1,104 @@
+// A small reusable worker pool for batch-parallel phases.
+//
+// The RLC index builder alternates short parallel phases (speculative
+// kernel-based searches over a batch of hubs) with sequential commit phases;
+// spawning threads per batch would dominate at small batch sizes, so the
+// pool keeps its workers alive across Run() calls. Run() is a barrier: it
+// executes fn(worker_index) on every worker concurrently and returns when
+// all of them have finished. Work distribution inside fn is the caller's
+// business (the builder uses a shared atomic cursor).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+class ThreadPool {
+ public:
+  /// More workers than this is always a caller bug (e.g. a negative count
+  /// cast to unsigned), not a real machine.
+  static constexpr uint32_t kMaxThreads = 4096;
+
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(uint32_t num_threads) {
+    RLC_REQUIRE(num_threads >= 1 && num_threads <= kMaxThreads,
+                "ThreadPool: thread count " << num_threads
+                    << " out of range [1," << kMaxThreads << "]");
+    workers_.reserve(num_threads);
+    for (uint32_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Runs fn(worker_index) on every worker and blocks until all return.
+  /// fn must not throw (the library's invariant failures abort instead).
+  void Run(const std::function<void(uint32_t)>& fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = &fn;
+    remaining_ = size();
+    ++generation_;
+    wake_.notify_all();
+    done_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+  /// Resolves a thread-count option: 0 means "all hardware threads".
+  static uint32_t ResolveThreads(uint32_t requested) {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<uint32_t>(hw);
+  }
+
+ private:
+  void WorkerLoop(uint32_t index) {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(uint32_t)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+        if (stop_) return;
+        seen_generation = generation_;
+        job = job_;
+      }
+      (*job)(index);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--remaining_ == 0) done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<std::thread> workers_;
+  const std::function<void(uint32_t)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  uint32_t remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace rlc

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -31,8 +32,10 @@ void ExpectIdentical(const RlcIndex& a, const RlcIndex& b) {
   }
   for (VertexId v = 0; v < a.num_vertices(); ++v) {
     ASSERT_EQ(a.AccessId(v), b.AccessId(v));
-    ASSERT_EQ(a.Lout(v), b.Lout(v)) << "Lout mismatch at v=" << v;
-    ASSERT_EQ(a.Lin(v), b.Lin(v)) << "Lin mismatch at v=" << v;
+    ASSERT_TRUE(std::ranges::equal(a.Lout(v), b.Lout(v)))
+        << "Lout mismatch at v=" << v;
+    ASSERT_TRUE(std::ranges::equal(a.Lin(v), b.Lin(v)))
+        << "Lin mismatch at v=" << v;
   }
 }
 

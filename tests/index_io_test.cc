@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "rlc/baselines/online_search.h"
@@ -25,8 +26,8 @@ void ExpectSameIndex(const RlcIndex& a, const RlcIndex& b) {
   }
   for (VertexId v = 0; v < a.num_vertices(); ++v) {
     EXPECT_EQ(a.AccessId(v), b.AccessId(v));
-    EXPECT_EQ(a.Lout(v), b.Lout(v));
-    EXPECT_EQ(a.Lin(v), b.Lin(v));
+    EXPECT_TRUE(std::ranges::equal(a.Lout(v), b.Lout(v))) << "Lout at v=" << v;
+    EXPECT_TRUE(std::ranges::equal(a.Lin(v), b.Lin(v))) << "Lin at v=" << v;
   }
 }
 
@@ -64,6 +65,65 @@ TEST(IndexIoTest, RoundTripRandomGraphQueriesAgree) {
     const LabelSeq c = RandomPrimitiveSeq(1 + rng.Below(3), 4, rng);
     ASSERT_EQ(index.Query(s, t, c), loaded.Query(s, t, c));
   }
+}
+
+TEST(IndexIoTest, LegacyV1RoundTrip) {
+  // Indexes persisted by the old per-entry format must still load, and must
+  // load into the same (sealed) state as a v2 load.
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+
+  std::stringstream v1(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, v1, /*version=*/1);
+  std::stringstream v2(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, v2, /*version=*/2);
+  EXPECT_NE(v1.str(), v2.str());
+
+  const RlcIndex from_v1 = ReadIndex(v1);
+  const RlcIndex from_v2 = ReadIndex(v2);
+  EXPECT_TRUE(from_v1.sealed());
+  EXPECT_TRUE(from_v2.sealed());
+  ExpectSameIndex(from_v1, from_v2);
+  ExpectSameIndex(index, from_v1);
+}
+
+TEST(IndexIoTest, UnsealedIndexWritesIdenticalBytes) {
+  // The serialized form must not depend on whether Seal() ran.
+  Rng rng(17);
+  auto edges = ErdosRenyiEdges(80, 300, rng);
+  AssignZipfLabels(&edges, 3, 2.0, rng);
+  const DiGraph g(80, std::move(edges), 3);
+
+  IndexerOptions options;
+  options.k = 2;
+  options.seal = false;
+  RlcIndexBuilder builder(g, options);
+  RlcIndex index = builder.Build();
+  ASSERT_FALSE(index.sealed());
+
+  std::stringstream unsealed_bytes(std::ios::in | std::ios::out |
+                                   std::ios::binary);
+  WriteIndex(index, unsealed_bytes);
+  index.Seal();
+  std::stringstream sealed_bytes(std::ios::in | std::ios::out |
+                                 std::ios::binary);
+  WriteIndex(index, sealed_bytes);
+  EXPECT_EQ(unsealed_bytes.str(), sealed_bytes.str());
+}
+
+TEST(IndexIoTest, CorruptV2EntriesRejected) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, buf);
+  std::string bytes = buf.str();
+  // Smash the last IndexEntry's mr id to an out-of-range value.
+  ASSERT_GE(bytes.size(), 8u);
+  for (size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(0xFF);
+  }
+  std::stringstream corrupt(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(ReadIndex(corrupt), std::runtime_error);
 }
 
 TEST(IndexIoTest, RoundTripEmptyIndex) {

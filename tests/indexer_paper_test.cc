@@ -116,8 +116,8 @@ TEST_F(Fig2IndexTest, LoutOrderOfV1FollowsIndexingTrace) {
 
 TEST_F(Fig2IndexTest, EntriesSortedByAccessId) {
   for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-    for (const auto* list : {&index_.Lout(v), &index_.Lin(v)}) {
-      EXPECT_TRUE(std::is_sorted(list->begin(), list->end(),
+    for (const auto list : {index_.Lout(v), index_.Lin(v)}) {
+      EXPECT_TRUE(std::is_sorted(list.begin(), list.end(),
                                  [](const IndexEntry& a, const IndexEntry& b) {
                                    return a.hub_aid < b.hub_aid;
                                  }));

@@ -1,0 +1,188 @@
+// Parallel build equivalence: the hub-batched speculative builder must
+// produce an index *bit-identical* to the sequential Algorithm 2 — same
+// entry lists in the same order, same MR-table ids, same counters — for
+// every thread count and batch size, on the paper's Fig. 2 example and on
+// seeded Erdős–Rényi graphs with Zipf-distributed labels. A metamorphic
+// query batch then checks the observable behaviour end to end.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rlc/core/indexer.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/graph/paper_graphs.h"
+#include "rlc/util/rng.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc {
+namespace {
+
+DiGraph RandomGraph(VertexId n, uint64_t m, Label labels, uint64_t seed) {
+  Rng rng(seed);
+  auto edges = ErdosRenyiEdges(n, m, rng);
+  AssignZipfLabels(&edges, labels, 2.0, rng);
+  return DiGraph(n, std::move(edges), labels);
+}
+
+struct BuildResult {
+  RlcIndex index;
+  IndexerStats stats;
+};
+
+BuildResult BuildWith(const DiGraph& g, IndexerOptions options) {
+  RlcIndexBuilder builder(g, options);
+  RlcIndex index = builder.Build();
+  return {std::move(index), builder.stats()};
+}
+
+void ExpectIdentical(const BuildResult& a, const BuildResult& b) {
+  ASSERT_EQ(a.index.num_vertices(), b.index.num_vertices());
+  ASSERT_EQ(a.index.NumEntries(), b.index.NumEntries());
+  ASSERT_EQ(a.index.mr_table().size(), b.index.mr_table().size());
+  for (MrId id = 0; id < a.index.mr_table().size(); ++id) {
+    ASSERT_EQ(a.index.mr_table().Get(id), b.index.mr_table().Get(id))
+        << "MR-table id " << id << " diverged";
+  }
+  for (VertexId v = 0; v < a.index.num_vertices(); ++v) {
+    ASSERT_EQ(a.index.AccessId(v), b.index.AccessId(v));
+    ASSERT_TRUE(std::ranges::equal(a.index.Lout(v), b.index.Lout(v)))
+        << "Lout mismatch at v=" << v;
+    ASSERT_TRUE(std::ranges::equal(a.index.Lin(v), b.index.Lin(v)))
+        << "Lin mismatch at v=" << v;
+  }
+  // Every counter except wall time is thread-count independent.
+  EXPECT_EQ(a.stats.entries_inserted, b.stats.entries_inserted);
+  EXPECT_EQ(a.stats.pruned_pr1, b.stats.pruned_pr1);
+  EXPECT_EQ(a.stats.pruned_pr2, b.stats.pruned_pr2);
+  EXPECT_EQ(a.stats.pruned_duplicate, b.stats.pruned_duplicate);
+  EXPECT_EQ(a.stats.kernel_search_states, b.stats.kernel_search_states);
+  EXPECT_EQ(a.stats.kernel_bfs_runs, b.stats.kernel_bfs_runs);
+  EXPECT_EQ(a.stats.kernel_bfs_visits, b.stats.kernel_bfs_visits);
+}
+
+IndexerOptions Opts(uint32_t k, uint32_t threads, uint32_t batch = 0) {
+  IndexerOptions options;
+  options.k = k;
+  options.num_threads = threads;
+  options.batch_size = batch;
+  return options;
+}
+
+TEST(ParallelBuildTest, Fig2GraphAllThreadCounts) {
+  const DiGraph g = BuildFig2Graph();
+  const BuildResult seq = BuildWith(g, Opts(2, 1));
+  for (const uint32_t threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdentical(seq, BuildWith(g, Opts(2, threads)));
+  }
+}
+
+TEST(ParallelBuildTest, BatchSizeDoesNotMatter) {
+  const DiGraph g = RandomGraph(90, 350, 3, 1234);
+  const BuildResult seq = BuildWith(g, Opts(2, 1));
+  for (const uint32_t batch : {1u, 2u, 7u, 64u, 1000u}) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    ExpectIdentical(seq, BuildWith(g, Opts(2, 4, batch)));
+  }
+}
+
+TEST(ParallelBuildTest, RandomGraphsSeveralSeeds) {
+  for (const uint64_t seed : {7u, 8u, 9u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const DiGraph g = RandomGraph(120, 480, 4, seed);
+    const BuildResult seq = BuildWith(g, Opts(2, 1));
+    ExpectIdentical(seq, BuildWith(g, Opts(2, 2)));
+    ExpectIdentical(seq, BuildWith(g, Opts(2, 8)));
+  }
+}
+
+TEST(ParallelBuildTest, HigherKAndDenseGraph) {
+  // Dense graphs with k=3 stress PR1/PR3 interplay: most speculative
+  // attempts are only decidable at commit time.
+  const DiGraph g = RandomGraph(60, 500, 2, 42);
+  ExpectIdentical(BuildWith(g, Opts(3, 1)), BuildWith(g, Opts(3, 4)));
+}
+
+TEST(ParallelBuildTest, LazyStrategyMatches) {
+  const DiGraph g = RandomGraph(50, 200, 2, 77);
+  IndexerOptions seq = Opts(3, 1);
+  seq.strategy = KbsStrategy::kLazy;
+  IndexerOptions par = Opts(3, 4);
+  par.strategy = KbsStrategy::kLazy;
+  ExpectIdentical(BuildWith(g, seq), BuildWith(g, par));
+}
+
+TEST(ParallelBuildTest, PruningAblationsMatch) {
+  // The speculative hints take different paths when PR1 or PR3 is off;
+  // every ablation configuration must still commit identically.
+  const DiGraph g = RandomGraph(70, 260, 3, 5);
+  for (const bool pr1 : {true, false}) {
+    for (const bool pr3 : {true, false}) {
+      SCOPED_TRACE("pr1=" + std::to_string(pr1) + " pr3=" + std::to_string(pr3));
+      IndexerOptions seq = Opts(2, 1);
+      seq.pr1 = pr1;
+      seq.pr3 = pr3;
+      IndexerOptions par = seq;
+      par.num_threads = 4;
+      par.batch_size = 16;
+      ExpectIdentical(BuildWith(g, seq), BuildWith(g, par));
+    }
+  }
+}
+
+TEST(ParallelBuildTest, MetamorphicQueryBatchAgrees) {
+  // End-to-end observable equivalence on a larger graph: a mixed workload
+  // of true/false queries answers identically from sequential and parallel
+  // builds (sealed and unsealed).
+  const DiGraph g = RandomGraph(200, 900, 4, 99);
+  const BuildResult seq = BuildWith(g, Opts(2, 1));
+  IndexerOptions unsealed_par = Opts(2, 4, 32);
+  unsealed_par.seal = false;
+  const BuildResult par = BuildWith(g, Opts(2, 4, 32));
+  const BuildResult par_unsealed = BuildWith(g, unsealed_par);
+  EXPECT_TRUE(seq.index.sealed());
+  EXPECT_FALSE(par_unsealed.index.sealed());
+
+  Rng rng(4242);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto s = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const LabelSeq c = RandomPrimitiveSeq(1 + trial % 2, 4, rng);
+    const bool expected = seq.index.Query(s, t, c);
+    ASSERT_EQ(expected, par.index.Query(s, t, c))
+        << "s=" << s << " t=" << t << " c=" << c.ToString();
+    ASSERT_EQ(expected, par_unsealed.index.Query(s, t, c))
+        << "s=" << s << " t=" << t << " c=" << c.ToString();
+  }
+}
+
+TEST(ParallelBuildTest, VertexIdAndRandomOrderings) {
+  // The equivalence argument nowhere depends on the IN-OUT order; check the
+  // ablation orderings too.
+  const DiGraph g = RandomGraph(80, 300, 3, 13);
+  for (const VertexOrdering ordering :
+       {VertexOrdering::kVertexId, VertexOrdering::kRandom}) {
+    IndexerOptions seq = Opts(2, 1);
+    seq.ordering = ordering;
+    IndexerOptions par = seq;
+    par.num_threads = 3;
+    ExpectIdentical(BuildWith(g, seq), BuildWith(g, par));
+  }
+}
+
+TEST(ParallelBuildTest, ZeroThreadsMeansHardware) {
+  const DiGraph g = RandomGraph(40, 120, 2, 3);
+  ExpectIdentical(BuildWith(g, Opts(2, 1)), BuildWith(g, Opts(2, 0)));
+}
+
+TEST(ParallelBuildTest, EmptyAndTinyGraphs) {
+  ExpectIdentical(BuildWith(DiGraph(), Opts(2, 1)),
+                  BuildWith(DiGraph(), Opts(2, 4)));
+  const DiGraph one(1, {{0, 0, 0}}, 1);  // single self-loop
+  ExpectIdentical(BuildWith(one, Opts(2, 1)), BuildWith(one, Opts(2, 4)));
+}
+
+}  // namespace
+}  // namespace rlc

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace rlc {
 namespace {
 
@@ -117,6 +120,78 @@ TEST(RlcIndexTest, SetAccessOrderValidation) {
 TEST(RlcIndexTest, ConstructorValidatesK) {
   EXPECT_THROW(RlcIndex(1, 0), std::invalid_argument);
   EXPECT_THROW(RlcIndex(1, kMaxK + 1), std::invalid_argument);
+}
+
+TEST_F(HandBuiltIndexTest, SealPreservesEntriesAndAnswers) {
+  // Snapshot the nested-vector layout, seal, and compare the CSR layout.
+  std::vector<std::vector<IndexEntry>> out_before, in_before;
+  for (VertexId v = 0; v < index_.num_vertices(); ++v) {
+    out_before.emplace_back(index_.Lout(v).begin(), index_.Lout(v).end());
+    in_before.emplace_back(index_.Lin(v).begin(), index_.Lin(v).end());
+  }
+  const uint64_t entries_before = index_.NumEntries();
+
+  EXPECT_FALSE(index_.sealed());
+  index_.Seal();
+  EXPECT_TRUE(index_.sealed());
+  index_.Seal();  // idempotent
+
+  EXPECT_EQ(index_.NumEntries(), entries_before);
+  for (VertexId v = 0; v < index_.num_vertices(); ++v) {
+    EXPECT_TRUE(std::ranges::equal(index_.Lout(v), out_before[v])) << "v=" << v;
+    EXPECT_TRUE(std::ranges::equal(index_.Lin(v), in_before[v])) << "v=" << v;
+  }
+  // The Algorithm 1 cases answer identically through the CSR layout.
+  EXPECT_TRUE(index_.Query(0, 1, LabelSeq{0, 1}));
+  EXPECT_FALSE(index_.Query(0, 1, LabelSeq{0}));
+  EXPECT_TRUE(index_.Query(0, 3, LabelSeq{0}));
+  EXPECT_TRUE(index_.Query(2, 0, LabelSeq{0}));
+  EXPECT_FALSE(index_.Query(1, 0, LabelSeq{0}));
+  EXPECT_TRUE(index_.HasOutEntry(0, 1, mr_a_));
+  EXPECT_FALSE(index_.HasOutEntry(0, 2, mr_a_));
+  EXPECT_GT(index_.MemoryBytes(), 0u);
+}
+
+TEST(RlcIndexTest, GallopingJoinOnSkewedLists) {
+  // One side keeps a single hub group, the other side is long enough to
+  // trigger the galloping path (ratio > 16). The common hub sits at
+  // different spots to exercise early/mid/late gallops.
+  // Hub aids 10..109 stay clear of the endpoints' own access ids (1..3) so
+  // only Case 1 can answer true.
+  for (const uint32_t common_aid : {10u, 55u, 109u}) {
+    RlcIndex index(3, 1);
+    index.SetAccessOrder({0, 1, 2});
+    const MrId a = index.mr_table().Intern(LabelSeq{0});
+    const MrId b = index.mr_table().Intern(LabelSeq{1});
+    index.AddOut(0, common_aid, a);
+    for (uint32_t aid = 10; aid <= 109; ++aid) {
+      index.AddIn(2, aid, aid == common_aid ? a : b);
+    }
+    index.Seal();
+    EXPECT_TRUE(index.Query(0, 2, LabelSeq{0})) << "aid=" << common_aid;
+    EXPECT_FALSE(index.Query(0, 2, LabelSeq{1})) << "aid=" << common_aid;
+  }
+  // Same shape but no common aid at all: the gallop must run off the end
+  // without matching.
+  RlcIndex index(3, 1);
+  index.SetAccessOrder({0, 1, 2});
+  const MrId a = index.mr_table().Intern(LabelSeq{0});
+  index.AddOut(0, 200, a);
+  for (uint32_t aid = 10; aid <= 109; ++aid) index.AddIn(2, aid, a);
+  index.Seal();
+  EXPECT_FALSE(index.Query(0, 2, LabelSeq{0}));
+}
+
+TEST(RlcIndexTest, AdoptSealedRoundTrip) {
+  RlcIndex index(2, 1);
+  index.SetAccessOrder({1, 0});
+  const MrId a = index.mr_table().Intern(LabelSeq{0});
+  index.AdoptSealed({0, 1, 1}, {{1, a}}, {0, 0, 1}, {{1, a}});
+  EXPECT_TRUE(index.sealed());
+  EXPECT_EQ(index.NumEntries(), 2u);
+  EXPECT_EQ(index.Lout(0).size(), 1u);
+  EXPECT_EQ(index.Lin(1).size(), 1u);
+  EXPECT_TRUE(index.Query(0, 1, LabelSeq{0}));
 }
 
 TEST(RlcIndexTest, SelfQueryThroughSelfEntry) {
