@@ -1,0 +1,234 @@
+// Serving-layer throughput: scalar vs batched query execution, single index
+// vs sharded service. Emits BENCH_serving.json.
+//
+// Modes measured over one mixed true/false workload (every mode must return
+// identical answers — the harness aborts otherwise):
+//
+//   scalar_query         index.Query per probe (per-call validation+FindMr)
+//   scalar_interned      index.QueryInterned per probe, MRs pre-resolved
+//   batched_index        ExecuteBatch: grouped by MR + CSR prefetch
+//   batched_index_fresh  ditto, batch re-assembled inside the timed region
+//   scalar_service       ShardedRlcService::Query per probe
+//   batched_service      ShardedRlcService::Execute
+//
+//   $ ./bench_serving [num_vertices num_edges num_probes iters shards]
+//     defaults:            20000     100000    20000     5     4
+//
+// The interesting ratios (also emitted as a JSON record): batched_index vs
+// scalar_query is the per-call-overhead amortization; batched_index vs
+// scalar_interned isolates the CSR prefetch pipeline.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "rlc/core/indexer.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/serve/sharded_service.h"
+#include "rlc/util/rng.h"
+#include "rlc/util/timer.h"
+
+using namespace rlc;
+
+namespace {
+
+double BestSeconds(int iters, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.ElapsedSeconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 20'000;
+  const uint64_t m = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100'000;
+  const uint32_t num_probes = argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 20'000;
+  const int iters = argc > 4 ? std::atoi(argv[4]) : 5;
+  const uint32_t shards = argc > 5 ? static_cast<uint32_t>(std::atoi(argv[5])) : 4;
+  const Label num_labels = 8;
+
+  Rng rng(7);
+  auto edges = ErdosRenyiEdges(n, m, rng);
+  AssignZipfLabels(&edges, num_labels, 2.0, rng);
+  const DiGraph g(n, std::move(edges), num_labels);
+  std::printf("graph: |V|=%u |E|=%llu |L|=%u, %u probes x %d iters\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              g.num_labels(), num_probes, iters);
+
+  Timer build_timer;
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  std::printf("whole-graph index: %.2fs, %llu entries\n",
+              build_timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(index.NumEntries()));
+
+  // Workload: length-2 oracle-classified queries (the paper's protocol),
+  // shuffled so true/false and constraint templates interleave.
+  WorkloadOptions wopts;
+  wopts.count = num_probes / 2;
+  wopts.constraint_length = 2;
+  wopts.fill_true_with_walks = true;
+  Workload w = GenerateWorkload(g, wopts);
+  std::vector<RlcQuery> log = w.true_queries;
+  log.insert(log.end(), w.false_queries.begin(), w.false_queries.end());
+  Rng shuffle_rng(17);
+  for (size_t i = log.size(); i > 1; --i) {
+    std::swap(log[i - 1], log[shuffle_rng.Below(i)]);
+  }
+  std::printf("workload: %zu probes (%zu true)\n", log.size(),
+              w.true_queries.size());
+
+  // Prepared-statement view of the log: distinct templates interned once.
+  QueryBatch batch;
+  for (const RlcQuery& q : log) {
+    batch.Add(q.s, q.t, batch.InternSequence(q.constraint));
+  }
+  const std::vector<BatchProbe>& probes = batch.probes();
+  std::vector<MrId> mr_of(batch.num_sequences());
+  for (uint32_t i = 0; i < batch.num_sequences(); ++i) {
+    mr_of[i] = index.FindMr(batch.sequence(i));
+  }
+  std::printf("templates: %u distinct\n", batch.num_sequences());
+
+  // Reference answers (scalar validated path).
+  std::vector<uint8_t> reference;
+  reference.reserve(log.size());
+  for (const RlcQuery& q : log) {
+    reference.push_back(index.Query(q.s, q.t, q.constraint) ? 1 : 0);
+  }
+
+  bench::JsonWriter json("serving");
+  bool all_agree = true;
+  std::vector<double> ns_per_query;
+  auto report = [&](const std::string& mode, uint32_t mode_shards,
+                    double seconds, const std::vector<uint8_t>& answers,
+                    const ServiceStats* stats) {
+    bool agree = answers == reference;
+    all_agree = all_agree && agree;
+    const double ns = seconds * 1e9 / static_cast<double>(log.size());
+    ns_per_query.push_back(ns);
+    std::printf("%-20s: %8.1f ns/probe  %7.2f Mq/s  answers %s\n", mode.c_str(),
+                ns, static_cast<double>(log.size()) / seconds / 1e6,
+                agree ? "ok" : "MISMATCH");
+    auto& rec = json.AddRecord()
+                    .Set("mode", mode)
+                    .Set("shards", mode_shards)
+                    .Set("num_vertices", n)
+                    .Set("num_edges", m)
+                    .Set("probes", static_cast<uint64_t>(log.size()))
+                    .Set("iters", iters)
+                    .Set("ns_per_probe", ns)
+                    .Set("agree", agree);
+    if (stats != nullptr) {
+      rec.Set("intra_true", stats->intra_true)
+          .Set("cross_refuted", stats->cross_refuted)
+          .Set("fallback_probes", stats->fallback_probes);
+    }
+  };
+
+  // Per-mode routing telemetry: the service accumulates stats across every
+  // iteration and mode, so report the per-run delta (the workload is
+  // deterministic — each iteration adds identical counts).
+  auto stats_delta = [&](const ServiceStats& before, const ServiceStats& after,
+                         int runs) {
+    ServiceStats d;
+    d.intra_true = (after.intra_true - before.intra_true) / runs;
+    d.cross_refuted = (after.cross_refuted - before.cross_refuted) / runs;
+    d.fallback_probes = (after.fallback_probes - before.fallback_probes) / runs;
+    return d;
+  };
+
+  // --- scalar_query ---
+  std::vector<uint8_t> answers(log.size());
+  double secs = BestSeconds(iters, [&] {
+    for (size_t i = 0; i < log.size(); ++i) {
+      answers[i] = index.Query(log[i].s, log[i].t, log[i].constraint) ? 1 : 0;
+    }
+  });
+  report("scalar_query", 1, secs, answers, nullptr);
+
+  // --- scalar_interned ---
+  secs = BestSeconds(iters, [&] {
+    for (size_t i = 0; i < probes.size(); ++i) {
+      answers[i] =
+          index.QueryInterned(probes[i].s, probes[i].t, mr_of[probes[i].seq_id])
+              ? 1
+              : 0;
+    }
+  });
+  report("scalar_interned", 1, secs, answers, nullptr);
+
+  // --- batched_index (prepared batch) ---
+  AnswerBatch batch_answers;
+  secs = BestSeconds(iters, [&] { batch_answers = ExecuteBatch(index, batch); });
+  report("batched_index", 1, secs, batch_answers.answers, nullptr);
+  const double batched_index_ns = ns_per_query.back();
+
+  // --- batched_index_fresh (assembly inside the timed region) ---
+  secs = BestSeconds(iters, [&] {
+    QueryBatch fresh;
+    for (const RlcQuery& q : log) fresh.Add(q.s, q.t, q.constraint);
+    batch_answers = ExecuteBatch(index, fresh);
+  });
+  report("batched_index_fresh", 1, secs, batch_answers.answers, nullptr);
+
+  // --- sharded service (scalar + batched) ---
+  ServiceOptions options;
+  options.partition.num_shards = shards;
+  options.indexer.k = 2;
+  Timer service_timer;
+  ShardedRlcService service(g, options);
+  std::printf("sharded service (%u shards): built in %.2fs, %.2f MB, "
+              "boundary %llu/%u\n",
+              shards, service_timer.ElapsedSeconds(),
+              static_cast<double>(service.MemoryBytes()) / (1 << 20),
+              static_cast<unsigned long long>(
+                  service.partition().num_boundary_vertices()),
+              g.num_vertices());
+
+  ServiceStats before = service.stats();
+  secs = BestSeconds(iters, [&] {
+    for (size_t i = 0; i < log.size(); ++i) {
+      answers[i] = service.Query(log[i].s, log[i].t, log[i].constraint) ? 1 : 0;
+    }
+  });
+  ServiceStats scalar_stats = stats_delta(before, service.stats(), iters);
+  report("scalar_service", shards, secs, answers, &scalar_stats);
+
+  before = service.stats();
+  secs = BestSeconds(iters, [&] { batch_answers = service.Execute(batch); });
+  ServiceStats batched_stats = stats_delta(before, service.stats(), iters);
+  report("batched_service", shards, secs, batch_answers.answers,
+         &batched_stats);
+
+  // --- summary ratios ---
+  const double scalar_query_ns = ns_per_query[0];
+  const double scalar_interned_ns = ns_per_query[1];
+  std::printf("speedup batched_index vs scalar_query:    %.2fx\n",
+              scalar_query_ns / batched_index_ns);
+  std::printf("speedup batched_index vs scalar_interned: %.2fx\n",
+              scalar_interned_ns / batched_index_ns);
+  json.AddRecord()
+      .Set("mode", "summary")
+      .Set("shards", shards)
+      .Set("speedup_batched_vs_scalar_query", scalar_query_ns / batched_index_ns)
+      .Set("speedup_batched_vs_scalar_interned",
+           scalar_interned_ns / batched_index_ns)
+      .Set("all_agree", all_agree);
+
+  if (!all_agree) {
+    std::fprintf(stderr, "FAIL: modes disagree\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,229 @@
+// rlc_server — drive the sharded serving subsystem from a query log.
+//
+// Builds a ShardedRlcService over a graph (a real edge-list file or a
+// synthetic ER surrogate), replays a query log through the batched API in
+// fixed-size chunks, and prints the routing telemetry: how many probes the
+// shard indexes answered alone, how many the boundary summary refuted, and
+// how many reached the fallback engine.
+//
+//   $ ./examples/rlc_server [options]
+//     --graph FILE        edge-list text file (default: synthetic ER)
+//     --er N M            synthetic ER graph size (default 20000 100000)
+//     --labels L          labels for the synthetic graph (default 8, Zipf-2)
+//     --log FILE          query log, workload text format "s t l1,l2,.. 0|1"
+//                         (default: synthesize --queries probes)
+//     --queries N         synthesized log size (default 20000)
+//     --save-log FILE     write the synthesized log for reuse
+//     --shards S          shard count (default 4)
+//     --policy hash|range partition policy (default hash)
+//     --k K               recursion bound (default 2)
+//     --fallback global|online   fallback engine (default global)
+//     --batch B           probes per batch (default 4096)
+//     --threads T         build threads (default 0 = all)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rlc/graph/edge_list_io.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/serve/sharded_service.h"
+#include "rlc/util/timer.h"
+#include "rlc/workload/query_gen.h"
+
+using namespace rlc;
+
+namespace {
+
+struct Args {
+  std::string graph_file;
+  VertexId er_n = 20'000;
+  uint64_t er_m = 100'000;
+  Label labels = 8;
+  std::string log_file;
+  uint32_t queries = 20'000;
+  std::string save_log;
+  uint32_t shards = 4;
+  PartitionPolicy policy = PartitionPolicy::kHash;
+  uint32_t k = 2;
+  FallbackMode fallback = FallbackMode::kGlobalHybrid;
+  uint32_t batch = 4096;
+  uint32_t threads = 0;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (flag == "--graph") {
+      if (const char* v = next()) args->graph_file = v; else return false;
+    } else if (flag == "--er") {
+      const char* n = next();
+      const char* m = next();
+      if (n == nullptr || m == nullptr) return false;
+      args->er_n = static_cast<VertexId>(std::strtoul(n, nullptr, 10));
+      args->er_m = std::strtoull(m, nullptr, 10);
+    } else if (flag == "--labels") {
+      if (const char* v = next()) args->labels = static_cast<Label>(std::atoi(v));
+      else return false;
+    } else if (flag == "--log") {
+      if (const char* v = next()) args->log_file = v; else return false;
+    } else if (flag == "--queries") {
+      if (const char* v = next()) args->queries = static_cast<uint32_t>(std::atoi(v));
+      else return false;
+    } else if (flag == "--save-log") {
+      if (const char* v = next()) args->save_log = v; else return false;
+    } else if (flag == "--shards") {
+      if (const char* v = next()) args->shards = static_cast<uint32_t>(std::atoi(v));
+      else return false;
+    } else if (flag == "--policy") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "hash") == 0) args->policy = PartitionPolicy::kHash;
+      else if (std::strcmp(v, "range") == 0) args->policy = PartitionPolicy::kRange;
+      else return false;
+    } else if (flag == "--k") {
+      if (const char* v = next()) args->k = static_cast<uint32_t>(std::atoi(v));
+      else return false;
+    } else if (flag == "--fallback") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "global") == 0) args->fallback = FallbackMode::kGlobalHybrid;
+      else if (std::strcmp(v, "online") == 0) args->fallback = FallbackMode::kOnline;
+      else return false;
+    } else if (flag == "--batch") {
+      if (const char* v = next()) args->batch = static_cast<uint32_t>(std::atoi(v));
+      else return false;
+    } else if (flag == "--threads") {
+      if (const char* v = next()) args->threads = static_cast<uint32_t>(std::atoi(v));
+      else return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return args->batch > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr, "usage: see header comment of examples/rlc_server.cc\n");
+    return 2;
+  }
+
+  // Graph.
+  DiGraph g;
+  if (!args.graph_file.empty()) {
+    std::printf("loading graph from %s\n", args.graph_file.c_str());
+    g = LoadEdgeListText(args.graph_file);
+  } else {
+    Rng rng(7);
+    auto edges = ErdosRenyiEdges(args.er_n, args.er_m, rng);
+    AssignZipfLabels(&edges, args.labels, 2.0, rng);
+    g = DiGraph(args.er_n, std::move(edges), args.labels);
+  }
+  std::printf("graph: |V|=%u |E|=%llu |L|=%u\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), g.num_labels());
+
+  // Query log.
+  std::vector<RlcQuery> log;
+  if (!args.log_file.empty()) {
+    const Workload w = LoadWorkload(args.log_file);
+    log = w.true_queries;
+    log.insert(log.end(), w.false_queries.begin(), w.false_queries.end());
+    std::printf("loaded %zu probes from %s\n", log.size(), args.log_file.c_str());
+  } else {
+    WorkloadOptions wopts;
+    wopts.count = args.queries / 2;
+    wopts.constraint_length = std::min(args.k, 2u);
+    wopts.fill_true_with_walks = true;
+    Workload w = GenerateWorkload(g, wopts);
+    log = w.true_queries;
+    log.insert(log.end(), w.false_queries.begin(), w.false_queries.end());
+    if (!args.save_log.empty()) {
+      SaveWorkload(w, args.save_log);
+      std::printf("wrote synthesized log to %s\n", args.save_log.c_str());
+    }
+    std::printf("synthesized %zu probes\n", log.size());
+  }
+  // Deterministic shuffle so batches mix true/false probes like real traffic.
+  Rng shuffle_rng(17);
+  for (size_t i = log.size(); i > 1; --i) {
+    std::swap(log[i - 1], log[shuffle_rng.Below(i)]);
+  }
+
+  // Service.
+  ServiceOptions options;
+  options.partition.num_shards = args.shards;
+  options.partition.policy = args.policy;
+  options.indexer.k = args.k;
+  options.build_threads = args.threads;
+  options.fallback = args.fallback;
+  Timer build_timer;
+  ShardedRlcService service(g, options);
+  std::printf("service build: %.2f s (partition %.2fs, indexes %.2fs, "
+              "prefilter %.2fs), %.2f MB\n",
+              build_timer.ElapsedSeconds(), service.stats().partition_seconds,
+              service.stats().index_build_seconds,
+              service.stats().prefilter_build_seconds,
+              static_cast<double>(service.MemoryBytes()) / (1 << 20));
+  const GraphPartition& partition = service.partition();
+  for (uint32_t s = 0; s < partition.num_shards(); ++s) {
+    const ShardInfo& shard = partition.shard(s);
+    std::printf("  shard %u: |V|=%u |E|=%llu boundary=%zu entries=%llu\n", s,
+                shard.graph.num_vertices(),
+                static_cast<unsigned long long>(shard.graph.num_edges()),
+                shard.boundary.size(),
+                static_cast<unsigned long long>(service.shard_index(s).NumEntries()));
+  }
+  std::printf("  cross edges: %zu, boundary vertices: %llu\n",
+              partition.cross_edges().size(),
+              static_cast<unsigned long long>(partition.num_boundary_vertices()));
+
+  // Replay in batches.
+  QueryBatch batch;
+  uint64_t agree = 0;
+  uint64_t served = 0;
+  Timer serve_timer;
+  for (size_t base = 0; base < log.size(); base += args.batch) {
+    batch.ClearProbes();
+    const size_t end = std::min(log.size(), base + args.batch);
+    for (size_t i = base; i < end; ++i) {
+      batch.Add(log[i].s, log[i].t, log[i].constraint);
+    }
+    const AnswerBatch answers = service.Execute(batch);
+    for (size_t i = base; i < end; ++i) {
+      agree += (answers.answers[i - base] != 0) == log[i].expected;
+    }
+    served += end - base;
+  }
+  const double seconds = serve_timer.ElapsedSeconds();
+
+  const ServiceStats& stats = service.stats();
+  std::printf("served %llu probes in %.1f ms: %.0f q/s, %.2f us/probe\n",
+              static_cast<unsigned long long>(served), seconds * 1e3,
+              static_cast<double>(served) / seconds,
+              seconds * 1e6 / static_cast<double>(served));
+  std::printf("routing: intra-shard true %llu, boundary-refuted %llu, "
+              "fallback %llu (batches %llu, groups %llu)\n",
+              static_cast<unsigned long long>(stats.intra_true),
+              static_cast<unsigned long long>(stats.cross_refuted),
+              static_cast<unsigned long long>(stats.fallback_probes),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.batch_groups));
+  std::printf("oracle agreement: %llu/%llu\n",
+              static_cast<unsigned long long>(agree),
+              static_cast<unsigned long long>(served));
+  // A fresh oracle matches exactly; a stale log (edited graph) may not.
+  return agree == served ? 0 : 1;
+}

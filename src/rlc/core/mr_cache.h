@@ -1,0 +1,54 @@
+// Memoized MR lookups against a finished RLC index.
+//
+// RlcIndex::FindMr hashes the label sequence into the (large) MR interning
+// table on every call. Query loops — the hybrid engine probing the same
+// final atom for thousands of prefix vertices, the batched executor
+// resolving a query template once per batch — repeat that hash for a
+// handful of distinct sequences, so a small private memo table in front of
+// the index removes it (bench_micro attributes ~40% of per-query serving
+// cost to FindMr + validation overhead).
+//
+// The cache is only valid on an index whose construction has finished: the
+// MR table is append-only during the build, and a cached kInvalidMrId would
+// go stale if the sequence were interned later. All query-path callers see
+// finished indexes, so this is not checked at runtime.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "rlc/core/rlc_index.h"
+
+namespace rlc {
+
+/// Memoizes RlcIndex::FindMr for one index. Not thread-safe; intended as a
+/// per-engine / per-service member, mirroring OnlineSearcher's reusable
+/// scratch.
+class MrCache {
+ public:
+  /// Bound on memoized templates: real workloads use a handful, but a
+  /// client scanning distinct constraints must not grow a serving process
+  /// without limit. Hitting the bound flushes the memo (it is a pure
+  /// cache, so a flush only costs re-resolution).
+  static constexpr size_t kMaxEntries = 1 << 16;
+
+  explicit MrCache(const RlcIndex& index) : index_(&index) {}
+
+  /// FindMr with memoization; kInvalidMrId results are cached too (a miss
+  /// is the common case for unknown query templates and just as hot).
+  MrId Get(const LabelSeq& seq) {
+    if (cache_.size() >= kMaxEntries) cache_.clear();
+    auto [it, inserted] = cache_.try_emplace(seq, kInvalidMrId);
+    if (inserted) it->second = index_->FindMr(seq);
+    return it->second;
+  }
+
+  /// Number of distinct sequences resolved so far.
+  size_t size() const { return cache_.size(); }
+
+ private:
+  const RlcIndex* index_;
+  std::unordered_map<LabelSeq, MrId, LabelSeqHash> cache_;
+};
+
+}  // namespace rlc

@@ -45,6 +45,12 @@ struct IndexEntry {
 
 static_assert(sizeof(IndexEntry) == 8, "IndexEntry must stay 8 bytes (v2 io)");
 
+/// One (source, target) probe of a batched query group (query_batch.h).
+struct VertexPair {
+  VertexId s;
+  VertexId t;
+};
+
 /// The RLC reachability index for one graph and one recursive bound k.
 ///
 /// Instances are produced by RlcIndexBuilder (indexer.h) or loaded from disk
@@ -82,6 +88,27 @@ class RlcIndex {
   /// Interns-or-looks-up a query constraint. Returns kInvalidMrId when the
   /// MR was never recorded (the query is then necessarily false).
   MrId FindMr(const LabelSeq& seq) const { return mrs_.Find(seq); }
+
+  /// Answers a group of probes that share one pre-interned MR — the
+  /// batch-execution primitive behind the serving layer's QueryBatch. On a
+  /// sealed index the probes are software-pipelined over the CSR layout:
+  /// the offset and entry cache lines of upcoming probes are prefetched
+  /// while the current probe's merge join runs, which hides most of the
+  /// memory latency that dominates cache-cold random probes. Answers are
+  /// identical to calling QueryInterned per probe, in any layout.
+  ///
+  /// Like QueryInterned this performs no argument validation: every probe
+  /// vertex must be in range. `answers` must have probes.size() slots;
+  /// slot i is set to 1 when probe i is reachable, else 0.
+  void QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
+                          std::span<uint8_t> answers) const;
+
+  /// Validates an RLC query constraint against recursion bound `k`: it must
+  /// be non-empty, at most k labels long, and primitive (L == MR(L)).
+  /// Factored out of Query so batched callers can validate each distinct
+  /// constraint once instead of per probe.
+  /// \throws std::invalid_argument on violation.
+  static void ValidateConstraint(const LabelSeq& constraint, uint32_t k);
   ///@}
 
   /// \name Builder interface

@@ -25,15 +25,19 @@ bool RlcHybridEngine::Evaluate(VertexId s, VertexId t,
   // Unreachability prefilter: no plain path means no constrained path.
   if (prefilter_ != nullptr && !prefilter_->Reachable(s, t)) return false;
 
-  // Fast path: a pure RLC constraint is one index lookup.
+  // Fast path: a pure RLC constraint is one index lookup, with the MR id
+  // memoized across Evaluate calls (replays repeat a few templates).
   if (atoms.size() == 1) {
-    return index_.Query(s, t, last.seq);
+    RLC_REQUIRE(IsPrimitive(last.seq.labels()),
+                "RlcHybridEngine: constraint " << last.seq.ToString()
+                    << " is not a minimum repeat (L != MR(L))");
+    return index_.QueryInterned(s, t, mr_cache_.Get(last.seq));
   }
 
   // Hybrid path: traverse the prefix online, probe the index at every
   // prefix-accepting vertex. An MR the index never recorded cannot satisfy
   // the final atom anywhere — skip the whole prefix traversal.
-  const MrId last_mr = index_.FindMr(last.seq);
+  const MrId last_mr = mr_cache_.Get(last.seq);
   if (last_mr == kInvalidMrId) return false;
 
   PathConstraint prefix(

@@ -13,12 +13,15 @@
 
 #include <memory>
 
+#include "rlc/core/mr_cache.h"
 #include "rlc/core/rlc_index.h"
 #include "rlc/engines/engine.h"
 #include "rlc/plain/plain_reach_index.h"
 
 namespace rlc {
 
+/// Not thread-safe: Evaluate memoizes MR lookups in a per-engine cache, so
+/// run one engine instance per thread (they can share the graph and index).
 class RlcHybridEngine : public Engine {
  public:
   /// `index` must be built on `g` (same vertex space); its recursive k must
@@ -30,7 +33,7 @@ class RlcHybridEngine : public Engine {
   /// false before touching the (larger) RLC entry lists.
   RlcHybridEngine(const DiGraph& g, const RlcIndex& index,
                   const PlainReachIndex* prefilter = nullptr)
-      : g_(g), index_(index), prefilter_(prefilter) {}
+      : g_(g), index_(index), prefilter_(prefilter), mr_cache_(index) {}
 
   std::string name() const override { return "RlcIndex(paper)"; }
 
@@ -40,6 +43,9 @@ class RlcHybridEngine : public Engine {
   const DiGraph& g_;
   const RlcIndex& index_;
   const PlainReachIndex* prefilter_;
+  /// Final-atom MR ids, memoized per distinct sequence: workload replays
+  /// evaluate thousands of queries over a handful of templates.
+  MrCache mr_cache_;
 };
 
 }  // namespace rlc

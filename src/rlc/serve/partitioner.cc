@@ -1,0 +1,134 @@
+#include "rlc/serve/partitioner.h"
+
+#include <utility>
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+namespace {
+
+/// splitmix64 finalizer over (vertex, seed): stateless, platform-portable,
+/// and well mixed so hash sharding stays balanced on dense id ranges.
+uint32_t HashShard(VertexId v, uint64_t seed, uint32_t num_shards) {
+  uint64_t z = (static_cast<uint64_t>(v) + 0x9E3779B97F4A7C15ULL) ^ seed;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<uint32_t>(z % num_shards);
+}
+
+}  // namespace
+
+GraphPartition GraphPartition::Build(const DiGraph& g,
+                                     const PartitionerOptions& options) {
+  RLC_REQUIRE(options.num_shards >= 1 && options.num_shards <= kMaxShards,
+              "GraphPartition: num_shards " << options.num_shards
+                  << " out of range [1," << kMaxShards << "]");
+  GraphPartition p;
+  p.options_ = options;
+
+  const VertexId n = g.num_vertices();
+  const uint32_t num_shards = options.num_shards;
+  p.shard_of_.resize(n);
+  p.local_of_.resize(n);
+  p.is_boundary_.assign(n, 0);
+
+  // Vertex assignment + dense local ids (ascending global order per shard).
+  std::vector<std::vector<VertexId>> global_of(num_shards);
+  const VertexId block = n == 0 ? 1 : (n + num_shards - 1) / num_shards;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t s = options.policy == PartitionPolicy::kHash
+                           ? HashShard(v, options.hash_seed, num_shards)
+                           : v / block;
+    p.shard_of_[v] = s;
+    p.local_of_[v] = static_cast<VertexId>(global_of[s].size());
+    global_of[s].push_back(v);
+  }
+
+  // Edge split: intra edges feed the shard subgraphs, cross edges feed the
+  // boundary summary.
+  std::vector<std::vector<Edge>> shard_edges(num_shards);
+  std::vector<LabelMask> out_mask(num_shards);
+  std::vector<LabelMask> in_mask(num_shards);
+  std::vector<uint8_t> quotient_adj(static_cast<size_t>(num_shards) * num_shards, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t sv = p.shard_of_[v];
+    for (const LabeledNeighbor& nb : g.OutEdges(v)) {
+      const uint32_t sw = p.shard_of_[nb.v];
+      if (sv == sw) {
+        shard_edges[sv].push_back({p.local_of_[v], p.local_of_[nb.v], nb.label});
+      } else {
+        p.cross_edges_.push_back({v, nb.v, nb.label});
+        p.is_boundary_[v] = 1;
+        p.is_boundary_[nb.v] = 1;
+        out_mask[sv].Add(nb.label);
+        in_mask[sw].Add(nb.label);
+        quotient_adj[static_cast<size_t>(sv) * num_shards + sw] = 1;
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) p.num_boundary_ += p.is_boundary_[v];
+
+  // Materialize the shards. The subgraphs keep parallel edges exactly as
+  // the parent graph holds them (the parent already deduplicated if asked
+  // to), so each shard is precisely the induced intra-shard multigraph.
+  p.shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    ShardInfo info;
+    info.graph = DiGraph(static_cast<VertexId>(global_of[s].size()),
+                         std::move(shard_edges[s]), g.num_labels(),
+                         /*dedup_parallel=*/false);
+    info.global_of = std::move(global_of[s]);
+    for (VertexId local = 0; local < info.graph.num_vertices(); ++local) {
+      if (p.is_boundary_[info.global_of[local]]) info.boundary.push_back(local);
+    }
+    info.out_cross_labels = out_mask[s];
+    info.in_cross_labels = in_mask[s];
+    p.shards_.push_back(std::move(info));
+  }
+
+  // Quotient closure: BFS from every shard over the cross-arc adjacency.
+  // closure[a][b] records "reachable via >= 1 cross edge", so closure[a][a]
+  // is true only when a genuine quotient cycle exists.
+  p.quotient_closure_.assign(static_cast<size_t>(num_shards) * num_shards, 0);
+  std::vector<uint32_t> queue;
+  for (uint32_t a = 0; a < num_shards; ++a) {
+    uint8_t* reach = &p.quotient_closure_[static_cast<size_t>(a) * num_shards];
+    queue.clear();
+    // Seed with a's direct successors; expansion then follows closure rows.
+    for (uint32_t b = 0; b < num_shards; ++b) {
+      if (quotient_adj[static_cast<size_t>(a) * num_shards + b] && !reach[b]) {
+        reach[b] = 1;
+        queue.push_back(b);
+      }
+    }
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const uint32_t mid = queue[head];
+      for (uint32_t b = 0; b < num_shards; ++b) {
+        if (quotient_adj[static_cast<size_t>(mid) * num_shards + b] && !reach[b]) {
+          reach[b] = 1;
+          queue.push_back(b);
+        }
+      }
+    }
+  }
+  return p;
+}
+
+uint64_t GraphPartition::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const ShardInfo& s : shards_) {
+    bytes += s.graph.MemoryBytes();
+    bytes += s.global_of.capacity() * sizeof(VertexId);
+    bytes += s.boundary.capacity() * sizeof(VertexId);
+  }
+  bytes += shard_of_.capacity() * sizeof(uint32_t);
+  bytes += local_of_.capacity() * sizeof(VertexId);
+  bytes += cross_edges_.capacity() * sizeof(Edge);
+  bytes += is_boundary_.capacity();
+  bytes += quotient_closure_.capacity();
+  return bytes;
+}
+
+}  // namespace rlc

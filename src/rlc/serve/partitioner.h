@@ -1,0 +1,135 @@
+// Graph partitioning for the sharded serving subsystem.
+//
+// A GraphPartition splits one DiGraph into vertex-disjoint shards. Each
+// shard keeps its intra-shard subgraph, re-labeled with dense local vertex
+// ids, so a full per-shard RlcIndex can be built on it; edges whose
+// endpoints land in different shards become *cross edges* and are
+// summarized instead of indexed:
+//
+//  * boundary vertices — endpoints of cross edges — are flagged globally
+//    and listed per shard;
+//  * per shard, the labels of outgoing and incoming cross edges are folded
+//    into 64-bit presence masks;
+//  * the shard quotient graph (one node per shard, one arc per cross-edge
+//    shard pair) is closed under reachability.
+//
+// Together these form the *boundary summary* the sharded service routes
+// with. It composes cross-shard reachability conservatively but exactly on
+// the refutation side: a path whose label word is L^z and that does not
+// stay inside one shard must (a) leave the source shard over a cross edge
+// whose label occurs in L, (b) enter the target shard the same way, and
+// (c) induce a walk of cross arcs in the quotient graph. When any of these
+// necessary conditions fails, the query is definitively false; otherwise
+// the service falls back to its whole-graph engine (sharded_service.h).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rlc/graph/digraph.h"
+
+namespace rlc {
+
+/// How vertices are assigned to shards.
+enum class PartitionPolicy {
+  kHash,   ///< splitmix64(v, seed) % num_shards — stateless and balanced
+  kRange,  ///< v / ceil(n / num_shards) — contiguous id blocks, locality-
+           ///< friendly when vertex ids correlate with communities
+};
+
+struct PartitionerOptions {
+  uint32_t num_shards = 4;  ///< in [1, kMaxShards]
+  PartitionPolicy policy = PartitionPolicy::kHash;
+  uint64_t hash_seed = 0x51A2DED5ULL;  ///< salt for PartitionPolicy::kHash
+};
+
+/// Conservative 64-bit label-presence set (labels folded modulo 64).
+/// MayContain never reports a false negative, so masks are safe for exact
+/// refutation: "no label of L can be present" implies no such edge exists.
+class LabelMask {
+ public:
+  void Add(Label l) { bits_ |= uint64_t{1} << (l & 63); }
+  bool MayContain(Label l) const { return (bits_ >> (l & 63)) & 1; }
+
+  /// True when any label of `labels` may be present.
+  bool MayContainAny(std::span<const Label> labels) const {
+    for (const Label l : labels) {
+      if (MayContain(l)) return true;
+    }
+    return false;
+  }
+
+  bool empty() const { return bits_ == 0; }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+/// One shard: its local-id subgraph plus its slice of the boundary summary.
+struct ShardInfo {
+  DiGraph graph;                    ///< intra-shard edges, local vertex ids
+  std::vector<VertexId> global_of;  ///< local id -> global id (ascending)
+  std::vector<VertexId> boundary;   ///< local ids of boundary vertices, sorted
+  LabelMask out_cross_labels;       ///< labels on cross edges leaving the shard
+  LabelMask in_cross_labels;        ///< labels on cross edges entering the shard
+};
+
+/// A full partition of one graph: shard subgraphs, the global<->local vertex
+/// id maps, and the boundary summary. Build once, query-side immutable.
+class GraphPartition {
+ public:
+  /// More shards than this is a configuration error (the quotient closure
+  /// is a dense num_shards^2 bitmap).
+  static constexpr uint32_t kMaxShards = 4096;
+
+  /// An empty zero-shard partition; assign Build()'s result over it.
+  GraphPartition() = default;
+
+  /// Partitions `g` according to `options`.
+  /// \throws std::invalid_argument when num_shards is outside [1, kMaxShards].
+  static GraphPartition Build(const DiGraph& g, const PartitionerOptions& options);
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  const PartitionerOptions& options() const { return options_; }
+
+  const ShardInfo& shard(uint32_t s) const { return shards_[s]; }
+
+  /// Shard and local id of a global vertex (no range validation).
+  uint32_t ShardOf(VertexId global) const { return shard_of_[global]; }
+  VertexId LocalOf(VertexId global) const { return local_of_[global]; }
+  VertexId GlobalOf(uint32_t s, VertexId local) const {
+    return shards_[s].global_of[local];
+  }
+
+  /// Cross-shard edges in global vertex ids, in source-vertex order.
+  const std::vector<Edge>& cross_edges() const { return cross_edges_; }
+
+  /// True when `global` has at least one incident cross-shard edge.
+  bool IsBoundary(VertexId global) const { return is_boundary_[global] != 0; }
+  uint64_t num_boundary_vertices() const { return num_boundary_; }
+
+  /// True when a walk of >= 1 cross edges (with free movement inside each
+  /// intermediate shard) can take shard `a` to shard `b`. For a == b this
+  /// asks for a quotient cycle, i.e. whether a path can leave shard a and
+  /// come back at all.
+  bool QuotientReaches(uint32_t a, uint32_t b) const {
+    return quotient_closure_[static_cast<size_t>(a) * num_shards() + b] != 0;
+  }
+
+  /// Heap footprint of the shard subgraphs, id maps and summary in bytes.
+  uint64_t MemoryBytes() const;
+
+ private:
+  PartitionerOptions options_;
+  std::vector<ShardInfo> shards_;
+  std::vector<uint32_t> shard_of_;   // global vertex -> shard
+  std::vector<VertexId> local_of_;   // global vertex -> local id in its shard
+  std::vector<Edge> cross_edges_;    // global ids
+  std::vector<uint8_t> is_boundary_; // global vertex -> 0/1
+  uint64_t num_boundary_ = 0;
+  std::vector<uint8_t> quotient_closure_;  // num_shards^2, row-major
+};
+
+}  // namespace rlc

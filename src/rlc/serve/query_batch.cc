@@ -1,0 +1,53 @@
+#include "rlc/serve/query_batch.h"
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch) {
+  AnswerBatch out;
+  out.answers.assign(batch.num_probes(), 0);
+
+  // Per distinct sequence: validate once, hash into the MR table once.
+  const std::vector<LabelSeq>& seqs = batch.sequences();
+  std::vector<MrId> mr_of(seqs.size());
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    RlcIndex::ValidateConstraint(seqs[i], index.k());
+    mr_of[i] = index.FindMr(seqs[i]);
+  }
+
+  // Bucket probe positions by sequence, preserving submission order inside
+  // each bucket (stable, hence deterministic).
+  const std::vector<BatchProbe>& probes = batch.probes();
+  const VertexId nv = index.num_vertices();
+  std::vector<std::vector<uint32_t>> by_seq(seqs.size());
+  for (uint32_t i = 0; i < probes.size(); ++i) {
+    const BatchProbe& p = probes[i];
+    RLC_REQUIRE(p.seq_id < seqs.size(),
+                "ExecuteBatch: probe " << i << " references unknown seq_id "
+                                       << p.seq_id);
+    RLC_REQUIRE(p.s < nv && p.t < nv,
+                "ExecuteBatch: probe " << i << " vertex out of range");
+    by_seq[p.seq_id].push_back(i);
+  }
+
+  std::vector<VertexPair> pairs;
+  std::vector<uint8_t> group_answers;
+  for (size_t seq_id = 0; seq_id < by_seq.size(); ++seq_id) {
+    const std::vector<uint32_t>& bucket = by_seq[seq_id];
+    if (bucket.empty()) continue;
+    if (mr_of[seq_id] == kInvalidMrId) continue;  // never recorded: all false
+    ++out.num_groups;
+    pairs.clear();
+    pairs.reserve(bucket.size());
+    for (const uint32_t i : bucket) pairs.push_back({probes[i].s, probes[i].t});
+    group_answers.assign(bucket.size(), 0);
+    index.QueryGroupInterned(mr_of[seq_id], pairs, group_answers);
+    for (size_t j = 0; j < bucket.size(); ++j) {
+      out.answers[bucket[j]] = group_answers[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace rlc

@@ -1,0 +1,94 @@
+// Batched boolean-query API for the serving layer.
+//
+// A QueryBatch collects RLC probes (s, t, L+) with the constraint sequences
+// *interned once per distinct sequence* — the prepared-statement model of a
+// query log, where thousands of probes share a handful of templates. An
+// executor then validates and resolves each distinct sequence exactly once,
+// groups the probes by interned MR (and, in the sharded service, by shard)
+// and answers each group over the sealed CSR layout with lookahead prefetch
+// (RlcIndex::QueryGroupInterned). This amortizes the per-call overhead that
+// dominates scalar serving — FindMr hashing, constraint validation, and the
+// cold first touch of every probe's entry lists.
+//
+// Two executors exist:
+//  * ExecuteBatch(index, batch)      — one whole-graph index (this header);
+//  * ShardedRlcService::Execute      — routed across shards
+//                                      (sharded_service.h).
+// Both return answers identical to evaluating RlcIndex::Query per probe.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rlc/core/label_seq.h"
+#include "rlc/core/rlc_index.h"
+
+namespace rlc {
+
+/// One probe: endpoints plus the batch-local id of an interned sequence.
+struct BatchProbe {
+  VertexId s = 0;
+  VertexId t = 0;
+  uint32_t seq_id = 0;
+};
+
+/// A reusable batch of probes over interned constraint sequences.
+class QueryBatch {
+ public:
+  /// Returns the batch-local id of `seq`, interning it on first sight.
+  uint32_t InternSequence(const LabelSeq& seq) {
+    auto [it, inserted] =
+        ids_.try_emplace(seq, static_cast<uint32_t>(seqs_.size()));
+    if (inserted) seqs_.push_back(seq);
+    return it->second;
+  }
+
+  /// Adds one probe against an already-interned sequence id.
+  void Add(VertexId s, VertexId t, uint32_t seq_id) {
+    probes_.push_back({s, t, seq_id});
+  }
+
+  /// Convenience: intern + add in one call.
+  void Add(VertexId s, VertexId t, const LabelSeq& seq) {
+    Add(s, t, InternSequence(seq));
+  }
+
+  size_t num_probes() const { return probes_.size(); }
+  uint32_t num_sequences() const { return static_cast<uint32_t>(seqs_.size()); }
+  const std::vector<BatchProbe>& probes() const { return probes_; }
+  const std::vector<LabelSeq>& sequences() const { return seqs_; }
+  const LabelSeq& sequence(uint32_t seq_id) const { return seqs_[seq_id]; }
+
+  /// Drops the probes but keeps the interned sequences and their ids —
+  /// replay loops reuse the same templates chunk after chunk.
+  void ClearProbes() { probes_.clear(); }
+
+ private:
+  std::vector<LabelSeq> seqs_;
+  std::unordered_map<LabelSeq, uint32_t, LabelSeqHash> ids_;
+  std::vector<BatchProbe> probes_;
+};
+
+/// Answers plus executor accounting (query-path telemetry for benches and
+/// the serving stats).
+struct AnswerBatch {
+  std::vector<uint8_t> answers;  ///< answers[i] == 1 iff probe i reachable
+  uint64_t num_groups = 0;    ///< index probe groups executed
+  uint64_t num_refuted = 0;   ///< probes refuted by the boundary summary
+                              ///< (sharded executor only)
+  uint64_t num_fallback = 0;  ///< probes sent to the fallback engine
+                              ///< (sharded executor only)
+};
+
+/// Executes `batch` against one whole-graph index: validates and resolves
+/// each distinct sequence once, then runs one grouped CSR pass per distinct
+/// MR. Answers are identical to calling index.Query per probe.
+/// \throws std::invalid_argument on an invalid sequence (empty, longer than
+///         the index's k, or non-primitive), an out-of-range probe vertex,
+///         or an out-of-range seq_id.
+AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch);
+
+}  // namespace rlc

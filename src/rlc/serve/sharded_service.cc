@@ -1,0 +1,275 @@
+#include "rlc/serve/sharded_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "rlc/util/thread_pool.h"
+#include "rlc/util/timer.h"
+
+namespace rlc {
+
+ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
+    : g_(g), options_(std::move(options)) {
+  Timer timer;
+  partition_ = GraphPartition::Build(g_, options_.partition);
+  stats_.partition_seconds = timer.ElapsedSeconds();
+
+  // Build every shard index — plus the whole-graph fallback index when the
+  // hybrid fallback is on — as independent tasks on one worker pool. Each
+  // task runs the sequential Algorithm 2 (the parallelism budget is spent
+  // across shards, not within one), and always seals: the service serves
+  // from the CSR layout.
+  const uint32_t num_shards = partition_.num_shards();
+  const bool build_global = options_.fallback == FallbackMode::kGlobalHybrid;
+  const uint32_t threads =
+      std::min(ThreadPool::ResolveThreads(options_.build_threads), num_shards);
+  IndexerOptions build_opts = options_.indexer;
+  build_opts.num_threads = 1;
+  build_opts.seal = true;
+
+  timer.Reset();
+  // The whole-graph fallback index dominates the build: give it the full
+  // thread budget by itself (PR 1's speculative builder is bit-identical
+  // for any thread count), then fan the small shard builds out across the
+  // pool — no phase oversubscribes the budget.
+  if (build_global) {
+    IndexerOptions global_opts = build_opts;
+    global_opts.num_threads = ThreadPool::ResolveThreads(options_.build_threads);
+    RlcIndexBuilder builder(g_, global_opts);
+    global_index_ = std::make_unique<RlcIndex>(builder.Build());
+  }
+
+  shard_indexes_.resize(num_shards);
+  auto build_task = [&](uint32_t shard) {
+    RlcIndexBuilder builder(partition_.shard(shard).graph, build_opts);
+    shard_indexes_[shard] = std::make_unique<RlcIndex>(builder.Build());
+  };
+  if (threads <= 1) {
+    for (uint32_t shard = 0; shard < num_shards; ++shard) build_task(shard);
+  } else {
+    std::atomic<uint32_t> cursor{0};
+    ThreadPool pool(threads);
+    pool.Run([&](uint32_t) {
+      for (uint32_t shard; (shard = cursor.fetch_add(1)) < num_shards;) {
+        build_task(shard);
+      }
+    });
+  }
+  stats_.index_build_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  if (build_global) {
+    prefilter_ = std::make_unique<PlainReachIndex>(PlainReachIndex::Build(g_));
+    fallback_engine_ =
+        std::make_unique<RlcHybridEngine>(g_, *global_index_, prefilter_.get());
+  } else {
+    online_ = std::make_unique<OnlineSearcher>(g_);
+  }
+  stats_.prefilter_build_seconds = timer.ElapsedSeconds();
+}
+
+const ShardedRlcService::SeqEntry& ShardedRlcService::Resolve(
+    const LabelSeq& seq) {
+  const auto it = seq_cache_.find(seq);
+  if (it != seq_cache_.end()) return it->second;
+
+  // Bound the memo so adversarial template churn cannot grow a long-lived
+  // serving process without limit; a flush only costs re-resolution.
+  // Execute pre-flushes instead (it holds entry pointers across inserts).
+  if (seq_cache_.size() >= kMaxCachedSequences) seq_cache_.clear();
+  RlcIndex::ValidateConstraint(seq, options_.indexer.k);
+  SeqEntry entry;
+  entry.shard_mr.resize(partition_.num_shards());
+  for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
+    entry.shard_mr[s] = shard_indexes_[s]->FindMr(seq);
+  }
+  entry.plus = PathConstraint::RlcPlus(seq);
+  if (global_index_ != nullptr) {
+    entry.global_mr = global_index_->FindMr(seq);
+  }
+  if (online_ != nullptr) {
+    entry.compiled =
+        std::make_unique<CompiledConstraint>(entry.plus, g_.num_labels());
+  }
+  // unordered_map references are stable across later inserts.
+  return seq_cache_.emplace(seq, std::move(entry)).first->second;
+}
+
+bool ShardedRlcService::CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
+                                    const SeqEntry& entry, uint32_t ss,
+                                    uint32_t st) {
+  if (RefutedByBoundary(ss, st, seq)) {
+    ++stats_.cross_refuted;
+    return false;
+  }
+  ++stats_.fallback_probes;
+  if (fallback_engine_ != nullptr) {
+    return fallback_engine_->Evaluate(s, t, entry.plus);
+  }
+  return online_->QueryBiBfs(s, t, *entry.compiled);
+}
+
+bool ShardedRlcService::Query(VertexId s, VertexId t,
+                              const LabelSeq& constraint) {
+  RLC_REQUIRE(s < g_.num_vertices() && t < g_.num_vertices(),
+              "ShardedRlcService::Query: vertex out of range");
+  const SeqEntry& entry = Resolve(constraint);
+  ++stats_.queries;
+  const uint32_t ss = partition_.ShardOf(s);
+  const uint32_t st = partition_.ShardOf(t);
+  if (ss == st) {
+    if (shard_indexes_[ss]->QueryInterned(partition_.LocalOf(s),
+                                          partition_.LocalOf(t),
+                                          entry.shard_mr[ss])) {
+      ++stats_.intra_true;
+      return true;
+    }
+    ++stats_.intra_miss;
+  }
+  return CrossAnswer(s, t, constraint, entry, ss, st);
+}
+
+AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
+  AnswerBatch out;
+  out.answers.assign(batch.num_probes(), 0);
+  ++stats_.batches;
+
+  // Resolve (validate + intern-lookup) each distinct sequence once. The
+  // entry pointers stay valid across the loop: references into the node-
+  // based map are insert-stable, and the memo flush is done up front here
+  // so Resolve cannot trigger it mid-loop.
+  const std::vector<LabelSeq>& seqs = batch.sequences();
+  RLC_REQUIRE(seqs.size() <= kMaxCachedSequences,
+              "ShardedRlcService::Execute: batch has " << seqs.size()
+                  << " distinct sequences (limit " << kMaxCachedSequences << ")");
+  if (seq_cache_.size() + seqs.size() > kMaxCachedSequences) seq_cache_.clear();
+  std::vector<const SeqEntry*> entries;
+  entries.reserve(seqs.size());
+  for (const LabelSeq& seq : seqs) entries.push_back(&Resolve(seq));
+
+  // Bucket probe positions by (shard, seq) for same-shard probes and by
+  // seq alone for cross-shard ones; submission order is preserved inside
+  // each bucket, so execution is deterministic.
+  struct Group {
+    uint32_t shard_plus_1;  // 0 = cross-shard bucket
+    uint32_t seq_id;
+    std::vector<uint32_t> probe_idx;
+  };
+  const std::vector<BatchProbe>& probes = batch.probes();
+  const VertexId nv = g_.num_vertices();
+  std::unordered_map<uint64_t, uint32_t> group_of;
+  std::vector<Group> groups;
+  for (uint32_t i = 0; i < probes.size(); ++i) {
+    const BatchProbe& p = probes[i];
+    RLC_REQUIRE(p.seq_id < seqs.size(),
+                "ShardedRlcService::Execute: probe " << i
+                    << " references unknown seq_id " << p.seq_id);
+    RLC_REQUIRE(p.s < nv && p.t < nv,
+                "ShardedRlcService::Execute: probe " << i
+                    << " vertex out of range");
+    const uint32_t ss = partition_.ShardOf(p.s);
+    const uint32_t st = partition_.ShardOf(p.t);
+    const uint32_t shard_plus_1 = ss == st ? ss + 1 : 0;
+    const uint64_t key = (static_cast<uint64_t>(shard_plus_1) << 32) | p.seq_id;
+    const auto [it, inserted] =
+        group_of.try_emplace(key, static_cast<uint32_t>(groups.size()));
+    if (inserted) groups.push_back({shard_plus_1, p.seq_id, {}});
+    groups[it->second].probe_idx.push_back(i);
+  }
+  stats_.queries += probes.size();
+
+  // Phase 1: grouped CSR probes on the shard indexes. Misses and cross-
+  // shard probes run through the boundary summary; survivors collect into
+  // per-sequence fallback buckets.
+  std::vector<std::vector<uint32_t>> pending(seqs.size());
+  std::vector<VertexPair> pairs;
+  std::vector<uint8_t> group_answers;
+  auto route_cross = [&](uint32_t probe_i) {
+    const BatchProbe& p = probes[probe_i];
+    if (RefutedByBoundary(partition_.ShardOf(p.s), partition_.ShardOf(p.t),
+                          seqs[p.seq_id])) {
+      ++stats_.cross_refuted;
+      ++out.num_refuted;
+    } else {
+      pending[p.seq_id].push_back(probe_i);
+    }
+  };
+  for (const Group& group : groups) {
+    if (group.shard_plus_1 == 0) {
+      for (const uint32_t i : group.probe_idx) route_cross(i);
+      continue;
+    }
+    const uint32_t shard = group.shard_plus_1 - 1;
+    if (entries[group.seq_id]->shard_mr[shard] == kInvalidMrId) {
+      // The shard never recorded this MR: every probe is a shard miss
+      // (matching ExecuteBatch, such groups do not count as executed).
+      for (const uint32_t i : group.probe_idx) {
+        ++stats_.intra_miss;
+        route_cross(i);
+      }
+      continue;
+    }
+    ++out.num_groups;
+    pairs.clear();
+    pairs.reserve(group.probe_idx.size());
+    for (const uint32_t i : group.probe_idx) {
+      pairs.push_back(
+          {partition_.LocalOf(probes[i].s), partition_.LocalOf(probes[i].t)});
+    }
+    group_answers.assign(pairs.size(), 0);
+    shard_indexes_[shard]->QueryGroupInterned(
+        entries[group.seq_id]->shard_mr[shard], pairs, group_answers);
+    for (size_t j = 0; j < group.probe_idx.size(); ++j) {
+      if (group_answers[j]) {
+        out.answers[group.probe_idx[j]] = 1;
+        ++stats_.intra_true;
+      } else {
+        ++stats_.intra_miss;
+        route_cross(group.probe_idx[j]);
+      }
+    }
+  }
+
+  // Phase 2: fallback. With the hybrid fallback the pending probes run as
+  // grouped CSR probes on the whole-graph index (same answers as the
+  // engine's scalar path — the 2-hop prefilter only short-circuits);
+  // the online fallback evaluates probe by probe.
+  for (uint32_t seq_id = 0; seq_id < pending.size(); ++seq_id) {
+    const std::vector<uint32_t>& bucket = pending[seq_id];
+    if (bucket.empty()) continue;
+    stats_.fallback_probes += bucket.size();
+    out.num_fallback += bucket.size();
+    if (global_index_ != nullptr) {
+      ++out.num_groups;
+      pairs.clear();
+      pairs.reserve(bucket.size());
+      for (const uint32_t i : bucket) pairs.push_back({probes[i].s, probes[i].t});
+      group_answers.assign(bucket.size(), 0);
+      global_index_->QueryGroupInterned(entries[seq_id]->global_mr, pairs,
+                                        group_answers);
+      for (size_t j = 0; j < bucket.size(); ++j) {
+        out.answers[bucket[j]] = group_answers[j];
+      }
+    } else {
+      for (const uint32_t i : bucket) {
+        out.answers[i] = online_->QueryBiBfs(probes[i].s, probes[i].t,
+                                             *entries[seq_id]->compiled)
+                             ? 1
+                             : 0;
+      }
+    }
+  }
+  stats_.batch_groups += out.num_groups;
+  return out;
+}
+
+uint64_t ShardedRlcService::MemoryBytes() const {
+  uint64_t bytes = partition_.MemoryBytes();
+  for (const auto& index : shard_indexes_) bytes += index->MemoryBytes();
+  if (global_index_ != nullptr) bytes += global_index_->MemoryBytes();
+  if (prefilter_ != nullptr) bytes += prefilter_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace rlc

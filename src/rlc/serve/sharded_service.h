@@ -1,0 +1,150 @@
+// The sharded serving layer: one sealed RLC index per shard behind a
+// batched-query router.
+//
+// A ShardedRlcService partitions its graph (partitioner.h), builds one
+// sealed per-shard RlcIndex — shard builds run in parallel on the shared
+// worker pool — and routes probes in three exact steps:
+//
+//  1. intra-shard probe: when s and t land in the same shard, the shard
+//     index is probed first. The shard graph is a subgraph of G, so a hit
+//     is definitive; a miss is not (the witness path may detour through
+//     another shard) and continues with step 2.
+//  2. boundary refutation: a path that crosses shards must leave the
+//     source shard over a cross edge labeled with a label of L, enter the
+//     target shard the same way, and induce a walk in the shard quotient
+//     graph. Each is a necessary condition, so a failed check answers
+//     exactly false from the boundary summary alone.
+//  3. fallback: the remaining probes go to the fallback engine — the
+//     paper's hybrid engine over a whole-graph index (default; fastest,
+//     costs one extra index) or the online NFA-guided bidirectional BFS
+//     (kOnline; no extra index, for memory-lean deployments).
+//
+// All three steps preserve exactness: answers are bit-identical to a
+// whole-graph RlcIndex for every probe (tests/serving_test.cc).
+//
+// The batched entry point (Execute) additionally resolves each distinct
+// constraint once, groups probes by (shard, MR), and runs each group over
+// the sealed CSR layout with lookahead prefetch; see query_batch.h.
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rlc/baselines/online_search.h"
+#include "rlc/core/indexer.h"
+#include "rlc/core/rlc_index.h"
+#include "rlc/engines/rlc_hybrid_engine.h"
+#include "rlc/plain/plain_reach_index.h"
+#include "rlc/serve/partitioner.h"
+#include "rlc/serve/query_batch.h"
+
+namespace rlc {
+
+/// What answers the probes the shards and the boundary summary cannot.
+enum class FallbackMode {
+  kGlobalHybrid,  ///< whole-graph index + 2-hop prefilter (RlcHybridEngine)
+  kOnline,        ///< NFA-guided bidirectional BFS; no whole-graph index
+};
+
+struct ServiceOptions {
+  PartitionerOptions partition;
+  /// Per-shard build configuration. k bounds every constraint the service
+  /// accepts; num_threads/seal are overridden (shards build sequentially
+  /// inside the service's own pool and are always sealed).
+  IndexerOptions indexer;
+  /// Worker pool size for parallel shard (and fallback-index) builds;
+  /// 0 = all hardware threads.
+  uint32_t build_threads = 0;
+  FallbackMode fallback = FallbackMode::kGlobalHybrid;
+};
+
+/// Cumulative query-routing and build telemetry.
+struct ServiceStats {
+  uint64_t queries = 0;          ///< probes answered (scalar + batched)
+  uint64_t intra_true = 0;       ///< answered true by a shard index alone
+  uint64_t intra_miss = 0;       ///< same-shard probes the shard index missed
+  uint64_t cross_refuted = 0;    ///< answered false by the boundary summary
+  uint64_t fallback_probes = 0;  ///< answered by the fallback engine
+  uint64_t batches = 0;
+  uint64_t batch_groups = 0;     ///< (shard|fallback, MR) groups executed
+  double partition_seconds = 0.0;
+  double index_build_seconds = 0.0;     ///< shard + fallback index builds
+  double prefilter_build_seconds = 0.0; ///< 2-hop prefilter (kGlobalHybrid)
+};
+
+/// A serving instance bound to one graph. `g` must outlive the service.
+/// Queries mutate internal memo tables and counters, so a service instance
+/// is not thread-safe; run one instance per serving thread (they share the
+/// immutable graph).
+class ShardedRlcService {
+ public:
+  ShardedRlcService(const DiGraph& g, ServiceOptions options);
+
+  /// Answers the RLC query (s, t, L+). Exact: equal to a whole-graph
+  /// RlcIndex::Query for every input.
+  /// \throws std::invalid_argument on out-of-range vertices or an invalid
+  ///         constraint (empty, longer than k, or non-primitive).
+  bool Query(VertexId s, VertexId t, const LabelSeq& constraint);
+
+  /// Answers every probe of `batch` (see class comment). Answers are
+  /// identical to calling Query per probe, in submission order.
+  /// \throws std::invalid_argument like Query, plus on out-of-range seq_ids.
+  AnswerBatch Execute(const QueryBatch& batch);
+
+  uint32_t k() const { return options_.indexer.k; }
+  const GraphPartition& partition() const { return partition_; }
+  const RlcIndex& shard_index(uint32_t s) const { return *shard_indexes_[s]; }
+  const ServiceStats& stats() const { return stats_; }
+
+  /// Heap footprint: partition + shard indexes + fallback structures.
+  uint64_t MemoryBytes() const;
+
+ private:
+  /// Bound on memoized constraint templates (see Resolve): the memo flushes
+  /// when full, so template churn cannot grow the process without limit.
+  static constexpr size_t kMaxCachedSequences = 1 << 16;
+
+  /// Per distinct constraint: every shard's MR id, the whole-graph MR id
+  /// (kGlobalHybrid), and the compiled automaton (kOnline). Resolved and
+  /// validated once, memoized while cached (MR tables are frozen after
+  /// build, so a flush is only a re-resolution cost).
+  struct SeqEntry {
+    std::vector<MrId> shard_mr;
+    MrId global_mr = kInvalidMrId;
+    PathConstraint plus;  ///< L+ form for the fallback engine (no per-probe
+                          ///< re-construction on the scalar path)
+    std::unique_ptr<CompiledConstraint> compiled;
+  };
+
+  const SeqEntry& Resolve(const LabelSeq& seq);
+
+  /// True when the boundary summary proves no cross-shard witness path can
+  /// exist for a probe from shard `ss` to shard `st`.
+  bool RefutedByBoundary(uint32_t ss, uint32_t st,
+                         const LabelSeq& seq) const {
+    return !partition_.QuotientReaches(ss, st) ||
+           !partition_.shard(ss).out_cross_labels.MayContainAny(seq.labels()) ||
+           !partition_.shard(st).in_cross_labels.MayContainAny(seq.labels());
+  }
+
+  /// Steps 2+3 for one probe (after any intra-shard miss).
+  bool CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
+                   const SeqEntry& entry, uint32_t ss, uint32_t st);
+
+  const DiGraph& g_;
+  ServiceOptions options_;
+  GraphPartition partition_;
+  std::vector<std::unique_ptr<RlcIndex>> shard_indexes_;
+  // kGlobalHybrid fallback.
+  std::unique_ptr<RlcIndex> global_index_;
+  std::unique_ptr<PlainReachIndex> prefilter_;
+  std::unique_ptr<RlcHybridEngine> fallback_engine_;
+  // kOnline fallback.
+  std::unique_ptr<OnlineSearcher> online_;
+  std::unordered_map<LabelSeq, SeqEntry, LabelSeqHash> seq_cache_;
+  ServiceStats stats_;
+};
+
+}  // namespace rlc

@@ -1,0 +1,432 @@
+// Serving-subsystem correctness: the partitioner's structural invariants,
+// and — the load-bearing property — that ShardedRlcService answers are
+// bit-identical to a whole-graph RlcIndex for every probe, on the paper's
+// worked-example graphs and on random ER graphs, for both partition
+// policies, with empty shards, all-boundary partitions, and both fallback
+// modes. The batched executors must in turn match the scalar paths.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "rlc/core/indexer.h"
+#include "rlc/core/mr_cache.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/graph/paper_graphs.h"
+#include "rlc/serve/partitioner.h"
+#include "rlc/serve/query_batch.h"
+#include "rlc/serve/sharded_service.h"
+#include "rlc/util/rng.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc {
+namespace {
+
+DiGraph RandomGraph(VertexId n, uint64_t m, Label labels, uint64_t seed) {
+  Rng rng(seed);
+  auto edges = ErdosRenyiEdges(n, m, rng);
+  AssignZipfLabels(&edges, labels, 2.0, rng);
+  return DiGraph(n, std::move(edges), labels);
+}
+
+/// Query constraints worth probing: every MR the whole-graph index recorded
+/// (these produce the true answers) plus random primitive sequences (mostly
+/// unknown, exercising the all-false paths).
+std::vector<LabelSeq> ProbeSequences(const DiGraph& g, const RlcIndex& index,
+                                     uint32_t k, uint64_t seed) {
+  std::vector<LabelSeq> seqs;
+  const MrTable& mrs = index.mr_table();
+  for (MrId id = 0; id < mrs.size() && id < 24; ++id) {
+    if (mrs.Get(id).size() <= k) seqs.push_back(mrs.Get(id));
+  }
+  if (g.num_labels() >= 2) {
+    Rng rng(seed);
+    for (int i = 0; i < 8; ++i) {
+      seqs.push_back(RandomPrimitiveSeq(1 + i % k, g.num_labels(), rng));
+    }
+  }
+  return seqs;
+}
+
+/// Core equivalence check: service answers == whole-graph index answers on
+/// `trials` random probes over the sequence pool, scalar and batched.
+void ExpectServiceMatchesIndex(const DiGraph& g, const RlcIndex& index,
+                               ShardedRlcService& service, int trials,
+                               uint64_t seed) {
+  const auto seqs = ProbeSequences(g, index, service.k(), seed);
+  if (g.num_vertices() == 0 || seqs.empty()) return;
+  Rng rng(seed ^ 0xABCD);
+  QueryBatch batch;
+  std::vector<uint8_t> expected;
+  for (int i = 0; i < trials; ++i) {
+    const auto s = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const LabelSeq& c = seqs[rng.Below(seqs.size())];
+    const bool want = index.QueryInterned(s, t, index.FindMr(c));
+    ASSERT_EQ(want, service.Query(s, t, c))
+        << "scalar mismatch s=" << s << " t=" << t << " c=" << c.ToString();
+    batch.Add(s, t, c);
+    expected.push_back(want ? 1 : 0);
+  }
+  const AnswerBatch answers = service.Execute(batch);
+  ASSERT_EQ(answers.answers.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i], answers.answers[i]) << "batched mismatch at " << i;
+  }
+}
+
+ServiceOptions Opts(uint32_t shards, PartitionPolicy policy, uint32_t k = 2,
+                    FallbackMode fallback = FallbackMode::kGlobalHybrid) {
+  ServiceOptions options;
+  options.partition.num_shards = shards;
+  options.partition.policy = policy;
+  options.indexer.k = k;
+  options.build_threads = 2;
+  options.fallback = fallback;
+  return options;
+}
+
+TEST(PartitionerTest, StructuralInvariants) {
+  const DiGraph g = RandomGraph(120, 480, 4, 11);
+  for (const PartitionPolicy policy :
+       {PartitionPolicy::kHash, PartitionPolicy::kRange}) {
+    PartitionerOptions options;
+    options.num_shards = 5;
+    options.policy = policy;
+    const GraphPartition p = GraphPartition::Build(g, options);
+    ASSERT_EQ(p.num_shards(), 5u);
+
+    // Every vertex appears exactly once, and the id maps round-trip.
+    uint64_t vertices = 0;
+    for (uint32_t s = 0; s < p.num_shards(); ++s) {
+      const ShardInfo& shard = p.shard(s);
+      ASSERT_EQ(shard.graph.num_vertices(), shard.global_of.size());
+      ASSERT_EQ(shard.graph.num_labels(), g.num_labels());
+      vertices += shard.graph.num_vertices();
+      for (VertexId local = 0; local < shard.graph.num_vertices(); ++local) {
+        const VertexId global = p.GlobalOf(s, local);
+        EXPECT_EQ(p.ShardOf(global), s);
+        EXPECT_EQ(p.LocalOf(global), local);
+      }
+    }
+    EXPECT_EQ(vertices, g.num_vertices());
+
+    // Intra + cross edges partition the edge set.
+    uint64_t intra = 0;
+    for (uint32_t s = 0; s < p.num_shards(); ++s) {
+      intra += p.shard(s).graph.num_edges();
+    }
+    EXPECT_EQ(intra + p.cross_edges().size(), g.num_edges());
+
+    // Boundary flags match the cross edges, masks cover their labels.
+    std::vector<uint8_t> expect_boundary(g.num_vertices(), 0);
+    for (const Edge& e : p.cross_edges()) {
+      EXPECT_NE(p.ShardOf(e.src), p.ShardOf(e.dst));
+      expect_boundary[e.src] = expect_boundary[e.dst] = 1;
+      EXPECT_TRUE(p.shard(p.ShardOf(e.src)).out_cross_labels.MayContain(e.label));
+      EXPECT_TRUE(p.shard(p.ShardOf(e.dst)).in_cross_labels.MayContain(e.label));
+      EXPECT_TRUE(p.QuotientReaches(p.ShardOf(e.src), p.ShardOf(e.dst)));
+    }
+    uint64_t boundary = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(p.IsBoundary(v), expect_boundary[v] != 0);
+      boundary += expect_boundary[v];
+    }
+    EXPECT_EQ(boundary, p.num_boundary_vertices());
+  }
+}
+
+TEST(PartitionerTest, SingleShardHasNoBoundary) {
+  const DiGraph g = RandomGraph(60, 200, 3, 5);
+  PartitionerOptions options;
+  options.num_shards = 1;
+  const GraphPartition p = GraphPartition::Build(g, options);
+  EXPECT_EQ(p.cross_edges().size(), 0u);
+  EXPECT_EQ(p.num_boundary_vertices(), 0u);
+  EXPECT_FALSE(p.QuotientReaches(0, 0));
+  EXPECT_EQ(p.shard(0).graph.num_edges(), g.num_edges());
+}
+
+TEST(PartitionerTest, RejectsBadShardCounts) {
+  const DiGraph g = RandomGraph(10, 20, 2, 1);
+  PartitionerOptions options;
+  options.num_shards = 0;
+  EXPECT_THROW(GraphPartition::Build(g, options), std::invalid_argument);
+  options.num_shards = GraphPartition::kMaxShards + 1;
+  EXPECT_THROW(GraphPartition::Build(g, options), std::invalid_argument);
+}
+
+TEST(ServingTest, MatchesWholeGraphOnPaperGraphs) {
+  for (const DiGraph& g : {BuildFig1Graph(), BuildFig2Graph()}) {
+    const RlcIndex index = BuildRlcIndex(g, 2);
+    for (const PartitionPolicy policy :
+         {PartitionPolicy::kHash, PartitionPolicy::kRange}) {
+      for (const uint32_t shards : {2u, 3u}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        ShardedRlcService service(g, Opts(shards, policy));
+        // Exhaustive vertex pairs on these tiny graphs, every recorded MR.
+        const MrTable& mrs = index.mr_table();
+        for (MrId id = 0; id < mrs.size(); ++id) {
+          if (mrs.Get(id).size() > 2) continue;
+          for (VertexId s = 0; s < g.num_vertices(); ++s) {
+            for (VertexId t = 0; t < g.num_vertices(); ++t) {
+              ASSERT_EQ(index.QueryInterned(s, t, id),
+                        service.Query(s, t, mrs.Get(id)))
+                  << "s=" << s << " t=" << t << " c=" << mrs.Get(id).ToString();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ServingTest, MatchesWholeGraphOnErGraphs) {
+  for (const uint64_t seed : {21u, 22u}) {
+    const DiGraph g = RandomGraph(150, 600, 4, seed);
+    const RlcIndex index = BuildRlcIndex(g, 2);
+    for (const PartitionPolicy policy :
+         {PartitionPolicy::kHash, PartitionPolicy::kRange}) {
+      for (const uint32_t shards : {1u, 2u, 4u, 7u}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " shards=" + std::to_string(shards));
+        ShardedRlcService service(g, Opts(shards, policy));
+        ExpectServiceMatchesIndex(g, index, service, 1500, seed);
+      }
+    }
+  }
+}
+
+TEST(ServingTest, EmptyShardsAreHarmless) {
+  // Range policy with more shards than the block count leaves the tail
+  // shards empty; hash with 8 shards on 5 vertices leaves some empty too.
+  const DiGraph g(5, {{0, 1, 0}, {1, 2, 1}, {2, 3, 0}, {3, 4, 1}, {4, 0, 0}}, 2);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  for (const PartitionPolicy policy :
+       {PartitionPolicy::kHash, PartitionPolicy::kRange}) {
+    ShardedRlcService service(g, Opts(8, policy));
+    uint32_t empty = 0;
+    for (uint32_t s = 0; s < 8; ++s) {
+      empty += service.partition().shard(s).graph.num_vertices() == 0;
+    }
+    EXPECT_GT(empty, 0u);
+    ExpectServiceMatchesIndex(g, index, service, 400, 77);
+  }
+}
+
+TEST(ServingTest, AllBoundaryPartition) {
+  // Bipartite halves with only cross-shard edges under the range policy:
+  // every vertex is boundary and every shard graph is edgeless.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < 5; ++v) {
+    edges.push_back({v, static_cast<VertexId>(5 + v), 0});
+    edges.push_back({static_cast<VertexId>(5 + v), (v + 1) % 5, 1});
+  }
+  const DiGraph g(10, std::move(edges), 2);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  ShardedRlcService service(g, Opts(2, PartitionPolicy::kRange));
+  EXPECT_EQ(service.partition().num_boundary_vertices(), 10u);
+  EXPECT_EQ(service.partition().shard(0).graph.num_edges(), 0u);
+  EXPECT_EQ(service.partition().shard(1).graph.num_edges(), 0u);
+  ExpectServiceMatchesIndex(g, index, service, 500, 31);
+}
+
+TEST(ServingTest, OnlineFallbackMatches) {
+  const DiGraph g = RandomGraph(100, 350, 3, 9);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  ShardedRlcService service(
+      g, Opts(3, PartitionPolicy::kHash, 2, FallbackMode::kOnline));
+  ExpectServiceMatchesIndex(g, index, service, 800, 9);
+}
+
+TEST(ServingTest, BoundaryRefutationIsExact) {
+  // Two range shards joined by a single label-0 cross edge: a (1)+ query
+  // across shards is refutable from the label masks alone, and the stats
+  // must show it never reached the fallback engine.
+  std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 1}, {2, 3, 0},
+                             {3, 4, 1}, {4, 5, 1}};
+  const DiGraph g(6, std::move(edges), 2);
+  ShardedRlcService service(g, Opts(2, PartitionPolicy::kRange));
+  EXPECT_FALSE(service.Query(0, 4, LabelSeq{1}));
+  EXPECT_EQ(service.stats().cross_refuted, 1u);
+  EXPECT_EQ(service.stats().fallback_probes, 0u);
+  // The label-0 cross query must not be refuted by the masks (it is the
+  // one label that does cross) and resolves via the fallback.
+  EXPECT_FALSE(service.Query(0, 4, LabelSeq{0}));
+  EXPECT_EQ(service.stats().fallback_probes, 1u);
+}
+
+TEST(ServingTest, StatsAccountForEveryProbe) {
+  const DiGraph g = RandomGraph(120, 500, 3, 15);
+  ShardedRlcService service(g, Opts(4, PartitionPolicy::kHash));
+  Rng rng(4);
+  QueryBatch batch;
+  for (int i = 0; i < 300; ++i) {
+    service.Query(static_cast<VertexId>(rng.Below(120)),
+                  static_cast<VertexId>(rng.Below(120)),
+                  RandomPrimitiveSeq(1 + i % 2, 3, rng));
+    batch.Add(static_cast<VertexId>(rng.Below(120)),
+              static_cast<VertexId>(rng.Below(120)),
+              RandomPrimitiveSeq(1 + i % 2, 3, rng));
+  }
+  service.Execute(batch);
+  const ServiceStats& stats = service.stats();
+  EXPECT_EQ(stats.queries, 600u);
+  EXPECT_EQ(stats.batches, 1u);
+  // Every probe ends in exactly one terminal bucket.
+  EXPECT_EQ(stats.queries,
+            stats.intra_true + stats.cross_refuted + stats.fallback_probes);
+  // Misses are the subset of same-shard probes that continued past step 1.
+  EXPECT_LE(stats.intra_true, stats.queries);
+}
+
+TEST(ServingTest, BatchValidation) {
+  const DiGraph g = RandomGraph(30, 90, 3, 2);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  ShardedRlcService service(g, Opts(2, PartitionPolicy::kHash));
+
+  QueryBatch empty_seq;
+  empty_seq.Add(0, 1, LabelSeq{});
+  EXPECT_THROW(service.Execute(empty_seq), std::invalid_argument);
+  EXPECT_THROW(ExecuteBatch(index, empty_seq), std::invalid_argument);
+
+  QueryBatch non_primitive;
+  non_primitive.Add(0, 1, LabelSeq{1, 1});
+  EXPECT_THROW(service.Execute(non_primitive), std::invalid_argument);
+
+  QueryBatch too_long;
+  too_long.Add(0, 1, LabelSeq{0, 1, 2});
+  EXPECT_THROW(service.Execute(too_long), std::invalid_argument);
+
+  QueryBatch bad_vertex;
+  bad_vertex.Add(0, 99, LabelSeq{1});
+  EXPECT_THROW(service.Execute(bad_vertex), std::invalid_argument);
+  EXPECT_THROW(ExecuteBatch(index, bad_vertex), std::invalid_argument);
+
+  QueryBatch bad_seq_id;
+  bad_seq_id.Add(0, 1, /*seq_id=*/3);
+  EXPECT_THROW(service.Execute(bad_seq_id), std::invalid_argument);
+
+  EXPECT_THROW(service.Query(0, 99, LabelSeq{1}), std::invalid_argument);
+  EXPECT_THROW(service.Query(0, 1, LabelSeq{1, 1}), std::invalid_argument);
+}
+
+TEST(ServingTest, SingleIndexBatchMatchesScalar) {
+  const DiGraph g = RandomGraph(140, 560, 4, 33);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  Rng rng(6);
+  QueryBatch batch;
+  std::vector<uint8_t> expected;
+  const auto seqs = ProbeSequences(g, index, 2, 33);
+  for (int i = 0; i < 1200; ++i) {
+    const auto s = static_cast<VertexId>(rng.Below(140));
+    const auto t = static_cast<VertexId>(rng.Below(140));
+    const LabelSeq& c = seqs[rng.Below(seqs.size())];
+    batch.Add(s, t, c);
+    expected.push_back(index.Query(s, t, c) ? 1 : 0);
+  }
+  const AnswerBatch answers = ExecuteBatch(index, batch);
+  ASSERT_EQ(answers.answers, expected);
+  // One executed group per distinct *recorded* sequence.
+  EXPECT_GT(answers.num_groups, 0u);
+  EXPECT_LE(answers.num_groups, batch.num_sequences());
+
+  // ClearProbes keeps the interned templates usable.
+  QueryBatch reuse = batch;
+  reuse.ClearProbes();
+  EXPECT_EQ(reuse.num_probes(), 0u);
+  EXPECT_EQ(reuse.num_sequences(), batch.num_sequences());
+  reuse.Add(1, 2, /*seq_id=*/0);
+  EXPECT_EQ(ExecuteBatch(index, reuse).answers.size(), 1u);
+}
+
+TEST(ServingTest, QueryGroupInternedMatchesScalar) {
+  const DiGraph g = RandomGraph(160, 640, 4, 44);
+  IndexerOptions options;
+  options.k = 2;
+  options.seal = false;
+  RlcIndexBuilder builder(g, options);
+  RlcIndex nested = builder.Build();
+  RlcIndex sealed = nested;
+  sealed.Seal();
+
+  Rng rng(8);
+  std::vector<VertexPair> probes;
+  for (int i = 0; i < 600; ++i) {
+    probes.push_back({static_cast<VertexId>(rng.Below(160)),
+                      static_cast<VertexId>(rng.Below(160))});
+  }
+  std::vector<uint8_t> sealed_ans(probes.size());
+  std::vector<uint8_t> nested_ans(probes.size());
+  for (MrId mr : {MrId{0}, MrId{1}, kInvalidMrId}) {
+    sealed.QueryGroupInterned(mr, probes, sealed_ans);
+    nested.QueryGroupInterned(mr, probes, nested_ans);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      ASSERT_EQ(sealed_ans[i], sealed.QueryInterned(probes[i].s, probes[i].t, mr))
+          << "mr=" << mr << " i=" << i;
+      ASSERT_EQ(sealed_ans[i], nested_ans[i]);
+    }
+  }
+}
+
+TEST(ServingTest, MrCacheMatchesFindMr) {
+  const DiGraph g = RandomGraph(80, 320, 3, 3);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  MrCache cache(index);
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const LabelSeq seq = RandomPrimitiveSeq(1 + i % 2, 3, rng);
+    EXPECT_EQ(cache.Get(seq), index.FindMr(seq));
+    EXPECT_EQ(cache.Get(seq), index.FindMr(seq));  // memoized hit
+  }
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_LE(cache.size(), 200u);
+}
+
+TEST(ServingTest, ParallelShardBuildsAreDeterministic) {
+  const DiGraph g = RandomGraph(130, 520, 4, 55);
+  ServiceOptions sequential = Opts(4, PartitionPolicy::kHash);
+  sequential.build_threads = 1;
+  ServiceOptions parallel = Opts(4, PartitionPolicy::kHash);
+  parallel.build_threads = 4;
+  ShardedRlcService a(g, sequential);
+  ShardedRlcService b(g, parallel);
+  for (uint32_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(a.shard_index(s).NumEntries(), b.shard_index(s).NumEntries());
+    ASSERT_EQ(a.shard_index(s).mr_table().size(),
+              b.shard_index(s).mr_table().size());
+  }
+  Rng rng(14);
+  for (int i = 0; i < 500; ++i) {
+    const auto s = static_cast<VertexId>(rng.Below(130));
+    const auto t = static_cast<VertexId>(rng.Below(130));
+    const LabelSeq c = RandomPrimitiveSeq(1 + i % 2, 4, rng);
+    ASSERT_EQ(a.Query(s, t, c), b.Query(s, t, c));
+  }
+}
+
+TEST(ServingTest, WorkloadAnswersMatchOracle) {
+  // End-to-end: the generated workload's oracle answers must come back
+  // from the batched sharded path.
+  const DiGraph g = RandomGraph(200, 800, 4, 66);
+  WorkloadOptions wopts;
+  wopts.count = 150;
+  wopts.constraint_length = 2;
+  const Workload w = GenerateWorkload(g, wopts);
+  ShardedRlcService service(g, Opts(4, PartitionPolicy::kHash));
+  QueryBatch batch;
+  std::vector<uint8_t> expected;
+  for (const auto* set : {&w.true_queries, &w.false_queries}) {
+    for (const RlcQuery& q : *set) {
+      batch.Add(q.s, q.t, q.constraint);
+      expected.push_back(q.expected ? 1 : 0);
+    }
+  }
+  const AnswerBatch answers = service.Execute(batch);
+  ASSERT_EQ(answers.answers, expected);
+}
+
+}  // namespace
+}  // namespace rlc
