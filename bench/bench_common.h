@@ -26,6 +26,7 @@
 #include "rlc/core/indexer.h"
 #include "rlc/graph/datasets.h"
 #include "rlc/graph/edge_list_io.h"
+#include "rlc/util/simd.h"
 #include "rlc/util/timer.h"
 #include "rlc/workload/query_gen.h"
 
@@ -97,10 +98,46 @@ inline DiGraph GetDataset(const DatasetSpec& spec, double scale, uint64_t seed) 
   return MakeSurrogate(spec, scale, seed);
 }
 
+/// Git SHA the benchmark binary was configured from (CMake passes it via
+/// RLC_BUILD_GIT_SHA; "unknown" outside a git checkout). Configure-time,
+/// so a rebuild after new commits without re-running cmake can lag.
+inline const char* BuildGitSha() {
+#ifdef RLC_BUILD_GIT_SHA
+  return RLC_BUILD_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Compiler id + version, taken at compile time from the preprocessor.
+inline std::string BuildCompiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// The CXX flags of the build configuration (CMake passes them via
+/// RLC_BUILD_FLAGS).
+inline const char* BuildFlags() {
+#ifdef RLC_BUILD_FLAGS
+  return RLC_BUILD_FLAGS;
+#else
+  return "unknown";
+#endif
+}
+
 /// Machine-readable benchmark output: collects flat records and writes them
 /// as a JSON array to BENCH_<harness>.json on destruction, so the perf
 /// trajectory can be tracked across PRs without scraping the tables.
 /// Output directory: RLC_BENCH_JSON_DIR (default: current directory).
+///
+/// The first record of every file is build provenance — git SHA, compiler,
+/// flags, SIMD ISA — so a BENCH_*.json artifact is attributable to the
+/// exact build that produced it.
 ///
 ///   JsonWriter json("table4_indexing");
 ///   json.AddRecord()
@@ -156,7 +193,15 @@ class JsonWriter {
     std::vector<std::pair<std::string, std::string>> fields_;
   };
 
-  explicit JsonWriter(std::string harness) : harness_(std::move(harness)) {}
+  explicit JsonWriter(std::string harness) : harness_(std::move(harness)) {
+    AddRecord()
+        .Set("record", "provenance")
+        .Set("harness", harness_)
+        .Set("git_sha", BuildGitSha())
+        .Set("compiler", BuildCompiler())
+        .Set("build_flags", BuildFlags())
+        .Set("simd", simd::KernelIsa());
+  }
   ~JsonWriter() { Flush(); }
   JsonWriter(const JsonWriter&) = delete;
   JsonWriter& operator=(const JsonWriter&) = delete;

@@ -1,0 +1,314 @@
+// Query-kernel throughput: vertex-signature refutation, the hybrid
+// intersection kernel, and parallel batch execution. Emits
+// BENCH_query_kernel.json (first record = build provenance).
+//
+// Three probe mixes over one ER graph (defaults 20K vertices / 100K edges,
+// the workload PR 1/PR 2 tracked):
+//
+//   negative90   90% oracle-false probes — the refute-fast target
+//   positive90   90% oracle-true probes  — the signature overhead bound
+//   skew         sources drawn from the vertices with the largest Lout
+//                lists — exercises the gallop/block kernel selection
+//
+// Per mix the harness measures scalar QueryInterned and batched
+// ExecuteBatch with signatures off/on (single thread, so any win is the
+// kernel's, not parallelism), then a batched thread sweep (RLC_THREADS,
+// default 1,2,4) with signatures on. Every mode must reproduce the scalar
+// unsignatured answers bit for bit — the harness exits 1 otherwise.
+//
+// A second section microbenchmarks the raw intersection kernels from
+// util/simd.h against std::set_intersection across length ratios.
+//
+//   $ ./bench_query_kernel [num_vertices num_edges num_probes iters]
+//     defaults:               20000      100000    20000     5
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "rlc/core/indexer.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/serve/query_batch.h"
+#include "rlc/util/rng.h"
+#include "rlc/util/simd.h"
+#include "rlc/util/thread_pool.h"
+#include "rlc/util/timer.h"
+
+using namespace rlc;
+
+namespace {
+
+double BestSeconds(int iters, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.ElapsedSeconds());
+  }
+  return best;
+}
+
+struct Mix {
+  std::string name;
+  std::vector<RlcQuery> probes;
+};
+
+/// Draws `count` probes from the true/false pools at the given true-share.
+Mix MakeMix(const std::string& name, const Workload& w, double true_share,
+            uint32_t count, uint64_t seed) {
+  Mix mix;
+  mix.name = name;
+  Rng rng(seed);
+  const uint32_t want_true =
+      static_cast<uint32_t>(static_cast<double>(count) * true_share);
+  for (uint32_t i = 0; i < count; ++i) {
+    const bool pick_true = i < want_true;
+    const auto& pool = pick_true ? w.true_queries : w.false_queries;
+    mix.probes.push_back(pool[rng.Below(pool.size())]);
+  }
+  for (size_t i = mix.probes.size(); i > 1; --i) {
+    std::swap(mix.probes[i - 1], mix.probes[rng.Below(i)]);
+  }
+  return mix;
+}
+
+/// Probes whose sources carry the largest Lout lists (hub-heavy skew).
+Mix MakeSkewMix(const RlcIndex& index, const DiGraph& g, uint32_t count,
+                uint64_t seed) {
+  std::vector<VertexId> by_list(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) by_list[v] = v;
+  std::sort(by_list.begin(), by_list.end(), [&](VertexId a, VertexId b) {
+    return index.Lout(a).size() > index.Lout(b).size();
+  });
+  const size_t heads = std::min<size_t>(64, by_list.size());
+  std::vector<LabelSeq> templates;
+  for (MrId id = 0; id < index.mr_table().size() && templates.size() < 16;
+       ++id) {
+    if (index.mr_table().Get(id).size() <= index.k()) {
+      templates.push_back(index.mr_table().Get(id));
+    }
+  }
+  Mix mix;
+  mix.name = "skew";
+  Rng rng(seed);
+  for (uint32_t i = 0; i < count && !templates.empty() && heads > 0; ++i) {
+    RlcQuery q;
+    q.s = by_list[rng.Below(heads)];
+    q.t = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    q.constraint = templates[rng.Below(templates.size())];
+    mix.probes.push_back(q);
+  }
+  return mix;
+}
+
+/// Sorted array of `n` distinct u32 drawn from [0, n * spread).
+std::vector<uint32_t> SortedUnique(size_t n, uint32_t spread, Rng& rng) {
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  uint32_t cur = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cur += 1 + static_cast<uint32_t>(rng.Below(spread));
+    v.push_back(cur);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const VertexId n =
+      argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 20'000;
+  const uint64_t m = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100'000;
+  const uint32_t num_probes =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 20'000;
+  const int iters = argc > 4 ? std::atoi(argv[4]) : 5;
+  const Label num_labels = 8;
+
+  Rng rng(7);
+  auto edges = ErdosRenyiEdges(n, m, rng);
+  AssignZipfLabels(&edges, num_labels, 2.0, rng);
+  const DiGraph g(n, std::move(edges), num_labels);
+
+  Timer build_timer;
+  RlcIndex index = BuildRlcIndex(g, 2);
+  std::printf("graph: |V|=%u |E|=%llu |L|=%u; index %.2fs, %llu entries, "
+              "simd=%s\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              g.num_labels(), build_timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(index.NumEntries()),
+              simd::KernelIsa());
+
+  WorkloadOptions wopts;
+  wopts.count = num_probes / 2;
+  wopts.constraint_length = 2;
+  wopts.fill_true_with_walks = true;
+  const Workload w = GenerateWorkload(g, wopts);
+  if (w.true_queries.empty() || w.false_queries.empty()) {
+    std::fprintf(stderr, "workload generation produced an empty pool\n");
+    return 1;
+  }
+
+  std::vector<Mix> mixes;
+  mixes.push_back(MakeMix("negative90", w, 0.10, num_probes, 11));
+  mixes.push_back(MakeMix("positive90", w, 0.90, num_probes, 13));
+  mixes.push_back(MakeSkewMix(index, g, num_probes, 17));
+
+  bench::JsonWriter json("query_kernel");
+  bool all_agree = true;
+  double negative_sig_off_ns = 0.0;
+  double negative_sig_on_ns = 0.0;
+
+  const std::vector<uint32_t> thread_counts = bench::SelectedThreadCounts();
+
+  for (const Mix& mix : mixes) {
+    // Reference: scalar validated queries on the unsignatured path.
+    index.set_use_signatures(false);
+    std::vector<uint8_t> reference;
+    reference.reserve(mix.probes.size());
+    for (const RlcQuery& q : mix.probes) {
+      reference.push_back(index.Query(q.s, q.t, q.constraint) ? 1 : 0);
+    }
+    const uint64_t positives = static_cast<uint64_t>(
+        std::count(reference.begin(), reference.end(), uint8_t{1}));
+    std::printf("-- mix %-10s: %zu probes, %llu true\n", mix.name.c_str(),
+                mix.probes.size(), static_cast<unsigned long long>(positives));
+
+    QueryBatch batch;
+    for (const RlcQuery& q : mix.probes) batch.Add(q.s, q.t, q.constraint);
+    std::vector<MrId> mr_of(batch.num_sequences());
+    for (uint32_t i = 0; i < batch.num_sequences(); ++i) {
+      mr_of[i] = index.FindMr(batch.sequence(i));
+    }
+    const std::vector<BatchProbe>& probes = batch.probes();
+
+    auto report = [&](const std::string& mode, bool signatures,
+                      uint32_t threads, double seconds,
+                      const std::vector<uint8_t>& answers) {
+      const bool agree = answers == reference;
+      all_agree = all_agree && agree;
+      const double ns = seconds * 1e9 / static_cast<double>(probes.size());
+      std::printf("   %-16s sig=%-3s threads=%u: %8.1f ns/probe %7.2f Mq/s "
+                  "answers %s\n",
+                  mode.c_str(), signatures ? "on" : "off", threads, ns,
+                  static_cast<double>(probes.size()) / seconds / 1e6,
+                  agree ? "ok" : "MISMATCH");
+      json.AddRecord()
+          .Set("mix", mix.name)
+          .Set("mode", mode)
+          .Set("signatures", signatures)
+          .Set("threads", threads)
+          .Set("probes", static_cast<uint64_t>(probes.size()))
+          .Set("true_share",
+               static_cast<double>(positives) /
+                   static_cast<double>(probes.size()))
+          .Set("ns_per_probe", ns)
+          .Set("agree", agree);
+      return ns;
+    };
+
+    std::vector<uint8_t> answers(probes.size());
+    AnswerBatch ab;
+    for (const bool signatures : {false, true}) {
+      index.set_use_signatures(signatures);
+      double secs = BestSeconds(iters, [&] {
+        for (size_t i = 0; i < probes.size(); ++i) {
+          answers[i] = index.QueryInterned(probes[i].s, probes[i].t,
+                                           mr_of[probes[i].seq_id])
+                           ? 1
+                           : 0;
+        }
+      });
+      report("scalar_interned", signatures, 1, secs, answers);
+
+      secs = BestSeconds(iters, [&] { ab = ExecuteBatch(index, batch); });
+      const double ns = report("batched", signatures, 1, secs, ab.answers);
+      if (mix.name == "negative90") {
+        (signatures ? negative_sig_on_ns : negative_sig_off_ns) = ns;
+      }
+    }
+
+    // Thread sweep (signatures stay on): per-run pool so pool spin-up is
+    // not in the timed region — the service keeps its pool alive the same
+    // way.
+    for (const uint32_t threads : thread_counts) {
+      if (threads <= 1) continue;
+      ThreadPool pool(threads);
+      ExecuteOptions opts;
+      opts.pool = &pool;
+      const double secs =
+          BestSeconds(iters, [&] { ab = ExecuteBatch(index, batch, opts); });
+      report("batched", true, threads, secs, ab.answers);
+    }
+  }
+  index.set_use_signatures(true);
+
+  // --- raw intersection kernels across length ratios ---
+  struct Ratio {
+    size_t small;
+    size_t large;
+  };
+  const std::vector<Ratio> ratios = {
+      {4096, 4096}, {1024, 4096}, {256, 16384}, {64, 65536}, {8, 80000}};
+  Rng krng(23);
+  for (const Ratio& r : ratios) {
+    // Disjoint arrays (odd vs even values) spanning the same value range:
+    // the existence check must keep going until one side is exhausted,
+    // which is the kernels' worst case and the common case for negative
+    // probes that get past the signatures. Equal ranges (spread scaled by
+    // the ratio) keep the skewed cases honest — the short array's elements
+    // spread across the whole long array instead of its prefix.
+    const uint32_t spread_a =
+        static_cast<uint32_t>(std::max<size_t>(1, r.large * 8 / r.small));
+    std::vector<uint32_t> a = SortedUnique(r.small, spread_a, krng);
+    std::vector<uint32_t> b = SortedUnique(r.large, 8, krng);
+    for (auto& x : a) x = x * 2 + 1;
+    for (auto& x : b) x *= 2;
+    const int reps = 2000;
+    volatile bool sink = false;
+    const double hybrid = BestSeconds(iters, [&] {
+      for (int i = 0; i < reps; ++i) {
+        sink = simd::HasCommonElement(a.data(), a.size(), b.data(), b.size());
+      }
+    });
+    std::vector<uint32_t> scratch;
+    const double stdlib = BestSeconds(iters, [&] {
+      for (int i = 0; i < reps; ++i) {
+        scratch.clear();
+        std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                              std::back_inserter(scratch));
+        sink = !scratch.empty();
+      }
+    });
+    const double hybrid_ns = hybrid * 1e9 / reps;
+    const double stdlib_ns = stdlib * 1e9 / reps;
+    std::printf("kernel %5zu:%-6zu hybrid %9.1f ns  std::set_intersection "
+                "%9.1f ns  (%.2fx)\n",
+                r.small, r.large, hybrid_ns, stdlib_ns, stdlib_ns / hybrid_ns);
+    json.AddRecord()
+        .Set("mix", "kernel_disjoint")
+        .Set("small", static_cast<uint64_t>(r.small))
+        .Set("large", static_cast<uint64_t>(r.large))
+        .Set("hybrid_ns", hybrid_ns)
+        .Set("set_intersection_ns", stdlib_ns)
+        .Set("speedup", stdlib_ns / hybrid_ns);
+  }
+
+  const double signature_speedup = negative_sig_off_ns / negative_sig_on_ns;
+  std::printf("signature speedup on negative90 (batched, 1 thread): %.2fx\n",
+              signature_speedup);
+  json.AddRecord()
+      .Set("mix", "summary")
+      .Set("signature_speedup_negative90", signature_speedup)
+      .Set("all_agree", all_agree);
+
+  if (!all_agree) {
+    std::fprintf(stderr, "FAIL: modes disagree\n");
+    return 1;
+  }
+  return 0;
+}

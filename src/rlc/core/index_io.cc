@@ -10,6 +10,15 @@ namespace {
 
 constexpr uint64_t kIndexMagic = 0x524C43494458ULL;  // "RLCIDX"
 
+/// Order-sensitive FNV-style fold over the signature words. The signature
+/// block is the one v3 section whose corruption AdoptSealed cannot detect
+/// (entries are range-checked, offsets monotonicity-checked) yet would
+/// silently flip query answers; the checksum turns that into a load error.
+uint64_t SignatureChecksum(uint64_t h, uint64_t word) {
+  return (h ^ word) * 0x100000001B3ULL;
+}
+constexpr uint64_t kSignatureChecksumSeed = 0xCBF29CE484222325ULL;
+
 template <typename T>
 void Put(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
@@ -95,7 +104,7 @@ SideV2 GetSideV2(std::istream& in, uint64_t n, uint32_t num_mrs,
 }  // namespace
 
 void WriteIndex(const RlcIndex& index, std::ostream& out, uint32_t version) {
-  RLC_REQUIRE(version == 1 || version == 2,
+  RLC_REQUIRE(version >= 1 && version <= 3,
               "WriteIndex: unsupported format version " << version);
   Put(out, kIndexMagic);
   Put<uint32_t>(out, version);
@@ -122,6 +131,22 @@ void WriteIndex(const RlcIndex& index, std::ostream& out, uint32_t version) {
   } else {
     PutSideV2(out, index, /*out_side=*/true);
     PutSideV2(out, index, /*out_side=*/false);
+    if (version >= 3) {
+      // OutSignature/InSignature fall back to an on-the-fly computation on
+      // unsealed indexes, keeping the bytes layout-independent.
+      uint64_t checksum = kSignatureChecksumSeed;
+      for (VertexId v = 0; v < index.num_vertices(); ++v) {
+        const uint64_t sig = index.OutSignature(v);
+        checksum = SignatureChecksum(checksum, sig);
+        Put<uint64_t>(out, sig);
+      }
+      for (VertexId v = 0; v < index.num_vertices(); ++v) {
+        const uint64_t sig = index.InSignature(v);
+        checksum = SignatureChecksum(checksum, sig);
+        Put<uint64_t>(out, sig);
+      }
+      Put<uint64_t>(out, checksum);
+    }
   }
 }
 
@@ -130,7 +155,7 @@ RlcIndex ReadIndex(std::istream& in) {
     throw std::runtime_error("ReadIndex: bad magic (not an rlc index file)");
   }
   const uint32_t version = Get<uint32_t>(in);
-  if (version != 1 && version != 2) {
+  if (version < 1 || version > 3) {
     throw std::runtime_error("ReadIndex: unsupported version");
   }
   const uint32_t k = Get<uint32_t>(in);
@@ -172,9 +197,31 @@ RlcIndex ReadIndex(std::istream& in) {
   } else {
     SideV2 out_side = GetSideV2(in, n, num_mrs, n);
     SideV2 in_side = GetSideV2(in, n, num_mrs, n);
+    // v3 appends the vertex signatures; adopting them skips the rebuild
+    // pass over both entry buffers. v2 files leave the vectors empty and
+    // AdoptSealed rebuilds.
+    std::vector<uint64_t> out_sigs;
+    std::vector<uint64_t> in_sigs;
+    if (version >= 3) {
+      out_sigs.resize(n);
+      in_sigs.resize(n);
+      uint64_t checksum = kSignatureChecksumSeed;
+      for (auto* sigs : {&out_sigs, &in_sigs}) {
+        in.read(reinterpret_cast<char*>(sigs->data()),
+                static_cast<std::streamsize>(sigs->size() * sizeof(uint64_t)));
+        if (!in) throw std::runtime_error("ReadIndex: truncated signatures");
+        for (const uint64_t sig : *sigs) {
+          checksum = SignatureChecksum(checksum, sig);
+        }
+      }
+      if (Get<uint64_t>(in) != checksum) {
+        throw std::runtime_error("ReadIndex: corrupt signatures");
+      }
+    }
     try {
       index.AdoptSealed(std::move(out_side.offsets), std::move(out_side.entries),
-                        std::move(in_side.offsets), std::move(in_side.entries));
+                        std::move(in_side.offsets), std::move(in_side.entries),
+                        std::move(out_sigs), std::move(in_sigs));
     } catch (const std::invalid_argument& e) {
       throw std::runtime_error(std::string("ReadIndex: ") + e.what());
     }

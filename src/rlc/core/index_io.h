@@ -9,13 +9,22 @@
 //   per vertex: u32 |Lout| + entries, u32 |Lin| + entries
 //   entry: u32 hub_aid, u32 mr_id
 //
-// Version 2 (default): the sealed CSR layout written as four flat blocks,
-// loaded back with bulk reads straight into the query-time representation —
-// no per-entry parsing, no per-vertex allocation:
+// Version 2 (still readable): the sealed CSR layout written as four flat
+// blocks, loaded back with bulk reads straight into the query-time
+// representation — no per-entry parsing, no per-vertex allocation:
 //   out offsets: (num_vertices+1) * u64
 //   out entries: offsets.back() * 8 bytes (IndexEntry, packed)
 //   in  offsets: (num_vertices+1) * u64
 //   in  entries: offsets.back() * 8 bytes
+//
+// Version 3 (default): the v2 body followed by the sealed-time vertex
+// signatures (rlc_index.h), so a load skips the signature rebuild pass:
+//   out signatures: num_vertices * u64
+//   in  signatures: num_vertices * u64
+//   u64 checksum (FNV fold over both blocks; a corrupt signature would
+//       silently flip answers, so it must fail the load instead)
+// Loading a v1/v2 file rebuilds the signatures from the entry lists; the
+// loaded index is indistinguishable from a v3 load.
 //
 // Intended use: build once offline (the expensive step the paper measures in
 // Table IV), persist, then serve queries from a load that is a straight
@@ -32,10 +41,11 @@
 namespace rlc {
 
 /// The version WriteIndex emits by default.
-inline constexpr uint32_t kIndexFormatVersion = 2;
+inline constexpr uint32_t kIndexFormatVersion = 3;
 
-/// Writes `index` to `out` in format `version` (1 or 2). The index may be
-/// sealed or not; the bytes are identical either way.
+/// Writes `index` to `out` in format `version` (1, 2 or 3). The index may
+/// be sealed or not; the bytes are identical either way (v3 signatures are
+/// computed on the fly for unsealed indexes).
 /// \throws std::invalid_argument on an unsupported version.
 void WriteIndex(const RlcIndex& index, std::ostream& out,
                 uint32_t version = kIndexFormatVersion);

@@ -79,7 +79,11 @@ RlcIndex RlcIndexBuilder::Build() {
     ParallelBuild(threads);
   }
 
-  if (options_.seal) index_.Seal();
+  if (options_.seal) {
+    Timer seal_timer;
+    index_.Seal();  // CSR flatten + vertex signature build (rlc_index.h)
+    stats_.seal_seconds = seal_timer.ElapsedSeconds();
+  }
   stats_.build_seconds = timer.ElapsedSeconds();
   return std::move(index_);
 }

@@ -103,7 +103,8 @@ struct IndexerOptions {
 };
 
 /// Counters reported by the builder (benchmarks and tests). All counters
-/// except build_seconds are independent of num_threads/batch_size.
+/// except the wall-clock timings (build_seconds, seal_seconds) are
+/// independent of num_threads/batch_size.
 struct IndexerStats {
   uint64_t entries_inserted = 0;
   uint64_t pruned_pr1 = 0;
@@ -113,6 +114,10 @@ struct IndexerStats {
   uint64_t kernel_bfs_runs = 0;        ///< number of kernel candidates chased
   uint64_t kernel_bfs_visits = 0;      ///< product states expanded in phase 2
   double build_seconds = 0.0;
+  /// CSR flatten + vertex-signature build, included in build_seconds
+  /// (0 when IndexerOptions::seal is off). Like build_seconds this is
+  /// wall-clock, not a deterministic counter.
+  double seal_seconds = 0.0;
 };
 
 /// Single-use builder: constructs the RLC index of `g` for bound k.

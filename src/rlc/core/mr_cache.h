@@ -21,34 +21,62 @@
 
 namespace rlc {
 
+/// Cumulative MrCache telemetry. `evicted_entries` counts the memoized
+/// templates dropped by capacity flushes — a growing value under a steady
+/// workload is the signature of adversarial template churn.
+struct MrCacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t flushes = 0;           ///< times the memo hit its bound
+  uint64_t evicted_entries = 0;   ///< total entries dropped by flushes
+};
+
 /// Memoizes RlcIndex::FindMr for one index. Not thread-safe; intended as a
 /// per-engine / per-service member, mirroring OnlineSearcher's reusable
 /// scratch.
 class MrCache {
  public:
-  /// Bound on memoized templates: real workloads use a handful, but a
-  /// client scanning distinct constraints must not grow a serving process
+  /// Default bound on memoized templates: real workloads use a handful, but
+  /// a client scanning distinct constraints must not grow a serving process
   /// without limit. Hitting the bound flushes the memo (it is a pure
-  /// cache, so a flush only costs re-resolution).
+  /// cache, so a flush only costs re-resolution) and counts the eviction
+  /// in stats().
   static constexpr size_t kMaxEntries = 1 << 16;
 
-  explicit MrCache(const RlcIndex& index) : index_(&index) {}
+  /// `max_entries` overrides the flush bound (>= 1); serving deployments
+  /// with tight memory budgets shrink it, tests exercise eviction with
+  /// tiny bounds.
+  explicit MrCache(const RlcIndex& index, size_t max_entries = kMaxEntries)
+      : index_(&index), max_entries_(max_entries < 1 ? 1 : max_entries) {}
 
   /// FindMr with memoization; kInvalidMrId results are cached too (a miss
   /// is the common case for unknown query templates and just as hot).
   MrId Get(const LabelSeq& seq) {
-    if (cache_.size() >= kMaxEntries) cache_.clear();
+    ++stats_.lookups;
+    if (cache_.size() >= max_entries_) {
+      ++stats_.flushes;
+      stats_.evicted_entries += cache_.size();
+      cache_.clear();
+    }
     auto [it, inserted] = cache_.try_emplace(seq, kInvalidMrId);
-    if (inserted) it->second = index_->FindMr(seq);
+    if (inserted) {
+      it->second = index_->FindMr(seq);
+    } else {
+      ++stats_.hits;
+    }
     return it->second;
   }
 
   /// Number of distinct sequences resolved so far.
   size_t size() const { return cache_.size(); }
+  size_t max_entries() const { return max_entries_; }
+  const MrCacheStats& stats() const { return stats_; }
 
  private:
   const RlcIndex* index_;
+  size_t max_entries_;
   std::unordered_map<LabelSeq, MrId, LabelSeqHash> cache_;
+  MrCacheStats stats_;
 };
 
 }  // namespace rlc

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 
+#include "rlc/util/simd.h"
+
 namespace rlc {
 
 namespace {
 
-/// Lists more than this factor apart in length are joined by galloping
-/// instead of a linear merge.
+/// Entry-list pairs more than this factor apart in length are joined by
+/// galloping over the raw lists instead of filter-and-intersect (filtering
+/// would touch every entry of the huge list — exactly what galloping
+/// avoids).
 constexpr size_t kGallopRatio = 16;
 
 /// First position in `entries[lo..)` whose hub_aid is >= `aid`, found by
@@ -59,6 +63,12 @@ bool RlcIndex::QueryStar(VertexId s, VertexId t, const LabelSeq& constraint) con
 
 bool RlcIndex::QueryInterned(VertexId s, VertexId t, MrId mr) const {
   if (mr == kInvalidMrId) return false;
+  // The signature guard covers sealed indexes with a frozen MR table; an mr
+  // beyond the table snapshot (only possible through the builder's own
+  // mid-build probes) falls through to the unguarded path.
+  if (use_signatures_ && mr < mr_query_sig_.size()) {
+    return QuerySealedSigned(s, t, mr, mr_query_sig_[mr]);
+  }
 
   const std::span<const IndexEntry> lout = Lout(s);
   const std::span<const IndexEntry> lin = Lin(t);
@@ -69,6 +79,34 @@ bool RlcIndex::QueryInterned(VertexId s, VertexId t, MrId mr) const {
 
   // Case 1: a common hub carrying L on both sides.
   return JoinHasCommonHub(lout, lin, mr);
+}
+
+bool RlcIndex::QuerySealedSigned(VertexId s, VertexId t, MrId mr,
+                                 uint64_t needed) const {
+  const uint64_t so = out_sigs_[s];
+  const uint64_t si = in_sigs_[t];
+  // A true answer needs an entry carrying `mr` in Lout(s) (Cases 1 and
+  // 2-out) or in Lin(t) (Cases 1 and 2-in): when both sides provably lack
+  // the MR, the probe is refuted from the two signature loads alone.
+  const bool out_may = (so & needed) == needed;
+  const bool in_may = (si & needed) == needed;
+  if (!out_may && !in_may) return false;
+
+  // Case 2, each side additionally guarded by the other endpoint's hub bit.
+  if (out_may && (so & HubSignatureBit(aid_[t])) != 0 &&
+      ContainsEntry(Lout(s), aid_[t], mr)) {
+    return true;
+  }
+  if (in_may && (si & HubSignatureBit(aid_[s])) != 0 &&
+      ContainsEntry(Lin(t), aid_[s], mr)) {
+    return true;
+  }
+
+  // Case 1 needs the MR on both sides and at least one shared hub bit.
+  if (out_may && in_may && (so & si & kSigHubMask) != 0) {
+    return JoinHasCommonHub(Lout(s), Lin(t), mr);
+  }
+  return false;
 }
 
 void RlcIndex::QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
@@ -85,12 +123,15 @@ void RlcIndex::QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
     return;
   }
   // Two-stage lookahead: by the time a probe is merged-joined, its offset
-  // loads were issued kOffsetLead probes ago and its entry-buffer loads
-  // kEntryLead probes ago (the entry prefetch needs the offsets resident,
-  // hence the shorter distance). 8/4 measured best on the 20K/100K ER
-  // workload; beyond ~16 the prefetches start evicting still-needed lines.
+  // and signature loads were issued kOffsetLead probes ago and its
+  // entry-buffer loads kEntryLead probes ago (the entry prefetch needs the
+  // offsets resident, hence the shorter distance). 8/4 measured best on the
+  // 20K/100K ER workload; beyond ~16 the prefetches start evicting
+  // still-needed lines.
   constexpr size_t kOffsetLead = 8;
   constexpr size_t kEntryLead = 4;
+  const bool with_sigs = use_signatures_ && mr < mr_query_sig_.size();
+  const uint64_t needed = with_sigs ? mr_query_sig_[mr] : 0;
   const size_t n = probes.size();
   for (size_t i = 0; i < n; ++i) {
     if (i + kOffsetLead < n) {
@@ -99,46 +140,51 @@ void RlcIndex::QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
       PrefetchRead(&in_offsets_[p.t]);
       PrefetchRead(&aid_[p.s]);
       PrefetchRead(&aid_[p.t]);
+      if (with_sigs) {
+        PrefetchRead(&out_sigs_[p.s]);
+        PrefetchRead(&in_sigs_[p.t]);
+      }
     }
     if (i + kEntryLead < n) {
       const VertexPair& p = probes[i + kEntryLead];
       PrefetchRead(out_entries_.data() + out_offsets_[p.s]);
       PrefetchRead(in_entries_.data() + in_offsets_[p.t]);
     }
-    answers[i] = QueryInterned(probes[i].s, probes[i].t, mr) ? 1 : 0;
+    answers[i] = (with_sigs
+                      ? QuerySealedSigned(probes[i].s, probes[i].t, mr, needed)
+                      : QueryInterned(probes[i].s, probes[i].t, mr))
+                     ? 1
+                     : 0;
   }
 }
 
 bool RlcIndex::JoinHasCommonHub(std::span<const IndexEntry> lout,
                                 std::span<const IndexEntry> lin, MrId mr) {
   if (lout.empty() || lin.empty()) return false;
+  // Extreme skew: gallop over the raw entry lists, never touching most of
+  // the long one.
   if (lout.size() > lin.size() * kGallopRatio) return GallopJoin(lin, lout, mr);
   if (lin.size() > lout.size() * kGallopRatio) return GallopJoin(lout, lin, mr);
 
-  // Merge join over the access-id-sorted entry lists.
-  size_t i = 0, j = 0;
-  while (i < lout.size() && j < lin.size()) {
-    const uint32_t ha = lout[i].hub_aid;
-    const uint32_t hb = lin[j].hub_aid;
-    if (ha < hb) {
-      ++i;
-    } else if (hb < ha) {
-      ++j;
-    } else {
-      bool out_has = false;
-      bool in_has = false;
-      while (i < lout.size() && lout[i].hub_aid == ha) {
-        out_has |= (lout[i].mr == mr);
-        ++i;
-      }
-      while (j < lin.size() && lin[j].hub_aid == ha) {
-        in_has |= (lin[j].mr == mr);
-        ++j;
-      }
-      if (out_has && in_has) return true;
-    }
-  }
-  return false;
+  // Comparable lengths: left-pack each side to the hub access ids that
+  // carry `mr` (branch-free, SIMD when available), then run the hybrid
+  // existence intersection over the two sorted hub arrays. The builder
+  // never stores duplicate (hub, mr) pairs, so the packed arrays are
+  // strictly increasing — and the kernels tolerate duplicates anyway.
+  thread_local std::vector<uint32_t> packed_out;
+  thread_local std::vector<uint32_t> packed_in;
+  if (packed_out.size() < lout.size()) packed_out.resize(lout.size());
+  if (packed_in.size() < lin.size()) packed_in.resize(lin.size());
+  static_assert(sizeof(IndexEntry) == 2 * sizeof(uint32_t));
+  const size_t na = simd::FilterFirstBySecond(
+      reinterpret_cast<const uint32_t*>(lout.data()), lout.size(), mr,
+      packed_out.data());
+  if (na == 0) return false;
+  const size_t nb = simd::FilterFirstBySecond(
+      reinterpret_cast<const uint32_t*>(lin.data()), lin.size(), mr,
+      packed_in.data());
+  if (nb == 0) return false;
+  return simd::HasCommonElement(packed_out.data(), na, packed_in.data(), nb);
 }
 
 bool RlcIndex::GallopJoin(std::span<const IndexEntry> small,
@@ -218,19 +264,69 @@ void Flatten(std::vector<std::vector<IndexEntry>>& lists,
 
 }  // namespace
 
+uint64_t RlcIndex::LabelSignature(std::span<const Label> labels) {
+  uint64_t bits = 0;
+  for (const Label l : labels) bits |= uint64_t{1} << (32 + (l & 15));
+  return bits;
+}
+
+uint64_t RlcIndex::ListSignature(std::span<const IndexEntry> entries) const {
+  uint64_t sig = 0;
+  for (const IndexEntry& e : entries) {
+    sig |= HubSignatureBit(e.hub_aid) |
+           LabelSignature(mrs_.Get(e.mr).labels()) | MrBloomBit(e.mr);
+  }
+  return sig;
+}
+
+void RlcIndex::ComputeSignatures(bool keep_vertex_sigs) {
+  RLC_DCHECK(sealed_);
+  // Per-MR required bits, reused both here (folding entry contributions)
+  // and by every signature-guarded query.
+  mr_query_sig_.resize(mrs_.size());
+  for (MrId id = 0; id < mrs_.size(); ++id) {
+    mr_query_sig_[id] = LabelSignature(mrs_.Get(id).labels()) | MrBloomBit(id);
+  }
+  if (keep_vertex_sigs && out_sigs_.size() == aid_.size() &&
+      in_sigs_.size() == aid_.size()) {
+    return;  // adopted from a v3 file
+  }
+  const VertexId n = num_vertices();
+  out_sigs_.assign(n, 0);
+  in_sigs_.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t sig = 0;
+    for (const IndexEntry& e : Csr(out_offsets_, out_entries_, v)) {
+      sig |= HubSignatureBit(e.hub_aid) | mr_query_sig_[e.mr];
+    }
+    out_sigs_[v] = sig;
+    sig = 0;
+    for (const IndexEntry& e : Csr(in_offsets_, in_entries_, v)) {
+      sig |= HubSignatureBit(e.hub_aid) | mr_query_sig_[e.mr];
+    }
+    in_sigs_[v] = sig;
+  }
+}
+
 void RlcIndex::Seal() {
   if (sealed_) return;
   Flatten(out_, out_offsets_, out_entries_);
   Flatten(in_, in_offsets_, in_entries_);
   sealed_ = true;
+  ComputeSignatures(/*keep_vertex_sigs=*/false);
 }
 
 void RlcIndex::AdoptSealed(std::vector<uint64_t> out_offsets,
                            std::vector<IndexEntry> out_entries,
                            std::vector<uint64_t> in_offsets,
-                           std::vector<IndexEntry> in_entries) {
+                           std::vector<IndexEntry> in_entries,
+                           std::vector<uint64_t> out_sigs,
+                           std::vector<uint64_t> in_sigs) {
   RLC_CHECK_MSG(!sealed_ && NumEntries() == 0,
                 "RlcIndex::AdoptSealed: index already has entries");
+  RLC_REQUIRE(out_sigs.size() == in_sigs.size() &&
+                  (out_sigs.empty() || out_sigs.size() == aid_.size()),
+              "AdoptSealed: signature array size mismatch");
   auto validate = [&](const std::vector<uint64_t>& offsets,
                       const std::vector<IndexEntry>& entries) {
     RLC_REQUIRE(offsets.size() == aid_.size() + 1,
@@ -252,11 +348,15 @@ void RlcIndex::AdoptSealed(std::vector<uint64_t> out_offsets,
   out_entries_ = std::move(out_entries);
   in_offsets_ = std::move(in_offsets);
   in_entries_ = std::move(in_entries);
+  const bool adopted_sigs = !out_sigs.empty() || aid_.empty();
+  out_sigs_ = std::move(out_sigs);
+  in_sigs_ = std::move(in_sigs);
   out_.clear();
   out_.shrink_to_fit();
   in_.clear();
   in_.shrink_to_fit();
   sealed_ = true;
+  ComputeSignatures(/*keep_vertex_sigs=*/adopted_sigs);
 }
 
 uint64_t RlcIndex::NumEntries() const {
@@ -274,6 +374,9 @@ uint64_t RlcIndex::MemoryBytes() const {
   if (sealed_) {
     bytes += (out_offsets_.capacity() + in_offsets_.capacity()) * sizeof(uint64_t);
     bytes += (out_entries_.capacity() + in_entries_.capacity()) * sizeof(IndexEntry);
+    bytes += (out_sigs_.capacity() + in_sigs_.capacity() +
+              mr_query_sig_.capacity()) *
+             sizeof(uint64_t);
   } else {
     for (const auto& e : out_) bytes += e.size() * sizeof(IndexEntry);
     for (const auto& e : in_) bytes += e.size() * sizeof(IndexEntry);

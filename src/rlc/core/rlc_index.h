@@ -21,6 +21,16 @@
 // removes a pointer chase per query, halves allocator metadata, and enables
 // the memcpy'd v2 serialization format (index_io.h). Queries work in either
 // phase; mutation is only allowed before sealing.
+//
+// Sealing additionally computes one 64-bit *signature* per (vertex, side):
+// a hub-id Bloom filter (bits 0-31), a label presence mask (bits 32-47) and
+// an MR-id Bloom filter (bits 48-63) folded over the side's entry list. A
+// query first ANDs the signatures of Lout(s) and Lin(t) against the bits
+// its MR requires; most negative probes are refuted by those two loads
+// alone, before any entry list is touched. Signatures are conservative
+// (never a false negative), so answers are bit-identical with them on or
+// off. They persist in the v3 file format and are rebuilt on load when
+// absent (v1/v2 files).
 
 #pragma once
 
@@ -111,6 +121,45 @@ class RlcIndex {
   static void ValidateConstraint(const LabelSeq& constraint, uint32_t k);
   ///@}
 
+  /// \name Vertex signatures (sealed-time query prefilter)
+  ///@{
+
+  /// Toggles the signature prefilter on the query path (default on).
+  /// Answers are identical either way — the toggle exists so benchmarks can
+  /// attribute the win (bench_query_kernel signatures on/off sweeps).
+  void set_use_signatures(bool on) { use_signatures_ = on; }
+  bool use_signatures() const { return use_signatures_; }
+
+  /// Signature of Lout(v) / Lin(v): the stored array when sealed, computed
+  /// on the fly otherwise (index_io uses this to write identical bytes for
+  /// sealed and unsealed indexes).
+  uint64_t OutSignature(VertexId v) const {
+    return out_sigs_.empty() ? ListSignature(Lout(v)) : out_sigs_[v];
+  }
+  uint64_t InSignature(VertexId v) const {
+    return in_sigs_.empty() ? ListSignature(Lin(v)) : in_sigs_[v];
+  }
+
+  /// The label-mask part of the bits a query for a constraint requires on a
+  /// side — computable from a raw constraint without interning it, which
+  /// lets callers refute before even hashing the sequence (FindMr /
+  /// MrCache::Get). A side whose signature lacks any of these bits provably
+  /// contains no entry whose MR uses exactly these labels.
+  static uint64_t LabelSignature(std::span<const Label> labels);
+
+  /// Signature-only refutation for a pure RLC query (s, t, labels): true
+  /// when neither Lout(s) nor Lin(t) can contain an entry whose MR uses
+  /// exactly `labels`, which refutes all three query cases. Never refutes
+  /// on an unsealed index or with signatures disabled.
+  bool RefutedBySignature(VertexId s, VertexId t,
+                          std::span<const Label> labels) const {
+    if (out_sigs_.empty() || !use_signatures_) return false;
+    const uint64_t needed = LabelSignature(labels);
+    return (out_sigs_[s] & needed) != needed &&
+           (in_sigs_[t] & needed) != needed;
+  }
+  ///@}
+
   /// \name Builder interface
   ///@{
   void SetAccessOrder(std::vector<VertexId> order_to_vertex);
@@ -123,18 +172,25 @@ class RlcIndex {
   /// and introspection APIs are unaffected (and faster).
   void Seal();
 
-  /// True once Seal() has run (or the index was loaded from a v2 file).
+  /// True once Seal() has run (or the index was loaded from disk; loaded
+  /// indexes are always sealed).
   bool sealed() const { return sealed_; }
 
-  /// Installs pre-built CSR storage (the v2 deserialization path). Offsets
-  /// must be monotone with offsets.front() == 0, offsets.back() ==
+  /// Installs pre-built CSR storage (the v2/v3 deserialization path).
+  /// Offsets must be monotone with offsets.front() == 0, offsets.back() ==
   /// entries.size() and size num_vertices()+1; entry lists must be sorted by
-  /// hub access id.
+  /// hub access id. When signature arrays are provided (v3 files) they must
+  /// have num_vertices() slots each and are installed as-is; when empty
+  /// they are rebuilt from the entry lists (v1/v2 files). The MR table must
+  /// already hold every MR the entries reference (signatures fold MR label
+  /// sets).
   /// \throws std::invalid_argument on violation.
   void AdoptSealed(std::vector<uint64_t> out_offsets,
                    std::vector<IndexEntry> out_entries,
                    std::vector<uint64_t> in_offsets,
-                   std::vector<IndexEntry> in_entries);
+                   std::vector<IndexEntry> in_entries,
+                   std::vector<uint64_t> out_sigs = {},
+                   std::vector<uint64_t> in_sigs = {});
   ///@}
 
   /// \name Introspection
@@ -172,14 +228,40 @@ class RlcIndex {
   ///@}
 
  private:
+  /// Signature layout: bits [0,32) hub Bloom, [32,48) label mask, [48,64)
+  /// MR Bloom. The split keeps label/MR refutation (negative probes whose
+  /// MR is absent from a side) independent from hub refutation (probes
+  /// whose sides share no hub).
+  static constexpr uint64_t kSigHubMask = 0x00000000FFFFFFFFULL;
+
+  static uint64_t HubSignatureBit(uint32_t hub_aid) {
+    return uint64_t{1} << ((hub_aid * 0x9E3779B1u) >> 27);  // top 5 bits
+  }
+  static uint64_t MrBloomBit(MrId mr) {
+    return uint64_t{1} << (48 + (((mr + 1) * 0x85EBCA77u) >> 28));
+  }
+
+  /// Signature of one entry list (used for unsealed writes and rebuilds).
+  uint64_t ListSignature(std::span<const IndexEntry> entries) const;
+
+  /// Fills out_sigs_/in_sigs_ (unless adopted from a v3 file) and the
+  /// per-MR required-bit table. Requires sealed CSR storage and a frozen MR
+  /// table.
+  void ComputeSignatures(bool keep_vertex_sigs);
+
+  /// The sealed signature-guarded query: `needed` is mr_query_sig_[mr].
+  bool QuerySealedSigned(VertexId s, VertexId t, MrId mr,
+                         uint64_t needed) const;
+
   static bool ContainsEntry(std::span<const IndexEntry> entries,
                             uint32_t hub_aid, MrId mr);
 
-  /// Case-1 join: true iff some hub aid carries `mr` on both sides. Uses a
-  /// linear merge when the lists are comparable in length and a galloping
-  /// (exponential + binary search) probe of the longer list when they are
-  /// badly skewed — hub vertices accumulate huge Lin/Lout lists while most
-  /// vertices keep a handful of entries.
+  /// Case-1 join: true iff some hub aid carries `mr` on both sides. For
+  /// badly skewed pairs (hub vertices accumulate huge Lin/Lout lists while
+  /// most vertices keep a handful of entries) the longer list is galloped;
+  /// comparable pairs are compacted to the hub ids carrying `mr` (SIMD
+  /// left-packing, util/simd.h) and intersected with the hybrid
+  /// merge/block kernel.
   static bool JoinHasCommonHub(std::span<const IndexEntry> lout,
                                std::span<const IndexEntry> lin, MrId mr);
   static bool GallopJoin(std::span<const IndexEntry> small,
@@ -194,6 +276,7 @@ class RlcIndex {
 
   uint32_t k_;
   bool sealed_ = false;
+  bool use_signatures_ = true;
   // Build-phase storage (empty once sealed).
   std::vector<std::vector<IndexEntry>> out_;
   std::vector<std::vector<IndexEntry>> in_;
@@ -202,6 +285,10 @@ class RlcIndex {
   std::vector<IndexEntry> out_entries_;
   std::vector<uint64_t> in_offsets_;
   std::vector<IndexEntry> in_entries_;
+  // Sealed signature storage (empty until sealed).
+  std::vector<uint64_t> out_sigs_;  // vertex -> signature of Lout(v)
+  std::vector<uint64_t> in_sigs_;   // vertex -> signature of Lin(v)
+  std::vector<uint64_t> mr_query_sig_;  // mr -> bits a query for mr needs
   std::vector<uint32_t> aid_;       // vertex id -> access id (1-based)
   std::vector<VertexId> order_;     // access id - 1 -> vertex id
   MrTable mrs_;

@@ -26,11 +26,15 @@ bool RlcHybridEngine::Evaluate(VertexId s, VertexId t,
   if (prefilter_ != nullptr && !prefilter_->Reachable(s, t)) return false;
 
   // Fast path: a pure RLC constraint is one index lookup, with the MR id
-  // memoized across Evaluate calls (replays repeat a few templates).
+  // memoized across Evaluate calls (replays repeat a few templates). The
+  // label-signature check runs before even hashing the sequence
+  // (mr_cache_.Get/FindMr): when neither Lout(s) nor Lin(t) can hold an
+  // entry over these labels the answer is false without a table lookup.
   if (atoms.size() == 1) {
     RLC_REQUIRE(IsPrimitive(last.seq.labels()),
                 "RlcHybridEngine: constraint " << last.seq.ToString()
                     << " is not a minimum repeat (L != MR(L))");
+    if (index_.RefutedBySignature(s, t, last.seq.labels())) return false;
     return index_.QueryInterned(s, t, mr_cache_.Get(last.seq));
   }
 

@@ -39,6 +39,10 @@ class RlcHybridEngine : public Engine {
 
   bool Evaluate(VertexId s, VertexId t, const PathConstraint& constraint) override;
 
+  /// Telemetry of the final-atom MR memo (lookups/hits/evictions); the
+  /// eviction counters bound the damage of adversarial template streams.
+  const MrCacheStats& mr_cache_stats() const { return mr_cache_.stats(); }
+
  private:
   const DiGraph& g_;
   const RlcIndex& index_;

@@ -1,0 +1,69 @@
+// Internal helper for the batched executors: a list of grouped CSR probe
+// jobs and a runner that executes them either inline or fanned out across
+// a worker pool.
+//
+// A job is one (index, MR, probe pairs) group — or a chunk of one, when a
+// group is big enough to split for load balance. Jobs touch only their own
+// pairs/answers buffers and the (const, thread-safe) query path of their
+// index, so running them in any order on any thread produces the same
+// buffers; the caller splices the per-job answers back in probe order,
+// which keeps batch execution bit-identical for every thread count.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "rlc/core/rlc_index.h"
+#include "rlc/util/thread_pool.h"
+
+namespace rlc::internal {
+
+struct KernelJob {
+  const RlcIndex* index = nullptr;
+  MrId mr = kInvalidMrId;
+  std::vector<VertexPair> pairs;
+  std::vector<uint8_t> answers;  ///< filled by RunKernelJobs
+};
+
+/// Appends jobs covering positions [0, count) of one probe group against
+/// (index, mr), split into chunks of at most `chunk` probes (>= 1) so one
+/// big group still spreads across a pool. `pair_of(i)` yields the probe
+/// pair at group position i; positions stay in order across the appended
+/// jobs, so the caller can splice answers back by walking them
+/// sequentially.
+template <typename PairFn>
+void AppendChunkedJobs(const RlcIndex& index, MrId mr, size_t count,
+                       size_t chunk, PairFn&& pair_of,
+                       std::vector<KernelJob>& jobs) {
+  for (size_t begin = 0; begin < count; begin += chunk) {
+    const size_t end = std::min(count, begin + chunk);
+    KernelJob job;
+    job.index = &index;
+    job.mr = mr;
+    job.pairs.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) job.pairs.push_back(pair_of(i));
+    jobs.push_back(std::move(job));
+  }
+}
+
+/// Executes every job's grouped CSR pass. `pool` may be null (run inline).
+inline void RunKernelJobs(std::vector<KernelJob>& jobs, ThreadPool* pool) {
+  auto run_one = [](KernelJob& job) {
+    job.answers.assign(job.pairs.size(), 0);
+    job.index->QueryGroupInterned(job.mr, job.pairs, job.answers);
+  };
+  if (pool == nullptr || jobs.size() <= 1) {
+    for (KernelJob& job : jobs) run_one(job);
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  pool->Run([&](uint32_t) {
+    for (size_t j; (j = cursor.fetch_add(1)) < jobs.size();) {
+      run_one(jobs[j]);
+    }
+  });
+}
+
+}  // namespace rlc::internal

@@ -1,10 +1,18 @@
 #include "rlc/serve/query_batch.h"
 
+#include <algorithm>
+#include <memory>
+
+#include "rlc/serve/kernel_jobs.h"
 #include "rlc/util/common.h"
+#include "rlc/util/thread_pool.h"
 
 namespace rlc {
 
-AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch) {
+AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch,
+                         const ExecuteOptions& options) {
+  RLC_REQUIRE(options.probes_per_job >= 1,
+              "ExecuteBatch: probes_per_job must be >= 1");
   AnswerBatch out;
   out.answers.assign(batch.num_probes(), 0);
 
@@ -31,20 +39,48 @@ AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch) {
     by_seq[p.seq_id].push_back(i);
   }
 
-  std::vector<VertexPair> pairs;
-  std::vector<uint8_t> group_answers;
+  // One chunked job run per bucket. Each job owns its pair/answer buffers;
+  // a group's jobs cover its bucket positions in order, so the splice walks
+  // them sequentially.
+  struct GroupRef {
+    const std::vector<uint32_t>* bucket;
+    size_t first_job;
+  };
+  std::vector<internal::KernelJob> jobs;
+  std::vector<GroupRef> group_refs;
   for (size_t seq_id = 0; seq_id < by_seq.size(); ++seq_id) {
     const std::vector<uint32_t>& bucket = by_seq[seq_id];
     if (bucket.empty()) continue;
     if (mr_of[seq_id] == kInvalidMrId) continue;  // never recorded: all false
     ++out.num_groups;
-    pairs.clear();
-    pairs.reserve(bucket.size());
-    for (const uint32_t i : bucket) pairs.push_back({probes[i].s, probes[i].t});
-    group_answers.assign(bucket.size(), 0);
-    index.QueryGroupInterned(mr_of[seq_id], pairs, group_answers);
-    for (size_t j = 0; j < bucket.size(); ++j) {
-      out.answers[bucket[j]] = group_answers[j];
+    group_refs.push_back({&bucket, jobs.size()});
+    internal::AppendChunkedJobs(
+        index, mr_of[seq_id], bucket.size(), options.probes_per_job,
+        [&](size_t i) {
+          return VertexPair{probes[bucket[i]].s, probes[bucket[i]].t};
+        },
+        jobs);
+  }
+
+  // Fan the jobs out when the caller provided (or asked for) workers.
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr && options.num_threads != 1 && jobs.size() > 1) {
+    const uint32_t threads = ThreadPool::ResolveThreads(options.num_threads);
+    if (threads > 1) {
+      owned = std::make_unique<ThreadPool>(threads);
+      pool = owned.get();
+    }
+  }
+  internal::RunKernelJobs(jobs, pool);
+
+  // Splice the per-job buffers back in probe order.
+  for (const GroupRef& group : group_refs) {
+    size_t pos = 0;
+    for (size_t j = group.first_job; pos < group.bucket->size(); ++j) {
+      for (const uint8_t a : jobs[j].answers) {
+        out.answers[(*group.bucket)[pos++]] = a;
+      }
     }
   }
   return out;

@@ -28,6 +28,8 @@
 
 namespace rlc {
 
+class ThreadPool;  // util/thread_pool.h
+
 /// One probe: endpoints plus the batch-local id of an interned sequence.
 struct BatchProbe {
   VertexId s = 0;
@@ -83,12 +85,35 @@ struct AnswerBatch {
                               ///< (sharded executor only)
 };
 
+/// Execution knobs for the single-index executor.
+struct ExecuteOptions {
+  /// Worker threads for the grouped CSR passes. 1 = run on the caller's
+  /// thread (no pool); 0 = all hardware threads. With more than one
+  /// thread the probe groups are partitioned across a pool and answered
+  /// into per-job buffers that are spliced back in probe order — answers
+  /// and counters are identical for every thread count.
+  uint32_t num_threads = 1;
+  /// Reuse an existing pool instead of spawning one per call (overrides
+  /// num_threads). The pool is only borrowed for the duration of the call.
+  ThreadPool* pool = nullptr;
+  /// Groups larger than this split into multiple jobs so a batch dominated
+  /// by one template still spreads across the pool.
+  size_t probes_per_job = 8192;
+};
+
 /// Executes `batch` against one whole-graph index: validates and resolves
 /// each distinct sequence once, then runs one grouped CSR pass per distinct
-/// MR. Answers are identical to calling index.Query per probe.
+/// MR — in parallel across (chunked) groups when `options` provides
+/// threads. Answers are identical to calling index.Query per probe, for
+/// every thread count.
 /// \throws std::invalid_argument on an invalid sequence (empty, longer than
 ///         the index's k, or non-primitive), an out-of-range probe vertex,
 ///         or an out-of-range seq_id.
-AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch);
+AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch,
+                         const ExecuteOptions& options);
+inline AnswerBatch ExecuteBatch(const RlcIndex& index,
+                                const QueryBatch& batch) {
+  return ExecuteBatch(index, batch, ExecuteOptions{});
+}
 
 }  // namespace rlc

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "rlc/serve/kernel_jobs.h"
 #include "rlc/util/thread_pool.h"
 #include "rlc/util/timer.h"
 
@@ -67,6 +68,10 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
     online_ = std::make_unique<OnlineSearcher>(g_);
   }
   stats_.prefilter_build_seconds = timer.ElapsedSeconds();
+
+  const uint32_t exec_threads =
+      ThreadPool::ResolveThreads(options_.exec_threads);
+  if (exec_threads > 1) exec_pool_ = std::make_unique<ThreadPool>(exec_threads);
 }
 
 const ShardedRlcService::SeqEntry& ShardedRlcService::Resolve(
@@ -77,7 +82,11 @@ const ShardedRlcService::SeqEntry& ShardedRlcService::Resolve(
   // Bound the memo so adversarial template churn cannot grow a long-lived
   // serving process without limit; a flush only costs re-resolution.
   // Execute pre-flushes instead (it holds entry pointers across inserts).
-  if (seq_cache_.size() >= kMaxCachedSequences) seq_cache_.clear();
+  if (seq_cache_.size() >= kMaxCachedSequences) {
+    ++stats_.seq_cache_flushes;
+    stats_.seq_cache_evictions += seq_cache_.size();
+    seq_cache_.clear();
+  }
   RlcIndex::ValidateConstraint(seq, options_.indexer.k);
   SeqEntry entry;
   entry.shard_mr.resize(partition_.num_shards());
@@ -143,7 +152,11 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
   RLC_REQUIRE(seqs.size() <= kMaxCachedSequences,
               "ShardedRlcService::Execute: batch has " << seqs.size()
                   << " distinct sequences (limit " << kMaxCachedSequences << ")");
-  if (seq_cache_.size() + seqs.size() > kMaxCachedSequences) seq_cache_.clear();
+  if (seq_cache_.size() + seqs.size() > kMaxCachedSequences) {
+    ++stats_.seq_cache_flushes;
+    stats_.seq_cache_evictions += seq_cache_.size();
+    seq_cache_.clear();
+  }
   std::vector<const SeqEntry*> entries;
   entries.reserve(seqs.size());
   for (const LabelSeq& seq : seqs) entries.push_back(&Resolve(seq));
@@ -179,12 +192,34 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
   }
   stats_.queries += probes.size();
 
-  // Phase 1: grouped CSR probes on the shard indexes. Misses and cross-
-  // shard probes run through the boundary summary; survivors collect into
-  // per-sequence fallback buckets.
+  // Phase 1: grouped CSR probes on the shard indexes. The kernel passes of
+  // all executable groups fan out across the execution pool (per-job
+  // buffers, no shared mutable state); the routing decisions — boundary
+  // refutation, stats, fallback collection — then run sequentially over
+  // the job answers in group submission order, so every thread count
+  // produces identical answers and counters.
+  const size_t chunk = std::max<size_t>(size_t{1}, options_.exec_probes_per_job);
+  std::vector<internal::KernelJob> jobs;
+  std::vector<size_t> first_job(groups.size(), SIZE_MAX);
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const Group& group = groups[gi];
+    if (group.shard_plus_1 == 0) continue;
+    const uint32_t shard = group.shard_plus_1 - 1;
+    const MrId mr = entries[group.seq_id]->shard_mr[shard];
+    if (mr == kInvalidMrId) continue;
+    first_job[gi] = jobs.size();
+    internal::AppendChunkedJobs(
+        *shard_indexes_[shard], mr, group.probe_idx.size(), chunk,
+        [&](size_t i) {
+          const BatchProbe& p = probes[group.probe_idx[i]];
+          return VertexPair{partition_.LocalOf(p.s), partition_.LocalOf(p.t)};
+        },
+        jobs);
+  }
+  internal::RunKernelJobs(jobs, exec_pool_.get());
+
+  // Sequential routing pass over the shard answers.
   std::vector<std::vector<uint32_t>> pending(seqs.size());
-  std::vector<VertexPair> pairs;
-  std::vector<uint8_t> group_answers;
   auto route_cross = [&](uint32_t probe_i) {
     const BatchProbe& p = probes[probe_i];
     if (RefutedByBoundary(partition_.ShardOf(p.s), partition_.ShardOf(p.t),
@@ -195,13 +230,13 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
       pending[p.seq_id].push_back(probe_i);
     }
   };
-  for (const Group& group : groups) {
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const Group& group = groups[gi];
     if (group.shard_plus_1 == 0) {
       for (const uint32_t i : group.probe_idx) route_cross(i);
       continue;
     }
-    const uint32_t shard = group.shard_plus_1 - 1;
-    if (entries[group.seq_id]->shard_mr[shard] == kInvalidMrId) {
+    if (first_job[gi] == SIZE_MAX) {
       // The shard never recorded this MR: every probe is a shard miss
       // (matching ExecuteBatch, such groups do not count as executed).
       for (const uint32_t i : group.probe_idx) {
@@ -211,47 +246,68 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
       continue;
     }
     ++out.num_groups;
-    pairs.clear();
-    pairs.reserve(group.probe_idx.size());
+    size_t job = first_job[gi];
+    size_t k = 0;
     for (const uint32_t i : group.probe_idx) {
-      pairs.push_back(
-          {partition_.LocalOf(probes[i].s), partition_.LocalOf(probes[i].t)});
-    }
-    group_answers.assign(pairs.size(), 0);
-    shard_indexes_[shard]->QueryGroupInterned(
-        entries[group.seq_id]->shard_mr[shard], pairs, group_answers);
-    for (size_t j = 0; j < group.probe_idx.size(); ++j) {
-      if (group_answers[j]) {
-        out.answers[group.probe_idx[j]] = 1;
+      if (k == jobs[job].answers.size()) {
+        ++job;
+        k = 0;
+      }
+      if (jobs[job].answers[k++]) {
+        out.answers[i] = 1;
         ++stats_.intra_true;
       } else {
         ++stats_.intra_miss;
-        route_cross(group.probe_idx[j]);
+        route_cross(i);
       }
     }
   }
 
   // Phase 2: fallback. With the hybrid fallback the pending probes run as
   // grouped CSR probes on the whole-graph index (same answers as the
-  // engine's scalar path — the 2-hop prefilter only short-circuits);
-  // the online fallback evaluates probe by probe.
-  for (uint32_t seq_id = 0; seq_id < pending.size(); ++seq_id) {
-    const std::vector<uint32_t>& bucket = pending[seq_id];
-    if (bucket.empty()) continue;
-    stats_.fallback_probes += bucket.size();
-    out.num_fallback += bucket.size();
-    if (global_index_ != nullptr) {
+  // engine's scalar path — the 2-hop prefilter only short-circuits),
+  // again fanned out across the pool; the online fallback evaluates probe
+  // by probe on the caller's thread (the searcher's scratch is shared).
+  if (global_index_ != nullptr) {
+    std::vector<internal::KernelJob> fallback_jobs;
+    struct BucketRef {
+      uint32_t seq_id;
+      size_t first_job;
+    };
+    std::vector<BucketRef> bucket_refs;
+    for (uint32_t seq_id = 0; seq_id < pending.size(); ++seq_id) {
+      const std::vector<uint32_t>& bucket = pending[seq_id];
+      if (bucket.empty()) continue;
+      stats_.fallback_probes += bucket.size();
+      out.num_fallback += bucket.size();
       ++out.num_groups;
-      pairs.clear();
-      pairs.reserve(bucket.size());
-      for (const uint32_t i : bucket) pairs.push_back({probes[i].s, probes[i].t});
-      group_answers.assign(bucket.size(), 0);
-      global_index_->QueryGroupInterned(entries[seq_id]->global_mr, pairs,
-                                        group_answers);
-      for (size_t j = 0; j < bucket.size(); ++j) {
-        out.answers[bucket[j]] = group_answers[j];
+      bucket_refs.push_back({seq_id, fallback_jobs.size()});
+      internal::AppendChunkedJobs(
+          *global_index_,
+          entries[seq_id]->global_mr,  // may be kInvalidMrId: all 0
+          bucket.size(), chunk,
+          [&](size_t i) {
+            const BatchProbe& p = probes[bucket[i]];
+            return VertexPair{p.s, p.t};
+          },
+          fallback_jobs);
+    }
+    internal::RunKernelJobs(fallback_jobs, exec_pool_.get());
+    for (const BucketRef& ref : bucket_refs) {
+      const std::vector<uint32_t>& bucket = pending[ref.seq_id];
+      size_t pos = 0;
+      for (size_t j = ref.first_job; pos < bucket.size(); ++j) {
+        for (const uint8_t a : fallback_jobs[j].answers) {
+          out.answers[bucket[pos++]] = a;
+        }
       }
-    } else {
+    }
+  } else {
+    for (uint32_t seq_id = 0; seq_id < pending.size(); ++seq_id) {
+      const std::vector<uint32_t>& bucket = pending[seq_id];
+      if (bucket.empty()) continue;
+      stats_.fallback_probes += bucket.size();
+      out.num_fallback += bucket.size();
       for (const uint32_t i : bucket) {
         out.answers[i] = online_->QueryBiBfs(probes[i].s, probes[i].t,
                                              *entries[seq_id]->compiled)

@@ -39,6 +39,7 @@
 #include "rlc/plain/plain_reach_index.h"
 #include "rlc/serve/partitioner.h"
 #include "rlc/serve/query_batch.h"
+#include "rlc/util/thread_pool.h"
 
 namespace rlc {
 
@@ -57,6 +58,15 @@ struct ServiceOptions {
   /// Worker pool size for parallel shard (and fallback-index) builds;
   /// 0 = all hardware threads.
   uint32_t build_threads = 0;
+  /// Worker pool size for batched query execution (Execute): the (shard,
+  /// MR) probe groups fan out across a pool kept alive for the service's
+  /// lifetime, with per-job answer buffers spliced back in probe order.
+  /// 1 = execute on the caller's thread (default); 0 = all hardware
+  /// threads. Answers and stats are identical for every value.
+  uint32_t exec_threads = 1;
+  /// Split probe groups larger than this into multiple jobs so a batch
+  /// dominated by one (shard, MR) group still spreads across the pool.
+  size_t exec_probes_per_job = 8192;
   FallbackMode fallback = FallbackMode::kGlobalHybrid;
 };
 
@@ -69,6 +79,8 @@ struct ServiceStats {
   uint64_t fallback_probes = 0;  ///< answered by the fallback engine
   uint64_t batches = 0;
   uint64_t batch_groups = 0;     ///< (shard|fallback, MR) groups executed
+  uint64_t seq_cache_flushes = 0;    ///< constraint-memo capacity flushes
+  uint64_t seq_cache_evictions = 0;  ///< memo entries dropped by flushes
   double partition_seconds = 0.0;
   double index_build_seconds = 0.0;     ///< shard + fallback index builds
   double prefilter_build_seconds = 0.0; ///< 2-hop prefilter (kGlobalHybrid)
@@ -143,6 +155,10 @@ class ShardedRlcService {
   std::unique_ptr<RlcHybridEngine> fallback_engine_;
   // kOnline fallback.
   std::unique_ptr<OnlineSearcher> online_;
+  // Batched-execution worker pool (null when exec_threads resolves to 1).
+  // Only Execute uses it, and only between its fan-out barrier — the
+  // service's single-caller contract is unchanged.
+  std::unique_ptr<ThreadPool> exec_pool_;
   std::unordered_map<LabelSeq, SeqEntry, LabelSeqHash> seq_cache_;
   ServiceStats stats_;
 };

@@ -1,0 +1,267 @@
+// Portable SIMD kernels for the query path's set operations.
+//
+// The RLC query's Case-1 join reduces to two primitives over flat u32
+// arrays:
+//
+//   FilterFirstBySecond  — left-pack the first lane of interleaved
+//                          (key, tag) pairs whose tag equals a target.
+//                          This turns an IndexEntry list into the sorted
+//                          array of hub access ids that carry one MR.
+//   HasCommonElement     — existence-only intersection of two sorted u32
+//                          arrays, with the kernel selected by length
+//                          ratio: branch-free unrolled merge for
+//                          near-equal lengths, shuffle-based block
+//                          compare (SSE2/AVX2) for moderate skew, and
+//                          galloping for extreme skew.
+//
+// Every kernel has a scalar fallback with identical results; the SIMD
+// variants are compiled in when the target supports them (__SSE2__ /
+// __AVX2__, e.g. via -march=native or the RLC_NATIVE CMake option; note
+// x86-64 implies SSE2). All kernels are pure functions of their inputs —
+// no scratch state — so they are safe to call from concurrent query
+// threads.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#define RLC_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define RLC_SIMD_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace rlc::simd {
+
+/// Human-readable name of the instruction set the kernels compiled to
+/// (recorded into benchmark provenance).
+inline const char* KernelIsa() {
+#if defined(RLC_SIMD_AVX2)
+  return "avx2";
+#elif defined(RLC_SIMD_SSE2)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+/// Length-ratio thresholds of the kernel selector: pairs within kMergeRatio
+/// use the branch-free merge, beyond kGallopRatio they gallop, in between
+/// the block kernel runs. Exposed for the kernel benchmark's sweeps.
+inline constexpr size_t kMergeRatio = 2;
+inline constexpr size_t kGallopRatio = 64;
+
+/// Blocks shorter than this skip the SIMD setup entirely.
+inline constexpr size_t kMinBlockLen = 8;
+
+namespace detail {
+
+/// Scalar reference for FilterFirstBySecond: branch-free left-packing.
+inline size_t FilterScalar(const uint32_t* pairs, size_t n, uint32_t target,
+                           uint32_t* out) {
+  size_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[m] = pairs[2 * i];
+    m += (pairs[2 * i + 1] == target) ? 1 : 0;
+  }
+  return m;
+}
+
+}  // namespace detail
+
+/// Left-packs pairs[2i] for every i in [0,n) with pairs[2i+1] == target into
+/// `out` (which must have room for n values), preserving order; returns the
+/// number of values written. `out` may be written beyond the returned count
+/// (up to n slots) with garbage — callers size the buffer to n.
+inline size_t FilterFirstBySecond(const uint32_t* pairs, size_t n,
+                                  uint32_t target, uint32_t* out) {
+#if defined(RLC_SIMD_AVX2)
+  // Per 256-bit register: 4 (key, tag) pairs, tags in the odd u32 lanes.
+  // Compare tags, collapse the lane mask to 4 bits, and left-pack the
+  // matching key lanes with a looked-up cross-lane permutation.
+  alignas(32) static constexpr uint32_t kPack[16][8] = {
+      {0, 0, 0, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 0, 0, 0},
+      {2, 0, 0, 0, 0, 0, 0, 0}, {0, 2, 0, 0, 0, 0, 0, 0},
+      {4, 0, 0, 0, 0, 0, 0, 0}, {0, 4, 0, 0, 0, 0, 0, 0},
+      {2, 4, 0, 0, 0, 0, 0, 0}, {0, 2, 4, 0, 0, 0, 0, 0},
+      {6, 0, 0, 0, 0, 0, 0, 0}, {0, 6, 0, 0, 0, 0, 0, 0},
+      {2, 6, 0, 0, 0, 0, 0, 0}, {0, 2, 6, 0, 0, 0, 0, 0},
+      {4, 6, 0, 0, 0, 0, 0, 0}, {0, 4, 6, 0, 0, 0, 0, 0},
+      {2, 4, 6, 0, 0, 0, 0, 0}, {0, 2, 4, 6, 0, 0, 0, 0}};
+  const __m256i vt = _mm256_set1_epi32(static_cast<int>(target));
+  size_t m = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(pairs + 2 * i));
+    const __m256i eq = _mm256_cmpeq_epi32(v, vt);
+    const uint32_t lanes = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+    // Tag lanes are bits 1, 3, 5, 7.
+    const uint32_t k = ((lanes >> 1) & 1) | ((lanes >> 2) & 2) |
+                       ((lanes >> 3) & 4) | ((lanes >> 4) & 8);
+    const __m256i packed = _mm256_permutevar8x32_epi32(
+        v, _mm256_load_si256(reinterpret_cast<const __m256i*>(kPack[k])));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + m),
+                     _mm256_castsi256_si128(packed));
+    m += static_cast<size_t>(__builtin_popcount(k));
+  }
+  return m + detail::FilterScalar(pairs + 2 * i, n - i, target, out + m);
+#else
+  return detail::FilterScalar(pairs, n, target, out);
+#endif
+}
+
+/// Branch-free merge intersection (existence only) of two sorted u32
+/// arrays, unrolled 4 steps per bounds check. Duplicates are permitted;
+/// the arrays only need to be non-decreasing.
+inline bool MergeHasCommon(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb) {
+  size_t i = 0;
+  size_t j = 0;
+  // Each step advances exactly one cursor, so 4 steps stay in bounds as
+  // long as both cursors have 4 slots of headroom.
+  while (i + 4 <= na && j + 4 <= nb) {
+#define RLC_MERGE_STEP()          \
+  do {                            \
+    const uint32_t x = a[i];      \
+    const uint32_t y = b[j];      \
+    if (x == y) return true;      \
+    i += (x < y) ? 1 : 0;         \
+    j += (y < x) ? 1 : 0;         \
+  } while (0)
+    RLC_MERGE_STEP();
+    RLC_MERGE_STEP();
+    RLC_MERGE_STEP();
+    RLC_MERGE_STEP();
+#undef RLC_MERGE_STEP
+  }
+  while (i < na && j < nb) {
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    if (x == y) return true;
+    i += (x < y) ? 1 : 0;
+    j += (y < x) ? 1 : 0;
+  }
+  return false;
+}
+
+/// First position in [lo, n) with a[pos] >= key, by exponential probing
+/// then binary search. O(log distance from lo).
+inline size_t GallopLowerBound(const uint32_t* a, size_t n, size_t lo,
+                               uint32_t key) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < n && a[hi] < key) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  if (hi > n) hi = n;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (a[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Existence intersection for extreme skew: gallops over the long array
+/// (`b`, nb >> na) once per element of the short one.
+inline bool GallopHasCommon(const uint32_t* a, size_t na, const uint32_t* b,
+                            size_t nb) {
+  size_t lo = 0;
+  for (size_t i = 0; i < na; ++i) {
+    lo = GallopLowerBound(b, nb, lo, a[i]);
+    if (lo == nb) return false;
+    if (b[lo] == a[i]) return true;
+  }
+  return false;
+}
+
+/// Existence intersection via all-pairs block compares: one vector of each
+/// side is compared against every rotation of the other, then the block
+/// whose maximum is smaller advances. Falls back to the merge for tails.
+inline bool BlockHasCommon(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb) {
+#if defined(RLC_SIMD_AVX2)
+  size_t i = 0;
+  size_t j = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    // Rotate b by one lane seven times: every (a-lane, b-lane) pair is
+    // compared exactly once.
+    const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    __m256i any = _mm256_cmpeq_epi32(va, vb);
+    for (int r = 1; r < 8; ++r) {
+      vb = _mm256_permutevar8x32_epi32(vb, rot1);
+      any = _mm256_or_si256(any, _mm256_cmpeq_epi32(va, vb));
+    }
+    if (!_mm256_testz_si256(any, any)) return true;
+    const uint32_t amax = a[i + 7];
+    const uint32_t bmax = b[j + 7];
+    i += (amax <= bmax) ? 8 : 0;
+    j += (bmax <= amax) ? 8 : 0;
+  }
+  return MergeHasCommon(a + i, na - i, b + j, nb - j);
+#elif defined(RLC_SIMD_SSE2)
+  size_t i = 0;
+  size_t j = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i any = _mm_cmpeq_epi32(va, vb);
+    any = _mm_or_si128(
+        any, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    any = _mm_or_si128(
+        any, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    any = _mm_or_si128(
+        any, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    if (_mm_movemask_epi8(any) != 0) return true;
+    const uint32_t amax = a[i + 3];
+    const uint32_t bmax = b[j + 3];
+    i += (amax <= bmax) ? 4 : 0;
+    j += (bmax <= amax) ? 4 : 0;
+  }
+  return MergeHasCommon(a + i, na - i, b + j, nb - j);
+#else
+  return MergeHasCommon(a, na, b, nb);
+#endif
+}
+
+/// Existence intersection of two sorted u32 arrays with the kernel chosen
+/// by length ratio (see the ratio constants above). Equivalent to asking
+/// whether std::set_intersection would produce a non-empty result.
+inline bool HasCommonElement(const uint32_t* a, size_t na, const uint32_t* b,
+                             size_t nb) {
+  if (na == 0 || nb == 0) return false;
+  if (na > nb) {
+    const uint32_t* ta = a;
+    const size_t tna = na;
+    a = b;
+    na = nb;
+    b = ta;
+    nb = tna;
+  }
+  // Disjoint ranges never intersect; the endpoint compare is free relative
+  // to any kernel below.
+  if (a[na - 1] < b[0] || b[nb - 1] < a[0]) return false;
+  if (nb >= na * kGallopRatio) return GallopHasCommon(a, na, b, nb);
+  if (nb <= na * kMergeRatio || na < kMinBlockLen) {
+    return MergeHasCommon(a, na, b, nb);
+  }
+  return BlockHasCommon(a, na, b, nb);
+}
+
+}  // namespace rlc::simd

@@ -28,6 +28,10 @@ void ExpectSameIndex(const RlcIndex& a, const RlcIndex& b) {
     EXPECT_EQ(a.AccessId(v), b.AccessId(v));
     EXPECT_TRUE(std::ranges::equal(a.Lout(v), b.Lout(v))) << "Lout at v=" << v;
     EXPECT_TRUE(std::ranges::equal(a.Lin(v), b.Lin(v))) << "Lin at v=" << v;
+    // Signatures are a pure function of the lists, so they must agree no
+    // matter which format version (or rebuild path) produced each side.
+    EXPECT_EQ(a.OutSignature(v), b.OutSignature(v)) << "out sig at v=" << v;
+    EXPECT_EQ(a.InSignature(v), b.InSignature(v)) << "in sig at v=" << v;
   }
 }
 
@@ -115,7 +119,7 @@ TEST(IndexIoTest, CorruptV2EntriesRejected) {
   const DiGraph g = BuildFig2Graph();
   const RlcIndex index = BuildRlcIndex(g, 2);
   std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
-  WriteIndex(index, buf);
+  WriteIndex(index, buf, /*version=*/2);  // in v2 the file ends on an entry
   std::string bytes = buf.str();
   // Smash the last IndexEntry's mr id to an out-of-range value.
   ASSERT_GE(bytes.size(), 8u);
@@ -124,6 +128,91 @@ TEST(IndexIoTest, CorruptV2EntriesRejected) {
   }
   std::stringstream corrupt(bytes, std::ios::in | std::ios::binary);
   EXPECT_THROW(ReadIndex(corrupt), std::runtime_error);
+}
+
+TEST(IndexIoTest, V3RoundTripResaveIsByteIdentical) {
+  // v3 persists the vertex signatures; a load-then-save cycle must
+  // reproduce the file byte for byte (the adopted signatures equal the ones
+  // a rebuild would produce).
+  Rng rng(23);
+  auto edges = ErdosRenyiEdges(150, 600, rng);
+  AssignZipfLabels(&edges, 5, 2.0, rng);
+  const DiGraph g(150, std::move(edges), 5);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+
+  std::stringstream v3(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, v3, /*version=*/3);
+  const RlcIndex loaded = ReadIndex(v3);
+  ExpectSameIndex(index, loaded);
+
+  std::stringstream resaved(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(loaded, resaved, /*version=*/3);
+  EXPECT_EQ(v3.str(), resaved.str());
+}
+
+TEST(IndexIoTest, V2LoadRebuildsSignatures) {
+  // A legacy v2 file carries no signatures; the load must rebuild them so
+  // that re-saving as v3 is byte-identical to a direct v3 save.
+  Rng rng(29);
+  auto edges = ErdosRenyiEdges(120, 500, rng);
+  AssignZipfLabels(&edges, 4, 2.0, rng);
+  const DiGraph g(120, std::move(edges), 4);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+
+  std::stringstream v2(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, v2, /*version=*/2);
+  const RlcIndex from_v2 = ReadIndex(v2);
+  ExpectSameIndex(index, from_v2);
+
+  std::stringstream direct_v3(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, direct_v3, /*version=*/3);
+  std::stringstream resaved_v3(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(from_v2, resaved_v3, /*version=*/3);
+  EXPECT_EQ(direct_v3.str(), resaved_v3.str());
+}
+
+TEST(IndexIoTest, V1LoadRebuildsSignaturesToo) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  std::stringstream v1(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, v1, /*version=*/1);
+  const RlcIndex from_v1 = ReadIndex(v1);
+  std::stringstream direct_v3(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, direct_v3, /*version=*/3);
+  std::stringstream resaved_v3(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(from_v1, resaved_v3, /*version=*/3);
+  EXPECT_EQ(direct_v3.str(), resaved_v3.str());
+}
+
+TEST(IndexIoTest, CorruptV3SignaturesRejected) {
+  // Unlike entries (range-checked) a flipped signature bit would silently
+  // change answers, so the v3 checksum must reject it at load time.
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  std::stringstream v2(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, v2, /*version=*/2);
+  std::stringstream v3(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, v3, /*version=*/3);
+  std::string bytes = v3.str();
+  // Flip one bit inside the signature section (it starts where v2 ends).
+  bytes[v2.str().size() + 3] ^= 0x10;
+  std::stringstream corrupt(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(ReadIndex(corrupt), std::runtime_error);
+}
+
+TEST(IndexIoTest, TruncatedV3SignatureBlockRejected) {
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  std::stringstream full_v2(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, full_v2, /*version=*/2);
+  std::stringstream full_v3(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, full_v3, /*version=*/3);
+  const std::string v3 = full_v3.str();
+  ASSERT_GT(v3.size(), full_v2.str().size());
+  // Cut inside the signature section (v3 bytes beyond the v2 body length).
+  const size_t cut = full_v2.str().size() + 5;
+  std::stringstream trunc(v3.substr(0, cut), std::ios::in | std::ios::binary);
+  EXPECT_THROW(ReadIndex(trunc), std::runtime_error);
 }
 
 TEST(IndexIoTest, RoundTripEmptyIndex) {

@@ -199,6 +199,42 @@ TEST(ServingTest, MatchesWholeGraphOnErGraphs) {
   }
 }
 
+TEST(ServingTest, ParallelExecuteMatchesForEveryThreadCount) {
+  // The batched executor's fan-out must be invisible: answers and stats
+  // identical for every exec_threads / chunk size, both fallback modes.
+  const DiGraph g = RandomGraph(150, 600, 4, 23);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  for (const FallbackMode fallback :
+       {FallbackMode::kGlobalHybrid, FallbackMode::kOnline}) {
+    ServiceStats reference_stats;
+    bool have_reference = false;
+    for (const uint32_t threads : {1u, 2u, 5u}) {
+      for (const size_t chunk : {size_t{3}, size_t{8192}}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " chunk=" + std::to_string(chunk));
+        ServiceOptions options = Opts(4, PartitionPolicy::kHash, 2, fallback);
+        options.exec_threads = threads;
+        options.exec_probes_per_job = chunk;
+        ShardedRlcService service(g, options);
+        ExpectServiceMatchesIndex(g, index, service, 800, 23);
+        if (!have_reference) {
+          reference_stats = service.stats();
+          have_reference = true;
+        } else {
+          // Deterministic routing: telemetry equal across thread counts.
+          EXPECT_EQ(reference_stats.intra_true, service.stats().intra_true);
+          EXPECT_EQ(reference_stats.intra_miss, service.stats().intra_miss);
+          EXPECT_EQ(reference_stats.cross_refuted,
+                    service.stats().cross_refuted);
+          EXPECT_EQ(reference_stats.fallback_probes,
+                    service.stats().fallback_probes);
+          EXPECT_EQ(reference_stats.batch_groups, service.stats().batch_groups);
+        }
+      }
+    }
+  }
+}
+
 TEST(ServingTest, EmptyShardsAreHarmless) {
   // Range policy with more shards than the block count leaves the tail
   // shards empty; hash with 8 shards on 5 vertices leaves some empty too.
