@@ -1,0 +1,227 @@
+// Dynamic-maintenance cost: edge-insert throughput, query ns/probe as the
+// delta overlay grows, and reseal latency. Emits BENCH_updates.json.
+//
+// Protocol: build the static sealed index and measure the batched query
+// baseline (0% delta). Then insert random new edges through the dynamic
+// maintenance path until the pending-delta fraction crosses each checkpoint
+// (1%, 5%, 10% of the sealed entry count), re-measuring the query path at
+// every crossing — batched and scalar-interned, which must agree with each
+// other, and answers may only flip false -> true as edges arrive
+// (monotonicity; the harness aborts on a violation). Finally one forced
+// reseal is timed and the post-reseal (0% delta again) rate recorded.
+//
+//   $ ./bench_updates [num_vertices num_edges num_probes iters]
+//     defaults:          10000     40000     20000     3
+//
+// The acceptance ratio of interest (also a JSON summary field):
+// ns/probe at the <= 5% checkpoint divided by the fully-sealed baseline.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "rlc/core/dynamic_index.h"
+#include "rlc/core/indexer.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/serve/query_batch.h"
+#include "rlc/util/rng.h"
+#include "rlc/util/timer.h"
+
+using namespace rlc;
+
+namespace {
+
+double BestSeconds(int iters, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.ElapsedSeconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 10'000;
+  const uint64_t m = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 40'000;
+  const uint32_t num_probes =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 20'000;
+  const int iters = argc > 4 ? std::atoi(argv[4]) : 3;
+  const Label num_labels = 8;
+
+  Rng rng(7);
+  auto edges = ErdosRenyiEdges(n, m, rng);
+  AssignZipfLabels(&edges, num_labels, 2.0, rng);
+  const DiGraph g(n, std::move(edges), num_labels);
+  std::printf("graph: |V|=%u |E|=%llu |L|=%u, %u probes x %d iters\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              g.num_labels(), num_probes, iters);
+
+  Timer build_timer;
+  IndexerOptions build_opts;
+  build_opts.k = 2;
+  RlcIndexBuilder builder(g, build_opts);
+  ResealPolicy policy;
+  policy.max_delta_ratio = 1e9;  // checkpoints reseal manually below
+  DynamicRlcIndex dyn(g, builder.Build(), policy);
+  const uint64_t sealed_entries = dyn.index().NumEntries();
+  std::printf("index: %.2fs, %llu entries\n", build_timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(sealed_entries));
+
+  // Length-2 oracle-classified workload over the *base* graph, shuffled.
+  WorkloadOptions wopts;
+  wopts.count = num_probes / 2;
+  wopts.constraint_length = 2;
+  wopts.fill_true_with_walks = true;
+  Workload w = GenerateWorkload(g, wopts);
+  std::vector<RlcQuery> log = w.true_queries;
+  log.insert(log.end(), w.false_queries.begin(), w.false_queries.end());
+  Rng shuffle_rng(17);
+  for (size_t i = log.size(); i > 1; --i) {
+    std::swap(log[i - 1], log[shuffle_rng.Below(i)]);
+  }
+  QueryBatch batch;
+  for (const RlcQuery& q : log) batch.Add(q.s, q.t, q.constraint);
+  std::printf("workload: %zu probes, %u templates\n", log.size(),
+              batch.num_sequences());
+
+  bench::JsonWriter json("updates");
+  bool all_ok = true;
+  std::vector<uint8_t> prev_answers;
+
+  // One measurement of the current index state; verifies batched == scalar
+  // and answer monotonicity against the previous checkpoint.
+  auto measure = [&](const std::string& stage, double* batched_ns_out) {
+    const RlcIndex& index = dyn.index();
+    AnswerBatch batched;
+    const double batched_secs =
+        BestSeconds(iters, [&] { batched = ExecuteBatch(index, batch); });
+
+    std::vector<MrId> mr_of(batch.num_sequences());
+    for (uint32_t i = 0; i < batch.num_sequences(); ++i) {
+      mr_of[i] = index.FindMr(batch.sequence(i));
+    }
+    const std::vector<BatchProbe>& probes = batch.probes();
+    std::vector<uint8_t> scalar(probes.size());
+    const double scalar_secs = BestSeconds(iters, [&] {
+      for (size_t i = 0; i < probes.size(); ++i) {
+        scalar[i] = index.QueryInterned(probes[i].s, probes[i].t,
+                                        mr_of[probes[i].seq_id])
+                        ? 1
+                        : 0;
+      }
+    });
+
+    bool agree = batched.answers == scalar;
+    bool monotone = true;
+    if (!prev_answers.empty()) {
+      for (size_t i = 0; i < scalar.size(); ++i) {
+        monotone = monotone && (prev_answers[i] <= scalar[i]);
+      }
+    }
+    prev_answers = scalar;
+    all_ok = all_ok && agree && monotone;
+
+    const double batched_ns = batched_secs * 1e9 / static_cast<double>(log.size());
+    const double scalar_ns = scalar_secs * 1e9 / static_cast<double>(log.size());
+    std::printf(
+        "%-14s: %8.1f ns/probe batched  %8.1f scalar  delta %6.2f%%  %s%s\n",
+        stage.c_str(), batched_ns, scalar_ns, index.DeltaRatio() * 100.0,
+        agree ? "ok" : "MISMATCH", monotone ? "" : " NON-MONOTONE");
+    json.AddRecord()
+        .Set("stage", stage)
+        .Set("num_vertices", n)
+        .Set("num_edges", m)
+        .Set("probes", static_cast<uint64_t>(log.size()))
+        .Set("delta_ratio", index.DeltaRatio())
+        .Set("delta_entries", index.delta_entries())
+        .Set("ns_per_probe_batched", batched_ns)
+        .Set("ns_per_probe_scalar", scalar_ns)
+        .Set("agree", agree)
+        .Set("monotone", monotone);
+    if (batched_ns_out != nullptr) *batched_ns_out = batched_ns;
+  };
+
+  double baseline_ns = 0.0;
+  measure("delta_0", &baseline_ns);
+
+  // Grow the overlay through the checkpoints, timing the inserts.
+  Rng edge_rng(23);
+  auto random_new_edge = [&] {
+    for (;;) {
+      const auto u = static_cast<VertexId>(edge_rng.Below(n));
+      const auto v = static_cast<VertexId>(edge_rng.Below(n));
+      const auto l = static_cast<Label>(edge_rng.Below(num_labels));
+      if (!dyn.HasEdge(u, l, v)) return EdgeUpdate{u, l, v};
+    }
+  };
+  const uint64_t insert_cap = std::max<uint64_t>(64, m / 5);
+  double ns_at_5pct = baseline_ns;
+  for (const double target : {0.01, 0.05, 0.10}) {
+    uint64_t inserts = 0;
+    Timer insert_timer;
+    while (dyn.index().DeltaRatio() < target &&
+           dyn.stats().edges_inserted < insert_cap) {
+      const EdgeUpdate e = random_new_edge();
+      dyn.InsertEdge(e.src, e.label, e.dst);
+      ++inserts;
+    }
+    const double insert_secs = insert_timer.ElapsedSeconds();
+    const double rate = inserts == 0
+                            ? 0.0
+                            : static_cast<double>(inserts) / insert_secs;
+    std::printf("-> +%llu inserts (%.0f/s) to delta %.2f%%\n",
+                static_cast<unsigned long long>(inserts), rate,
+                dyn.index().DeltaRatio() * 100.0);
+    json.AddRecord()
+        .Set("stage", "inserts_to_" + std::to_string(target))
+        .Set("inserts", inserts)
+        .Set("insert_seconds", insert_secs)
+        .Set("inserts_per_second", rate)
+        .Set("delta_ratio", dyn.index().DeltaRatio());
+
+    double ns = 0.0;
+    char stage[32];
+    std::snprintf(stage, sizeof(stage), "delta_%g", target);
+    measure(stage, &ns);
+    if (target == 0.05) ns_at_5pct = ns;
+  }
+
+  // Reseal latency: wall time of the synchronous fold (copy + merge +
+  // signature recompute), then the post-reseal query rate.
+  const double merge_before = dyn.stats().reseal_seconds;
+  Timer reseal_timer;
+  dyn.ForceReseal();
+  const double reseal_wall = reseal_timer.ElapsedSeconds();
+  const double merge_secs = dyn.stats().reseal_seconds - merge_before;
+  std::printf("reseal: %.3fs wall (%.3fs merge)\n", reseal_wall, merge_secs);
+  json.AddRecord()
+      .Set("stage", "reseal")
+      .Set("reseal_wall_seconds", reseal_wall)
+      .Set("reseal_merge_seconds", merge_secs)
+      .Set("entries_after", dyn.index().NumEntries());
+  measure("post_reseal", nullptr);
+
+  const double ratio = ns_at_5pct / baseline_ns;
+  std::printf("ns/probe at <=5%% delta vs sealed baseline: %.2fx\n", ratio);
+  json.AddRecord()
+      .Set("stage", "summary")
+      .Set("ratio_5pct_vs_sealed", ratio)
+      .Set("edges_inserted", dyn.stats().edges_inserted)
+      .Set("delta_entries_added", dyn.stats().delta_entries_added)
+      .Set("kernels_examined", dyn.stats().kernels_examined)
+      .Set("kernels_ruled_out", dyn.stats().kernels_ruled_out)
+      .Set("all_ok", all_ok);
+
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: answers disagree or went non-monotone\n");
+    return 1;
+  }
+  return 0;
+}

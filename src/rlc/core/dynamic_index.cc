@@ -1,0 +1,432 @@
+#include "rlc/core/dynamic_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "rlc/util/timer.h"
+
+namespace rlc {
+
+namespace {
+
+struct VertexSeq {
+  VertexId v;
+  LabelSeq seq;
+  friend bool operator==(const VertexSeq&, const VertexSeq&) = default;
+};
+
+struct VertexSeqHash {
+  uint64_t operator()(const VertexSeq& vs) const {
+    return vs.seq.Hash() * 0x9E3779B97F4A7C15ULL + vs.v;
+  }
+};
+
+}  // namespace
+
+DynamicRlcIndex::DynamicRlcIndex(const DiGraph& g, RlcIndex index,
+                                 ResealPolicy policy)
+    : g_(g),
+      policy_(policy),
+      current_(std::make_shared<RlcIndex>(std::move(index))) {
+  RLC_REQUIRE(current_->sealed(),
+              "DynamicRlcIndex: the wrapped index must be sealed");
+  RLC_REQUIRE(current_->num_vertices() == g.num_vertices(),
+              "DynamicRlcIndex: index and graph vertex counts differ");
+}
+
+DynamicRlcIndex::~DynamicRlcIndex() {
+  if (reseal_thread_.joinable()) reseal_thread_.join();
+}
+
+bool DynamicRlcIndex::HasEdge(VertexId u, Label label, VertexId v) const {
+  if (g_.HasEdge(u, v, label)) return true;
+  if (extra_out_.empty()) return false;
+  for (const LabeledNeighbor& nb : extra_out_[u]) {
+    if (nb.v == v && nb.label == label) return true;
+  }
+  return false;
+}
+
+bool DynamicRlcIndex::InsertEdge(VertexId u, Label label, VertexId v) {
+  RLC_REQUIRE(u < g_.num_vertices() && v < g_.num_vertices(),
+              "DynamicRlcIndex::InsertEdge: vertex out of range");
+  RLC_REQUIRE(label < g_.num_labels(),
+              "DynamicRlcIndex::InsertEdge: label " << label
+                  << " outside the base graph's alphabet (new labels require"
+                     " a rebuild)");
+  TryCompleteReseal(/*wait=*/false);
+  if (HasEdge(u, label, v)) {
+    ++stats_.edges_duplicate;
+    return false;
+  }
+  if (extra_out_.empty()) {
+    extra_out_.resize(g_.num_vertices());
+    extra_in_.resize(g_.num_vertices());
+  }
+  extra_out_[u].push_back({v, label});
+  extra_in_[v].push_back({u, label});
+  inserted_.push_back({u, label, v});
+  IncrementalUpdate(u, label, v);
+  ++stats_.edges_inserted;
+  MaybeReseal();
+  return true;
+}
+
+size_t DynamicRlcIndex::ApplyUpdates(std::span<const EdgeUpdate> updates) {
+  size_t applied = 0;
+  for (const EdgeUpdate& e : updates) {
+    applied += InsertEdge(e.src, e.label, e.dst) ? 1 : 0;
+  }
+  return applied;
+}
+
+void DynamicRlcIndex::CollectWords(VertexId start, bool backward,
+                                   std::set<LabelSeq>& words) const {
+  words.insert(LabelSeq{});
+  const uint32_t max_len = current_->k() - 1;
+  if (max_len == 0) return;
+  std::vector<VertexSeq> queue{{start, LabelSeq{}}};
+  std::unordered_set<VertexSeq, VertexSeqHash> seen{queue.front()};
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexSeq cur = queue[head];  // copy: the queue may reallocate
+    auto expand = [&](VertexId w, Label l) {
+      VertexSeq next{w, cur.seq};
+      if (backward) {
+        next.seq.PushFront(l);
+      } else {
+        next.seq.PushBack(l);
+      }
+      if (!seen.insert(next).second) return;
+      words.insert(next.seq);
+      if (next.seq.size() < max_len) queue.push_back(next);
+    };
+    const auto base = backward ? g_.InEdges(cur.v) : g_.OutEdges(cur.v);
+    for (const LabeledNeighbor& nb : base) expand(nb.v, nb.label);
+    const auto& extra = backward ? extra_in_ : extra_out_;
+    if (!extra.empty()) {
+      for (const LabeledNeighbor& nb : extra[cur.v]) expand(nb.v, nb.label);
+    }
+  }
+}
+
+std::vector<VertexId> DynamicRlcIndex::AlignedBoundary(VertexId start,
+                                                       uint32_t start_pos,
+                                                       const LabelSeq& kernel,
+                                                       bool backward) {
+  const uint64_t states =
+      static_cast<uint64_t>(g_.num_vertices()) * current_->k();
+  if (visit_stamp_.size() < states) visit_stamp_.assign(states, 0);
+  ++epoch_;
+
+  const uint32_t len = kernel.size();
+  std::vector<VertexId> boundary;
+  std::vector<std::pair<VertexId, uint32_t>> queue;
+  auto visit = [&](VertexId v, uint32_t pos) {
+    uint64_t& stamp = visit_stamp_[StateIndex(v, pos)];
+    if (stamp == epoch_) return;
+    stamp = epoch_;
+    if (pos == 1) boundary.push_back(v);
+    queue.push_back({v, pos});
+  };
+  visit(start, start_pos);
+
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const auto [x, pos] = queue[head];
+    // Forward, state (x, pos) consumes kernel[pos] next; backward it was
+    // reached by consuming kernel[pos-1] (1-based, wrapping across copies).
+    const uint32_t step_pos = backward ? (pos == 1 ? len : pos - 1) : pos;
+    const Label expected = kernel[step_pos - 1];
+    const uint32_t next_pos =
+        backward ? step_pos : (pos == len ? 1 : pos + 1);
+    const auto base = backward ? g_.InEdgesWithLabel(x, expected)
+                               : g_.OutEdgesWithLabel(x, expected);
+    for (const LabeledNeighbor& nb : base) visit(nb.v, next_pos);
+    const auto& extra = backward ? extra_in_ : extra_out_;
+    if (!extra.empty()) {
+      for (const LabeledNeighbor& nb : extra[x]) {
+        if (nb.label == expected) visit(nb.v, next_pos);
+      }
+    }
+  }
+  std::sort(boundary.begin(), boundary.end());
+  return boundary;
+}
+
+bool DynamicRlcIndex::OldGraphAlignedConnects(VertexId u, Label l, VertexId v,
+                                              uint32_t from_pos,
+                                              uint32_t to_pos,
+                                              const LabelSeq& kernel) {
+  const uint64_t states =
+      static_cast<uint64_t>(g_.num_vertices()) * current_->k();
+  if (visit_stamp_.size() < states) visit_stamp_.assign(states, 0);
+  ++epoch_;
+
+  const uint32_t len = kernel.size();
+  std::vector<std::pair<VertexId, uint32_t>> queue;
+  auto visit = [&](VertexId x, uint32_t pos) {
+    uint64_t& stamp = visit_stamp_[StateIndex(x, pos)];
+    if (stamp == epoch_) return;
+    stamp = epoch_;
+    queue.push_back({x, pos});
+  };
+  visit(u, from_pos);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const auto [x, pos] = queue[head];
+    const Label expected = kernel[pos - 1];
+    const uint32_t next_pos = pos == len ? 1 : pos + 1;
+    // The target only counts when reached over >= 1 edge (the detour must
+    // consume the alignment step); the start state itself does not qualify,
+    // which matters for self-loop inserts on single-label kernels.
+    const bool hits_target = next_pos == to_pos;
+    for (const LabeledNeighbor& nb : g_.OutEdgesWithLabel(x, expected)) {
+      if (hits_target && nb.v == v) return true;
+      visit(nb.v, next_pos);
+    }
+    if (!extra_out_.empty()) {
+      for (const LabeledNeighbor& nb : extra_out_[x]) {
+        if (nb.label != expected) continue;
+        // The just-inserted edge is excluded: this search asks about the
+        // graph as it was before the insert (it is unique in the overlay —
+        // duplicate inserts never get this far).
+        if (x == u && nb.v == v && nb.label == l) continue;
+        if (hits_target && nb.v == v) return true;
+        visit(nb.v, next_pos);
+      }
+    }
+  }
+  return false;
+}
+
+void DynamicRlcIndex::AppendDelta(bool is_out, VertexId v, uint32_t hub_aid,
+                                  MrId mr, const LabelSeq& seq) {
+  if (is_out) {
+    current_->AddDeltaOut(v, hub_aid, mr);
+  } else {
+    current_->AddDeltaIn(v, hub_aid, mr);
+  }
+  delta_log_.push_back({is_out, v, hub_aid, seq});
+  ++stats_.delta_entries_added;
+}
+
+void DynamicRlcIndex::AddCoverEntry(VertexId x, VertexId y, MrId mr,
+                                    const LabelSeq& seq) {
+  const uint32_t ax = current_->AccessId(x);
+  const uint32_t ay = current_->AccessId(y);
+  // Hub = the higher-ranked (smaller access id) endpoint; either entry
+  // makes Case 2 of the query fire for (x, y).
+  if (ax <= ay) {
+    AppendDelta(/*is_out=*/false, y, ax, mr, seq);
+  } else {
+    AppendDelta(/*is_out=*/true, x, ay, mr, seq);
+  }
+}
+
+void DynamicRlcIndex::CoverViaEdgeHub(VertexId hub, MrId mr,
+                                      const LabelSeq& kernel,
+                                      std::span<const VertexId> upstream,
+                                      std::span<const VertexId> downstream) {
+  const uint32_t hub_aid = current_->AccessId(hub);
+  bool hub_in_s = false;
+  bool hub_in_t = false;
+  for (const VertexId s : upstream) {
+    ++stats_.pairs_examined;
+    if (s == hub) {
+      hub_in_s = true;  // pairs (hub, t) ride on the Lin(t) entries (Case 2)
+      continue;
+    }
+    if (!current_->HasOutEntry(s, hub_aid, mr)) {
+      AppendDelta(/*is_out=*/true, s, hub_aid, mr, kernel);
+    }
+  }
+  for (const VertexId t : downstream) {
+    ++stats_.pairs_examined;
+    if (t == hub) {
+      hub_in_t = true;  // pairs (s, hub) ride on the Lout(s) entries
+      continue;
+    }
+    if (!current_->HasInEntry(t, hub_aid, mr)) {
+      AppendDelta(/*is_out=*/false, t, hub_aid, mr, kernel);
+    }
+  }
+  // The (hub, hub) cycle pair is the one combination the skips above leave
+  // uncovered; give it its own Case-2 self entry when it is real.
+  if (hub_in_s && hub_in_t && !current_->QueryInterned(hub, hub, mr)) {
+    AppendDelta(/*is_out=*/false, hub, hub_aid, mr, kernel);
+  }
+}
+
+void DynamicRlcIndex::IncrementalUpdate(VertexId u, Label l, VertexId v) {
+  const uint32_t k = current_->k();
+  // Phase 1: candidate kernels L = α ∘ l ∘ β around the new edge, with the
+  // edge at 1-based offset |α|+1. Non-primitive combinations are skipped:
+  // their primitive root is itself a (shorter) candidate.
+  std::set<LabelSeq> back_words;
+  std::set<LabelSeq> fwd_words;
+  CollectWords(u, /*backward=*/true, back_words);
+  CollectWords(v, /*backward=*/false, fwd_words);
+  std::set<std::pair<LabelSeq, uint32_t>> candidates;
+  for (const LabelSeq& alpha : back_words) {
+    for (const LabelSeq& beta : fwd_words) {
+      if (alpha.size() + 1 + beta.size() > k) continue;
+      LabelSeq kernel = alpha;
+      kernel.PushBack(l);
+      for (uint32_t i = 0; i < beta.size(); ++i) kernel.PushBack(beta[i]);
+      if (!IsPrimitive(kernel.labels())) continue;
+      candidates.insert({kernel, alpha.size() + 1});
+    }
+  }
+
+  for (const auto& [kernel, offset] : candidates) {
+    ++stats_.kernels_examined;
+    const uint32_t len = kernel.size();
+    // Bulk rule-out: when the pre-insert graph aligned-connects u to v at
+    // every position carrying l, every use of the new edge in a witness has
+    // an old-graph detour, so every S x T pair of this candidate was
+    // already reachable — and therefore already answered. Skip it whole.
+    bool detour_everywhere = true;
+    for (uint32_t j = 1; j <= len && detour_everywhere; ++j) {
+      if (kernel[j - 1] != l) continue;
+      detour_everywhere =
+          OldGraphAlignedConnects(u, l, v, j, j == len ? 1 : j + 1, kernel);
+    }
+    if (detour_everywhere) {
+      ++stats_.kernels_ruled_out;
+      continue;
+    }
+    // Phase 2: copy-boundary vertices upstream of u and downstream of v in
+    // this alignment. Every pair the edge makes newly reachable under
+    // kernel+ sits in S x T for some candidate.
+    const std::vector<VertexId> upstream =
+        AlignedBoundary(u, offset, kernel, /*backward=*/true);
+    if (upstream.empty()) continue;
+    const std::vector<VertexId> downstream = AlignedBoundary(
+        v, offset == len ? 1 : offset + 1, kernel, /*backward=*/false);
+    if (downstream.empty()) continue;
+
+    // Phase 3: cover. Small candidates probe each pair and add one Case-2
+    // entry per pair the index cannot yet answer — QueryInterned sees the
+    // deltas added earlier in this very loop, so redundant covers are
+    // pruned exactly like PR1 prunes derivable entries during a build.
+    // Large candidates whose edge sits on a copy boundary (always the case
+    // for |L| <= 2) switch to the hub-compressed cover: the boundary
+    // endpoint lies on every witness, so |S| + |T| entries suffice and the
+    // quadratic pair sweep is skipped. Middle offsets (|L| >= 3 only) have
+    // no boundary endpoint and always take the exact pairwise path.
+    MrId mr = current_->FindMr(kernel);
+    constexpr uint64_t kSmallCoverPairs = 256;
+    const bool boundary_offset = offset == 1 || offset == len;
+    if (boundary_offset && static_cast<uint64_t>(upstream.size()) *
+                                   downstream.size() >
+                               kSmallCoverPairs) {
+      if (mr == kInvalidMrId) mr = current_->mr_table().Intern(kernel);
+      // offset == len puts v at a copy start right after the edge; offset
+      // == 1 puts u at one right before it (for |L| == 1 both hold).
+      CoverViaEdgeHub(offset == len ? v : u, mr, kernel, upstream, downstream);
+      continue;
+    }
+    for (const VertexId s : upstream) {
+      for (const VertexId t : downstream) {
+        ++stats_.pairs_examined;
+        if (mr != kInvalidMrId && current_->QueryInterned(s, t, mr)) continue;
+        if (mr == kInvalidMrId) mr = current_->mr_table().Intern(kernel);
+        AddCoverEntry(s, t, mr, kernel);
+      }
+    }
+  }
+}
+
+std::vector<Edge> DynamicRlcIndex::MaterializedEdges() const {
+  std::vector<Edge> edges = g_.ToEdgeList();
+  edges.reserve(edges.size() + inserted_.size());
+  for (const EdgeUpdate& e : inserted_) edges.push_back({e.src, e.dst, e.label});
+  return edges;
+}
+
+void DynamicRlcIndex::MaybeReseal() {
+  if (reseal_thread_.joinable()) {
+    TryCompleteReseal(/*wait=*/false);
+    return;
+  }
+  if (current_->delta_entries() < policy_.min_delta_entries) return;
+  if (current_->DeltaRatio() <= policy_.max_delta_ratio) return;
+  StartReseal();
+}
+
+void DynamicRlcIndex::ResealInline() {
+  Timer timer;
+  auto fresh = std::make_shared<RlcIndex>(*current_);
+  fresh->MergeDeltas();
+  stats_.reseal_seconds += timer.ElapsedSeconds();
+  delta_log_.clear();
+  current_ = std::move(fresh);
+}
+
+void DynamicRlcIndex::StartReseal() {
+  ++stats_.reseals;
+  if (!policy_.background) {
+    ResealInline();
+    return;
+  }
+  // Snapshot on the owner thread: the worker owns the copy outright, so the
+  // owner may keep appending deltas (and serving queries) while it merges.
+  reseal_snapshot_ = std::make_unique<RlcIndex>(*current_);
+  reseal_log_mark_ = delta_log_.size();
+  reseal_ready_.store(false, std::memory_order_relaxed);
+  reseal_thread_ = std::thread([this] {
+    Timer timer;
+    reseal_snapshot_->MergeDeltas();
+    reseal_merge_seconds_ = timer.ElapsedSeconds();
+    reseal_ready_.store(true, std::memory_order_release);
+  });
+}
+
+void DynamicRlcIndex::TryCompleteReseal(bool wait) {
+  if (!reseal_thread_.joinable()) return;
+  if (!wait && !reseal_ready_.load(std::memory_order_acquire)) return;
+  reseal_thread_.join();
+  stats_.reseal_seconds += reseal_merge_seconds_;
+  auto fresh = std::shared_ptr<RlcIndex>(std::move(reseal_snapshot_));
+  // Replay the deltas that were appended after the trigger: the merged CSR
+  // holds everything up to the mark, so the replayed suffix restores the
+  // exact visible entry set — answers are unchanged across the swap.
+  // Post-trigger MRs re-intern in log order, which reproduces the live
+  // table's ids (interning is append-only and deterministic).
+  for (size_t i = reseal_log_mark_; i < delta_log_.size(); ++i) {
+    const DeltaRecord& r = delta_log_[i];
+    const MrId mr = fresh->mr_table().Intern(r.seq);
+    if (r.is_out) {
+      fresh->AddDeltaOut(r.v, r.hub_aid, mr);
+    } else {
+      fresh->AddDeltaIn(r.v, r.hub_aid, mr);
+    }
+    ++stats_.deltas_replayed;
+  }
+  delta_log_.erase(delta_log_.begin(),
+                   delta_log_.begin() + static_cast<ptrdiff_t>(reseal_log_mark_));
+  reseal_log_mark_ = 0;
+  current_ = std::move(fresh);
+}
+
+void DynamicRlcIndex::FinishReseal() { TryCompleteReseal(/*wait=*/true); }
+
+void DynamicRlcIndex::ForceReseal() {
+  TryCompleteReseal(/*wait=*/true);
+  if (current_->delta_entries() == 0) return;
+  ++stats_.reseals;
+  ResealInline();
+}
+
+uint64_t DynamicRlcIndex::MemoryBytes() const {
+  uint64_t bytes = current_->MemoryBytes();
+  for (const auto& list : extra_out_) bytes += list.capacity() * sizeof(LabeledNeighbor);
+  for (const auto& list : extra_in_) bytes += list.capacity() * sizeof(LabeledNeighbor);
+  bytes += (extra_out_.capacity() + extra_in_.capacity()) *
+           sizeof(std::vector<LabeledNeighbor>);
+  bytes += inserted_.capacity() * sizeof(EdgeUpdate);
+  bytes += delta_log_.capacity() * sizeof(DeltaRecord);
+  bytes += visit_stamp_.capacity() * sizeof(uint64_t);
+  return bytes;
+}
+
+}  // namespace rlc

@@ -1,0 +1,240 @@
+// Incremental edge-insert maintenance over a sealed RLC index.
+//
+// The paper builds its index once over a static graph; a serving system
+// sees the graph mutate. DynamicRlcIndex keeps a sealed RlcIndex answering
+// exactly on the *mutated* graph without rebuilding it per insert:
+//
+//  * The graph delta is an adjacency overlay (per-vertex extra edge lists
+//    over the immutable base DiGraph); every maintenance search traverses
+//    base + overlay.
+//
+//  * InsertEdge(u, l, v) runs a bounded incremental KBS around the new
+//    edge. Any query pair (s, t, L+) that the insert makes reachable has a
+//    witness path through the edge, and the copy of L containing the edge
+//    fixes an alignment: L = α ∘ l ∘ β where α is spelled by a path ending
+//    at u and β by one leaving v. Phase 1 enumerates those candidate
+//    kernels — all primitive α·l·β with |α|+|β| <= k-1, words collected by
+//    depth-(k-1) BFS from the endpoints. Phase 2, per candidate (L, i):
+//    two kernel-BFS product searches over (vertex, position-in-L) states —
+//    backward from (u, i) and forward past the edge — yield the upstream
+//    boundary set S (vertices at a copy start that reach u in alignment)
+//    and the downstream boundary set T (vertices a whole number of copies
+//    past v). Every newly reachable pair lies in some S x T. Phase 3
+//    covers: pairs the index already answers are skipped (the PR1 monotone
+//    pruning argument — the index only grows), and each uncovered pair
+//    (s, t) gets one direct Case-2 delta entry ((aid(s), L) into Lin(t) or
+//    (aid(t), L) into Lout(s), hub = the higher-ranked endpoint). Entries
+//    land in the sealed index's delta overlay (rlc_index.h), so answers are
+//    exact on the mutated graph while the CSR arrays stay untouched.
+//
+//  * When the delta fraction crosses ResealPolicy::max_delta_ratio, a
+//    *reseal* folds the deltas into fresh CSR arrays and recomputes the
+//    exact signatures. With policy.background the merge runs on a detached
+//    thread over a private snapshot (copied on the owner thread at trigger
+//    time); the owner swaps the result in with an epoch-style shared_ptr
+//    flip at its next touch point and replays the deltas appended since the
+//    trigger, so the visible entry set — and therefore every answer — is
+//    unchanged across the swap. Readers holding a Snapshot() (in-flight
+//    batched queries) never block and keep a consistent index.
+//
+// Thread contract: like ShardedRlcService, a DynamicRlcIndex has a single
+// owner thread for mutations and query submission. Batched executors may
+// fan a Snapshot() out across worker pools (the RlcIndex query path is
+// const and the overlay is only mutated between batches); the background
+// reseal touches nothing but its private copy.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "rlc/core/rlc_index.h"
+#include "rlc/graph/digraph.h"
+
+namespace rlc {
+
+/// One edge insertion (src --label--> dst) for the batched update APIs.
+struct EdgeUpdate {
+  VertexId src = 0;
+  Label label = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// When and how a dynamic index folds its delta overlay back into CSR form.
+struct ResealPolicy {
+  /// Reseal once delta_entries / sealed_entries exceeds this fraction.
+  double max_delta_ratio = 0.10;
+  /// Never reseal below this many pending deltas (tiny overlays are cheaper
+  /// to merge at query time than to rebuild around).
+  uint64_t min_delta_entries = 64;
+  /// Merge on a background thread and epoch-swap the result in (default);
+  /// false reseals inline on the owner thread (deterministic, for tests).
+  bool background = true;
+};
+
+/// Maintenance telemetry.
+struct DynamicIndexStats {
+  uint64_t edges_inserted = 0;
+  uint64_t edges_duplicate = 0;     ///< no-op inserts of existing edges
+  uint64_t kernels_examined = 0;    ///< candidate (kernel, offset) pairs
+  uint64_t kernels_ruled_out = 0;   ///< candidates skipped: pre-insert
+                                    ///< aligned detour covers all pairs
+  uint64_t pairs_examined = 0;      ///< S x T cover probes
+  uint64_t delta_entries_added = 0;
+  uint64_t reseals = 0;
+  uint64_t deltas_replayed = 0;     ///< appended mid-reseal, replayed at swap
+  double reseal_seconds = 0.0;      ///< cumulative merge wall time
+};
+
+/// A sealed RlcIndex plus the machinery to keep it exact under edge
+/// inserts. `g` is the immutable base graph and must outlive the instance;
+/// `index` must be a sealed index of exactly `g`.
+class DynamicRlcIndex {
+ public:
+  DynamicRlcIndex(const DiGraph& g, RlcIndex index, ResealPolicy policy = {});
+  ~DynamicRlcIndex();
+
+  DynamicRlcIndex(const DynamicRlcIndex&) = delete;
+  DynamicRlcIndex& operator=(const DynamicRlcIndex&) = delete;
+
+  /// Inserts the edge u --label--> v and restores index exactness for the
+  /// mutated graph. Returns false (a strict no-op: no entries, no stats
+  /// beyond edges_duplicate, no serialized-byte change) when the edge
+  /// already exists in the base graph or the overlay.
+  /// \throws std::invalid_argument on out-of-range vertices or a label the
+  ///         base graph has never seen (new labels require a rebuild).
+  bool InsertEdge(VertexId u, Label label, VertexId v);
+
+  /// Applies a batch of inserts; returns how many were new edges.
+  size_t ApplyUpdates(std::span<const EdgeUpdate> updates);
+
+  /// \name Query surface
+  /// The current epoch's index. `index()` is the owner-thread shortcut;
+  /// Snapshot() pins an epoch for batched readers that outlive the call
+  /// (the pointer stays valid and consistent across a concurrent reseal
+  /// swap). MR ids are stable across reseals.
+  ///@{
+  const RlcIndex& index() const { return *current_; }
+  std::shared_ptr<const RlcIndex> Snapshot() const { return current_; }
+  bool Query(VertexId s, VertexId t, const LabelSeq& constraint) const {
+    return current_->Query(s, t, constraint);
+  }
+  ///@}
+
+  /// True when the edge exists in the base graph or the overlay.
+  bool HasEdge(VertexId u, Label label, VertexId v) const;
+
+  /// Blocks until an in-flight background reseal (if any) has merged, then
+  /// swaps it in. Also the deterministic sync point for tests and benches.
+  void FinishReseal();
+
+  /// Unconditional synchronous reseal: completes any in-flight merge, then
+  /// folds whatever deltas remain. After this, delta_entries() == 0.
+  void ForceReseal();
+
+  bool reseal_in_flight() const { return reseal_thread_.joinable(); }
+
+  const DiGraph& base_graph() const { return g_; }
+  const std::vector<EdgeUpdate>& inserted_edges() const { return inserted_; }
+
+  /// Base + overlay edge list (the mutated graph), e.g. for rebuild oracles.
+  std::vector<Edge> MaterializedEdges() const;
+
+  const ResealPolicy& policy() const { return policy_; }
+  const DynamicIndexStats& stats() const { return stats_; }
+
+  /// Index + overlay adjacency + maintenance bookkeeping, in bytes.
+  uint64_t MemoryBytes() const;
+
+ private:
+  /// One delta append, logged so a background reseal can replay the appends
+  /// that raced past its trigger point onto the merged index.
+  struct DeltaRecord {
+    bool is_out;
+    VertexId v;
+    uint32_t hub_aid;
+    LabelSeq seq;
+  };
+
+  void IncrementalUpdate(VertexId u, Label l, VertexId v);
+
+  /// Distinct words (length <= k-1) spelled by paths ending at `start`
+  /// (backward) or leaving it (forward), over base + overlay.
+  void CollectWords(VertexId start, bool backward,
+                    std::set<LabelSeq>& words) const;
+
+  /// Kernel-aligned product search: all (vertex, position) states reachable
+  /// from (start, start_pos) walking backward (consuming kernel labels in
+  /// reverse, with wrap-around) or forward. Returns the sorted vertices
+  /// seen at position 1 — copy-boundary vertices.
+  std::vector<VertexId> AlignedBoundary(VertexId start, uint32_t start_pos,
+                                        const LabelSeq& kernel, bool backward);
+
+  /// True when the *pre-insert* graph (base + overlay minus the edge
+  /// u --l-> v, which must be the overlay's newest entry) aligned-connects
+  /// (u, from_pos) to (v, to_pos) under `kernel`. When this holds for every
+  /// position carrying l, each S x T pair of the candidate was already
+  /// reachable before the insert — replace every use of the new edge by the
+  /// old aligned detour — so the whole candidate is covered and is skipped.
+  bool OldGraphAlignedConnects(VertexId u, Label l, VertexId v,
+                               uint32_t from_pos, uint32_t to_pos,
+                               const LabelSeq& kernel);
+
+  /// Appends one delta entry to the live index and the replay log.
+  void AppendDelta(bool is_out, VertexId v, uint32_t hub_aid, MrId mr,
+                   const LabelSeq& seq);
+
+  /// Adds the Case-2 cover entry for the uncovered pair (x, y, mr): the
+  /// higher-ranked endpoint becomes the hub.
+  void AddCoverEntry(VertexId x, VertexId y, MrId mr, const LabelSeq& seq);
+
+  /// Hub-compressed cover for one candidate whose edge sits on a copy
+  /// boundary: the boundary endpoint (`hub`) lies on every S x T witness at
+  /// a copy start, so (hub, L) entries into Lout(s) / Lin(t) cover all
+  /// pairs with |S| + |T| entries instead of |S| * |T|.
+  void CoverViaEdgeHub(VertexId hub, MrId mr, const LabelSeq& kernel,
+                       std::span<const VertexId> upstream,
+                       std::span<const VertexId> downstream);
+
+  void MaybeReseal();
+  void StartReseal();
+  /// Synchronous copy-merge-swap on the owner thread.
+  void ResealInline();
+  /// Completes a finished (or, with `wait`, any in-flight) background
+  /// reseal: joins, replays post-trigger deltas, swaps the epoch pointer.
+  void TryCompleteReseal(bool wait);
+
+  uint64_t StateIndex(VertexId v, uint32_t pos) const {
+    return static_cast<uint64_t>(v) * current_->k() + (pos - 1);
+  }
+
+  const DiGraph& g_;
+  ResealPolicy policy_;
+  std::shared_ptr<RlcIndex> current_;
+  // Graph overlay: edges inserted since construction (never consumed —
+  // reseals fold index entries, the graph delta is permanent).
+  std::vector<std::vector<LabeledNeighbor>> extra_out_;
+  std::vector<std::vector<LabeledNeighbor>> extra_in_;
+  std::vector<EdgeUpdate> inserted_;
+  // Delta log since the last completed reseal (replay source for swaps).
+  std::vector<DeltaRecord> delta_log_;
+  // Background reseal state (owner thread starts/joins; the worker only
+  // touches reseal_snapshot_ and the release-ordered ready flag).
+  std::thread reseal_thread_;
+  std::unique_ptr<RlcIndex> reseal_snapshot_;
+  std::atomic<bool> reseal_ready_{false};
+  size_t reseal_log_mark_ = 0;
+  double reseal_merge_seconds_ = 0.0;
+  // Aligned-search scratch (owner thread only).
+  std::vector<uint64_t> visit_stamp_;
+  uint64_t epoch_ = 0;
+  DynamicIndexStats stats_;
+};
+
+}  // namespace rlc

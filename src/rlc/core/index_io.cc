@@ -104,8 +104,12 @@ SideV2 GetSideV2(std::istream& in, uint64_t n, uint32_t num_mrs,
 }  // namespace
 
 void WriteIndex(const RlcIndex& index, std::ostream& out, uint32_t version) {
-  RLC_REQUIRE(version >= 1 && version <= 3,
+  RLC_REQUIRE(version >= 1 && version <= 4,
               "WriteIndex: unsupported format version " << version);
+  RLC_REQUIRE(version >= 4 || index.delta_entries() == 0,
+              "WriteIndex: version " << version << " cannot carry the "
+                  << index.delta_entries()
+                  << " pending delta entries (MergeDeltas() first or write v4)");
   Put(out, kIndexMagic);
   Put<uint32_t>(out, version);
   Put<uint32_t>(out, index.k());
@@ -147,6 +151,38 @@ void WriteIndex(const RlcIndex& index, std::ostream& out, uint32_t version) {
       }
       Put<uint64_t>(out, checksum);
     }
+    if (version >= 4) {
+      // Sparse delta sections: per side the vertices with pending deltas in
+      // ascending order. Deterministic, so resaves stay byte-identical.
+      uint64_t checksum = kSignatureChecksumSeed;
+      auto put_side = [&](bool out_side) {
+        uint64_t count = 0;
+        for (VertexId v = 0; v < index.num_vertices(); ++v) {
+          count += (out_side ? index.DeltaLout(v) : index.DeltaLin(v)).empty()
+                       ? 0
+                       : 1;
+        }
+        Put<uint64_t>(out, count);
+        checksum = SignatureChecksum(checksum, count);
+        for (VertexId v = 0; v < index.num_vertices(); ++v) {
+          const auto deltas = out_side ? index.DeltaLout(v) : index.DeltaLin(v);
+          if (deltas.empty()) continue;
+          Put<uint32_t>(out, v);
+          Put<uint32_t>(out, static_cast<uint32_t>(deltas.size()));
+          checksum = SignatureChecksum(checksum, v);
+          checksum = SignatureChecksum(checksum, deltas.size());
+          for (const IndexEntry& e : deltas) {
+            Put<uint32_t>(out, e.hub_aid);
+            Put<uint32_t>(out, e.mr);
+            checksum = SignatureChecksum(checksum, e.hub_aid);
+            checksum = SignatureChecksum(checksum, e.mr);
+          }
+        }
+      };
+      put_side(/*out_side=*/true);
+      put_side(/*out_side=*/false);
+      Put<uint64_t>(out, checksum);
+    }
   }
 }
 
@@ -155,7 +191,7 @@ RlcIndex ReadIndex(std::istream& in) {
     throw std::runtime_error("ReadIndex: bad magic (not an rlc index file)");
   }
   const uint32_t version = Get<uint32_t>(in);
-  if (version < 1 || version > 3) {
+  if (version < 1 || version > 4) {
     throw std::runtime_error("ReadIndex: unsupported version");
   }
   const uint32_t k = Get<uint32_t>(in);
@@ -224,6 +260,46 @@ RlcIndex ReadIndex(std::istream& in) {
                         std::move(out_sigs), std::move(in_sigs));
     } catch (const std::invalid_argument& e) {
       throw std::runtime_error(std::string("ReadIndex: ") + e.what());
+    }
+    if (version >= 4) {
+      // Pending delta overlay. Entries are range-checked like v2 entries
+      // and re-appended through AddDelta*, which re-applies the (idempotent)
+      // signature widening; the checksum catches in-range corruption.
+      uint64_t checksum = kSignatureChecksumSeed;
+      auto get_side = [&](bool out_side) {
+        const uint64_t count = Get<uint64_t>(in);
+        checksum = SignatureChecksum(checksum, count);
+        if (count > n) throw std::runtime_error("ReadIndex: corrupt delta count");
+        for (uint64_t i = 0; i < count; ++i) {
+          const uint32_t v = Get<uint32_t>(in);
+          const uint32_t len = Get<uint32_t>(in);
+          checksum = SignatureChecksum(checksum, v);
+          checksum = SignatureChecksum(checksum, len);
+          if (v >= n || len == 0 ||
+              len > RemainingBytes(in) / sizeof(IndexEntry)) {
+            throw std::runtime_error("ReadIndex: corrupt delta list");
+          }
+          for (uint32_t j = 0; j < len; ++j) {
+            const uint32_t aid = Get<uint32_t>(in);
+            const MrId mr = Get<uint32_t>(in);
+            checksum = SignatureChecksum(checksum, aid);
+            checksum = SignatureChecksum(checksum, mr);
+            if (mr >= num_mrs || aid == 0 || aid > n) {
+              throw std::runtime_error("ReadIndex: corrupt delta entry");
+            }
+            if (out_side) {
+              index.AddDeltaOut(v, aid, mr);
+            } else {
+              index.AddDeltaIn(v, aid, mr);
+            }
+          }
+        }
+      };
+      get_side(/*out_side=*/true);
+      get_side(/*out_side=*/false);
+      if (Get<uint64_t>(in) != checksum) {
+        throw std::runtime_error("ReadIndex: corrupt delta section");
+      }
     }
   }
   return index;

@@ -17,14 +17,30 @@
 //   in  offsets: (num_vertices+1) * u64
 //   in  entries: offsets.back() * 8 bytes
 //
-// Version 3 (default): the v2 body followed by the sealed-time vertex
-// signatures (rlc_index.h), so a load skips the signature rebuild pass:
+// Version 3 (still readable): the v2 body followed by the sealed-time
+// vertex signatures (rlc_index.h), so a load skips the signature rebuild
+// pass:
 //   out signatures: num_vertices * u64
 //   in  signatures: num_vertices * u64
 //   u64 checksum (FNV fold over both blocks; a corrupt signature would
 //       silently flip answers, so it must fail the load instead)
 // Loading a v1/v2 file rebuilds the signatures from the entry lists; the
 // loaded index is indistinguishable from a v3 load.
+//
+// Version 4 (default): the v3 body followed by the pending delta overlay
+// (rlc_index.h / dynamic_index.h), sparse per side — a dynamically
+// maintained index persists without forcing a reseal first:
+//   out deltas: u64 vertex count, then per vertex with deltas
+//               u32 vertex, u32 list length, length * IndexEntry
+//   in  deltas: same
+//   u64 checksum (FNV fold over every value of the section; delta entries
+//       are also range-checked like v2 entries, but an in-range bit flip
+//       must still fail the load, not flip answers)
+// An index without pending deltas writes empty delta sections; the bytes
+// stay a pure function of the logical index state, so save -> load ->
+// resave round-trips byte-identically with or without deltas. Writing
+// versions 1-3 requires an index without pending deltas (they would be
+// silently dropped; call MergeDeltas() first).
 //
 // Intended use: build once offline (the expensive step the paper measures in
 // Table IV), persist, then serve queries from a load that is a straight
@@ -41,12 +57,13 @@
 namespace rlc {
 
 /// The version WriteIndex emits by default.
-inline constexpr uint32_t kIndexFormatVersion = 3;
+inline constexpr uint32_t kIndexFormatVersion = 4;
 
-/// Writes `index` to `out` in format `version` (1, 2 or 3). The index may
-/// be sealed or not; the bytes are identical either way (v3 signatures are
+/// Writes `index` to `out` in format `version` (1-4). The index may be
+/// sealed or not; the bytes are identical either way (v3+ signatures are
 /// computed on the fly for unsealed indexes).
-/// \throws std::invalid_argument on an unsupported version.
+/// \throws std::invalid_argument on an unsupported version, or a version
+///         below 4 when the index has pending delta entries.
 void WriteIndex(const RlcIndex& index, std::ostream& out,
                 uint32_t version = kIndexFormatVersion);
 

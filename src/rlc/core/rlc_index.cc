@@ -78,7 +78,22 @@ bool RlcIndex::QueryInterned(VertexId s, VertexId t, MrId mr) const {
   if (ContainsEntry(lin, aid_[s], mr)) return true;
 
   // Case 1: a common hub carrying L on both sides.
-  return JoinHasCommonHub(lout, lin, mr);
+  if (JoinHasCommonHub(lout, lin, mr)) return true;
+  return delta_entries_ != 0 && QueryDeltaTail(s, t, mr, lout, lin);
+}
+
+bool RlcIndex::QueryDeltaTail(VertexId s, VertexId t, MrId mr,
+                              std::span<const IndexEntry> lout,
+                              std::span<const IndexEntry> lin) const {
+  const std::span<const IndexEntry> dout = DeltaLout(s);
+  const std::span<const IndexEntry> din = DeltaLin(t);
+  if (dout.empty() && din.empty()) return false;
+  // Case 2 against the delta lists.
+  if (ContainsEntry(dout, aid_[t], mr)) return true;
+  if (ContainsEntry(din, aid_[s], mr)) return true;
+  // Case 1 joins with at least one delta side (CSR x CSR already ran).
+  return JoinHasCommonHub(dout, lin, mr) || JoinHasCommonHub(lout, din, mr) ||
+         JoinHasCommonHub(dout, din, mr);
 }
 
 bool RlcIndex::QuerySealedSigned(VertexId s, VertexId t, MrId mr,
@@ -103,10 +118,13 @@ bool RlcIndex::QuerySealedSigned(VertexId s, VertexId t, MrId mr,
   }
 
   // Case 1 needs the MR on both sides and at least one shared hub bit.
-  if (out_may && in_may && (so & si & kSigHubMask) != 0) {
-    return JoinHasCommonHub(Lout(s), Lin(t), mr);
+  if (out_may && in_may && (so & si & kSigHubMask) != 0 &&
+      JoinHasCommonHub(Lout(s), Lin(t), mr)) {
+    return true;
   }
-  return false;
+  // Delta appends widen the vertex signatures, so a probe whose witness
+  // entry lives in a delta list survives the guards above and lands here.
+  return delta_entries_ != 0 && QueryDeltaTail(s, t, mr, Lout(s), Lin(t));
 }
 
 void RlcIndex::QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
@@ -359,8 +377,89 @@ void RlcIndex::AdoptSealed(std::vector<uint64_t> out_offsets,
   ComputeSignatures(/*keep_vertex_sigs=*/adopted_sigs);
 }
 
+void RlcIndex::AddDeltaOut(VertexId v, uint32_t hub_aid, MrId mr) {
+  AddDelta(delta_out_, out_sigs_, v, hub_aid, mr);
+}
+
+void RlcIndex::AddDeltaIn(VertexId v, uint32_t hub_aid, MrId mr) {
+  AddDelta(delta_in_, in_sigs_, v, hub_aid, mr);
+}
+
+void RlcIndex::AddDelta(std::vector<std::vector<IndexEntry>>& lists,
+                        std::vector<uint64_t>& sigs, VertexId v,
+                        uint32_t hub_aid, MrId mr) {
+  RLC_CHECK_MSG(sealed_, "RlcIndex::AddDelta: delta overlay requires a sealed index");
+  RLC_DCHECK(v < aid_.size());
+  RLC_DCHECK(mr < mrs_.size());
+  if (lists.empty()) lists.resize(aid_.size());
+  EnsureMrSigs();
+  std::vector<IndexEntry>& list = lists[v];
+  const auto it = std::upper_bound(
+      list.begin(), list.end(), hub_aid,
+      [](uint32_t aid, const IndexEntry& e) { return aid < e.hub_aid; });
+  list.insert(it, {hub_aid, mr});
+  // Conservative widening: refutation stays sound, and MergeDeltas narrows
+  // the signature back to the exact fold.
+  sigs[v] |= HubSignatureBit(hub_aid) | mr_query_sig_[mr];
+  ++delta_entries_;
+}
+
+void RlcIndex::EnsureMrSigs() {
+  for (MrId id = static_cast<MrId>(mr_query_sig_.size()); id < mrs_.size();
+       ++id) {
+    mr_query_sig_.push_back(LabelSignature(mrs_.Get(id).labels()) |
+                            MrBloomBit(id));
+  }
+}
+
+namespace {
+
+/// Per-vertex two-pointer merge of the CSR side with its delta lists; CSR
+/// entries precede delta entries on equal hub access ids.
+void MergeSide(std::vector<uint64_t>& offsets, std::vector<IndexEntry>& entries,
+               std::vector<std::vector<IndexEntry>>& deltas) {
+  if (deltas.empty()) return;
+  uint64_t extra = 0;
+  for (const auto& d : deltas) extra += d.size();
+  if (extra == 0) return;
+  std::vector<uint64_t> new_offsets(offsets.size());
+  std::vector<IndexEntry> merged;
+  merged.reserve(entries.size() + extra);
+  const size_t n = offsets.size() - 1;
+  for (size_t v = 0; v < n; ++v) {
+    new_offsets[v] = merged.size();
+    const IndexEntry* base = entries.data() + offsets[v];
+    const IndexEntry* base_end = entries.data() + offsets[v + 1];
+    const std::vector<IndexEntry>& d = deltas[v];
+    size_t j = 0;
+    for (; base != base_end; ++base) {
+      while (j < d.size() && d[j].hub_aid < base->hub_aid) merged.push_back(d[j++]);
+      merged.push_back(*base);
+    }
+    merged.insert(merged.end(), d.begin() + static_cast<ptrdiff_t>(j), d.end());
+  }
+  new_offsets[n] = merged.size();
+  offsets = std::move(new_offsets);
+  entries = std::move(merged);
+}
+
+}  // namespace
+
+void RlcIndex::MergeDeltas() {
+  RLC_CHECK_MSG(sealed_, "RlcIndex::MergeDeltas: index must be sealed");
+  if (delta_entries_ == 0) return;
+  MergeSide(out_offsets_, out_entries_, delta_out_);
+  MergeSide(in_offsets_, in_entries_, delta_in_);
+  delta_out_.clear();
+  delta_out_.shrink_to_fit();
+  delta_in_.clear();
+  delta_in_.shrink_to_fit();
+  delta_entries_ = 0;
+  ComputeSignatures(/*keep_vertex_sigs=*/false);
+}
+
 uint64_t RlcIndex::NumEntries() const {
-  if (sealed_) return out_entries_.size() + in_entries_.size();
+  if (sealed_) return out_entries_.size() + in_entries_.size() + delta_entries_;
   uint64_t total = 0;
   for (const auto& e : out_) total += e.size();
   for (const auto& e : in_) total += e.size();
@@ -377,6 +476,8 @@ uint64_t RlcIndex::MemoryBytes() const {
     bytes += (out_sigs_.capacity() + in_sigs_.capacity() +
               mr_query_sig_.capacity()) *
              sizeof(uint64_t);
+    bytes += delta_entries_ * sizeof(IndexEntry);
+    bytes += (delta_out_.size() + delta_in_.size()) * sizeof(std::vector<IndexEntry>);
   } else {
     for (const auto& e : out_) bytes += e.size() * sizeof(IndexEntry);
     for (const auto& e : in_) bytes += e.size() * sizeof(IndexEntry);

@@ -31,6 +31,15 @@
 // (never a false negative), so answers are bit-identical with them on or
 // off. They persist in the v3 file format and are rebuilt on load when
 // absent (v1/v2 files).
+//
+// A sealed index additionally accepts a *delta overlay* (incremental
+// edge-insert maintenance, dynamic_index.h): AddDeltaOut/AddDeltaIn append
+// entries to small sorted per-vertex delta lists that every query path
+// merges with the CSR buffers on the fly. Each delta append widens the
+// owning vertex's signature conservatively (OR of the entry's bits), so
+// signature refutation stays sound; a later MergeDeltas() folds the deltas
+// into the CSR arrays and recomputes the exact (narrow) signatures.
+// Pending deltas persist in the v4 file format (index_io.h).
 
 #pragma once
 
@@ -176,6 +185,44 @@ class RlcIndex {
   /// indexes are always sealed).
   bool sealed() const { return sealed_; }
 
+  /// \name Delta overlay (incremental maintenance, dynamic_index.h)
+  ///
+  /// Sealed-only mutation path: entries land in small sorted per-vertex
+  /// delta lists that every query merges with the CSR buffers. Callers must
+  /// not append exact duplicates (of a CSR entry or an earlier delta); the
+  /// maintenance layer guarantees this by only covering pairs the index
+  /// cannot yet answer. The MR may be one interned after sealing — the
+  /// per-MR signature table is extended on demand.
+  ///@{
+  void AddDeltaOut(VertexId v, uint32_t hub_aid, MrId mr);
+  void AddDeltaIn(VertexId v, uint32_t hub_aid, MrId mr);
+
+  std::span<const IndexEntry> DeltaLout(VertexId v) const {
+    return delta_out_.empty() ? std::span<const IndexEntry>()
+                              : std::span<const IndexEntry>(delta_out_[v]);
+  }
+  std::span<const IndexEntry> DeltaLin(VertexId v) const {
+    return delta_in_.empty() ? std::span<const IndexEntry>()
+                             : std::span<const IndexEntry>(delta_in_[v]);
+  }
+
+  uint64_t delta_entries() const { return delta_entries_; }
+
+  /// Pending-delta fraction of the sealed entry count; the reseal policy
+  /// (dynamic_index.h) triggers on this.
+  double DeltaRatio() const {
+    const uint64_t base = sealed_ ? out_entries_.size() + in_entries_.size() : 0;
+    return static_cast<double>(delta_entries_) /
+           static_cast<double>(base == 0 ? 1 : base);
+  }
+
+  /// Folds the delta lists into the CSR arrays (per-vertex merge by hub
+  /// access id; CSR entries precede deltas on ties) and recomputes the exact
+  /// vertex signatures, narrowing the conservative widening the appends
+  /// applied. Queries answer identically before and after. Idempotent.
+  void MergeDeltas();
+  ///@}
+
   /// Installs pre-built CSR storage (the v2/v3 deserialization path).
   /// Offsets must be monotone with offsets.front() == 0, offsets.back() ==
   /// entries.size() and size num_vertices()+1; entry lists must be sorted by
@@ -205,12 +252,15 @@ class RlcIndex {
   }
   const MrTable& mr_table() const { return mrs_; }
 
-  /// True when (hub, mr) ∈ Lout(v) / Lin(v). O(log |list|).
+  /// True when (hub, mr) ∈ Lout(v) / Lin(v), delta overlay included.
+  /// O(log |list|).
   bool HasOutEntry(VertexId v, uint32_t hub_aid, MrId mr) const {
-    return ContainsEntry(Lout(v), hub_aid, mr);
+    return ContainsEntry(Lout(v), hub_aid, mr) ||
+           (delta_entries_ != 0 && ContainsEntry(DeltaLout(v), hub_aid, mr));
   }
   bool HasInEntry(VertexId v, uint32_t hub_aid, MrId mr) const {
-    return ContainsEntry(Lin(v), hub_aid, mr);
+    return ContainsEntry(Lin(v), hub_aid, mr) ||
+           (delta_entries_ != 0 && ContainsEntry(DeltaLin(v), hub_aid, mr));
   }
 
   /// Access id of vertex v (1-based, as in the paper).
@@ -253,6 +303,21 @@ class RlcIndex {
   bool QuerySealedSigned(VertexId s, VertexId t, MrId mr,
                          uint64_t needed) const;
 
+  /// Delta-overlay continuation of a query whose CSR-only cases all failed:
+  /// Case 2 against the endpoint delta lists plus the three Case-1 joins
+  /// that involve a delta side. Only called when delta_entries_ != 0.
+  bool QueryDeltaTail(VertexId s, VertexId t, MrId mr,
+                      std::span<const IndexEntry> lout,
+                      std::span<const IndexEntry> lin) const;
+
+  /// Shared implementation of AddDeltaOut/AddDeltaIn.
+  void AddDelta(std::vector<std::vector<IndexEntry>>& lists,
+                std::vector<uint64_t>& sigs, VertexId v, uint32_t hub_aid,
+                MrId mr);
+
+  /// Extends mr_query_sig_ to cover MRs interned after sealing.
+  void EnsureMrSigs();
+
   static bool ContainsEntry(std::span<const IndexEntry> entries,
                             uint32_t hub_aid, MrId mr);
 
@@ -285,6 +350,11 @@ class RlcIndex {
   std::vector<IndexEntry> out_entries_;
   std::vector<uint64_t> in_offsets_;
   std::vector<IndexEntry> in_entries_;
+  // Delta overlay (sealed indexes only; empty on the static path). Lists
+  // are sorted by hub access id, like the CSR entry lists.
+  std::vector<std::vector<IndexEntry>> delta_out_;
+  std::vector<std::vector<IndexEntry>> delta_in_;
+  uint64_t delta_entries_ = 0;
   // Sealed signature storage (empty until sealed).
   std::vector<uint64_t> out_sigs_;  // vertex -> signature of Lout(v)
   std::vector<uint64_t> in_sigs_;   // vertex -> signature of Lin(v)

@@ -1,5 +1,6 @@
 #include "rlc/serve/partitioner.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "rlc/util/common.h"
@@ -114,6 +115,46 @@ GraphPartition GraphPartition::Build(const DiGraph& g,
     }
   }
   return p;
+}
+
+void GraphPartition::AddCrossEdge(VertexId global_src, Label label,
+                                  VertexId global_dst) {
+  const uint32_t a = shard_of_[global_src];
+  const uint32_t b = shard_of_[global_dst];
+  RLC_REQUIRE(a != b,
+              "GraphPartition::AddCrossEdge: endpoints share shard " << a);
+  cross_edges_.push_back({global_src, global_dst, label});
+  const auto flag_boundary = [&](VertexId global) {
+    if (is_boundary_[global]) return;
+    is_boundary_[global] = 1;
+    ++num_boundary_;
+    ShardInfo& shard = shards_[shard_of_[global]];
+    const VertexId local = local_of_[global];
+    shard.boundary.insert(
+        std::lower_bound(shard.boundary.begin(), shard.boundary.end(), local),
+        local);
+  };
+  flag_boundary(global_src);
+  flag_boundary(global_dst);
+  shards_[a].out_cross_labels.Add(label);
+  shards_[b].in_cross_labels.Add(label);
+
+  // Closure refresh for the new quotient arc a -> b. One composition pass
+  // is exact: a walk using the arc splits at its first use into an
+  // old-closure prefix x ⇝ a and a suffix from b; any further uses of the
+  // arc in the suffix only revisit b, so the suffix's reachable set is b's
+  // old row plus b itself.
+  const uint32_t ns = num_shards();
+  std::vector<uint8_t> to_a(ns), from_b(ns);
+  for (uint32_t x = 0; x < ns; ++x) {
+    to_a[x] = (x == a) || QuotientReaches(x, a);
+    from_b[x] = (x == b) || QuotientReaches(b, x);
+  }
+  for (uint32_t x = 0; x < ns; ++x) {
+    if (!to_a[x]) continue;
+    uint8_t* row = &quotient_closure_[static_cast<size_t>(x) * ns];
+    for (uint32_t y = 0; y < ns; ++y) row[y] |= from_b[y];
+  }
 }
 
 uint64_t GraphPartition::MemoryBytes() const {

@@ -103,8 +103,15 @@ class GraphPartition {
     return shards_[s].global_of[local];
   }
 
-  /// Cross-shard edges in global vertex ids, in source-vertex order.
+  /// Cross-shard edges in global vertex ids: build-time edges in
+  /// source-vertex order, edges registered later (AddCrossEdge) appended.
   const std::vector<Edge>& cross_edges() const { return cross_edges_; }
+
+  /// Registers a newly inserted cross-shard edge (serving-layer updates):
+  /// refreshes the label masks, boundary flags/lists and the quotient
+  /// closure, exactly as if the edge had been present at Build time.
+  /// \throws std::invalid_argument when both endpoints share a shard.
+  void AddCrossEdge(VertexId global_src, Label label, VertexId global_dst);
 
   /// True when `global` has at least one incident cross-shard edge.
   bool IsBoundary(VertexId global) const { return is_boundary_[global] != 0; }

@@ -38,13 +38,16 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
     IndexerOptions global_opts = build_opts;
     global_opts.num_threads = ThreadPool::ResolveThreads(options_.build_threads);
     RlcIndexBuilder builder(g_, global_opts);
-    global_index_ = std::make_unique<RlcIndex>(builder.Build());
+    global_dyn_ = std::make_unique<DynamicRlcIndex>(g_, builder.Build(),
+                                                    options_.reseal);
   }
 
-  shard_indexes_.resize(num_shards);
+  shard_dyn_.resize(num_shards);
   auto build_task = [&](uint32_t shard) {
-    RlcIndexBuilder builder(partition_.shard(shard).graph, build_opts);
-    shard_indexes_[shard] = std::make_unique<RlcIndex>(builder.Build());
+    const DiGraph& shard_graph = partition_.shard(shard).graph;
+    RlcIndexBuilder builder(shard_graph, build_opts);
+    shard_dyn_[shard] = std::make_unique<DynamicRlcIndex>(
+        shard_graph, builder.Build(), options_.reseal);
   };
   if (threads <= 1) {
     for (uint32_t shard = 0; shard < num_shards; ++shard) build_task(shard);
@@ -62,8 +65,6 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
   timer.Reset();
   if (build_global) {
     prefilter_ = std::make_unique<PlainReachIndex>(PlainReachIndex::Build(g_));
-    fallback_engine_ =
-        std::make_unique<RlcHybridEngine>(g_, *global_index_, prefilter_.get());
   } else {
     online_ = std::make_unique<OnlineSearcher>(g_);
   }
@@ -91,11 +92,11 @@ const ShardedRlcService::SeqEntry& ShardedRlcService::Resolve(
   SeqEntry entry;
   entry.shard_mr.resize(partition_.num_shards());
   for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
-    entry.shard_mr[s] = shard_indexes_[s]->FindMr(seq);
+    entry.shard_mr[s] = shard_dyn_[s]->index().FindMr(seq);
   }
   entry.plus = PathConstraint::RlcPlus(seq);
-  if (global_index_ != nullptr) {
-    entry.global_mr = global_index_->FindMr(seq);
+  if (global_dyn_ != nullptr) {
+    entry.global_mr = global_dyn_->index().FindMr(seq);
   }
   if (online_ != nullptr) {
     entry.compiled =
@@ -113,8 +114,12 @@ bool ShardedRlcService::CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
     return false;
   }
   ++stats_.fallback_probes;
-  if (fallback_engine_ != nullptr) {
-    return fallback_engine_->Evaluate(s, t, entry.plus);
+  if (global_dyn_ != nullptr) {
+    // The engine-equivalent path for a pure RLC constraint: 2-hop
+    // unreachability short-circuit (while the prefilter is still valid),
+    // then one whole-graph index probe on the pre-resolved MR.
+    if (prefilter_ != nullptr && !prefilter_->Reachable(s, t)) return false;
+    return global_dyn_->index().QueryInterned(s, t, entry.global_mr);
   }
   return online_->QueryBiBfs(s, t, *entry.compiled);
 }
@@ -128,9 +133,9 @@ bool ShardedRlcService::Query(VertexId s, VertexId t,
   const uint32_t ss = partition_.ShardOf(s);
   const uint32_t st = partition_.ShardOf(t);
   if (ss == st) {
-    if (shard_indexes_[ss]->QueryInterned(partition_.LocalOf(s),
-                                          partition_.LocalOf(t),
-                                          entry.shard_mr[ss])) {
+    if (shard_dyn_[ss]->index().QueryInterned(partition_.LocalOf(s),
+                                              partition_.LocalOf(t),
+                                              entry.shard_mr[ss])) {
       ++stats_.intra_true;
       return true;
     }
@@ -192,6 +197,15 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
   }
   stats_.queries += probes.size();
 
+  // Pin one epoch per index for the whole batch: a background reseal may
+  // finish mid-execution, and the snapshots keep every job of this batch on
+  // one consistent (and alive) index even across the owner's next swap.
+  std::vector<std::shared_ptr<const RlcIndex>> shard_snaps;
+  shard_snaps.reserve(shard_dyn_.size());
+  for (const auto& dyn : shard_dyn_) shard_snaps.push_back(dyn->Snapshot());
+  const std::shared_ptr<const RlcIndex> global_snap =
+      global_dyn_ != nullptr ? global_dyn_->Snapshot() : nullptr;
+
   // Phase 1: grouped CSR probes on the shard indexes. The kernel passes of
   // all executable groups fan out across the execution pool (per-job
   // buffers, no shared mutable state); the routing decisions — boundary
@@ -209,7 +223,7 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
     if (mr == kInvalidMrId) continue;
     first_job[gi] = jobs.size();
     internal::AppendChunkedJobs(
-        *shard_indexes_[shard], mr, group.probe_idx.size(), chunk,
+        *shard_snaps[shard], mr, group.probe_idx.size(), chunk,
         [&](size_t i) {
           const BatchProbe& p = probes[group.probe_idx[i]];
           return VertexPair{partition_.LocalOf(p.s), partition_.LocalOf(p.t)};
@@ -268,7 +282,7 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
   // engine's scalar path — the 2-hop prefilter only short-circuits),
   // again fanned out across the pool; the online fallback evaluates probe
   // by probe on the caller's thread (the searcher's scratch is shared).
-  if (global_index_ != nullptr) {
+  if (global_dyn_ != nullptr) {
     std::vector<internal::KernelJob> fallback_jobs;
     struct BucketRef {
       uint32_t seq_id;
@@ -283,7 +297,7 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
       ++out.num_groups;
       bucket_refs.push_back({seq_id, fallback_jobs.size()});
       internal::AppendChunkedJobs(
-          *global_index_,
+          *global_snap,
           entries[seq_id]->global_mr,  // may be kInvalidMrId: all 0
           bucket.size(), chunk,
           [&](size_t i) {
@@ -320,11 +334,81 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
   return out;
 }
 
+size_t ShardedRlcService::ApplyUpdates(std::span<const EdgeUpdate> updates) {
+  // Validate the whole batch up front: a mid-batch throw after edges were
+  // already applied would skip the cache epilogue below and leave the
+  // service answering stale — the documented exception must be catchable
+  // without corrupting the instance.
+  for (const EdgeUpdate& e : updates) {
+    RLC_REQUIRE(e.src < g_.num_vertices() && e.dst < g_.num_vertices(),
+                "ShardedRlcService::ApplyUpdates: vertex out of range");
+    RLC_REQUIRE(e.label < g_.num_labels(),
+                "ShardedRlcService::ApplyUpdates: label " << e.label
+                    << " outside the base graph's alphabet");
+  }
+  size_t applied = 0;
+  for (const EdgeUpdate& e : updates) {
+    if (g_.HasEdge(e.src, e.dst, e.label) ||
+        !applied_set_.insert({e.src, e.label, e.dst}).second) {
+      ++stats_.updates_duplicate;
+      continue;
+    }
+    const uint32_t ss = partition_.ShardOf(e.src);
+    const uint32_t st = partition_.ShardOf(e.dst);
+    if (ss == st) {
+      shard_dyn_[ss]->InsertEdge(partition_.LocalOf(e.src), e.label,
+                                 partition_.LocalOf(e.dst));
+    } else {
+      partition_.AddCrossEdge(e.src, e.label, e.dst);
+      ++stats_.updates_cross;
+    }
+    // The fallback must answer on the mutated graph, so the whole-graph
+    // index learns every applied edge, intra-shard ones included.
+    if (global_dyn_ != nullptr) global_dyn_->InsertEdge(e.src, e.label, e.dst);
+    applied_updates_.push_back(e);
+    ++applied;
+    ++stats_.updates_applied;
+  }
+  if (applied > 0) {
+    // Memoized SeqEntries may hold kInvalidMrId for MRs the updates just
+    // created; re-resolve lazily.
+    if (!seq_cache_.empty()) {
+      ++stats_.seq_cache_flushes;
+      stats_.seq_cache_evictions += seq_cache_.size();
+      seq_cache_.clear();
+    }
+    // Plain reachability is not maintained incrementally; a stale
+    // prefilter could refute a newly reachable pair. Exactness wins.
+    prefilter_.reset();
+    if (online_ != nullptr) RebuildPatchedGraph();
+  }
+  return applied;
+}
+
+void ShardedRlcService::RebuildPatchedGraph() {
+  std::vector<Edge> edges = g_.ToEdgeList();
+  edges.reserve(edges.size() + applied_updates_.size());
+  for (const EdgeUpdate& e : applied_updates_) {
+    edges.push_back({e.src, e.dst, e.label});
+  }
+  auto patched = std::make_unique<DiGraph>(g_.num_vertices(), std::move(edges),
+                                           g_.num_labels(),
+                                           /*dedup_parallel=*/false);
+  online_ = std::make_unique<OnlineSearcher>(*patched);
+  patched_graph_ = std::move(patched);
+}
+
+void ShardedRlcService::FinishReseals() {
+  for (const auto& dyn : shard_dyn_) dyn->FinishReseal();
+  if (global_dyn_ != nullptr) global_dyn_->FinishReseal();
+}
+
 uint64_t ShardedRlcService::MemoryBytes() const {
   uint64_t bytes = partition_.MemoryBytes();
-  for (const auto& index : shard_indexes_) bytes += index->MemoryBytes();
-  if (global_index_ != nullptr) bytes += global_index_->MemoryBytes();
+  for (const auto& dyn : shard_dyn_) bytes += dyn->MemoryBytes();
+  if (global_dyn_ != nullptr) bytes += global_dyn_->MemoryBytes();
   if (prefilter_ != nullptr) bytes += prefilter_->MemoryBytes();
+  if (patched_graph_ != nullptr) bytes += patched_graph_->MemoryBytes();
   return bytes;
 }
 

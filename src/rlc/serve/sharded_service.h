@@ -25,17 +25,28 @@
 // The batched entry point (Execute) additionally resolves each distinct
 // constraint once, groups probes by (shard, MR), and runs each group over
 // the sealed CSR layout with lookahead prefetch; see query_batch.h.
+//
+// The service also accepts live edge inserts (ApplyUpdates): intra-shard
+// edges go to the owning shard's dynamically maintained index
+// (dynamic_index.h), cross-shard edges refresh the boundary summary, and
+// the whole-graph fallback index learns every edge — answers stay exact on
+// the mutated graph. Each index reseals independently under
+// ServiceOptions::reseal; the 2-hop prefilter is dropped after the first
+// update (a stale prefilter could refute newly reachable pairs), and the
+// kOnline fallback re-materializes a patched graph per update batch.
 
 #pragma once
 
 #include <memory>
+#include <set>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "rlc/baselines/online_search.h"
+#include "rlc/core/dynamic_index.h"
 #include "rlc/core/indexer.h"
 #include "rlc/core/rlc_index.h"
-#include "rlc/engines/rlc_hybrid_engine.h"
 #include "rlc/plain/plain_reach_index.h"
 #include "rlc/serve/partitioner.h"
 #include "rlc/serve/query_batch.h"
@@ -68,6 +79,9 @@ struct ServiceOptions {
   /// dominated by one (shard, MR) group still spreads across the pool.
   size_t exec_probes_per_job = 8192;
   FallbackMode fallback = FallbackMode::kGlobalHybrid;
+  /// Reseal policy for the dynamically maintained shard and fallback
+  /// indexes (only relevant once ApplyUpdates has been called).
+  ResealPolicy reseal;
 };
 
 /// Cumulative query-routing and build telemetry.
@@ -81,6 +95,9 @@ struct ServiceStats {
   uint64_t batch_groups = 0;     ///< (shard|fallback, MR) groups executed
   uint64_t seq_cache_flushes = 0;    ///< constraint-memo capacity flushes
   uint64_t seq_cache_evictions = 0;  ///< memo entries dropped by flushes
+  uint64_t updates_applied = 0;      ///< edge inserts that were new edges
+  uint64_t updates_duplicate = 0;    ///< edge inserts that were no-ops
+  uint64_t updates_cross = 0;        ///< applied inserts that cross shards
   double partition_seconds = 0.0;
   double index_build_seconds = 0.0;     ///< shard + fallback index builds
   double prefilter_build_seconds = 0.0; ///< 2-hop prefilter (kGlobalHybrid)
@@ -105,9 +122,28 @@ class ShardedRlcService {
   /// \throws std::invalid_argument like Query, plus on out-of-range seq_ids.
   AnswerBatch Execute(const QueryBatch& batch);
 
+  /// Applies a batch of edge inserts (see class comment). Inserts of edges
+  /// already present — in the base graph or applied earlier — are exact
+  /// no-ops. Returns how many updates were new edges. Subsequent queries
+  /// answer exactly on the mutated graph.
+  /// \throws std::invalid_argument on out-of-range vertices or labels
+  ///         outside the base graph's alphabet.
+  size_t ApplyUpdates(std::span<const EdgeUpdate> updates);
+
+  /// Waits for (and swaps in) every in-flight background shard/fallback
+  /// reseal — the deterministic sync point for tests and benches.
+  void FinishReseals();
+
   uint32_t k() const { return options_.indexer.k; }
   const GraphPartition& partition() const { return partition_; }
-  const RlcIndex& shard_index(uint32_t s) const { return *shard_indexes_[s]; }
+  const RlcIndex& shard_index(uint32_t s) const {
+    return shard_dyn_[s]->index();
+  }
+  const DynamicRlcIndex& shard_dynamic(uint32_t s) const {
+    return *shard_dyn_[s];
+  }
+  /// The dynamic whole-graph fallback index; null in kOnline mode.
+  const DynamicRlcIndex* global_dynamic() const { return global_dyn_.get(); }
   const ServiceStats& stats() const { return stats_; }
 
   /// Heap footprint: partition + shard indexes + fallback structures.
@@ -145,16 +181,26 @@ class ShardedRlcService {
   bool CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
                    const SeqEntry& entry, uint32_t ss, uint32_t st);
 
+  /// Rebuilds the patched graph + online searcher after updates (kOnline).
+  void RebuildPatchedGraph();
+
   const DiGraph& g_;
   ServiceOptions options_;
   GraphPartition partition_;
-  std::vector<std::unique_ptr<RlcIndex>> shard_indexes_;
-  // kGlobalHybrid fallback.
-  std::unique_ptr<RlcIndex> global_index_;
+  std::vector<std::unique_ptr<DynamicRlcIndex>> shard_dyn_;
+  // kGlobalHybrid fallback: whole-graph dynamic index + 2-hop prefilter
+  // (the prefilter is dropped on the first applied update — plain
+  // reachability is not maintained incrementally, and a stale prefilter
+  // could refute newly reachable pairs).
+  std::unique_ptr<DynamicRlcIndex> global_dyn_;
   std::unique_ptr<PlainReachIndex> prefilter_;
-  std::unique_ptr<RlcHybridEngine> fallback_engine_;
-  // kOnline fallback.
+  // kOnline fallback. After updates the searcher runs over patched_graph_
+  // (base + applied inserts), re-materialized once per update batch.
+  std::unique_ptr<DiGraph> patched_graph_;
   std::unique_ptr<OnlineSearcher> online_;
+  // Applied updates: dedup set + insertion-ordered list (patched rebuilds).
+  std::set<std::tuple<VertexId, Label, VertexId>> applied_set_;
+  std::vector<EdgeUpdate> applied_updates_;
   // Batched-execution worker pool (null when exec_threads resolves to 1).
   // Only Execute uses it, and only between its fan-out barrier — the
   // service's single-caller contract is unchanged.

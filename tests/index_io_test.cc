@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "rlc/baselines/online_search.h"
+#include "rlc/core/dynamic_index.h"
 #include "rlc/core/indexer.h"
 #include "rlc/graph/generators.h"
 #include "rlc/graph/label_assign.h"
@@ -213,6 +214,120 @@ TEST(IndexIoTest, TruncatedV3SignatureBlockRejected) {
   const size_t cut = full_v2.str().size() + 5;
   std::stringstream trunc(v3.substr(0, cut), std::ios::in | std::ios::binary);
   EXPECT_THROW(ReadIndex(trunc), std::runtime_error);
+}
+
+/// A dynamically maintained index with pending (unmerged) delta entries.
+std::unique_ptr<DynamicRlcIndex> DeltaedIndex(const DiGraph& g, uint32_t k,
+                                              uint64_t seed) {
+  ResealPolicy policy;
+  policy.max_delta_ratio = 1e9;  // never reseal: keep the deltas pending
+  auto dyn = std::make_unique<DynamicRlcIndex>(g, BuildRlcIndex(g, k), policy);
+  Rng rng(seed);
+  while (dyn->index().delta_entries() < 12) {
+    const auto u = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto l = static_cast<Label>(rng.Below(g.num_labels()));
+    if (!dyn->HasEdge(u, l, v)) dyn->InsertEdge(u, l, v);
+  }
+  return dyn;
+}
+
+TEST(IndexIoTest, V4RoundTripWithPendingDeltas) {
+  Rng rng(37);
+  auto edges = ErdosRenyiEdges(90, 300, rng);
+  AssignZipfLabels(&edges, 3, 2.0, rng);
+  const DiGraph g(90, std::move(edges), 3);
+  const auto dyn = DeltaedIndex(g, 2, 41);
+  const RlcIndex& index = dyn->index();
+  ASSERT_GT(index.delta_entries(), 0u);
+
+  std::stringstream v4(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, v4);  // default format carries the deltas
+  const RlcIndex loaded = ReadIndex(v4);
+  ExpectSameIndex(index, loaded);
+  EXPECT_EQ(index.delta_entries(), loaded.delta_entries());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(std::ranges::equal(index.DeltaLout(v), loaded.DeltaLout(v)));
+    EXPECT_TRUE(std::ranges::equal(index.DeltaLin(v), loaded.DeltaLin(v)));
+  }
+
+  // Load -> resave must reproduce the file byte for byte.
+  std::stringstream resaved(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(loaded, resaved);
+  EXPECT_EQ(v4.str(), resaved.str());
+
+  // Loaded and original answer identically, deltas consulted.
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto s = static_cast<VertexId>(rng.Below(90));
+    const auto t = static_cast<VertexId>(rng.Below(90));
+    const LabelSeq c = RandomPrimitiveSeq(1 + rng.Below(2), 3, rng);
+    ASSERT_EQ(index.Query(s, t, c), loaded.Query(s, t, c));
+  }
+}
+
+TEST(IndexIoTest, MergedDeltasSerializeLikeNoDeltas) {
+  // After MergeDeltas the delta sections are empty: the v4 bytes must equal
+  // those of an index that never had deltas pending... which is exactly the
+  // byte layout property the static round-trip tests already rely on.
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  std::stringstream direct(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, direct);
+  RlcIndex copy = ReadIndex(direct);
+  copy.MergeDeltas();  // no-op on an empty overlay
+  std::stringstream after(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(copy, after);
+  EXPECT_EQ(direct.str(), after.str());
+}
+
+TEST(IndexIoTest, OldVersionsRejectPendingDeltas) {
+  const DiGraph g = BuildFig2Graph();
+  DynamicRlcIndex dyn(g, BuildRlcIndex(g, 2),
+                      ResealPolicy{.max_delta_ratio = 1e9});
+  // Any insert that covers a new pair leaves pending deltas behind.
+  Rng rng(43);
+  while (dyn.index().delta_entries() == 0) {
+    const auto u = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto l = static_cast<Label>(rng.Below(g.num_labels()));
+    if (!dyn.HasEdge(u, l, v)) dyn.InsertEdge(u, l, v);
+  }
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  for (const uint32_t version : {1u, 2u, 3u}) {
+    EXPECT_THROW(WriteIndex(dyn.index(), buf, version), std::invalid_argument)
+        << "version " << version;
+  }
+}
+
+TEST(IndexIoTest, CorruptV4DeltaSectionRejected) {
+  Rng rng(47);
+  auto edges = ErdosRenyiEdges(70, 240, rng);
+  AssignZipfLabels(&edges, 3, 2.0, rng);
+  const DiGraph g(70, std::move(edges), 3);
+  const auto dyn = DeltaedIndex(g, 2, 53);
+
+  std::stringstream v4(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(dyn->index(), v4);
+  const std::string bytes = v4.str();
+
+  // Bit-flip inside the delta section (it ends the file: last u64 is the
+  // section checksum, entries precede it). Both a flipped entry word and a
+  // flipped checksum must fail the load.
+  for (const size_t back_off : {9u, 3u}) {
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() - back_off] ^= 0x04;
+    std::stringstream in(corrupt, std::ios::in | std::ios::binary);
+    EXPECT_THROW(ReadIndex(in), std::runtime_error)
+        << "flip at size-" << back_off;
+  }
+
+  // Truncation inside the delta section.
+  for (const size_t cut_back : {1u, 8u, 17u}) {
+    std::stringstream trunc(bytes.substr(0, bytes.size() - cut_back),
+                            std::ios::in | std::ios::binary);
+    EXPECT_THROW(ReadIndex(trunc), std::runtime_error)
+        << "cut " << cut_back << " bytes";
+  }
 }
 
 TEST(IndexIoTest, RoundTripEmptyIndex) {

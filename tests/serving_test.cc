@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -441,6 +442,107 @@ TEST(ServingTest, ParallelShardBuildsAreDeterministic) {
     const LabelSeq c = RandomPrimitiveSeq(1 + i % 2, 4, rng);
     ASSERT_EQ(a.Query(s, t, c), b.Query(s, t, c));
   }
+}
+
+/// Shared driver for the live-update differential: apply random update
+/// batches and, after each, re-check the service (scalar + batched) against
+/// a fresh whole-graph index built on the mutated graph.
+void RunUpdateDifferential(ServiceOptions options, uint64_t seed) {
+  const VertexId n = 150;
+  const Label labels = 3;
+  std::vector<Edge> base_edges;
+  {
+    Rng rng(seed);
+    base_edges = ErdosRenyiEdges(n, 600, rng);
+    AssignZipfLabels(&base_edges, labels, 2.0, rng);
+  }
+  const DiGraph g(n, base_edges, labels);
+  ShardedRlcService service(g, options);
+
+  Rng rng(seed ^ 0x5EED);
+  std::vector<Edge> mutated_edges = base_edges;
+  uint64_t applied_total = 0;
+  for (int batch = 0; batch < 3; ++batch) {
+    std::vector<EdgeUpdate> updates;
+    while (updates.size() < 12) {
+      const auto u = static_cast<VertexId>(rng.Below(n));
+      const auto v = static_cast<VertexId>(rng.Below(n));
+      const auto l = static_cast<Label>(rng.Below(labels));
+      if (std::find(mutated_edges.begin(), mutated_edges.end(),
+                    Edge{u, v, l}) != mutated_edges.end()) {
+        continue;
+      }
+      mutated_edges.push_back({u, v, l});
+      updates.push_back({u, l, v});
+    }
+    // One duplicate (base edge) rides along and must be a no-op.
+    updates.push_back(
+        {base_edges[batch].src, base_edges[batch].label, base_edges[batch].dst});
+
+    ASSERT_EQ(service.ApplyUpdates(updates), 12u);
+    applied_total += 12;
+    ASSERT_EQ(service.stats().updates_applied, applied_total);
+    ASSERT_EQ(service.stats().updates_duplicate, uint64_t(batch + 1));
+
+    const DiGraph mutated(n, mutated_edges, labels);
+    const RlcIndex fresh = BuildRlcIndex(mutated, options.indexer.k);
+    ExpectServiceMatchesIndex(mutated, fresh, service, 400, seed + batch);
+  }
+  EXPECT_GT(service.stats().updates_cross, 0u);
+
+  // Drain any background reseals and re-check: the swap must not change a
+  // single answer.
+  service.FinishReseals();
+  const DiGraph mutated(n, mutated_edges, labels);
+  const RlcIndex fresh = BuildRlcIndex(mutated, options.indexer.k);
+  ExpectServiceMatchesIndex(mutated, fresh, service, 400, seed + 99);
+}
+
+TEST(ServingTest, ApplyUpdatesMatchesRebuiltIndexHybrid) {
+  RunUpdateDifferential(Opts(4, PartitionPolicy::kHash), 111);
+}
+
+TEST(ServingTest, ApplyUpdatesMatchesRebuiltIndexRange) {
+  RunUpdateDifferential(Opts(3, PartitionPolicy::kRange), 222);
+}
+
+TEST(ServingTest, ApplyUpdatesMatchesRebuiltIndexOnlineFallback) {
+  RunUpdateDifferential(
+      Opts(4, PartitionPolicy::kHash, 2, FallbackMode::kOnline), 333);
+}
+
+TEST(ServingTest, ApplyUpdatesWithBackgroundResealsAndExecThreads) {
+  ServiceOptions options = Opts(4, PartitionPolicy::kHash);
+  options.exec_threads = 4;
+  options.exec_probes_per_job = 32;
+  options.reseal.background = true;
+  options.reseal.min_delta_entries = 1;
+  options.reseal.max_delta_ratio = 1e-6;  // reseal on (nearly) every insert
+  RunUpdateDifferential(options, 444);
+}
+
+TEST(ServingTest, ApplyUpdatesRejectsBadBatchWithoutApplyingAnything) {
+  const DiGraph g = RandomGraph(60, 240, 3, 555);
+  ShardedRlcService service(g, Opts(3, PartitionPolicy::kHash));
+  // A valid new edge followed by an invalid one: the batch must be rejected
+  // atomically — nothing applied, no stats movement.
+  Rng rng(556);
+  EdgeUpdate fresh{};
+  for (;;) {
+    fresh = {static_cast<VertexId>(rng.Below(60)),
+             static_cast<Label>(rng.Below(3)),
+             static_cast<VertexId>(rng.Below(60))};
+    if (!g.HasEdge(fresh.src, fresh.dst, fresh.label)) break;
+  }
+  const std::vector<EdgeUpdate> bad_vertex = {fresh, {60, 0, 1}};
+  EXPECT_THROW(service.ApplyUpdates(bad_vertex), std::invalid_argument);
+  const std::vector<EdgeUpdate> bad_label = {fresh, {0, 3, 1}};
+  EXPECT_THROW(service.ApplyUpdates(bad_label), std::invalid_argument);
+  EXPECT_EQ(service.stats().updates_applied, 0u);
+  EXPECT_EQ(service.stats().updates_duplicate, 0u);
+  // The service still answers exactly like the unmutated whole-graph index.
+  const RlcIndex fresh_index = BuildRlcIndex(g, 2);
+  ExpectServiceMatchesIndex(g, fresh_index, service, 200, 557);
 }
 
 TEST(ServingTest, WorkloadAnswersMatchOracle) {
