@@ -171,11 +171,10 @@ int main(int argc, char** argv) {
   options.fallback = args.fallback;
   Timer build_timer;
   ShardedRlcService service(g, options);
-  std::printf("service build: %.2f s (partition %.2fs, indexes %.2fs, "
-              "prefilter %.2fs), %.2f MB\n",
+  std::printf("service build: %.2f s (partition %.2fs, indexes %.2fs), "
+              "%.2f MB\n",
               build_timer.ElapsedSeconds(), service.stats().partition_seconds,
               service.stats().index_build_seconds,
-              service.stats().prefilter_build_seconds,
               static_cast<double>(service.MemoryBytes()) / (1 << 20));
   const GraphPartition& partition = service.partition();
   for (uint32_t s = 0; s < partition.num_shards(); ++s) {

@@ -1,6 +1,7 @@
 #include "rlc/core/dynamic_index.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_set>
 #include <utility>
 
@@ -39,13 +40,53 @@ DynamicRlcIndex::~DynamicRlcIndex() {
   if (reseal_thread_.joinable()) reseal_thread_.join();
 }
 
+bool DynamicRlcIndex::BaseEdgeRemoved(VertexId u, Label l, VertexId v) const {
+  return EdgeShadowed(/*backward=*/false, u, {v, l});
+}
+
 bool DynamicRlcIndex::HasEdge(VertexId u, Label label, VertexId v) const {
-  if (g_.HasEdge(u, v, label)) return true;
+  if (g_.HasEdge(u, v, label) && !BaseEdgeRemoved(u, label, v)) return true;
   if (extra_out_.empty()) return false;
   for (const LabeledNeighbor& nb : extra_out_[u]) {
     if (nb.v == v && nb.label == label) return true;
   }
   return false;
+}
+
+namespace {
+
+bool EraseNeighbor(std::vector<LabeledNeighbor>& list, VertexId v, Label l) {
+  const auto it = std::find(list.begin(), list.end(), LabeledNeighbor{v, l});
+  if (it == list.end()) return false;
+  list.erase(it);
+  return true;
+}
+
+void EraseUpdateRecord(std::vector<EdgeUpdate>& log, VertexId u, Label l,
+                       VertexId v) {
+  const auto it =
+      std::find_if(log.begin(), log.end(), [&](const EdgeUpdate& e) {
+        return e.src == u && e.label == l && e.dst == v;
+      });
+  RLC_DCHECK(it != log.end());
+  log.erase(it);
+}
+
+}  // namespace
+
+void DynamicRlcIndex::RemoveGraphEdge(VertexId u, Label l, VertexId v) {
+  if (!extra_out_.empty() && EraseNeighbor(extra_out_[u], v, l)) {
+    EraseNeighbor(extra_in_[v], u, l);
+    EraseUpdateRecord(inserted_, u, l, v);
+    return;
+  }
+  if (removed_out_.empty()) {
+    removed_out_.resize(g_.num_vertices());
+    removed_in_.resize(g_.num_vertices());
+  }
+  removed_out_[u].push_back({v, l});
+  removed_in_[v].push_back({u, l});
+  removed_.push_back({u, l, v, EdgeOp::kDelete});
 }
 
 bool DynamicRlcIndex::InsertEdge(VertexId u, Label label, VertexId v) {
@@ -60,15 +101,40 @@ bool DynamicRlcIndex::InsertEdge(VertexId u, Label label, VertexId v) {
     ++stats_.edges_duplicate;
     return false;
   }
-  if (extra_out_.empty()) {
-    extra_out_.resize(g_.num_vertices());
-    extra_in_.resize(g_.num_vertices());
+  if (BaseEdgeRemoved(u, label, v)) {
+    // A previously deleted base edge returns: un-shadow it instead of
+    // duplicating it in the overlay.
+    EraseNeighbor(removed_out_[u], v, label);
+    EraseNeighbor(removed_in_[v], u, label);
+    EraseUpdateRecord(removed_, u, label, v);
+  } else {
+    if (extra_out_.empty()) {
+      extra_out_.resize(g_.num_vertices());
+      extra_in_.resize(g_.num_vertices());
+    }
+    extra_out_[u].push_back({v, label});
+    extra_in_[v].push_back({u, label});
+    inserted_.push_back({u, label, v});
   }
-  extra_out_[u].push_back({v, label});
-  extra_in_[v].push_back({u, label});
-  inserted_.push_back({u, label, v});
   IncrementalUpdate(u, label, v);
   ++stats_.edges_inserted;
+  MaybeReseal();
+  return true;
+}
+
+bool DynamicRlcIndex::DeleteEdge(VertexId u, Label label, VertexId v) {
+  RLC_REQUIRE(u < g_.num_vertices() && v < g_.num_vertices(),
+              "DynamicRlcIndex::DeleteEdge: vertex out of range");
+  RLC_REQUIRE(label < g_.num_labels(),
+              "DynamicRlcIndex::DeleteEdge: label " << label
+                  << " outside the base graph's alphabet");
+  TryCompleteReseal(/*wait=*/false);
+  if (!HasEdge(u, label, v)) {
+    ++stats_.edges_delete_missing;
+    return false;
+  }
+  IncrementalDelete(u, label, v);
+  ++stats_.edges_deleted;
   MaybeReseal();
   return true;
 }
@@ -76,7 +142,10 @@ bool DynamicRlcIndex::InsertEdge(VertexId u, Label label, VertexId v) {
 size_t DynamicRlcIndex::ApplyUpdates(std::span<const EdgeUpdate> updates) {
   size_t applied = 0;
   for (const EdgeUpdate& e : updates) {
-    applied += InsertEdge(e.src, e.label, e.dst) ? 1 : 0;
+    const bool changed = e.op == EdgeOp::kInsert
+                             ? InsertEdge(e.src, e.label, e.dst)
+                             : DeleteEdge(e.src, e.label, e.dst);
+    applied += changed ? 1 : 0;
   }
   return applied;
 }
@@ -102,7 +171,10 @@ void DynamicRlcIndex::CollectWords(VertexId start, bool backward,
       if (next.seq.size() < max_len) queue.push_back(next);
     };
     const auto base = backward ? g_.InEdges(cur.v) : g_.OutEdges(cur.v);
-    for (const LabeledNeighbor& nb : base) expand(nb.v, nb.label);
+    for (const LabeledNeighbor& nb : base) {
+      if (EdgeShadowed(backward, cur.v, nb)) continue;
+      expand(nb.v, nb.label);
+    }
     const auto& extra = backward ? extra_in_ : extra_out_;
     if (!extra.empty()) {
       for (const LabeledNeighbor& nb : extra[cur.v]) expand(nb.v, nb.label);
@@ -141,7 +213,10 @@ std::vector<VertexId> DynamicRlcIndex::AlignedBoundary(VertexId start,
         backward ? step_pos : (pos == len ? 1 : pos + 1);
     const auto base = backward ? g_.InEdgesWithLabel(x, expected)
                                : g_.OutEdgesWithLabel(x, expected);
-    for (const LabeledNeighbor& nb : base) visit(nb.v, next_pos);
+    for (const LabeledNeighbor& nb : base) {
+      if (EdgeShadowed(backward, x, nb)) continue;
+      visit(nb.v, next_pos);
+    }
     const auto& extra = backward ? extra_in_ : extra_out_;
     if (!extra.empty()) {
       for (const LabeledNeighbor& nb : extra[x]) {
@@ -153,10 +228,10 @@ std::vector<VertexId> DynamicRlcIndex::AlignedBoundary(VertexId start,
   return boundary;
 }
 
-bool DynamicRlcIndex::OldGraphAlignedConnects(VertexId u, Label l, VertexId v,
-                                              uint32_t from_pos,
-                                              uint32_t to_pos,
-                                              const LabelSeq& kernel) {
+bool DynamicRlcIndex::AlignedConnects(VertexId u, VertexId v,
+                                      uint32_t from_pos, uint32_t to_pos,
+                                      const LabelSeq& kernel,
+                                      const EdgeUpdate* exclude) {
   const uint64_t states =
       static_cast<uint64_t>(g_.num_vertices()) * current_->k();
   if (visit_stamp_.size() < states) visit_stamp_.assign(states, 0);
@@ -177,25 +252,74 @@ bool DynamicRlcIndex::OldGraphAlignedConnects(VertexId u, Label l, VertexId v,
     const uint32_t next_pos = pos == len ? 1 : pos + 1;
     // The target only counts when reached over >= 1 edge (the detour must
     // consume the alignment step); the start state itself does not qualify,
-    // which matters for self-loop inserts on single-label kernels.
+    // which matters for self-loop mutations on single-label kernels.
     const bool hits_target = next_pos == to_pos;
+    const bool excludes_here = exclude != nullptr && x == exclude->src &&
+                               expected == exclude->label;
     for (const LabeledNeighbor& nb : g_.OutEdgesWithLabel(x, expected)) {
+      if (excludes_here && nb.v == exclude->dst) continue;
+      if (EdgeShadowed(/*backward=*/false, x, nb)) continue;
       if (hits_target && nb.v == v) return true;
       visit(nb.v, next_pos);
     }
     if (!extra_out_.empty()) {
       for (const LabeledNeighbor& nb : extra_out_[x]) {
         if (nb.label != expected) continue;
-        // The just-inserted edge is excluded: this search asks about the
-        // graph as it was before the insert (it is unique in the overlay —
-        // duplicate inserts never get this far).
-        if (x == u && nb.v == v && nb.label == l) continue;
+        if (excludes_here && nb.v == exclude->dst) continue;
         if (hits_target && nb.v == v) return true;
         visit(nb.v, next_pos);
       }
     }
   }
   return false;
+}
+
+std::vector<VertexId> DynamicRlcIndex::AlignedClosure(VertexId start,
+                                                      const LabelSeq& kernel,
+                                                      bool backward) {
+  const uint64_t states =
+      static_cast<uint64_t>(g_.num_vertices()) * current_->k();
+  if (visit_stamp_.size() < states) visit_stamp_.assign(states, 0);
+  ++epoch_;
+
+  const uint32_t len = kernel.size();
+  std::vector<VertexId> closure;
+  std::vector<std::pair<VertexId, uint32_t>> queue;
+  auto visit = [&](VertexId x, uint32_t pos) {
+    uint64_t& stamp = visit_stamp_[StateIndex(x, pos)];
+    if (stamp == epoch_) return;
+    stamp = epoch_;
+    queue.push_back({x, pos});
+  };
+  visit(start, 1);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const auto [x, pos] = queue[head];
+    const uint32_t step_pos = backward ? (pos == 1 ? len : pos - 1) : pos;
+    const Label expected = kernel[step_pos - 1];
+    const uint32_t next_pos = backward ? step_pos : (pos == len ? 1 : pos + 1);
+    auto step = [&](VertexId w) {
+      // A vertex belongs to the closure when a step lands on it at a copy
+      // boundary — recorded before the dedup stamp, so an aligned cycle
+      // back to the (already stamped) start still reports it.
+      if (next_pos == 1) closure.push_back(w);
+      visit(w, next_pos);
+    };
+    const auto base = backward ? g_.InEdgesWithLabel(x, expected)
+                               : g_.OutEdgesWithLabel(x, expected);
+    for (const LabeledNeighbor& nb : base) {
+      if (EdgeShadowed(backward, x, nb)) continue;
+      step(nb.v);
+    }
+    const auto& extra = backward ? extra_in_ : extra_out_;
+    if (!extra.empty()) {
+      for (const LabeledNeighbor& nb : extra[x]) {
+        if (nb.label == expected) step(nb.v);
+      }
+    }
+  }
+  std::sort(closure.begin(), closure.end());
+  closure.erase(std::unique(closure.begin(), closure.end()), closure.end());
+  return closure;
 }
 
 void DynamicRlcIndex::AppendDelta(bool is_out, VertexId v, uint32_t hub_aid,
@@ -205,8 +329,19 @@ void DynamicRlcIndex::AppendDelta(bool is_out, VertexId v, uint32_t hub_aid,
   } else {
     current_->AddDeltaIn(v, hub_aid, mr);
   }
-  delta_log_.push_back({is_out, v, hub_aid, seq});
+  delta_log_.push_back({DeltaRecord::Kind::kAppend, is_out, v, hub_aid, seq});
   ++stats_.delta_entries_added;
+}
+
+void DynamicRlcIndex::SuppressEntry(bool is_out, VertexId v, uint32_t hub_aid,
+                                    MrId mr, const LabelSeq& seq) {
+  if (is_out) {
+    current_->SuppressOut(v, hub_aid, mr);
+  } else {
+    current_->SuppressIn(v, hub_aid, mr);
+  }
+  delta_log_.push_back({DeltaRecord::Kind::kSuppress, is_out, v, hub_aid, seq});
+  ++stats_.entries_suppressed;
 }
 
 void DynamicRlcIndex::AddCoverEntry(VertexId x, VertexId y, MrId mr,
@@ -285,10 +420,11 @@ void DynamicRlcIndex::IncrementalUpdate(VertexId u, Label l, VertexId v) {
     // an old-graph detour, so every S x T pair of this candidate was
     // already reachable — and therefore already answered. Skip it whole.
     bool detour_everywhere = true;
+    const EdgeUpdate inserted{u, l, v};
     for (uint32_t j = 1; j <= len && detour_everywhere; ++j) {
       if (kernel[j - 1] != l) continue;
       detour_everywhere =
-          OldGraphAlignedConnects(u, l, v, j, j == len ? 1 : j + 1, kernel);
+          AlignedConnects(u, v, j, j == len ? 1 : j + 1, kernel, &inserted);
     }
     if (detour_everywhere) {
       ++stats_.kernels_ruled_out;
@@ -336,8 +472,212 @@ void DynamicRlcIndex::IncrementalUpdate(VertexId u, Label l, VertexId v) {
   }
 }
 
+void DynamicRlcIndex::IncrementalDelete(VertexId u, Label l, VertexId v) {
+  const uint32_t k = current_->k();
+  // Phase 1 (pre-delete graph, the edge still present): candidate kernels
+  // L = α ∘ l ∘ β around the edge and their copy-boundary sets S / T —
+  // every entry whose witness used the edge claims a pair in some S x T.
+  // Kernels whose MR was never interned are skipped whole: the live index
+  // is complete, so nothing was ever reachable (or recorded) under them,
+  // and a delete cannot make new pairs reachable.
+  std::set<LabelSeq> back_words;
+  std::set<LabelSeq> fwd_words;
+  CollectWords(u, /*backward=*/true, back_words);
+  CollectWords(v, /*backward=*/false, fwd_words);
+  std::set<std::pair<LabelSeq, uint32_t>> keys;
+  for (const LabelSeq& alpha : back_words) {
+    for (const LabelSeq& beta : fwd_words) {
+      if (alpha.size() + 1 + beta.size() > k) continue;
+      LabelSeq kernel = alpha;
+      kernel.PushBack(l);
+      for (uint32_t i = 0; i < beta.size(); ++i) kernel.PushBack(beta[i]);
+      if (!IsPrimitive(kernel.labels())) continue;
+      keys.insert({kernel, alpha.size() + 1});
+    }
+  }
+  struct Candidate {
+    LabelSeq kernel;
+    uint32_t offset;
+    MrId mr;
+    std::vector<VertexId> up;    // S: copy starts aligned-reaching u
+    std::vector<VertexId> down;  // T: copy boundaries downstream of v
+  };
+  std::vector<Candidate> candidates;
+  const EdgeUpdate deleted{u, l, v};
+  std::map<std::pair<LabelSeq, uint32_t>, bool> detour_verdicts;
+  for (const auto& [kernel, offset] : keys) {
+    ++stats_.kernels_examined;
+    const MrId mr = current_->FindMr(kernel);
+    if (mr == kInvalidMrId) continue;
+    const uint32_t len = kernel.size();
+    // Aligned-detour rule-out, evaluated on "pre-delete minus the edge" —
+    // exactly the post-delete graph — *before* the expensive boundary
+    // searches: when every position carrying l still aligned-connects u to
+    // v, every witness through the edge reroutes over the detour, so no
+    // entry of this candidate goes stale and S / T are never needed. The
+    // per-(kernel, position) verdicts are memoized across offsets.
+    bool detour_everywhere = true;
+    for (uint32_t j = 1; j <= len && detour_everywhere; ++j) {
+      if (kernel[j - 1] != l) continue;
+      const auto [it, missing] = detour_verdicts.try_emplace({kernel, j});
+      if (missing) {
+        it->second =
+            AlignedConnects(u, v, j, j == len ? 1 : j + 1, kernel, &deleted);
+      }
+      detour_everywhere = it->second;
+    }
+    if (detour_everywhere) {
+      ++stats_.kernels_ruled_out;
+      continue;
+    }
+    std::vector<VertexId> up =
+        AlignedBoundary(u, offset, kernel, /*backward=*/true);
+    if (up.empty()) continue;
+    std::vector<VertexId> down = AlignedBoundary(
+        v, offset == len ? 1 : offset + 1, kernel, /*backward=*/false);
+    if (down.empty()) continue;
+    candidates.push_back({kernel, offset, mr, std::move(up), std::move(down)});
+  }
+
+  // Phase 2: take the edge out of the mutated graph. Everything below asks
+  // about the post-delete world.
+  RemoveGraphEdge(u, l, v);
+  if (candidates.empty()) return;
+
+  // Post-delete aligned closures, memoized per (kernel, vertex, direction):
+  // one forward closure answers every validity and repair question about a
+  // source, one backward closure about a target.
+  std::map<std::pair<LabelSeq, VertexId>, std::vector<VertexId>> fwd_memo;
+  std::map<std::pair<LabelSeq, VertexId>, std::vector<VertexId>> bwd_memo;
+  auto closure_of = [&](bool backward, const LabelSeq& kernel,
+                        VertexId x) -> const std::vector<VertexId>& {
+    auto& memo = backward ? bwd_memo : fwd_memo;
+    const auto [it, inserted] = memo.try_emplace({kernel, x});
+    if (inserted) it->second = AlignedClosure(x, kernel, backward);
+    return it->second;
+  };
+
+  // Phase 3 per candidate (all survived the rule-out above): suppression
+  // of the entries whose own reachability claim provably died.
+  std::set<std::pair<MrId, VertexId>> dead_out;  // suppressed Lout owners
+  std::set<std::pair<MrId, VertexId>> dead_in;   // suppressed Lin owners
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    const Candidate& cand = candidates[ci];
+    const LabelSeq& kernel = cand.kernel;
+
+    // Matched out-entries: (h, L) ∈ Lout(s) with s ∈ S, h ∈ T claims
+    // s ⇝ h; it survives iff s is in the post-delete *backward* closure of
+    // h. Grouping the checks by hub — entries share few distinct hubs,
+    // that is the point of hub labeling — means one closure answers every
+    // source's validity question at once. Hub ids are collected first:
+    // Suppress mutates the delta lists.
+    for (const VertexId s : cand.up) {
+      std::vector<uint32_t> hubs;
+      auto collect = [&](std::span<const IndexEntry> entries) {
+        for (const IndexEntry& e : entries) {
+          if (e.mr != cand.mr) continue;
+          if (std::binary_search(cand.down.begin(), cand.down.end(),
+                                 current_->VertexOfAid(e.hub_aid))) {
+            hubs.push_back(e.hub_aid);
+          }
+        }
+      };
+      collect(current_->Lout(s));
+      collect(current_->DeltaLout(s));
+      for (const uint32_t hub_aid : hubs) {
+        // Skip entries another candidate already suppressed (the raw CSR
+        // span still shows tombstoned entries).
+        if (!current_->HasOutEntry(s, hub_aid, cand.mr)) continue;
+        const std::vector<VertexId>& reach = closure_of(
+            /*backward=*/true, kernel, current_->VertexOfAid(hub_aid));
+        if (std::binary_search(reach.begin(), reach.end(), s)) {
+          continue;  // another witness survives — the entry stays
+        }
+        SuppressEntry(/*is_out=*/true, s, hub_aid, cand.mr, kernel);
+        dead_out.insert({cand.mr, s});
+      }
+    }
+    // Matched in-entries: (h, L) ∈ Lin(t) with h ∈ S, t ∈ T claims h ⇝ t;
+    // it survives iff t is in the forward closure of h.
+    for (const VertexId t : cand.down) {
+      std::vector<uint32_t> hubs;
+      auto collect = [&](std::span<const IndexEntry> entries) {
+        for (const IndexEntry& e : entries) {
+          if (e.mr != cand.mr) continue;
+          if (std::binary_search(cand.up.begin(), cand.up.end(),
+                                 current_->VertexOfAid(e.hub_aid))) {
+            hubs.push_back(e.hub_aid);
+          }
+        }
+      };
+      collect(current_->Lin(t));
+      collect(current_->DeltaLin(t));
+      for (const uint32_t hub_aid : hubs) {
+        if (!current_->HasInEntry(t, hub_aid, cand.mr)) continue;
+        const std::vector<VertexId>& reach = closure_of(
+            /*backward=*/false, kernel, current_->VertexOfAid(hub_aid));
+        if (std::binary_search(reach.begin(), reach.end(), t)) {
+          continue;
+        }
+        SuppressEntry(/*is_out=*/false, t, hub_aid, cand.mr, kernel);
+        dead_in.insert({cand.mr, t});
+      }
+    }
+  }
+
+  // Phase 4: completeness repair. A pair can only lose its last cover
+  // through a suppressed entry on its source's out side or its target's in
+  // side, so the sweep is restricted to (S ∩ dead-out) x T and
+  // S x (T ∩ dead-in); every still-reachable pair the index no longer
+  // answers gets a fresh Case-2 delta cover (valid by construction — its
+  // claim is exactly the pair's rechecked reachability).
+  if (dead_out.empty() && dead_in.empty()) return;
+  // Only pairs that are reachable (in the closure) *and* in the boundary
+  // set can need a cover, so each row sweeps the intersection by scanning
+  // the smaller sorted vector against the larger.
+  const auto for_each_common = [](const std::vector<VertexId>& a,
+                                  const std::vector<VertexId>& b, auto fn) {
+    const std::vector<VertexId>& small = a.size() <= b.size() ? a : b;
+    const std::vector<VertexId>& large = a.size() <= b.size() ? b : a;
+    for (const VertexId x : small) {
+      if (std::binary_search(large.begin(), large.end(), x)) fn(x);
+    }
+  };
+  for (const Candidate& cand : candidates) {
+    for (const VertexId s : cand.up) {
+      if (dead_out.find({cand.mr, s}) == dead_out.end()) continue;
+      const std::vector<VertexId>& reach =
+          closure_of(/*backward=*/false, cand.kernel, s);
+      for_each_common(reach, cand.down, [&](VertexId t) {
+        ++stats_.pairs_examined;
+        if (current_->QueryInterned(s, t, cand.mr)) return;
+        AddCoverEntry(s, t, cand.mr, cand.kernel);
+        ++stats_.pairs_recovered;
+      });
+    }
+    for (const VertexId t : cand.down) {
+      if (dead_in.find({cand.mr, t}) == dead_in.end()) continue;
+      const std::vector<VertexId>& reach =
+          closure_of(/*backward=*/true, cand.kernel, t);
+      for_each_common(reach, cand.up, [&](VertexId s) {
+        ++stats_.pairs_examined;
+        if (current_->QueryInterned(s, t, cand.mr)) return;
+        AddCoverEntry(s, t, cand.mr, cand.kernel);
+        ++stats_.pairs_recovered;
+      });
+    }
+  }
+}
+
 std::vector<Edge> DynamicRlcIndex::MaterializedEdges() const {
-  std::vector<Edge> edges = g_.ToEdgeList();
+  std::vector<Edge> edges;
+  if (removed_.empty()) {
+    edges = g_.ToEdgeList();
+  } else {
+    for (const Edge& e : g_.ToEdgeList()) {
+      if (!BaseEdgeRemoved(e.src, e.label, e.dst)) edges.push_back(e);
+    }
+  }
   edges.reserve(edges.size() + inserted_.size());
   for (const EdgeUpdate& e : inserted_) edges.push_back({e.src, e.dst, e.label});
   return edges;
@@ -348,7 +688,10 @@ void DynamicRlcIndex::MaybeReseal() {
     TryCompleteReseal(/*wait=*/false);
     return;
   }
-  if (current_->delta_entries() < policy_.min_delta_entries) return;
+  if (current_->delta_entries() + current_->tombstone_entries() <
+      policy_.min_delta_entries) {
+    return;
+  }
   if (current_->DeltaRatio() <= policy_.max_delta_ratio) return;
   StartReseal();
 }
@@ -387,18 +730,32 @@ void DynamicRlcIndex::TryCompleteReseal(bool wait) {
   reseal_thread_.join();
   stats_.reseal_seconds += reseal_merge_seconds_;
   auto fresh = std::shared_ptr<RlcIndex>(std::move(reseal_snapshot_));
-  // Replay the deltas that were appended after the trigger: the merged CSR
+  // Replay the overlay mutations recorded after the trigger: the merged CSR
   // holds everything up to the mark, so the replayed suffix restores the
   // exact visible entry set — answers are unchanged across the swap.
   // Post-trigger MRs re-intern in log order, which reproduces the live
-  // table's ids (interning is append-only and deterministic).
+  // table's ids (interning is append-only and deterministic). A replayed
+  // suppression finds its entry wherever the merge left it: folded into
+  // the fresh CSR (tombstoned there) or re-appended by an earlier replayed
+  // record (erased from the delta list, matching the live index).
   for (size_t i = reseal_log_mark_; i < delta_log_.size(); ++i) {
     const DeltaRecord& r = delta_log_[i];
-    const MrId mr = fresh->mr_table().Intern(r.seq);
-    if (r.is_out) {
-      fresh->AddDeltaOut(r.v, r.hub_aid, mr);
+    if (r.kind == DeltaRecord::Kind::kAppend) {
+      const MrId mr = fresh->mr_table().Intern(r.seq);
+      if (r.is_out) {
+        fresh->AddDeltaOut(r.v, r.hub_aid, mr);
+      } else {
+        fresh->AddDeltaIn(r.v, r.hub_aid, mr);
+      }
     } else {
-      fresh->AddDeltaIn(r.v, r.hub_aid, mr);
+      const MrId mr = fresh->mr_table().Find(r.seq);
+      RLC_CHECK_MSG(mr != kInvalidMrId,
+                    "reseal replay: suppressed entry's MR is unknown");
+      if (r.is_out) {
+        fresh->SuppressOut(r.v, r.hub_aid, mr);
+      } else {
+        fresh->SuppressIn(r.v, r.hub_aid, mr);
+      }
     }
     ++stats_.deltas_replayed;
   }
@@ -412,7 +769,9 @@ void DynamicRlcIndex::FinishReseal() { TryCompleteReseal(/*wait=*/true); }
 
 void DynamicRlcIndex::ForceReseal() {
   TryCompleteReseal(/*wait=*/true);
-  if (current_->delta_entries() == 0) return;
+  if (current_->delta_entries() == 0 && current_->tombstone_entries() == 0) {
+    return;
+  }
   ++stats_.reseals;
   ResealInline();
 }
@@ -421,9 +780,12 @@ uint64_t DynamicRlcIndex::MemoryBytes() const {
   uint64_t bytes = current_->MemoryBytes();
   for (const auto& list : extra_out_) bytes += list.capacity() * sizeof(LabeledNeighbor);
   for (const auto& list : extra_in_) bytes += list.capacity() * sizeof(LabeledNeighbor);
-  bytes += (extra_out_.capacity() + extra_in_.capacity()) *
+  for (const auto& list : removed_out_) bytes += list.capacity() * sizeof(LabeledNeighbor);
+  for (const auto& list : removed_in_) bytes += list.capacity() * sizeof(LabeledNeighbor);
+  bytes += (extra_out_.capacity() + extra_in_.capacity() +
+            removed_out_.capacity() + removed_in_.capacity()) *
            sizeof(std::vector<LabeledNeighbor>);
-  bytes += inserted_.capacity() * sizeof(EdgeUpdate);
+  bytes += (inserted_.capacity() + removed_.capacity()) * sizeof(EdgeUpdate);
   bytes += delta_log_.capacity() * sizeof(DeltaRecord);
   bytes += visit_stamp_.capacity() * sizeof(uint64_t);
   return bytes;

@@ -1,12 +1,13 @@
-// Incremental edge-insert maintenance over a sealed RLC index.
+// Incremental edge-insert and edge-delete maintenance over a sealed RLC
+// index.
 //
 // The paper builds its index once over a static graph; a serving system
 // sees the graph mutate. DynamicRlcIndex keeps a sealed RlcIndex answering
-// exactly on the *mutated* graph without rebuilding it per insert:
+// exactly on the *mutated* graph without rebuilding it per mutation:
 //
 //  * The graph delta is an adjacency overlay (per-vertex extra edge lists
-//    over the immutable base DiGraph); every maintenance search traverses
-//    base + overlay.
+//    plus per-vertex removed-edge shadows over the immutable base DiGraph);
+//    every maintenance search traverses base + overlay minus removals.
 //
 //  * InsertEdge(u, l, v) runs a bounded incremental KBS around the new
 //    edge. Any query pair (s, t, L+) that the insert makes reachable has a
@@ -27,8 +28,30 @@
 //    land in the sealed index's delta overlay (rlc_index.h), so answers are
 //    exact on the mutated graph while the CSR arrays stay untouched.
 //
-//  * When the delta fraction crosses ResealPolicy::max_delta_ratio, a
-//    *reseal* folds the deltas into fresh CSR arrays and recomputes the
+//  * DeleteEdge(u, l, v) is the dual. An index entry is a standalone
+//    reachability claim ("vertex aligned-reaches hub under L+"), and a
+//    Case-1 join of two *valid* entries implies the pair is reachable — so
+//    a deletion can only create false positives through entries whose own
+//    claim died with the edge. Phase 1 enumerates the same candidate
+//    kernels (L, i) around the edge and computes the copy-boundary sets
+//    S / T on the *pre-delete* graph: every entry whose witness used the
+//    edge claims a pair in some S x T. After the edge is removed, a
+//    candidate whose positions carrying l all still aligned-connect u to v
+//    is ruled out whole (every witness reroutes over the detour, the exact
+//    dual of the insert rule-out). Phase 2 validity-checks the matched
+//    entries with bounded aligned closures on the post-delete graph and
+//    *suppresses* the dead ones — pending delta entries are erased, CSR
+//    entries get a tombstone (rlc_index.h) that every query path skips.
+//    Phase 3 repairs completeness: a pair can only lose its last cover
+//    through a suppressed entry, so the sweep is restricted to
+//    (S ∩ dead-out) x T and S x (T ∩ dead-in) per candidate; pairs still
+//    reachable but no longer answered get a fresh Case-2 delta cover.
+//    Answers stay bit-identical to a from-scratch rebuild on the mutated
+//    graph.
+//
+//  * When the pending-mutation fraction (deltas + tombstones) crosses
+//    ResealPolicy::max_delta_ratio, a *reseal* folds the deltas in, drops
+//    the tombstoned entries out of the CSR arrays and recomputes the
 //    exact signatures. With policy.background the merge runs on a detached
 //    thread over a private snapshot (copied on the owner thread at trigger
 //    time); the owner swaps the result in with an epoch-style shared_ptr
@@ -45,6 +68,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <set>
@@ -57,11 +81,20 @@
 
 namespace rlc {
 
-/// One edge insertion (src --label--> dst) for the batched update APIs.
+/// What a batched EdgeUpdate does to the graph.
+enum class EdgeOp : uint8_t {
+  kInsert,  ///< add the edge (no-op when it already exists)
+  kDelete,  ///< remove the edge (no-op when it does not exist)
+};
+
+/// One edge mutation (src --label--> dst) for the batched update APIs.
+/// Aggregate-initializing the first three fields keeps the PR4-era
+/// insert-only call sites working unchanged.
 struct EdgeUpdate {
   VertexId src = 0;
   Label label = 0;
   VertexId dst = 0;
+  EdgeOp op = EdgeOp::kInsert;
 
   friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
 };
@@ -82,19 +115,24 @@ struct ResealPolicy {
 struct DynamicIndexStats {
   uint64_t edges_inserted = 0;
   uint64_t edges_duplicate = 0;     ///< no-op inserts of existing edges
+  uint64_t edges_deleted = 0;
+  uint64_t edges_delete_missing = 0;  ///< no-op deletes of absent edges
   uint64_t kernels_examined = 0;    ///< candidate (kernel, offset) pairs
-  uint64_t kernels_ruled_out = 0;   ///< candidates skipped: pre-insert
-                                    ///< aligned detour covers all pairs
+  uint64_t kernels_ruled_out = 0;   ///< candidates skipped: the aligned
+                                    ///< detour covers / reroutes all pairs
   uint64_t pairs_examined = 0;      ///< S x T cover probes
   uint64_t delta_entries_added = 0;
+  uint64_t entries_suppressed = 0;  ///< stale entries erased or tombstoned
+  uint64_t pairs_recovered = 0;     ///< still-reachable pairs re-covered
+                                    ///< after losing their last entry
   uint64_t reseals = 0;
   uint64_t deltas_replayed = 0;     ///< appended mid-reseal, replayed at swap
   double reseal_seconds = 0.0;      ///< cumulative merge wall time
 };
 
 /// A sealed RlcIndex plus the machinery to keep it exact under edge
-/// inserts. `g` is the immutable base graph and must outlive the instance;
-/// `index` must be a sealed index of exactly `g`.
+/// inserts and deletes. `g` is the immutable base graph and must outlive
+/// the instance; `index` must be a sealed index of exactly `g`.
 class DynamicRlcIndex {
  public:
   DynamicRlcIndex(const DiGraph& g, RlcIndex index, ResealPolicy policy = {});
@@ -106,12 +144,23 @@ class DynamicRlcIndex {
   /// Inserts the edge u --label--> v and restores index exactness for the
   /// mutated graph. Returns false (a strict no-op: no entries, no stats
   /// beyond edges_duplicate, no serialized-byte change) when the edge
-  /// already exists in the base graph or the overlay.
+  /// already exists in the base graph or the overlay. Re-inserting a
+  /// previously deleted base edge un-shadows it.
   /// \throws std::invalid_argument on out-of-range vertices or a label the
   ///         base graph has never seen (new labels require a rebuild).
   bool InsertEdge(VertexId u, Label label, VertexId v);
 
-  /// Applies a batch of inserts; returns how many were new edges.
+  /// Deletes the edge u --label--> v (all parallel copies of the exact
+  /// (u, label, v) triple) and restores index exactness for the mutated
+  /// graph: entries whose witness paths died with the edge are suppressed
+  /// (delta entries erased, CSR entries tombstoned) and still-reachable
+  /// pairs that lost their last cover are re-covered. Returns false (a
+  /// strict no-op) when no such edge exists.
+  /// \throws std::invalid_argument on out-of-range vertices or labels.
+  bool DeleteEdge(VertexId u, Label label, VertexId v);
+
+  /// Applies a batch of mutations in order; returns how many changed the
+  /// graph (inserts of new edges + deletes of present edges).
   size_t ApplyUpdates(std::span<const EdgeUpdate> updates);
 
   /// \name Query surface
@@ -127,7 +176,8 @@ class DynamicRlcIndex {
   }
   ///@}
 
-  /// True when the edge exists in the base graph or the overlay.
+  /// True when the edge exists in the mutated graph (base minus removals
+  /// plus the insert overlay).
   bool HasEdge(VertexId u, Label label, VertexId v) const;
 
   /// Blocks until an in-flight background reseal (if any) has merged, then
@@ -141,7 +191,10 @@ class DynamicRlcIndex {
   bool reseal_in_flight() const { return reseal_thread_.joinable(); }
 
   const DiGraph& base_graph() const { return g_; }
+  /// Overlay edges currently present (inserted and not since deleted).
   const std::vector<EdgeUpdate>& inserted_edges() const { return inserted_; }
+  /// Base edges currently shadowed by a delete.
+  const std::vector<EdgeUpdate>& removed_edges() const { return removed_; }
 
   /// Base + overlay edge list (the mutated graph), e.g. for rebuild oracles.
   std::vector<Edge> MaterializedEdges() const;
@@ -153,9 +206,12 @@ class DynamicRlcIndex {
   uint64_t MemoryBytes() const;
 
  private:
-  /// One delta append, logged so a background reseal can replay the appends
-  /// that raced past its trigger point onto the merged index.
+  /// One overlay mutation (delta append or entry suppression), logged so a
+  /// background reseal can replay the mutations that raced past its trigger
+  /// point onto the merged index.
   struct DeltaRecord {
+    enum class Kind : uint8_t { kAppend, kSuppress };
+    Kind kind;
     bool is_out;
     VertexId v;
     uint32_t hub_aid;
@@ -163,6 +219,7 @@ class DynamicRlcIndex {
   };
 
   void IncrementalUpdate(VertexId u, Label l, VertexId v);
+  void IncrementalDelete(VertexId u, Label l, VertexId v);
 
   /// Distinct words (length <= k-1) spelled by paths ending at `start`
   /// (backward) or leaving it (forward), over base + overlay.
@@ -176,19 +233,35 @@ class DynamicRlcIndex {
   std::vector<VertexId> AlignedBoundary(VertexId start, uint32_t start_pos,
                                         const LabelSeq& kernel, bool backward);
 
-  /// True when the *pre-insert* graph (base + overlay minus the edge
-  /// u --l-> v, which must be the overlay's newest entry) aligned-connects
-  /// (u, from_pos) to (v, to_pos) under `kernel`. When this holds for every
-  /// position carrying l, each S x T pair of the candidate was already
-  /// reachable before the insert — replace every use of the new edge by the
-  /// old aligned detour — so the whole candidate is covered and is skipped.
-  bool OldGraphAlignedConnects(VertexId u, Label l, VertexId v,
-                               uint32_t from_pos, uint32_t to_pos,
-                               const LabelSeq& kernel);
+  /// True when the current mutated graph — minus `exclude`, when non-null —
+  /// aligned-connects (u, from_pos) to (v, to_pos) under `kernel` over
+  /// >= 1 edge. Both mutation paths pass the mutated edge as `exclude` to
+  /// ask about the graph *without* it: the insert path about the pre-insert
+  /// graph (a detour at every l-position means each S x T pair was already
+  /// reachable, so the candidate is covered and skipped), the delete path —
+  /// whose rule-out runs before RemoveGraphEdge, while the edge is still in
+  /// the adjacency — about the post-delete graph (a detour at every
+  /// l-position reroutes every witness, so no entry went stale). Dropping
+  /// the exclusion on the delete side would let the deleted edge serve as
+  /// its own detour and leave stale entries unsuppressed.
+  bool AlignedConnects(VertexId u, VertexId v, uint32_t from_pos,
+                       uint32_t to_pos, const LabelSeq& kernel,
+                       const EdgeUpdate* exclude);
+
+  /// All vertices x such that start aligned-reaches x (forward) or x
+  /// aligned-reaches start (backward) under kernel+ over >= 1 full copy,
+  /// on the current mutated graph. Unlike AlignedBoundary the start vertex
+  /// is only included when a genuine aligned cycle returns to it. Sorted.
+  std::vector<VertexId> AlignedClosure(VertexId start, const LabelSeq& kernel,
+                                       bool backward);
 
   /// Appends one delta entry to the live index and the replay log.
   void AppendDelta(bool is_out, VertexId v, uint32_t hub_aid, MrId mr,
                    const LabelSeq& seq);
+
+  /// Suppresses one stale entry on the live index and logs it for replay.
+  void SuppressEntry(bool is_out, VertexId v, uint32_t hub_aid, MrId mr,
+                     const LabelSeq& seq);
 
   /// Adds the Case-2 cover entry for the uncovered pair (x, y, mr): the
   /// higher-ranked endpoint becomes the hub.
@@ -214,14 +287,35 @@ class DynamicRlcIndex {
     return static_cast<uint64_t>(v) * current_->k() + (pos - 1);
   }
 
+  /// Removes u --l-> v from the mutated graph: an overlay edge is erased,
+  /// a base edge is shadowed in the removal lists.
+  void RemoveGraphEdge(VertexId u, Label l, VertexId v);
+
+  /// True when the base edge u --l-> v is currently shadowed by a delete.
+  bool BaseEdgeRemoved(VertexId u, Label l, VertexId v) const;
+
+  /// Shadow test in adjacency-iteration form: true when the base adjacency
+  /// slot `nb` of vertex `x` (out-neighbor forward, in-neighbor backward)
+  /// is a deleted edge — the filter every maintenance traversal applies.
+  bool EdgeShadowed(bool backward, VertexId x, const LabeledNeighbor& nb) const {
+    const auto& removed = backward ? removed_in_ : removed_out_;
+    if (removed.empty()) return false;
+    const auto& list = removed[x];
+    return std::find(list.begin(), list.end(), nb) != list.end();
+  }
+
   const DiGraph& g_;
   ResealPolicy policy_;
   std::shared_ptr<RlcIndex> current_;
-  // Graph overlay: edges inserted since construction (never consumed —
-  // reseals fold index entries, the graph delta is permanent).
+  // Graph overlay: edges inserted since construction and still present
+  // (never folded — reseals fold index entries, the graph delta persists),
+  // plus shadow lists for deleted base edges.
   std::vector<std::vector<LabeledNeighbor>> extra_out_;
   std::vector<std::vector<LabeledNeighbor>> extra_in_;
+  std::vector<std::vector<LabeledNeighbor>> removed_out_;
+  std::vector<std::vector<LabeledNeighbor>> removed_in_;
   std::vector<EdgeUpdate> inserted_;
+  std::vector<EdgeUpdate> removed_;
   // Delta log since the last completed reseal (replay source for swaps).
   std::vector<DeltaRecord> delta_log_;
   // Background reseal state (owner thread starts/joins; the worker only

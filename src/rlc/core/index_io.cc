@@ -104,12 +104,16 @@ SideV2 GetSideV2(std::istream& in, uint64_t n, uint32_t num_mrs,
 }  // namespace
 
 void WriteIndex(const RlcIndex& index, std::ostream& out, uint32_t version) {
-  RLC_REQUIRE(version >= 1 && version <= 4,
+  RLC_REQUIRE(version >= 1 && version <= 5,
               "WriteIndex: unsupported format version " << version);
   RLC_REQUIRE(version >= 4 || index.delta_entries() == 0,
               "WriteIndex: version " << version << " cannot carry the "
                   << index.delta_entries()
-                  << " pending delta entries (MergeDeltas() first or write v4)");
+                  << " pending delta entries (MergeDeltas() first or write v4+)");
+  RLC_REQUIRE(version >= 5 || index.tombstone_entries() == 0,
+              "WriteIndex: version " << version << " cannot carry the "
+                  << index.tombstone_entries()
+                  << " pending tombstones (MergeDeltas() first or write v5)");
   Put(out, kIndexMagic);
   Put<uint32_t>(out, version);
   Put<uint32_t>(out, index.k());
@@ -152,36 +156,46 @@ void WriteIndex(const RlcIndex& index, std::ostream& out, uint32_t version) {
       Put<uint64_t>(out, checksum);
     }
     if (version >= 4) {
-      // Sparse delta sections: per side the vertices with pending deltas in
-      // ascending order. Deterministic, so resaves stay byte-identical.
-      uint64_t checksum = kSignatureChecksumSeed;
-      auto put_side = [&](bool out_side) {
-        uint64_t count = 0;
-        for (VertexId v = 0; v < index.num_vertices(); ++v) {
-          count += (out_side ? index.DeltaLout(v) : index.DeltaLin(v)).empty()
-                       ? 0
-                       : 1;
-        }
-        Put<uint64_t>(out, count);
-        checksum = SignatureChecksum(checksum, count);
-        for (VertexId v = 0; v < index.num_vertices(); ++v) {
-          const auto deltas = out_side ? index.DeltaLout(v) : index.DeltaLin(v);
-          if (deltas.empty()) continue;
-          Put<uint32_t>(out, v);
-          Put<uint32_t>(out, static_cast<uint32_t>(deltas.size()));
-          checksum = SignatureChecksum(checksum, v);
-          checksum = SignatureChecksum(checksum, deltas.size());
-          for (const IndexEntry& e : deltas) {
-            Put<uint32_t>(out, e.hub_aid);
-            Put<uint32_t>(out, e.mr);
-            checksum = SignatureChecksum(checksum, e.hub_aid);
-            checksum = SignatureChecksum(checksum, e.mr);
+      // Sparse overlay sections: per side the vertices with pending entries
+      // in ascending order. Deterministic, so resaves stay byte-identical.
+      // The v4 delta and v5 tombstone sections share this encoding, each
+      // with its own trailing checksum.
+      auto put_overlay = [&](auto list_of) {
+        uint64_t checksum = kSignatureChecksumSeed;
+        auto put_side = [&](bool out_side) {
+          uint64_t count = 0;
+          for (VertexId v = 0; v < index.num_vertices(); ++v) {
+            count += list_of(v, out_side).empty() ? 0 : 1;
           }
-        }
+          Put<uint64_t>(out, count);
+          checksum = SignatureChecksum(checksum, count);
+          for (VertexId v = 0; v < index.num_vertices(); ++v) {
+            const auto entries = list_of(v, out_side);
+            if (entries.empty()) continue;
+            Put<uint32_t>(out, v);
+            Put<uint32_t>(out, static_cast<uint32_t>(entries.size()));
+            checksum = SignatureChecksum(checksum, v);
+            checksum = SignatureChecksum(checksum, entries.size());
+            for (const IndexEntry& e : entries) {
+              Put<uint32_t>(out, e.hub_aid);
+              Put<uint32_t>(out, e.mr);
+              checksum = SignatureChecksum(checksum, e.hub_aid);
+              checksum = SignatureChecksum(checksum, e.mr);
+            }
+          }
+        };
+        put_side(/*out_side=*/true);
+        put_side(/*out_side=*/false);
+        Put<uint64_t>(out, checksum);
       };
-      put_side(/*out_side=*/true);
-      put_side(/*out_side=*/false);
-      Put<uint64_t>(out, checksum);
+      put_overlay([&](VertexId v, bool out_side) {
+        return out_side ? index.DeltaLout(v) : index.DeltaLin(v);
+      });
+      if (version >= 5) {
+        put_overlay([&](VertexId v, bool out_side) {
+          return out_side ? index.TombLout(v) : index.TombLin(v);
+        });
+      }
     }
   }
 }
@@ -191,7 +205,7 @@ RlcIndex ReadIndex(std::istream& in) {
     throw std::runtime_error("ReadIndex: bad magic (not an rlc index file)");
   }
   const uint32_t version = Get<uint32_t>(in);
-  if (version < 1 || version > 4) {
+  if (version < 1 || version > 5) {
     throw std::runtime_error("ReadIndex: unsupported version");
   }
   const uint32_t k = Get<uint32_t>(in);
@@ -262,43 +276,71 @@ RlcIndex ReadIndex(std::istream& in) {
       throw std::runtime_error(std::string("ReadIndex: ") + e.what());
     }
     if (version >= 4) {
-      // Pending delta overlay. Entries are range-checked like v2 entries
-      // and re-appended through AddDelta*, which re-applies the (idempotent)
-      // signature widening; the checksum catches in-range corruption.
-      uint64_t checksum = kSignatureChecksumSeed;
-      auto get_side = [&](bool out_side) {
-        const uint64_t count = Get<uint64_t>(in);
-        checksum = SignatureChecksum(checksum, count);
-        if (count > n) throw std::runtime_error("ReadIndex: corrupt delta count");
-        for (uint64_t i = 0; i < count; ++i) {
-          const uint32_t v = Get<uint32_t>(in);
-          const uint32_t len = Get<uint32_t>(in);
-          checksum = SignatureChecksum(checksum, v);
-          checksum = SignatureChecksum(checksum, len);
-          if (v >= n || len == 0 ||
-              len > RemainingBytes(in) / sizeof(IndexEntry)) {
-            throw std::runtime_error("ReadIndex: corrupt delta list");
+      // Pending overlay sections (v4 deltas, v5 tombstones). Entries are
+      // range-checked like v2 entries and re-applied through the overlay
+      // mutators — AddDelta* re-applies the (idempotent) signature
+      // widening, AddTombstone* verifies the referenced CSR entry exists —
+      // and each section's checksum catches in-range corruption.
+      auto get_overlay = [&](const char* what, auto apply) {
+        uint64_t checksum = kSignatureChecksumSeed;
+        auto get_side = [&](bool out_side) {
+          const uint64_t count = Get<uint64_t>(in);
+          checksum = SignatureChecksum(checksum, count);
+          if (count > n) {
+            throw std::runtime_error(std::string("ReadIndex: corrupt ") +
+                                     what + " count");
           }
-          for (uint32_t j = 0; j < len; ++j) {
-            const uint32_t aid = Get<uint32_t>(in);
-            const MrId mr = Get<uint32_t>(in);
-            checksum = SignatureChecksum(checksum, aid);
-            checksum = SignatureChecksum(checksum, mr);
-            if (mr >= num_mrs || aid == 0 || aid > n) {
-              throw std::runtime_error("ReadIndex: corrupt delta entry");
+          for (uint64_t i = 0; i < count; ++i) {
+            const uint32_t v = Get<uint32_t>(in);
+            const uint32_t len = Get<uint32_t>(in);
+            checksum = SignatureChecksum(checksum, v);
+            checksum = SignatureChecksum(checksum, len);
+            if (v >= n || len == 0 ||
+                len > RemainingBytes(in) / sizeof(IndexEntry)) {
+              throw std::runtime_error(std::string("ReadIndex: corrupt ") +
+                                       what + " list");
             }
-            if (out_side) {
-              index.AddDeltaOut(v, aid, mr);
-            } else {
-              index.AddDeltaIn(v, aid, mr);
+            for (uint32_t j = 0; j < len; ++j) {
+              const uint32_t aid = Get<uint32_t>(in);
+              const MrId mr = Get<uint32_t>(in);
+              checksum = SignatureChecksum(checksum, aid);
+              checksum = SignatureChecksum(checksum, mr);
+              if (mr >= num_mrs || aid == 0 || aid > n) {
+                throw std::runtime_error(std::string("ReadIndex: corrupt ") +
+                                         what + " entry");
+              }
+              apply(out_side, v, aid, mr);
             }
           }
+        };
+        get_side(/*out_side=*/true);
+        get_side(/*out_side=*/false);
+        if (Get<uint64_t>(in) != checksum) {
+          throw std::runtime_error(std::string("ReadIndex: corrupt ") + what +
+                                   " section");
         }
       };
-      get_side(/*out_side=*/true);
-      get_side(/*out_side=*/false);
-      if (Get<uint64_t>(in) != checksum) {
-        throw std::runtime_error("ReadIndex: corrupt delta section");
+      get_overlay("delta", [&](bool out_side, uint32_t v, uint32_t aid, MrId mr) {
+        if (out_side) {
+          index.AddDeltaOut(v, aid, mr);
+        } else {
+          index.AddDeltaIn(v, aid, mr);
+        }
+      });
+      if (version >= 5) {
+        get_overlay("tombstone",
+                    [&](bool out_side, uint32_t v, uint32_t aid, MrId mr) {
+                      try {
+                        if (out_side) {
+                          index.AddTombstoneOut(v, aid, mr);
+                        } else {
+                          index.AddTombstoneIn(v, aid, mr);
+                        }
+                      } catch (const std::invalid_argument& e) {
+                        throw std::runtime_error(std::string("ReadIndex: ") +
+                                                 e.what());
+                      }
+                    });
       }
     }
   }

@@ -27,8 +27,8 @@
 // Loading a v1/v2 file rebuilds the signatures from the entry lists; the
 // loaded index is indistinguishable from a v3 load.
 //
-// Version 4 (default): the v3 body followed by the pending delta overlay
-// (rlc_index.h / dynamic_index.h), sparse per side — a dynamically
+// Version 4 (still readable): the v3 body followed by the pending delta
+// overlay (rlc_index.h / dynamic_index.h), sparse per side — a dynamically
 // maintained index persists without forcing a reseal first:
 //   out deltas: u64 vertex count, then per vertex with deltas
 //               u32 vertex, u32 list length, length * IndexEntry
@@ -41,6 +41,19 @@
 // resave round-trips byte-identically with or without deltas. Writing
 // versions 1-3 requires an index without pending deltas (they would be
 // silently dropped; call MergeDeltas() first).
+//
+// Version 5 (default): the v4 body followed by the pending tombstone
+// overlay (edge-delete maintenance), encoded exactly like the delta
+// sections — sparse per side, own trailing checksum:
+//   out tombstones: u64 vertex count, then per vertex with tombstones
+//               u32 vertex, u32 list length, length * IndexEntry
+//   in  tombstones: same
+//   u64 checksum
+// Every tombstone must reference an existing CSR entry of the loaded
+// index; a tombstone that does not fails the load (it could only come from
+// corruption — the maintenance layer never creates one). Writing versions
+// 1-4 requires an index without pending tombstones (they would silently
+// resurrect suppressed entries; MergeDeltas() first or write v5).
 //
 // Intended use: build once offline (the expensive step the paper measures in
 // Table IV), persist, then serve queries from a load that is a straight
@@ -57,13 +70,14 @@
 namespace rlc {
 
 /// The version WriteIndex emits by default.
-inline constexpr uint32_t kIndexFormatVersion = 4;
+inline constexpr uint32_t kIndexFormatVersion = 5;
 
-/// Writes `index` to `out` in format `version` (1-4). The index may be
+/// Writes `index` to `out` in format `version` (1-5). The index may be
 /// sealed or not; the bytes are identical either way (v3+ signatures are
 /// computed on the fly for unsealed indexes).
-/// \throws std::invalid_argument on an unsupported version, or a version
-///         below 4 when the index has pending delta entries.
+/// \throws std::invalid_argument on an unsupported version, a version below
+///         4 when the index has pending delta entries, or a version below 5
+///         when it has pending tombstones.
 void WriteIndex(const RlcIndex& index, std::ostream& out,
                 uint32_t version = kIndexFormatVersion);
 

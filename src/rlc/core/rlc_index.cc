@@ -73,12 +73,18 @@ bool RlcIndex::QueryInterned(VertexId s, VertexId t, MrId mr) const {
   const std::span<const IndexEntry> lout = Lout(s);
   const std::span<const IndexEntry> lin = Lin(t);
 
-  // Case 2: (t,L) ∈ Lout(s) or (s,L) ∈ Lin(t).
-  if (ContainsEntry(lout, aid_[t], mr)) return true;
-  if (ContainsEntry(lin, aid_[s], mr)) return true;
+  // Case 2: (t,L) ∈ Lout(s) or (s,L) ∈ Lin(t), tombstoned entries excluded.
+  if (ContainsVisibleEntry(lout, TombLout(s), aid_[t], mr)) return true;
+  if (ContainsVisibleEntry(lin, TombLin(t), aid_[s], mr)) return true;
 
-  // Case 1: a common hub carrying L on both sides.
-  if (JoinHasCommonHub(lout, lin, mr)) return true;
+  // Case 1: a common hub carrying L on both sides. The raw (possibly
+  // tombstone-polluted) join runs first as a filter: tombstones only remove
+  // entries, so a false join is final and the visibility-aware re-join runs
+  // only for the rare true hit on a tombstoned endpoint.
+  if (JoinHasCommonHub(lout, lin, mr) &&
+      JoinVisibleCommonHub(lout, TombLout(s), lin, TombLin(t), mr)) {
+    return true;
+  }
   return delta_entries_ != 0 && QueryDeltaTail(s, t, mr, lout, lin);
 }
 
@@ -88,12 +94,21 @@ bool RlcIndex::QueryDeltaTail(VertexId s, VertexId t, MrId mr,
   const std::span<const IndexEntry> dout = DeltaLout(s);
   const std::span<const IndexEntry> din = DeltaLin(t);
   if (dout.empty() && din.empty()) return false;
-  // Case 2 against the delta lists.
+  // Case 2 against the delta lists (which never hold tombstoned entries).
   if (ContainsEntry(dout, aid_[t], mr)) return true;
   if (ContainsEntry(din, aid_[s], mr)) return true;
-  // Case 1 joins with at least one delta side (CSR x CSR already ran).
-  return JoinHasCommonHub(dout, lin, mr) || JoinHasCommonHub(lout, din, mr) ||
-         JoinHasCommonHub(dout, din, mr);
+  // Case 1 joins with at least one delta side (CSR x CSR already ran). The
+  // CSR side of a mixed join may hold tombstoned entries, so a raw hit is
+  // re-verified visibility-aware, exactly like the main join.
+  if (JoinHasCommonHub(dout, lin, mr) &&
+      JoinVisibleCommonHub(dout, {}, lin, TombLin(t), mr)) {
+    return true;
+  }
+  if (JoinHasCommonHub(lout, din, mr) &&
+      JoinVisibleCommonHub(lout, TombLout(s), din, {}, mr)) {
+    return true;
+  }
+  return JoinHasCommonHub(dout, din, mr);
 }
 
 bool RlcIndex::QuerySealedSigned(VertexId s, VertexId t, MrId mr,
@@ -107,24 +122,32 @@ bool RlcIndex::QuerySealedSigned(VertexId s, VertexId t, MrId mr,
   const bool in_may = (si & needed) == needed;
   if (!out_may && !in_may) return false;
 
+  // Tombstones leave the signatures conservatively wide, so the guards
+  // above stay sound; raw-list hits below are re-checked for visibility.
+  const std::span<const IndexEntry> lout = Lout(s);
+  const std::span<const IndexEntry> lin = Lin(t);
+
   // Case 2, each side additionally guarded by the other endpoint's hub bit.
   if (out_may && (so & HubSignatureBit(aid_[t])) != 0 &&
-      ContainsEntry(Lout(s), aid_[t], mr)) {
+      ContainsVisibleEntry(lout, TombLout(s), aid_[t], mr)) {
     return true;
   }
   if (in_may && (si & HubSignatureBit(aid_[s])) != 0 &&
-      ContainsEntry(Lin(t), aid_[s], mr)) {
+      ContainsVisibleEntry(lin, TombLin(t), aid_[s], mr)) {
     return true;
   }
 
-  // Case 1 needs the MR on both sides and at least one shared hub bit.
+  // Case 1 needs the MR on both sides and at least one shared hub bit; a
+  // raw join hit on a tombstoned endpoint is re-verified (see
+  // QueryInterned).
   if (out_may && in_may && (so & si & kSigHubMask) != 0 &&
-      JoinHasCommonHub(Lout(s), Lin(t), mr)) {
+      JoinHasCommonHub(lout, lin, mr) &&
+      JoinVisibleCommonHub(lout, TombLout(s), lin, TombLin(t), mr)) {
     return true;
   }
   // Delta appends widen the vertex signatures, so a probe whose witness
   // entry lives in a delta list survives the guards above and lands here.
-  return delta_entries_ != 0 && QueryDeltaTail(s, t, mr, Lout(s), Lin(t));
+  return delta_entries_ != 0 && QueryDeltaTail(s, t, mr, lout, lin);
 }
 
 void RlcIndex::QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
@@ -233,6 +256,53 @@ bool RlcIndex::ContainsEntry(std::span<const IndexEntry> entries,
                              });
   for (; it != entries.end() && it->hub_aid == hub_aid; ++it) {
     if (it->mr == mr) return true;
+  }
+  return false;
+}
+
+bool RlcIndex::ContainsVisibleEntry(std::span<const IndexEntry> entries,
+                                    std::span<const IndexEntry> tombs,
+                                    uint32_t hub_aid, MrId mr) {
+  // (hub, mr) pairs are unique per list, so visibility is one extra lookup
+  // — and only on a hit against a vertex that has tombstones at all.
+  return ContainsEntry(entries, hub_aid, mr) &&
+         (tombs.empty() || !ContainsEntry(tombs, hub_aid, mr));
+}
+
+bool RlcIndex::JoinVisibleCommonHub(std::span<const IndexEntry> lout,
+                                    std::span<const IndexEntry> tout,
+                                    std::span<const IndexEntry> lin,
+                                    std::span<const IndexEntry> tin, MrId mr) {
+  // Only reached after a raw join hit; with no tombstones on either side
+  // the hit is exact. Otherwise re-join scalar, skipping suppressed
+  // entries — positives on tombstoned endpoints are rare enough that the
+  // O(|lout| + |lin|) sweep never shows on the profile.
+  if (tout.empty() && tin.empty()) return true;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < lout.size() && j < lin.size()) {
+    const uint32_t a = lout[i].hub_aid;
+    const uint32_t b = lin[j].hub_aid;
+    if (a < b) {
+      ++i;
+      continue;
+    }
+    if (b < a) {
+      ++j;
+      continue;
+    }
+    bool out_has = false;
+    for (; i < lout.size() && lout[i].hub_aid == a; ++i) {
+      out_has |= lout[i].mr == mr;
+    }
+    bool in_has = false;
+    for (; j < lin.size() && lin[j].hub_aid == a; ++j) {
+      in_has |= lin[j].mr == mr;
+    }
+    if (out_has && in_has && !ContainsEntry(tout, a, mr) &&
+        !ContainsEntry(tin, a, mr)) {
+      return true;
+    }
   }
   return false;
 }
@@ -404,6 +474,72 @@ void RlcIndex::AddDelta(std::vector<std::vector<IndexEntry>>& lists,
   ++delta_entries_;
 }
 
+void RlcIndex::SuppressOut(VertexId v, uint32_t hub_aid, MrId mr) {
+  Suppress(delta_out_, out_offsets_, out_entries_, /*is_out=*/true, v, hub_aid,
+           mr);
+}
+
+void RlcIndex::SuppressIn(VertexId v, uint32_t hub_aid, MrId mr) {
+  Suppress(delta_in_, in_offsets_, in_entries_, /*is_out=*/false, v, hub_aid,
+           mr);
+}
+
+void RlcIndex::Suppress(std::vector<std::vector<IndexEntry>>& deltas,
+                        const std::vector<uint64_t>& offsets,
+                        const std::vector<IndexEntry>& entries, bool is_out,
+                        VertexId v, uint32_t hub_aid, MrId mr) {
+  RLC_CHECK_MSG(sealed_, "RlcIndex::Suppress: requires a sealed index");
+  RLC_DCHECK(v < aid_.size());
+  // A pending delta is mutable storage: erase it outright instead of
+  // carrying a tombstone for it.
+  if (!deltas.empty()) {
+    std::vector<IndexEntry>& list = deltas[v];
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (it->hub_aid == hub_aid && it->mr == mr) {
+        list.erase(it);
+        --delta_entries_;
+        return;
+      }
+    }
+  }
+  if (is_out) {
+    AddTombstone(tomb_out_, offsets, entries, v, hub_aid, mr);
+  } else {
+    AddTombstone(tomb_in_, offsets, entries, v, hub_aid, mr);
+  }
+}
+
+void RlcIndex::AddTombstoneOut(VertexId v, uint32_t hub_aid, MrId mr) {
+  RLC_CHECK_MSG(sealed_, "RlcIndex::AddTombstoneOut: requires a sealed index");
+  AddTombstone(tomb_out_, out_offsets_, out_entries_, v, hub_aid, mr);
+}
+
+void RlcIndex::AddTombstoneIn(VertexId v, uint32_t hub_aid, MrId mr) {
+  RLC_CHECK_MSG(sealed_, "RlcIndex::AddTombstoneIn: requires a sealed index");
+  AddTombstone(tomb_in_, in_offsets_, in_entries_, v, hub_aid, mr);
+}
+
+void RlcIndex::AddTombstone(std::vector<std::vector<IndexEntry>>& tombs,
+                            const std::vector<uint64_t>& offsets,
+                            const std::vector<IndexEntry>& entries, VertexId v,
+                            uint32_t hub_aid, MrId mr) {
+  RLC_REQUIRE(ContainsEntry(Csr(offsets, entries, v), hub_aid, mr),
+              "RlcIndex::AddTombstone: no CSR entry (hub " << hub_aid << ", mr "
+                  << mr << ") at vertex " << v);
+  if (tombs.empty()) tombs.resize(aid_.size());
+  std::vector<IndexEntry>& list = tombs[v];
+  const IndexEntry entry{hub_aid, mr};
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), entry, [](const IndexEntry& a, const IndexEntry& b) {
+        return a.hub_aid != b.hub_aid ? a.hub_aid < b.hub_aid : a.mr < b.mr;
+      });
+  RLC_REQUIRE(it == list.end() || !(it->hub_aid == hub_aid && it->mr == mr),
+              "RlcIndex::AddTombstone: entry (hub " << hub_aid << ", mr " << mr
+                  << ") at vertex " << v << " is already tombstoned");
+  list.insert(it, entry);
+  ++tombstone_entries_;
+}
+
 void RlcIndex::EnsureMrSigs() {
   for (MrId id = static_cast<MrId>(mr_query_sig_.size()); id < mrs_.size();
        ++id) {
@@ -414,29 +550,56 @@ void RlcIndex::EnsureMrSigs() {
 
 namespace {
 
-/// Per-vertex two-pointer merge of the CSR side with its delta lists; CSR
-/// entries precede delta entries on equal hub access ids.
+/// Per-vertex two-pointer merge of the CSR side with its delta lists,
+/// dropping tombstoned CSR entries; surviving CSR entries precede delta
+/// entries on equal hub access ids. The tombstone list is consumed with
+/// its own cursor — both lists are hub-sorted, so the merge stays linear
+/// even for hub vertices dense with tombstones.
 void MergeSide(std::vector<uint64_t>& offsets, std::vector<IndexEntry>& entries,
-               std::vector<std::vector<IndexEntry>>& deltas) {
-  if (deltas.empty()) return;
+               std::vector<std::vector<IndexEntry>>& deltas,
+               const std::vector<std::vector<IndexEntry>>& tombs) {
   uint64_t extra = 0;
   for (const auto& d : deltas) extra += d.size();
-  if (extra == 0) return;
+  uint64_t dropped = 0;
+  for (const auto& t : tombs) dropped += t.size();
+  if (extra == 0 && dropped == 0) return;
   std::vector<uint64_t> new_offsets(offsets.size());
   std::vector<IndexEntry> merged;
-  merged.reserve(entries.size() + extra);
+  merged.reserve(entries.size() + extra - dropped);
   const size_t n = offsets.size() - 1;
   for (size_t v = 0; v < n; ++v) {
     new_offsets[v] = merged.size();
     const IndexEntry* base = entries.data() + offsets[v];
     const IndexEntry* base_end = entries.data() + offsets[v + 1];
-    const std::vector<IndexEntry>& d = deltas[v];
+    const std::vector<IndexEntry>* d = deltas.empty() ? nullptr : &deltas[v];
+    const std::vector<IndexEntry>* t = tombs.empty() ? nullptr : &tombs[v];
     size_t j = 0;
+    size_t ti = 0;
     for (; base != base_end; ++base) {
-      while (j < d.size() && d[j].hub_aid < base->hub_aid) merged.push_back(d[j++]);
-      merged.push_back(*base);
+      if (d != nullptr) {
+        while (j < d->size() && (*d)[j].hub_aid < base->hub_aid) {
+          merged.push_back((*d)[j++]);
+        }
+      }
+      bool tombstoned = false;
+      if (t != nullptr) {
+        while (ti < t->size() && (*t)[ti].hub_aid < base->hub_aid) ++ti;
+        // Scan the (tiny) equal-hub tie range without consuming it: several
+        // base entries can share the hub with distinct MRs.
+        for (size_t x = ti; x < t->size() && (*t)[x].hub_aid == base->hub_aid;
+             ++x) {
+          if ((*t)[x].mr == base->mr) {
+            tombstoned = true;
+            break;
+          }
+        }
+      }
+      if (!tombstoned) merged.push_back(*base);
     }
-    merged.insert(merged.end(), d.begin() + static_cast<ptrdiff_t>(j), d.end());
+    if (d != nullptr) {
+      merged.insert(merged.end(), d->begin() + static_cast<ptrdiff_t>(j),
+                    d->end());
+    }
   }
   new_offsets[n] = merged.size();
   offsets = std::move(new_offsets);
@@ -447,19 +610,27 @@ void MergeSide(std::vector<uint64_t>& offsets, std::vector<IndexEntry>& entries,
 
 void RlcIndex::MergeDeltas() {
   RLC_CHECK_MSG(sealed_, "RlcIndex::MergeDeltas: index must be sealed");
-  if (delta_entries_ == 0) return;
-  MergeSide(out_offsets_, out_entries_, delta_out_);
-  MergeSide(in_offsets_, in_entries_, delta_in_);
+  if (delta_entries_ == 0 && tombstone_entries_ == 0) return;
+  MergeSide(out_offsets_, out_entries_, delta_out_, tomb_out_);
+  MergeSide(in_offsets_, in_entries_, delta_in_, tomb_in_);
   delta_out_.clear();
   delta_out_.shrink_to_fit();
   delta_in_.clear();
   delta_in_.shrink_to_fit();
   delta_entries_ = 0;
+  tomb_out_.clear();
+  tomb_out_.shrink_to_fit();
+  tomb_in_.clear();
+  tomb_in_.shrink_to_fit();
+  tombstone_entries_ = 0;
   ComputeSignatures(/*keep_vertex_sigs=*/false);
 }
 
 uint64_t RlcIndex::NumEntries() const {
-  if (sealed_) return out_entries_.size() + in_entries_.size() + delta_entries_;
+  if (sealed_) {
+    return out_entries_.size() + in_entries_.size() + delta_entries_ -
+           tombstone_entries_;
+  }
   uint64_t total = 0;
   for (const auto& e : out_) total += e.size();
   for (const auto& e : in_) total += e.size();
@@ -476,8 +647,10 @@ uint64_t RlcIndex::MemoryBytes() const {
     bytes += (out_sigs_.capacity() + in_sigs_.capacity() +
               mr_query_sig_.capacity()) *
              sizeof(uint64_t);
-    bytes += delta_entries_ * sizeof(IndexEntry);
-    bytes += (delta_out_.size() + delta_in_.size()) * sizeof(std::vector<IndexEntry>);
+    bytes += (delta_entries_ + tombstone_entries_) * sizeof(IndexEntry);
+    bytes += (delta_out_.size() + delta_in_.size() + tomb_out_.size() +
+              tomb_in_.size()) *
+             sizeof(std::vector<IndexEntry>);
   } else {
     for (const auto& e : out_) bytes += e.size() * sizeof(IndexEntry);
     for (const auto& e : in_) bytes += e.size() * sizeof(IndexEntry);

@@ -40,6 +40,16 @@
 // signature refutation stays sound; a later MergeDeltas() folds the deltas
 // into the CSR arrays and recomputes the exact (narrow) signatures.
 // Pending deltas persist in the v4 file format (index_io.h).
+//
+// The dual overlay handles edge *deletions*: a *tombstone* marks one CSR
+// entry as logically absent (SuppressOut/SuppressIn; entries still living
+// in the mutable delta lists are simply erased). Every query path skips
+// tombstoned entries, so answers equal those of an index that never held
+// them; vertex signatures are left conservatively wide (a tombstone can
+// only make a probe fall through to the entry lists, never flip an
+// answer). MergeDeltas() folds tombstones out of the CSR arrays together
+// with the deltas and re-narrows the signatures. Pending tombstones
+// persist in the v5 file format (index_io.h).
 
 #pragma once
 
@@ -208,19 +218,55 @@ class RlcIndex {
 
   uint64_t delta_entries() const { return delta_entries_; }
 
-  /// Pending-delta fraction of the sealed entry count; the reseal policy
-  /// (dynamic_index.h) triggers on this.
+  /// Pending-mutation fraction of the sealed entry count — delta *and*
+  /// tombstone entries both count as pending maintenance work; the reseal
+  /// policy (dynamic_index.h) triggers on this.
   double DeltaRatio() const {
     const uint64_t base = sealed_ ? out_entries_.size() + in_entries_.size() : 0;
-    return static_cast<double>(delta_entries_) /
+    return static_cast<double>(delta_entries_ + tombstone_entries_) /
            static_cast<double>(base == 0 ? 1 : base);
   }
 
   /// Folds the delta lists into the CSR arrays (per-vertex merge by hub
-  /// access id; CSR entries precede deltas on ties) and recomputes the exact
-  /// vertex signatures, narrowing the conservative widening the appends
-  /// applied. Queries answer identically before and after. Idempotent.
+  /// access id; CSR entries precede deltas on ties), drops tombstoned CSR
+  /// entries, and recomputes the exact vertex signatures, narrowing the
+  /// conservative widening the appends applied. Queries answer identically
+  /// before and after. Idempotent.
   void MergeDeltas();
+  ///@}
+
+  /// \name Tombstone overlay (edge-delete maintenance, dynamic_index.h)
+  ///
+  /// Sealed-only suppression path, the dual of the delta overlay. Callers
+  /// must only suppress entries whose claimed reachability no longer holds
+  /// (the maintenance layer proves this per entry); suppressing a valid
+  /// entry would create false negatives.
+  ///@{
+
+  /// Removes the (hub_aid, mr) entry of Lout(v) / Lin(v) from the visible
+  /// entry set: erases it when it is a pending delta, tombstones it when it
+  /// is a CSR entry.
+  /// \throws std::invalid_argument when no such visible entry exists.
+  void SuppressOut(VertexId v, uint32_t hub_aid, MrId mr);
+  void SuppressIn(VertexId v, uint32_t hub_aid, MrId mr);
+
+  /// Tombstones a CSR entry directly (the index_io v5 load path).
+  /// \throws std::invalid_argument when the CSR side holds no such entry or
+  ///         it is already tombstoned.
+  void AddTombstoneOut(VertexId v, uint32_t hub_aid, MrId mr);
+  void AddTombstoneIn(VertexId v, uint32_t hub_aid, MrId mr);
+
+  /// Pending tombstones of one vertex side, sorted by (hub access id, mr).
+  std::span<const IndexEntry> TombLout(VertexId v) const {
+    return tomb_out_.empty() ? std::span<const IndexEntry>()
+                             : std::span<const IndexEntry>(tomb_out_[v]);
+  }
+  std::span<const IndexEntry> TombLin(VertexId v) const {
+    return tomb_in_.empty() ? std::span<const IndexEntry>()
+                            : std::span<const IndexEntry>(tomb_in_[v]);
+  }
+
+  uint64_t tombstone_entries() const { return tombstone_entries_; }
   ///@}
 
   /// Installs pre-built CSR storage (the v2/v3 deserialization path).
@@ -252,14 +298,16 @@ class RlcIndex {
   }
   const MrTable& mr_table() const { return mrs_; }
 
-  /// True when (hub, mr) ∈ Lout(v) / Lin(v), delta overlay included.
-  /// O(log |list|).
+  /// True when (hub, mr) is *visible* in Lout(v) / Lin(v): delta overlay
+  /// included, tombstoned entries excluded. O(log |list|).
   bool HasOutEntry(VertexId v, uint32_t hub_aid, MrId mr) const {
-    return ContainsEntry(Lout(v), hub_aid, mr) ||
+    return (ContainsEntry(Lout(v), hub_aid, mr) &&
+            !ContainsEntry(TombLout(v), hub_aid, mr)) ||
            (delta_entries_ != 0 && ContainsEntry(DeltaLout(v), hub_aid, mr));
   }
   bool HasInEntry(VertexId v, uint32_t hub_aid, MrId mr) const {
-    return ContainsEntry(Lin(v), hub_aid, mr) ||
+    return (ContainsEntry(Lin(v), hub_aid, mr) &&
+            !ContainsEntry(TombLin(v), hub_aid, mr)) ||
            (delta_entries_ != 0 && ContainsEntry(DeltaLin(v), hub_aid, mr));
   }
 
@@ -269,7 +317,8 @@ class RlcIndex {
   /// Vertex with access id `aid`.
   VertexId VertexOfAid(uint32_t aid) const { return order_[aid - 1]; }
 
-  /// Total number of index entries across all Lin/Lout lists.
+  /// Total number of *visible* index entries across all Lin/Lout lists:
+  /// CSR entries minus tombstones, plus pending deltas.
   uint64_t NumEntries() const;
 
   /// Index size in bytes: entry lists + MR table + ordering arrays. This is
@@ -315,6 +364,31 @@ class RlcIndex {
                 std::vector<uint64_t>& sigs, VertexId v, uint32_t hub_aid,
                 MrId mr);
 
+  /// Shared implementation of SuppressOut/SuppressIn.
+  void Suppress(std::vector<std::vector<IndexEntry>>& deltas,
+                const std::vector<uint64_t>& offsets,
+                const std::vector<IndexEntry>& entries, bool is_out,
+                VertexId v, uint32_t hub_aid, MrId mr);
+
+  /// Shared implementation of AddTombstoneOut/AddTombstoneIn.
+  void AddTombstone(std::vector<std::vector<IndexEntry>>& tombs,
+                    const std::vector<uint64_t>& offsets,
+                    const std::vector<IndexEntry>& entries, VertexId v,
+                    uint32_t hub_aid, MrId mr);
+
+  /// ContainsEntry restricted to visible (non-tombstoned) entries.
+  static bool ContainsVisibleEntry(std::span<const IndexEntry> entries,
+                                   std::span<const IndexEntry> tombs,
+                                   uint32_t hub_aid, MrId mr);
+
+  /// Visibility-aware re-check of a raw JoinHasCommonHub hit: true when a
+  /// common hub carries `mr` on both sides through entries that are not
+  /// tombstoned. Trivially true when neither side has tombstones.
+  static bool JoinVisibleCommonHub(std::span<const IndexEntry> lout,
+                                   std::span<const IndexEntry> tout,
+                                   std::span<const IndexEntry> lin,
+                                   std::span<const IndexEntry> tin, MrId mr);
+
   /// Extends mr_query_sig_ to cover MRs interned after sealing.
   void EnsureMrSigs();
 
@@ -355,6 +429,12 @@ class RlcIndex {
   std::vector<std::vector<IndexEntry>> delta_out_;
   std::vector<std::vector<IndexEntry>> delta_in_;
   uint64_t delta_entries_ = 0;
+  // Tombstone overlay (sealed indexes only): CSR entries suppressed by the
+  // delete-maintenance path. Lists are sorted by (hub access id, mr) and
+  // hold no duplicates.
+  std::vector<std::vector<IndexEntry>> tomb_out_;
+  std::vector<std::vector<IndexEntry>> tomb_in_;
+  uint64_t tombstone_entries_ = 0;
   // Sealed signature storage (empty until sealed).
   std::vector<uint64_t> out_sigs_;  // vertex -> signature of Lout(v)
   std::vector<uint64_t> in_sigs_;   // vertex -> signature of Lin(v)

@@ -89,32 +89,37 @@ GraphPartition GraphPartition::Build(const DiGraph& g,
     p.shards_.push_back(std::move(info));
   }
 
+  CloseQuotient(quotient_adj, num_shards, p.quotient_closure_);
+  return p;
+}
+
+void GraphPartition::CloseQuotient(const std::vector<uint8_t>& adj,
+                                   uint32_t ns, std::vector<uint8_t>& closure) {
   // Quotient closure: BFS from every shard over the cross-arc adjacency.
   // closure[a][b] records "reachable via >= 1 cross edge", so closure[a][a]
   // is true only when a genuine quotient cycle exists.
-  p.quotient_closure_.assign(static_cast<size_t>(num_shards) * num_shards, 0);
+  closure.assign(static_cast<size_t>(ns) * ns, 0);
   std::vector<uint32_t> queue;
-  for (uint32_t a = 0; a < num_shards; ++a) {
-    uint8_t* reach = &p.quotient_closure_[static_cast<size_t>(a) * num_shards];
+  for (uint32_t a = 0; a < ns; ++a) {
+    uint8_t* reach = &closure[static_cast<size_t>(a) * ns];
     queue.clear();
     // Seed with a's direct successors; expansion then follows closure rows.
-    for (uint32_t b = 0; b < num_shards; ++b) {
-      if (quotient_adj[static_cast<size_t>(a) * num_shards + b] && !reach[b]) {
+    for (uint32_t b = 0; b < ns; ++b) {
+      if (adj[static_cast<size_t>(a) * ns + b] && !reach[b]) {
         reach[b] = 1;
         queue.push_back(b);
       }
     }
     for (size_t head = 0; head < queue.size(); ++head) {
       const uint32_t mid = queue[head];
-      for (uint32_t b = 0; b < num_shards; ++b) {
-        if (quotient_adj[static_cast<size_t>(mid) * num_shards + b] && !reach[b]) {
+      for (uint32_t b = 0; b < ns; ++b) {
+        if (adj[static_cast<size_t>(mid) * ns + b] && !reach[b]) {
           reach[b] = 1;
           queue.push_back(b);
         }
       }
     }
   }
-  return p;
 }
 
 void GraphPartition::AddCrossEdge(VertexId global_src, Label label,
@@ -155,6 +160,51 @@ void GraphPartition::AddCrossEdge(VertexId global_src, Label label,
     uint8_t* row = &quotient_closure_[static_cast<size_t>(x) * ns];
     for (uint32_t y = 0; y < ns; ++y) row[y] |= from_b[y];
   }
+}
+
+void GraphPartition::RemoveCrossEdge(VertexId global_src, Label label,
+                                     VertexId global_dst) {
+  RLC_REQUIRE(shard_of_[global_src] != shard_of_[global_dst],
+              "GraphPartition::RemoveCrossEdge: endpoints share shard "
+                  << shard_of_[global_src]);
+  const auto tail = std::remove_if(
+      cross_edges_.begin(), cross_edges_.end(), [&](const Edge& e) {
+        return e.src == global_src && e.dst == global_dst && e.label == label;
+      });
+  RLC_REQUIRE(tail != cross_edges_.end(),
+              "GraphPartition::RemoveCrossEdge: no registered cross edge "
+                  << global_src << " -" << label << "-> " << global_dst);
+  cross_edges_.erase(tail, cross_edges_.end());
+  RebuildSummary();
+}
+
+void GraphPartition::RebuildSummary() {
+  const uint32_t ns = num_shards();
+  std::fill(is_boundary_.begin(), is_boundary_.end(), uint8_t{0});
+  num_boundary_ = 0;
+  for (ShardInfo& shard : shards_) {
+    shard.boundary.clear();
+    shard.out_cross_labels = LabelMask();
+    shard.in_cross_labels = LabelMask();
+  }
+  std::vector<uint8_t> adj(static_cast<size_t>(ns) * ns, 0);
+  for (const Edge& e : cross_edges_) {
+    const uint32_t a = shard_of_[e.src];
+    const uint32_t b = shard_of_[e.dst];
+    is_boundary_[e.src] = 1;
+    is_boundary_[e.dst] = 1;
+    shards_[a].out_cross_labels.Add(e.label);
+    shards_[b].in_cross_labels.Add(e.label);
+    adj[static_cast<size_t>(a) * ns + b] = 1;
+  }
+  // Boundary lists rebuilt in ascending global id, which is ascending local
+  // id per shard — the same order Build produces.
+  for (VertexId v = 0; v < is_boundary_.size(); ++v) {
+    if (!is_boundary_[v]) continue;
+    ++num_boundary_;
+    shards_[shard_of_[v]].boundary.push_back(local_of_[v]);
+  }
+  CloseQuotient(adj, ns, quotient_closure_);
 }
 
 uint64_t GraphPartition::MemoryBytes() const {

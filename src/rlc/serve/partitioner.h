@@ -113,6 +113,15 @@ class GraphPartition {
   /// \throws std::invalid_argument when both endpoints share a shard.
   void AddCrossEdge(VertexId global_src, Label label, VertexId global_dst);
 
+  /// Unregisters a deleted cross-shard edge (all parallel copies of the
+  /// exact triple) and *shrinks* the boundary summary to match: label
+  /// masks, boundary flags/lists and the quotient closure are recomputed
+  /// from the remaining cross edges — masks and closure are monotone folds,
+  /// so removal cannot be patched in place the way AddCrossEdge composes.
+  /// \throws std::invalid_argument when both endpoints share a shard or no
+  ///         such cross edge is registered.
+  void RemoveCrossEdge(VertexId global_src, Label label, VertexId global_dst);
+
   /// True when `global` has at least one incident cross-shard edge.
   bool IsBoundary(VertexId global) const { return is_boundary_[global] != 0; }
   uint64_t num_boundary_vertices() const { return num_boundary_; }
@@ -129,6 +138,15 @@ class GraphPartition {
   uint64_t MemoryBytes() const;
 
  private:
+  /// Recomputes the derived boundary summary (masks, boundary flags/lists,
+  /// quotient closure) from cross_edges_ — the shrink path of
+  /// RemoveCrossEdge.
+  void RebuildSummary();
+
+  /// BFS closure of a shard-quotient adjacency bitmap into `closure`.
+  static void CloseQuotient(const std::vector<uint8_t>& adj, uint32_t ns,
+                            std::vector<uint8_t>& closure);
+
   PartitionerOptions options_;
   std::vector<ShardInfo> shards_;
   std::vector<uint32_t> shard_of_;   // global vertex -> shard

@@ -62,13 +62,7 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
   }
   stats_.index_build_seconds = timer.ElapsedSeconds();
 
-  timer.Reset();
-  if (build_global) {
-    prefilter_ = std::make_unique<PlainReachIndex>(PlainReachIndex::Build(g_));
-  } else {
-    online_ = std::make_unique<OnlineSearcher>(g_);
-  }
-  stats_.prefilter_build_seconds = timer.ElapsedSeconds();
+  if (!build_global) online_ = std::make_unique<OnlineSearcher>(g_);
 
   const uint32_t exec_threads =
       ThreadPool::ResolveThreads(options_.exec_threads);
@@ -115,10 +109,8 @@ bool ShardedRlcService::CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
   }
   ++stats_.fallback_probes;
   if (global_dyn_ != nullptr) {
-    // The engine-equivalent path for a pure RLC constraint: 2-hop
-    // unreachability short-circuit (while the prefilter is still valid),
-    // then one whole-graph index probe on the pre-resolved MR.
-    if (prefilter_ != nullptr && !prefilter_->Reachable(s, t)) return false;
+    // One whole-graph index probe on the pre-resolved MR; the index's own
+    // signature prefilter refutes most negatives from two loads.
     return global_dyn_->index().QueryInterned(s, t, entry.global_mr);
   }
   return online_->QueryBiBfs(s, t, *entry.compiled);
@@ -334,6 +326,13 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
   return out;
 }
 
+bool ShardedRlcService::EdgePresent(VertexId src, Label label,
+                                    VertexId dst) const {
+  if (applied_set_.find({src, label, dst}) != applied_set_.end()) return true;
+  return g_.HasEdge(src, dst, label) &&
+         deleted_base_.find({src, label, dst}) == deleted_base_.end();
+}
+
 size_t ShardedRlcService::ApplyUpdates(std::span<const EdgeUpdate> updates) {
   // Validate the whole batch up front: a mid-batch throw after edges were
   // already applied would skip the cache epilogue below and leave the
@@ -348,24 +347,57 @@ size_t ShardedRlcService::ApplyUpdates(std::span<const EdgeUpdate> updates) {
   }
   size_t applied = 0;
   for (const EdgeUpdate& e : updates) {
-    if (g_.HasEdge(e.src, e.dst, e.label) ||
-        !applied_set_.insert({e.src, e.label, e.dst}).second) {
+    const bool is_insert = e.op == EdgeOp::kInsert;
+    if (is_insert == EdgePresent(e.src, e.label, e.dst)) {
       ++stats_.updates_duplicate;
       continue;
     }
     const uint32_t ss = partition_.ShardOf(e.src);
     const uint32_t st = partition_.ShardOf(e.dst);
-    if (ss == st) {
-      shard_dyn_[ss]->InsertEdge(partition_.LocalOf(e.src), e.label,
-                                 partition_.LocalOf(e.dst));
+    if (is_insert) {
+      if (ss == st) {
+        shard_dyn_[ss]->InsertEdge(partition_.LocalOf(e.src), e.label,
+                                   partition_.LocalOf(e.dst));
+      } else {
+        partition_.AddCrossEdge(e.src, e.label, e.dst);
+        ++stats_.updates_cross;
+      }
+      if (!deleted_base_.erase({e.src, e.label, e.dst})) {
+        // A genuinely new edge (not a restored base edge) joins the
+        // overlay bookkeeping.
+        applied_set_.insert({e.src, e.label, e.dst});
+        applied_inserts_.push_back(e);
+      }
     } else {
-      partition_.AddCrossEdge(e.src, e.label, e.dst);
-      ++stats_.updates_cross;
+      if (ss == st) {
+        shard_dyn_[ss]->DeleteEdge(partition_.LocalOf(e.src), e.label,
+                                   partition_.LocalOf(e.dst));
+      } else {
+        partition_.RemoveCrossEdge(e.src, e.label, e.dst);
+        ++stats_.updates_cross;
+      }
+      if (applied_set_.erase({e.src, e.label, e.dst})) {
+        // Deleting an earlier overlay insert: drop it from the rebuild
+        // list; a base edge is shadowed instead.
+        applied_inserts_.erase(std::find_if(
+            applied_inserts_.begin(), applied_inserts_.end(),
+            [&](const EdgeUpdate& a) {
+              return a.src == e.src && a.label == e.label && a.dst == e.dst;
+            }));
+      } else {
+        deleted_base_.insert({e.src, e.label, e.dst});
+      }
+      ++stats_.updates_deleted;
     }
     // The fallback must answer on the mutated graph, so the whole-graph
-    // index learns every applied edge, intra-shard ones included.
-    if (global_dyn_ != nullptr) global_dyn_->InsertEdge(e.src, e.label, e.dst);
-    applied_updates_.push_back(e);
+    // index learns every applied mutation, intra-shard ones included.
+    if (global_dyn_ != nullptr) {
+      if (is_insert) {
+        global_dyn_->InsertEdge(e.src, e.label, e.dst);
+      } else {
+        global_dyn_->DeleteEdge(e.src, e.label, e.dst);
+      }
+    }
     ++applied;
     ++stats_.updates_applied;
   }
@@ -377,18 +409,26 @@ size_t ShardedRlcService::ApplyUpdates(std::span<const EdgeUpdate> updates) {
       stats_.seq_cache_evictions += seq_cache_.size();
       seq_cache_.clear();
     }
-    // Plain reachability is not maintained incrementally; a stale
-    // prefilter could refute a newly reachable pair. Exactness wins.
-    prefilter_.reset();
     if (online_ != nullptr) RebuildPatchedGraph();
   }
   return applied;
 }
 
 void ShardedRlcService::RebuildPatchedGraph() {
-  std::vector<Edge> edges = g_.ToEdgeList();
-  edges.reserve(edges.size() + applied_updates_.size());
-  for (const EdgeUpdate& e : applied_updates_) {
+  std::vector<Edge> edges;
+  if (deleted_base_.empty()) {
+    edges = g_.ToEdgeList();
+  } else {
+    const std::vector<Edge> base = g_.ToEdgeList();
+    edges.reserve(base.size());
+    for (const Edge& e : base) {
+      if (deleted_base_.find({e.src, e.label, e.dst}) == deleted_base_.end()) {
+        edges.push_back(e);
+      }
+    }
+  }
+  edges.reserve(edges.size() + applied_inserts_.size());
+  for (const EdgeUpdate& e : applied_inserts_) {
     edges.push_back({e.src, e.dst, e.label});
   }
   auto patched = std::make_unique<DiGraph>(g_.num_vertices(), std::move(edges),
@@ -407,7 +447,6 @@ uint64_t ShardedRlcService::MemoryBytes() const {
   uint64_t bytes = partition_.MemoryBytes();
   for (const auto& dyn : shard_dyn_) bytes += dyn->MemoryBytes();
   if (global_dyn_ != nullptr) bytes += global_dyn_->MemoryBytes();
-  if (prefilter_ != nullptr) bytes += prefilter_->MemoryBytes();
   if (patched_graph_ != nullptr) bytes += patched_graph_->MemoryBytes();
   return bytes;
 }

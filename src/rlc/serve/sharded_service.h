@@ -26,14 +26,19 @@
 // constraint once, groups probes by (shard, MR), and runs each group over
 // the sealed CSR layout with lookahead prefetch; see query_batch.h.
 //
-// The service also accepts live edge inserts (ApplyUpdates): intra-shard
-// edges go to the owning shard's dynamically maintained index
-// (dynamic_index.h), cross-shard edges refresh the boundary summary, and
-// the whole-graph fallback index learns every edge — answers stay exact on
-// the mutated graph. Each index reseals independently under
-// ServiceOptions::reseal; the 2-hop prefilter is dropped after the first
-// update (a stale prefilter could refute newly reachable pairs), and the
-// kOnline fallback re-materializes a patched graph per update batch.
+// The service also accepts live edge inserts and deletes (ApplyUpdates):
+// intra-shard edges go to the owning shard's dynamically maintained index
+// (dynamic_index.h), cross-shard edges refresh the boundary summary —
+// AddCrossEdge grows it in place, RemoveCrossEdge shrinks it by a
+// recompute — and the whole-graph fallback index learns every mutation, so
+// answers stay exact on the mutated graph. Each index reseals
+// independently under ServiceOptions::reseal; the kOnline fallback
+// re-materializes a patched graph per update batch. The service keeps no
+// plain-reachability (2-hop) prefilter: plain reachability is not
+// maintained under mutations, and PR 4's drop-on-first-update behavior was
+// a silent perf cliff — the signature prefilter (rlc_index.h) now carries
+// the negative-probe fast path in every state. RlcHybridEngine still
+// accepts an explicit prefilter for static deployments.
 
 #pragma once
 
@@ -47,7 +52,6 @@
 #include "rlc/core/dynamic_index.h"
 #include "rlc/core/indexer.h"
 #include "rlc/core/rlc_index.h"
-#include "rlc/plain/plain_reach_index.h"
 #include "rlc/serve/partitioner.h"
 #include "rlc/serve/query_batch.h"
 #include "rlc/util/thread_pool.h"
@@ -56,7 +60,7 @@ namespace rlc {
 
 /// What answers the probes the shards and the boundary summary cannot.
 enum class FallbackMode {
-  kGlobalHybrid,  ///< whole-graph index + 2-hop prefilter (RlcHybridEngine)
+  kGlobalHybrid,  ///< dynamically maintained whole-graph index
   kOnline,        ///< NFA-guided bidirectional BFS; no whole-graph index
 };
 
@@ -95,12 +99,13 @@ struct ServiceStats {
   uint64_t batch_groups = 0;     ///< (shard|fallback, MR) groups executed
   uint64_t seq_cache_flushes = 0;    ///< constraint-memo capacity flushes
   uint64_t seq_cache_evictions = 0;  ///< memo entries dropped by flushes
-  uint64_t updates_applied = 0;      ///< edge inserts that were new edges
-  uint64_t updates_duplicate = 0;    ///< edge inserts that were no-ops
-  uint64_t updates_cross = 0;        ///< applied inserts that cross shards
+  uint64_t updates_applied = 0;      ///< mutations that changed the graph
+  uint64_t updates_deleted = 0;      ///< applied updates that were deletes
+  uint64_t updates_duplicate = 0;    ///< no-op updates (insert of a present
+                                     ///< edge, delete of an absent one)
+  uint64_t updates_cross = 0;        ///< applied mutations of cross edges
   double partition_seconds = 0.0;
-  double index_build_seconds = 0.0;     ///< shard + fallback index builds
-  double prefilter_build_seconds = 0.0; ///< 2-hop prefilter (kGlobalHybrid)
+  double index_build_seconds = 0.0;  ///< shard + fallback index builds
 };
 
 /// A serving instance bound to one graph. `g` must outlive the service.
@@ -122,12 +127,13 @@ class ShardedRlcService {
   /// \throws std::invalid_argument like Query, plus on out-of-range seq_ids.
   AnswerBatch Execute(const QueryBatch& batch);
 
-  /// Applies a batch of edge inserts (see class comment). Inserts of edges
-  /// already present — in the base graph or applied earlier — are exact
-  /// no-ops. Returns how many updates were new edges. Subsequent queries
+  /// Applies a batch of edge mutations in order (see class comment).
+  /// Inserts of edges already present and deletes of absent edges are exact
+  /// no-ops. Returns how many updates changed the graph. Subsequent queries
   /// answer exactly on the mutated graph.
   /// \throws std::invalid_argument on out-of-range vertices or labels
-  ///         outside the base graph's alphabet.
+  ///         outside the base graph's alphabet (the whole batch is rejected
+  ///         before anything is applied).
   size_t ApplyUpdates(std::span<const EdgeUpdate> updates);
 
   /// Waits for (and swaps in) every in-flight background shard/fallback
@@ -184,23 +190,26 @@ class ShardedRlcService {
   /// Rebuilds the patched graph + online searcher after updates (kOnline).
   void RebuildPatchedGraph();
 
+  /// True when the edge exists in the service's current mutated graph.
+  bool EdgePresent(VertexId src, Label label, VertexId dst) const;
+
   const DiGraph& g_;
   ServiceOptions options_;
   GraphPartition partition_;
   std::vector<std::unique_ptr<DynamicRlcIndex>> shard_dyn_;
-  // kGlobalHybrid fallback: whole-graph dynamic index + 2-hop prefilter
-  // (the prefilter is dropped on the first applied update — plain
-  // reachability is not maintained incrementally, and a stale prefilter
-  // could refute newly reachable pairs).
+  // kGlobalHybrid fallback: dynamically maintained whole-graph index.
   std::unique_ptr<DynamicRlcIndex> global_dyn_;
-  std::unique_ptr<PlainReachIndex> prefilter_;
   // kOnline fallback. After updates the searcher runs over patched_graph_
-  // (base + applied inserts), re-materialized once per update batch.
+  // (base minus deletions plus applied inserts), re-materialized once per
+  // update batch.
   std::unique_ptr<DiGraph> patched_graph_;
   std::unique_ptr<OnlineSearcher> online_;
-  // Applied updates: dedup set + insertion-ordered list (patched rebuilds).
+  // Mutation bookkeeping: overlay inserts currently present (set + ordered
+  // list for deterministic patched rebuilds) and base edges currently
+  // deleted.
   std::set<std::tuple<VertexId, Label, VertexId>> applied_set_;
-  std::vector<EdgeUpdate> applied_updates_;
+  std::vector<EdgeUpdate> applied_inserts_;
+  std::set<std::tuple<VertexId, Label, VertexId>> deleted_base_;
   // Batched-execution worker pool (null when exec_threads resolves to 1).
   // Only Execute uses it, and only between its fan-out barrier — the
   // service's single-caller contract is unchanged.

@@ -380,12 +380,176 @@ TEST(DynamicIndexTest, ExecuteBatchHammerAcrossEpochSwap) {
   ExpectMatchesRebuild(dyn, 2);
 }
 
+/// One random currently-present edge (base minus removals plus overlay).
+EdgeUpdate RandomPresentEdge(const DynamicRlcIndex& dyn, Rng& rng) {
+  const std::vector<Edge> edges = dyn.MaterializedEdges();
+  const Edge& e = edges[rng.Below(edges.size())];
+  return {e.src, e.label, e.dst, EdgeOp::kDelete};
+}
+
+TEST(DynamicIndexTest, DifferentialDeleteScheduleEr) {
+  const DiGraph g = ErGraph(60, 200, 3, 103);
+  ResealPolicy policy;
+  policy.background = false;
+  policy.min_delta_entries = 4;
+  policy.max_delta_ratio = 0.02;  // reseal often: schedule crosses boundaries
+  DynamicRlcIndex dyn(g, BuildSealed(g, 2), policy);
+
+  Rng rng(107);
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 5; ++i) {
+      const EdgeUpdate e = RandomPresentEdge(dyn, rng);
+      ASSERT_TRUE(dyn.DeleteEdge(e.src, e.label, e.dst));
+    }
+    ExpectMatchesRebuild(dyn, 2, /*check_unsealed=*/batch == 4);
+  }
+  EXPECT_EQ(dyn.stats().edges_deleted, 25u);
+  EXPECT_GT(dyn.stats().entries_suppressed, 0u);
+}
+
+TEST(DynamicIndexTest, DifferentialDeleteK3) {
+  const DiGraph g = ErGraph(40, 120, 3, 109);
+  DynamicRlcIndex dyn(g, BuildSealed(g, 3));
+  Rng rng(113);
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 4; ++i) {
+      const EdgeUpdate e = RandomPresentEdge(dyn, rng);
+      ASSERT_TRUE(dyn.DeleteEdge(e.src, e.label, e.dst));
+    }
+    ExpectMatchesRebuild(dyn, 3);
+  }
+}
+
+TEST(DynamicIndexTest, DeleteNeverFlipsUnreachableToReachable) {
+  const DiGraph g = ErGraph(50, 160, 3, 127);
+  DynamicRlcIndex dyn(g, BuildSealed(g, 2));
+  const auto seqs = ProbeSeqs(dyn.index(), g.num_labels(), 2, 131);
+
+  std::vector<uint8_t> before;
+  for (const LabelSeq& seq : seqs) {
+    const MrId mr = dyn.index().FindMr(seq);
+    for (VertexId s = 0; s < g.num_vertices(); ++s) {
+      for (VertexId t = 0; t < g.num_vertices(); ++t) {
+        before.push_back(dyn.index().QueryInterned(s, t, mr) ? 1 : 0);
+      }
+    }
+  }
+
+  Rng rng(137);
+  for (int i = 0; i < 12; ++i) {
+    const EdgeUpdate e = RandomPresentEdge(dyn, rng);
+    ASSERT_TRUE(dyn.DeleteEdge(e.src, e.label, e.dst));
+  }
+
+  size_t pos = 0;
+  for (const LabelSeq& seq : seqs) {
+    const MrId mr = dyn.index().FindMr(seq);
+    for (VertexId s = 0; s < g.num_vertices(); ++s) {
+      for (VertexId t = 0; t < g.num_vertices(); ++t) {
+        const bool after = dyn.index().QueryInterned(s, t, mr);
+        if (!before[pos++]) {
+          ASSERT_FALSE(after) << "delete flipped (" << s << "," << t << ","
+                              << seq.ToString() << ") to reachable";
+        }
+      }
+    }
+  }
+}
+
+TEST(DynamicIndexTest, MixedMutationsAcrossBackgroundReseal) {
+  const DiGraph g = ErGraph(70, 240, 3, 139);
+  ResealPolicy policy;
+  policy.background = true;
+  policy.min_delta_entries = 1;
+  policy.max_delta_ratio = 1e-6;  // trigger on (nearly) every mutation
+  DynamicRlcIndex dyn(g, BuildSealed(g, 2), policy);
+  Rng rng(149);
+  for (int i = 0; i < 30; ++i) {
+    if (rng.Below(2) == 0) {
+      const EdgeUpdate e = RandomNewEdge(dyn, rng);
+      ASSERT_TRUE(dyn.InsertEdge(e.src, e.label, e.dst));
+    } else {
+      const EdgeUpdate e = RandomPresentEdge(dyn, rng);
+      ASSERT_TRUE(dyn.DeleteEdge(e.src, e.label, e.dst));
+    }
+  }
+  dyn.FinishReseal();
+  ExpectMatchesRebuild(dyn, 2);
+
+  dyn.ForceReseal();
+  EXPECT_EQ(dyn.index().delta_entries(), 0u);
+  EXPECT_EQ(dyn.index().tombstone_entries(), 0u);
+  ExpectMatchesRebuild(dyn, 2);
+}
+
+TEST(DynamicIndexTest, DeleteMissingEdgeIsExactNoOp) {
+  const DiGraph g = ErGraph(40, 140, 3, 151);
+  DynamicRlcIndex dyn(g, BuildSealed(g, 2));
+
+  Rng rng(157);
+  const EdgeUpdate absent = RandomNewEdge(dyn, rng);
+  const auto snapshot_state = [&] {
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    WriteIndex(dyn.index(), buf);
+    return buf.str();
+  };
+  const std::string bytes = snapshot_state();
+  const DynamicIndexStats stats = dyn.stats();
+
+  EXPECT_FALSE(dyn.DeleteEdge(absent.src, absent.label, absent.dst));
+  EXPECT_EQ(dyn.stats().edges_delete_missing, stats.edges_delete_missing + 1);
+  EXPECT_EQ(dyn.stats().edges_deleted, stats.edges_deleted);
+  EXPECT_EQ(dyn.stats().entries_suppressed, stats.entries_suppressed);
+  EXPECT_EQ(snapshot_state(), bytes);
+
+  // Deleting an edge twice: the second call is the same exact no-op.
+  const Edge base_edge = g.ToEdgeList().front();
+  ASSERT_TRUE(dyn.DeleteEdge(base_edge.src, base_edge.label, base_edge.dst));
+  const std::string after_delete = snapshot_state();
+  EXPECT_FALSE(dyn.DeleteEdge(base_edge.src, base_edge.label, base_edge.dst));
+  EXPECT_EQ(snapshot_state(), after_delete);
+}
+
+TEST(DynamicIndexTest, ApplyUpdatesRoutesMixedOps) {
+  const DiGraph g = ErGraph(50, 170, 3, 163);
+  DynamicRlcIndex dyn(g, BuildSealed(g, 2));
+  Rng rng(167);
+  std::vector<EdgeUpdate> updates;
+  for (int i = 0; i < 6; ++i) updates.push_back(RandomNewEdge(dyn, rng));
+  const Edge base_edge = g.ToEdgeList()[7];
+  updates.push_back({base_edge.src, base_edge.label, base_edge.dst,
+                     EdgeOp::kDelete});
+  // Delete one of the batch's own inserts: present by then, so it applies.
+  updates.push_back({updates[0].src, updates[0].label, updates[0].dst,
+                     EdgeOp::kDelete});
+  // And a no-op pair: delete of an absent edge, re-insert of a base edge.
+  EdgeUpdate absent = RandomNewEdge(dyn, rng);
+  while (std::find_if(updates.begin(), updates.end(), [&](const EdgeUpdate& u) {
+           return u.src == absent.src && u.label == absent.label &&
+                  u.dst == absent.dst;
+         }) != updates.end()) {
+    absent = RandomNewEdge(dyn, rng);
+  }
+  updates.push_back({absent.src, absent.label, absent.dst, EdgeOp::kDelete});
+  updates.push_back({base_edge.src, base_edge.label, base_edge.dst});
+
+  // 6 inserts + 2 deletes + re-insert of the deleted base edge apply; the
+  // delete of the never-present edge does not.
+  EXPECT_EQ(dyn.ApplyUpdates(updates), 9u);
+  EXPECT_EQ(dyn.stats().edges_deleted, 2u);
+  EXPECT_EQ(dyn.stats().edges_delete_missing, 1u);
+  ExpectMatchesRebuild(dyn, 2);
+}
+
 TEST(DynamicIndexTest, RejectsInvalidArguments) {
   const DiGraph g = ErGraph(20, 60, 2, 97);
   DynamicRlcIndex dyn(g, BuildSealed(g, 2));
   EXPECT_THROW(dyn.InsertEdge(20, 0, 1), std::invalid_argument);
   EXPECT_THROW(dyn.InsertEdge(0, 0, 20), std::invalid_argument);
   EXPECT_THROW(dyn.InsertEdge(0, 2, 1), std::invalid_argument);  // new label
+  EXPECT_THROW(dyn.DeleteEdge(20, 0, 1), std::invalid_argument);
+  EXPECT_THROW(dyn.DeleteEdge(0, 0, 20), std::invalid_argument);
+  EXPECT_THROW(dyn.DeleteEdge(0, 2, 1), std::invalid_argument);
 }
 
 TEST(DynamicIndexTest, RequiresSealedIndex) {

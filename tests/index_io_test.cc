@@ -307,10 +307,10 @@ TEST(IndexIoTest, CorruptV4DeltaSectionRejected) {
   const auto dyn = DeltaedIndex(g, 2, 53);
 
   std::stringstream v4(std::ios::in | std::ios::out | std::ios::binary);
-  WriteIndex(dyn->index(), v4);
+  WriteIndex(dyn->index(), v4, /*version=*/4);
   const std::string bytes = v4.str();
 
-  // Bit-flip inside the delta section (it ends the file: last u64 is the
+  // Bit-flip inside the delta section (it ends the v4 file: last u64 is the
   // section checksum, entries precede it). Both a flipped entry word and a
   // flipped checksum must fail the load.
   for (const size_t back_off : {9u, 3u}) {
@@ -327,6 +327,197 @@ TEST(IndexIoTest, CorruptV4DeltaSectionRejected) {
                             std::ios::in | std::ios::binary);
     EXPECT_THROW(ReadIndex(trunc), std::runtime_error)
         << "cut " << cut_back << " bytes";
+  }
+}
+
+/// A dynamically maintained index with pending deltas *and* tombstones:
+/// random inserts grow the delta lists, deletes of base edges tombstone
+/// stale CSR entries.
+std::unique_ptr<DynamicRlcIndex> TombstonedIndex(const DiGraph& g, uint32_t k,
+                                                 uint64_t seed) {
+  ResealPolicy policy;
+  policy.max_delta_ratio = 1e9;  // never reseal: keep the overlays pending
+  auto dyn = std::make_unique<DynamicRlcIndex>(g, BuildRlcIndex(g, k), policy);
+  Rng rng(seed);
+  const std::vector<Edge> base = g.ToEdgeList();
+  while (dyn->index().tombstone_entries() < 6) {
+    const Edge& e = base[rng.Below(base.size())];
+    dyn->DeleteEdge(e.src, e.label, e.dst);
+  }
+  while (dyn->index().delta_entries() < 8) {
+    const auto u = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto l = static_cast<Label>(rng.Below(g.num_labels()));
+    if (!dyn->HasEdge(u, l, v)) dyn->InsertEdge(u, l, v);
+  }
+  return dyn;
+}
+
+TEST(IndexIoTest, V5RoundTripWithTombstones) {
+  Rng rng(59);
+  auto edges = ErdosRenyiEdges(90, 340, rng);
+  AssignZipfLabels(&edges, 3, 2.0, rng);
+  const DiGraph g(90, std::move(edges), 3);
+  const auto dyn = TombstonedIndex(g, 2, 61);
+  const RlcIndex& index = dyn->index();
+  ASSERT_GT(index.tombstone_entries(), 0u);
+  ASSERT_GT(index.delta_entries(), 0u);
+
+  std::stringstream v5(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, v5);  // default format carries both overlays
+  const RlcIndex loaded = ReadIndex(v5);
+  ExpectSameIndex(index, loaded);
+  EXPECT_EQ(index.delta_entries(), loaded.delta_entries());
+  EXPECT_EQ(index.tombstone_entries(), loaded.tombstone_entries());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(std::ranges::equal(index.DeltaLout(v), loaded.DeltaLout(v)));
+    EXPECT_TRUE(std::ranges::equal(index.DeltaLin(v), loaded.DeltaLin(v)));
+    EXPECT_TRUE(std::ranges::equal(index.TombLout(v), loaded.TombLout(v)));
+    EXPECT_TRUE(std::ranges::equal(index.TombLin(v), loaded.TombLin(v)));
+  }
+
+  // Load -> resave must reproduce the file byte for byte.
+  std::stringstream resaved(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(loaded, resaved);
+  EXPECT_EQ(v5.str(), resaved.str());
+
+  // Loaded and original answer identically, tombstones consulted.
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto s = static_cast<VertexId>(rng.Below(90));
+    const auto t = static_cast<VertexId>(rng.Below(90));
+    const LabelSeq c = RandomPrimitiveSeq(1 + rng.Below(2), 3, rng);
+    ASSERT_EQ(index.Query(s, t, c), loaded.Query(s, t, c));
+  }
+}
+
+TEST(IndexIoTest, OldVersionsRejectPendingTombstones) {
+  Rng rng(67);
+  auto edges = ErdosRenyiEdges(60, 220, rng);
+  AssignZipfLabels(&edges, 3, 2.0, rng);
+  const DiGraph g(60, std::move(edges), 3);
+  const auto dyn = TombstonedIndex(g, 2, 71);
+  ASSERT_GT(dyn->index().tombstone_entries(), 0u);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  for (const uint32_t version : {1u, 2u, 3u, 4u}) {
+    EXPECT_THROW(WriteIndex(dyn->index(), buf, version), std::invalid_argument)
+        << "version " << version;
+  }
+}
+
+TEST(IndexIoTest, CorruptV5TombstoneSectionRejected) {
+  Rng rng(73);
+  auto edges = ErdosRenyiEdges(70, 260, rng);
+  AssignZipfLabels(&edges, 3, 2.0, rng);
+  const DiGraph g(70, std::move(edges), 3);
+  const auto dyn = TombstonedIndex(g, 2, 79);
+
+  std::stringstream v5(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(dyn->index(), v5);
+  const std::string bytes = v5.str();
+
+  // The tombstone section ends the file: last u64 is its checksum, entries
+  // precede it. A flipped entry word and a flipped checksum must both fail
+  // the load.
+  for (const size_t back_off : {9u, 3u}) {
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() - back_off] ^= 0x04;
+    std::stringstream in(corrupt, std::ios::in | std::ios::binary);
+    EXPECT_THROW(ReadIndex(in), std::runtime_error)
+        << "flip at size-" << back_off;
+  }
+
+  // Truncation anywhere inside the tombstone section.
+  for (const size_t cut_back : {1u, 8u, 17u}) {
+    std::stringstream trunc(bytes.substr(0, bytes.size() - cut_back),
+                            std::ios::in | std::ios::binary);
+    EXPECT_THROW(ReadIndex(trunc), std::runtime_error)
+        << "cut " << cut_back << " bytes";
+  }
+}
+
+TEST(IndexIoTest, TombstoneForMissingEntryRejected) {
+  // An adversarial v5 file whose tombstone section passes the checksum but
+  // references a CSR entry that does not exist: the load must fail on the
+  // AddTombstone validation, not install a dangling tombstone.
+  const DiGraph g = BuildFig2Graph();
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  std::stringstream v5(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, v5);
+  std::string bytes = v5.str();
+
+  // Strip the empty tombstone section (u64 count, u64 count, u64 checksum)
+  // and append a crafted one claiming vertex 0 tombstones an entry with an
+  // in-range hub/mr that its Lout does not hold, with a valid checksum
+  // (same FNV fold as index_io.cc).
+  ASSERT_GE(bytes.size(), 24u);
+  bytes.resize(bytes.size() - 24);
+  uint32_t missing_aid = 0;
+  const std::span<const IndexEntry> lout = index.Lout(0);
+  for (uint32_t aid = 1; aid <= index.num_vertices(); ++aid) {
+    if (std::none_of(lout.begin(), lout.end(), [&](const IndexEntry& e) {
+          return e.hub_aid == aid && e.mr == 0;
+        })) {
+      missing_aid = aid;
+      break;
+    }
+  }
+  ASSERT_GT(missing_aid, 0u);
+  uint64_t checksum = 0xCBF29CE484222325ULL;
+  const auto fold = [&](uint64_t word) {
+    checksum = (checksum ^ word) * 0x100000001B3ULL;
+  };
+  const auto put32 = [&](uint32_t v) {
+    bytes.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const auto put64 = [&](uint64_t v) {
+    bytes.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put64(1);  // out side: one vertex with tombstones
+  fold(1);
+  put32(0);  // vertex 0
+  put32(1);  // one entry
+  fold(0);
+  fold(1);
+  put32(missing_aid);
+  put32(0);  // mr 0
+  fold(missing_aid);
+  fold(0);
+  put64(0);  // in side: empty
+  fold(0);
+  put64(checksum);
+
+  std::stringstream in(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(ReadIndex(in), std::runtime_error);
+}
+
+TEST(IndexIoTest, AllVersionsResaveByteIdentically) {
+  // Read-compat sweep: for every still-writable version, write -> read ->
+  // resave at the same version must reproduce the bytes, and resaving any
+  // load as v5 must equal the direct v5 write (the loaded state is
+  // indistinguishable from the original for overlay-free indexes).
+  Rng rng(83);
+  auto edges = ErdosRenyiEdges(100, 380, rng);
+  AssignZipfLabels(&edges, 4, 2.0, rng);
+  const DiGraph g(100, std::move(edges), 4);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+
+  std::stringstream direct_v5(std::ios::in | std::ios::out | std::ios::binary);
+  WriteIndex(index, direct_v5, /*version=*/5);
+  for (const uint32_t version : {1u, 2u, 3u, 4u, 5u}) {
+    std::stringstream first(std::ios::in | std::ios::out | std::ios::binary);
+    WriteIndex(index, first, version);
+    const RlcIndex loaded = ReadIndex(first);
+    ExpectSameIndex(index, loaded);
+
+    std::stringstream same_version(std::ios::in | std::ios::out |
+                                   std::ios::binary);
+    WriteIndex(loaded, same_version, version);
+    EXPECT_EQ(first.str(), same_version.str()) << "version " << version;
+
+    std::stringstream as_v5(std::ios::in | std::ios::out | std::ios::binary);
+    WriteIndex(loaded, as_v5, /*version=*/5);
+    EXPECT_EQ(direct_v5.str(), as_v5.str())
+        << "v" << version << " load resaved as v5";
   }
 }
 

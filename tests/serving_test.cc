@@ -444,9 +444,9 @@ TEST(ServingTest, ParallelShardBuildsAreDeterministic) {
   }
 }
 
-/// Shared driver for the live-update differential: apply random update
-/// batches and, after each, re-check the service (scalar + batched) against
-/// a fresh whole-graph index built on the mutated graph.
+/// Shared driver for the live-update differential: apply random *mixed*
+/// insert/delete batches and, after each, re-check the service (scalar +
+/// batched) against a fresh whole-graph index built on the mutated graph.
 void RunUpdateDifferential(ServiceOptions options, uint64_t seed) {
   const VertexId n = 150;
   const Label labels = 3;
@@ -460,14 +460,37 @@ void RunUpdateDifferential(ServiceOptions options, uint64_t seed) {
   ShardedRlcService service(g, options);
 
   Rng rng(seed ^ 0x5EED);
+  // Mirror of the mutated graph's edge set. The DiGraph deduplicates exact
+  // parallel copies (and the service deletes all copies of a triple), so
+  // the mirror starts deduplicated too.
   std::vector<Edge> mutated_edges = base_edges;
+  std::sort(mutated_edges.begin(), mutated_edges.end());
+  mutated_edges.erase(
+      std::unique(mutated_edges.begin(), mutated_edges.end()),
+      mutated_edges.end());
   uint64_t applied_total = 0;
+  uint64_t deleted_total = 0;
   for (int batch = 0; batch < 3; ++batch) {
     std::vector<EdgeUpdate> updates;
+    // Four deletes of currently-present edges lead the batch.
+    for (int i = 0; i < 4; ++i) {
+      const size_t pick = rng.Below(mutated_edges.size());
+      const Edge e = mutated_edges[pick];
+      mutated_edges.erase(mutated_edges.begin() +
+                          static_cast<ptrdiff_t>(pick));
+      updates.push_back({e.src, e.label, e.dst, EdgeOp::kDelete});
+      ++deleted_total;
+    }
+    // Eight inserts of new edges follow; none may collide with the first
+    // deleted edge (reserved for the no-op delete below).
+    const EdgeUpdate reserved = updates[0];
     while (updates.size() < 12) {
       const auto u = static_cast<VertexId>(rng.Below(n));
       const auto v = static_cast<VertexId>(rng.Below(n));
       const auto l = static_cast<Label>(rng.Below(labels));
+      if (u == reserved.src && l == reserved.label && v == reserved.dst) {
+        continue;
+      }
       if (std::find(mutated_edges.begin(), mutated_edges.end(),
                     Edge{u, v, l}) != mutated_edges.end()) {
         continue;
@@ -475,14 +498,16 @@ void RunUpdateDifferential(ServiceOptions options, uint64_t seed) {
       mutated_edges.push_back({u, v, l});
       updates.push_back({u, l, v});
     }
-    // One duplicate (base edge) rides along and must be a no-op.
-    updates.push_back(
-        {base_edges[batch].src, base_edges[batch].label, base_edges[batch].dst});
+    // Two no-ops ride along: re-inserting one of this batch's own inserts
+    // and re-deleting the already-deleted reserved edge.
+    updates.push_back(updates[4]);
+    updates.push_back(reserved);
 
     ASSERT_EQ(service.ApplyUpdates(updates), 12u);
     applied_total += 12;
     ASSERT_EQ(service.stats().updates_applied, applied_total);
-    ASSERT_EQ(service.stats().updates_duplicate, uint64_t(batch + 1));
+    ASSERT_EQ(service.stats().updates_deleted, deleted_total);
+    ASSERT_EQ(service.stats().updates_duplicate, uint64_t(2 * (batch + 1)));
 
     const DiGraph mutated(n, mutated_edges, labels);
     const RlcIndex fresh = BuildRlcIndex(mutated, options.indexer.k);
@@ -543,6 +568,65 @@ TEST(ServingTest, ApplyUpdatesRejectsBadBatchWithoutApplyingAnything) {
   // The service still answers exactly like the unmutated whole-graph index.
   const RlcIndex fresh_index = BuildRlcIndex(g, 2);
   ExpectServiceMatchesIndex(g, fresh_index, service, 200, 557);
+}
+
+TEST(ServingTest, RoutingIsStableAcrossFirstUpdate) {
+  // PR 4 built a plain 2-hop prefilter into the hybrid fallback and
+  // silently dropped it on the first applied update — identical queries
+  // changed cost model mid-flight. The prefilter is now gone for good:
+  // this test pins that the same probe set routes identically (same
+  // per-category stat deltas) before and after updates begin, and answers
+  // stay exact either way. The hybrid *engine* keeps its optional
+  // prefilter for static deployments (engines_test).
+  const DiGraph g = RandomGraph(120, 460, 3, 777);
+  ShardedRlcService service(g, Opts(4, PartitionPolicy::kHash));
+
+  std::vector<RlcQuery> probes;
+  Rng rng(778);
+  for (int i = 0; i < 200; ++i) {
+    probes.push_back({static_cast<VertexId>(rng.Below(120)),
+                      static_cast<VertexId>(rng.Below(120)),
+                      RandomPrimitiveSeq(1 + i % 2, 3, rng), false});
+  }
+  auto run_probes = [&] {
+    const ServiceStats before = service.stats();
+    for (const RlcQuery& q : probes) service.Query(q.s, q.t, q.constraint);
+    const ServiceStats& after = service.stats();
+    return std::tuple(after.intra_true - before.intra_true,
+                      after.cross_refuted - before.cross_refuted,
+                      after.fallback_probes - before.fallback_probes);
+  };
+  const auto before_update = run_probes();
+
+  // A no-op batch (duplicate insert + delete of an absent edge) must not
+  // change routing at all.
+  const Edge base_edge = g.ToEdgeList().front();
+  EdgeUpdate absent{};
+  for (;;) {
+    absent = {static_cast<VertexId>(rng.Below(120)),
+              static_cast<Label>(rng.Below(3)),
+              static_cast<VertexId>(rng.Below(120))};
+    if (!g.HasEdge(absent.src, absent.dst, absent.label)) break;
+  }
+  absent.op = EdgeOp::kDelete;
+  const std::vector<EdgeUpdate> noop = {
+      {base_edge.src, base_edge.label, base_edge.dst}, absent};
+  ASSERT_EQ(service.ApplyUpdates(noop), 0u);
+  EXPECT_EQ(before_update, run_probes());
+
+  // A real mutation pair that cancels out (insert then delete of the same
+  // new edge) restores the exact pre-update graph: identical probes must
+  // route through the same categories with the same counts — no dropped
+  // shortcut, no behavior cliff after update #1.
+  absent.op = EdgeOp::kInsert;
+  const std::vector<EdgeUpdate> churn = {
+      absent, {absent.src, absent.label, absent.dst, EdgeOp::kDelete}};
+  ASSERT_EQ(service.ApplyUpdates(churn), 2u);
+  EXPECT_EQ(before_update, run_probes());
+
+  // And answers stay exact against the unmutated oracle.
+  const RlcIndex fresh = BuildRlcIndex(g, 2);
+  ExpectServiceMatchesIndex(g, fresh, service, 300, 779);
 }
 
 TEST(ServingTest, WorkloadAnswersMatchOracle) {
