@@ -139,6 +139,39 @@ bool DynamicRlcIndex::DeleteEdge(VertexId u, Label label, VertexId v) {
   return true;
 }
 
+void DynamicRlcIndex::RestoreOverlay(std::span<const EdgeUpdate> inserted,
+                                     std::span<const EdgeUpdate> removed) {
+  RLC_REQUIRE(inserted_.empty() && removed_.empty() &&
+                  stats_.edges_inserted + stats_.edges_deleted == 0,
+              "RestoreOverlay: index has already been mutated");
+  for (const EdgeUpdate& e : inserted) {
+    RLC_REQUIRE(e.src < g_.num_vertices() && e.dst < g_.num_vertices() &&
+                    e.label < g_.num_labels(),
+                "RestoreOverlay: inserted edge out of range");
+    if (extra_out_.empty()) {
+      extra_out_.resize(g_.num_vertices());
+      extra_in_.resize(g_.num_vertices());
+    }
+    extra_out_[e.src].push_back({e.dst, e.label});
+    extra_in_[e.dst].push_back({e.src, e.label});
+    inserted_.push_back({e.src, e.label, e.dst, EdgeOp::kInsert});
+  }
+  for (const EdgeUpdate& e : removed) {
+    RLC_REQUIRE(e.src < g_.num_vertices() && e.dst < g_.num_vertices() &&
+                    e.label < g_.num_labels(),
+                "RestoreOverlay: removed edge out of range");
+    RLC_REQUIRE(g_.HasEdge(e.src, e.dst, e.label),
+                "RestoreOverlay: removed edge not in the base graph");
+    if (removed_out_.empty()) {
+      removed_out_.resize(g_.num_vertices());
+      removed_in_.resize(g_.num_vertices());
+    }
+    removed_out_[e.src].push_back({e.dst, e.label});
+    removed_in_[e.dst].push_back({e.src, e.label});
+    removed_.push_back({e.src, e.label, e.dst, EdgeOp::kDelete});
+  }
+}
+
 size_t DynamicRlcIndex::ApplyUpdates(std::span<const EdgeUpdate> updates) {
   size_t applied = 0;
   for (const EdgeUpdate& e : updates) {

@@ -163,6 +163,17 @@ class DynamicRlcIndex {
   /// graph (inserts of new edges + deletes of present edges).
   size_t ApplyUpdates(std::span<const EdgeUpdate> updates);
 
+  /// Re-installs a previously persisted graph overlay (durable_index.h)
+  /// without running any maintenance: the index passed to the constructor
+  /// already carries the matching delta/tombstone entries, so only the
+  /// adjacency overlay and the edge bookkeeping need rebuilding. Must be
+  /// called before any mutation; `inserted`/`removed` are the
+  /// inserted_edges()/removed_edges() lists a snapshot captured.
+  /// \throws std::invalid_argument on out-of-range edges, a removed edge
+  ///         the base graph does not have, or a non-fresh overlay.
+  void RestoreOverlay(std::span<const EdgeUpdate> inserted,
+                      std::span<const EdgeUpdate> removed);
+
   /// \name Query surface
   /// The current epoch's index. `index()` is the owner-thread shortcut;
   /// Snapshot() pins an epoch for batched readers that outlive the call

@@ -1,8 +1,19 @@
 #include "rlc/core/index_io.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+
+#include "rlc/core/label_seq.h"
+#include "rlc/util/failpoint.h"
 
 namespace rlc {
 
@@ -24,13 +35,58 @@ void Put(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-T Get(std::istream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in) throw std::runtime_error("ReadIndex: truncated stream");
-  return v;
+/// Bytes left in `in` from the current position; UINT64_MAX when the stream
+/// is not seekable.
+uint64_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return UINT64_MAX;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return UINT64_MAX;
+  return static_cast<uint64_t>(end - pos);
 }
+
+/// Deserialization context: tracks the source name, the section being
+/// parsed and the byte offset (relative to where the index blob starts —
+/// embedded blobs report offsets within the blob), so every failure names
+/// exactly where the bytes went bad.
+class Reader {
+ public:
+  Reader(std::istream& in, const std::string& source)
+      : in_(in), source_(source) {}
+
+  void Section(const char* name) { section_ = name; }
+
+  template <typename T>
+  T Get() {
+    T v{};
+    ReadRaw(&v, sizeof(T));
+    return v;
+  }
+
+  void ReadRaw(void* dst, uint64_t n) {
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (!in_) {
+      Fail("truncated: wanted " + std::to_string(n) + " more bytes");
+    }
+    offset_ += n;
+  }
+
+  uint64_t Remaining() { return RemainingBytes(in_); }
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::runtime_error("ReadIndex(" + source_ + "): " + what +
+                             " [section: " + section_ + ", byte offset " +
+                             std::to_string(offset_) + "]");
+  }
+
+ private:
+  std::istream& in_;
+  const std::string& source_;
+  const char* section_ = "header";
+  uint64_t offset_ = 0;
+};
 
 void PutEntriesV1(std::ostream& out, std::span<const IndexEntry> entries) {
   Put<uint32_t>(out, static_cast<uint32_t>(entries.size()));
@@ -61,41 +117,27 @@ struct SideV2 {
   std::vector<IndexEntry> entries;
 };
 
-/// Bytes left in `in` from the current position; UINT64_MAX when the stream
-/// is not seekable.
-uint64_t RemainingBytes(std::istream& in) {
-  const std::istream::pos_type pos = in.tellg();
-  if (pos == std::istream::pos_type(-1)) return UINT64_MAX;
-  in.seekg(0, std::ios::end);
-  const std::istream::pos_type end = in.tellg();
-  in.seekg(pos);
-  if (end == std::istream::pos_type(-1) || end < pos) return UINT64_MAX;
-  return static_cast<uint64_t>(end - pos);
-}
-
 // Monotonicity and per-list sortedness are validated once, by the throwing
 // AdoptSealed call in ReadIndex; here we only check what AdoptSealed cannot
 // see (stream truncation, entry id ranges) plus an allocation bound.
-SideV2 GetSideV2(std::istream& in, uint64_t n, uint32_t num_mrs,
+SideV2 GetSideV2(Reader& r, uint64_t n, uint32_t num_mrs,
                  uint64_t num_vertices) {
   SideV2 side;
   side.offsets.resize(n + 1);
-  in.read(reinterpret_cast<char*>(side.offsets.data()),
-          static_cast<std::streamsize>(side.offsets.size() * sizeof(uint64_t)));
-  if (!in) throw std::runtime_error("ReadIndex: truncated offset block");
+  r.ReadRaw(side.offsets.data(), side.offsets.size() * sizeof(uint64_t));
   const uint64_t total = side.offsets.back();
   // A corrupt count must fail cleanly, not OOM: the entry block cannot be
   // larger than what is actually left in the stream.
-  if (total > RemainingBytes(in) / sizeof(IndexEntry)) {
-    throw std::runtime_error("ReadIndex: corrupt offsets");
+  if (total > r.Remaining() / sizeof(IndexEntry)) {
+    r.Fail("entry count " + std::to_string(total) +
+           " exceeds the bytes left in the file");
   }
   side.entries.resize(total);
-  in.read(reinterpret_cast<char*>(side.entries.data()),
-          static_cast<std::streamsize>(side.entries.size() * sizeof(IndexEntry)));
-  if (!in) throw std::runtime_error("ReadIndex: truncated entry block");
+  r.ReadRaw(side.entries.data(), side.entries.size() * sizeof(IndexEntry));
   for (const IndexEntry& e : side.entries) {
     if (e.mr >= num_mrs || e.hub_aid == 0 || e.hub_aid > num_vertices) {
-      throw std::runtime_error("ReadIndex: corrupt entry");
+      r.Fail("entry (hub_aid=" + std::to_string(e.hub_aid) +
+             ", mr=" + std::to_string(e.mr) + ") out of range");
     }
   }
   return side;
@@ -200,80 +242,131 @@ void WriteIndex(const RlcIndex& index, std::ostream& out, uint32_t version) {
   }
 }
 
-RlcIndex ReadIndex(std::istream& in) {
-  if (Get<uint64_t>(in) != kIndexMagic) {
-    throw std::runtime_error("ReadIndex: bad magic (not an rlc index file)");
+RlcIndex ReadIndex(std::istream& in) { return ReadIndex(in, "<stream>"); }
+
+RlcIndex ReadIndex(std::istream& in, const std::string& source) {
+  Reader r(in, source);
+  r.Section("header");
+  if (r.Get<uint64_t>() != kIndexMagic) {
+    r.Fail("bad magic (not an rlc index file)");
   }
-  const uint32_t version = Get<uint32_t>(in);
+  const uint32_t version = r.Get<uint32_t>();
   if (version < 1 || version > 5) {
-    throw std::runtime_error("ReadIndex: unsupported version");
+    r.Fail("unsupported version " + std::to_string(version));
   }
-  const uint32_t k = Get<uint32_t>(in);
-  const uint64_t n = Get<uint64_t>(in);
+  const uint32_t k = r.Get<uint32_t>();
+  if (k < 1 || k > kMaxK) {
+    r.Fail("recursion bound k=" + std::to_string(k) + " out of range (1.." +
+           std::to_string(kMaxK) + ")");
+  }
+  const uint64_t n = r.Get<uint64_t>();
+  // Every vertex costs four access-order bytes right after the header; a
+  // corrupt count must fail here, not OOM in the index constructor.
+  if (n > r.Remaining() / sizeof(uint32_t)) {
+    r.Fail("vertex count " + std::to_string(n) +
+           " exceeds the bytes left in the file");
+  }
 
   RlcIndex index(static_cast<VertexId>(n), k);
 
+  r.Section("access order");
   std::vector<VertexId> order(n);
-  for (uint64_t i = 0; i < n; ++i) order[i] = Get<uint32_t>(in);
+  if (n > 0) r.ReadRaw(order.data(), n * sizeof(VertexId));
+  // SetAccessOrder range-checks but cannot spot duplicates (they would
+  // leave some vertex with access id 0 and skew every aid lookup).
+  std::vector<bool> seen(n, false);
+  for (const VertexId v : order) {
+    if (v >= n || seen[v]) {
+      r.Fail("access order is not a permutation (vertex " + std::to_string(v) +
+             (v < n ? " appears twice)" : " out of range)"));
+    }
+    seen[v] = true;
+  }
   index.SetAccessOrder(std::move(order));
 
-  const uint32_t num_mrs = Get<uint32_t>(in);
+  r.Section("mr table");
+  const uint32_t num_mrs = r.Get<uint32_t>();
+  if (num_mrs > r.Remaining()) {  // each MR costs at least its length byte
+    r.Fail("mr count " + std::to_string(num_mrs) +
+           " exceeds the bytes left in the file");
+  }
   for (uint32_t i = 0; i < num_mrs; ++i) {
-    const uint8_t len = Get<uint8_t>(in);
+    const uint8_t len = r.Get<uint8_t>();
+    // LabelSeq aborts past kMaxK; untrusted bytes must throw instead.
+    if (len > kMaxK) {
+      r.Fail("mr length " + std::to_string(len) + " exceeds kMaxK=" +
+             std::to_string(kMaxK));
+    }
     LabelSeq seq;
-    for (uint8_t j = 0; j < len; ++j) seq.PushBack(Get<uint32_t>(in));
+    for (uint8_t j = 0; j < len; ++j) seq.PushBack(r.Get<uint32_t>());
     const MrId id = index.mr_table().Intern(seq);
-    if (id != i) throw std::runtime_error("ReadIndex: corrupt MR table");
+    if (id != i) r.Fail("duplicate MR in table");
   }
 
   if (version == 1) {
+    r.Section("v1 entry lists");
+    auto get_list = [&](VertexId v, bool out_side) {
+      const uint32_t count = r.Get<uint32_t>();
+      if (count > r.Remaining() / (2 * sizeof(uint32_t))) {
+        r.Fail("entry count " + std::to_string(count) +
+               " exceeds the bytes left in the file");
+      }
+      uint32_t prev_aid = 0;
+      for (uint32_t i = 0; i < count; ++i) {
+        const uint32_t aid = r.Get<uint32_t>();
+        const MrId mr = r.Get<uint32_t>();
+        if (mr >= num_mrs || aid == 0 || aid > n) {
+          r.Fail("entry (hub_aid=" + std::to_string(aid) +
+                 ", mr=" + std::to_string(mr) + ") out of range");
+        }
+        // The merge-join query assumes sorted lists; AddOut/AddIn only
+        // DCHECK this, which release builds compile out.
+        if (aid < prev_aid) r.Fail("entry list not sorted by hub access id");
+        prev_aid = aid;
+        if (out_side) {
+          index.AddOut(v, aid, mr);
+        } else {
+          index.AddIn(v, aid, mr);
+        }
+      }
+    };
     for (VertexId v = 0; v < n; ++v) {
-      const uint32_t out_count = Get<uint32_t>(in);
-      for (uint32_t i = 0; i < out_count; ++i) {
-        const uint32_t aid = Get<uint32_t>(in);
-        const MrId mr = Get<uint32_t>(in);
-        if (mr >= num_mrs) throw std::runtime_error("ReadIndex: corrupt entry");
-        index.AddOut(v, aid, mr);
-      }
-      const uint32_t in_count = Get<uint32_t>(in);
-      for (uint32_t i = 0; i < in_count; ++i) {
-        const uint32_t aid = Get<uint32_t>(in);
-        const MrId mr = Get<uint32_t>(in);
-        if (mr >= num_mrs) throw std::runtime_error("ReadIndex: corrupt entry");
-        index.AddIn(v, aid, mr);
-      }
+      get_list(v, /*out_side=*/true);
+      get_list(v, /*out_side=*/false);
     }
     index.Seal();
   } else {
-    SideV2 out_side = GetSideV2(in, n, num_mrs, n);
-    SideV2 in_side = GetSideV2(in, n, num_mrs, n);
+    r.Section("out csr");
+    SideV2 out_side = GetSideV2(r, n, num_mrs, n);
+    r.Section("in csr");
+    SideV2 in_side = GetSideV2(r, n, num_mrs, n);
     // v3 appends the vertex signatures; adopting them skips the rebuild
     // pass over both entry buffers. v2 files leave the vectors empty and
     // AdoptSealed rebuilds.
     std::vector<uint64_t> out_sigs;
     std::vector<uint64_t> in_sigs;
     if (version >= 3) {
+      r.Section("signatures");
       out_sigs.resize(n);
       in_sigs.resize(n);
       uint64_t checksum = kSignatureChecksumSeed;
       for (auto* sigs : {&out_sigs, &in_sigs}) {
-        in.read(reinterpret_cast<char*>(sigs->data()),
-                static_cast<std::streamsize>(sigs->size() * sizeof(uint64_t)));
-        if (!in) throw std::runtime_error("ReadIndex: truncated signatures");
+        if (n > 0) r.ReadRaw(sigs->data(), sigs->size() * sizeof(uint64_t));
         for (const uint64_t sig : *sigs) {
           checksum = SignatureChecksum(checksum, sig);
         }
       }
-      if (Get<uint64_t>(in) != checksum) {
-        throw std::runtime_error("ReadIndex: corrupt signatures");
+      if (r.Get<uint64_t>() != checksum) {
+        r.Fail("signature checksum mismatch");
       }
     }
+    r.Section("csr adopt");
     try {
       index.AdoptSealed(std::move(out_side.offsets), std::move(out_side.entries),
                         std::move(in_side.offsets), std::move(in_side.entries),
                         std::move(out_sigs), std::move(in_sigs));
     } catch (const std::invalid_argument& e) {
-      throw std::runtime_error(std::string("ReadIndex: ") + e.what());
+      r.Fail(e.what());
     }
     if (version >= 4) {
       // Pending overlay sections (v4 deltas, v5 tombstones). Entries are
@@ -282,32 +375,33 @@ RlcIndex ReadIndex(std::istream& in) {
       // widening, AddTombstone* verifies the referenced CSR entry exists —
       // and each section's checksum catches in-range corruption.
       auto get_overlay = [&](const char* what, auto apply) {
+        r.Section(what);
         uint64_t checksum = kSignatureChecksumSeed;
         auto get_side = [&](bool out_side) {
-          const uint64_t count = Get<uint64_t>(in);
+          const uint64_t count = r.Get<uint64_t>();
           checksum = SignatureChecksum(checksum, count);
           if (count > n) {
-            throw std::runtime_error(std::string("ReadIndex: corrupt ") +
-                                     what + " count");
+            r.Fail("vertex count " + std::to_string(count) + " exceeds " +
+                   std::to_string(n));
           }
           for (uint64_t i = 0; i < count; ++i) {
-            const uint32_t v = Get<uint32_t>(in);
-            const uint32_t len = Get<uint32_t>(in);
+            const uint32_t v = r.Get<uint32_t>();
+            const uint32_t len = r.Get<uint32_t>();
             checksum = SignatureChecksum(checksum, v);
             checksum = SignatureChecksum(checksum, len);
             if (v >= n || len == 0 ||
-                len > RemainingBytes(in) / sizeof(IndexEntry)) {
-              throw std::runtime_error(std::string("ReadIndex: corrupt ") +
-                                       what + " list");
+                len > r.Remaining() / sizeof(IndexEntry)) {
+              r.Fail("corrupt per-vertex list (vertex " + std::to_string(v) +
+                     ", length " + std::to_string(len) + ")");
             }
             for (uint32_t j = 0; j < len; ++j) {
-              const uint32_t aid = Get<uint32_t>(in);
-              const MrId mr = Get<uint32_t>(in);
+              const uint32_t aid = r.Get<uint32_t>();
+              const MrId mr = r.Get<uint32_t>();
               checksum = SignatureChecksum(checksum, aid);
               checksum = SignatureChecksum(checksum, mr);
               if (mr >= num_mrs || aid == 0 || aid > n) {
-                throw std::runtime_error(std::string("ReadIndex: corrupt ") +
-                                         what + " entry");
+                r.Fail("entry (hub_aid=" + std::to_string(aid) +
+                       ", mr=" + std::to_string(mr) + ") out of range");
               }
               apply(out_side, v, aid, mr);
             }
@@ -315,9 +409,8 @@ RlcIndex ReadIndex(std::istream& in) {
         };
         get_side(/*out_side=*/true);
         get_side(/*out_side=*/false);
-        if (Get<uint64_t>(in) != checksum) {
-          throw std::runtime_error(std::string("ReadIndex: corrupt ") + what +
-                                   " section");
+        if (r.Get<uint64_t>() != checksum) {
+          r.Fail("section checksum mismatch");
         }
       };
       get_overlay("delta", [&](bool out_side, uint32_t v, uint32_t aid, MrId mr) {
@@ -337,8 +430,7 @@ RlcIndex ReadIndex(std::istream& in) {
                           index.AddTombstoneIn(v, aid, mr);
                         }
                       } catch (const std::invalid_argument& e) {
-                        throw std::runtime_error(std::string("ReadIndex: ") +
-                                                 e.what());
+                        r.Fail(e.what());
                       }
                     });
       }
@@ -347,16 +439,97 @@ RlcIndex ReadIndex(std::istream& in) {
   return index;
 }
 
+void AtomicWriteFile(const std::string& path, std::string_view bytes,
+                     const char* failpoint_site) {
+  const std::string site(failpoint_site);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("AtomicWriteFile: cannot open " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  try {
+    FailpointHit(site + ".before_write");
+    FailpointWrite(fd, bytes.data(), bytes.size(), tmp.c_str());
+    FailpointHit(site + ".after_write");
+    FailpointSync(fd, tmp.c_str());
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  FailpointHit(site + ".before_rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("AtomicWriteFile: rename " + tmp + " -> " + path +
+                             " failed: " + std::strerror(errno));
+  }
+  FailpointHit(site + ".after_rename");
+  // The rename itself is only durable once the directory entry is synced.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : (slash == 0 ? "/" : path.substr(0, slash));
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
 void SaveIndex(const RlcIndex& index, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  std::ostringstream out(std::ios::binary);
   WriteIndex(index, out);
+  AtomicWriteFile(path, out.view(), "index_io.save");
 }
 
 RlcIndex LoadIndex(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open index file: " + path);
-  return ReadIndex(in);
+  if (!in) {
+    throw std::runtime_error("cannot open index file: " + path + ": " +
+                             std::strerror(errno));
+  }
+  return ReadIndex(in, path);
+}
+
+DurabilityManifest ReadManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestFileName;
+  std::ifstream in(path);
+  if (!in) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0 && errno == ENOENT) return {};  // fresh
+    throw std::runtime_error("ReadManifest: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  std::string word;
+  uint32_t format = 0;
+  if (!(in >> word >> format) || word != "RLCMANIFEST" || format != 1) {
+    throw std::runtime_error("ReadManifest: " + path +
+                             " is not a version-1 rlc manifest");
+  }
+  DurabilityManifest m;
+  while (in >> word) {
+    SnapshotGeneration g;
+    std::string lsn_kw;
+    if (word != "gen" || !(in >> g.generation >> lsn_kw >> g.applied_lsn) ||
+        lsn_kw != "lsn") {
+      throw std::runtime_error("ReadManifest: malformed entry in " + path);
+    }
+    if (!m.generations.empty() &&
+        g.generation >= m.generations.back().generation) {
+      throw std::runtime_error("ReadManifest: generations in " + path +
+                               " are not newest-first");
+    }
+    m.generations.push_back(g);
+  }
+  return m;
+}
+
+void CommitManifest(const std::string& dir, const DurabilityManifest& manifest) {
+  std::string text = "RLCMANIFEST 1\n";
+  for (const SnapshotGeneration& g : manifest.generations) {
+    text += "gen " + std::to_string(g.generation) + " lsn " +
+            std::to_string(g.applied_lsn) + "\n";
+  }
+  AtomicWriteFile(dir + "/" + kManifestFileName, text, "manifest.commit");
 }
 
 }  // namespace rlc

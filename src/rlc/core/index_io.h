@@ -64,6 +64,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "rlc/core/rlc_index.h"
 
@@ -82,12 +84,63 @@ void WriteIndex(const RlcIndex& index, std::ostream& out,
                 uint32_t version = kIndexFormatVersion);
 
 /// Reads an index (any supported version) from `in`. The result is sealed.
-/// \throws std::runtime_error on bad magic, version or truncation.
+/// Hardened against untrusted bytes: any corruption — truncation, bad
+/// counts, out-of-range ids, checksum mismatches — produces a clean
+/// std::runtime_error naming `source` (the file path, or "<stream>"), the
+/// section and the byte offset of the failure; never UB, an abort, or an
+/// unbounded allocation.
 RlcIndex ReadIndex(std::istream& in);
+RlcIndex ReadIndex(std::istream& in, const std::string& source);
 
-/// Saves/loads via a file path.
-/// \throws std::runtime_error when the file cannot be opened.
+/// Saves/loads via a file path. SaveIndex is crash-safe: it writes
+/// `path.tmp`, fsyncs, then atomically renames over `path` (and fsyncs the
+/// directory), so a crash mid-save leaves the previous file intact — never
+/// a torn index.
+/// \throws std::runtime_error when the file cannot be opened/written;
+///         LoadIndex rethrows every ReadIndex failure with the path named.
 void SaveIndex(const RlcIndex& index, const std::string& path);
 RlcIndex LoadIndex(const std::string& path);
+
+/// Writes `bytes` to `path` atomically: tmp file + fsync + rename + parent
+/// directory fsync. `failpoint_site` prefixes the fault-injection points
+/// evaluated along the way (`<site>.before_write`, `.after_write`,
+/// `.before_rename`, `.after_rename` — see util/failpoint.h); durability
+/// call sites pass "index_io.save" or "manifest.commit".
+/// \throws std::runtime_error on I/O failure or an injected fault (the tmp
+///         file may be left behind; `path` itself is never torn).
+void AtomicWriteFile(const std::string& path, std::string_view bytes,
+                     const char* failpoint_site = "index_io.save");
+
+/// One durable snapshot generation of a store (durable_index.h).
+struct SnapshotGeneration {
+  uint64_t generation = 0;
+  uint64_t applied_lsn = 0;  ///< last mutation batch folded into the snapshot
+
+  friend bool operator==(const SnapshotGeneration&,
+                         const SnapshotGeneration&) = default;
+};
+
+/// The tiny manifest at the root of a durability directory: the snapshot
+/// generations currently retained, newest first. The manifest commit (an
+/// atomic rename) is the instant a checkpoint becomes the recovery target.
+struct DurabilityManifest {
+  std::vector<SnapshotGeneration> generations;  ///< newest first
+
+  const SnapshotGeneration* newest() const {
+    return generations.empty() ? nullptr : &generations.front();
+  }
+};
+
+/// Name of the manifest file inside a durability directory.
+inline constexpr const char* kManifestFileName = "MANIFEST";
+
+/// Reads `<dir>/MANIFEST`. A missing file returns an empty manifest (a
+/// fresh store); a malformed one throws std::runtime_error naming the file
+/// — callers degrade to a directory scan (durable_index.h).
+DurabilityManifest ReadManifest(const std::string& dir);
+
+/// Atomically commits `<dir>/MANIFEST` (failpoint site "manifest.commit").
+/// \throws std::runtime_error on I/O failure or an injected fault.
+void CommitManifest(const std::string& dir, const DurabilityManifest& manifest);
 
 }  // namespace rlc

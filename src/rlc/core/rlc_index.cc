@@ -421,9 +421,15 @@ void RlcIndex::AdoptSealed(std::vector<uint64_t> out_offsets,
                 "AdoptSealed: offset array size mismatch");
     RLC_REQUIRE(offsets.front() == 0 && offsets.back() == entries.size(),
                 "AdoptSealed: offsets do not cover the entry buffer");
+    // Full monotonicity before any entries[] access: only once every offset
+    // is known to be <= offsets.back() == entries.size() is the sortedness
+    // scan below in bounds (a corrupt [0, big, small, ..., size] prefix
+    // passes the front/back check but indexes past the buffer).
     for (size_t v = 0; v + 1 < offsets.size(); ++v) {
       RLC_REQUIRE(offsets[v] <= offsets[v + 1],
                   "AdoptSealed: offsets not monotone");
+    }
+    for (size_t v = 0; v + 1 < offsets.size(); ++v) {
       for (uint64_t i = offsets[v]; i + 1 < offsets[v + 1]; ++i) {
         RLC_REQUIRE(entries[i].hub_aid <= entries[i + 1].hub_aid,
                     "AdoptSealed: entry list not sorted by access id");

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <stdexcept>
 #include <utility>
 
 #include "rlc/serve/kernel_jobs.h"
+#include "rlc/util/failpoint.h"
 #include "rlc/util/thread_pool.h"
 #include "rlc/util/timer.h"
 
 namespace rlc {
+
+namespace fs = std::filesystem;
 
 ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
     : g_(g), options_(std::move(options)) {
@@ -16,6 +21,49 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
   partition_ = GraphPartition::Build(g_, options_.partition);
   stats_.partition_seconds = timer.ElapsedSeconds();
 
+  const bool is_durable = !options_.durability.dir.empty();
+  if (is_durable) {
+    std::error_code ec;
+    fs::create_directories(options_.durability.dir, ec);
+    if (ec) {
+      throw std::runtime_error("ShardedRlcService: cannot create " +
+                               options_.durability.dir + ": " + ec.message());
+    }
+  }
+
+  timer.Reset();
+  const bool recovered = is_durable && TryRecover();
+  if (!recovered) BuildIndexes();
+  stats_.index_build_seconds = timer.ElapsedSeconds();
+
+  const uint32_t exec_threads =
+      ThreadPool::ResolveThreads(options_.exec_threads);
+  if (exec_threads > 1) exec_pool_ = std::make_unique<ThreadPool>(exec_threads);
+
+  if (is_durable) {
+    if (recovered) ReplayServiceWal(recovery_.generation);
+    // End every open at a clean generation boundary, then sweep files whose
+    // generation the committed manifest no longer lists (leftovers of
+    // interrupted checkpoints).
+    Checkpoint();
+    auto in_manifest = [&](uint64_t gen) {
+      for (const SnapshotGeneration& mg : manifest_.generations) {
+        if (mg.generation == gen) return true;
+      }
+      return false;
+    };
+    std::error_code ec;
+    const std::string& dir = options_.durability.dir;
+    for (const uint64_t gen : ListGenerationFiles(dir, "gen-", "")) {
+      if (!in_manifest(gen)) fs::remove_all(GenDir(gen), ec);
+    }
+    for (const uint64_t gen : ListGenerationFiles(dir, "wal-", ".log")) {
+      if (!in_manifest(gen)) fs::remove(WalPath(dir, gen), ec);
+    }
+  }
+}
+
+void ShardedRlcService::BuildIndexes() {
   // Build every shard index — plus the whole-graph fallback index when the
   // hybrid fallback is on — as independent tasks on one worker pool. Each
   // task runs the sequential Algorithm 2 (the parallelism budget is spent
@@ -29,7 +77,6 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
   build_opts.num_threads = 1;
   build_opts.seal = true;
 
-  timer.Reset();
   // The whole-graph fallback index dominates the build: give it the full
   // thread budget by itself (PR 1's speculative builder is bit-identical
   // for any thread count), then fan the small shard builds out across the
@@ -60,13 +107,236 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
       }
     });
   }
-  stats_.index_build_seconds = timer.ElapsedSeconds();
 
   if (!build_global) online_ = std::make_unique<OnlineSearcher>(g_);
+}
 
-  const uint32_t exec_threads =
-      ThreadPool::ResolveThreads(options_.exec_threads);
-  if (exec_threads > 1) exec_pool_ = std::make_unique<ThreadPool>(exec_threads);
+bool ShardedRlcService::TryRecover() {
+  const std::string& dir = options_.durability.dir;
+  bool manifest_corrupt = false;
+  try {
+    manifest_ = ReadManifest(dir);
+  } catch (const std::exception& e) {
+    // Degrade to a directory scan: the snapshots carry their own
+    // applied_lsn, the manifest is only the generation list.
+    manifest_corrupt = true;
+    recovery_.fallback_reason = e.what();
+    const std::vector<uint64_t> gens = ListGenerationFiles(dir, "gen-", "");
+    for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+      manifest_.generations.push_back({*it, 0});
+    }
+  }
+  for (const SnapshotGeneration& g : manifest_.generations) {
+    max_gen_seen_ = std::max(max_gen_seen_, g.generation);
+  }
+  for (const uint64_t gen : ListGenerationFiles(dir, "gen-", "")) {
+    max_gen_seen_ = std::max(max_gen_seen_, gen);
+  }
+  for (const uint64_t gen : ListGenerationFiles(dir, "wal-", ".log")) {
+    max_gen_seen_ = std::max(max_gen_seen_, gen);
+  }
+  if (manifest_.generations.empty()) return false;
+
+  std::string first_error = recovery_.fallback_reason;
+  for (size_t i = 0; i < manifest_.generations.size(); ++i) {
+    const uint64_t gen = manifest_.generations[i].generation;
+    try {
+      LoadGeneration(gen);
+      recovery_.recovered = true;
+      recovery_.generation = gen;
+      recovery_.snapshot_lsn = last_lsn_;
+      recovery_.fell_back = i > 0 || manifest_corrupt;
+      return true;
+    } catch (const std::exception& e) {
+      if (first_error.empty()) first_error = e.what();
+      recovery_.fell_back = true;
+      if (recovery_.fallback_reason.empty()) {
+        recovery_.fallback_reason = e.what();
+      }
+      // A failed attempt may have partially mutated the service; reset
+      // everything LoadGeneration touches before the next candidate.
+      shard_dyn_.clear();
+      global_dyn_.reset();
+      online_.reset();
+      patched_graph_.reset();
+      applied_set_.clear();
+      applied_inserts_.clear();
+      deleted_base_.clear();
+      last_lsn_ = 0;
+      partition_ = GraphPartition::Build(g_, options_.partition);
+    }
+  }
+  // Durable generations exist but none is loadable: rebuilding over them
+  // would silently discard acknowledged data.
+  throw std::runtime_error(
+      "ShardedRlcService: no usable snapshot generation in " + dir + " (" +
+      first_error + ")");
+}
+
+void ShardedRlcService::LoadGeneration(uint64_t gen) {
+  const std::string gdir = GenDir(gen);
+  LoadedSnapshot meta = LoadSnapshotFile(gdir + "/service.snap");
+  auto check_range = [&](const EdgeUpdate& e) {
+    if (e.src >= g_.num_vertices() || e.dst >= g_.num_vertices() ||
+        e.label >= g_.num_labels()) {
+      throw std::runtime_error(gdir +
+                               "/service.snap: overlay edge out of range");
+    }
+  };
+  for (const EdgeUpdate& e : meta.inserted) check_range(e);
+  for (const EdgeUpdate& e : meta.removed) check_range(e);
+
+  // Per-shard snapshot loads fan out across the build pool: each shard
+  // parses, adopts and RestoreOverlay()s independently.
+  const uint32_t num_shards = partition_.num_shards();
+  shard_dyn_.clear();
+  shard_dyn_.resize(num_shards);
+  std::vector<std::string> shard_errors(num_shards);
+  auto load_shard = [&](uint32_t shard) {
+    try {
+      const std::string path =
+          gdir + "/shard-" + std::to_string(shard) + ".snap";
+      LoadedSnapshot snap = LoadSnapshotFile(path);
+      if (!snap.index) {
+        throw std::runtime_error(path + " has no embedded index");
+      }
+      auto dyn = std::make_unique<DynamicRlcIndex>(
+          partition_.shard(shard).graph, std::move(*snap.index),
+          options_.reseal);
+      dyn->RestoreOverlay(snap.inserted, snap.removed);
+      shard_dyn_[shard] = std::move(dyn);
+    } catch (const std::exception& e) {
+      shard_errors[shard] = e.what();
+    }
+  };
+  const uint32_t threads =
+      std::min(ThreadPool::ResolveThreads(options_.build_threads), num_shards);
+  if (threads <= 1) {
+    for (uint32_t shard = 0; shard < num_shards; ++shard) load_shard(shard);
+  } else {
+    std::atomic<uint32_t> cursor{0};
+    ThreadPool pool(threads);
+    pool.Run([&](uint32_t) {
+      for (uint32_t shard; (shard = cursor.fetch_add(1)) < num_shards;) {
+        load_shard(shard);
+      }
+    });
+  }
+  for (const std::string& err : shard_errors) {
+    if (!err.empty()) throw std::runtime_error(err);
+  }
+
+  if (options_.fallback == FallbackMode::kGlobalHybrid) {
+    LoadedSnapshot snap = LoadSnapshotFile(gdir + "/global.snap");
+    if (!snap.index) {
+      throw std::runtime_error(gdir + "/global.snap has no embedded index");
+    }
+    global_dyn_ = std::make_unique<DynamicRlcIndex>(
+        g_, std::move(*snap.index), options_.reseal);
+    global_dyn_->RestoreOverlay(snap.inserted, snap.removed);
+  }
+
+  // Bookkeeping + boundary summary: the partition was built from the base
+  // graph, so replaying the *net* cross-edge changes reproduces the exact
+  // current cross-edge set (the summaries are a function of it).
+  for (const EdgeUpdate& e : meta.inserted) {
+    applied_set_.insert({e.src, e.label, e.dst});
+    applied_inserts_.push_back({e.src, e.label, e.dst, EdgeOp::kInsert});
+    if (partition_.ShardOf(e.src) != partition_.ShardOf(e.dst)) {
+      partition_.AddCrossEdge(e.src, e.label, e.dst);
+    }
+  }
+  for (const EdgeUpdate& e : meta.removed) {
+    deleted_base_.insert({e.src, e.label, e.dst});
+    if (partition_.ShardOf(e.src) != partition_.ShardOf(e.dst)) {
+      partition_.RemoveCrossEdge(e.src, e.label, e.dst);
+    }
+  }
+  if (options_.fallback == FallbackMode::kOnline) RebuildPatchedGraph();
+  last_lsn_ = meta.applied_lsn;
+}
+
+void ShardedRlcService::ReplayServiceWal(uint64_t from_gen) {
+  const std::string& dir = options_.durability.dir;
+  for (const uint64_t gen : ListGenerationFiles(dir, "wal-", ".log")) {
+    if (gen < from_gen) continue;
+    const WalReadResult res = ReadWalFile(WalPath(dir, gen));
+    recovery_.dropped_wal_bytes += res.dropped_bytes;
+    for (const WalRecord& record : res.records) {
+      if (record.lsn <= last_lsn_) continue;  // already in the snapshot
+      ValidateUpdates(record.updates);
+      ApplyUpdatesInternal(record.updates);
+      last_lsn_ = record.lsn;
+      ++recovery_.replayed_records;
+    }
+  }
+}
+
+void ShardedRlcService::Checkpoint() {
+  const std::string& dir = options_.durability.dir;
+  if (dir.empty()) {
+    throw std::logic_error("ShardedRlcService::Checkpoint: durability is off");
+  }
+  const uint64_t next = std::max(generation_, max_gen_seen_) + 1;
+  const std::string gdir = GenDir(next);
+  std::error_code ec;
+  fs::create_directories(gdir, ec);
+  if (ec) {
+    throw std::runtime_error("ShardedRlcService::Checkpoint: cannot create " +
+                             gdir + ": " + ec.message());
+  }
+  for (uint32_t shard = 0; shard < partition_.num_shards(); ++shard) {
+    WriteSnapshotFile(gdir + "/shard-" + std::to_string(shard) + ".snap",
+                      last_lsn_, shard_dyn_[shard]->inserted_edges(),
+                      shard_dyn_[shard]->removed_edges(),
+                      &shard_dyn_[shard]->index());
+  }
+  if (global_dyn_ != nullptr) {
+    WriteSnapshotFile(gdir + "/global.snap", last_lsn_,
+                      global_dyn_->inserted_edges(),
+                      global_dyn_->removed_edges(), &global_dyn_->index());
+  }
+  std::vector<EdgeUpdate> removed;
+  removed.reserve(deleted_base_.size());
+  for (const auto& [src, label, dst] : deleted_base_) {
+    removed.push_back({src, label, dst, EdgeOp::kDelete});
+  }
+  WriteSnapshotFile(gdir + "/service.snap", last_lsn_, applied_inserts_,
+                    removed, /*index=*/nullptr);
+  // Switch the WAL before the commit: batches acknowledged from here land
+  // in wal-<next>; if the commit below never happens, recovery targets the
+  // previous generation and still replays them (every WAL file at or above
+  // the recovered generation is walked, LSN-gated).
+  const std::string previous_wal = wal_.path();
+  try {
+    wal_.Open(WalPath(dir, next));
+  } catch (...) {
+    if (!previous_wal.empty()) wal_.Open(previous_wal);
+    throw;
+  }
+  DurabilityManifest m;
+  m.generations.push_back({next, last_lsn_});
+  const uint32_t keep =
+      std::max<uint32_t>(1, options_.durability.keep_generations);
+  for (const SnapshotGeneration& g : manifest_.generations) {
+    if (m.generations.size() >= keep) break;
+    m.generations.push_back(g);
+  }
+  CommitManifest(dir, m);  // the durability point
+  FailpointHit(failpoints::kCheckpointAfterCommit);
+  for (const SnapshotGeneration& g : manifest_.generations) {
+    bool kept = false;
+    for (const SnapshotGeneration& k : m.generations) {
+      kept = kept || k.generation == g.generation;
+    }
+    if (!kept) {
+      fs::remove_all(GenDir(g.generation), ec);
+      fs::remove(WalPath(dir, g.generation), ec);
+    }
+  }
+  manifest_ = std::move(m);
+  generation_ = next;
+  max_gen_seen_ = std::max(max_gen_seen_, next);
 }
 
 const ShardedRlcService::SeqEntry& ShardedRlcService::Resolve(
@@ -334,6 +604,25 @@ bool ShardedRlcService::EdgePresent(VertexId src, Label label,
 }
 
 size_t ShardedRlcService::ApplyUpdates(std::span<const EdgeUpdate> updates) {
+  ValidateUpdates(updates);
+  if (updates.empty()) return 0;
+  if (wal_.is_open()) {
+    // Append-before-apply: once Append returns the batch is fsynced, so an
+    // acknowledged return from this method survives any crash. An append
+    // failure leaves the in-memory state untouched.
+    wal_.Append(last_lsn_ + 1, updates);
+    ++last_lsn_;
+  }
+  const size_t applied = ApplyUpdatesInternal(updates);
+  if (wal_.is_open() && options_.durability.checkpoint_wal_bytes > 0 &&
+      wal_.bytes_appended() >= options_.durability.checkpoint_wal_bytes) {
+    Checkpoint();
+  }
+  return applied;
+}
+
+void ShardedRlcService::ValidateUpdates(
+    std::span<const EdgeUpdate> updates) const {
   // Validate the whole batch up front: a mid-batch throw after edges were
   // already applied would skip the cache epilogue below and leave the
   // service answering stale — the documented exception must be catchable
@@ -345,6 +634,10 @@ size_t ShardedRlcService::ApplyUpdates(std::span<const EdgeUpdate> updates) {
                 "ShardedRlcService::ApplyUpdates: label " << e.label
                     << " outside the base graph's alphabet");
   }
+}
+
+size_t ShardedRlcService::ApplyUpdatesInternal(
+    std::span<const EdgeUpdate> updates) {
   size_t applied = 0;
   for (const EdgeUpdate& e : updates) {
     const bool is_insert = e.op == EdgeOp::kInsert;

@@ -49,9 +49,11 @@
 #include <vector>
 
 #include "rlc/baselines/online_search.h"
+#include "rlc/core/durable_index.h"
 #include "rlc/core/dynamic_index.h"
 #include "rlc/core/indexer.h"
 #include "rlc/core/rlc_index.h"
+#include "rlc/core/wal.h"
 #include "rlc/serve/partitioner.h"
 #include "rlc/serve/query_batch.h"
 #include "rlc/util/thread_pool.h"
@@ -86,6 +88,16 @@ struct ServiceOptions {
   /// Reseal policy for the dynamically maintained shard and fallback
   /// indexes (only relevant once ApplyUpdates has been called).
   ResealPolicy reseal;
+  /// Crash-safe durability (durable_index.h). With `durability.dir` set the
+  /// service logs every ApplyUpdates batch to a WAL before applying it and
+  /// checkpoints generation-numbered snapshot directories:
+  ///   <dir>/MANIFEST, <dir>/wal-<G>.log,
+  ///   <dir>/gen-<G>/{service.snap, global.snap, shard-<i>.snap}
+  /// When the directory already holds a durable state, the constructor
+  /// recovers it — per-shard snapshots load in parallel on the build pool,
+  /// skipping every index build — and replays the WAL tail. Empty dir
+  /// (default) disables durability.
+  DurabilityOptions durability;
 };
 
 /// Cumulative query-routing and build telemetry.
@@ -140,6 +152,24 @@ class ShardedRlcService {
   /// reseal — the deterministic sync point for tests and benches.
   void FinishReseals();
 
+  /// Durable mode only: checkpoints a new snapshot generation (per-shard +
+  /// global + service meta files, WAL switch, manifest commit, stale
+  /// generation cleanup). Called automatically when the current WAL passes
+  /// DurabilityOptions::checkpoint_wal_bytes. \throws std::runtime_error
+  /// on I/O failure or an injected fault — the previous generation then
+  /// stays the recovery target and the service remains usable; throws
+  /// std::logic_error when durability is off.
+  void Checkpoint();
+
+  /// True when the service persists mutations (durability.dir was set).
+  bool durable() const { return wal_.is_open(); }
+  /// LSN of the last acknowledged (logged) mutation batch; 0 before any.
+  uint64_t last_lsn() const { return last_lsn_; }
+  /// Newest committed snapshot generation (durable mode).
+  uint64_t generation() const { return generation_; }
+  /// What the constructor found on disk (durable mode).
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+
   uint32_t k() const { return options_.indexer.k; }
   const GraphPartition& partition() const { return partition_; }
   const RlcIndex& shard_index(uint32_t s) const {
@@ -193,6 +223,33 @@ class ShardedRlcService {
   /// True when the edge exists in the service's current mutated graph.
   bool EdgePresent(VertexId src, Label label, VertexId dst) const;
 
+  /// Batch validation shared by ApplyUpdates and WAL replay.
+  void ValidateUpdates(std::span<const EdgeUpdate> updates) const;
+
+  /// The mutation routing of ApplyUpdates, without the durability wrapper.
+  size_t ApplyUpdatesInternal(std::span<const EdgeUpdate> updates);
+
+  /// Builds every shard index (and the fallback) from scratch — the
+  /// non-recovery constructor path.
+  void BuildIndexes();
+
+  /// Durable-mode recovery: loads the newest usable generation (parallel
+  /// per-shard snapshot loads). Returns false when the directory holds no
+  /// generations (fresh store); throws when generations exist but none is
+  /// loadable.
+  bool TryRecover();
+
+  /// Loads one generation directory into the service, or throws. The
+  /// caller resets partial state on failure.
+  void LoadGeneration(uint64_t gen);
+
+  /// Replays wal-<G'>.log for every G' >= from_gen, LSN-gated.
+  void ReplayServiceWal(uint64_t from_gen);
+
+  std::string GenDir(uint64_t gen) const {
+    return options_.durability.dir + "/gen-" + std::to_string(gen);
+  }
+
   const DiGraph& g_;
   ServiceOptions options_;
   GraphPartition partition_;
@@ -216,6 +273,13 @@ class ShardedRlcService {
   std::unique_ptr<ThreadPool> exec_pool_;
   std::unordered_map<LabelSeq, SeqEntry, LabelSeqHash> seq_cache_;
   ServiceStats stats_;
+  // Durability state (durable mode only; wal_ stays closed otherwise).
+  WalWriter wal_;
+  DurabilityManifest manifest_;
+  uint64_t last_lsn_ = 0;
+  uint64_t generation_ = 0;
+  uint64_t max_gen_seen_ = 0;
+  RecoveryInfo recovery_;
 };
 
 }  // namespace rlc

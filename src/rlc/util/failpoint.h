@@ -1,0 +1,290 @@
+// Failpoint fault injection for the durability persist path.
+//
+// A failpoint is a named site in the code (WAL append, snapshot save,
+// manifest commit, raw file I/O) where a test — or an operator chasing a
+// bug — can inject a fault without recompiling:
+//
+//   RLC_FAILPOINTS="wal.append.after_write=crash" ./crash_recovery_test
+//   RLC_FAILPOINTS="index_io.save.before_rename=error;io=short_write" ...
+//
+// Spec grammar: `name=action[@N]` entries separated by `;` or `,`. Actions:
+//
+//   crash        _exit(kFailpointCrashStatus) immediately — no destructors,
+//                no stream flush, no atexit: the closest user-space
+//                approximation of SIGKILL / power loss at that instruction.
+//   error        throw std::runtime_error from the failpoint. Callers must
+//                surface it as a clean, recoverable failure.
+//   short_write  only meaningful for the I/O shim (FailpointWrite): the
+//                write persists roughly half its bytes, then fails like a
+//                disk that ran out of space mid-write — the torn-file case
+//                atomic rename + checksums must absorb. At a non-I/O
+//                failpoint it degrades to `error`.
+//
+// `@N` (default 1) arms the fault for the Nth time the site is hit, so a
+// test can crash the third checkpoint rather than the first.
+//
+// The registry is process-global and thread-safe; evaluation is a mutex +
+// hash lookup, which is noise next to the fsync every armed site sits
+// beside (no failpoint is evaluated on the query path). Tests drive it
+// programmatically via Failpoints::Instance().Set/Clear; the environment
+// variable is parsed once on first use.
+//
+// tests/crash_recovery_test.cc forks a child per name in
+// failpoints::kPersistPath, arms it with `crash`, and proves recovery loses
+// no acknowledged update — keep that list in sync when adding a site (the
+// test also fails if an armed persist-path failpoint is never hit).
+
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace rlc {
+
+/// Exit status of a `crash` failpoint; waitpid-visible so the fork harness
+/// can tell an injected crash from an ordinary failure.
+inline constexpr int kFailpointCrashStatus = 0x5A;
+
+enum class FailpointAction : uint8_t {
+  kOff,
+  kCrash,
+  kError,
+  kShortWrite,
+};
+
+class Failpoints {
+ public:
+  static Failpoints& Instance() {
+    static Failpoints instance;
+    return instance;
+  }
+
+  /// Arms `name`: `action` fires on the `trigger_hit`-th evaluation
+  /// (1-based) counted from now.
+  void Set(const std::string& name, FailpointAction action,
+           uint64_t trigger_hit = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureEnvLoadedLocked();
+    State& s = map_[name];
+    s.action = action;
+    s.remaining = trigger_hit == 0 ? 1 : trigger_hit;
+  }
+
+  /// Disarms everything and forgets hit counts (env spec is not re-read).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureEnvLoadedLocked();
+    map_.clear();
+  }
+
+  /// Parses an RLC_FAILPOINTS-style spec and arms every entry.
+  /// \throws std::invalid_argument on a malformed spec.
+  void Parse(const std::string& spec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureEnvLoadedLocked();
+    ParseLocked(spec);
+  }
+
+  /// Evaluates the failpoint: counts the hit and returns the armed action
+  /// when this hit is the trigger, kOff otherwise.
+  FailpointAction Hit(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureEnvLoadedLocked();
+    hits_[name]++;
+    const auto it = map_.find(name);
+    if (it == map_.end() || it->second.action == FailpointAction::kOff) {
+      return FailpointAction::kOff;
+    }
+    if (--it->second.remaining > 0) return FailpointAction::kOff;
+    const FailpointAction action = it->second.action;
+    it->second.action = FailpointAction::kOff;  // one-shot
+    return action;
+  }
+
+  /// How often `name` has been evaluated (armed or not) since process start
+  /// (or the last Clear — hit counts survive Clear, they are diagnostics).
+  uint64_t HitCount(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = hits_.find(name);
+    return it == hits_.end() ? 0 : it->second;
+  }
+
+ private:
+  struct State {
+    FailpointAction action = FailpointAction::kOff;
+    uint64_t remaining = 1;
+  };
+
+  Failpoints() = default;
+
+  void EnsureEnvLoadedLocked() {
+    if (env_loaded_) return;
+    env_loaded_ = true;
+    if (const char* spec = std::getenv("RLC_FAILPOINTS")) ParseLocked(spec);
+  }
+
+  void ParseLocked(const std::string& spec) {
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t end = spec.find_first_of(";,", pos);
+      if (end == std::string::npos) end = spec.size();
+      const std::string entry = spec.substr(pos, end - pos);
+      pos = end + 1;
+      if (entry.empty()) continue;
+      const size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument("failpoint spec entry '" + entry +
+                                    "' is not name=action[@N]");
+      }
+      const std::string name = entry.substr(0, eq);
+      std::string action_str = entry.substr(eq + 1);
+      uint64_t trigger = 1;
+      if (const size_t at = action_str.find('@'); at != std::string::npos) {
+        const std::string count = action_str.substr(at + 1);
+        char* parse_end = nullptr;
+        trigger = std::strtoull(count.c_str(), &parse_end, 10);
+        if (count.empty() || *parse_end != '\0' || trigger == 0) {
+          throw std::invalid_argument("failpoint spec entry '" + entry +
+                                      "' has a bad @N hit count");
+        }
+        action_str.resize(at);
+      }
+      FailpointAction action;
+      if (action_str == "crash") {
+        action = FailpointAction::kCrash;
+      } else if (action_str == "error") {
+        action = FailpointAction::kError;
+      } else if (action_str == "short_write") {
+        action = FailpointAction::kShortWrite;
+      } else if (action_str == "off") {
+        action = FailpointAction::kOff;
+      } else {
+        throw std::invalid_argument(
+            "failpoint spec entry '" + entry +
+            "' has unknown action (want crash|error|short_write|off)");
+      }
+      State& s = map_[name];
+      s.action = action;
+      s.remaining = trigger;
+    }
+  }
+
+  std::mutex mu_;
+  std::unordered_map<std::string, State> map_;
+  std::unordered_map<std::string, uint64_t> hits_;
+  bool env_loaded_ = false;
+};
+
+/// Evaluates failpoint `name` and acts on it: `crash` exits the process
+/// immediately (simulated power loss), `error` / `short_write` throw.
+inline void FailpointHit(const std::string& name) {
+  switch (Failpoints::Instance().Hit(name)) {
+    case FailpointAction::kOff:
+      return;
+    case FailpointAction::kCrash:
+      _exit(kFailpointCrashStatus);
+    case FailpointAction::kError:
+    case FailpointAction::kShortWrite:
+      throw std::runtime_error("injected failpoint error at " + name);
+  }
+}
+
+/// Writes `n` bytes to `fd`, retrying short writes and EINTR. Consults the
+/// `io` failpoint first: `short_write` persists the first half of the
+/// buffer and then fails (a disk filling up mid-write), `error` fails
+/// without writing, `crash` exits. \throws std::runtime_error on any
+/// failure, including injected ones.
+inline void FailpointWrite(int fd, const void* data, size_t n,
+                           const char* what = "write") {
+  const char* p = static_cast<const char*>(data);
+  size_t left = n;
+  switch (Failpoints::Instance().Hit("io")) {
+    case FailpointAction::kOff:
+      break;
+    case FailpointAction::kCrash:
+      _exit(kFailpointCrashStatus);
+    case FailpointAction::kError:
+      throw std::runtime_error(std::string(what) +
+                               ": injected ENOSPC (failpoint io=error)");
+    case FailpointAction::kShortWrite: {
+      size_t half = n / 2;
+      while (half > 0) {
+        const ssize_t wrote = ::write(fd, p, half);
+        if (wrote < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        p += wrote;
+        half -= static_cast<size_t>(wrote);
+      }
+      throw std::runtime_error(
+          std::string(what) +
+          ": injected short write + ENOSPC (failpoint io=short_write)");
+    }
+  }
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string(what) + " failed: " +
+                               std::strerror(errno));
+    }
+    p += wrote;
+    left -= static_cast<size_t>(wrote);
+  }
+}
+
+/// fsync(fd) with error -> exception. There is deliberately no failpoint
+/// here: the sites around a sync (after_write / after_sync) are the
+/// interesting crash instants, and a failed fsync has the same caller-
+/// visible shape as a failed write.
+inline void FailpointSync(int fd, const char* what = "fsync") {
+  if (::fsync(fd) != 0) {
+    throw std::runtime_error(std::string(what) + " failed: " +
+                             std::strerror(errno));
+  }
+}
+
+namespace failpoints {
+
+// Persist-path failpoint names, in the order a mutation flows through them.
+// wal.append.* bracket the write+fsync of one WAL record;
+// index_io.save.* bracket every atomic snapshot/index file save (tmp write,
+// fsync, rename); manifest.commit.* bracket the manifest rename that makes
+// a new snapshot generation durable; checkpoint.after_commit sits between
+// the manifest commit and the WAL rotation + old-generation cleanup.
+inline constexpr const char* kWalAppendBeforeWrite = "wal.append.before_write";
+inline constexpr const char* kWalAppendAfterWrite = "wal.append.after_write";
+inline constexpr const char* kWalAppendAfterSync = "wal.append.after_sync";
+inline constexpr const char* kIndexSaveBeforeWrite = "index_io.save.before_write";
+inline constexpr const char* kIndexSaveAfterWrite = "index_io.save.after_write";
+inline constexpr const char* kIndexSaveBeforeRename = "index_io.save.before_rename";
+inline constexpr const char* kIndexSaveAfterRename = "index_io.save.after_rename";
+inline constexpr const char* kManifestCommitBeforeWrite = "manifest.commit.before_write";
+inline constexpr const char* kManifestCommitAfterWrite = "manifest.commit.after_write";
+inline constexpr const char* kManifestCommitBeforeRename = "manifest.commit.before_rename";
+inline constexpr const char* kManifestCommitAfterRename = "manifest.commit.after_rename";
+inline constexpr const char* kCheckpointAfterCommit = "checkpoint.after_commit";
+
+/// Every registered failpoint on the persist path.
+/// tests/crash_recovery_test.cc kills a child at each of these.
+inline constexpr const char* kPersistPath[] = {
+    kWalAppendBeforeWrite,      kWalAppendAfterWrite,
+    kWalAppendAfterSync,        kIndexSaveBeforeWrite,
+    kIndexSaveAfterWrite,       kIndexSaveBeforeRename,
+    kIndexSaveAfterRename,      kManifestCommitBeforeWrite,
+    kManifestCommitAfterWrite,  kManifestCommitBeforeRename,
+    kManifestCommitAfterRename, kCheckpointAfterCommit,
+};
+
+}  // namespace failpoints
+
+}  // namespace rlc

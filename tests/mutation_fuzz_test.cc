@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <span>
 #include <sstream>
 #include <string>
@@ -44,6 +45,20 @@ RlcIndex BuildSealed(const DiGraph& g, uint32_t k) {
   options.k = k;
   RlcIndexBuilder builder(g, options);
   return builder.Build();
+}
+
+/// RLC_FUZZ_SEED=<n> re-seeds the whole suite without recompiling: the env
+/// seed is mixed into each configuration's base seed, so every config still
+/// runs a distinct schedule and the replay line prints the effective seed.
+uint64_t EffectiveSeed(uint64_t base_seed) {
+  static const uint64_t env_seed = [] {
+    const char* env = std::getenv("RLC_FUZZ_SEED");
+    if (env == nullptr || *env == '\0') return uint64_t{0};
+    char* end = nullptr;
+    const uint64_t v = std::strtoull(env, &end, 10);
+    return *end == '\0' ? v : uint64_t{0};
+  }();
+  return base_seed ^ env_seed;
 }
 
 /// One mixed-mutation fuzz configuration.
@@ -169,6 +184,7 @@ EdgeUpdate RandomMutation(const DynamicRlcIndex& dyn, const FuzzConfig& config,
 /// The core-fuzz driver: batches of mixed mutations through ApplyUpdates,
 /// differential after every batch, reseals as the policy dictates.
 void RunCoreFuzz(FuzzConfig config) {
+  config.seed = EffectiveSeed(config.seed);
   SCOPED_TRACE(Replay(config));
   Rng rng(config.seed);
   const DiGraph g = MakeGraph(config, rng);
@@ -345,7 +361,8 @@ struct ShardedFuzzConfig {
   int batch_size = 10;
 };
 
-void RunShardedFuzz(const ShardedFuzzConfig& config) {
+void RunShardedFuzz(ShardedFuzzConfig config) {
+  config.seed = EffectiveSeed(config.seed);
   const std::string replay =
       " [replay: " + config.name + " seed=" + std::to_string(config.seed) + "]";
   SCOPED_TRACE(replay);
