@@ -26,6 +26,7 @@
 #include "rlc/core/indexer.h"
 #include "rlc/graph/datasets.h"
 #include "rlc/graph/edge_list_io.h"
+#include "rlc/obs/metrics.h"
 #include "rlc/util/simd.h"
 #include "rlc/util/timer.h"
 #include "rlc/workload/query_gen.h"
@@ -211,10 +212,54 @@ class JsonWriter {
     return records_.back();
   }
 
+  /// Appends one record per non-empty metric in `snap` (type "metric"):
+  /// counters/gauges carry `value`; histograms carry count / mean_ns /
+  /// p50_ns / p95_ns / p99_ns / max_ns. `source` distinguishes the global
+  /// registry from per-service registries when a harness exports both.
+  void AppendMetrics(const obs::MetricsSnapshot& snap,
+                     const std::string& source = "global") {
+    for (const auto& c : snap.counters) {
+      if (c.value == 0) continue;
+      AddRecord()
+          .Set("record", "metric")
+          .Set("source", source)
+          .Set("metric", c.name)
+          .Set("type", "counter")
+          .Set("value", c.value);
+    }
+    for (const auto& g : snap.gauges) {
+      if (g.value == 0) continue;
+      AddRecord()
+          .Set("record", "metric")
+          .Set("source", source)
+          .Set("metric", g.name)
+          .Set("type", "gauge")
+          .Set("value", g.value);
+    }
+    for (const auto& h : snap.histograms) {
+      if (h.count == 0) continue;
+      AddRecord()
+          .Set("record", "metric")
+          .Set("source", source)
+          .Set("metric", h.name)
+          .Set("type", "histogram")
+          .Set("count", h.count)
+          .Set("mean_ns", h.Mean())
+          .Set("p50_ns", h.Percentile(0.50))
+          .Set("p95_ns", h.Percentile(0.95))
+          .Set("p99_ns", h.Percentile(0.99))
+          .Set("max_ns", h.max);
+    }
+  }
+
   /// Writes BENCH_<harness>.json (idempotent; also run by the destructor).
+  /// Every file automatically ends with the global metrics registry's
+  /// "metric" records, so any harness that exercised instrumented code gets
+  /// latency percentiles in its artifact for free.
   void Flush() {
     if (flushed_) return;
     flushed_ = true;
+    AppendMetrics(obs::Registry::Global().Snapshot());
     const char* dir = std::getenv("RLC_BENCH_JSON_DIR");
     const std::string path =
         std::string(dir != nullptr ? dir : ".") + "/BENCH_" + harness_ + ".json";

@@ -33,6 +33,7 @@
 #include "rlc/core/indexer.h"
 #include "rlc/graph/generators.h"
 #include "rlc/graph/label_assign.h"
+#include "rlc/obs/metrics.h"
 #include "rlc/serve/query_batch.h"
 #include "rlc/util/rng.h"
 #include "rlc/util/simd.h"
@@ -296,6 +297,45 @@ int main(int argc, char** argv) {
         .Set("hybrid_ns", hybrid_ns)
         .Set("set_intersection_ns", stdlib_ns)
         .Set("speedup", stdlib_ns / hybrid_ns);
+  }
+
+  // --- metrics overhead on the refute-heavy hot path ---
+  // The batched negative90 run is the kernel the observability budget is
+  // written against: per-probe work is tens of nanoseconds, so any clock
+  // read or shared-counter bounce inside the probe loop would show up
+  // immediately. Budget: metrics-on within 3% ns/probe of metrics-off.
+  {
+    const Mix& mix = mixes.front();  // negative90
+    QueryBatch batch;
+    for (const RlcQuery& q : mix.probes) batch.Add(q.s, q.t, q.constraint);
+    AnswerBatch ab;
+    const bool was_enabled = obs::Enabled();
+    // Interleave the two modes so frequency/noise drift lands on both
+    // equally; best-of per mode rejects the slow outliers.
+    double off_secs = 1e300;
+    double on_secs = 1e300;
+    for (int i = 0; i < std::max(iters, 3); ++i) {
+      for (const bool on : {false, true}) {
+        obs::SetEnabled(on);
+        Timer t;
+        ab = ExecuteBatch(index, batch);
+        (on ? on_secs : off_secs) =
+            std::min(on ? on_secs : off_secs, t.ElapsedSeconds());
+      }
+    }
+    obs::SetEnabled(was_enabled);
+    const double off_ns =
+        off_secs * 1e9 / static_cast<double>(mix.probes.size());
+    const double on_ns = on_secs * 1e9 / static_cast<double>(mix.probes.size());
+    std::printf("metrics overhead (negative90 batched): off %.1f ns/probe, "
+                "on %.1f ns/probe (%.2f%%)\n",
+                off_ns, on_ns, (on_ns / off_ns - 1.0) * 100.0);
+    json.AddRecord()
+        .Set("record", "metrics_overhead")
+        .Set("mix", mix.name)
+        .Set("ns_per_probe_metrics_off", off_ns)
+        .Set("ns_per_probe_metrics_on", on_ns)
+        .Set("overhead_ratio", on_ns / off_ns);
   }
 
   const double signature_speedup = negative_sig_off_ns / negative_sig_on_ns;

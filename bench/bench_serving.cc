@@ -211,6 +211,32 @@ int main(int argc, char** argv) {
   report("batched_service", shards, secs, batch_answers.answers,
          &batched_stats);
 
+  // --- per-shard fallback attribution + per-stage latency percentiles ---
+  // The routing pathology this harness watches for is "one shard's boundary
+  // refutation stopped working": total fallback_probes stays flat while one
+  // shard's share spikes. Per-stage serve.stage.* histograms land in the
+  // JSON via AppendMetrics (p50/p95/p99 per record).
+  {
+    const std::vector<uint64_t> per_shard = service.ShardFallbackCounts();
+    uint64_t fallback_total = 0;
+    for (const uint64_t c : per_shard) fallback_total += c;
+    for (uint32_t s = 0; s < per_shard.size(); ++s) {
+      const double share =
+          fallback_total == 0
+              ? 0.0
+              : static_cast<double>(per_shard[s]) /
+                    static_cast<double>(fallback_total);
+      std::printf("shard %u: %llu fallback probes (%.1f%% of fallbacks)\n", s,
+                  static_cast<unsigned long long>(per_shard[s]), share * 100.0);
+      json.AddRecord()
+          .Set("record", "shard_fallback")
+          .Set("shard", s)
+          .Set("fallback_probes", per_shard[s])
+          .Set("fallback_share", share);
+    }
+    json.AppendMetrics(service.metrics().Snapshot(), "service");
+  }
+
   // --- summary ratios ---
   const double scalar_query_ns = ns_per_query[0];
   const double scalar_interned_ns = ns_per_query[1];

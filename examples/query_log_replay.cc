@@ -21,6 +21,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <vector>
 
 #include "rlc/baselines/online_search.h"
@@ -28,8 +29,10 @@
 #include "rlc/engines/rlc_hybrid_engine.h"
 #include "rlc/graph/generators.h"
 #include "rlc/graph/label_assign.h"
+#include "rlc/obs/metrics.h"
 #include "rlc/plain/plain_reach_index.h"
 #include "rlc/serve/query_batch.h"
+#include "rlc/serve/sharded_service.h"
 #include "rlc/util/timer.h"
 #include "rlc/util/zipf.h"
 
@@ -172,6 +175,58 @@ int main(int argc, char** argv) {
       scalar_s / batched_s, batch_agree, rlc_entries.size());
   // Batched answers must equal the scalar index answers probe for probe.
   if (batched.answers != scalar_answers) return 1;
+
+  // Replay the same subset through the sharded serving layer and export its
+  // telemetry: per-shard fallback share (which shard's boundary refutation
+  // is carrying the load) and per-stage latency percentiles, written as a
+  // metrics JSON document (RLC_METRICS_JSON overrides the output path).
+  {
+    ServiceOptions sopts;
+    sopts.partition.num_shards = 4;
+    sopts.indexer.k = 2;
+    ShardedRlcService service(g, sopts);
+    const AnswerBatch served = service.Execute(batch);
+    if (served.answers != scalar_answers) return 1;
+
+    const std::vector<uint64_t> per_shard = service.ShardFallbackCounts();
+    uint64_t fallback_total = 0;
+    for (const uint64_t c : per_shard) fallback_total += c;
+    std::printf("sharded replay (%u shards): %llu fallback probes —",
+                sopts.partition.num_shards,
+                static_cast<unsigned long long>(fallback_total));
+    for (size_t s = 0; s < per_shard.size(); ++s) {
+      std::printf(" shard%zu %.1f%%", s,
+                  fallback_total == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(per_shard[s]) /
+                            static_cast<double>(fallback_total));
+    }
+    std::printf("\n");
+
+    const obs::MetricsSnapshot snap = service.metrics().Snapshot();
+    for (const char* stage : {"serve.stage.execute_ns", "serve.stage.route_ns",
+                              "serve.stage.shard_kernel_job_ns",
+                              "serve.stage.fallback_kernel_job_ns"}) {
+      if (const obs::HistogramSnapshot* h = snap.FindHistogram(stage)) {
+        if (h->count == 0) continue;
+        std::printf("  %-34s p50 %8llu ns  p95 %8llu ns  p99 %8llu ns\n",
+                    stage,
+                    static_cast<unsigned long long>(h->Percentile(0.50)),
+                    static_cast<unsigned long long>(h->Percentile(0.95)),
+                    static_cast<unsigned long long>(h->Percentile(0.99)));
+      }
+    }
+
+    const char* out_path = std::getenv("RLC_METRICS_JSON");
+    const std::string path =
+        out_path != nullptr ? out_path : "query_log_replay_metrics.json";
+    std::ofstream out(path);
+    if (out) {
+      out << "{\"service\": " << snap.ToJson() << ",\n \"global\": "
+          << obs::Registry::Global().Snapshot().ToJson() << "}\n";
+      std::printf("wrote metrics JSON to %s\n", path.c_str());
+    }
+  }
 
   const double per_query_gain = (online_s - /*indexed*/ 0.0) / num_queries;
   std::printf("online replay: %.1f ms (%.2f us/query)\n", online_s * 1e3,

@@ -20,6 +20,13 @@
 //     --fallback global|online   fallback engine (default global)
 //     --batch B           probes per batch (default 4096)
 //     --threads T         build threads (default 0 = all)
+//     --metrics-every N   dump Prometheus-text metrics every N batches
+//                         (default 0 = only the final dump)
+//     --metrics-json FILE write the final metrics snapshot as JSON
+//
+// Metrics come from two registries: the service's own (serve.* routing and
+// stage latencies) and the process-global one (rlc.query.*, pool.*). Both
+// are dumped; RLC_METRICS=off silences the instrumentation sites.
 
 #include <algorithm>
 #include <cstdio>
@@ -29,9 +36,13 @@
 #include <utility>
 #include <vector>
 
+#include <fstream>
+
 #include "rlc/graph/edge_list_io.h"
 #include "rlc/graph/generators.h"
 #include "rlc/graph/label_assign.h"
+#include "rlc/obs/metrics.h"
+#include "rlc/obs/trace.h"
 #include "rlc/serve/sharded_service.h"
 #include "rlc/util/timer.h"
 #include "rlc/workload/query_gen.h"
@@ -54,6 +65,8 @@ struct Args {
   FallbackMode fallback = FallbackMode::kGlobalHybrid;
   uint32_t batch = 4096;
   uint32_t threads = 0;
+  uint32_t metrics_every = 0;
+  std::string metrics_json;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -104,6 +117,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--threads") {
       if (const char* v = next()) args->threads = static_cast<uint32_t>(std::atoi(v));
       else return false;
+    } else if (flag == "--metrics-every") {
+      if (const char* v = next()) args->metrics_every = static_cast<uint32_t>(std::atoi(v));
+      else return false;
+    } else if (flag == "--metrics-json") {
+      if (const char* v = next()) args->metrics_json = v; else return false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -193,6 +211,7 @@ int main(int argc, char** argv) {
   QueryBatch batch;
   uint64_t agree = 0;
   uint64_t served = 0;
+  uint64_t batches_run = 0;
   Timer serve_timer;
   for (size_t base = 0; base < log.size(); base += args.batch) {
     batch.ClearProbes();
@@ -205,6 +224,12 @@ int main(int argc, char** argv) {
       agree += (answers.answers[i - base] != 0) == log[i].expected;
     }
     served += end - base;
+    ++batches_run;
+    if (args.metrics_every > 0 && batches_run % args.metrics_every == 0) {
+      std::printf("--- metrics after %llu batches ---\n%s",
+                  static_cast<unsigned long long>(batches_run),
+                  service.metrics().Snapshot().ToPrometheusText().c_str());
+    }
   }
   const double seconds = serve_timer.ElapsedSeconds();
 
@@ -223,6 +248,28 @@ int main(int argc, char** argv) {
   std::printf("oracle agreement: %llu/%llu\n",
               static_cast<unsigned long long>(agree),
               static_cast<unsigned long long>(served));
+
+  // Final metrics dump: service registry (routing + stage latencies) then
+  // the process-global one (query kernel, pools, durability).
+  if (obs::Enabled()) {
+    std::printf("--- final metrics (service) ---\n%s",
+                service.metrics().Snapshot().ToPrometheusText().c_str());
+    std::printf("--- final metrics (global) ---\n%s",
+                obs::Registry::Global().Snapshot().ToPrometheusText().c_str());
+    std::printf("--- recent spans ---\n%s", obs::DumpRecentSpans(16).c_str());
+    if (!args.metrics_json.empty()) {
+      std::ofstream out(args.metrics_json);
+      if (out) {
+        out << "{\"service\": " << service.metrics().Snapshot().ToJson()
+            << ",\n \"global\": " << obs::Registry::Global().Snapshot().ToJson()
+            << "}\n";
+        std::printf("wrote metrics JSON to %s\n", args.metrics_json.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", args.metrics_json.c_str());
+      }
+    }
+  }
+
   // A fresh oracle matches exactly; a stale log (edited graph) may not.
   return agree == served ? 0 : 1;
 }

@@ -12,8 +12,12 @@
 //       "(debits credits)+", "a+ b+" (extended queries run the hybrid
 //       index+traversal plan).
 //
-//   rlc_tool stats <graph.txt>
-//       Print Table III-style statistics for a graph file.
+//   rlc_tool stats <graph.txt | store-dir>
+//       For a graph file: print Table III-style statistics. For a durable
+//       store directory (MANIFEST + snapshots + WALs): print the retained
+//       generations with their on-disk sizes, then the newest snapshot's
+//       embedded-index summary rendered through the metrics registry
+//       (Prometheus text, index.* / store.* gauges).
 //
 //   rlc_tool inspect <index.rlc>
 //       Print size breakdown, entry distribution and MR-length histogram of
@@ -35,6 +39,8 @@
 // Every command exits nonzero with a one-line error naming the offending
 // file when an input cannot be read or parsed.
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -46,6 +52,7 @@
 #include "rlc/engines/rlc_hybrid_engine.h"
 #include "rlc/graph/edge_list_io.h"
 #include "rlc/graph/stats.h"
+#include "rlc/obs/metrics.h"
 #include "rlc/util/timer.h"
 
 using namespace rlc;
@@ -57,7 +64,7 @@ int Usage() {
                "usage:\n"
                "  rlc_tool build <graph.txt> <index.rlc> [k] [threads]\n"
                "  rlc_tool query <graph.txt> <index.rlc> <s> <t> <constraint>\n"
-               "  rlc_tool stats <graph.txt>\n"
+               "  rlc_tool stats <graph.txt | store-dir>\n"
                "  rlc_tool inspect <index.rlc>\n"
                "  rlc_tool recover <graph.txt> <store-dir> [k]\n"
                "  rlc_tool checkpoint <graph.txt> <store-dir> [k]\n");
@@ -128,8 +135,61 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+uint64_t FileBytes(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+}
+
+/// `stats` on a durable store directory: manifest + file sizes, then the
+/// newest snapshot's index summary published as registry gauges so the
+/// output matches what the server's periodic dumps expose.
+int StoreStats(const std::string& dir) {
+  const DurabilityManifest manifest = ReadManifest(dir);
+  if (manifest.generations.empty()) {
+    std::printf("%s: no durable generations (empty or fresh store)\n",
+                dir.c_str());
+    return 0;
+  }
+  std::printf("store %s: %zu retained generation(s), newest first\n",
+              dir.c_str(), manifest.generations.size());
+  for (const SnapshotGeneration& gen : manifest.generations) {
+    const std::string snap = SnapshotPath(dir, gen.generation);
+    const std::string wal = WalPath(dir, gen.generation);
+    std::printf("  gen %llu: applied_lsn=%llu snapshot %llu bytes, "
+                "wal %llu bytes\n",
+                static_cast<unsigned long long>(gen.generation),
+                static_cast<unsigned long long>(gen.applied_lsn),
+                static_cast<unsigned long long>(FileBytes(snap)),
+                static_cast<unsigned long long>(FileBytes(wal)));
+  }
+
+  const SnapshotGeneration& newest = manifest.generations.front();
+  const LoadedSnapshot snap =
+      LoadSnapshotFile(SnapshotPath(dir, newest.generation));
+  obs::Registry reg;
+  reg.GetGauge("store.generation").Set(static_cast<int64_t>(newest.generation));
+  reg.GetGauge("store.applied_lsn").Set(static_cast<int64_t>(snap.applied_lsn));
+  reg.GetGauge("store.overlay_inserted")
+      .Set(static_cast<int64_t>(snap.inserted.size()));
+  reg.GetGauge("store.overlay_removed")
+      .Set(static_cast<int64_t>(snap.removed.size()));
+  reg.GetGauge("store.wal_bytes")
+      .Set(static_cast<int64_t>(FileBytes(WalPath(dir, newest.generation))));
+  if (snap.index.has_value()) {
+    PublishIndexSummary(Summarize(*snap.index), reg);
+  } else {
+    std::printf("  (newest snapshot is overlay-only: no embedded index)\n");
+  }
+  std::printf("%s", reg.Snapshot().ToPrometheusText().c_str());
+  return 0;
+}
+
 int CmdStats(int argc, char** argv) {
   if (argc < 3) return Usage();
+  struct stat st;
+  if (::stat(argv[2], &st) == 0 && S_ISDIR(st.st_mode)) {
+    return StoreStats(argv[2]);
+  }
   const DiGraph g = LoadEdgeListText(argv[2]);
   const GraphStats s = ComputeStats(g, g.num_edges() <= 5'000'000);
   std::printf("|V|=%llu |E|=%llu |L|=%llu loops=%llu triangles=%llu "

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate the metrics records in a BENCH_*.json artifact.
+
+Usage: check_metrics_json.py BENCH_query_kernel.json
+
+Checks, in order:
+  1. the file is a JSON array whose first record is build provenance,
+  2. it contains at least one {"record": "metric", "type": "histogram"}
+     record carrying count / mean_ns / p50_ns / p95_ns / p99_ns / max_ns
+     with sane ordering (p50 <= p95 <= p99 <= max, count > 0),
+  3. counter metric records carry a non-negative integer value,
+  4. if a {"record": "metrics_overhead"} record is present, it carries
+     ns_per_probe_metrics_on / ns_per_probe_metrics_off / overhead_ratio.
+
+Exit status 0 on success; 1 with a one-line reason otherwise. The CI
+metrics smoke step runs this against BENCH_query_kernel.json so a refactor
+cannot silently stop exporting the registry into the bench artifacts.
+"""
+
+import json
+import sys
+
+
+def fail(reason: str) -> None:
+    print(f"FAIL: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_metrics_json.py <BENCH_*.json>")
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(records, list) or not records:
+        fail(f"{path}: expected a non-empty JSON array")
+    if records[0].get("record") != "provenance":
+        fail(f"{path}: first record is not build provenance")
+
+    histograms = 0
+    counters = 0
+    for i, rec in enumerate(records):
+        if rec.get("record") != "metric":
+            continue
+        name = rec.get("metric", f"#{i}")
+        kind = rec.get("type")
+        if kind == "histogram":
+            for key in ("count", "mean_ns", "p50_ns", "p95_ns", "p99_ns",
+                        "max_ns"):
+                if key not in rec:
+                    fail(f"{path}: histogram {name} missing {key}")
+            if rec["count"] <= 0:
+                fail(f"{path}: histogram {name} has count {rec['count']}")
+            if not (rec["p50_ns"] <= rec["p95_ns"] <= rec["p99_ns"]
+                    <= rec["max_ns"]):
+                fail(f"{path}: histogram {name} has unordered percentiles")
+            histograms += 1
+        elif kind == "counter":
+            value = rec.get("value")
+            if not isinstance(value, int) or value < 0:
+                fail(f"{path}: counter {name} has bad value {value!r}")
+            counters += 1
+        elif kind == "gauge":
+            if not isinstance(rec.get("value"), int):
+                fail(f"{path}: gauge {name} has bad value")
+        else:
+            fail(f"{path}: metric {name} has unknown type {kind!r}")
+    if histograms == 0:
+        fail(f"{path}: no histogram metric records (exporter not wired?)")
+    if counters == 0:
+        fail(f"{path}: no counter metric records (exporter not wired?)")
+
+    overheads = [r for r in records if r.get("record") == "metrics_overhead"]
+    for rec in overheads:
+        for key in ("ns_per_probe_metrics_on", "ns_per_probe_metrics_off",
+                    "overhead_ratio"):
+            if key not in rec:
+                fail(f"{path}: metrics_overhead record missing {key}")
+        print(f"metrics overhead: {(rec['overhead_ratio'] - 1) * 100:+.2f}% "
+              f"({rec['ns_per_probe_metrics_off']:.1f} -> "
+              f"{rec['ns_per_probe_metrics_on']:.1f} ns/probe)")
+
+    print(f"OK: {path} carries {histograms} histogram and {counters} counter "
+          f"metric records"
+          + (f", {len(overheads)} overhead record(s)" if overheads else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "rlc/obs/trace.h"
 #include "rlc/util/failpoint.h"
 
 namespace fs = std::filesystem;
@@ -147,6 +148,9 @@ void WriteSnapshotFile(const std::string& path, uint64_t applied_lsn,
                        std::span<const EdgeUpdate> inserted,
                        std::span<const EdgeUpdate> removed,
                        const RlcIndex* index) {
+  static obs::Histogram& write_ns =
+      obs::Registry::Global().GetHistogram("snap.write_ns");
+  obs::ScopedSpan span(write_ns, "snap.write");
   std::string body;
   Put<uint32_t>(body, kSnapshotVersion);
   Put<uint64_t>(body, applied_lsn);

@@ -5,7 +5,34 @@
 #include <unordered_set>
 #include <utility>
 
+#include "rlc/obs/trace.h"
 #include "rlc/util/timer.h"
+
+namespace {
+
+// Process-wide dynamic-index telemetry (global registry): per-shard
+// instances aggregate here, which is what capacity planning wants —
+// "how long do reseals take", not "which of 64 shards resealed".
+struct DynMetrics {
+  rlc::obs::Histogram& insert_ns;
+  rlc::obs::Histogram& delete_ns;
+  rlc::obs::Histogram& reseal_merge_ns;
+  rlc::obs::Histogram& reseal_swap_ns;
+  rlc::obs::Counter& reseals;
+  rlc::obs::Counter& deltas_replayed;
+  static DynMetrics& Get() {
+    rlc::obs::Registry& reg = rlc::obs::Registry::Global();
+    static DynMetrics m{reg.GetHistogram("dyn.insert_ns"),
+                        reg.GetHistogram("dyn.delete_ns"),
+                        reg.GetHistogram("dyn.reseal.merge_ns"),
+                        reg.GetHistogram("dyn.reseal.swap_ns"),
+                        reg.GetCounter("dyn.reseal.count"),
+                        reg.GetCounter("dyn.reseal.deltas_replayed")};
+    return m;
+  }
+};
+
+}  // namespace
 
 namespace rlc {
 
@@ -96,6 +123,7 @@ bool DynamicRlcIndex::InsertEdge(VertexId u, Label label, VertexId v) {
               "DynamicRlcIndex::InsertEdge: label " << label
                   << " outside the base graph's alphabet (new labels require"
                      " a rebuild)");
+  obs::ScopedSpan span(DynMetrics::Get().insert_ns, "dyn.insert");
   TryCompleteReseal(/*wait=*/false);
   if (HasEdge(u, label, v)) {
     ++stats_.edges_duplicate;
@@ -128,6 +156,7 @@ bool DynamicRlcIndex::DeleteEdge(VertexId u, Label label, VertexId v) {
   RLC_REQUIRE(label < g_.num_labels(),
               "DynamicRlcIndex::DeleteEdge: label " << label
                   << " outside the base graph's alphabet");
+  obs::ScopedSpan span(DynMetrics::Get().delete_ns, "dyn.delete");
   TryCompleteReseal(/*wait=*/false);
   if (!HasEdge(u, label, v)) {
     ++stats_.edges_delete_missing;
@@ -731,15 +760,20 @@ void DynamicRlcIndex::MaybeReseal() {
 
 void DynamicRlcIndex::ResealInline() {
   Timer timer;
-  auto fresh = std::make_shared<RlcIndex>(*current_);
-  fresh->MergeDeltas();
+  {
+    obs::ScopedSpan span(DynMetrics::Get().reseal_merge_ns,
+                         "dyn.reseal.merge");
+    auto fresh = std::make_shared<RlcIndex>(*current_);
+    fresh->MergeDeltas();
+    delta_log_.clear();
+    current_ = std::move(fresh);
+  }
   stats_.reseal_seconds += timer.ElapsedSeconds();
-  delta_log_.clear();
-  current_ = std::move(fresh);
 }
 
 void DynamicRlcIndex::StartReseal() {
   ++stats_.reseals;
+  DynMetrics::Get().reseals.Inc();
   if (!policy_.background) {
     ResealInline();
     return;
@@ -751,7 +785,11 @@ void DynamicRlcIndex::StartReseal() {
   reseal_ready_.store(false, std::memory_order_relaxed);
   reseal_thread_ = std::thread([this] {
     Timer timer;
-    reseal_snapshot_->MergeDeltas();
+    {
+      obs::ScopedSpan span(DynMetrics::Get().reseal_merge_ns,
+                           "dyn.reseal.merge");
+      reseal_snapshot_->MergeDeltas();
+    }
     reseal_merge_seconds_ = timer.ElapsedSeconds();
     reseal_ready_.store(true, std::memory_order_release);
   });
@@ -760,6 +798,10 @@ void DynamicRlcIndex::StartReseal() {
 void DynamicRlcIndex::TryCompleteReseal(bool wait) {
   if (!reseal_thread_.joinable()) return;
   if (!wait && !reseal_ready_.load(std::memory_order_acquire)) return;
+  // The swap latency is what a caller blocked on the reseal actually pays:
+  // join + suffix replay + pointer swap (the merge itself ran off-thread).
+  obs::ScopedSpan swap_span(DynMetrics::Get().reseal_swap_ns,
+                            "dyn.reseal.swap");
   reseal_thread_.join();
   stats_.reseal_seconds += reseal_merge_seconds_;
   auto fresh = std::shared_ptr<RlcIndex>(std::move(reseal_snapshot_));
@@ -792,6 +834,7 @@ void DynamicRlcIndex::TryCompleteReseal(bool wait) {
     }
     ++stats_.deltas_replayed;
   }
+  DynMetrics::Get().deltas_replayed.Add(delta_log_.size() - reseal_log_mark_);
   delta_log_.erase(delta_log_.begin(),
                    delta_log_.begin() + static_cast<ptrdiff_t>(reseal_log_mark_));
   reseal_log_mark_ = 0;

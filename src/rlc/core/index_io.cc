@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "rlc/core/label_seq.h"
+#include "rlc/obs/trace.h"
 #include "rlc/util/failpoint.h"
 
 namespace rlc {
@@ -524,6 +525,9 @@ DurabilityManifest ReadManifest(const std::string& dir) {
 }
 
 void CommitManifest(const std::string& dir, const DurabilityManifest& manifest) {
+  static obs::Histogram& commit_ns =
+      obs::Registry::Global().GetHistogram("snap.manifest_commit_ns");
+  obs::ScopedSpan span(commit_ns, "snap.manifest_commit");
   std::string text = "RLCMANIFEST 1\n";
   for (const SnapshotGeneration& g : manifest.generations) {
     text += "gen " + std::to_string(g.generation) + " lsn " +

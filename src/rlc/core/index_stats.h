@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "rlc/core/rlc_index.h"
+#include "rlc/obs/metrics.h"
 
 namespace rlc {
 
@@ -63,6 +64,33 @@ inline IndexSummary Summarize(const RlcIndex& index) {
     s.avg_in_list = static_cast<double>(s.in_entries) / s.num_vertices;
   }
   return s;
+}
+
+/// Publishes the summary into a metrics registry as gauges under
+/// "<prefix>.": the registry read path (Snapshot/ToJson/ToPrometheusText)
+/// then serves index introspection alongside every other metric —
+/// `rlc_tool stats` and the server's periodic dumps use this instead of a
+/// bespoke formatter.
+inline void PublishIndexSummary(const IndexSummary& s, obs::Registry& reg,
+                                const std::string& prefix = "index") {
+  auto set = [&](const char* name, uint64_t v) {
+    reg.GetGauge(prefix + "." + name).Set(static_cast<int64_t>(v));
+  };
+  set("num_vertices", s.num_vertices);
+  set("k", s.k);
+  set("sealed", s.sealed ? 1 : 0);
+  set("total_entries", s.total_entries);
+  set("out_entries", s.out_entries);
+  set("in_entries", s.in_entries);
+  set("memory_bytes", s.memory_bytes);
+  set("distinct_mrs", s.distinct_mrs);
+  set("max_out_list", s.max_out_list);
+  set("max_in_list", s.max_in_list);
+  set("empty_vertices", s.empty_vertices);
+  for (uint32_t j = 0; j < s.mr_length_histogram.size(); ++j) {
+    set(("entries_mr_len_" + std::to_string(j + 1)).c_str(),
+        s.mr_length_histogram[j]);
+  }
 }
 
 /// Renders the summary as a human-readable multi-line report.

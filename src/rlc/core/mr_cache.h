@@ -18,12 +18,14 @@
 #include <unordered_map>
 
 #include "rlc/core/rlc_index.h"
+#include "rlc/obs/metrics.h"
 
 namespace rlc {
 
-/// Cumulative MrCache telemetry. `evicted_entries` counts the memoized
-/// templates dropped by capacity flushes — a growing value under a steady
-/// workload is the signature of adversarial template churn.
+/// Cumulative MrCache telemetry, materialized by MrCache::stats() from the
+/// cache's atomic counters (obs::Counter). `evicted_entries` counts the
+/// memoized templates dropped by capacity flushes — a growing value under
+/// a steady workload is the signature of adversarial template churn.
 struct MrCacheStats {
   uint64_t lookups = 0;
   uint64_t hits = 0;
@@ -31,9 +33,10 @@ struct MrCacheStats {
   uint64_t evicted_entries = 0;   ///< total entries dropped by flushes
 };
 
-/// Memoizes RlcIndex::FindMr for one index. Not thread-safe; intended as a
-/// per-engine / per-service member, mirroring OnlineSearcher's reusable
-/// scratch.
+/// Memoizes RlcIndex::FindMr for one index. The memo table itself is not
+/// thread-safe — keep one instance per engine/serving thread, mirroring
+/// OnlineSearcher's reusable scratch — but the telemetry counters are
+/// atomic (obs primitives), so stats() may be read from another thread.
 class MrCache {
  public:
   /// Default bound on memoized templates: real workloads use a handful, but
@@ -52,17 +55,17 @@ class MrCache {
   /// FindMr with memoization; kInvalidMrId results are cached too (a miss
   /// is the common case for unknown query templates and just as hot).
   MrId Get(const LabelSeq& seq) {
-    ++stats_.lookups;
+    lookups_.Inc();
     if (cache_.size() >= max_entries_) {
-      ++stats_.flushes;
-      stats_.evicted_entries += cache_.size();
+      flushes_.Inc();
+      evicted_entries_.Add(cache_.size());
       cache_.clear();
     }
     auto [it, inserted] = cache_.try_emplace(seq, kInvalidMrId);
     if (inserted) {
       it->second = index_->FindMr(seq);
     } else {
-      ++stats_.hits;
+      hits_.Inc();
     }
     return it->second;
   }
@@ -70,13 +73,25 @@ class MrCache {
   /// Number of distinct sequences resolved so far.
   size_t size() const { return cache_.size(); }
   size_t max_entries() const { return max_entries_; }
-  const MrCacheStats& stats() const { return stats_; }
+
+  /// Materializes the counters (thin shim; see MrCacheStats).
+  MrCacheStats stats() const {
+    MrCacheStats s;
+    s.lookups = lookups_.Value();
+    s.hits = hits_.Value();
+    s.flushes = flushes_.Value();
+    s.evicted_entries = evicted_entries_.Value();
+    return s;
+  }
 
  private:
   const RlcIndex* index_;
   size_t max_entries_;
   std::unordered_map<LabelSeq, MrId, LabelSeqHash> cache_;
-  MrCacheStats stats_;
+  obs::Counter lookups_;
+  obs::Counter hits_;
+  obs::Counter flushes_;
+  obs::Counter evicted_entries_;
 };
 
 }  // namespace rlc

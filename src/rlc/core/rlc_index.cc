@@ -150,16 +150,27 @@ bool RlcIndex::QuerySealedSigned(VertexId s, VertexId t, MrId mr,
   return delta_entries_ != 0 && QueryDeltaTail(s, t, mr, lout, lin);
 }
 
-void RlcIndex::QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
-                                  std::span<uint8_t> answers) const {
+template <bool kCounted>
+void RlcIndex::QueryGroupInternedImpl(MrId mr,
+                                      std::span<const VertexPair> probes,
+                                      std::span<uint8_t> answers,
+                                      GroupQueryStats* stats) const {
   RLC_DCHECK(answers.size() == probes.size());
   if (mr == kInvalidMrId) {
     std::fill(answers.begin(), answers.end(), uint8_t{0});
+    if constexpr (kCounted) stats->probes += probes.size();
     return;
   }
   if (!sealed_) {
+    uint64_t hits = 0;
     for (size_t i = 0; i < probes.size(); ++i) {
-      answers[i] = QueryInterned(probes[i].s, probes[i].t, mr) ? 1 : 0;
+      const bool a = QueryInterned(probes[i].s, probes[i].t, mr);
+      answers[i] = a ? 1 : 0;
+      if constexpr (kCounted) hits += a;
+    }
+    if constexpr (kCounted) {
+      stats->probes += probes.size();
+      stats->hits += hits;
     }
     return;
   }
@@ -174,6 +185,8 @@ void RlcIndex::QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
   const bool with_sigs = use_signatures_ && mr < mr_query_sig_.size();
   const uint64_t needed = with_sigs ? mr_query_sig_[mr] : 0;
   const size_t n = probes.size();
+  [[maybe_unused]] uint64_t sig_refuted = 0;
+  [[maybe_unused]] uint64_t hits = 0;
   for (size_t i = 0; i < n; ++i) {
     if (i + kOffsetLead < n) {
       const VertexPair& p = probes[i + kOffsetLead];
@@ -191,11 +204,48 @@ void RlcIndex::QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
       PrefetchRead(out_entries_.data() + out_offsets_[p.s]);
       PrefetchRead(in_entries_.data() + in_offsets_[p.t]);
     }
-    answers[i] = (with_sigs
-                      ? QuerySealedSigned(probes[i].s, probes[i].t, mr, needed)
-                      : QueryInterned(probes[i].s, probes[i].t, mr))
-                     ? 1
-                     : 0;
+    bool a;
+    if (with_sigs) {
+      if constexpr (kCounted) {
+        // Count the two-load refutation inline: re-checking the signature
+        // guard here keeps QuerySealedSigned untouched, and the loads are
+        // L1-resident (the guard inside re-reads the same lines).
+        const bool out_may = (out_sigs_[probes[i].s] & needed) == needed;
+        const bool in_may = (in_sigs_[probes[i].t] & needed) == needed;
+        if (!out_may && !in_may) {
+          ++sig_refuted;
+          a = false;
+        } else {
+          a = QuerySealedSigned(probes[i].s, probes[i].t, mr, needed);
+        }
+      } else {
+        a = QuerySealedSigned(probes[i].s, probes[i].t, mr, needed);
+      }
+    } else {
+      a = QueryInterned(probes[i].s, probes[i].t, mr);
+    }
+    answers[i] = a ? 1 : 0;
+    if constexpr (kCounted) hits += a;
+  }
+  if constexpr (kCounted) {
+    stats->probes += n;
+    stats->sig_refuted += sig_refuted;
+    stats->hits += hits;
+  }
+}
+
+void RlcIndex::QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
+                                  std::span<uint8_t> answers) const {
+  QueryGroupInternedImpl<false>(mr, probes, answers, nullptr);
+}
+
+void RlcIndex::QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
+                                  std::span<uint8_t> answers,
+                                  GroupQueryStats* stats) const {
+  if (stats == nullptr) {
+    QueryGroupInternedImpl<false>(mr, probes, answers, nullptr);
+  } else {
+    QueryGroupInternedImpl<true>(mr, probes, answers, stats);
   }
 }
 

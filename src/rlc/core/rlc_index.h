@@ -80,6 +80,15 @@ struct VertexPair {
   VertexId t;
 };
 
+/// Per-group kernel telemetry filled by the counted QueryGroupInterned
+/// overload. Fields accumulate (+=), so one struct can aggregate several
+/// groups or jobs before being flushed to a metrics registry in bulk.
+struct GroupQueryStats {
+  uint64_t probes = 0;       ///< probes executed
+  uint64_t sig_refuted = 0;  ///< refuted by the two signature loads alone
+  uint64_t hits = 0;         ///< probes answered true
+};
+
 /// The RLC reachability index for one graph and one recursive bound k.
 ///
 /// Instances are produced by RlcIndexBuilder (indexer.h) or loaded from disk
@@ -131,6 +140,16 @@ class RlcIndex {
   /// slot i is set to 1 when probe i is reachable, else 0.
   void QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
                           std::span<uint8_t> answers) const;
+
+  /// Counted variant: identical answers, but additionally accumulates
+  /// probe/signature-refute/hit counts into `stats` (nullptr degrades to
+  /// the uncounted kernel). The counts live in locals inside the probe
+  /// loop and flush once at the end, so the overhead is a couple of
+  /// register increments per probe — cheap enough for an always-on
+  /// metrics build, but batch executors still gate it on obs::Enabled().
+  void QueryGroupInterned(MrId mr, std::span<const VertexPair> probes,
+                          std::span<uint8_t> answers,
+                          GroupQueryStats* stats) const;
 
   /// Validates an RLC query constraint against recursion bound `k`: it must
   /// be non-empty, at most k labels long, and primitive (L == MR(L)).
@@ -351,6 +370,14 @@ class RlcIndex {
   /// The sealed signature-guarded query: `needed` is mr_query_sig_[mr].
   bool QuerySealedSigned(VertexId s, VertexId t, MrId mr,
                          uint64_t needed) const;
+
+  /// Shared body of the counted/uncounted group kernels; `stats` is only
+  /// touched when kCounted (the uncounted instantiation is byte-identical
+  /// to the historical loop).
+  template <bool kCounted>
+  void QueryGroupInternedImpl(MrId mr, std::span<const VertexPair> probes,
+                              std::span<uint8_t> answers,
+                              GroupQueryStats* stats) const;
 
   /// Delta-overlay continuation of a query whose CSR-only cases all failed:
   /// Case 2 against the endpoint delta lists plus the three Case-1 joins

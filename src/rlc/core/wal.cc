@@ -9,6 +9,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "rlc/obs/trace.h"
 #include "rlc/util/failpoint.h"
 
 namespace rlc {
@@ -68,8 +69,29 @@ void WalWriter::Close() {
   }
 }
 
+// Durability-path telemetry (global registry: WAL writers are process
+// infrastructure, not per-service instances).
+namespace {
+struct WalMetrics {
+  obs::Histogram& append_ns;
+  obs::Histogram& fsync_ns;
+  obs::Counter& append_bytes;
+  obs::Counter& appends;
+  static WalMetrics& Get() {
+    obs::Registry& reg = obs::Registry::Global();
+    static WalMetrics m{reg.GetHistogram("wal.append_ns"),
+                        reg.GetHistogram("wal.fsync_ns"),
+                        reg.GetCounter("wal.append_bytes"),
+                        reg.GetCounter("wal.appends")};
+    return m;
+  }
+};
+}  // namespace
+
 void WalWriter::Append(uint64_t lsn, std::span<const EdgeUpdate> updates) {
   RLC_CHECK_MSG(fd_ >= 0, "WalWriter::Append: log not open");
+  const bool metrics_on = obs::Enabled();
+  const uint64_t append_t0 = metrics_on ? obs::NowNanos() : 0;
   std::string buf;
   buf.reserve(kHeaderBytes + updates.size() * kUpdateBytes + kChecksumBytes);
   PutU32(buf, static_cast<uint32_t>(updates.size() * kUpdateBytes));
@@ -89,7 +111,16 @@ void WalWriter::Append(uint64_t lsn, std::span<const EdgeUpdate> updates) {
   try {
     FailpointWrite(fd_, buf.data(), buf.size(), "WalWriter::Append");
     FailpointHit(failpoints::kWalAppendAfterWrite);
-    FailpointSync(fd_, "WalWriter::Append fsync");
+    if (metrics_on) {
+      WalMetrics& m = WalMetrics::Get();
+      const uint64_t sync_t0 = obs::NowNanos();
+      FailpointSync(fd_, "WalWriter::Append fsync");
+      const uint64_t done = obs::NowNanos();
+      m.fsync_ns.Record(done - sync_t0);
+      obs::SpanRing::Global().Record("wal.fsync", sync_t0, done - sync_t0);
+    } else {
+      FailpointSync(fd_, "WalWriter::Append fsync");
+    }
     FailpointHit(failpoints::kWalAppendAfterSync);
   } catch (...) {
     // A partial record would poison every later append: the reader stops at
@@ -101,6 +132,12 @@ void WalWriter::Append(uint64_t lsn, std::span<const EdgeUpdate> updates) {
   }
   bytes_appended_ += buf.size();
   ++records_appended_;
+  if (metrics_on) {
+    WalMetrics& m = WalMetrics::Get();
+    m.append_ns.Record(obs::NowNanos() - append_t0);
+    m.append_bytes.Add(buf.size());
+    m.appends.Inc();
+  }
 }
 
 WalReadResult ReadWalFile(const std::string& path) {

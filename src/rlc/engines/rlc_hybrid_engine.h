@@ -41,7 +41,7 @@ class RlcHybridEngine : public Engine {
 
   /// Telemetry of the final-atom MR memo (lookups/hits/evictions); the
   /// eviction counters bound the damage of adversarial template streams.
-  const MrCacheStats& mr_cache_stats() const { return mr_cache_.stats(); }
+  MrCacheStats mr_cache_stats() const { return mr_cache_.stats(); }
 
  private:
   const DiGraph& g_;

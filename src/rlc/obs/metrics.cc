@@ -1,0 +1,309 @@
+#include "rlc/obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlc::obs {
+
+namespace detail {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* v = std::getenv("RLC_METRICS");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "FALSE") == 0);
+}
+
+}  // namespace
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{EnabledFromEnv()};
+  return flag;
+}
+
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace detail
+
+void SetEnabled(bool on) {
+  detail::EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * double(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      const uint64_t lo = Histogram::BucketLower(b);
+      const uint64_t hi = Histogram::BucketUpper(b);
+      uint64_t mid = lo + (hi - lo) / 2;
+      // The top bucket's upper bound is the clamp, not an observation;
+      // the tracked max is tighter there.
+      if (max != 0 && mid > max) mid = max;
+      return mid;
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kNumBuckets, 0);
+  for (const Shard& s : shards_) {
+    for (uint32_t b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
+  }
+  for (const uint64_t c : snap.buckets) snap.count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (uint32_t b = 0; b < kNumBuckets; ++b) {
+      s.counts[b].store(0, std::memory_order_relaxed);
+    }
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// Metric names are dotted lowercase identifiers, but escape defensively so
+// an odd name cannot produce invalid JSON.
+void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string PrometheusName(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  if (!prefix.empty()) out.push_back('_');
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(
+    std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::FindGauge(std::string_view name) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out += "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i) out.push_back(',');
+    AppendJsonString(out, counters[i].name);
+    out.push_back(':');
+    out += std::to_string(counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i) out.push_back(',');
+    AppendJsonString(out, gauges[i].name);
+    out.push_back(':');
+    out += std::to_string(gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    if (i) out.push_back(',');
+    AppendJsonString(out, h.name);
+    out += ":{\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"mean\":" + FormatDouble(h.Mean());
+    out += ",\"max\":" + std::to_string(h.max);
+    out += ",\"p50\":" + std::to_string(h.Percentile(0.50));
+    out += ",\"p90\":" + std::to_string(h.Percentile(0.90));
+    out += ",\"p95\":" + std::to_string(h.Percentile(0.95));
+    out += ",\"p99\":" + std::to_string(h.Percentile(0.99));
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText(std::string_view prefix) const {
+  std::string out;
+  for (const CounterSnapshot& c : counters) {
+    const std::string n = PrometheusName(prefix, c.name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    const std::string n = PrometheusName(prefix, g.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string n = PrometheusName(prefix, h.name);
+    out += "# TYPE " + n + " summary\n";
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.50},
+          {"0.9", 0.90},
+          {"0.95", 0.95},
+          {"0.99", 0.99}}) {
+      out += n + "{quantile=\"" + label + "\"} " +
+             std::to_string(h.Percentile(q)) + "\n";
+    }
+    out += n + "_sum " + std::to_string(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+    out += n + "_max " + std::to_string(h.max) + "\n";
+  }
+  return out;
+}
+
+void Registry::CheckNameFree(std::string_view name, const char* kind) const {
+  const bool taken = counters_.find(name) != counters_.end() ||
+                     gauges_.find(name) != gauges_.end() ||
+                     histograms_.find(name) != histograms_.end();
+  if (taken) {
+    throw std::invalid_argument("obs::Registry: metric name '" +
+                                std::string(name) +
+                                "' already registered as a different kind "
+                                "(requested " + kind + ")");
+  }
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return *it->second;
+  }
+  CheckNameFree(name, "counter");
+  auto [it, _] =
+      counters_.emplace(std::string(name), std::make_unique<Counter>());
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return *it->second;
+  }
+  CheckNameFree(name, "gauge");
+  auto [it, _] = gauges_.emplace(std::string(name), std::make_unique<Gauge>());
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = histograms_.find(name); it != histograms_.end()) {
+    return *it->second;
+  }
+  CheckNameFree(name, "histogram");
+  auto [it, _] =
+      histograms_.emplace(std::string(name), std::make_unique<Histogram>());
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs = h->Snapshot();
+    hs.name = name;
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();  // leaked: outlive all users
+  return *global;
+}
+
+}  // namespace rlc::obs

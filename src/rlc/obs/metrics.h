@@ -1,0 +1,286 @@
+// Lock-free metrics primitives + named registry for the serving stack.
+//
+// Three primitives, all safe for concurrent writers and concurrent
+// snapshot readers:
+//
+//   Counter    monotonic u64, sharded across cache lines so parallel
+//              kernel jobs never contend on one atomic.
+//   Gauge      instantaneous i64 (queue depth, busy workers).
+//   Histogram  fixed-bucket log-linear latency histogram (8 sub-buckets
+//              per octave => <= 12.5% relative bucket width), sharded
+//              per-thread, merged on read into p50/p95/p99/max.
+//
+// A Registry names metrics and hands out stable references; callers cache
+// the reference once (a function-local static at the instrumentation site
+// is the idiom) so the hot path never touches the registry mutex:
+//
+//   static obs::Counter& c = obs::Registry::Global().GetCounter("wal.fsyncs");
+//   c.Inc();
+//
+// Registry::Global() serves cross-cutting library metrics (WAL, reseal,
+// recovery, pools, failpoints). Objects that exist many times per process
+// (ShardedRlcService) own a private Registry instead so instances don't
+// aggregate into one blob.
+//
+// Kill switches: the primitives themselves are always-on relaxed atomics —
+// cheap enough for functional accounting (ServiceStats) that tests assert
+// on. Instrumentation that costs real time (clock reads, spans, the
+// counted query kernel) must guard on obs::Enabled(), which is runtime
+// (RLC_METRICS env / SetEnabled) and compile-time (-DRLC_METRICS_DISABLED
+// folds Enabled() to a constant false and dead-codes the sites).
+
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlc::obs {
+
+#ifdef RLC_METRICS_DISABLED
+inline constexpr bool kMetricsCompiledIn = false;
+#else
+inline constexpr bool kMetricsCompiledIn = true;
+#endif
+
+namespace detail {
+
+std::atomic<bool>& EnabledFlag();
+
+/// Small dense per-thread id (0, 1, 2, ...), assigned on first use; shard
+/// selectors mask it down. Also doubles as the tid recorded in span events.
+uint32_t ThreadId();
+
+}  // namespace detail
+
+/// True when instrumentation should record. Relaxed load on a process
+/// global; constant false when compiled out.
+inline bool Enabled() {
+  if constexpr (!kMetricsCompiledIn) {
+    return false;
+  } else {
+    return detail::EnabledFlag().load(std::memory_order_relaxed);
+  }
+}
+
+/// Runtime toggle (benches measure enabled-vs-disabled in one process).
+/// Initial value comes from the RLC_METRICS env var (default on; "0",
+/// "off", "false" disable).
+void SetEnabled(bool on);
+
+/// Monotonic clock in nanoseconds (steady_clock).
+uint64_t NowNanos();
+
+/// Monotonic counter, sharded across cache lines. Add/Inc are wait-free
+/// relaxed RMWs; Value() is a relaxed sum, exact once writers quiesce.
+class Counter {
+ public:
+  static constexpr uint32_t kShards = 8;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) {
+    shards_[detail::ThreadId() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Inc() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Zeroes the counter. Only meaningful while no writer is active
+  /// (bench phase boundaries, tests).
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Instantaneous signed value (queue depth, busy workers, index size).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void Sub(int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Merged read-side view of one Histogram (see Histogram below for the
+/// bucket scheme). Percentile() answers from bucket midpoints, so its
+/// error is bounded by half a bucket width (<= 6.25% relative).
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  ///< dense per-bucket counts
+
+  double Mean() const { return count == 0 ? 0.0 : double(sum) / double(count); }
+  /// q in (0, 1]; value at that quantile, from the containing bucket's
+  /// midpoint. Returns 0 on an empty histogram.
+  uint64_t Percentile(double q) const;
+};
+
+/// Fixed-bucket log-linear histogram of non-negative values (latencies in
+/// nanoseconds by convention). Buckets: values 0..7 are exact; above that
+/// each power-of-two octave splits into 8 linear sub-buckets, so bucket
+/// width is <= 12.5% of the value. Values are clamped at 2^41 - 1 (~36
+/// minutes in ns), 312 buckets total.
+///
+/// Record() is two relaxed fetch_adds plus a CAS max on a per-thread-group
+/// shard; Snapshot() merges shards with relaxed loads. Counts are
+/// conserved: every Record lands in exactly one bucket, so the bucket sum
+/// equals the number of records once writers quiesce.
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBits = 3;
+  static constexpr uint32_t kSub = 1u << kSubBits;  // sub-buckets per octave
+  static constexpr uint32_t kMaxExp = 40;
+  static constexpr uint32_t kNumBuckets = kSub + (kMaxExp - kSubBits + 1) * kSub;
+  static constexpr uint32_t kShards = 4;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  static uint32_t BucketOf(uint64_t v) {
+    constexpr uint64_t kClamp = (uint64_t{1} << (kMaxExp + 1)) - 1;
+    if (v < kSub) return static_cast<uint32_t>(v);
+    if (v > kClamp) v = kClamp;
+    const uint32_t h = 63u - static_cast<uint32_t>(std::countl_zero(v));
+    const uint32_t sub =
+        static_cast<uint32_t>((v >> (h - kSubBits)) & (kSub - 1));
+    return kSub + (h - kSubBits) * kSub + sub;
+  }
+  /// Smallest value mapping to bucket b.
+  static uint64_t BucketLower(uint32_t b) {
+    if (b < kSub) return b;
+    const uint32_t h = kSubBits + (b - kSub) / kSub;
+    const uint64_t sub = (b - kSub) % kSub;
+    return (uint64_t{1} << h) + (sub << (h - kSubBits));
+  }
+  /// Largest value mapping to bucket b (inclusive).
+  static uint64_t BucketUpper(uint32_t b) {
+    if (b < kSub) return b;
+    const uint32_t h = kSubBits + (b - kSub) / kSub;
+    const uint64_t sub = (b - kSub) % kSub;
+    return (uint64_t{1} << h) + ((sub + 1) << (h - kSubBits)) - 1;
+  }
+
+  void Record(uint64_t v) {
+    Shard& s = shards_[detail::ThreadId() & (kShards - 1)];
+    s.counts[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    uint64_t m = s.max.load(std::memory_order_relaxed);
+    while (v > m && !s.max.compare_exchange_weak(m, v,
+                                                 std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Merge-on-read view. Exact once writers quiesce; during concurrent
+  /// recording it is a consistent-enough sample (count/sum may straddle an
+  /// in-flight Record).
+  HistogramSnapshot Snapshot() const;
+
+  /// Zeroes all shards. Only meaningful while no writer is active.
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> counts[kNumBuckets]{};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+  Shard shards_[kShards];
+};
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+/// Point-in-time view of a Registry, sorted by metric name (deterministic:
+/// two snapshots of the same quiesced registry render identically).
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const CounterSnapshot* FindCounter(std::string_view name) const;
+  const GaugeSnapshot* FindGauge(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
+  /// max,p50,p90,p95,p99}}} — keys sorted, stable across runs.
+  std::string ToJson() const;
+  /// Prometheus text exposition: counters/gauges as-is, histograms as
+  /// summaries with quantile labels. Metric names are prefixed and
+  /// sanitized ('.' and other invalid chars become '_').
+  std::string ToPrometheusText(std::string_view prefix = "rlc") const;
+};
+
+/// Named metric directory. GetX interns by name under a mutex and returns
+/// a stable reference — cache it; lookups are not for hot paths. A name
+/// registered as one kind cannot be re-registered as another
+/// (std::invalid_argument).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (names stay registered). Writers must
+  /// be quiescent; meant for bench phase boundaries and tests.
+  void ResetValues();
+
+  /// Process-global registry for cross-cutting library metrics.
+  static Registry& Global();
+
+ private:
+  template <typename T>
+  using NameMap = std::map<std::string, std::unique_ptr<T>, std::less<>>;
+
+  void CheckNameFree(std::string_view name, const char* kind) const;
+
+  mutable std::mutex mu_;
+  NameMap<Counter> counters_;
+  NameMap<Gauge> gauges_;
+  NameMap<Histogram> histograms_;
+};
+
+}  // namespace rlc::obs

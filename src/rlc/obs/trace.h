@@ -1,0 +1,126 @@
+// Scoped trace spans: an RAII timer that records its duration into a
+// Histogram and appends a (name, start, duration, tid) event to a global
+// lock-free ring of recent spans for post-mortem dumps.
+//
+//   static obs::Histogram& h =
+//       obs::Registry::Global().GetHistogram("wal.append_ns");
+//   obs::ScopedSpan span(h, "wal.append");
+//
+// Spans are disarmed (no clock read, no record) when obs::Enabled() is
+// false, so they are safe on warm paths; still, keep them at batch/job/IO
+// granularity — a span costs two clock reads (~40ns), which would dwarf a
+// 30ns probe.
+//
+// Ring-buffer consistency: slots are claimed by a fetch_add ticket, and
+// each field is an independent relaxed atomic. After the ring wraps, a
+// reader racing a writer can observe a torn event (fields from two
+// different spans). That is acceptable for a diagnostics ring — events
+// are never used for accounting — and keeps the writer wait-free and
+// TSan-clean. Span names must be string literals (the ring stores the
+// pointer).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rlc/obs/metrics.h"
+
+namespace rlc::obs {
+
+struct SpanEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+};
+
+/// Fixed-capacity ring of the most recent span events.
+class SpanRing {
+ public:
+  static constexpr size_t kCapacity = 1024;
+
+  static SpanRing& Global() {
+    static SpanRing* ring = new SpanRing();  // leaked: outlive all users
+    return *ring;
+  }
+
+  void Record(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+    const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[ticket % kCapacity];
+    s.name.store(name, std::memory_order_relaxed);
+    s.start.store(start_ns, std::memory_order_relaxed);
+    s.dur.store(dur_ns, std::memory_order_relaxed);
+    s.tid.store(detail::ThreadId(), std::memory_order_relaxed);
+  }
+
+  /// Best-effort oldest-to-newest view of up to `max_events` recent spans.
+  std::vector<SpanEvent> Recent(size_t max_events = kCapacity) const {
+    const uint64_t end = next_.load(std::memory_order_relaxed);
+    uint64_t n = end < kCapacity ? end : kCapacity;
+    if (n > max_events) n = max_events;
+    std::vector<SpanEvent> out;
+    out.reserve(n);
+    for (uint64_t t = end - n; t < end; ++t) {
+      const Slot& s = slots_[t % kCapacity];
+      SpanEvent e;
+      e.name = s.name.load(std::memory_order_relaxed);
+      e.start_ns = s.start.load(std::memory_order_relaxed);
+      e.dur_ns = s.dur.load(std::memory_order_relaxed);
+      e.tid = s.tid.load(std::memory_order_relaxed);
+      if (e.name != nullptr) out.push_back(e);
+    }
+    return out;
+  }
+
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> start{0};
+    std::atomic<uint64_t> dur{0};
+    std::atomic<uint32_t> tid{0};
+  };
+  std::atomic<uint64_t> next_{0};
+  Slot slots_[kCapacity];
+};
+
+/// RAII span: times its scope, records into `hist`, appends to the global
+/// ring. No-op (no clock read) when metrics are disabled at construction.
+class ScopedSpan {
+ public:
+  ScopedSpan(Histogram& hist, const char* name)
+      : hist_(&hist), name_(name), start_(Enabled() ? NowNanos() : 0) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (start_ == 0) return;
+    const uint64_t dur = NowNanos() - start_;
+    hist_->Record(dur);
+    SpanRing::Global().Record(name_, start_, dur);
+  }
+
+ private:
+  Histogram* hist_;
+  const char* name_;
+  uint64_t start_;
+};
+
+/// Renders recent span events, one per line, newest last:
+///   <start_ns> <dur_ns>ns tid=<tid> <name>
+inline std::string DumpRecentSpans(size_t max_events = SpanRing::kCapacity) {
+  std::string out;
+  for (const SpanEvent& e : SpanRing::Global().Recent(max_events)) {
+    out += std::to_string(e.start_ns) + " " + std::to_string(e.dur_ns) +
+           "ns tid=" + std::to_string(e.tid) + " " + e.name + "\n";
+  }
+  return out;
+}
+
+}  // namespace rlc::obs

@@ -8,6 +8,13 @@
 // index, so running them in any order on any thread produces the same
 // buffers; the caller splices the per-job answers back in probe order,
 // which keeps batch execution bit-identical for every thread count.
+//
+// When metrics are enabled (obs::Enabled()), each job additionally runs
+// the counted kernel (probe/signature-refute/hit tallies) and records its
+// wall time; the instrumentation is per *job* (<= probes_per_job probes),
+// never per probe, so the measured overhead on the negative-heavy kernel
+// stays inside the bench budget. RunKernelJobs also maintains the global
+// "serve.exec.queue_depth" gauge: jobs not yet claimed by a worker.
 
 #pragma once
 
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "rlc/core/rlc_index.h"
+#include "rlc/obs/metrics.h"
 #include "rlc/util/thread_pool.h"
 
 namespace rlc::internal {
@@ -25,6 +33,8 @@ struct KernelJob {
   MrId mr = kInvalidMrId;
   std::vector<VertexPair> pairs;
   std::vector<uint8_t> answers;  ///< filled by RunKernelJobs
+  GroupQueryStats stats;         ///< filled when metrics are enabled
+  uint64_t kernel_ns = 0;        ///< job wall time when metrics are enabled
 };
 
 /// Appends jobs covering positions [0, count) of one probe group against
@@ -48,12 +58,44 @@ void AppendChunkedJobs(const RlcIndex& index, MrId mr, size_t count,
   }
 }
 
+/// Pending kernel jobs across all executors in the process (the pool has
+/// no queue of its own — jobs are claimed from a shared cursor).
+inline obs::Gauge& KernelQueueDepthGauge() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("serve.exec.queue_depth");
+  return g;
+}
+
+/// Sums the per-job kernel telemetry (meaningful only for a metrics-on
+/// run) and flushes each job's wall time into `job_ns`, if given.
+inline GroupQueryStats MergeJobStats(const std::vector<KernelJob>& jobs,
+                                     obs::Histogram* job_ns = nullptr) {
+  GroupQueryStats total;
+  for (const KernelJob& job : jobs) {
+    total.probes += job.stats.probes;
+    total.sig_refuted += job.stats.sig_refuted;
+    total.hits += job.stats.hits;
+    if (job_ns != nullptr && job.kernel_ns != 0) job_ns->Record(job.kernel_ns);
+  }
+  return total;
+}
+
 /// Executes every job's grouped CSR pass. `pool` may be null (run inline).
 inline void RunKernelJobs(std::vector<KernelJob>& jobs, ThreadPool* pool) {
-  auto run_one = [](KernelJob& job) {
+  const bool counted = obs::Enabled();
+  auto run_one = [counted](KernelJob& job) {
     job.answers.assign(job.pairs.size(), 0);
-    job.index->QueryGroupInterned(job.mr, job.pairs, job.answers);
+    if (counted) {
+      const uint64_t t0 = obs::NowNanos();
+      job.index->QueryGroupInterned(job.mr, job.pairs, job.answers,
+                                    &job.stats);
+      job.kernel_ns = obs::NowNanos() - t0;
+      KernelQueueDepthGauge().Sub(1);
+    } else {
+      job.index->QueryGroupInterned(job.mr, job.pairs, job.answers);
+    }
   };
+  if (counted) KernelQueueDepthGauge().Add(static_cast<int64_t>(jobs.size()));
   if (pool == nullptr || jobs.size() <= 1) {
     for (KernelJob& job : jobs) run_one(job);
     return;

@@ -3,16 +3,46 @@
 #include <algorithm>
 #include <memory>
 
+#include "rlc/obs/metrics.h"
 #include "rlc/serve/kernel_jobs.h"
 #include "rlc/util/common.h"
 #include "rlc/util/thread_pool.h"
 
 namespace rlc {
 
+namespace {
+
+// Global-registry telemetry for the free-function batch executor; the
+// sharded service keeps its own per-instance registry instead. Handles
+// are resolved once — the registry mutex is never on the batch path.
+struct BatchMetrics {
+  obs::Counter& probes;
+  obs::Counter& sig_refuted;
+  obs::Counter& hits;
+  obs::Counter& batches;
+  obs::Histogram& batch_ns;
+  obs::Histogram& job_ns;
+
+  static BatchMetrics& Get() {
+    obs::Registry& reg = obs::Registry::Global();
+    static BatchMetrics m{reg.GetCounter("rlc.query.probes"),
+                          reg.GetCounter("rlc.query.sig_refuted"),
+                          reg.GetCounter("rlc.query.hits"),
+                          reg.GetCounter("rlc.query.batches"),
+                          reg.GetHistogram("rlc.query.batch_ns"),
+                          reg.GetHistogram("rlc.query.kernel_job_ns")};
+    return m;
+  }
+};
+
+}  // namespace
+
 AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch,
                          const ExecuteOptions& options) {
   RLC_REQUIRE(options.probes_per_job >= 1,
               "ExecuteBatch: probes_per_job must be >= 1");
+  const bool metrics_on = obs::Enabled();
+  const uint64_t batch_t0 = metrics_on ? obs::NowNanos() : 0;
   AnswerBatch out;
   out.answers.assign(batch.num_probes(), 0);
 
@@ -82,6 +112,16 @@ AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch,
         out.answers[(*group.bucket)[pos++]] = a;
       }
     }
+  }
+
+  if (metrics_on) {
+    BatchMetrics& m = BatchMetrics::Get();
+    const GroupQueryStats totals = internal::MergeJobStats(jobs, &m.job_ns);
+    m.probes.Add(totals.probes);
+    m.sig_refuted.Add(totals.sig_refuted);
+    m.hits.Add(totals.hits);
+    m.batches.Inc();
+    m.batch_ns.Record(obs::NowNanos() - batch_t0);
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rlc/obs/trace.h"
 #include "rlc/serve/kernel_jobs.h"
 #include "rlc/util/failpoint.h"
 #include "rlc/util/thread_pool.h"
@@ -15,11 +16,69 @@ namespace rlc {
 
 namespace fs = std::filesystem;
 
+ShardedRlcService::ServiceCounters::ServiceCounters(obs::Registry& reg)
+    : queries(reg.GetCounter("serve.queries")),
+      intra_true(reg.GetCounter("serve.intra_true")),
+      intra_miss(reg.GetCounter("serve.intra_miss")),
+      cross_refuted(reg.GetCounter("serve.cross_refuted")),
+      fallback_probes(reg.GetCounter("serve.fallback_probes")),
+      batches(reg.GetCounter("serve.batches")),
+      batch_groups(reg.GetCounter("serve.batch_groups")),
+      seq_cache_flushes(reg.GetCounter("serve.seq_cache_flushes")),
+      seq_cache_evictions(reg.GetCounter("serve.seq_cache_evictions")),
+      updates_applied(reg.GetCounter("serve.updates_applied")),
+      updates_deleted(reg.GetCounter("serve.updates_deleted")),
+      updates_duplicate(reg.GetCounter("serve.updates_duplicate")),
+      updates_cross(reg.GetCounter("serve.updates_cross")) {}
+
+ShardedRlcService::StageHistograms::StageHistograms(obs::Registry& reg)
+    : execute_ns(reg.GetHistogram("serve.stage.execute_ns")),
+      resolve_ns(reg.GetHistogram("serve.stage.resolve_ns")),
+      shard_kernel_ns(reg.GetHistogram("serve.stage.shard_kernel_job_ns")),
+      route_ns(reg.GetHistogram("serve.stage.route_ns")),
+      fallback_kernel_ns(
+          reg.GetHistogram("serve.stage.fallback_kernel_job_ns")),
+      fallback_probe_ns(reg.GetHistogram("serve.stage.fallback_probe_ns")),
+      apply_updates_ns(reg.GetHistogram("serve.stage.apply_updates_ns")),
+      checkpoint_ns(reg.GetHistogram("serve.stage.checkpoint_ns")) {}
+
+ServiceStats ShardedRlcService::stats() const {
+  ServiceStats s;
+  s.queries = c_.queries.Value();
+  s.intra_true = c_.intra_true.Value();
+  s.intra_miss = c_.intra_miss.Value();
+  s.cross_refuted = c_.cross_refuted.Value();
+  s.fallback_probes = c_.fallback_probes.Value();
+  s.batches = c_.batches.Value();
+  s.batch_groups = c_.batch_groups.Value();
+  s.seq_cache_flushes = c_.seq_cache_flushes.Value();
+  s.seq_cache_evictions = c_.seq_cache_evictions.Value();
+  s.updates_applied = c_.updates_applied.Value();
+  s.updates_deleted = c_.updates_deleted.Value();
+  s.updates_duplicate = c_.updates_duplicate.Value();
+  s.updates_cross = c_.updates_cross.Value();
+  s.partition_seconds = partition_seconds_;
+  s.index_build_seconds = index_build_seconds_;
+  return s;
+}
+
+std::vector<uint64_t> ShardedRlcService::ShardFallbackCounts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(shard_fallback_.size());
+  for (const obs::Counter* c : shard_fallback_) counts.push_back(c->Value());
+  return counts;
+}
+
 ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
     : g_(g), options_(std::move(options)) {
   Timer timer;
   partition_ = GraphPartition::Build(g_, options_.partition);
-  stats_.partition_seconds = timer.ElapsedSeconds();
+  partition_seconds_ = timer.ElapsedSeconds();
+  shard_fallback_.reserve(partition_.num_shards());
+  for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
+    shard_fallback_.push_back(
+        &metrics_.GetCounter("serve.fallback.shard." + std::to_string(s)));
+  }
 
   const bool is_durable = !options_.durability.dir.empty();
   if (is_durable) {
@@ -32,16 +91,28 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
   }
 
   timer.Reset();
+  const uint64_t recover_t0 = obs::NowNanos();
   const bool recovered = is_durable && TryRecover();
+  if (recovered) {
+    metrics_.GetGauge("serve.recover.load_ns")
+        .Set(static_cast<int64_t>(obs::NowNanos() - recover_t0));
+  }
   if (!recovered) BuildIndexes();
-  stats_.index_build_seconds = timer.ElapsedSeconds();
+  index_build_seconds_ = timer.ElapsedSeconds();
 
   const uint32_t exec_threads =
       ThreadPool::ResolveThreads(options_.exec_threads);
   if (exec_threads > 1) exec_pool_ = std::make_unique<ThreadPool>(exec_threads);
 
   if (is_durable) {
-    if (recovered) ReplayServiceWal(recovery_.generation);
+    if (recovered) {
+      const uint64_t replay_t0 = obs::NowNanos();
+      ReplayServiceWal(recovery_.generation);
+      metrics_.GetGauge("serve.recover.wal_replay_ns")
+          .Set(static_cast<int64_t>(obs::NowNanos() - replay_t0));
+      metrics_.GetGauge("serve.recover.replayed_records")
+          .Set(static_cast<int64_t>(recovery_.replayed_records));
+    }
     // End every open at a clean generation boundary, then sweep files whose
     // generation the committed manifest no longer lists (leftovers of
     // interrupted checkpoints).
@@ -277,6 +348,7 @@ void ShardedRlcService::Checkpoint() {
   if (dir.empty()) {
     throw std::logic_error("ShardedRlcService::Checkpoint: durability is off");
   }
+  obs::ScopedSpan span(h_.checkpoint_ns, "serve.checkpoint");
   const uint64_t next = std::max(generation_, max_gen_seen_) + 1;
   const std::string gdir = GenDir(next);
   std::error_code ec;
@@ -348,8 +420,8 @@ const ShardedRlcService::SeqEntry& ShardedRlcService::Resolve(
   // serving process without limit; a flush only costs re-resolution.
   // Execute pre-flushes instead (it holds entry pointers across inserts).
   if (seq_cache_.size() >= kMaxCachedSequences) {
-    ++stats_.seq_cache_flushes;
-    stats_.seq_cache_evictions += seq_cache_.size();
+    c_.seq_cache_flushes.Inc();
+    c_.seq_cache_evictions.Add(seq_cache_.size());
     seq_cache_.clear();
   }
   RlcIndex::ValidateConstraint(seq, options_.indexer.k);
@@ -374,15 +446,17 @@ bool ShardedRlcService::CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
                                     const SeqEntry& entry, uint32_t ss,
                                     uint32_t st) {
   if (RefutedByBoundary(ss, st, seq)) {
-    ++stats_.cross_refuted;
+    c_.cross_refuted.Inc();
     return false;
   }
-  ++stats_.fallback_probes;
+  c_.fallback_probes.Inc();
+  shard_fallback_[ss]->Inc();
   if (global_dyn_ != nullptr) {
     // One whole-graph index probe on the pre-resolved MR; the index's own
     // signature prefilter refutes most negatives from two loads.
     return global_dyn_->index().QueryInterned(s, t, entry.global_mr);
   }
+  obs::ScopedSpan span(h_.fallback_probe_ns, "serve.fallback.bibfs");
   return online_->QueryBiBfs(s, t, *entry.compiled);
 }
 
@@ -391,25 +465,31 @@ bool ShardedRlcService::Query(VertexId s, VertexId t,
   RLC_REQUIRE(s < g_.num_vertices() && t < g_.num_vertices(),
               "ShardedRlcService::Query: vertex out of range");
   const SeqEntry& entry = Resolve(constraint);
-  ++stats_.queries;
+  c_.queries.Inc();
   const uint32_t ss = partition_.ShardOf(s);
   const uint32_t st = partition_.ShardOf(t);
   if (ss == st) {
     if (shard_dyn_[ss]->index().QueryInterned(partition_.LocalOf(s),
                                               partition_.LocalOf(t),
                                               entry.shard_mr[ss])) {
-      ++stats_.intra_true;
+      c_.intra_true.Inc();
       return true;
     }
-    ++stats_.intra_miss;
+    c_.intra_miss.Inc();
   }
   return CrossAnswer(s, t, constraint, entry, ss, st);
 }
 
 AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
+  // Per-stage instrumentation runs at batch/job granularity only (a clock
+  // read per probe would dwarf a 30ns refuted probe); disabled metrics
+  // cost one relaxed load here.
+  const bool metrics_on = obs::Enabled();
+  const uint64_t t_start = metrics_on ? obs::NowNanos() : 0;
+
   AnswerBatch out;
   out.answers.assign(batch.num_probes(), 0);
-  ++stats_.batches;
+  c_.batches.Inc();
 
   // Resolve (validate + intern-lookup) each distinct sequence once. The
   // entry pointers stay valid across the loop: references into the node-
@@ -420,8 +500,8 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
               "ShardedRlcService::Execute: batch has " << seqs.size()
                   << " distinct sequences (limit " << kMaxCachedSequences << ")");
   if (seq_cache_.size() + seqs.size() > kMaxCachedSequences) {
-    ++stats_.seq_cache_flushes;
-    stats_.seq_cache_evictions += seq_cache_.size();
+    c_.seq_cache_flushes.Inc();
+    c_.seq_cache_evictions.Add(seq_cache_.size());
     seq_cache_.clear();
   }
   std::vector<const SeqEntry*> entries;
@@ -457,7 +537,9 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
     if (inserted) groups.push_back({shard_plus_1, p.seq_id, {}});
     groups[it->second].probe_idx.push_back(i);
   }
-  stats_.queries += probes.size();
+  c_.queries.Add(probes.size());
+  const uint64_t t_resolved = metrics_on ? obs::NowNanos() : 0;
+  if (metrics_on) h_.resolve_ns.Record(t_resolved - t_start);
 
   // Pin one epoch per index for the whole batch: a background reseal may
   // finish mid-execution, and the snapshots keep every job of this batch on
@@ -493,17 +575,20 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
         jobs);
   }
   internal::RunKernelJobs(jobs, exec_pool_.get());
+  const uint64_t t_shard_done = metrics_on ? obs::NowNanos() : 0;
+  if (metrics_on) internal::MergeJobStats(jobs, &h_.shard_kernel_ns);
 
   // Sequential routing pass over the shard answers.
   std::vector<std::vector<uint32_t>> pending(seqs.size());
   auto route_cross = [&](uint32_t probe_i) {
     const BatchProbe& p = probes[probe_i];
-    if (RefutedByBoundary(partition_.ShardOf(p.s), partition_.ShardOf(p.t),
-                          seqs[p.seq_id])) {
-      ++stats_.cross_refuted;
+    const uint32_t ss = partition_.ShardOf(p.s);
+    if (RefutedByBoundary(ss, partition_.ShardOf(p.t), seqs[p.seq_id])) {
+      c_.cross_refuted.Inc();
       ++out.num_refuted;
     } else {
       pending[p.seq_id].push_back(probe_i);
+      shard_fallback_[ss]->Inc();
     }
   };
   for (size_t gi = 0; gi < groups.size(); ++gi) {
@@ -515,15 +600,15 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
     if (first_job[gi] == SIZE_MAX) {
       // The shard never recorded this MR: every probe is a shard miss
       // (matching ExecuteBatch, such groups do not count as executed).
-      for (const uint32_t i : group.probe_idx) {
-        ++stats_.intra_miss;
-        route_cross(i);
-      }
+      c_.intra_miss.Add(group.probe_idx.size());
+      for (const uint32_t i : group.probe_idx) route_cross(i);
       continue;
     }
     ++out.num_groups;
     size_t job = first_job[gi];
     size_t k = 0;
+    uint64_t group_true = 0;
+    uint64_t group_miss = 0;
     for (const uint32_t i : group.probe_idx) {
       if (k == jobs[job].answers.size()) {
         ++job;
@@ -531,13 +616,16 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
       }
       if (jobs[job].answers[k++]) {
         out.answers[i] = 1;
-        ++stats_.intra_true;
+        ++group_true;
       } else {
-        ++stats_.intra_miss;
+        ++group_miss;
         route_cross(i);
       }
     }
+    c_.intra_true.Add(group_true);
+    c_.intra_miss.Add(group_miss);
   }
+  if (metrics_on) h_.route_ns.Record(obs::NowNanos() - t_shard_done);
 
   // Phase 2: fallback. With the hybrid fallback the pending probes run as
   // grouped CSR probes on the whole-graph index (same answers as the
@@ -554,7 +642,7 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
     for (uint32_t seq_id = 0; seq_id < pending.size(); ++seq_id) {
       const std::vector<uint32_t>& bucket = pending[seq_id];
       if (bucket.empty()) continue;
-      stats_.fallback_probes += bucket.size();
+      c_.fallback_probes.Add(bucket.size());
       out.num_fallback += bucket.size();
       ++out.num_groups;
       bucket_refs.push_back({seq_id, fallback_jobs.size()});
@@ -569,6 +657,9 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
           fallback_jobs);
     }
     internal::RunKernelJobs(fallback_jobs, exec_pool_.get());
+    if (metrics_on) {
+      internal::MergeJobStats(fallback_jobs, &h_.fallback_kernel_ns);
+    }
     for (const BucketRef& ref : bucket_refs) {
       const std::vector<uint32_t>& bucket = pending[ref.seq_id];
       size_t pos = 0;
@@ -582,9 +673,10 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
     for (uint32_t seq_id = 0; seq_id < pending.size(); ++seq_id) {
       const std::vector<uint32_t>& bucket = pending[seq_id];
       if (bucket.empty()) continue;
-      stats_.fallback_probes += bucket.size();
+      c_.fallback_probes.Add(bucket.size());
       out.num_fallback += bucket.size();
       for (const uint32_t i : bucket) {
+        obs::ScopedSpan span(h_.fallback_probe_ns, "serve.fallback.bibfs");
         out.answers[i] = online_->QueryBiBfs(probes[i].s, probes[i].t,
                                              *entries[seq_id]->compiled)
                              ? 1
@@ -592,7 +684,8 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
       }
     }
   }
-  stats_.batch_groups += out.num_groups;
+  c_.batch_groups.Add(out.num_groups);
+  if (metrics_on) h_.execute_ns.Record(obs::NowNanos() - t_start);
   return out;
 }
 
@@ -604,6 +697,7 @@ bool ShardedRlcService::EdgePresent(VertexId src, Label label,
 }
 
 size_t ShardedRlcService::ApplyUpdates(std::span<const EdgeUpdate> updates) {
+  obs::ScopedSpan span(h_.apply_updates_ns, "serve.apply_updates");
   ValidateUpdates(updates);
   if (updates.empty()) return 0;
   if (wal_.is_open()) {
@@ -642,7 +736,7 @@ size_t ShardedRlcService::ApplyUpdatesInternal(
   for (const EdgeUpdate& e : updates) {
     const bool is_insert = e.op == EdgeOp::kInsert;
     if (is_insert == EdgePresent(e.src, e.label, e.dst)) {
-      ++stats_.updates_duplicate;
+      c_.updates_duplicate.Inc();
       continue;
     }
     const uint32_t ss = partition_.ShardOf(e.src);
@@ -653,7 +747,7 @@ size_t ShardedRlcService::ApplyUpdatesInternal(
                                    partition_.LocalOf(e.dst));
       } else {
         partition_.AddCrossEdge(e.src, e.label, e.dst);
-        ++stats_.updates_cross;
+        c_.updates_cross.Inc();
       }
       if (!deleted_base_.erase({e.src, e.label, e.dst})) {
         // A genuinely new edge (not a restored base edge) joins the
@@ -667,7 +761,7 @@ size_t ShardedRlcService::ApplyUpdatesInternal(
                                    partition_.LocalOf(e.dst));
       } else {
         partition_.RemoveCrossEdge(e.src, e.label, e.dst);
-        ++stats_.updates_cross;
+        c_.updates_cross.Inc();
       }
       if (applied_set_.erase({e.src, e.label, e.dst})) {
         // Deleting an earlier overlay insert: drop it from the rebuild
@@ -680,7 +774,7 @@ size_t ShardedRlcService::ApplyUpdatesInternal(
       } else {
         deleted_base_.insert({e.src, e.label, e.dst});
       }
-      ++stats_.updates_deleted;
+      c_.updates_deleted.Inc();
     }
     // The fallback must answer on the mutated graph, so the whole-graph
     // index learns every applied mutation, intra-shard ones included.
@@ -692,14 +786,14 @@ size_t ShardedRlcService::ApplyUpdatesInternal(
       }
     }
     ++applied;
-    ++stats_.updates_applied;
+    c_.updates_applied.Inc();
   }
   if (applied > 0) {
     // Memoized SeqEntries may hold kInvalidMrId for MRs the updates just
     // created; re-resolve lazily.
     if (!seq_cache_.empty()) {
-      ++stats_.seq_cache_flushes;
-      stats_.seq_cache_evictions += seq_cache_.size();
+      c_.seq_cache_flushes.Inc();
+      c_.seq_cache_evictions.Add(seq_cache_.size());
       seq_cache_.clear();
     }
     if (online_ != nullptr) RebuildPatchedGraph();

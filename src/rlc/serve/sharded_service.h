@@ -50,6 +50,7 @@
 
 #include "rlc/baselines/online_search.h"
 #include "rlc/core/durable_index.h"
+#include "rlc/obs/metrics.h"
 #include "rlc/core/dynamic_index.h"
 #include "rlc/core/indexer.h"
 #include "rlc/core/rlc_index.h"
@@ -100,7 +101,11 @@ struct ServiceOptions {
   DurabilityOptions durability;
 };
 
-/// Cumulative query-routing and build telemetry.
+/// Cumulative query-routing and build telemetry — a point-in-time
+/// materialization of the service's metrics registry (stats() reads the
+/// atomic counters; the struct itself holds plain values). Exact once the
+/// service is quiescent; kernel jobs running on the execution pool update
+/// the underlying counters atomically.
 struct ServiceStats {
   uint64_t queries = 0;          ///< probes answered (scalar + batched)
   uint64_t intra_true = 0;       ///< answered true by a shard index alone
@@ -180,7 +185,19 @@ class ShardedRlcService {
   }
   /// The dynamic whole-graph fallback index; null in kOnline mode.
   const DynamicRlcIndex* global_dynamic() const { return global_dyn_.get(); }
-  const ServiceStats& stats() const { return stats_; }
+  /// Materializes the routing/build counters (thin shim over the metrics
+  /// registry; see ServiceStats).
+  ServiceStats stats() const;
+
+  /// The per-instance metrics registry: every ServiceStats counter under
+  /// "serve.*", per-shard fallback counters ("serve.fallback.shard.<i>"),
+  /// and the per-stage latency histograms ("serve.stage.*_ns", recorded
+  /// only while obs::Enabled()). Snapshot() it for percentiles/export.
+  const obs::Registry& metrics() const { return metrics_; }
+
+  /// Fallback probes attributed to each source shard — the per-shard
+  /// fallback share of the routing pathology BENCH_serving tracks.
+  std::vector<uint64_t> ShardFallbackCounts() const;
 
   /// Heap footprint: partition + shard indexes + fallback structures.
   uint64_t MemoryBytes() const;
@@ -272,7 +289,43 @@ class ShardedRlcService {
   // service's single-caller contract is unchanged.
   std::unique_ptr<ThreadPool> exec_pool_;
   std::unordered_map<LabelSeq, SeqEntry, LabelSeqHash> seq_cache_;
-  ServiceStats stats_;
+
+  // Per-instance metrics. The registry owns every metric; the structs
+  // below cache the references once so query/update paths never touch the
+  // registry mutex. Counters are the source of truth behind stats().
+  struct ServiceCounters {
+    explicit ServiceCounters(obs::Registry& reg);
+    obs::Counter& queries;
+    obs::Counter& intra_true;
+    obs::Counter& intra_miss;
+    obs::Counter& cross_refuted;
+    obs::Counter& fallback_probes;
+    obs::Counter& batches;
+    obs::Counter& batch_groups;
+    obs::Counter& seq_cache_flushes;
+    obs::Counter& seq_cache_evictions;
+    obs::Counter& updates_applied;
+    obs::Counter& updates_deleted;
+    obs::Counter& updates_duplicate;
+    obs::Counter& updates_cross;
+  };
+  struct StageHistograms {
+    explicit StageHistograms(obs::Registry& reg);
+    obs::Histogram& execute_ns;        ///< whole Execute() call
+    obs::Histogram& resolve_ns;        ///< constraint resolution + grouping
+    obs::Histogram& shard_kernel_ns;   ///< per shard-phase kernel job
+    obs::Histogram& route_ns;          ///< sequential routing pass
+    obs::Histogram& fallback_kernel_ns;  ///< per fallback-phase kernel job
+    obs::Histogram& fallback_probe_ns;   ///< per online-BiBFS fallback probe
+    obs::Histogram& apply_updates_ns;
+    obs::Histogram& checkpoint_ns;
+  };
+  obs::Registry metrics_;
+  ServiceCounters c_{metrics_};
+  StageHistograms h_{metrics_};
+  std::vector<obs::Counter*> shard_fallback_;  ///< serve.fallback.shard.<i>
+  double partition_seconds_ = 0.0;
+  double index_build_seconds_ = 0.0;
   // Durability state (durable mode only; wal_ stays closed otherwise).
   WalWriter wal_;
   DurabilityManifest manifest_;

@@ -47,6 +47,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "rlc/obs/metrics.h"
+
 namespace rlc {
 
 /// Exit status of a `crash` failpoint; waitpid-visible so the fork harness
@@ -185,7 +187,14 @@ class Failpoints {
 
 /// Evaluates failpoint `name` and acts on it: `crash` exits the process
 /// immediately (simulated power loss), `error` / `short_write` throw.
+/// Each evaluation also bumps the metrics counter "failpoint.<name>", so a
+/// metrics dump shows which persist-path sites a run exercised (the
+/// registry lookup is a mutex + map probe — noise next to the fsync every
+/// armed site sits beside, and never on the query path).
 inline void FailpointHit(const std::string& name) {
+  if (obs::Enabled()) {
+    obs::Registry::Global().GetCounter("failpoint." + name).Inc();
+  }
   switch (Failpoints::Instance().Hit(name)) {
     case FailpointAction::kOff:
       return;

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "rlc/obs/metrics.h"
 #include "rlc/util/common.h"
 
 namespace rlc {
@@ -55,6 +56,11 @@ class ThreadPool {
   /// Runs fn(worker_index) on every worker and blocks until all return.
   /// fn must not throw (the library's invariant failures abort instead).
   void Run(const std::function<void(uint32_t)>& fn) {
+    const bool metrics_on = obs::Enabled();
+    if (metrics_on) {
+      BusyGauge().Add(static_cast<int64_t>(size()));
+      RunsCounter().Inc();
+    }
     std::unique_lock<std::mutex> lock(mu_);
     job_ = &fn;
     remaining_ = size();
@@ -62,6 +68,7 @@ class ThreadPool {
     wake_.notify_all();
     done_.wait(lock, [this] { return remaining_ == 0; });
     job_ = nullptr;
+    if (metrics_on) BusyGauge().Sub(static_cast<int64_t>(size()));
   }
 
   /// Resolves a thread-count option: 0 means "all hardware threads".
@@ -72,6 +79,17 @@ class ThreadPool {
   }
 
  private:
+  // Process-wide (all pools aggregate): "are the workers saturated" is a
+  // host-level question. Cached refs keep the registry lock off Run().
+  static obs::Gauge& BusyGauge() {
+    static obs::Gauge& g = obs::Registry::Global().GetGauge("pool.busy_workers");
+    return g;
+  }
+  static obs::Counter& RunsCounter() {
+    static obs::Counter& c = obs::Registry::Global().GetCounter("pool.runs");
+    return c;
+  }
+
   void WorkerLoop(uint32_t index) {
     uint64_t seen_generation = 0;
     for (;;) {

@@ -1,0 +1,345 @@
+// Tests for the obs/ metrics subsystem: bucket geometry, percentile
+// accuracy against a sorted-sample oracle, conservation of counts under
+// concurrent recording + snapshotting, registry naming rules, snapshot
+// determinism, exporters, the runtime kill switch, and the span ring.
+//
+// The concurrency tests double as the TSan surface for the primitives: the
+// CI TSan job runs this binary, so any non-atomic access in Counter /
+// Gauge / Histogram / SpanRing shows up as a data-race report there.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rlc/obs/metrics.h"
+#include "rlc/obs/trace.h"
+#include "rlc/util/rng.h"
+
+namespace rlc::obs {
+namespace {
+
+// ---- bucket geometry ----
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  for (uint64_t v = 0; v < Histogram::kSub; ++v) {
+    EXPECT_EQ(Histogram::BucketOf(v), v);
+    EXPECT_EQ(Histogram::BucketLower(static_cast<uint32_t>(v)), v);
+    EXPECT_EQ(Histogram::BucketUpper(static_cast<uint32_t>(v)), v);
+  }
+}
+
+TEST(HistogramBuckets, LowerUpperBracketEveryBucket) {
+  for (uint32_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    const uint64_t lo = Histogram::BucketLower(b);
+    const uint64_t hi = Histogram::BucketUpper(b);
+    ASSERT_LE(lo, hi);
+    EXPECT_EQ(Histogram::BucketOf(lo), b) << "bucket " << b;
+    EXPECT_EQ(Histogram::BucketOf(hi), b) << "bucket " << b;
+    if (b + 1 < Histogram::kNumBuckets) {
+      EXPECT_EQ(hi + 1, Histogram::BucketLower(b + 1)) << "gap after " << b;
+    }
+  }
+}
+
+TEST(HistogramBuckets, MonotoneAndClamped) {
+  uint32_t prev = 0;
+  for (uint64_t v = 0; v < 1u << 16; ++v) {
+    const uint32_t b = Histogram::BucketOf(v);
+    ASSERT_GE(b, prev);
+    ASSERT_LT(b, Histogram::kNumBuckets);
+    prev = b;
+  }
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramBuckets, RelativeWidthIsBounded) {
+  // Above the exact range every bucket spans <= 12.5% of its lower bound.
+  for (uint32_t b = Histogram::kSub; b < Histogram::kNumBuckets; ++b) {
+    const double lo = static_cast<double>(Histogram::BucketLower(b));
+    const double hi = static_cast<double>(Histogram::BucketUpper(b));
+    EXPECT_LE((hi - lo) / lo, 0.125 + 1e-9) << "bucket " << b;
+  }
+}
+
+// ---- single-threaded recording / snapshot ----
+
+TEST(Histogram, CountsSumMaxExact) {
+  Histogram h;
+  uint64_t sum = 0;
+  const std::vector<uint64_t> values = {0, 1, 7, 8, 100, 1000, 123456, 1u << 30};
+  for (const uint64_t v : values) {
+    h.Record(v);
+    sum += v;
+  }
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, values.size());
+  EXPECT_EQ(s.sum, sum);
+  EXPECT_EQ(s.max, uint64_t{1} << 30);
+  uint64_t bucket_total = 0;
+  for (const uint64_t c : s.buckets) bucket_total += c;
+  EXPECT_EQ(bucket_total, values.size());
+
+  h.Reset();
+  const HistogramSnapshot z = h.Snapshot();
+  EXPECT_EQ(z.count, 0u);
+  EXPECT_EQ(z.sum, 0u);
+  EXPECT_EQ(z.max, 0u);
+}
+
+TEST(Histogram, PercentileMatchesSortedOracleWithinOneBucket) {
+  // Log-uniform latencies: the regime the bucket scheme is designed for.
+  Histogram h;
+  Rng rng(42);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20'000; ++i) {
+    const double exp = 4.0 + rng.NextDouble() * 26.0;  // 2^4 .. 2^30
+    values.push_back(static_cast<uint64_t>(std::pow(2.0, exp)));
+    h.Record(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  const HistogramSnapshot s = h.Snapshot();
+  for (const double q : {0.50, 0.90, 0.95, 0.99}) {
+    const uint64_t oracle =
+        values[static_cast<size_t>(std::ceil(q * double(values.size()))) - 1];
+    const uint64_t est = s.Percentile(q);
+    // The estimate must land inside the oracle's bucket (midpoint answer),
+    // i.e. within one bucket width ~ 12.5% relative error.
+    const uint32_t oracle_bucket = Histogram::BucketOf(oracle);
+    EXPECT_GE(est, Histogram::BucketLower(oracle_bucket)) << "q=" << q;
+    EXPECT_LE(est, Histogram::BucketUpper(oracle_bucket)) << "q=" << q;
+    const double rel =
+        std::abs(double(est) - double(oracle)) / double(oracle);
+    EXPECT_LE(rel, 0.125 + 1e-9) << "q=" << q;
+  }
+  // p100 answers from the max's bucket, never past the tracked max.
+  const uint32_t max_bucket = Histogram::BucketOf(values.back());
+  EXPECT_GE(s.Percentile(1.0), Histogram::BucketLower(max_bucket));
+  EXPECT_LE(s.Percentile(1.0), values.back());
+}
+
+TEST(Histogram, PercentileEmptyAndSingle) {
+  Histogram h;
+  EXPECT_EQ(h.Snapshot().Percentile(0.5), 0u);
+  h.Record(1000);
+  const HistogramSnapshot s = h.Snapshot();
+  // One sample: every quantile answers from 1000's bucket [960, 1023],
+  // clamped to the tracked max.
+  EXPECT_GE(s.Percentile(0.5), 960u);
+  EXPECT_LE(s.Percentile(0.5), 1000u);
+}
+
+// ---- concurrency: conservation under hammering ----
+
+TEST(Histogram, ConcurrentRecordersConserveTotals) {
+  Histogram h;
+  Counter recorded;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> workers;
+  std::atomic<bool> stop{false};
+
+  // Snapshotters race the recorders; their snapshots must never see a
+  // bucket total larger than what has been recorded, and must render
+  // without crashing. (Exactness is only promised at quiescence.)
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const HistogramSnapshot s = h.Snapshot();
+      uint64_t bucket_total = 0;
+      for (const uint64_t c : s.buckets) bucket_total += c;
+      EXPECT_LE(bucket_total, uint64_t{kThreads} * kPerThread);
+    }
+  });
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(rng.Below(1u << 20));
+        recorded.Inc();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(recorded.Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(s.count, uint64_t{kThreads} * kPerThread);
+  uint64_t bucket_total = 0;
+  for (const uint64_t c : s.buckets) bucket_total += c;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(Counter, ConcurrentAddsAreExact) {
+  Counter c;
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Inc();
+        g.Add(2);
+        g.Sub(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(g.Value(), int64_t{kThreads} * kPerThread);
+}
+
+// ---- registry ----
+
+TEST(Registry, NameCollisionAcrossKindsThrows) {
+  Registry reg;
+  reg.GetCounter("x");
+  EXPECT_THROW(reg.GetGauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.GetHistogram("x"), std::invalid_argument);
+  reg.GetHistogram("h");
+  EXPECT_THROW(reg.GetCounter("h"), std::invalid_argument);
+  // Same kind re-interns to the same object.
+  EXPECT_EQ(&reg.GetCounter("x"), &reg.GetCounter("x"));
+}
+
+TEST(Registry, SnapshotIsSortedAndDeterministic) {
+  Registry reg;
+  reg.GetCounter("z.last").Add(3);
+  reg.GetCounter("a.first").Add(1);
+  reg.GetGauge("m.middle").Set(-7);
+  reg.GetHistogram("lat").Record(100);
+
+  const MetricsSnapshot s1 = reg.Snapshot();
+  const MetricsSnapshot s2 = reg.Snapshot();
+  ASSERT_EQ(s1.counters.size(), 2u);
+  EXPECT_EQ(s1.counters[0].name, "a.first");
+  EXPECT_EQ(s1.counters[1].name, "z.last");
+  EXPECT_EQ(s1.ToJson(), s2.ToJson());
+  EXPECT_EQ(s1.ToPrometheusText(), s2.ToPrometheusText());
+
+  EXPECT_EQ(s1.FindCounter("a.first")->value, 1u);
+  EXPECT_EQ(s1.FindGauge("m.middle")->value, -7);
+  EXPECT_EQ(s1.FindHistogram("lat")->count, 1u);
+  EXPECT_EQ(s1.FindCounter("nope"), nullptr);
+
+  reg.ResetValues();
+  const MetricsSnapshot z = reg.Snapshot();
+  EXPECT_EQ(z.FindCounter("z.last")->value, 0u);  // name survives the reset
+  EXPECT_EQ(z.FindHistogram("lat")->count, 0u);
+}
+
+TEST(Registry, ExportersRenderRegisteredMetrics) {
+  Registry reg;
+  reg.GetCounter("c.one").Add(5);
+  reg.GetGauge("g.depth").Set(3);
+  reg.GetHistogram("h.lat_ns").Record(1234);
+  const MetricsSnapshot s = reg.Snapshot();
+
+  const std::string json = s.ToJson();
+  EXPECT_NE(json.find("\"c.one\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g.depth\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h.lat_ns\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+
+  const std::string prom = s.ToPrometheusText();
+  EXPECT_NE(prom.find("rlc_c_one 5"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("rlc_g_depth 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("rlc_h_lat_ns_count 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos) << prom;
+}
+
+TEST(Registry, GlobalIsStable) {
+  Registry& a = Registry::Global();
+  Registry& b = Registry::Global();
+  EXPECT_EQ(&a, &b);
+  Counter& c = a.GetCounter("obs_test.global_probe");
+  c.Inc();
+  EXPECT_GE(b.Snapshot().FindCounter("obs_test.global_probe")->value, 1u);
+}
+
+// ---- kill switch ----
+
+TEST(KillSwitch, PrimitivesAlwaysCount) {
+  // The runtime switch gates instrumentation *sites*, not the primitives:
+  // functional accounting (ServiceStats) must stay exact with metrics off.
+  const bool was = Enabled();
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  Counter c;
+  c.Inc();
+  EXPECT_EQ(c.Value(), 1u);
+  Histogram h;
+  h.Record(10);
+  EXPECT_EQ(h.Snapshot().count, 1u);
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled() == kMetricsCompiledIn);
+  SetEnabled(was);
+}
+
+TEST(KillSwitch, ScopedSpanDisarmedWhenDisabled) {
+  const bool was = Enabled();
+  Histogram h;
+  SetEnabled(false);
+  {
+    ScopedSpan span(h, "off");
+  }
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  SetEnabled(true);
+  {
+    ScopedSpan span(h, "on");
+  }
+  EXPECT_EQ(h.Snapshot().count, kMetricsCompiledIn ? 1u : 0u);
+  SetEnabled(was);
+}
+
+// ---- span ring ----
+
+TEST(SpanRing, RecordsAndFormats) {
+  SpanRing& ring = SpanRing::Global();
+  const uint64_t before = ring.total_recorded();
+  ring.Record("obs_test.span", 123, 456);
+  EXPECT_EQ(ring.total_recorded(), before + 1);
+  const std::vector<SpanEvent> recent = ring.Recent(8);
+  ASSERT_FALSE(recent.empty());
+  bool found = false;
+  for (const SpanEvent& e : recent) {
+    found = found || std::string(e.name) == "obs_test.span";
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(DumpRecentSpans(8).find("obs_test.span"), std::string::npos);
+}
+
+TEST(SpanRing, ConcurrentRecordersKeepTotal) {
+  SpanRing& ring = SpanRing::Global();
+  const uint64_t before = ring.total_recorded();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> workers;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Torn events are acceptable; reading must just be race-free.
+      (void)ring.Recent(64);
+    }
+  });
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ring.Record("obs_test.hammer", static_cast<uint64_t>(i), 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(ring.total_recorded(), before + uint64_t{kThreads} * kPerThread);
+}
+
+}  // namespace
+}  // namespace rlc::obs
