@@ -26,11 +26,14 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench_common.h"
 #include "rlc/core/indexer.h"
 #include "rlc/graph/generators.h"
 #include "rlc/graph/label_assign.h"
 #include "rlc/serve/sharded_service.h"
+#include "rlc/util/failpoint.h"
 #include "rlc/util/rng.h"
 #include "rlc/util/timer.h"
 
@@ -210,6 +213,75 @@ int main(int argc, char** argv) {
   ServiceStats batched_stats = stats_delta(before, service.stats(), iters);
   report("batched_service", shards, secs, batch_answers.answers,
          &batched_stats);
+
+  // --- resilience: shedding, deadlines, breaker trip + reclose ---
+  // A dedicated small instance (its own metrics registry) so the throughput
+  // telemetry above stays clean. The point is nonzero serve.shed /
+  // serve.deadline_exceeded / serve.breaker.* records in the JSON: the
+  // schema the degradation-ladder dashboards consume has to come from a
+  // real overloaded/faulted run, not a hand-written fixture.
+  {
+    ServiceOptions ropts;
+    ropts.partition.num_shards = shards;
+    ropts.indexer.k = 2;
+    ropts.max_batch_probes = 64;  // tiny admission high-water mark
+    ropts.breaker.failure_threshold = 1;
+    ropts.breaker.initial_backoff_ns = 1'000'000;  // recloses within the run
+    ropts.breaker.max_backoff_ns = 8'000'000;
+    ShardedRlcService resilience(g, ropts);
+
+    // Shed: the full workload batch is far over the 64-probe mark.
+    ExecuteLimits shed_limits;
+    shed_limits.shed_as_status = true;
+    const AnswerBatch shedded = resilience.Execute(batch, shed_limits);
+
+    QueryBatch small;  // under the mark, for the fault phases
+    for (size_t i = 0; i < 48 && i < log.size(); ++i) {
+      small.Add(log[i].s, log[i].t, log[i].constraint);
+    }
+    ExecuteLimits expired;  // already-expired budget: every probe marked
+    expired.batch_budget_ns = 1;
+    resilience.Execute(small, expired);
+
+    // One erroring pass trips every touched shard breaker
+    // (failure_threshold=1, answers stay exact via the fallback detour);
+    // clean traffic after the backoff recloses them.
+    Failpoints::Instance().Parse("serve.shard.execute=error@p1");
+    const AnswerBatch degraded = resilience.Execute(small);
+    Failpoints::Instance().Clear();
+    ::usleep(10'000);  // > initial_backoff + jitter
+    const AnswerBatch healed = resilience.Execute(small);
+
+    const ServiceStats rs = resilience.stats();
+    bool resilient = shedded.num_shedded == batch.num_probes() &&
+                     rs.shed > 0 && rs.deadline_exceeded > 0 &&
+                     rs.breaker_opened > 0 && rs.breaker_reclosed > 0;
+    for (size_t i = 0; i < small.num_probes(); ++i) {
+      resilient = resilient && healed.answers[i] == reference[i] &&
+                  (degraded.statuses[i] != ProbeStatus::kOk ||
+                   degraded.answers[i] == reference[i]);
+    }
+    std::printf(
+        "resilience: shed %llu, deadline_exceeded %llu, breaker opened "
+        "%llu/reclosed %llu, degraded-exact %llu, recovery %s\n",
+        static_cast<unsigned long long>(rs.shed),
+        static_cast<unsigned long long>(rs.deadline_exceeded),
+        static_cast<unsigned long long>(rs.breaker_opened),
+        static_cast<unsigned long long>(rs.breaker_reclosed),
+        static_cast<unsigned long long>(rs.breaker_degraded),
+        resilient ? "ok" : "FAILED");
+    json.AddRecord()
+        .Set("record", "resilience")
+        .Set("shards", shards)
+        .Set("shed", rs.shed)
+        .Set("deadline_exceeded", rs.deadline_exceeded)
+        .Set("breaker_opened", rs.breaker_opened)
+        .Set("breaker_reclosed", rs.breaker_reclosed)
+        .Set("breaker_degraded", rs.breaker_degraded)
+        .Set("recovered", resilient);
+    json.AppendMetrics(resilience.metrics().Snapshot(), "resilience");
+    all_agree = all_agree && resilient;
+  }
 
   // --- per-shard fallback attribution + per-stage latency percentiles ---
   // The routing pathology this harness watches for is "one shard's boundary

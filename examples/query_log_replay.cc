@@ -19,9 +19,11 @@
 //
 //   $ ./examples/query_log_replay [num_vertices] [num_queries]
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <vector>
 
 #include "rlc/baselines/online_search.h"
@@ -46,11 +48,34 @@ struct LogEntry {
   int shape;  // 0..3 ~ Q1..Q4
 };
 
+// Positional numeric args, checked: garbage must be a usage error, not a
+// zero-vertex graph three stack frames later.
+bool ParsePositional(const char* name, const char* v, uint32_t min,
+                     uint32_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long val = std::strtoull(v, &end, 10);
+  if (*v == '\0' || end == v || *end != '\0' || errno == ERANGE ||
+      val > std::numeric_limits<uint32_t>::max() || val < min) {
+    std::fprintf(stderr,
+                 "query_log_replay: %s: invalid value '%s' (expected an "
+                 "integer >= %u)\n",
+                 name, v, min);
+    return false;
+  }
+  *out = static_cast<uint32_t>(val);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 20'000;
-  const int num_queries = argc > 2 ? std::atoi(argv[2]) : 4'000;
+  uint32_t n = 20'000;
+  uint32_t num_queries = 4'000;
+  if (argc > 1 && !ParsePositional("num_vertices", argv[1], 2, &n)) return 2;
+  if (argc > 2 && !ParsePositional("num_queries", argv[2], 1, &num_queries)) {
+    return 2;
+  }
   const Label num_labels = 8;
 
   Rng rng(99);
@@ -126,7 +151,7 @@ int main(int argc, char** argv) {
     }
     const double indexed_s = timer.ElapsedSeconds();
     std::printf(
-        "%-22s: %8.1f ms for %d queries (%.2f us/query), agreement %zu/%zu\n",
+        "%-22s: %8.1f ms for %u queries (%.2f us/query), agreement %zu/%zu\n",
         use_filter ? "index + 2-hop filter" : "RLC index", indexed_s * 1e3,
         num_queries, indexed_s * 1e6 / num_queries, agree, log.size());
     if (agree != log.size()) return 1;

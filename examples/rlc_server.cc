@@ -29,9 +29,11 @@
 // are dumped; RLC_METRICS=off silences the instrumentation sites.
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -69,6 +71,35 @@ struct Args {
   std::string metrics_json;
 };
 
+// Checked numeric flag parsing: `--shards lots` or a negative count must
+// be a usage error, not a silently-zero config (atoi would hand back 0 and
+// the service would then fail far from the typo).
+bool ParseU64(const char* flag, const char* v, uint64_t max, uint64_t* out) {
+  if (v == nullptr || *v == '\0') {
+    std::fprintf(stderr, "%s: missing numeric value\n", flag);
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long val = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || val > max) {
+    std::fprintf(stderr, "%s: invalid number '%s' (expected 0..%llu)\n", flag,
+                 v, static_cast<unsigned long long>(max));
+    return false;
+  }
+  *out = val;
+  return true;
+}
+
+bool ParseU32(const char* flag, const char* v, uint32_t* out) {
+  uint64_t wide = 0;
+  if (!ParseU64(flag, v, std::numeric_limits<uint32_t>::max(), &wide)) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(wide);
+  return true;
+}
+
 bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -80,22 +111,23 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--er") {
       const char* n = next();
       const char* m = next();
-      if (n == nullptr || m == nullptr) return false;
-      args->er_n = static_cast<VertexId>(std::strtoul(n, nullptr, 10));
-      args->er_m = std::strtoull(m, nullptr, 10);
+      uint32_t er_n = 0;
+      if (!ParseU32("--er N", n, &er_n) ||
+          !ParseU64("--er M", m, std::numeric_limits<uint64_t>::max(),
+                    &args->er_m)) {
+        return false;
+      }
+      args->er_n = er_n;
     } else if (flag == "--labels") {
-      if (const char* v = next()) args->labels = static_cast<Label>(std::atoi(v));
-      else return false;
+      if (!ParseU32("--labels", next(), &args->labels)) return false;
     } else if (flag == "--log") {
       if (const char* v = next()) args->log_file = v; else return false;
     } else if (flag == "--queries") {
-      if (const char* v = next()) args->queries = static_cast<uint32_t>(std::atoi(v));
-      else return false;
+      if (!ParseU32("--queries", next(), &args->queries)) return false;
     } else if (flag == "--save-log") {
       if (const char* v = next()) args->save_log = v; else return false;
     } else if (flag == "--shards") {
-      if (const char* v = next()) args->shards = static_cast<uint32_t>(std::atoi(v));
-      else return false;
+      if (!ParseU32("--shards", next(), &args->shards)) return false;
     } else if (flag == "--policy") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -103,8 +135,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       else if (std::strcmp(v, "range") == 0) args->policy = PartitionPolicy::kRange;
       else return false;
     } else if (flag == "--k") {
-      if (const char* v = next()) args->k = static_cast<uint32_t>(std::atoi(v));
-      else return false;
+      if (!ParseU32("--k", next(), &args->k)) return false;
     } else if (flag == "--fallback") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -112,14 +143,13 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       else if (std::strcmp(v, "online") == 0) args->fallback = FallbackMode::kOnline;
       else return false;
     } else if (flag == "--batch") {
-      if (const char* v = next()) args->batch = static_cast<uint32_t>(std::atoi(v));
-      else return false;
+      if (!ParseU32("--batch", next(), &args->batch)) return false;
     } else if (flag == "--threads") {
-      if (const char* v = next()) args->threads = static_cast<uint32_t>(std::atoi(v));
-      else return false;
+      if (!ParseU32("--threads", next(), &args->threads)) return false;
     } else if (flag == "--metrics-every") {
-      if (const char* v = next()) args->metrics_every = static_cast<uint32_t>(std::atoi(v));
-      else return false;
+      if (!ParseU32("--metrics-every", next(), &args->metrics_every)) {
+        return false;
+      }
     } else if (flag == "--metrics-json") {
       if (const char* v = next()) args->metrics_json = v; else return false;
     } else {
@@ -127,7 +157,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  return args->batch > 0;
+  if (args->batch == 0) {
+    std::fprintf(stderr, "--batch must be >= 1\n");
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -153,10 +187,17 @@ int main(int argc, char** argv) {
   std::printf("graph: |V|=%u |E|=%llu |L|=%u\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()), g.num_labels());
 
-  // Query log.
+  // Query log. A malformed log is a hard error: the loader pins the first
+  // bad line as path:line and the server refuses to start on it.
   std::vector<RlcQuery> log;
   if (!args.log_file.empty()) {
-    const Workload w = LoadWorkload(args.log_file);
+    Workload w;
+    try {
+      w = LoadWorkload(args.log_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rlc_server: bad query log: %s\n", e.what());
+      return 2;
+    }
     log = w.true_queries;
     log.insert(log.end(), w.false_queries.begin(), w.false_queries.end());
     std::printf("loaded %zu probes from %s\n", log.size(), args.log_file.c_str());

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the metrics records in a BENCH_*.json artifact.
 
-Usage: check_metrics_json.py BENCH_query_kernel.json
+Usage: check_metrics_json.py [--serving] BENCH_query_kernel.json
 
 Checks, in order:
   1. the file is a JSON array whose first record is build provenance,
@@ -12,9 +12,19 @@ Checks, in order:
   4. if a {"record": "metrics_overhead"} record is present, it carries
      ns_per_probe_metrics_on / ns_per_probe_metrics_off / overhead_ratio.
 
+With --serving (for BENCH_serving.json), additionally:
+  5. a nonzero serve.shed counter record is present (the resilience phase
+     actually exercised admission control),
+  6. at least one nonzero serve.breaker.* counter record is present,
+     including serve.breaker.opened AND serve.breaker.reclosed (a breaker
+     observably tripped and recovered),
+  7. a {"record": "resilience"} summary exists with "recovered": true.
+
 Exit status 0 on success; 1 with a one-line reason otherwise. The CI
-metrics smoke step runs this against BENCH_query_kernel.json so a refactor
-cannot silently stop exporting the registry into the bench artifacts.
+metrics smoke step runs this against BENCH_query_kernel.json (and, with
+--serving, BENCH_serving.json) so a refactor cannot silently stop
+exporting the registry — or the fault-handling counters — into the bench
+artifacts.
 """
 
 import json
@@ -26,10 +36,43 @@ def fail(reason: str) -> None:
     sys.exit(1)
 
 
+def check_serving(path: str, records: list) -> None:
+    """Fault-handling telemetry checks for BENCH_serving.json."""
+    counters = {}
+    for rec in records:
+        if rec.get("record") == "metric" and rec.get("type") == "counter":
+            counters[rec.get("metric")] = rec.get("value", 0)
+
+    if counters.get("serve.shed", 0) <= 0:
+        fail(f"{path}: no nonzero serve.shed counter "
+             "(resilience phase did not shed)")
+    breaker = {k: v for k, v in counters.items()
+               if k.startswith("serve.breaker.") and v > 0}
+    if not breaker:
+        fail(f"{path}: no nonzero serve.breaker.* counters")
+    for required in ("serve.breaker.opened", "serve.breaker.reclosed"):
+        if counters.get(required, 0) <= 0:
+            fail(f"{path}: {required} is zero — breaker never "
+                 "observably tripped and recovered")
+
+    summaries = [r for r in records if r.get("record") == "resilience"]
+    if not summaries:
+        fail(f"{path}: no resilience summary record")
+    for rec in summaries:
+        if rec.get("recovered") is not True:
+            fail(f"{path}: resilience summary reports recovered="
+                 f"{rec.get('recovered')!r}")
+    print(f"serving: shed={counters['serve.shed']}, "
+          + ", ".join(f"{k.removeprefix('serve.breaker.')}={v}"
+                      for k, v in sorted(breaker.items())))
+
+
 def main() -> None:
-    if len(sys.argv) != 2:
-        fail("usage: check_metrics_json.py <BENCH_*.json>")
-    path = sys.argv[1]
+    args = [a for a in sys.argv[1:] if a != "--serving"]
+    serving = "--serving" in sys.argv[1:]
+    if len(args) != 1:
+        fail("usage: check_metrics_json.py [--serving] <BENCH_*.json>")
+    path = args[0]
     try:
         with open(path) as f:
             records = json.load(f)
@@ -83,6 +126,9 @@ def main() -> None:
         print(f"metrics overhead: {(rec['overhead_ratio'] - 1) * 100:+.2f}% "
               f"({rec['ns_per_probe_metrics_off']:.1f} -> "
               f"{rec['ns_per_probe_metrics_on']:.1f} ns/probe)")
+
+    if serving:
+        check_serving(path, records)
 
     print(f"OK: {path} carries {histograms} histogram and {counters} counter "
           f"metric records"

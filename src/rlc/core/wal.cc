@@ -46,6 +46,31 @@ T LoadLe(const char* p) {
   return v;
 }
 
+// The WAL's own fsync, typed: the `wal.fsync` failpoint injects a sync
+// failure (error/short_write both read as "fsync returned -1" here), and a
+// real fsync failure throws WalSyncError so callers can tell "bytes
+// written, durability unknown" apart from a short write.
+void WalFsync(int fd) {
+  uint32_t delay_ms = 0;
+  switch (Failpoints::Instance().Hit(failpoints::kWalFsync, &delay_ms)) {
+    case FailpointAction::kOff:
+      break;
+    case FailpointAction::kCrash:
+      _exit(kFailpointCrashStatus);
+    case FailpointAction::kDelay:
+      if (delay_ms > 0) ::usleep(delay_ms * 1000u);
+      break;
+    case FailpointAction::kError:
+    case FailpointAction::kShortWrite:
+      throw WalSyncError(
+          "WalWriter::Append: injected fsync failure (failpoint wal.fsync)");
+  }
+  if (::fsync(fd) != 0) {
+    throw WalSyncError(std::string("WalWriter::Append: fsync failed: ") +
+                       std::strerror(errno));
+  }
+}
+
 }  // namespace
 
 WalWriter::~WalWriter() { Close(); }
@@ -114,12 +139,12 @@ void WalWriter::Append(uint64_t lsn, std::span<const EdgeUpdate> updates) {
     if (metrics_on) {
       WalMetrics& m = WalMetrics::Get();
       const uint64_t sync_t0 = obs::NowNanos();
-      FailpointSync(fd_, "WalWriter::Append fsync");
+      WalFsync(fd_);
       const uint64_t done = obs::NowNanos();
       m.fsync_ns.Record(done - sync_t0);
       obs::SpanRing::Global().Record("wal.fsync", sync_t0, done - sync_t0);
     } else {
-      FailpointSync(fd_, "WalWriter::Append fsync");
+      WalFsync(fd_);
     }
     FailpointHit(failpoints::kWalAppendAfterSync);
   } catch (...) {

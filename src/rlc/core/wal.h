@@ -19,20 +19,33 @@
 // ordered against the lost one, and replaying them would reorder the
 // history. Replay therefore always applies a prefix of the logged batches.
 //
-// Failpoints (util/failpoint.h): wal.append.before_write /
-// after_write / after_sync, plus the `io` short-write/ENOSPC shim under the
+// Failpoints (util/failpoint.h): wal.append.before_write / after_write /
+// wal.fsync / after_sync, plus the `io` short-write/ENOSPC shim under the
 // record write itself.
 
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "rlc/core/dynamic_index.h"
 
 namespace rlc {
+
+/// The fsync of a WAL append failed: the record's bytes reached the file
+/// but their durability is unknown. Distinct from a short write (plain
+/// std::runtime_error from the write path) because the failure mode and
+/// the remedy differ — the bytes are complete, only the sync is in doubt.
+/// WalWriter::Append rolls the file back to the previous record boundary
+/// before throwing this, so the batch was NOT acknowledged and retrying
+/// the same LSN is safe.
+class WalSyncError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// One decoded WAL record: a batch of updates acknowledged as a unit.
 struct WalRecord {
@@ -73,9 +86,12 @@ class WalWriter {
   const std::string& path() const { return path_; }
 
   /// Appends one durable record: serialize, write, fsync. On return the
-  /// record survives any crash. \throws std::runtime_error on I/O failure
-  /// or an injected fault — the file may then carry a torn record that the
-  /// reader will drop, the caller must not acknowledge the batch.
+  /// record survives any crash. \throws WalSyncError when the fsync fails
+  /// (or the `wal.fsync` failpoint injects a sync failure) and plain
+  /// std::runtime_error on write-path failure — either way the file is
+  /// rolled back to the previous record boundary (closed if even that
+  /// fails), the caller must not acknowledge the batch, and retrying the
+  /// same LSN is safe.
   void Append(uint64_t lsn, std::span<const EdgeUpdate> updates);
 
   /// Bytes appended through this writer since Open (excludes pre-existing

@@ -1,0 +1,175 @@
+// A per-engine circuit breaker: trips after consecutive query-path
+// failures, fails fast while open, and recovers through half-open trial
+// probes under exponential backoff with deterministic jitter.
+//
+// State machine:
+//
+//     kClosed --[failure_threshold consecutive failures]--> kOpen
+//     kOpen   --[retry_at reached, next Allow()]----------> kHalfOpen
+//     kHalfOpen --[success_threshold successes]-----------> kClosed
+//     kHalfOpen --[any failure]--> kOpen (backoff doubled, capped)
+//
+// The breaker is a passive state machine over caller-supplied timestamps
+// (obs::NowNanos() timebase in production, arbitrary values in tests — the
+// fake clock is just "pass whatever you want"), so backoff timing is unit-
+// testable without sleeping. It is not thread-safe; the sharded service
+// owns one per shard plus one for the fallback engine, all driven from the
+// single-caller Execute/Query path. Jitter comes from a seeded xorshift so
+// chaos runs reproduce; it decorrelates retry storms when many breakers
+// trip together (each service instance seeds per slot).
+//
+// The closed-state fast path (`closed()` + OnSuccess with zero failures)
+// touches two ints and never reads a clock — breaker bookkeeping on the
+// no-fault serving path is a few predictable branches per *batch*.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rlc {
+
+enum class BreakerState : uint8_t {
+  kClosed = 0,
+  kOpen = 1,
+  kHalfOpen = 2,
+};
+
+inline const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+struct BreakerOptions {
+  /// Consecutive failures that trip kClosed -> kOpen.
+  uint32_t failure_threshold = 3;
+  /// Consecutive half-open successes that re-close the breaker.
+  uint32_t success_threshold = 1;
+  /// Backoff before the first half-open trial.
+  uint64_t initial_backoff_ns = 100'000'000;  // 100 ms
+  /// Backoff cap; doubling stops here.
+  uint64_t max_backoff_ns = 10'000'000'000;  // 10 s
+  /// Backoff growth per re-open from half-open.
+  double backoff_multiplier = 2.0;
+  /// Uniform jitter added on top of the backoff: the trial is scheduled
+  /// backoff * [1, 1 + jitter_fraction) after the trip.
+  double jitter_fraction = 0.1;
+  /// Seed for the jitter generator (0 picks a fixed default).
+  uint64_t seed = 0;
+};
+
+class CircuitBreaker {
+ public:
+  enum class Decision : uint8_t {
+    kAllow,  ///< closed: proceed normally
+    kTrial,  ///< half-open: proceed, and report the outcome faithfully
+    kDeny,   ///< open: fail fast / degrade, do not touch the engine
+  };
+
+  explicit CircuitBreaker(const BreakerOptions& options = {})
+      : options_(options),
+        rng_(options.seed != 0 ? options.seed : 0x9E3779B97F4A7C15ULL) {}
+
+  BreakerState state() const { return state_; }
+  bool closed() const { return state_ == BreakerState::kClosed; }
+  /// Earliest time an open breaker admits a trial probe.
+  uint64_t retry_at_ns() const { return retry_at_ns_; }
+  /// The backoff the *next* re-open would schedule (pre-jitter).
+  uint64_t current_backoff_ns() const { return backoff_ns_; }
+
+  /// Gate for one unit of work against the protected engine. Moves
+  /// kOpen -> kHalfOpen when the backoff has elapsed.
+  Decision Allow(uint64_t now_ns) {
+    switch (state_) {
+      case BreakerState::kClosed:
+        return Decision::kAllow;
+      case BreakerState::kHalfOpen:
+        return Decision::kTrial;
+      case BreakerState::kOpen:
+        if (now_ns < retry_at_ns_) return Decision::kDeny;
+        state_ = BreakerState::kHalfOpen;
+        successes_ = 0;
+        return Decision::kTrial;
+    }
+    return Decision::kAllow;
+  }
+
+  /// Reports a successful probe/batch. Returns true when this success
+  /// re-closed a half-open breaker (for the reclose counter/gauge).
+  bool OnSuccess(uint64_t now_ns) {
+    (void)now_ns;
+    failures_ = 0;
+    if (state_ != BreakerState::kHalfOpen) return false;
+    if (++successes_ < options_.success_threshold) return false;
+    state_ = BreakerState::kClosed;
+    backoff_ns_ = options_.initial_backoff_ns;
+    return true;
+  }
+
+  /// Reports a failed/timed-out probe or batch. Returns true when this
+  /// failure tripped the breaker open (from closed or half-open).
+  bool OnFailure(uint64_t now_ns) {
+    if (state_ == BreakerState::kHalfOpen) {
+      // A failed trial re-opens immediately with a longer backoff.
+      backoff_ns_ = std::min<uint64_t>(
+          options_.max_backoff_ns,
+          static_cast<uint64_t>(static_cast<double>(backoff_ns_) *
+                                options_.backoff_multiplier));
+      Open(now_ns);
+      return true;
+    }
+    if (state_ == BreakerState::kOpen) return false;
+    if (++failures_ < options_.failure_threshold) return false;
+    Open(now_ns);
+    return true;
+  }
+
+  /// Force-closes (e.g. after the owning shard was revived from its
+  /// durable store) and restarts the backoff ladder.
+  void Reset() {
+    state_ = BreakerState::kClosed;
+    failures_ = 0;
+    successes_ = 0;
+    backoff_ns_ = options_.initial_backoff_ns;
+    retry_at_ns_ = 0;
+  }
+
+ private:
+  void Open(uint64_t now_ns) {
+    state_ = BreakerState::kOpen;
+    failures_ = 0;
+    successes_ = 0;
+    const uint64_t jitter = static_cast<uint64_t>(
+        static_cast<double>(backoff_ns_) * options_.jitter_fraction *
+        NextUnit());
+    retry_at_ns_ = now_ns + backoff_ns_ + jitter;
+  }
+
+  /// xorshift64* draw in [0, 1).
+  double NextUnit() {
+    uint64_t x = rng_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rng_ = x;
+    return static_cast<double>((x * 0x2545F4914F6CDD1DULL) >> 11) /
+           static_cast<double>(uint64_t{1} << 53);
+  }
+
+  BreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  uint32_t failures_ = 0;
+  uint32_t successes_ = 0;
+  uint64_t backoff_ns_ = options_.initial_backoff_ns;
+  uint64_t retry_at_ns_ = 0;
+  uint64_t rng_ = 0;
+};
+
+}  // namespace rlc

@@ -13,17 +13,32 @@
 // the counted kernel (probe/signature-refute/hit tallies) and records its
 // wall time; the instrumentation is per *job* (<= probes_per_job probes),
 // never per probe, so the measured overhead on the negative-heavy kernel
-// stays inside the bench budget. RunKernelJobs also maintains the global
-// "serve.exec.queue_depth" gauge: jobs not yet claimed by a worker.
+// stays inside the bench budget. RunKernelJobs always maintains the global
+// "serve.exec.queue_depth" gauge (jobs not yet claimed by a worker) —
+// admission control reads it, so it cannot gate on the metrics kill
+// switch.
+//
+// Fault tolerance hooks, all checked once per job (never per probe):
+//  * a job with an absolute deadline that has already expired is skipped
+//    (outcome kSkippedDeadline, answers stay 0) — this is the "check the
+//    deadline between job chunks" point of deadline-aware execution;
+//  * each job evaluates its failpoint site through the one-load fast path;
+//  * a throwing kernel (only injected faults throw today) is caught into
+//    outcome kFailed — ThreadPool::Run's fn must not throw, and the
+//    routing pass upstairs decides whether the probes degrade to the
+//    fallback engine or surface a status.
 
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <string>
 #include <vector>
 
 #include "rlc/core/rlc_index.h"
 #include "rlc/obs/metrics.h"
+#include "rlc/util/failpoint.h"
 #include "rlc/util/thread_pool.h"
 
 namespace rlc::internal {
@@ -35,6 +50,19 @@ struct KernelJob {
   std::vector<uint8_t> answers;  ///< filled by RunKernelJobs
   GroupQueryStats stats;         ///< filled when metrics are enabled
   uint64_t kernel_ns = 0;        ///< job wall time when metrics are enabled
+  /// Absolute deadline (obs::NowNanos() timebase); 0 = none. Checked once
+  /// before the job's kernel pass runs.
+  uint64_t deadline_ns = 0;
+  /// Failpoint evaluated before the kernel pass (null = no site).
+  const char* failpoint = nullptr;
+
+  enum class Outcome : uint8_t {
+    kRan = 0,              ///< answers are valid
+    kSkippedDeadline = 1,  ///< deadline expired before the job started
+    kFailed = 2,           ///< kernel threw (injected fault); see `error`
+  };
+  Outcome outcome = Outcome::kRan;
+  std::string error;  ///< what() of the failure when outcome == kFailed
 };
 
 /// Appends jobs covering positions [0, count) of one probe group against
@@ -81,21 +109,35 @@ inline GroupQueryStats MergeJobStats(const std::vector<KernelJob>& jobs,
 }
 
 /// Executes every job's grouped CSR pass. `pool` may be null (run inline).
+/// Never throws: per-job faults land in the job's outcome/error fields.
 inline void RunKernelJobs(std::vector<KernelJob>& jobs, ThreadPool* pool) {
   const bool counted = obs::Enabled();
   auto run_one = [counted](KernelJob& job) {
     job.answers.assign(job.pairs.size(), 0);
-    if (counted) {
-      const uint64_t t0 = obs::NowNanos();
-      job.index->QueryGroupInterned(job.mr, job.pairs, job.answers,
-                                    &job.stats);
-      job.kernel_ns = obs::NowNanos() - t0;
+    if (job.deadline_ns != 0 && obs::NowNanos() >= job.deadline_ns) {
+      job.outcome = KernelJob::Outcome::kSkippedDeadline;
       KernelQueueDepthGauge().Sub(1);
-    } else {
-      job.index->QueryGroupInterned(job.mr, job.pairs, job.answers);
+      return;
     }
+    try {
+      if (job.failpoint != nullptr) FailpointHitFast(job.failpoint);
+      if (counted) {
+        const uint64_t t0 = obs::NowNanos();
+        job.index->QueryGroupInterned(job.mr, job.pairs, job.answers,
+                                      &job.stats);
+        job.kernel_ns = obs::NowNanos() - t0;
+      } else {
+        job.index->QueryGroupInterned(job.mr, job.pairs, job.answers);
+      }
+    } catch (const std::exception& e) {
+      job.outcome = KernelJob::Outcome::kFailed;
+      job.error = e.what();
+      job.answers.assign(job.pairs.size(), 0);  // a partial pass is garbage
+      job.stats = GroupQueryStats{};
+    }
+    KernelQueueDepthGauge().Sub(1);
   };
-  if (counted) KernelQueueDepthGauge().Add(static_cast<int64_t>(jobs.size()));
+  KernelQueueDepthGauge().Add(static_cast<int64_t>(jobs.size()));
   if (pool == nullptr || jobs.size() <= 1) {
     for (KernelJob& job : jobs) run_one(job);
     return;

@@ -22,6 +22,8 @@ struct BatchMetrics {
   obs::Counter& batches;
   obs::Histogram& batch_ns;
   obs::Histogram& job_ns;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& job_failures;
 
   static BatchMetrics& Get() {
     obs::Registry& reg = obs::Registry::Global();
@@ -30,7 +32,9 @@ struct BatchMetrics {
                           reg.GetCounter("rlc.query.hits"),
                           reg.GetCounter("rlc.query.batches"),
                           reg.GetHistogram("rlc.query.batch_ns"),
-                          reg.GetHistogram("rlc.query.kernel_job_ns")};
+                          reg.GetHistogram("rlc.query.kernel_job_ns"),
+                          reg.GetCounter("rlc.query.deadline_exceeded"),
+                          reg.GetCounter("rlc.query.job_failures")};
     return m;
   }
 };
@@ -42,9 +46,14 @@ AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch,
   RLC_REQUIRE(options.probes_per_job >= 1,
               "ExecuteBatch: probes_per_job must be >= 1");
   const bool metrics_on = obs::Enabled();
+  // An active batch budget needs the clock even when metrics are off.
+  const Deadline deadline = Deadline::After(
+      options.batch_budget_ns,
+      options.batch_budget_ns != 0 || metrics_on ? obs::NowNanos() : 0);
   const uint64_t batch_t0 = metrics_on ? obs::NowNanos() : 0;
   AnswerBatch out;
   out.answers.assign(batch.num_probes(), 0);
+  out.statuses.assign(batch.num_probes(), ProbeStatus::kOk);
 
   // Per distinct sequence: validate once, hash into the MR table once.
   const std::vector<LabelSeq>& seqs = batch.sequences();
@@ -84,12 +93,17 @@ AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch,
     if (mr_of[seq_id] == kInvalidMrId) continue;  // never recorded: all false
     ++out.num_groups;
     group_refs.push_back({&bucket, jobs.size()});
+    const size_t first_new = jobs.size();
     internal::AppendChunkedJobs(
         index, mr_of[seq_id], bucket.size(), options.probes_per_job,
         [&](size_t i) {
           return VertexPair{probes[bucket[i]].s, probes[bucket[i]].t};
         },
         jobs);
+    for (size_t j = first_new; j < jobs.size(); ++j) {
+      jobs[j].deadline_ns = deadline.at_ns;
+      jobs[j].failpoint = failpoints::kServeKernelJob;
+    }
   }
 
   // Fan the jobs out when the caller provided (or asked for) workers.
@@ -104,12 +118,30 @@ AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch,
   }
   internal::RunKernelJobs(jobs, pool);
 
-  // Splice the per-job buffers back in probe order.
+  // Splice the per-job buffers back in probe order; jobs that the deadline
+  // skipped (or that an injected fault failed) surface as statuses instead
+  // of answers — this executor has no fallback engine to degrade to.
   for (const GroupRef& group : group_refs) {
     size_t pos = 0;
     for (size_t j = group.first_job; pos < group.bucket->size(); ++j) {
-      for (const uint8_t a : jobs[j].answers) {
-        out.answers[(*group.bucket)[pos++]] = a;
+      const internal::KernelJob& job = jobs[j];
+      if (job.outcome == internal::KernelJob::Outcome::kRan) {
+        for (const uint8_t a : job.answers) {
+          out.answers[(*group.bucket)[pos++]] = a;
+        }
+        continue;
+      }
+      const ProbeStatus status =
+          job.outcome == internal::KernelJob::Outcome::kSkippedDeadline
+              ? ProbeStatus::kDeadlineExceeded
+              : ProbeStatus::kShardUnavailable;
+      if (status == ProbeStatus::kDeadlineExceeded) {
+        out.num_deadline_exceeded += job.pairs.size();
+      } else {
+        out.num_unavailable += job.pairs.size();
+      }
+      for (size_t k = 0; k < job.pairs.size(); ++k) {
+        out.statuses[(*group.bucket)[pos++]] = status;
       }
     }
   }
@@ -122,6 +154,10 @@ AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch,
     m.hits.Add(totals.hits);
     m.batches.Inc();
     m.batch_ns.Record(obs::NowNanos() - batch_t0);
+    if (out.num_deadline_exceeded > 0) {
+      m.deadline_exceeded.Add(out.num_deadline_exceeded);
+    }
+    if (out.num_unavailable > 0) m.job_failures.Add(out.num_unavailable);
   }
   return out;
 }

@@ -25,6 +25,7 @@
 
 #include "rlc/core/label_seq.h"
 #include "rlc/core/rlc_index.h"
+#include "rlc/serve/serving_status.h"
 
 namespace rlc {
 
@@ -78,11 +79,26 @@ class QueryBatch {
 /// the serving stats).
 struct AnswerBatch {
   std::vector<uint8_t> answers;  ///< answers[i] == 1 iff probe i reachable
+  /// Per-probe outcome, parallel to `answers`. answers[i] is exact iff
+  /// statuses[i] == ProbeStatus::kOk (every non-kOk answer stays 0). All
+  /// kOk on a fault-free run with no deadline.
+  std::vector<ProbeStatus> statuses;
   uint64_t num_groups = 0;    ///< index probe groups executed
   uint64_t num_refuted = 0;   ///< probes refuted by the boundary summary
                               ///< (sharded executor only)
   uint64_t num_fallback = 0;  ///< probes sent to the fallback engine
                               ///< (sharded executor only)
+  uint64_t num_deadline_exceeded = 0;  ///< statuses == kDeadlineExceeded
+  uint64_t num_shedded = 0;            ///< statuses == kShedded
+  uint64_t num_unavailable = 0;        ///< statuses == kShardUnavailable
+  uint64_t num_degraded = 0;  ///< probes answered exactly by the fallback
+                              ///< because their shard was broken/breaker-
+                              ///< open (sharded executor only; still kOk)
+
+  bool all_ok() const {
+    return num_deadline_exceeded == 0 && num_shedded == 0 &&
+           num_unavailable == 0;
+  }
 };
 
 /// Execution knobs for the single-index executor.
@@ -99,6 +115,13 @@ struct ExecuteOptions {
   /// Groups larger than this split into multiple jobs so a batch dominated
   /// by one template still spreads across the pool.
   size_t probes_per_job = 8192;
+  /// Per-batch execution budget in nanoseconds; 0 (default) = no deadline.
+  /// The executor stamps an absolute deadline at entry and checks it
+  /// between job chunks: jobs that have not started when it expires are
+  /// skipped and their probes return ProbeStatus::kDeadlineExceeded — so a
+  /// batch never blocks unboundedly behind a slow index, and every probe
+  /// that did run keeps its exact answer.
+  uint64_t batch_budget_ns = 0;
 };
 
 /// Executes `batch` against one whole-graph index: validates and resolves

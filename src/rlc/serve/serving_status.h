@@ -1,0 +1,80 @@
+// Serving-degradation vocabulary: per-probe statuses, deadlines, and the
+// typed errors the fault-tolerant execution path surfaces.
+//
+// The serving layer never trades exactness for availability — a probe
+// either gets the bit-identical exact answer (kOk) or an explicit
+// non-answer status; there is no "approximate" result. docs/robustness.md
+// walks the full degradation ladder.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace rlc {
+
+/// Outcome of one batched probe. `answers[i]` is meaningful only when
+/// `statuses[i] == kOk`; every other status leaves the answer 0.
+enum class ProbeStatus : uint8_t {
+  kOk = 0,                ///< exact answer produced
+  kDeadlineExceeded = 1,  ///< batch deadline expired before this probe ran
+  kShedded = 2,           ///< dropped by admission control (overload)
+  kShardUnavailable = 3,  ///< owning engine errored / breaker open, no
+                          ///< fallback available
+};
+
+inline const char* ProbeStatusName(ProbeStatus s) {
+  switch (s) {
+    case ProbeStatus::kOk:
+      return "ok";
+    case ProbeStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ProbeStatus::kShedded:
+      return "shedded";
+    case ProbeStatus::kShardUnavailable:
+      return "shard_unavailable";
+  }
+  return "unknown";
+}
+
+/// An absolute monotonic-clock deadline (obs::NowNanos() timebase).
+/// at_ns == 0 means "no deadline", so a default Deadline{} never expires —
+/// the zero-cost common case: executors skip every clock read behind
+/// `if (deadline.active())`.
+struct Deadline {
+  uint64_t at_ns = 0;
+
+  /// A deadline `budget_ns` after `now_ns`; budget 0 = no deadline.
+  /// Saturates instead of wrapping, so an "infinite" budget cannot alias
+  /// the no-deadline encoding or land in the past.
+  static Deadline After(uint64_t budget_ns, uint64_t now_ns) {
+    if (budget_ns == 0) return Deadline{};
+    const uint64_t at = now_ns + budget_ns;
+    return Deadline{at < now_ns ? ~uint64_t{0} : at};
+  }
+
+  bool active() const { return at_ns != 0; }
+  bool Expired(uint64_t now_ns) const { return at_ns != 0 && now_ns >= at_ns; }
+  /// Saturating time left; ~0 when no deadline is set.
+  uint64_t RemainingNs(uint64_t now_ns) const {
+    if (at_ns == 0) return ~uint64_t{0};
+    return now_ns >= at_ns ? 0 : at_ns - now_ns;
+  }
+};
+
+/// Admission control rejected the work before any of it ran (queue over
+/// the high-water mark or the batch over the probe cap). Nothing was
+/// executed; retrying after backoff is safe.
+class OverloadedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The engine that owns this probe is failing fast (circuit breaker open
+/// with no healthy fallback). Retrying after the breaker's backoff is safe.
+class UnavailableError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace rlc

@@ -29,7 +29,16 @@ ShardedRlcService::ServiceCounters::ServiceCounters(obs::Registry& reg)
       updates_applied(reg.GetCounter("serve.updates_applied")),
       updates_deleted(reg.GetCounter("serve.updates_deleted")),
       updates_duplicate(reg.GetCounter("serve.updates_duplicate")),
-      updates_cross(reg.GetCounter("serve.updates_cross")) {}
+      updates_cross(reg.GetCounter("serve.updates_cross")),
+      shed(reg.GetCounter("serve.shed")),
+      deadline_exceeded(reg.GetCounter("serve.deadline_exceeded")),
+      breaker_opened(reg.GetCounter("serve.breaker.opened")),
+      breaker_reclosed(reg.GetCounter("serve.breaker.reclosed")),
+      breaker_trials(reg.GetCounter("serve.breaker.trials")),
+      breaker_degraded(reg.GetCounter("serve.breaker.degraded_probes")),
+      breaker_fail_fast(reg.GetCounter("serve.breaker.fail_fast")),
+      fallback_overruns(reg.GetCounter("serve.fallback.budget_overruns")),
+      shard_revives(reg.GetCounter("serve.breaker.revives")) {}
 
 ShardedRlcService::StageHistograms::StageHistograms(obs::Registry& reg)
     : execute_ns(reg.GetHistogram("serve.stage.execute_ns")),
@@ -57,6 +66,15 @@ ServiceStats ShardedRlcService::stats() const {
   s.updates_deleted = c_.updates_deleted.Value();
   s.updates_duplicate = c_.updates_duplicate.Value();
   s.updates_cross = c_.updates_cross.Value();
+  s.shed = c_.shed.Value();
+  s.deadline_exceeded = c_.deadline_exceeded.Value();
+  s.breaker_opened = c_.breaker_opened.Value();
+  s.breaker_reclosed = c_.breaker_reclosed.Value();
+  s.breaker_trials = c_.breaker_trials.Value();
+  s.breaker_degraded = c_.breaker_degraded.Value();
+  s.breaker_fail_fast = c_.breaker_fail_fast.Value();
+  s.fallback_overruns = c_.fallback_overruns.Value();
+  s.shard_revives = c_.shard_revives.Value();
   s.partition_seconds = partition_seconds_;
   s.index_build_seconds = index_build_seconds_;
   return s;
@@ -78,6 +96,25 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
   for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
     shard_fallback_.push_back(
         &metrics_.GetCounter("serve.fallback.shard." + std::to_string(s)));
+  }
+
+  // One breaker per shard + one for the fallback engine, each with its own
+  // jitter stream so coupled trips do not retry in lockstep.
+  shard_breakers_.resize(partition_.num_shards());
+  for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
+    BreakerOptions bo = options_.breaker;
+    bo.seed = (bo.seed != 0 ? bo.seed : 0x6A09E667F3BCC909ULL) + s;
+    shard_breakers_[s].breaker = CircuitBreaker(bo);
+    shard_breakers_[s].state_gauge =
+        &metrics_.GetGauge("serve.breaker.state." + std::to_string(s));
+  }
+  {
+    BreakerOptions bo = options_.breaker;
+    bo.seed = (bo.seed != 0 ? bo.seed : 0x6A09E667F3BCC909ULL) +
+              partition_.num_shards();
+    fallback_breaker_.breaker = CircuitBreaker(bo);
+    fallback_breaker_.state_gauge =
+        &metrics_.GetGauge("serve.breaker.state.fallback");
   }
 
   const bool is_durable = !options_.durability.dir.empty();
@@ -442,6 +479,65 @@ const ShardedRlcService::SeqEntry& ShardedRlcService::Resolve(
   return seq_cache_.emplace(seq, std::move(entry)).first->second;
 }
 
+CircuitBreaker::Decision ShardedRlcService::BreakerDecide(BreakerSlot& slot) {
+  // The closed fast path never reads the clock — breaker bookkeeping on a
+  // healthy service is a load and a branch.
+  if (slot.breaker.closed()) return CircuitBreaker::Decision::kAllow;
+  const CircuitBreaker::Decision d = slot.breaker.Allow(obs::NowNanos());
+  if (d == CircuitBreaker::Decision::kTrial) {
+    c_.breaker_trials.Inc();
+    slot.state_gauge->Set(static_cast<int64_t>(slot.breaker.state()));
+  }
+  return d;
+}
+
+void ShardedRlcService::BreakerFail(BreakerSlot& slot) {
+  if (slot.breaker.OnFailure(obs::NowNanos())) {
+    c_.breaker_opened.Inc();
+    slot.state_gauge->Set(static_cast<int64_t>(slot.breaker.state()));
+  }
+}
+
+void ShardedRlcService::BreakerOk(BreakerSlot& slot) {
+  if (slot.breaker.OnSuccess(0)) {
+    c_.breaker_reclosed.Inc();
+    slot.state_gauge->Set(static_cast<int64_t>(slot.breaker.state()));
+  }
+}
+
+bool ShardedRlcService::FallbackProbe(VertexId s, VertexId t,
+                                      const SeqEntry& entry,
+                                      uint32_t source_shard) {
+  if (BreakerDecide(fallback_breaker_) == CircuitBreaker::Decision::kDeny) {
+    c_.breaker_fail_fast.Inc();
+    throw UnavailableError(
+        "ShardedRlcService: fallback engine breaker is open (fail fast)");
+  }
+  c_.fallback_probes.Inc();
+  shard_fallback_[source_shard]->Inc();
+  try {
+    FailpointHitFast(failpoints::kServeFallbackProbe);
+    bool answer;
+    if (global_dyn_ != nullptr) {
+      // One whole-graph index probe on the pre-resolved MR; the index's own
+      // signature prefilter refutes most negatives from two loads.
+      answer = global_dyn_->index().QueryInterned(s, t, entry.global_mr);
+    } else {
+      obs::ScopedSpan span(h_.fallback_probe_ns, "serve.fallback.bibfs");
+      answer = online_->QueryBiBfs(s, t, *entry.compiled);
+    }
+    BreakerOk(fallback_breaker_);
+    return answer;
+  } catch (const UnavailableError&) {
+    throw;
+  } catch (const std::exception& e) {
+    BreakerFail(fallback_breaker_);
+    throw UnavailableError(std::string("ShardedRlcService: fallback probe "
+                                       "failed: ") +
+                           e.what());
+  }
+}
+
 bool ShardedRlcService::CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
                                     const SeqEntry& entry, uint32_t ss,
                                     uint32_t st) {
@@ -449,15 +545,7 @@ bool ShardedRlcService::CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
     c_.cross_refuted.Inc();
     return false;
   }
-  c_.fallback_probes.Inc();
-  shard_fallback_[ss]->Inc();
-  if (global_dyn_ != nullptr) {
-    // One whole-graph index probe on the pre-resolved MR; the index's own
-    // signature prefilter refutes most negatives from two loads.
-    return global_dyn_->index().QueryInterned(s, t, entry.global_mr);
-  }
-  obs::ScopedSpan span(h_.fallback_probe_ns, "serve.fallback.bibfs");
-  return online_->QueryBiBfs(s, t, *entry.compiled);
+  return FallbackProbe(s, t, entry, ss);
 }
 
 bool ShardedRlcService::Query(VertexId s, VertexId t,
@@ -469,26 +557,81 @@ bool ShardedRlcService::Query(VertexId s, VertexId t,
   const uint32_t ss = partition_.ShardOf(s);
   const uint32_t st = partition_.ShardOf(t);
   if (ss == st) {
-    if (shard_dyn_[ss]->index().QueryInterned(partition_.LocalOf(s),
-                                              partition_.LocalOf(t),
-                                              entry.shard_mr[ss])) {
-      c_.intra_true.Inc();
-      return true;
+    BreakerSlot& slot = shard_breakers_[ss];
+    if (BreakerDecide(slot) == CircuitBreaker::Decision::kDeny) {
+      // The shard is sick: detour straight to the fallback engine. The
+      // answer stays exact (the fallback covers the whole graph); boundary
+      // refutation must be skipped — without a shard answer, an
+      // intra-shard witness may exist.
+      c_.breaker_degraded.Inc();
+      return FallbackProbe(s, t, entry, ss);
     }
-    c_.intra_miss.Inc();
+    try {
+      FailpointHitFast(failpoints::kServeShardExecute);
+      const bool hit = shard_dyn_[ss]->index().QueryInterned(
+          partition_.LocalOf(s), partition_.LocalOf(t), entry.shard_mr[ss]);
+      BreakerOk(slot);
+      if (hit) {
+        c_.intra_true.Inc();
+        return true;
+      }
+      c_.intra_miss.Inc();
+    } catch (const std::exception&) {
+      BreakerFail(slot);
+      c_.breaker_degraded.Inc();
+      return FallbackProbe(s, t, entry, ss);
+    }
   }
   return CrossAnswer(s, t, constraint, entry, ss, st);
 }
 
 AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
+  return Execute(batch, ExecuteLimits{options_.batch_budget_ns,
+                                      options_.probe_budget_ns,
+                                      /*shed_as_status=*/false});
+}
+
+AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch,
+                                       const ExecuteLimits& limits) {
   // Per-stage instrumentation runs at batch/job granularity only (a clock
   // read per probe would dwarf a 30ns refuted probe); disabled metrics
   // cost one relaxed load here.
   const bool metrics_on = obs::Enabled();
-  const uint64_t t_start = metrics_on ? obs::NowNanos() : 0;
+
+  // Admission control, before any work: shed while the kernel-job queue is
+  // over the high-water mark (or the batch itself is oversized) instead of
+  // queueing into a latency collapse. Nothing has run, so retry-after-
+  // backoff is safe.
+  const char* shed_reason = nullptr;
+  if (options_.max_batch_probes != 0 &&
+      batch.num_probes() > options_.max_batch_probes) {
+    shed_reason = "batch exceeds max_batch_probes";
+  } else if (options_.max_pending_jobs > 0 &&
+             internal::KernelQueueDepthGauge().Value() >=
+                 options_.max_pending_jobs) {
+    shed_reason = "kernel-job queue over the high-water mark";
+  }
+  if (shed_reason != nullptr) {
+    c_.shed.Add(batch.num_probes());
+    if (!limits.shed_as_status) {
+      throw OverloadedError(std::string("ShardedRlcService::Execute: shed: ") +
+                            shed_reason);
+    }
+    AnswerBatch shed_out;
+    shed_out.answers.assign(batch.num_probes(), 0);
+    shed_out.statuses.assign(batch.num_probes(), ProbeStatus::kShedded);
+    shed_out.num_shedded = batch.num_probes();
+    return shed_out;
+  }
+
+  // An active batch budget needs the clock even with metrics off.
+  const uint64_t t_start =
+      metrics_on || limits.batch_budget_ns != 0 ? obs::NowNanos() : 0;
+  const Deadline deadline = Deadline::After(limits.batch_budget_ns, t_start);
 
   AnswerBatch out;
   out.answers.assign(batch.num_probes(), 0);
+  out.statuses.assign(batch.num_probes(), ProbeStatus::kOk);
   c_.batches.Inc();
 
   // Resolve (validate + intern-lookup) each distinct sequence once. The
@@ -559,13 +702,30 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
   const size_t chunk = std::max<size_t>(size_t{1}, options_.exec_probes_per_job);
   std::vector<internal::KernelJob> jobs;
   std::vector<size_t> first_job(groups.size(), SIZE_MAX);
+  // Per-shard breaker decision, made once per batch (lazily, only for
+  // shards this batch touches). Denied shards get no jobs: their probes
+  // degrade straight to the fallback in the routing pass.
+  std::vector<int8_t> shard_decision(shard_dyn_.size(), -1);
+  auto decide_shard = [&](uint32_t shard) {
+    if (shard_decision[shard] < 0) {
+      shard_decision[shard] =
+          static_cast<int8_t>(BreakerDecide(shard_breakers_[shard]));
+    }
+    return static_cast<CircuitBreaker::Decision>(shard_decision[shard]);
+  };
+  std::vector<uint8_t> group_degraded(groups.size(), 0);
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     const Group& group = groups[gi];
     if (group.shard_plus_1 == 0) continue;
     const uint32_t shard = group.shard_plus_1 - 1;
+    if (decide_shard(shard) == CircuitBreaker::Decision::kDeny) {
+      group_degraded[gi] = 1;
+      continue;
+    }
     const MrId mr = entries[group.seq_id]->shard_mr[shard];
     if (mr == kInvalidMrId) continue;
     first_job[gi] = jobs.size();
+    const size_t first_new = jobs.size();
     internal::AppendChunkedJobs(
         *shard_snaps[shard], mr, group.probe_idx.size(), chunk,
         [&](size_t i) {
@@ -573,6 +733,10 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
           return VertexPair{partition_.LocalOf(p.s), partition_.LocalOf(p.t)};
         },
         jobs);
+    for (size_t j = first_new; j < jobs.size(); ++j) {
+      jobs[j].deadline_ns = deadline.at_ns;
+      jobs[j].failpoint = failpoints::kServeShardExecute;
+    }
   }
   internal::RunKernelJobs(jobs, exec_pool_.get());
   const uint64_t t_shard_done = metrics_on ? obs::NowNanos() : 0;
@@ -591,10 +755,29 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
       shard_fallback_[ss]->Inc();
     }
   };
+  // A probe without a trustworthy shard answer (breaker-open shard, failed
+  // job) detours straight to the fallback: boundary refutation is only
+  // sound after the shard index reported a miss — without that, the
+  // witness may sit entirely inside the shard.
+  auto degrade = [&](uint32_t probe_i) {
+    const BatchProbe& p = probes[probe_i];
+    pending[p.seq_id].push_back(probe_i);
+    shard_fallback_[partition_.ShardOf(p.s)]->Inc();
+    ++out.num_degraded;
+  };
+  // Breaker evidence, resolved once per shard after the whole batch: any
+  // failed job is a failure; otherwise any job that ran is a success
+  // (deadline-skipped jobs are no evidence either way).
+  std::vector<uint8_t> shard_ran(shard_dyn_.size(), 0);
+  std::vector<uint8_t> shard_failed(shard_dyn_.size(), 0);
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     const Group& group = groups[gi];
     if (group.shard_plus_1 == 0) {
       for (const uint32_t i : group.probe_idx) route_cross(i);
+      continue;
+    }
+    if (group_degraded[gi]) {
+      for (const uint32_t i : group.probe_idx) degrade(i);
       continue;
     }
     if (first_job[gi] == SIZE_MAX) {
@@ -604,6 +787,7 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
       for (const uint32_t i : group.probe_idx) route_cross(i);
       continue;
     }
+    const uint32_t shard = group.shard_plus_1 - 1;
     ++out.num_groups;
     size_t job = first_job[gi];
     size_t k = 0;
@@ -614,17 +798,36 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
         ++job;
         k = 0;
       }
-      if (jobs[job].answers[k++]) {
-        out.answers[i] = 1;
-        ++group_true;
-      } else {
-        ++group_miss;
-        route_cross(i);
+      const internal::KernelJob& jb = jobs[job];
+      if (jb.outcome == internal::KernelJob::Outcome::kRan) {
+        shard_ran[shard] = 1;
+        if (jb.answers[k]) {
+          out.answers[i] = 1;
+          ++group_true;
+        } else {
+          ++group_miss;
+          route_cross(i);
+        }
+      } else if (jb.outcome == internal::KernelJob::Outcome::kSkippedDeadline) {
+        out.statuses[i] = ProbeStatus::kDeadlineExceeded;
+        ++out.num_deadline_exceeded;
+      } else {  // kFailed: injected fault in the shard kernel
+        shard_failed[shard] = 1;
+        degrade(i);
       }
+      ++k;
     }
     c_.intra_true.Add(group_true);
     c_.intra_miss.Add(group_miss);
   }
+  for (uint32_t shard = 0; shard < shard_dyn_.size(); ++shard) {
+    if (shard_failed[shard]) {
+      BreakerFail(shard_breakers_[shard]);
+    } else if (shard_ran[shard]) {
+      BreakerOk(shard_breakers_[shard]);
+    }
+  }
+  if (out.num_degraded > 0) c_.breaker_degraded.Add(out.num_degraded);
   if (metrics_on) h_.route_ns.Record(obs::NowNanos() - t_shard_done);
 
   // Phase 2: fallback. With the hybrid fallback the pending probes run as
@@ -632,7 +835,25 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
   // engine's scalar path — the 2-hop prefilter only short-circuits),
   // again fanned out across the pool; the online fallback evaluates probe
   // by probe on the caller's thread (the searcher's scratch is shared).
-  if (global_dyn_ != nullptr) {
+  // The fallback engine sits behind its own breaker: open means the
+  // pending probes fail fast as kShardUnavailable instead of piling onto
+  // an engine that is already drowning.
+  size_t pending_total = 0;
+  for (const std::vector<uint32_t>& bucket : pending) {
+    pending_total += bucket.size();
+  }
+  const bool fallback_denied =
+      pending_total > 0 && BreakerDecide(fallback_breaker_) ==
+                               CircuitBreaker::Decision::kDeny;
+  if (fallback_denied) {
+    for (const std::vector<uint32_t>& bucket : pending) {
+      for (const uint32_t i : bucket) {
+        out.statuses[i] = ProbeStatus::kShardUnavailable;
+        ++out.num_unavailable;
+      }
+    }
+    c_.breaker_fail_fast.Add(pending_total);
+  } else if (global_dyn_ != nullptr) {
     std::vector<internal::KernelJob> fallback_jobs;
     struct BucketRef {
       uint32_t seq_id;
@@ -646,6 +867,7 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
       out.num_fallback += bucket.size();
       ++out.num_groups;
       bucket_refs.push_back({seq_id, fallback_jobs.size()});
+      const size_t first_new = fallback_jobs.size();
       internal::AppendChunkedJobs(
           *global_snap,
           entries[seq_id]->global_mr,  // may be kInvalidMrId: all 0
@@ -655,19 +877,49 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
             return VertexPair{p.s, p.t};
           },
           fallback_jobs);
+      for (size_t j = first_new; j < fallback_jobs.size(); ++j) {
+        fallback_jobs[j].deadline_ns = deadline.at_ns;
+        fallback_jobs[j].failpoint = failpoints::kServeFallbackExecute;
+      }
     }
     internal::RunKernelJobs(fallback_jobs, exec_pool_.get());
     if (metrics_on) {
       internal::MergeJobStats(fallback_jobs, &h_.fallback_kernel_ns);
     }
+    bool fb_ran = false;
+    bool fb_failed = false;
     for (const BucketRef& ref : bucket_refs) {
       const std::vector<uint32_t>& bucket = pending[ref.seq_id];
       size_t pos = 0;
       for (size_t j = ref.first_job; pos < bucket.size(); ++j) {
-        for (const uint8_t a : fallback_jobs[j].answers) {
-          out.answers[bucket[pos++]] = a;
+        const internal::KernelJob& jb = fallback_jobs[j];
+        if (jb.outcome == internal::KernelJob::Outcome::kRan) {
+          fb_ran = true;
+          for (const uint8_t a : jb.answers) {
+            out.answers[bucket[pos++]] = a;
+          }
+          continue;
+        }
+        const bool skipped =
+            jb.outcome == internal::KernelJob::Outcome::kSkippedDeadline;
+        if (!skipped) fb_failed = true;
+        for (size_t k = 0; k < jb.pairs.size(); ++k) {
+          const uint32_t i = bucket[pos++];
+          if (skipped) {
+            out.statuses[i] = ProbeStatus::kDeadlineExceeded;
+            ++out.num_deadline_exceeded;
+          } else {
+            // No second-level fallback exists: surface the outage.
+            out.statuses[i] = ProbeStatus::kShardUnavailable;
+            ++out.num_unavailable;
+          }
         }
       }
+    }
+    if (fb_failed) {
+      BreakerFail(fallback_breaker_);
+    } else if (fb_ran) {
+      BreakerOk(fallback_breaker_);
     }
   } else {
     for (uint32_t seq_id = 0; seq_id < pending.size(); ++seq_id) {
@@ -676,13 +928,51 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
       c_.fallback_probes.Add(bucket.size());
       out.num_fallback += bucket.size();
       for (const uint32_t i : bucket) {
-        obs::ScopedSpan span(h_.fallback_probe_ns, "serve.fallback.bibfs");
-        out.answers[i] = online_->QueryBiBfs(probes[i].s, probes[i].t,
-                                             *entries[seq_id]->compiled)
-                             ? 1
-                             : 0;
+        // Per-probe checkpoints bound how far a batch can overrun: the
+        // deadline is re-checked before every BiBFS, and a mid-loop
+        // breaker trip fails the rest of the bucket fast.
+        if (!fallback_breaker_.breaker.closed() &&
+            BreakerDecide(fallback_breaker_) ==
+                CircuitBreaker::Decision::kDeny) {
+          out.statuses[i] = ProbeStatus::kShardUnavailable;
+          ++out.num_unavailable;
+          c_.breaker_fail_fast.Inc();
+          continue;
+        }
+        if (deadline.active() && deadline.Expired(obs::NowNanos())) {
+          out.statuses[i] = ProbeStatus::kDeadlineExceeded;
+          ++out.num_deadline_exceeded;
+          continue;
+        }
+        try {
+          FailpointHitFast(failpoints::kServeFallbackProbe);
+          const bool timed = metrics_on || limits.probe_budget_ns != 0;
+          const uint64_t t0 = timed ? obs::NowNanos() : 0;
+          const bool answer = online_->QueryBiBfs(probes[i].s, probes[i].t,
+                                                  *entries[seq_id]->compiled);
+          const uint64_t elapsed = timed ? obs::NowNanos() - t0 : 0;
+          if (metrics_on) h_.fallback_probe_ns.Record(elapsed);
+          out.answers[i] = answer ? 1 : 0;
+          if (limits.probe_budget_ns != 0 &&
+              elapsed > limits.probe_budget_ns) {
+            // The answer is exact and kept (kOk), but the overrun is a
+            // timeout against the fallback breaker — sustained slowness
+            // trips it into fail-fast instead of latency collapse.
+            c_.fallback_overruns.Inc();
+            BreakerFail(fallback_breaker_);
+          } else {
+            BreakerOk(fallback_breaker_);
+          }
+        } catch (const std::exception&) {
+          BreakerFail(fallback_breaker_);
+          out.statuses[i] = ProbeStatus::kShardUnavailable;
+          ++out.num_unavailable;
+        }
       }
     }
+  }
+  if (out.num_deadline_exceeded > 0) {
+    c_.deadline_exceeded.Add(out.num_deadline_exceeded);
   }
   c_.batch_groups.Add(out.num_groups);
   if (metrics_on) h_.execute_ns.Record(obs::NowNanos() - t_start);
@@ -823,6 +1113,95 @@ void ShardedRlcService::RebuildPatchedGraph() {
                                            /*dedup_parallel=*/false);
   online_ = std::make_unique<OnlineSearcher>(*patched);
   patched_graph_ = std::move(patched);
+}
+
+void ShardedRlcService::ReviveShard(uint32_t shard) {
+  RLC_REQUIRE(shard < shard_dyn_.size(),
+              "ShardedRlcService::ReviveShard: shard " << shard
+                  << " out of range");
+  const DiGraph& shard_graph = partition_.shard(shard).graph;
+  std::unique_ptr<DynamicRlcIndex> fresh;
+
+  // Durable path first: re-adopt the shard snapshot from the current
+  // generation and replay the WAL tail — the same machinery recovery uses,
+  // scoped to one shard. Insert/DeleteEdge are exact no-ops on
+  // already-applied updates, so the LSN-gated replay is idempotent even
+  // when a record straddles the snapshot.
+  if (wal_.is_open() && generation_ > 0) {
+    try {
+      const std::string path =
+          GenDir(generation_) + "/shard-" + std::to_string(shard) + ".snap";
+      LoadedSnapshot snap = LoadSnapshotFile(path);
+      if (!snap.index) {
+        throw std::runtime_error(path + " has no embedded index");
+      }
+      auto dyn = std::make_unique<DynamicRlcIndex>(
+          shard_graph, std::move(*snap.index), options_.reseal);
+      dyn->RestoreOverlay(snap.inserted, snap.removed);
+      const std::string& dir = options_.durability.dir;
+      for (const uint64_t gen : ListGenerationFiles(dir, "wal-", ".log")) {
+        if (gen < generation_) continue;
+        const WalReadResult res = ReadWalFile(WalPath(dir, gen));
+        for (const WalRecord& record : res.records) {
+          if (record.lsn <= snap.applied_lsn) continue;
+          if (record.lsn > last_lsn_) break;  // beyond the applied state
+          for (const EdgeUpdate& e : record.updates) {
+            if (partition_.ShardOf(e.src) != shard ||
+                partition_.ShardOf(e.dst) != shard) {
+              continue;
+            }
+            if (e.op == EdgeOp::kInsert) {
+              dyn->InsertEdge(partition_.LocalOf(e.src), e.label,
+                              partition_.LocalOf(e.dst));
+            } else {
+              dyn->DeleteEdge(partition_.LocalOf(e.src), e.label,
+                              partition_.LocalOf(e.dst));
+            }
+          }
+        }
+      }
+      fresh = std::move(dyn);
+    } catch (const std::exception&) {
+      fresh.reset();  // unreadable durable state: fall back to a rebuild
+    }
+  }
+
+  // Rebuild path: fresh index over the base shard graph, then the net
+  // overlay (applied_inserts_ / deleted_base_ describe the mutated graph
+  // relative to base) filtered to intra-shard edges.
+  if (fresh == nullptr) {
+    IndexerOptions build_opts = options_.indexer;
+    build_opts.num_threads = 1;
+    build_opts.seal = true;
+    RlcIndexBuilder builder(shard_graph, build_opts);
+    fresh = std::make_unique<DynamicRlcIndex>(shard_graph, builder.Build(),
+                                              options_.reseal);
+    for (const EdgeUpdate& e : applied_inserts_) {
+      if (partition_.ShardOf(e.src) == shard &&
+          partition_.ShardOf(e.dst) == shard) {
+        fresh->InsertEdge(partition_.LocalOf(e.src), e.label,
+                          partition_.LocalOf(e.dst));
+      }
+    }
+    for (const auto& [src, label, dst] : deleted_base_) {
+      if (partition_.ShardOf(src) == shard &&
+          partition_.ShardOf(dst) == shard) {
+        fresh->DeleteEdge(partition_.LocalOf(src), label,
+                          partition_.LocalOf(dst));
+      }
+    }
+  }
+
+  shard_dyn_[shard] = std::move(fresh);
+  // Memoized SeqEntries hold MrIds minted by the replaced shard index.
+  if (!seq_cache_.empty()) {
+    c_.seq_cache_flushes.Inc();
+    c_.seq_cache_evictions.Add(seq_cache_.size());
+    seq_cache_.clear();
+  }
+  shard_breakers_[shard].breaker.Reset();
+  shard_breakers_[shard].state_gauge->Set(0);
+  c_.shard_revives.Inc();
 }
 
 void ShardedRlcService::FinishReseals() {

@@ -55,8 +55,10 @@
 #include "rlc/core/indexer.h"
 #include "rlc/core/rlc_index.h"
 #include "rlc/core/wal.h"
+#include "rlc/serve/circuit_breaker.h"
 #include "rlc/serve/partitioner.h"
 #include "rlc/serve/query_batch.h"
+#include "rlc/serve/serving_status.h"
 #include "rlc/util/thread_pool.h"
 
 namespace rlc {
@@ -99,6 +101,40 @@ struct ServiceOptions {
   /// skipping every index build — and replays the WAL tail. Empty dir
   /// (default) disables durability.
   DurabilityOptions durability;
+  /// Default per-batch execution budget for Execute(batch) in nanoseconds
+  /// (0 = none); overridable per call via ExecuteLimits. When the budget
+  /// expires mid-batch, jobs that have not started are skipped and their
+  /// probes return ProbeStatus::kDeadlineExceeded; completed probes keep
+  /// their exact answers.
+  uint64_t batch_budget_ns = 0;
+  /// Default per-probe budget for fallback probes (kOnline BiBFS) in
+  /// nanoseconds (0 = none). A probe that overruns keeps its exact answer
+  /// but counts as a fallback timeout: serve.fallback.budget_overruns and
+  /// a failure against the fallback breaker.
+  uint64_t probe_budget_ns = 0;
+  /// Admission control: Execute rejects batches with more probes than this
+  /// before running anything (0 = unlimited).
+  size_t max_batch_probes = 0;
+  /// Admission control: Execute sheds new batches while the process-global
+  /// kernel-job queue ("serve.exec.queue_depth" gauge) is at or above this
+  /// many pending jobs — the high-water mark that trades a fast typed
+  /// rejection for a latency collapse. 0 disables.
+  int64_t max_pending_jobs = 0;
+  /// Circuit-breaker tuning shared by every per-shard breaker and the
+  /// fallback breaker (each slot gets its own seed offset for jitter).
+  BreakerOptions breaker;
+};
+
+/// Per-call overrides for ShardedRlcService::Execute. The zero-argument
+/// Execute overload fills these from ServiceOptions.
+struct ExecuteLimits {
+  uint64_t batch_budget_ns = 0;  ///< 0 = no batch deadline
+  uint64_t probe_budget_ns = 0;  ///< 0 = no per-probe fallback budget
+  /// When admission control rejects the batch: false (default) throws
+  /// OverloadedError; true returns an AnswerBatch with every status
+  /// ProbeStatus::kShedded instead — for callers that must keep their
+  /// submission loop alive under overload.
+  bool shed_as_status = false;
 };
 
 /// Cumulative query-routing and build telemetry — a point-in-time
@@ -121,6 +157,17 @@ struct ServiceStats {
   uint64_t updates_duplicate = 0;    ///< no-op updates (insert of a present
                                      ///< edge, delete of an absent one)
   uint64_t updates_cross = 0;        ///< applied mutations of cross edges
+  uint64_t shed = 0;                 ///< probes rejected by admission control
+  uint64_t deadline_exceeded = 0;    ///< probes past their batch deadline
+  uint64_t breaker_opened = 0;       ///< breaker transitions into kOpen
+  uint64_t breaker_reclosed = 0;     ///< half-open -> closed recoveries
+  uint64_t breaker_trials = 0;       ///< half-open trial admissions
+  uint64_t breaker_degraded = 0;     ///< probes detoured to the fallback
+                                     ///< because their shard was broken
+                                     ///< (answers still exact)
+  uint64_t breaker_fail_fast = 0;    ///< probes refused: fallback breaker open
+  uint64_t fallback_overruns = 0;    ///< fallback probes over probe_budget_ns
+  uint64_t shard_revives = 0;        ///< ReviveShard calls that completed
   double partition_seconds = 0.0;
   double index_build_seconds = 0.0;  ///< shard + fallback index builds
 };
@@ -134,15 +181,25 @@ class ShardedRlcService {
   ShardedRlcService(const DiGraph& g, ServiceOptions options);
 
   /// Answers the RLC query (s, t, L+). Exact: equal to a whole-graph
-  /// RlcIndex::Query for every input.
+  /// RlcIndex::Query for every input — including when the owning shard's
+  /// breaker is open or the shard probe faults, in which case the probe
+  /// detours to the (whole-graph-exact) fallback engine.
   /// \throws std::invalid_argument on out-of-range vertices or an invalid
-  ///         constraint (empty, longer than k, or non-primitive).
+  ///         constraint (empty, longer than k, or non-primitive);
+  ///         UnavailableError when the probe needs the fallback engine and
+  ///         its breaker is open (fail fast) or the fallback probe faults.
   bool Query(VertexId s, VertexId t, const LabelSeq& constraint);
 
-  /// Answers every probe of `batch` (see class comment). Answers are
-  /// identical to calling Query per probe, in submission order.
-  /// \throws std::invalid_argument like Query, plus on out-of-range seq_ids.
+  /// Answers every probe of `batch` (see class comment). On the fault-free
+  /// path answers are identical to calling Query per probe, in submission
+  /// order, and every status is kOk. Under faults/deadlines, each probe
+  /// with statuses[i] == kOk still carries the exact answer; other probes
+  /// report why they have none (see ProbeStatus).
+  /// \throws std::invalid_argument like Query, plus on out-of-range
+  ///         seq_ids; OverloadedError when admission control sheds the
+  ///         batch (unless limits.shed_as_status).
   AnswerBatch Execute(const QueryBatch& batch);
+  AnswerBatch Execute(const QueryBatch& batch, const ExecuteLimits& limits);
 
   /// Applies a batch of edge mutations in order (see class comment).
   /// Inserts of edges already present and deletes of absent edges are exact
@@ -156,6 +213,17 @@ class ShardedRlcService {
   /// Waits for (and swaps in) every in-flight background shard/fallback
   /// reseal — the deterministic sync point for tests and benches.
   void FinishReseals();
+
+  /// Re-adopts one shard after its breaker tripped: in durable mode the
+  /// shard index reloads from the newest snapshot generation and replays
+  /// the intra-shard WAL tail (PR 6's recovery path, scoped to one shard);
+  /// otherwise it rebuilds from the partition's shard graph and re-applies
+  /// the live mutation overlay. Either way the fresh index answers exactly
+  /// on the current mutated graph, the constraint memo flushes (its MR ids
+  /// pointed into the old index), and the shard's breaker force-closes.
+  /// \throws std::runtime_error when both the durable reload and the
+  ///         rebuild fail; the old index then stays in place.
+  void ReviveShard(uint32_t shard);
 
   /// Durable mode only: checkpoints a new snapshot generation (per-shard +
   /// global + service meta files, WAL switch, manifest commit, stale
@@ -199,6 +267,16 @@ class ShardedRlcService {
   /// fallback share of the routing pathology BENCH_serving tracks.
   std::vector<uint64_t> ShardFallbackCounts() const;
 
+  /// Current circuit-breaker states (exported live through the
+  /// "serve.breaker.state.<i>" / ".fallback" gauges: 0 closed, 1 open,
+  /// 2 half-open).
+  BreakerState shard_breaker_state(uint32_t shard) const {
+    return shard_breakers_[shard].breaker.state();
+  }
+  BreakerState fallback_breaker_state() const {
+    return fallback_breaker_.breaker.state();
+  }
+
   /// Heap footprint: partition + shard indexes + fallback structures.
   uint64_t MemoryBytes() const;
 
@@ -233,6 +311,29 @@ class ShardedRlcService {
   /// Steps 2+3 for one probe (after any intra-shard miss).
   bool CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
                    const SeqEntry& entry, uint32_t ss, uint32_t st);
+
+  /// One breaker plus its exported state gauge.
+  struct BreakerSlot {
+    CircuitBreaker breaker;
+    obs::Gauge* state_gauge = nullptr;
+  };
+
+  /// Allow() with a lazy clock (closed breakers never read it), trial
+  /// counting, and the state gauge kept current.
+  CircuitBreaker::Decision BreakerDecide(BreakerSlot& slot);
+  /// OnFailure/OnSuccess with transition counters + gauge updates.
+  void BreakerFail(BreakerSlot& slot);
+  void BreakerOk(BreakerSlot& slot);
+
+  /// One scalar probe against the fallback engine, behind the fallback
+  /// breaker and the serve.fallback.probe failpoint. Exact on the mutated
+  /// whole graph; used for post-refutation cross probes and for degraded
+  /// intra-shard probes (which must bypass boundary refutation — without a
+  /// shard answer, an intra-shard witness may exist).
+  /// \throws UnavailableError when the fallback breaker denies or the
+  ///         probe faults.
+  bool FallbackProbe(VertexId s, VertexId t, const SeqEntry& entry,
+                     uint32_t source_shard);
 
   /// Rebuilds the patched graph + online searcher after updates (kOnline).
   void RebuildPatchedGraph();
@@ -308,6 +409,15 @@ class ShardedRlcService {
     obs::Counter& updates_deleted;
     obs::Counter& updates_duplicate;
     obs::Counter& updates_cross;
+    obs::Counter& shed;                ///< serve.shed
+    obs::Counter& deadline_exceeded;   ///< serve.deadline_exceeded
+    obs::Counter& breaker_opened;      ///< serve.breaker.opened
+    obs::Counter& breaker_reclosed;    ///< serve.breaker.reclosed
+    obs::Counter& breaker_trials;      ///< serve.breaker.trials
+    obs::Counter& breaker_degraded;    ///< serve.breaker.degraded_probes
+    obs::Counter& breaker_fail_fast;   ///< serve.breaker.fail_fast
+    obs::Counter& fallback_overruns;   ///< serve.fallback.budget_overruns
+    obs::Counter& shard_revives;       ///< serve.breaker.revives
   };
   struct StageHistograms {
     explicit StageHistograms(obs::Registry& reg);
@@ -324,6 +434,11 @@ class ShardedRlcService {
   ServiceCounters c_{metrics_};
   StageHistograms h_{metrics_};
   std::vector<obs::Counter*> shard_fallback_;  ///< serve.fallback.shard.<i>
+  // Fault-tolerance state: one breaker per shard plus one guarding the
+  // fallback engine (initialized in the constructor once the shard count
+  // is known).
+  std::vector<BreakerSlot> shard_breakers_;
+  BreakerSlot fallback_breaker_;
   double partition_seconds_ = 0.0;
   double index_build_seconds_ = 0.0;
   // Durability state (durable mode only; wal_ stays closed otherwise).

@@ -1,13 +1,17 @@
-// Failpoint fault injection for the durability persist path.
+// Failpoint fault injection for the durability persist path and the
+// serving query path.
 //
 // A failpoint is a named site in the code (WAL append, snapshot save,
-// manifest commit, raw file I/O) where a test — or an operator chasing a
-// bug — can inject a fault without recompiling:
+// manifest commit, raw file I/O, kernel-job execution, fallback probes)
+// where a test — or an operator chasing a bug — can inject a fault without
+// recompiling:
 //
 //   RLC_FAILPOINTS="wal.append.after_write=crash" ./crash_recovery_test
 //   RLC_FAILPOINTS="index_io.save.before_rename=error;io=short_write" ...
+//   RLC_FAILPOINTS="serve.shard.execute=error@p0.25;serve.fallback.probe=delay(5)@p0.1" ...
 //
-// Spec grammar: `name=action[@N]` entries separated by `;` or `,`. Actions:
+// Spec grammar: `name=action[@N|@pF]` entries separated by `;` or `,`.
+// Actions:
 //
 //   crash        _exit(kFailpointCrashStatus) immediately — no destructors,
 //                no stream flush, no atexit: the closest user-space
@@ -19,25 +23,38 @@
 //                disk that ran out of space mid-write — the torn-file case
 //                atomic rename + checksums must absorb. At a non-I/O
 //                failpoint it degrades to `error`.
+//   delay(MS)    sleep MS milliseconds at the failpoint, then continue — a
+//                slow disk / scheduling hiccup / GC pause stand-in for the
+//                deadline and circuit-breaker machinery to absorb.
 //
-// `@N` (default 1) arms the fault for the Nth time the site is hit, so a
-// test can crash the third checkpoint rather than the first.
+// Triggers:
+//
+//   @N   (default 1) arms the fault for the Nth time the site is hit from
+//        now, one-shot: a test can crash the third checkpoint rather than
+//        the first.
+//   @pF  fires independently with probability F in (0, 1] on *every* hit
+//        and stays armed — the chaos-schedule shape. Draws come from a
+//        seeded generator (RLC_FAILPOINTS_SEED env or Seed()), so a chaos
+//        run is reproducible given a deterministic evaluation order.
 //
 // The registry is process-global and thread-safe; evaluation is a mutex +
-// hash lookup, which is noise next to the fsync every armed site sits
-// beside (no failpoint is evaluated on the query path). Tests drive it
-// programmatically via Failpoints::Instance().Set/Clear; the environment
-// variable is parsed once on first use.
+// hash lookup. Persist-path sites sit next to an fsync, where that cost is
+// noise. Query-path sites must instead use FailpointHitFast(), which exits
+// on one relaxed atomic load while nothing is armed — the no-fault serving
+// overhead budget is measured with failpoints compiled in.
 //
 // tests/crash_recovery_test.cc forks a child per name in
 // failpoints::kPersistPath, arms it with `crash`, and proves recovery loses
 // no acknowledged update — keep that list in sync when adding a site (the
 // test also fails if an armed persist-path failpoint is never hit).
+// tests/chaos_test.cc drives the query-path sites with seeded probabilistic
+// schedules.
 
 #pragma once
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
@@ -60,6 +77,7 @@ enum class FailpointAction : uint8_t {
   kCrash,
   kError,
   kShortWrite,
+  kDelay,
 };
 
 class Failpoints {
@@ -70,14 +88,34 @@ class Failpoints {
   }
 
   /// Arms `name`: `action` fires on the `trigger_hit`-th evaluation
-  /// (1-based) counted from now.
+  /// (1-based) counted from now. For kDelay, `delay_ms` is the sleep.
   void Set(const std::string& name, FailpointAction action,
-           uint64_t trigger_hit = 1) {
+           uint64_t trigger_hit = 1, uint32_t delay_ms = 0) {
     std::lock_guard<std::mutex> lock(mu_);
     EnsureEnvLoadedLocked();
     State& s = map_[name];
     s.action = action;
     s.remaining = trigger_hit == 0 ? 1 : trigger_hit;
+    s.probability = 0.0;
+    s.delay_ms = delay_ms;
+    RecountLocked();
+  }
+
+  /// Arms `name` probabilistically: `action` fires with probability `p` on
+  /// every evaluation and stays armed.
+  void SetProbabilistic(const std::string& name, FailpointAction action,
+                        double p, uint32_t delay_ms = 0) {
+    if (!(p > 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("failpoint probability must be in (0,1]");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureEnvLoadedLocked();
+    State& s = map_[name];
+    s.action = action;
+    s.remaining = 1;
+    s.probability = p;
+    s.delay_ms = delay_ms;
+    RecountLocked();
   }
 
   /// Disarms everything and forgets hit counts (env spec is not re-read).
@@ -85,6 +123,14 @@ class Failpoints {
     std::lock_guard<std::mutex> lock(mu_);
     EnsureEnvLoadedLocked();
     map_.clear();
+    RecountLocked();
+  }
+
+  /// Reseeds the probabilistic-trigger generator (chaos schedules re-seed
+  /// per schedule so every run is reproducible).
+  void Seed(uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rng_state_ = seed != 0 ? seed : 0x9E3779B97F4A7C15ULL;
   }
 
   /// Parses an RLC_FAILPOINTS-style spec and arms every entry.
@@ -93,11 +139,14 @@ class Failpoints {
     std::lock_guard<std::mutex> lock(mu_);
     EnsureEnvLoadedLocked();
     ParseLocked(spec);
+    RecountLocked();
   }
 
   /// Evaluates the failpoint: counts the hit and returns the armed action
-  /// when this hit is the trigger, kOff otherwise.
-  FailpointAction Hit(const std::string& name) {
+  /// when this hit triggers, kOff otherwise. `delay_ms_out` (optional)
+  /// receives the sleep for kDelay.
+  FailpointAction Hit(const std::string& name,
+                      uint32_t* delay_ms_out = nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     EnsureEnvLoadedLocked();
     hits_[name]++;
@@ -105,24 +154,45 @@ class Failpoints {
     if (it == map_.end() || it->second.action == FailpointAction::kOff) {
       return FailpointAction::kOff;
     }
-    if (--it->second.remaining > 0) return FailpointAction::kOff;
-    const FailpointAction action = it->second.action;
-    it->second.action = FailpointAction::kOff;  // one-shot
+    State& s = it->second;
+    if (s.probability > 0.0) {
+      if (NextDoubleLocked() >= s.probability) return FailpointAction::kOff;
+      if (delay_ms_out != nullptr) *delay_ms_out = s.delay_ms;
+      return s.action;  // probabilistic entries stay armed
+    }
+    if (--s.remaining > 0) return FailpointAction::kOff;
+    const FailpointAction action = s.action;
+    if (delay_ms_out != nullptr) *delay_ms_out = s.delay_ms;
+    s.action = FailpointAction::kOff;  // one-shot
+    RecountLocked();
     return action;
   }
 
   /// How often `name` has been evaluated (armed or not) since process start
   /// (or the last Clear — hit counts survive Clear, they are diagnostics).
+  /// FailpointHitFast sites only count while something is armed.
   uint64_t HitCount(const std::string& name) {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = hits_.find(name);
     return it == hits_.end() ? 0 : it->second;
   }
 
+  /// True when any failpoint might fire — the one-load fast path that keeps
+  /// disarmed query-path sites free. Loads the env spec on first use.
+  bool MaybeArmed() {
+    if (!env_checked_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      EnsureEnvLoadedLocked();
+    }
+    return armed_.load(std::memory_order_relaxed) > 0;
+  }
+
  private:
   struct State {
     FailpointAction action = FailpointAction::kOff;
     uint64_t remaining = 1;
+    double probability = 0.0;  ///< 0 = deterministic @N trigger
+    uint32_t delay_ms = 0;
   };
 
   Failpoints() = default;
@@ -130,7 +200,33 @@ class Failpoints {
   void EnsureEnvLoadedLocked() {
     if (env_loaded_) return;
     env_loaded_ = true;
+    if (const char* seed = std::getenv("RLC_FAILPOINTS_SEED")) {
+      const uint64_t s = std::strtoull(seed, nullptr, 10);
+      rng_state_ = s != 0 ? s : 0x9E3779B97F4A7C15ULL;
+    }
     if (const char* spec = std::getenv("RLC_FAILPOINTS")) ParseLocked(spec);
+    RecountLocked();
+    env_checked_.store(true, std::memory_order_release);
+  }
+
+  void RecountLocked() {
+    size_t armed = 0;
+    for (const auto& [name, s] : map_) {
+      armed += s.action != FailpointAction::kOff;
+    }
+    armed_.store(armed, std::memory_order_relaxed);
+    env_checked_.store(true, std::memory_order_release);
+  }
+
+  /// xorshift64* in [0, 1); under mu_, so draws are totally ordered.
+  double NextDoubleLocked() {
+    uint64_t x = rng_state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rng_state_ = x;
+    return static_cast<double>((x * 0x2545F4914F6CDD1DULL) >> 11) /
+           static_cast<double>(uint64_t{1} << 53);
   }
 
   void ParseLocked(const std::string& spec) {
@@ -144,21 +240,32 @@ class Failpoints {
       const size_t eq = entry.find('=');
       if (eq == std::string::npos || eq == 0) {
         throw std::invalid_argument("failpoint spec entry '" + entry +
-                                    "' is not name=action[@N]");
+                                    "' is not name=action[@N|@pF]");
       }
       const std::string name = entry.substr(0, eq);
       std::string action_str = entry.substr(eq + 1);
       uint64_t trigger = 1;
+      double probability = 0.0;
       if (const size_t at = action_str.find('@'); at != std::string::npos) {
         const std::string count = action_str.substr(at + 1);
         char* parse_end = nullptr;
-        trigger = std::strtoull(count.c_str(), &parse_end, 10);
-        if (count.empty() || *parse_end != '\0' || trigger == 0) {
-          throw std::invalid_argument("failpoint spec entry '" + entry +
-                                      "' has a bad @N hit count");
+        if (!count.empty() && count[0] == 'p') {
+          probability = std::strtod(count.c_str() + 1, &parse_end);
+          if (count.size() < 2 || *parse_end != '\0' || !(probability > 0.0) ||
+              probability > 1.0) {
+            throw std::invalid_argument("failpoint spec entry '" + entry +
+                                        "' has a bad @pF probability");
+          }
+        } else {
+          trigger = std::strtoull(count.c_str(), &parse_end, 10);
+          if (count.empty() || *parse_end != '\0' || trigger == 0) {
+            throw std::invalid_argument("failpoint spec entry '" + entry +
+                                        "' has a bad @N hit count");
+          }
         }
         action_str.resize(at);
       }
+      uint32_t delay_ms = 0;
       FailpointAction action;
       if (action_str == "crash") {
         action = FailpointAction::kCrash;
@@ -168,14 +275,28 @@ class Failpoints {
         action = FailpointAction::kShortWrite;
       } else if (action_str == "off") {
         action = FailpointAction::kOff;
+      } else if (action_str.rfind("delay(", 0) == 0 &&
+                 action_str.back() == ')') {
+        const std::string ms = action_str.substr(6, action_str.size() - 7);
+        char* parse_end = nullptr;
+        const uint64_t v = std::strtoull(ms.c_str(), &parse_end, 10);
+        if (ms.empty() || *parse_end != '\0' || v > 60'000) {
+          throw std::invalid_argument("failpoint spec entry '" + entry +
+                                      "' has a bad delay(MS) — want MS in "
+                                      "[0, 60000]");
+        }
+        action = FailpointAction::kDelay;
+        delay_ms = static_cast<uint32_t>(v);
       } else {
         throw std::invalid_argument(
             "failpoint spec entry '" + entry +
-            "' has unknown action (want crash|error|short_write|off)");
+            "' has unknown action (want crash|error|short_write|delay(MS)|off)");
       }
       State& s = map_[name];
       s.action = action;
       s.remaining = trigger;
+      s.probability = probability;
+      s.delay_ms = delay_ms;
     }
   }
 
@@ -183,43 +304,62 @@ class Failpoints {
   std::unordered_map<std::string, State> map_;
   std::unordered_map<std::string, uint64_t> hits_;
   bool env_loaded_ = false;
+  std::atomic<bool> env_checked_{false};
+  std::atomic<size_t> armed_{0};
+  uint64_t rng_state_ = 0x9E3779B97F4A7C15ULL;
 };
 
 /// Evaluates failpoint `name` and acts on it: `crash` exits the process
-/// immediately (simulated power loss), `error` / `short_write` throw.
-/// Each evaluation also bumps the metrics counter "failpoint.<name>", so a
-/// metrics dump shows which persist-path sites a run exercised (the
-/// registry lookup is a mutex + map probe — noise next to the fsync every
-/// armed site sits beside, and never on the query path).
+/// immediately (simulated power loss), `error` / `short_write` throw,
+/// `delay(MS)` sleeps and continues. Each evaluation also bumps the metrics
+/// counter "failpoint.<name>", so a metrics dump shows which sites a run
+/// exercised (the registry lookup is a mutex + map probe — noise next to
+/// the fsync every armed persist-path site sits beside).
 inline void FailpointHit(const std::string& name) {
   if (obs::Enabled()) {
     obs::Registry::Global().GetCounter("failpoint." + name).Inc();
   }
-  switch (Failpoints::Instance().Hit(name)) {
+  uint32_t delay_ms = 0;
+  switch (Failpoints::Instance().Hit(name, &delay_ms)) {
     case FailpointAction::kOff:
       return;
     case FailpointAction::kCrash:
       _exit(kFailpointCrashStatus);
+    case FailpointAction::kDelay:
+      if (delay_ms > 0) ::usleep(delay_ms * 1000u);
+      return;
     case FailpointAction::kError:
     case FailpointAction::kShortWrite:
       throw std::runtime_error("injected failpoint error at " + name);
   }
 }
 
+/// FailpointHit for hot paths (kernel jobs, fallback probes): one relaxed
+/// atomic load while nothing is armed anywhere — no mutex, no metrics
+/// counter, no hit-count diagnostics. Armed behavior matches FailpointHit.
+inline void FailpointHitFast(const char* name) {
+  if (!Failpoints::Instance().MaybeArmed()) return;
+  FailpointHit(name);
+}
+
 /// Writes `n` bytes to `fd`, retrying short writes and EINTR. Consults the
 /// `io` failpoint first: `short_write` persists the first half of the
 /// buffer and then fails (a disk filling up mid-write), `error` fails
-/// without writing, `crash` exits. \throws std::runtime_error on any
-/// failure, including injected ones.
+/// without writing, `crash` exits, `delay` stalls and then writes normally.
+/// \throws std::runtime_error on any failure, including injected ones.
 inline void FailpointWrite(int fd, const void* data, size_t n,
                            const char* what = "write") {
   const char* p = static_cast<const char*>(data);
   size_t left = n;
-  switch (Failpoints::Instance().Hit("io")) {
+  uint32_t delay_ms = 0;
+  switch (Failpoints::Instance().Hit("io", &delay_ms)) {
     case FailpointAction::kOff:
       break;
     case FailpointAction::kCrash:
       _exit(kFailpointCrashStatus);
+    case FailpointAction::kDelay:
+      if (delay_ms > 0) ::usleep(delay_ms * 1000u);
+      break;
     case FailpointAction::kError:
       throw std::runtime_error(std::string(what) +
                                ": injected ENOSPC (failpoint io=error)");
@@ -254,7 +394,8 @@ inline void FailpointWrite(int fd, const void* data, size_t n,
 /// fsync(fd) with error -> exception. There is deliberately no failpoint
 /// here: the sites around a sync (after_write / after_sync) are the
 /// interesting crash instants, and a failed fsync has the same caller-
-/// visible shape as a failed write.
+/// visible shape as a failed write. (The WAL appender is the exception: it
+/// types its sync failures via the `wal.fsync` failpoint — see wal.h.)
 inline void FailpointSync(int fd, const char* what = "fsync") {
   if (::fsync(fd) != 0) {
     throw std::runtime_error(std::string(what) + " failed: " +
@@ -265,13 +406,15 @@ inline void FailpointSync(int fd, const char* what = "fsync") {
 namespace failpoints {
 
 // Persist-path failpoint names, in the order a mutation flows through them.
-// wal.append.* bracket the write+fsync of one WAL record;
+// wal.append.* bracket the write+fsync of one WAL record (wal.fsync is the
+// sync itself — see WalSyncError in wal.h);
 // index_io.save.* bracket every atomic snapshot/index file save (tmp write,
 // fsync, rename); manifest.commit.* bracket the manifest rename that makes
 // a new snapshot generation durable; checkpoint.after_commit sits between
 // the manifest commit and the WAL rotation + old-generation cleanup.
 inline constexpr const char* kWalAppendBeforeWrite = "wal.append.before_write";
 inline constexpr const char* kWalAppendAfterWrite = "wal.append.after_write";
+inline constexpr const char* kWalFsync = "wal.fsync";
 inline constexpr const char* kWalAppendAfterSync = "wal.append.after_sync";
 inline constexpr const char* kIndexSaveBeforeWrite = "index_io.save.before_write";
 inline constexpr const char* kIndexSaveAfterWrite = "index_io.save.after_write";
@@ -283,15 +426,28 @@ inline constexpr const char* kManifestCommitBeforeRename = "manifest.commit.befo
 inline constexpr const char* kManifestCommitAfterRename = "manifest.commit.after_rename";
 inline constexpr const char* kCheckpointAfterCommit = "checkpoint.after_commit";
 
+// Query-path failpoint names (serving). All are evaluated through
+// FailpointHitFast at job/probe granularity, never per kernel probe:
+// serve.shard.execute fires in the sharded executor's shard-phase jobs,
+// serve.kernel.job in the single-index ExecuteBatch jobs,
+// serve.fallback.execute in the sharded executor's whole-graph fallback
+// jobs, serve.fallback.probe per online-BiBFS fallback probe (and before
+// the scalar fallback probe).
+inline constexpr const char* kServeShardExecute = "serve.shard.execute";
+inline constexpr const char* kServeKernelJob = "serve.kernel.job";
+inline constexpr const char* kServeFallbackExecute = "serve.fallback.execute";
+inline constexpr const char* kServeFallbackProbe = "serve.fallback.probe";
+
 /// Every registered failpoint on the persist path.
 /// tests/crash_recovery_test.cc kills a child at each of these.
 inline constexpr const char* kPersistPath[] = {
     kWalAppendBeforeWrite,      kWalAppendAfterWrite,
-    kWalAppendAfterSync,        kIndexSaveBeforeWrite,
-    kIndexSaveAfterWrite,       kIndexSaveBeforeRename,
-    kIndexSaveAfterRename,      kManifestCommitBeforeWrite,
-    kManifestCommitAfterWrite,  kManifestCommitBeforeRename,
-    kManifestCommitAfterRename, kCheckpointAfterCommit,
+    kWalFsync,                  kWalAppendAfterSync,
+    kIndexSaveBeforeWrite,      kIndexSaveAfterWrite,
+    kIndexSaveBeforeRename,     kIndexSaveAfterRename,
+    kManifestCommitBeforeWrite, kManifestCommitAfterWrite,
+    kManifestCommitBeforeRename, kManifestCommitAfterRename,
+    kCheckpointAfterCommit,
 };
 
 }  // namespace failpoints

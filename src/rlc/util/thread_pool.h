@@ -7,14 +7,23 @@
 // executes fn(worker_index) on every worker concurrently and returns when
 // all of them have finished. Work distribution inside fn is the caller's
 // business (the builder uses a shared atomic cursor).
+//
+// The pool also carries a *bounded* fire-and-forget task queue for the
+// serving path's admission control: Submit() blocks while the queue is at
+// capacity (backpressure), TrySubmit() refuses instead (load shedding —
+// the caller sheds with a typed error rather than queueing into a latency
+// collapse). Tasks interleave with Run() barriers on the same workers;
+// queued tasks are drained before the workers exit.
 
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "rlc/obs/metrics.h"
@@ -28,8 +37,10 @@ class ThreadPool {
   /// cast to unsigned), not a real machine.
   static constexpr uint32_t kMaxThreads = 4096;
 
-  /// Spawns `num_threads` workers (>= 1).
-  explicit ThreadPool(uint32_t num_threads) {
+  /// Spawns `num_threads` workers (>= 1). `queue_capacity` bounds the
+  /// fire-and-forget task queue (0 = unbounded); it does not affect Run().
+  explicit ThreadPool(uint32_t num_threads, size_t queue_capacity = 0)
+      : queue_capacity_(queue_capacity) {
     RLC_REQUIRE(num_threads >= 1 && num_threads <= kMaxThreads,
                 "ThreadPool: thread count " << num_threads
                     << " out of range [1," << kMaxThreads << "]");
@@ -48,6 +59,7 @@ class ThreadPool {
       stop_ = true;
     }
     wake_.notify_all();
+    space_.notify_all();
     for (auto& w : workers_) w.join();
   }
 
@@ -71,6 +83,55 @@ class ThreadPool {
     if (metrics_on) BusyGauge().Sub(static_cast<int64_t>(size()));
   }
 
+  /// Enqueues a fire-and-forget task, blocking while the queue is at
+  /// capacity (backpressure). The task must not throw.
+  void Submit(std::function<void()> task) {
+    RLC_REQUIRE(task != nullptr, "ThreadPool::Submit: null task");
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      space_.wait(lock, [this] {
+        return stop_ || queue_capacity_ == 0 ||
+               tasks_.size() < queue_capacity_;
+      });
+      if (stop_) return;  // shutting down: the task is dropped
+      tasks_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Enqueues a fire-and-forget task unless the queue is at capacity;
+  /// returns false (without blocking) when it is — the load-shedding
+  /// primitive: the caller turns `false` into a typed OverloadedError
+  /// instead of waiting.
+  bool TrySubmit(std::function<void()> task) {
+    RLC_REQUIRE(task != nullptr, "ThreadPool::TrySubmit: null task");
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_) return false;
+      if (queue_capacity_ != 0 && tasks_.size() >= queue_capacity_) {
+        return false;
+      }
+      tasks_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+    return true;
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void Drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock,
+                  [this] { return tasks_.empty() && active_tasks_ == 0; });
+  }
+
+  /// Tasks queued but not yet claimed by a worker.
+  size_t queue_depth() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
+  size_t queue_capacity() const { return queue_capacity_; }
+
   /// Resolves a thread-count option: 0 means "all hardware threads".
   static uint32_t ResolveThreads(uint32_t requested) {
     if (requested != 0) return requested;
@@ -93,27 +154,50 @@ class ThreadPool {
   void WorkerLoop(uint32_t index) {
     uint64_t seen_generation = 0;
     for (;;) {
+      std::function<void()> task;
       const std::function<void(uint32_t)>* job = nullptr;
       {
         std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
-        if (stop_) return;
-        seen_generation = generation_;
-        job = job_;
+        wake_.wait(lock, [&] {
+          return stop_ || generation_ != seen_generation || !tasks_.empty();
+        });
+        if (!tasks_.empty()) {
+          // Queued tasks drain even during shutdown: a Submit() that
+          // returned must eventually run.
+          task = std::move(tasks_.front());
+          tasks_.pop_front();
+          ++active_tasks_;
+        } else if (stop_) {
+          return;
+        } else {
+          seen_generation = generation_;
+          job = job_;
+        }
       }
-      (*job)(index);
-      {
+      if (task) {
+        task();
+        std::unique_lock<std::mutex> lock(mu_);
+        --active_tasks_;
+        space_.notify_one();
+        if (tasks_.empty() && active_tasks_ == 0) drained_.notify_all();
+      } else {
+        (*job)(index);
         std::unique_lock<std::mutex> lock(mu_);
         if (--remaining_ == 0) done_.notify_all();
       }
     }
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable wake_;
   std::condition_variable done_;
+  std::condition_variable space_;    ///< queue dropped below capacity
+  std::condition_variable drained_;  ///< queue empty and no task running
   std::vector<std::thread> workers_;
   const std::function<void(uint32_t)>* job_ = nullptr;
+  std::deque<std::function<void()>> tasks_;
+  const size_t queue_capacity_;
+  uint32_t active_tasks_ = 0;
   uint64_t generation_ = 0;
   uint32_t remaining_ = 0;
   bool stop_ = false;

@@ -1,6 +1,9 @@
 #include "rlc/workload/query_gen.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "rlc/baselines/online_search.h"
@@ -96,31 +99,52 @@ void WriteWorkload(const Workload& w, std::ostream& out) {
   write_set(w.false_queries);
 }
 
-Workload ReadWorkload(std::istream& in) {
+Workload ReadWorkload(std::istream& in, const std::string& source) {
   Workload w;
   std::string line;
   uint64_t line_no = 0;
+  auto fail = [&](const std::string& what) -> void {
+    throw std::runtime_error(source + ":" + std::to_string(line_no) + ": " +
+                             what);
+  };
+  // Strict u32 parse: the stream operators accept leading '-' (wrapping)
+  // and stoul accepts trailing garbage; both would load a corrupt log as
+  // plausible-looking probes instead of rejecting it.
+  auto parse_u32 = [&](const std::string& tok, const char* field) -> uint32_t {
+    if (tok.empty() ||
+        tok.find_first_not_of("0123456789") != std::string::npos) {
+      fail(std::string(field) + ": expected an unsigned integer, got '" + tok +
+           "'");
+    }
+    errno = 0;
+    const unsigned long v = std::strtoul(tok.c_str(), nullptr, 10);
+    if (errno == ERANGE || v > std::numeric_limits<uint32_t>::max()) {
+      fail(std::string(field) + ": value '" + tok + "' out of range");
+    }
+    return static_cast<uint32_t>(v);
+  };
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
-    RlcQuery q;
-    std::string labels;
-    int expected = 0;
-    if (!(ls >> q.s >> q.t >> labels >> expected)) {
-      throw std::runtime_error("workload line " + std::to_string(line_no) +
-                               ": expected 's t l1,l2,... 0|1'");
+    std::string s_tok, t_tok, labels, expected_tok, extra;
+    if (!(ls >> s_tok >> t_tok >> labels >> expected_tok)) {
+      fail("expected 's t l1,l2,... 0|1'");
     }
+    if (ls >> extra) fail("trailing garbage '" + extra + "'");
+    RlcQuery q;
+    q.s = parse_u32(s_tok, "source vertex");
+    q.t = parse_u32(t_tok, "target vertex");
     std::istringstream lab(labels);
     std::string tok;
     while (std::getline(lab, tok, ',')) {
-      q.constraint.PushBack(static_cast<Label>(std::stoul(tok)));
+      q.constraint.PushBack(static_cast<Label>(parse_u32(tok, "label")));
     }
-    if (q.constraint.empty()) {
-      throw std::runtime_error("workload line " + std::to_string(line_no) +
-                               ": empty constraint");
+    if (q.constraint.empty()) fail("empty constraint");
+    if (expected_tok != "0" && expected_tok != "1") {
+      fail("expected flag must be 0 or 1, got '" + expected_tok + "'");
     }
-    q.expected = (expected != 0);
+    q.expected = expected_tok == "1";
     (q.expected ? w.true_queries : w.false_queries).push_back(q);
   }
   return w;
@@ -135,7 +159,7 @@ void SaveWorkload(const Workload& w, const std::string& path) {
 Workload LoadWorkload(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open workload file: " + path);
-  return ReadWorkload(in);
+  return ReadWorkload(in, path);
 }
 
 }  // namespace rlc

@@ -65,10 +65,16 @@ Workload GenerateWorkload(const DiGraph& g, const WorkloadOptions& options);
 LabelSeq RandomPrimitiveSeq(uint32_t length, Label num_labels, Rng& rng);
 
 /// \name Workload text I/O
-/// Line format: `s t l1,l2,... 0|1`.
+/// Line format: `s t l1,l2,... 0|1`. Blank lines and `#` comments are
+/// skipped. Readers validate every field — non-numeric endpoints or label
+/// tokens, an empty constraint, an expected flag outside {0,1} or trailing
+/// garbage all throw std::runtime_error whose message pins the offending
+/// line as `<source>:<line>: ...` (the file path when read via
+/// LoadWorkload), so a malformed query log is rejected rather than half
+/// loaded.
 ///@{
 void WriteWorkload(const Workload& w, std::ostream& out);
-Workload ReadWorkload(std::istream& in);
+Workload ReadWorkload(std::istream& in, const std::string& source = "workload");
 void SaveWorkload(const Workload& w, const std::string& path);
 Workload LoadWorkload(const std::string& path);
 ///@}

@@ -1,0 +1,710 @@
+// Fault-tolerance unit tests: deadline math edges, circuit-breaker state
+// machine under a fake clock (backoff doubling, jitter bounds), the
+// ThreadPool bounded task queue (reject vs block), failpoint grammar and
+// seeded probabilistic triggers, the WAL's typed fsync failure, and the
+// serving executors' deadline/shedding/degradation statuses.
+//
+// Everything here is deterministic — chaos_test.cc owns the randomized
+// fault schedules; this file pins the mechanisms one edge at a time.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rlc/core/indexer.h"
+#include "rlc/core/wal.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/serve/circuit_breaker.h"
+#include "rlc/serve/kernel_jobs.h"
+#include "rlc/serve/query_batch.h"
+#include "rlc/serve/serving_status.h"
+#include "rlc/serve/sharded_service.h"
+#include "rlc/util/failpoint.h"
+#include "rlc/util/rng.h"
+#include "rlc/util/thread_pool.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The failpoint registry is process-global; every test that arms it must
+/// leave it clean for the rest of the binary.
+struct FailpointGuard {
+  FailpointGuard() { Failpoints::Instance().Clear(); }
+  ~FailpointGuard() { Failpoints::Instance().Clear(); }
+};
+
+std::string TempDir(const std::string& tag) {
+  std::string templ =
+      (fs::temp_directory_path() / ("rlc_robust_" + tag + "_XXXXXX")).string();
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    throw std::runtime_error("mkdtemp failed for " + templ);
+  }
+  return std::string(buf.data());
+}
+
+DiGraph RandomGraph(VertexId n, uint64_t m, Label labels, uint64_t seed) {
+  Rng rng(seed);
+  auto edges = ErdosRenyiEdges(n, m, rng);
+  AssignZipfLabels(&edges, labels, 2.0, rng);
+  return DiGraph(n, std::move(edges), labels);
+}
+
+// ---------------------------------------------------------------- Deadline
+
+TEST(DeadlineTest, DefaultAndZeroBudgetNeverExpire) {
+  const Deadline none;
+  EXPECT_FALSE(none.active());
+  EXPECT_FALSE(none.Expired(0));
+  EXPECT_FALSE(none.Expired(~uint64_t{0}));
+  EXPECT_EQ(none.RemainingNs(12345), ~uint64_t{0});
+
+  const Deadline zero = Deadline::After(0, 1'000'000);
+  EXPECT_FALSE(zero.active());
+  EXPECT_FALSE(zero.Expired(~uint64_t{0}));
+}
+
+TEST(DeadlineTest, ExpiryBoundaryIsInclusive) {
+  const Deadline d = Deadline::After(100, 1000);
+  ASSERT_TRUE(d.active());
+  EXPECT_EQ(d.at_ns, 1100u);
+  EXPECT_FALSE(d.Expired(1099));
+  EXPECT_TRUE(d.Expired(1100));  // now == at: already expired
+  EXPECT_TRUE(d.Expired(1101));
+  EXPECT_EQ(d.RemainingNs(1000), 100u);
+  EXPECT_EQ(d.RemainingNs(1100), 0u);
+  EXPECT_EQ(d.RemainingNs(9999), 0u);
+}
+
+TEST(DeadlineTest, PastDeadlineExpiresImmediately) {
+  // A 1 ns budget stamped "in the past" relative to the probing clock.
+  const Deadline d = Deadline::After(1, 10);
+  EXPECT_TRUE(d.Expired(11));
+  EXPECT_TRUE(d.Expired(1'000'000));
+}
+
+TEST(DeadlineTest, OverflowSaturatesInsteadOfWrapping) {
+  const uint64_t max = ~uint64_t{0};
+  const Deadline d = Deadline::After(max, max - 5);
+  ASSERT_TRUE(d.active());
+  EXPECT_EQ(d.at_ns, max);  // saturated, not wrapped to a tiny value
+  EXPECT_FALSE(d.Expired(max - 1));
+}
+
+// ---------------------------------------------------------- CircuitBreaker
+
+BreakerOptions FastBreaker(uint32_t failures = 3, uint64_t backoff = 1000) {
+  BreakerOptions bo;
+  bo.failure_threshold = failures;
+  bo.initial_backoff_ns = backoff;
+  bo.max_backoff_ns = backoff * 8;
+  bo.backoff_multiplier = 2.0;
+  bo.jitter_fraction = 0.0;  // exact retry_at in the state-machine tests
+  bo.seed = 7;
+  return bo;
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresOnly) {
+  CircuitBreaker b(FastBreaker(3));
+  uint64_t now = 0;
+  EXPECT_FALSE(b.OnFailure(++now));
+  EXPECT_FALSE(b.OnFailure(++now));
+  EXPECT_FALSE(b.OnSuccess(++now));  // success resets the streak
+  EXPECT_FALSE(b.OnFailure(++now));
+  EXPECT_FALSE(b.OnFailure(++now));
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.OnFailure(++now));  // third consecutive: trips
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, OpenDeniesUntilBackoffThenTrials) {
+  CircuitBreaker b(FastBreaker(1, /*backoff=*/1000));
+  ASSERT_TRUE(b.OnFailure(5000));
+  EXPECT_EQ(b.retry_at_ns(), 6000u);  // no jitter
+  EXPECT_EQ(b.Allow(5999), CircuitBreaker::Decision::kDeny);
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.Allow(6000), CircuitBreaker::Decision::kTrial);
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  // Still half-open on the next gate: more trials, not a re-open.
+  EXPECT_EQ(b.Allow(6001), CircuitBreaker::Decision::kTrial);
+}
+
+TEST(CircuitBreakerTest, HalfOpenSuccessRecloses) {
+  CircuitBreaker b(FastBreaker(1));
+  ASSERT_TRUE(b.OnFailure(0));
+  ASSERT_EQ(b.Allow(2000), CircuitBreaker::Decision::kTrial);
+  EXPECT_TRUE(b.OnSuccess(2001));  // reports the reclose
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.current_backoff_ns(), 1000u);  // backoff ladder restarted
+}
+
+TEST(CircuitBreakerTest, SuccessThresholdRequiresConsecutiveTrials) {
+  BreakerOptions bo = FastBreaker(1);
+  bo.success_threshold = 2;
+  CircuitBreaker b(bo);
+  ASSERT_TRUE(b.OnFailure(0));
+  ASSERT_EQ(b.Allow(2000), CircuitBreaker::Decision::kTrial);
+  EXPECT_FALSE(b.OnSuccess(2001));  // 1 of 2
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(b.OnSuccess(2002));  // 2 of 2: reclosed
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureDoublesBackoffUpToCap) {
+  CircuitBreaker b(FastBreaker(1, /*backoff=*/1000));  // cap 8000
+  uint64_t now = 0;
+  std::vector<uint64_t> backoffs;
+  for (int round = 0; round < 6; ++round) {
+    if (round == 0) {
+      ASSERT_TRUE(b.OnFailure(now));
+    } else {
+      ASSERT_EQ(b.Allow(b.retry_at_ns()), CircuitBreaker::Decision::kTrial);
+      ASSERT_TRUE(b.OnFailure(b.retry_at_ns()));  // failed trial re-opens
+    }
+    backoffs.push_back(b.current_backoff_ns());
+  }
+  EXPECT_EQ(backoffs,
+            (std::vector<uint64_t>{1000, 2000, 4000, 8000, 8000, 8000}));
+}
+
+TEST(CircuitBreakerTest, JitterStaysWithinConfiguredFraction) {
+  BreakerOptions bo = FastBreaker(1, /*backoff=*/1'000'000);
+  bo.jitter_fraction = 0.25;
+  bo.seed = 42;
+  CircuitBreaker b(bo);
+  bool saw_nonzero_jitter = false;
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t now = static_cast<uint64_t>(i) * 10'000'000;
+    if (i == 0) {
+      ASSERT_TRUE(b.OnFailure(now));
+    } else {
+      ASSERT_EQ(b.Allow(now), CircuitBreaker::Decision::kTrial);
+      b.OnSuccess(now);  // reclose so the next failure re-trips from closed
+      ASSERT_TRUE(b.OnFailure(now));
+    }
+    const uint64_t wait = b.retry_at_ns() - now;
+    EXPECT_GE(wait, 1'000'000u);
+    EXPECT_LT(wait, 1'250'000u);  // backoff * (1 + jitter_fraction)
+    saw_nonzero_jitter |= wait > 1'000'000u;
+  }
+  EXPECT_TRUE(saw_nonzero_jitter);
+}
+
+TEST(CircuitBreakerTest, JitterIsDeterministicInSeed) {
+  auto run = [](uint64_t seed) {
+    BreakerOptions bo = FastBreaker(1);
+    bo.jitter_fraction = 0.5;
+    bo.seed = seed;
+    CircuitBreaker b(bo);
+    std::vector<uint64_t> retries;
+    for (int i = 0; i < 10; ++i) {
+      const uint64_t now = static_cast<uint64_t>(i) * 1'000'000;
+      if (i > 0) {
+        b.Allow(now);
+        b.OnSuccess(now);
+      }
+      b.OnFailure(now);
+      retries.push_back(b.retry_at_ns());
+    }
+    return retries;
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+TEST(CircuitBreakerTest, OpenStateFailuresDoNotRetripOrExtend) {
+  CircuitBreaker b(FastBreaker(1, 1000));
+  ASSERT_TRUE(b.OnFailure(0));
+  const uint64_t retry = b.retry_at_ns();
+  EXPECT_FALSE(b.OnFailure(10));  // already open: not a new trip
+  EXPECT_EQ(b.retry_at_ns(), retry);
+}
+
+TEST(CircuitBreakerTest, ResetForceClosesAndRestartsLadder) {
+  CircuitBreaker b(FastBreaker(1, 1000));
+  ASSERT_TRUE(b.OnFailure(0));
+  ASSERT_EQ(b.Allow(2000), CircuitBreaker::Decision::kTrial);
+  ASSERT_TRUE(b.OnFailure(2000));  // backoff now 2000
+  b.Reset();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.current_backoff_ns(), 1000u);
+  EXPECT_EQ(b.Allow(0), CircuitBreaker::Decision::kAllow);
+}
+
+// ------------------------------------------------------- ThreadPool queue
+
+TEST(ThreadPoolQueueTest, TrySubmitRejectsWhenFull) {
+  ThreadPool pool(1, /*queue_capacity=*/2);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> ran{0};
+  pool.Submit([gate, &ran] {
+    gate.wait();
+    ++ran;
+  });
+  // Wait for the worker to claim the blocker so the queue is empty again.
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ++ran; }));
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ++ran; }));
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ++ran; }));  // at capacity: shed
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  release.set_value();
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolQueueTest, SubmitBlocksUntilSpaceFrees) {
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> ran{0};
+  pool.Submit([gate, &ran] {
+    gate.wait();
+    ++ran;
+  });
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+  pool.Submit([&ran] { ++ran; });  // fills the queue
+  std::atomic<bool> unblocked{false};
+  std::thread submitter([&] {
+    pool.Submit([&ran] { ++ran; });  // backpressure: must wait for a slot
+    unblocked = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(unblocked.load());
+  release.set_value();
+  submitter.join();
+  EXPECT_TRUE(unblocked.load());
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolQueueTest, UnboundedQueueNeverSheds) {
+  ThreadPool pool(2);  // capacity 0 = unbounded
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&ran] { ++ran; }));
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolQueueTest, TasksInterleaveWithRunBarriers) {
+  ThreadPool pool(2, 4);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.Submit([&ran] { ++ran; });
+    std::atomic<int> barrier_hits{0};
+    pool.Run([&](uint32_t) { ++barrier_hits; });
+    EXPECT_EQ(barrier_hits.load(), 2);
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 5);
+}
+
+// -------------------------------------------------------------- Failpoints
+
+TEST(FailpointTest, ParseRejectsMalformedSpecs) {
+  FailpointGuard guard;
+  Failpoints& fp = Failpoints::Instance();
+  for (const char* bad :
+       {"noequals", "=error", "x=bogus", "x=error@0", "x=error@abc",
+        "x=error@p0", "x=error@p1.5", "x=error@pxyz", "x=delay(abc)",
+        "x=delay(99999999)", "x=delay(5"}) {
+    EXPECT_THROW(fp.Parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(FailpointTest, DeterministicTriggerFiresOnNthHitOnce) {
+  FailpointGuard guard;
+  Failpoints& fp = Failpoints::Instance();
+  fp.Parse("rt.a=error@3");
+  EXPECT_EQ(fp.Hit("rt.a"), FailpointAction::kOff);
+  EXPECT_EQ(fp.Hit("rt.a"), FailpointAction::kOff);
+  EXPECT_EQ(fp.Hit("rt.a"), FailpointAction::kError);
+  EXPECT_EQ(fp.Hit("rt.a"), FailpointAction::kOff);  // one-shot
+  EXPECT_GE(fp.HitCount("rt.a"), 4u);
+  EXPECT_FALSE(fp.MaybeArmed());
+}
+
+TEST(FailpointTest, ProbabilisticTriggerStaysArmedAndIsSeeded) {
+  FailpointGuard guard;
+  Failpoints& fp = Failpoints::Instance();
+  auto draw = [&](uint64_t seed) {
+    fp.Clear();
+    fp.Parse("rt.p=error@p0.5");
+    fp.Seed(seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(fp.Hit("rt.p") == FailpointAction::kError);
+    }
+    return fired;
+  };
+  const std::vector<bool> a = draw(1234);
+  const std::vector<bool> b = draw(1234);
+  const std::vector<bool> c = draw(5678);
+  EXPECT_EQ(a, b);  // reproducible given the seed
+  EXPECT_NE(a, c);
+  const size_t fires = static_cast<size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 50u);  // ~100 expected; stays armed throughout
+  EXPECT_LT(fires, 150u);
+  EXPECT_TRUE(fp.MaybeArmed());  // probabilistic entries never disarm
+}
+
+TEST(FailpointTest, ProbabilityOneAlwaysFires) {
+  FailpointGuard guard;
+  Failpoints& fp = Failpoints::Instance();
+  fp.SetProbabilistic("rt.sure", FailpointAction::kError, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fp.Hit("rt.sure"), FailpointAction::kError);
+  }
+  EXPECT_THROW(fp.SetProbabilistic("rt.bad", FailpointAction::kError, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(fp.SetProbabilistic("rt.bad", FailpointAction::kError, 1.5),
+               std::invalid_argument);
+}
+
+TEST(FailpointTest, DelayActionCarriesItsMilliseconds) {
+  FailpointGuard guard;
+  Failpoints& fp = Failpoints::Instance();
+  fp.Parse("rt.d=delay(7)");
+  uint32_t delay_ms = 0;
+  EXPECT_EQ(fp.Hit("rt.d", &delay_ms), FailpointAction::kDelay);
+  EXPECT_EQ(delay_ms, 7u);
+  // FailpointHit sleeps through a delay instead of throwing.
+  fp.Parse("rt.d2=delay(1)");
+  EXPECT_NO_THROW(FailpointHit("rt.d2"));
+}
+
+TEST(FailpointTest, ClearDisarmsAndOffOverrides) {
+  FailpointGuard guard;
+  Failpoints& fp = Failpoints::Instance();
+  fp.Parse("rt.x=error;rt.y=error@p0.9");
+  EXPECT_TRUE(fp.MaybeArmed());
+  fp.Parse("rt.x=off");
+  fp.Clear();
+  EXPECT_FALSE(fp.MaybeArmed());
+  EXPECT_EQ(fp.Hit("rt.x"), FailpointAction::kOff);
+  EXPECT_EQ(fp.Hit("rt.y"), FailpointAction::kOff);
+}
+
+// ----------------------------------------------------------- WAL fsync
+
+TEST(WalFsyncTest, InjectedSyncFailureIsTypedAndRetrySafe) {
+  FailpointGuard guard;
+  const std::string dir = TempDir("walsync");
+  const std::string path = dir + "/test.log";
+  WalWriter writer;
+  writer.Open(path);
+  const std::vector<EdgeUpdate> batch = {{1, 0, 2, EdgeOp::kInsert},
+                                         {3, 1, 4, EdgeOp::kDelete}};
+  Failpoints::Instance().Set(failpoints::kWalFsync, FailpointAction::kError);
+  EXPECT_THROW(writer.Append(1, batch), WalSyncError);
+  // Rolled back to the record boundary: nothing acknowledged, nothing kept.
+  EXPECT_EQ(fs::file_size(path), 0u);
+  EXPECT_EQ(writer.records_appended(), 0u);
+  // Retrying the same LSN after the fault clears must succeed and be the
+  // only record in the log.
+  writer.Append(1, batch);
+  const WalReadResult res = ReadWalFile(path);
+  ASSERT_EQ(res.records.size(), 1u);
+  EXPECT_EQ(res.records[0].lsn, 1u);
+  ASSERT_EQ(res.records[0].updates.size(), 2u);
+  EXPECT_EQ(res.records[0].updates[1].src, 3u);
+  EXPECT_EQ(res.dropped_bytes, 0u);
+  writer.Close();
+  fs::remove_all(dir);
+}
+
+TEST(WalFsyncTest, DelayedSyncStillAppends) {
+  FailpointGuard guard;
+  const std::string dir = TempDir("waldelay");
+  WalWriter writer;
+  writer.Open(dir + "/test.log");
+  Failpoints::Instance().Set(failpoints::kWalFsync, FailpointAction::kDelay,
+                             /*trigger_hit=*/1, /*delay_ms=*/1);
+  const std::vector<EdgeUpdate> batch = {{1, 0, 2, EdgeOp::kInsert}};
+  EXPECT_NO_THROW(writer.Append(1, batch));
+  EXPECT_EQ(writer.records_appended(), 1u);
+  writer.Close();
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------- ExecuteBatch deadline statuses
+
+TEST(ExecuteBatchDeadlineTest, TinyBudgetSkipsJobsWithExplicitStatus) {
+  const DiGraph g = RandomGraph(200, 800, 4, 3);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  QueryBatch batch;
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    batch.Add(static_cast<VertexId>(rng.Below(g.num_vertices())),
+              static_cast<VertexId>(rng.Below(g.num_vertices())),
+              LabelSeq{static_cast<Label>(rng.Below(g.num_labels()))});
+  }
+  ExecuteOptions options;
+  options.batch_budget_ns = 1;  // expires before any job can start
+  const AnswerBatch out = ExecuteBatch(index, batch, options);
+  ASSERT_EQ(out.statuses.size(), batch.num_probes());
+  EXPECT_EQ(out.num_deadline_exceeded, batch.num_probes());
+  EXPECT_FALSE(out.all_ok());
+  for (size_t i = 0; i < out.statuses.size(); ++i) {
+    EXPECT_EQ(out.statuses[i], ProbeStatus::kDeadlineExceeded);
+    EXPECT_EQ(out.answers[i], 0);  // non-kOk answers stay 0
+  }
+}
+
+TEST(ExecuteBatchDeadlineTest, NoBudgetAnswersEverythingExactly) {
+  const DiGraph g = RandomGraph(200, 800, 4, 3);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  QueryBatch batch;
+  std::vector<uint8_t> want;
+  Rng rng(6);
+  for (int i = 0; i < 64; ++i) {
+    const auto s = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.Below(g.num_vertices()));
+    const LabelSeq seq{static_cast<Label>(rng.Below(g.num_labels()))};
+    batch.Add(s, t, seq);
+    want.push_back(index.Query(s, t, seq) ? 1 : 0);
+  }
+  const AnswerBatch out = ExecuteBatch(index, batch);
+  EXPECT_TRUE(out.all_ok());
+  EXPECT_EQ(out.answers, want);
+  for (const ProbeStatus s : out.statuses) EXPECT_EQ(s, ProbeStatus::kOk);
+}
+
+TEST(ExecuteBatchDeadlineTest, FailedJobSurfacesAsUnavailableNotGarbage) {
+  FailpointGuard guard;
+  const DiGraph g = RandomGraph(120, 500, 4, 4);
+  const RlcIndex index = BuildRlcIndex(g, 2);
+  QueryBatch batch;
+  Rng rng(8);
+  for (int i = 0; i < 32; ++i) {
+    batch.Add(static_cast<VertexId>(rng.Below(g.num_vertices())),
+              static_cast<VertexId>(rng.Below(g.num_vertices())),
+              LabelSeq{static_cast<Label>(rng.Below(g.num_labels()))});
+  }
+  Failpoints::Instance().SetProbabilistic(failpoints::kServeKernelJob,
+                                          FailpointAction::kError, 1.0);
+  const AnswerBatch out = ExecuteBatch(index, batch);
+  EXPECT_EQ(out.num_unavailable, batch.num_probes());
+  for (size_t i = 0; i < out.statuses.size(); ++i) {
+    EXPECT_EQ(out.statuses[i], ProbeStatus::kShardUnavailable);
+    EXPECT_EQ(out.answers[i], 0);
+  }
+}
+
+// ------------------------------------------------- Service admission/shed
+
+ServiceOptions RobustOpts(uint32_t shards = 3) {
+  ServiceOptions options;
+  options.partition.num_shards = shards;
+  options.indexer.k = 2;
+  options.build_threads = 2;
+  return options;
+}
+
+QueryBatch MakeBatch(const DiGraph& g, size_t n, uint64_t seed) {
+  QueryBatch batch;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    batch.Add(static_cast<VertexId>(rng.Below(g.num_vertices())),
+              static_cast<VertexId>(rng.Below(g.num_vertices())),
+              LabelSeq{static_cast<Label>(rng.Below(g.num_labels()))});
+  }
+  return batch;
+}
+
+TEST(ServiceAdmissionTest, BatchProbeCapShedsTypedOrAsStatuses) {
+  const DiGraph g = RandomGraph(150, 600, 4, 9);
+  ServiceOptions options = RobustOpts();
+  options.max_batch_probes = 8;
+  ShardedRlcService service(g, options);
+  const QueryBatch small = MakeBatch(g, 8, 1);
+  const QueryBatch big = MakeBatch(g, 9, 2);
+
+  EXPECT_NO_THROW(service.Execute(small));
+  EXPECT_THROW(service.Execute(big), OverloadedError);
+
+  ExecuteLimits limits;
+  limits.shed_as_status = true;
+  const AnswerBatch out = service.Execute(big, limits);
+  EXPECT_EQ(out.num_shedded, big.num_probes());
+  for (const ProbeStatus s : out.statuses) {
+    EXPECT_EQ(s, ProbeStatus::kShedded);
+  }
+  EXPECT_GE(service.stats().shed, 2 * big.num_probes());
+}
+
+TEST(ServiceAdmissionTest, QueueHighWaterMarkSheds) {
+  const DiGraph g = RandomGraph(150, 600, 4, 9);
+  ServiceOptions options = RobustOpts();
+  options.max_pending_jobs = 4;
+  ShardedRlcService service(g, options);
+  const QueryBatch batch = MakeBatch(g, 16, 3);
+  EXPECT_NO_THROW(service.Execute(batch));
+  // Simulate a saturated executor: park the process-global queue-depth
+  // gauge at the high-water mark and watch admission refuse new batches.
+  internal::KernelQueueDepthGauge().Add(4);
+  EXPECT_THROW(service.Execute(batch), OverloadedError);
+  internal::KernelQueueDepthGauge().Sub(4);
+  EXPECT_NO_THROW(service.Execute(batch));
+}
+
+// ------------------------------------------------ Service breaker behavior
+
+TEST(ServiceBreakerTest, BrokenShardDegradesToExactFallbackAnswers) {
+  FailpointGuard guard;
+  const DiGraph g = RandomGraph(200, 800, 4, 21);
+  const RlcIndex oracle = BuildRlcIndex(g, 2);
+  ServiceOptions options = RobustOpts();
+  options.breaker.failure_threshold = 1;
+  options.breaker.initial_backoff_ns = 60ull * 1'000'000'000;  // stays open
+  ShardedRlcService service(g, options);
+
+  const QueryBatch batch = MakeBatch(g, 96, 4);
+  std::vector<uint8_t> want;
+  for (const BatchProbe& p : batch.probes()) {
+    want.push_back(
+        oracle.QueryInterned(p.s, p.t,
+                             oracle.FindMr(batch.sequence(p.seq_id)))
+            ? 1
+            : 0);
+  }
+
+  // First shard-phase job errors once; its probes must detour to the
+  // fallback and still come back exact.
+  Failpoints::Instance().Set(failpoints::kServeShardExecute,
+                             FailpointAction::kError);
+  const AnswerBatch faulted = service.Execute(batch);
+  EXPECT_TRUE(faulted.all_ok());
+  EXPECT_EQ(faulted.answers, want);
+  EXPECT_GT(faulted.num_degraded, 0u);
+  EXPECT_GE(service.stats().breaker_opened, 1u);
+  bool some_open = false;
+  for (uint32_t s = 0; s < service.partition().num_shards(); ++s) {
+    some_open |= service.shard_breaker_state(s) == BreakerState::kOpen;
+  }
+  EXPECT_TRUE(some_open);
+
+  // With the breaker open (backoff far away) the shard is bypassed
+  // entirely — no failpoint needed — and answers stay exact.
+  const AnswerBatch degraded = service.Execute(batch);
+  EXPECT_TRUE(degraded.all_ok());
+  EXPECT_EQ(degraded.answers, want);
+  EXPECT_GT(degraded.num_degraded, 0u);
+}
+
+TEST(ServiceBreakerTest, BreakerReclosesAfterCleanTrial) {
+  FailpointGuard guard;
+  const DiGraph g = RandomGraph(200, 800, 4, 22);
+  ServiceOptions options = RobustOpts();
+  options.breaker.failure_threshold = 1;
+  options.breaker.initial_backoff_ns = 1;  // trial on the very next batch
+  ShardedRlcService service(g, options);
+  const QueryBatch batch = MakeBatch(g, 96, 5);
+
+  Failpoints::Instance().Set(failpoints::kServeShardExecute,
+                             FailpointAction::kError);
+  service.Execute(batch);
+  ASSERT_GE(service.stats().breaker_opened, 1u);
+
+  const AnswerBatch healed = service.Execute(batch);  // clean trial
+  EXPECT_TRUE(healed.all_ok());
+  EXPECT_GE(service.stats().breaker_trials, 1u);
+  EXPECT_GE(service.stats().breaker_reclosed, 1u);
+  for (uint32_t s = 0; s < service.partition().num_shards(); ++s) {
+    EXPECT_EQ(service.shard_breaker_state(s), BreakerState::kClosed);
+  }
+}
+
+// ----------------------------------------------------------- ReviveShard
+
+std::vector<EdgeUpdate> SomeUpdates(const DiGraph& g, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EdgeUpdate> updates;
+  const std::vector<Edge> base = g.ToEdgeList();
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 3 == 2 && !base.empty()) {
+      const Edge& e = base[rng.Below(base.size())];
+      updates.push_back({e.src, e.label, e.dst, EdgeOp::kDelete});
+    } else {
+      updates.push_back({static_cast<VertexId>(rng.Below(g.num_vertices())),
+                         static_cast<Label>(rng.Below(g.num_labels())),
+                         static_cast<VertexId>(rng.Below(g.num_vertices())),
+                         EdgeOp::kInsert});
+    }
+  }
+  return updates;
+}
+
+void ExpectReviveKeepsAnswers(ShardedRlcService& service, const DiGraph& g) {
+  const QueryBatch batch = MakeBatch(g, 128, 6);
+  const AnswerBatch before = service.Execute(batch);
+  ASSERT_TRUE(before.all_ok());
+  const uint64_t revives_before = service.stats().shard_revives;
+  for (uint32_t s = 0; s < service.partition().num_shards(); ++s) {
+    service.ReviveShard(s);
+    const AnswerBatch after = service.Execute(batch);
+    ASSERT_TRUE(after.all_ok());
+    ASSERT_EQ(after.answers, before.answers) << "revive changed shard " << s;
+  }
+  EXPECT_EQ(service.stats().shard_revives,
+            revives_before + service.partition().num_shards());
+}
+
+TEST(ReviveShardTest, RebuildPathReproducesMutatedShardExactly) {
+  const DiGraph g = RandomGraph(180, 700, 4, 31);
+  ShardedRlcService service(g, RobustOpts());
+  service.ApplyUpdates(SomeUpdates(g, 40, 7));
+  ExpectReviveKeepsAnswers(service, g);
+}
+
+TEST(ReviveShardTest, DurablePathReproducesMutatedShardExactly) {
+  const DiGraph g = RandomGraph(180, 700, 4, 32);
+  const std::string dir = TempDir("revive");
+  ServiceOptions options = RobustOpts();
+  options.durability.dir = dir;
+  {
+    ShardedRlcService service(g, options);
+    service.ApplyUpdates(SomeUpdates(g, 40, 8));  // lands in the WAL tail
+    ExpectReviveKeepsAnswers(service, g);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ReviveShardTest, ReviveResetsAnOpenBreaker) {
+  FailpointGuard guard;
+  const DiGraph g = RandomGraph(180, 700, 4, 33);
+  ServiceOptions options = RobustOpts();
+  options.breaker.failure_threshold = 1;
+  options.breaker.initial_backoff_ns = 60ull * 1'000'000'000;
+  ShardedRlcService service(g, options);
+  Failpoints::Instance().Set(failpoints::kServeShardExecute,
+                             FailpointAction::kError);
+  service.Execute(MakeBatch(g, 96, 9));
+  uint32_t open_shard = service.partition().num_shards();
+  for (uint32_t s = 0; s < service.partition().num_shards(); ++s) {
+    if (service.shard_breaker_state(s) == BreakerState::kOpen) open_shard = s;
+  }
+  ASSERT_LT(open_shard, service.partition().num_shards());
+  service.ReviveShard(open_shard);
+  EXPECT_EQ(service.shard_breaker_state(open_shard), BreakerState::kClosed);
+}
+
+}  // namespace
+}  // namespace rlc
