@@ -17,6 +17,13 @@
 // The interesting ratios (also emitted as a JSON record): batched_index vs
 // scalar_query is the per-call-overhead amortization; batched_index vs
 // scalar_interned isolates the CSR prefetch pipeline.
+//
+// Sharded phases also emit routing composition telemetry per mode —
+// intra_shard_share (endpoints co-located, no composition needed) and
+// skeleton hops per composed probe — plus a "memory" record comparing the
+// aggregate per-shard index bytes against the whole-graph index (the
+// ~1/N scaling claim) and a "community" record contrasting kHash vs
+// kRangeOrdered locality on a planted-partition graph.
 
 #include <algorithm>
 #include <cstdio>
@@ -133,9 +140,21 @@ int main(int argc, char** argv) {
                     .Set("ns_per_probe", ns)
                     .Set("agree", agree);
     if (stats != nullptr) {
+      const double intra_share =
+          stats->queries == 0
+              ? 0.0
+              : static_cast<double>(stats->intra_true + stats->intra_miss) /
+                    static_cast<double>(stats->queries);
+      std::printf("  %-18s  intra_shard_share %.3f, composed %llu, "
+                  "skeleton hops %llu\n",
+                  "", intra_share,
+                  static_cast<unsigned long long>(stats->compose_probes),
+                  static_cast<unsigned long long>(stats->compose_skeleton_hops));
       rec.Set("intra_true", stats->intra_true)
           .Set("cross_refuted", stats->cross_refuted)
-          .Set("fallback_probes", stats->fallback_probes);
+          .Set("compose_probes", stats->compose_probes)
+          .Set("compose_skeleton_hops", stats->compose_skeleton_hops)
+          .Set("intra_shard_share", intra_share);
     }
   };
 
@@ -145,9 +164,13 @@ int main(int argc, char** argv) {
   auto stats_delta = [&](const ServiceStats& before, const ServiceStats& after,
                          int runs) {
     ServiceStats d;
+    d.queries = (after.queries - before.queries) / runs;
     d.intra_true = (after.intra_true - before.intra_true) / runs;
+    d.intra_miss = (after.intra_miss - before.intra_miss) / runs;
     d.cross_refuted = (after.cross_refuted - before.cross_refuted) / runs;
-    d.fallback_probes = (after.fallback_probes - before.fallback_probes) / runs;
+    d.compose_probes = (after.compose_probes - before.compose_probes) / runs;
+    d.compose_skeleton_hops =
+        (after.compose_skeleton_hops - before.compose_skeleton_hops) / runs;
     return d;
   };
 
@@ -244,8 +267,8 @@ int main(int argc, char** argv) {
     resilience.Execute(small, expired);
 
     // One erroring pass trips every touched shard breaker
-    // (failure_threshold=1, answers stay exact via the fallback detour);
-    // clean traffic after the backoff recloses them.
+    // (failure_threshold=1, answers stay exact via index-free degraded
+    // evaluation); clean traffic after the backoff recloses them.
     Failpoints::Instance().Parse("serve.shard.execute=error@p1");
     const AnswerBatch degraded = resilience.Execute(small);
     Failpoints::Instance().Clear();
@@ -283,30 +306,120 @@ int main(int argc, char** argv) {
     all_agree = all_agree && resilient;
   }
 
-  // --- per-shard fallback attribution + per-stage latency percentiles ---
+  // --- per-shard composition attribution + per-stage latency percentiles ---
   // The routing pathology this harness watches for is "one shard's boundary
-  // refutation stopped working": total fallback_probes stays flat while one
+  // refutation stopped working": total compose_probes stays flat while one
   // shard's share spikes. Per-stage serve.stage.* histograms land in the
   // JSON via AppendMetrics (p50/p95/p99 per record).
   {
-    const std::vector<uint64_t> per_shard = service.ShardFallbackCounts();
-    uint64_t fallback_total = 0;
-    for (const uint64_t c : per_shard) fallback_total += c;
+    const std::vector<uint64_t> per_shard = service.ShardComposeCounts();
+    uint64_t compose_total = 0;
+    for (const uint64_t c : per_shard) compose_total += c;
     for (uint32_t s = 0; s < per_shard.size(); ++s) {
       const double share =
-          fallback_total == 0
-              ? 0.0
-              : static_cast<double>(per_shard[s]) /
-                    static_cast<double>(fallback_total);
-      std::printf("shard %u: %llu fallback probes (%.1f%% of fallbacks)\n", s,
+          compose_total == 0 ? 0.0
+                             : static_cast<double>(per_shard[s]) /
+                                   static_cast<double>(compose_total);
+      std::printf("shard %u: %llu composed probes (%.1f%% of composed)\n", s,
                   static_cast<unsigned long long>(per_shard[s]), share * 100.0);
       json.AddRecord()
-          .Set("record", "shard_fallback")
+          .Set("record", "shard_compose")
           .Set("shard", s)
-          .Set("fallback_probes", per_shard[s])
-          .Set("fallback_share", share);
+          .Set("compose_probes", per_shard[s])
+          .Set("compose_share", share);
     }
     json.AppendMetrics(service.metrics().Snapshot(), "service");
+  }
+
+  // --- memory: aggregate shard indexes vs the whole-graph index ---
+  // The point of deleting the whole-graph tier: N shards should cost ~1/N
+  // of the monolithic index (plus the boundary skeleton), not 1 + 1/N.
+  {
+    const uint64_t whole_bytes = index.MemoryBytes();
+    uint64_t shard_bytes = 0;
+    for (uint32_t s = 0; s < shards; ++s) {
+      shard_bytes += service.shard_index(s).MemoryBytes();
+    }
+    const double ratio = whole_bytes == 0
+                             ? 0.0
+                             : static_cast<double>(shard_bytes) /
+                                   static_cast<double>(whole_bytes);
+    std::printf("memory: whole-graph index %.2f MB, %u-shard aggregate "
+                "%.2f MB (%.3fx), service total %.2f MB\n",
+                static_cast<double>(whole_bytes) / (1 << 20), shards,
+                static_cast<double>(shard_bytes) / (1 << 20), ratio,
+                static_cast<double>(service.MemoryBytes()) / (1 << 20));
+    json.AddRecord()
+        .Set("record", "memory")
+        .Set("num_shards", shards)
+        .Set("whole_index_bytes", whole_bytes)
+        .Set("aggregate_shard_index_bytes", shard_bytes)
+        .Set("service_bytes", service.MemoryBytes())
+        .Set("shard_to_whole_ratio", ratio);
+  }
+
+  // --- community locality: kHash vs kRangeOrdered on a planted-partition
+  // graph --- Membership is id-shuffled, so plain range sees no locality;
+  // the ordering heuristic has to rediscover the communities. The record
+  // pins that kRangeOrdered pushes intra_shard_share up (and composition
+  // down) relative to hash on the same graph and workload.
+  {
+    Rng crng(29);
+    auto cedges =
+        PlantedPartitionEdges(n, m, std::max(2u, shards * 2), 0.9, crng);
+    AssignZipfLabels(&cedges, num_labels, 2.0, crng);
+    const DiGraph cg(n, std::move(cedges), num_labels);
+    WorkloadOptions cwopts;
+    cwopts.count = std::max<uint32_t>(num_probes / 4, 64);
+    cwopts.constraint_length = 2;
+    cwopts.fill_true_with_walks = true;
+    const Workload cw = GenerateWorkload(cg, cwopts);
+    QueryBatch cbatch;
+    for (const auto* side : {&cw.true_queries, &cw.false_queries}) {
+      for (const RlcQuery& q : *side) cbatch.Add(q.s, q.t, q.constraint);
+    }
+    const RlcIndex coracle = BuildRlcIndex(cg, 2);
+    std::vector<uint8_t> cexpected;
+    cexpected.reserve(cbatch.num_probes());
+    for (const BatchProbe& p : cbatch.probes()) {
+      cexpected.push_back(
+          coracle.QueryInterned(p.s, p.t,
+                                coracle.FindMr(cbatch.sequence(p.seq_id)))
+              ? 1
+              : 0);
+    }
+    for (const PartitionPolicy policy :
+         {PartitionPolicy::kHash, PartitionPolicy::kRangeOrdered}) {
+      ServiceOptions copts;
+      copts.partition.num_shards = shards;
+      copts.partition.policy = policy;
+      copts.indexer.k = 2;
+      ShardedRlcService cservice(cg, copts);
+      const AnswerBatch got = cservice.Execute(cbatch);
+      const bool agree = got.answers == cexpected;
+      all_agree = all_agree && agree;
+      const ServiceStats cs = cservice.stats();
+      const double intra_share =
+          cs.queries == 0 ? 0.0
+                          : static_cast<double>(cs.intra_true + cs.intra_miss) /
+                                static_cast<double>(cs.queries);
+      const char* name =
+          policy == PartitionPolicy::kHash ? "hash" : "range_ordered";
+      std::printf("community/%-13s: intra_shard_share %.3f, composed %llu, "
+                  "skeleton hops %llu, answers %s\n",
+                  name, intra_share,
+                  static_cast<unsigned long long>(cs.compose_probes),
+                  static_cast<unsigned long long>(cs.compose_skeleton_hops),
+                  agree ? "ok" : "MISMATCH");
+      json.AddRecord()
+          .Set("record", "community")
+          .Set("policy", name)
+          .Set("shards", shards)
+          .Set("intra_shard_share", intra_share)
+          .Set("compose_probes", cs.compose_probes)
+          .Set("compose_skeleton_hops", cs.compose_skeleton_hops)
+          .Set("agree", agree);
+    }
   }
 
   // --- summary ratios ---

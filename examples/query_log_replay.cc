@@ -202,8 +202,8 @@ int main(int argc, char** argv) {
   if (batched.answers != scalar_answers) return 1;
 
   // Replay the same subset through the sharded serving layer and export its
-  // telemetry: per-shard fallback share (which shard's boundary refutation
-  // is carrying the load) and per-stage latency percentiles, written as a
+  // telemetry: per-shard composed-probe share (which shard sources the
+  // cross-shard traffic) and per-stage latency percentiles, written as a
   // metrics JSON document (RLC_METRICS_JSON overrides the output path).
   {
     ServiceOptions sopts;
@@ -213,25 +213,25 @@ int main(int argc, char** argv) {
     const AnswerBatch served = service.Execute(batch);
     if (served.answers != scalar_answers) return 1;
 
-    const std::vector<uint64_t> per_shard = service.ShardFallbackCounts();
-    uint64_t fallback_total = 0;
-    for (const uint64_t c : per_shard) fallback_total += c;
-    std::printf("sharded replay (%u shards): %llu fallback probes —",
+    const std::vector<uint64_t> per_shard = service.ShardComposeCounts();
+    uint64_t compose_total = 0;
+    for (const uint64_t c : per_shard) compose_total += c;
+    std::printf("sharded replay (%u shards): %llu composed probes —",
                 sopts.partition.num_shards,
-                static_cast<unsigned long long>(fallback_total));
+                static_cast<unsigned long long>(compose_total));
     for (size_t s = 0; s < per_shard.size(); ++s) {
       std::printf(" shard%zu %.1f%%", s,
-                  fallback_total == 0
+                  compose_total == 0
                       ? 0.0
                       : 100.0 * static_cast<double>(per_shard[s]) /
-                            static_cast<double>(fallback_total));
+                            static_cast<double>(compose_total));
     }
     std::printf("\n");
 
     const obs::MetricsSnapshot snap = service.metrics().Snapshot();
     for (const char* stage : {"serve.stage.execute_ns", "serve.stage.route_ns",
                               "serve.stage.shard_kernel_job_ns",
-                              "serve.stage.fallback_kernel_job_ns"}) {
+                              "serve.stage.compose_job_ns"}) {
       if (const obs::HistogramSnapshot* h = snap.FindHistogram(stage)) {
         if (h->count == 0) continue;
         std::printf("  %-34s p50 %8llu ns  p95 %8llu ns  p99 %8llu ns\n",

@@ -4,7 +4,7 @@
 // synthetic ER surrogate), replays a query log through the batched API in
 // fixed-size chunks, and prints the routing telemetry: how many probes the
 // shard indexes answered alone, how many the boundary summary refuted, and
-// how many reached the fallback engine.
+// how many were composed across shards over the boundary skeleton.
 //
 //   $ ./examples/rlc_server [options]
 //     --graph FILE        edge-list text file (default: synthetic ER)
@@ -15,9 +15,8 @@
 //     --queries N         synthesized log size (default 20000)
 //     --save-log FILE     write the synthesized log for reuse
 //     --shards S          shard count (default 4)
-//     --policy hash|range partition policy (default hash)
+//     --policy hash|range|range-ordered   partition policy (default hash)
 //     --k K               recursion bound (default 2)
-//     --fallback global|online   fallback engine (default global)
 //     --batch B           probes per batch (default 4096)
 //     --threads T         build threads (default 0 = all)
 //     --metrics-every N   dump Prometheus-text metrics every N batches
@@ -64,7 +63,6 @@ struct Args {
   uint32_t shards = 4;
   PartitionPolicy policy = PartitionPolicy::kHash;
   uint32_t k = 2;
-  FallbackMode fallback = FallbackMode::kGlobalHybrid;
   uint32_t batch = 4096;
   uint32_t threads = 0;
   uint32_t metrics_every = 0;
@@ -133,15 +131,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (v == nullptr) return false;
       if (std::strcmp(v, "hash") == 0) args->policy = PartitionPolicy::kHash;
       else if (std::strcmp(v, "range") == 0) args->policy = PartitionPolicy::kRange;
+      else if (std::strcmp(v, "range-ordered") == 0)
+        args->policy = PartitionPolicy::kRangeOrdered;
       else return false;
     } else if (flag == "--k") {
       if (!ParseU32("--k", next(), &args->k)) return false;
-    } else if (flag == "--fallback") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      if (std::strcmp(v, "global") == 0) args->fallback = FallbackMode::kGlobalHybrid;
-      else if (std::strcmp(v, "online") == 0) args->fallback = FallbackMode::kOnline;
-      else return false;
     } else if (flag == "--batch") {
       if (!ParseU32("--batch", next(), &args->batch)) return false;
     } else if (flag == "--threads") {
@@ -227,7 +221,6 @@ int main(int argc, char** argv) {
   options.partition.policy = args.policy;
   options.indexer.k = args.k;
   options.build_threads = args.threads;
-  options.fallback = args.fallback;
   Timer build_timer;
   ShardedRlcService service(g, options);
   std::printf("service build: %.2f s (partition %.2fs, indexes %.2fs), "
@@ -280,10 +273,11 @@ int main(int argc, char** argv) {
               static_cast<double>(served) / seconds,
               seconds * 1e6 / static_cast<double>(served));
   std::printf("routing: intra-shard true %llu, boundary-refuted %llu, "
-              "fallback %llu (batches %llu, groups %llu)\n",
+              "composed %llu / hops %llu (batches %llu, groups %llu)\n",
               static_cast<unsigned long long>(stats.intra_true),
               static_cast<unsigned long long>(stats.cross_refuted),
-              static_cast<unsigned long long>(stats.fallback_probes),
+              static_cast<unsigned long long>(stats.compose_probes),
+              static_cast<unsigned long long>(stats.compose_skeleton_hops),
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.batch_groups));
   std::printf("oracle agreement: %llu/%llu\n",

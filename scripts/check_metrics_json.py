@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the metrics records in a BENCH_*.json artifact.
 
-Usage: check_metrics_json.py [--serving] BENCH_query_kernel.json
+Usage: check_metrics_json.py [--serving] [--memory N] BENCH_query_kernel.json
 
 Checks, in order:
   1. the file is a JSON array whose first record is build provenance,
@@ -18,13 +18,26 @@ With --serving (for BENCH_serving.json), additionally:
   6. at least one nonzero serve.breaker.* counter record is present,
      including serve.breaker.opened AND serve.breaker.reclosed (a breaker
      observably tripped and recovered),
-  7. a {"record": "resilience"} summary exists with "recovered": true.
+  7. a {"record": "resilience"} summary exists with "recovered": true,
+  8. a nonzero serve.compose.probes counter record is present and no
+     serve.fallback* counter exists at all — cross-shard probes are
+     composed over the boundary skeleton, not silently routed through a
+     resurrected whole-graph fallback tier,
+  9. every {"record": "community"} and mode record with telemetry agrees
+     ("agree": true).
+
+With --memory N (for BENCH_serving.json from an N-shard run), additionally:
+  10. a {"record": "memory"} summary exists whose
+      aggregate_shard_index_bytes / whole_index_bytes <= 1.3 / N — the
+      sharded deployment actually divides index memory instead of
+      duplicating it.
 
 Exit status 0 on success; 1 with a one-line reason otherwise. The CI
 metrics smoke step runs this against BENCH_query_kernel.json (and, with
 --serving, BENCH_serving.json) so a refactor cannot silently stop
 exporting the registry — or the fault-handling counters — into the bench
-artifacts.
+artifacts. The nightly memory-acceptance step runs --memory against the
+20K-vertex bench artifact.
 """
 
 import json
@@ -62,16 +75,71 @@ def check_serving(path: str, records: list) -> None:
         if rec.get("recovered") is not True:
             fail(f"{path}: resilience summary reports recovered="
                  f"{rec.get('recovered')!r}")
+
+    # Composition is the only cross-shard tier: its counters must be live
+    # and nothing may reintroduce a fallback metric under any name.
+    if counters.get("serve.compose.probes", 0) <= 0:
+        fail(f"{path}: serve.compose.probes is zero — cross-shard "
+             "composition was bypassed")
+    fallback = [k for k in counters if "fallback" in k]
+    if fallback:
+        fail(f"{path}: fallback counters present ({', '.join(fallback)}) — "
+             "the whole-graph fallback tier must stay deleted")
+    for rec in records:
+        if rec.get("record") in ("community",) or "agree" in rec:
+            if rec.get("agree") is not True:
+                fail(f"{path}: record {rec.get('record') or rec.get('mode')!r} "
+                     "disagrees with the whole-graph oracle")
+
+    compose = {k: v for k, v in counters.items()
+               if k.startswith("serve.compose.") and v > 0}
     print(f"serving: shed={counters['serve.shed']}, "
           + ", ".join(f"{k.removeprefix('serve.breaker.')}={v}"
-                      for k, v in sorted(breaker.items())))
+                      for k, v in sorted(breaker.items()))
+          + "; " + ", ".join(f"{k.removeprefix('serve.')}={v}"
+                             for k, v in sorted(compose.items())))
+
+
+def check_memory(path: str, records: list, num_shards: int) -> None:
+    """The ~1/N memory-scaling acceptance gate for BENCH_serving.json."""
+    memory = [r for r in records if r.get("record") == "memory"]
+    if not memory:
+        fail(f"{path}: no memory record")
+    bound = 1.3 / num_shards
+    for rec in memory:
+        whole = rec.get("whole_index_bytes", 0)
+        shard = rec.get("aggregate_shard_index_bytes", 0)
+        if whole <= 0:
+            fail(f"{path}: memory record has whole_index_bytes={whole!r}")
+        ratio = shard / whole
+        if ratio > bound:
+            fail(f"{path}: aggregate shard index bytes {shard} is "
+                 f"{ratio:.3f}x the whole-graph index {whole}; bound for "
+                 f"{num_shards} shards is {bound:.3f}x")
+        print(f"memory: {num_shards} shards at {ratio:.3f}x whole-graph "
+              f"index ({shard}/{whole} bytes, bound {bound:.3f}x)")
 
 
 def main() -> None:
-    args = [a for a in sys.argv[1:] if a != "--serving"]
-    serving = "--serving" in sys.argv[1:]
+    argv = sys.argv[1:]
+    serving = "--serving" in argv
+    memory_shards = None
+    args = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--serving":
+            pass
+        elif argv[i] == "--memory":
+            i += 1
+            if i >= len(argv) or not argv[i].isdigit() or int(argv[i]) < 1:
+                fail("--memory requires a positive shard count")
+            memory_shards = int(argv[i])
+        else:
+            args.append(argv[i])
+        i += 1
     if len(args) != 1:
-        fail("usage: check_metrics_json.py [--serving] <BENCH_*.json>")
+        fail("usage: check_metrics_json.py [--serving] [--memory N] "
+             "<BENCH_*.json>")
     path = args[0]
     try:
         with open(path) as f:
@@ -129,6 +197,8 @@ def main() -> None:
 
     if serving:
         check_serving(path, records)
+    if memory_shards is not None:
+        check_memory(path, records, memory_shards)
 
     print(f"OK: {path} carries {histograms} histogram and {counters} counter "
           f"metric records"

@@ -191,6 +191,30 @@ class DynamicRlcIndex {
   /// plus the insert overlay).
   bool HasEdge(VertexId u, Label label, VertexId v) const;
 
+  /// \name Overlay adjacency (read-only)
+  /// Per-vertex views of the graph overlay for external traversals (the
+  /// cross-shard composition engine walks base + extra minus removed
+  /// without materializing the mutated graph). Empty spans when the vertex
+  /// has no overlay edges.
+  ///@{
+  std::span<const LabeledNeighbor> ExtraOut(VertexId v) const {
+    if (v >= extra_out_.size()) return {};
+    return extra_out_[v];
+  }
+  std::span<const LabeledNeighbor> ExtraIn(VertexId v) const {
+    if (v >= extra_in_.size()) return {};
+    return extra_in_[v];
+  }
+  /// True when the base adjacency slot `nb` of vertex `v` is shadowed by a
+  /// delete (out-neighbor form / in-neighbor form).
+  bool OutEdgeRemoved(VertexId v, const LabeledNeighbor& nb) const {
+    return EdgeShadowed(/*backward=*/false, v, nb);
+  }
+  bool InEdgeRemoved(VertexId v, const LabeledNeighbor& nb) const {
+    return EdgeShadowed(/*backward=*/true, v, nb);
+  }
+  ///@}
+
   /// Blocks until an in-flight background reseal (if any) has merged, then
   /// swaps it in. Also the deterministic sync point for tests and benches.
   void FinishReseal();

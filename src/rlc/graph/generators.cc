@@ -82,6 +82,59 @@ std::vector<Edge> BarabasiAlbertEdges(VertexId num_vertices,
   return edges;
 }
 
+std::vector<Edge> PlantedPartitionEdges(VertexId num_vertices,
+                                        uint64_t num_edges,
+                                        uint32_t num_communities,
+                                        double intra_fraction, Rng& rng,
+                                        std::vector<uint32_t>* out_community) {
+  const uint64_t n = num_vertices;
+  RLC_REQUIRE(num_communities >= 1,
+              "PlantedPartitionEdges: need at least one community");
+  RLC_REQUIRE(intra_fraction >= 0.0 && intra_fraction <= 1.0,
+              "PlantedPartitionEdges: intra_fraction must be in [0, 1]");
+  RLC_REQUIRE(num_edges <= n * (n - 1),
+              "PlantedPartitionEdges: too many edges requested");
+
+  // Balanced blocks over a shuffled vertex permutation: member_of[v] is
+  // deliberately scrambled across the id space so id-contiguous range
+  // partitioning cuts every community.
+  std::vector<VertexId> perm(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) perm[v] = v;
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.Below(i)]);
+  }
+  std::vector<uint32_t> member_of(num_vertices);
+  std::vector<std::vector<VertexId>> members(num_communities);
+  for (VertexId rank = 0; rank < num_vertices; ++rank) {
+    const uint32_t c = static_cast<uint32_t>(
+        (static_cast<uint64_t>(rank) * num_communities) / n);
+    member_of[perm[rank]] = c;
+    members[c].push_back(perm[rank]);
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (edges.size() < num_edges) {
+    VertexId u, v;
+    if (intra_fraction >= 1.0 || rng.Bernoulli(intra_fraction)) {
+      const auto& block = members[rng.Below(num_communities)];
+      if (block.size() < 2) continue;
+      u = block[rng.Below(block.size())];
+      v = block[rng.Below(block.size())];
+    } else {
+      u = static_cast<VertexId>(rng.Below(n));
+      v = static_cast<VertexId>(rng.Below(n));
+    }
+    if (u == v) continue;
+    if (!seen.insert(PairKey(u, v)).second) continue;
+    edges.push_back({u, v, 0});
+  }
+  if (out_community != nullptr) *out_community = std::move(member_of);
+  return edges;
+}
+
 void AddRandomSelfLoops(std::vector<Edge>* edges, VertexId num_vertices,
                         uint64_t count, Rng& rng) {
   RLC_REQUIRE(count <= num_vertices,

@@ -45,4 +45,22 @@ std::vector<Edge> BarabasiAlbertEdges(VertexId num_vertices,
 void AddRandomSelfLoops(std::vector<Edge>* edges, VertexId num_vertices,
                         uint64_t count, Rng& rng);
 
+/// Planted-partition (stochastic block model, G(n, m) style) community
+/// graph: vertices are split into `num_communities` groups and each of the
+/// `num_edges` distinct directed edges is intra-community with probability
+/// `intra_fraction`, uniform across communities and endpoints otherwise.
+/// Community membership is *shuffled* across vertex ids (a seeded
+/// permutation), so contiguous-id range partitioning sees no locality
+/// unless a vertex ordering recovers it — exactly the setting the
+/// locality-aware partition policies are tested against. All labels are 0.
+/// `out_community`, when non-null, receives the community id per vertex.
+/// \throws std::invalid_argument on num_communities == 0, intra_fraction
+///         outside [0, 1], or more edges than distinct pairs.
+std::vector<Edge> PlantedPartitionEdges(VertexId num_vertices,
+                                        uint64_t num_edges,
+                                        uint32_t num_communities,
+                                        double intra_fraction, Rng& rng,
+                                        std::vector<uint32_t>* out_community =
+                                            nullptr);
+
 }  // namespace rlc

@@ -13,7 +13,7 @@
 // (obs::NowNanos() timebase in production, arbitrary values in tests — the
 // fake clock is just "pass whatever you want"), so backoff timing is unit-
 // testable without sleeping. It is not thread-safe; the sharded service
-// owns one per shard plus one for the fallback engine, all driven from the
+// owns one per shard plus one for the composition engine, all driven from the
 // single-caller Execute/Query path. Jitter comes from a seeded xorshift so
 // chaos runs reproduce; it decorrelates retry storms when many breakers
 // trip together (each service instance seeds per slot).

@@ -1,0 +1,540 @@
+#include "rlc/serve/compose.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+namespace {
+
+void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t ReadU32(std::span<const uint8_t> bytes, size_t& off) {
+  RLC_REQUIRE(off + 4 <= bytes.size(), "compose cache: truncated payload");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(bytes[off + i]) << (8 * i);
+  off += 4;
+  return v;
+}
+
+uint64_t ReadU64(std::span<const uint8_t> bytes, size_t& off) {
+  RLC_REQUIRE(off + 8 <= bytes.size(), "compose cache: truncated payload");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(bytes[off + i]) << (8 * i);
+  off += 8;
+  return v;
+}
+
+}  // namespace
+
+CompositionEngine::CompositionEngine(
+    const GraphPartition& partition,
+    const std::vector<std::unique_ptr<DynamicRlcIndex>>& shards,
+    ComposeOptions options)
+    : partition_(partition),
+      shards_(shards),
+      options_(options),
+      epochs_(partition.num_shards(), 0) {
+  for (uint32_t s = 0; s < partition.num_shards(); ++s) {
+    num_vertices_ += static_cast<VertexId>(partition.shard(s).global_of.size());
+  }
+}
+
+void CompositionEngine::BuildShardPlan(Plan& plan, uint32_t s) {
+  auto sp = std::make_unique<ShardPlan>();
+  sp->epoch = epochs_[s];
+  const ShardInfo& shard = partition_.shard(s);
+  sp->num_boundary = static_cast<uint32_t>(shard.boundary.size());
+  const uint64_t states = static_cast<uint64_t>(sp->num_boundary) * plan.j;
+  sp->tables = states > 0 && states <= options_.table_budget_nodes;
+  if (sp->tables) {
+    sp->boundary_ord.assign(shard.graph.num_vertices(), -1);
+    for (uint32_t i = 0; i < sp->num_boundary; ++i) {
+      sp->boundary_ord[shard.boundary[i]] = static_cast<int32_t>(i);
+    }
+    sp->rows = std::vector<std::atomic<const BoundaryRow*>>(states);
+  }
+  plan.shards[s] = std::move(sp);
+}
+
+const CompositionEngine::Plan& CompositionEngine::PreparePlan(
+    const LabelSeq& seq, uint32_t* invalidated) {
+  if (invalidated) *invalidated = 0;
+  auto it = plans_.find(seq);
+  if (it == plans_.end()) {
+    if (plans_.size() >= options_.max_cached_plans) plans_.clear();
+    auto plan = std::make_unique<Plan>();
+    plan->seq = seq;
+    plan->j = seq.size();
+    RLC_REQUIRE(plan->j >= 1, "CompositionEngine: empty constraint");
+    plan->shards.resize(partition_.num_shards());
+    for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
+      BuildShardPlan(*plan, s);
+    }
+    it = plans_.emplace(seq, std::move(plan)).first;
+    return *it->second;
+  }
+  Plan& plan = *it->second;
+  uint32_t stale = 0;
+  for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
+    if (plan.shards[s]->epoch != epochs_[s]) {
+      BuildShardPlan(plan, s);
+      ++stale;
+    }
+  }
+  if (invalidated) *invalidated = stale;
+  return plan;
+}
+
+void CompositionEngine::InvalidateAll() { plans_.clear(); }
+
+void CompositionEngine::EnsureScratch(Scratch& scratch, uint32_t j) const {
+  const uint64_t states = static_cast<uint64_t>(num_vertices_) * j;
+  const auto grow = [&](std::vector<uint32_t>& v) {
+    if (v.size() < states) v.resize(states, 0);
+  };
+  grow(scratch.fwd_stamp);
+  grow(scratch.acc_stamp);
+  grow(scratch.exp_stamp);
+  grow(scratch.exit_stamp);
+  // Stamp 0 is reserved for "never visited" (fresh array cells), so a wrap
+  // zeroes everything and restarts at 1.
+  if (++scratch.stamp == 0) {
+    std::fill(scratch.fwd_stamp.begin(), scratch.fwd_stamp.end(), 0u);
+    std::fill(scratch.acc_stamp.begin(), scratch.acc_stamp.end(), 0u);
+    std::fill(scratch.exp_stamp.begin(), scratch.exp_stamp.end(), 0u);
+    std::fill(scratch.exit_stamp.begin(), scratch.exit_stamp.end(), 0u);
+    scratch.stamp = 1;
+  }
+}
+
+const CompositionEngine::BoundaryRow* CompositionEngine::GetRow(
+    ShardPlan& sp, uint32_t s, uint32_t row_idx, const Plan& plan,
+    uint32_t* built) const {
+  const BoundaryRow* row = sp.rows[row_idx].load(std::memory_order_acquire);
+  if (row) return row;
+  std::lock_guard<std::mutex> lock(sp.build_mu);
+  row = sp.rows[row_idx].load(std::memory_order_relaxed);
+  if (row) return row;
+
+  const uint32_t j = plan.j;
+  const ShardInfo& shard = partition_.shard(s);
+  const DynamicRlcIndex& dyn = *shards_[s];
+  const uint64_t local_states =
+      static_cast<uint64_t>(shard.graph.num_vertices()) * j;
+  if (sp.build_stamp.size() < local_states) {
+    sp.build_stamp.resize(local_states, 0);
+  }
+  if (++sp.build_counter == 0) {
+    std::fill(sp.build_stamp.begin(), sp.build_stamp.end(), 0u);
+    sp.build_counter = 1;
+  }
+  const uint32_t bstamp = sp.build_counter;
+
+  auto fresh = std::make_unique<BoundaryRow>();
+  fresh->bits.assign(
+      (static_cast<uint64_t>(sp.num_boundary) * j + 63) / 64, 0);
+
+  // Intra product BFS from the row's boundary state over the shard's
+  // mutated graph (base subgraph + overlay minus removals); every boundary
+  // product state reached — including the start itself — sets its bit.
+  const VertexId b_local = shard.boundary[row_idx / j];
+  sp.build_queue.clear();
+  const uint64_t start = static_cast<uint64_t>(b_local) * j + row_idx % j;
+  sp.build_stamp[start] = bstamp;
+  sp.build_queue.push_back(start);
+  for (size_t head = 0; head < sp.build_queue.size(); ++head) {
+    const uint64_t pid = sp.build_queue[head];
+    const VertexId lu = static_cast<VertexId>(pid / j);
+    const uint32_t q = static_cast<uint32_t>(pid % j);
+    const int32_t ord = sp.boundary_ord[lu];
+    if (ord >= 0) {
+      const uint64_t bit = static_cast<uint64_t>(ord) * j + q;
+      fresh->bits[bit / 64] |= uint64_t{1} << (bit % 64);
+    }
+    const Label l = plan.seq[q];
+    const uint32_t nq = (q + 1) % j;
+    const auto visit = [&](VertexId lv) {
+      const uint64_t npid = static_cast<uint64_t>(lv) * j + nq;
+      if (sp.build_stamp[npid] == bstamp) return;
+      sp.build_stamp[npid] = bstamp;
+      sp.build_queue.push_back(npid);
+    };
+    for (const LabeledNeighbor& nb : shard.graph.OutEdgesWithLabel(lu, l)) {
+      if (!dyn.OutEdgeRemoved(lu, nb)) visit(nb.v);
+    }
+    for (const LabeledNeighbor& nb : dyn.ExtraOut(lu)) {
+      if (nb.label == l) visit(nb.v);
+    }
+  }
+
+  const BoundaryRow* ptr = fresh.get();
+  sp.owned.push_back(std::move(fresh));
+  sp.rows[row_idx].store(ptr, std::memory_order_release);
+  if (built) ++(*built);
+  return ptr;
+}
+
+ComposeResult CompositionEngine::ComposedQuery(VertexId s, VertexId t,
+                                               const Plan& plan,
+                                               Scratch& scratch) const {
+  ComposeResult result;
+  const uint32_t j = plan.j;
+  EnsureScratch(scratch, j);
+  const uint32_t stamp = scratch.stamp;
+  const uint32_t ss = partition_.ShardOf(s);
+  const uint32_t st = partition_.ShardOf(t);
+  const auto pid_of = [j](VertexId v, uint32_t p) {
+    return static_cast<uint64_t>(v) * j + p;
+  };
+  // Label-matched cross hop out of (u, q): push unseen skeleton entries.
+  const auto emit_cross = [&](VertexId u, uint32_t q) {
+    const Label l = plan.seq[q];
+    const uint32_t nq = (q + 1) % j;
+    for (const LabeledNeighbor& nb : partition_.CrossOutEdges(u)) {
+      if (nb.label != l) continue;
+      const uint64_t npid = pid_of(nb.v, nq);
+      if (scratch.exp_stamp[npid] == stamp) continue;
+      scratch.exp_stamp[npid] = stamp;
+      scratch.skel_queue.push_back(npid);
+    }
+  };
+
+  // Phase 1 — source-shard suffix: forward product BFS from (s, 0) inside
+  // shard(s); cross edges leaving any visited state seed the skeleton.
+  scratch.fwd_queue.clear();
+  scratch.skel_queue.clear();
+  {
+    const ShardInfo& shard = partition_.shard(ss);
+    const DynamicRlcIndex& dyn = *shards_[ss];
+    const uint64_t start = pid_of(s, 0);
+    scratch.fwd_stamp[start] = stamp;
+    scratch.fwd_queue.push_back(start);
+    for (size_t head = 0; head < scratch.fwd_queue.size(); ++head) {
+      const uint64_t pid = scratch.fwd_queue[head];
+      const VertexId u = static_cast<VertexId>(pid / j);
+      const uint32_t p = static_cast<uint32_t>(pid % j);
+      emit_cross(u, p);
+      const Label l = plan.seq[p];
+      const uint32_t np = (p + 1) % j;
+      const VertexId lu = partition_.LocalOf(u);
+      const auto visit = [&](VertexId local_succ) {
+        const uint64_t npid = pid_of(partition_.GlobalOf(ss, local_succ), np);
+        if (scratch.fwd_stamp[npid] == stamp) return;
+        scratch.fwd_stamp[npid] = stamp;
+        scratch.fwd_queue.push_back(npid);
+      };
+      for (const LabeledNeighbor& nb : shard.graph.OutEdgesWithLabel(lu, l)) {
+        if (!dyn.OutEdgeRemoved(lu, nb)) visit(nb.v);
+      }
+      for (const LabeledNeighbor& nb : dyn.ExtraOut(lu)) {
+        if (nb.label == l) visit(nb.v);
+      }
+    }
+    result.expanded += static_cast<uint32_t>(scratch.fwd_queue.size());
+  }
+  if (scratch.skel_queue.empty()) return result;
+
+  // Phase 2 — target-shard prefix: reverse product BFS from (t, 0) inside
+  // shard(t) marks the accept set A (states that intra-reach (t, 0)).
+  {
+    const ShardInfo& shard = partition_.shard(st);
+    const DynamicRlcIndex& dyn = *shards_[st];
+    scratch.acc_queue.clear();
+    const uint64_t accept = pid_of(t, 0);
+    scratch.acc_stamp[accept] = stamp;
+    scratch.acc_queue.push_back(accept);
+    for (size_t head = 0; head < scratch.acc_queue.size(); ++head) {
+      const uint64_t pid = scratch.acc_queue[head];
+      const VertexId v = static_cast<VertexId>(pid / j);
+      const uint32_t r = static_cast<uint32_t>(pid % j);
+      const uint32_t q = (r + j - 1) % j;
+      const Label l = plan.seq[q];
+      const VertexId lv = partition_.LocalOf(v);
+      const auto visit = [&](VertexId local_pred) {
+        const uint64_t npid = pid_of(partition_.GlobalOf(st, local_pred), q);
+        if (scratch.acc_stamp[npid] == stamp) return;
+        scratch.acc_stamp[npid] = stamp;
+        scratch.acc_queue.push_back(npid);
+      };
+      for (const LabeledNeighbor& nb : shard.graph.InEdgesWithLabel(lv, l)) {
+        if (!dyn.InEdgeRemoved(lv, nb)) visit(nb.v);
+      }
+      for (const LabeledNeighbor& nb : dyn.ExtraIn(lv)) {
+        if (nb.label == l) visit(nb.v);
+      }
+    }
+    result.expanded += static_cast<uint32_t>(scratch.acc_queue.size());
+  }
+
+  // Phase 3 — skeleton BFS. Entries are checked against A at pop time;
+  // that is complete because A is intra-closed: any state an expansion
+  // marks inside shard(t) that lies in A puts its own entry in A, and that
+  // entry's pop already answered true (so exp-stamp dedup of later entries
+  // cannot hide an accepting one).
+  for (size_t head = 0; head < scratch.skel_queue.size(); ++head) {
+    const uint64_t pid = scratch.skel_queue[head];
+    const VertexId v = static_cast<VertexId>(pid / j);
+    const uint32_t p = static_cast<uint32_t>(pid % j);
+    ++result.skeleton_hops;
+    const uint32_t sv = partition_.ShardOf(v);
+    if (sv == st && scratch.acc_stamp[pid] == stamp) {
+      result.reachable = true;
+      return result;
+    }
+    ShardPlan& sp = *plan.shards[sv];
+    if (sp.tables) {
+      // Boundary-transition row: every intra-reachable boundary exit, one
+      // bitset scan. Skeleton entries are cross-edge heads, so v is always
+      // a boundary vertex with a valid ordinal.
+      const int32_t ord = sp.boundary_ord[partition_.LocalOf(v)];
+      const uint32_t row_idx = static_cast<uint32_t>(ord) * j + p;
+      const BoundaryRow* row =
+          GetRow(sp, sv, row_idx, plan, &result.table_rows_built);
+      const ShardInfo& shard = partition_.shard(sv);
+      for (size_t w = 0; w < row->bits.size(); ++w) {
+        uint64_t word = row->bits[w];
+        while (word != 0) {
+          const uint32_t bit =
+              static_cast<uint32_t>(w * 64) + std::countr_zero(word);
+          word &= word - 1;
+          const VertexId exit_v = partition_.GlobalOf(sv, shard.boundary[bit / j]);
+          const uint64_t exit_pid = pid_of(exit_v, bit % j);
+          if (scratch.exit_stamp[exit_pid] == stamp) continue;
+          scratch.exit_stamp[exit_pid] = stamp;
+          emit_cross(exit_v, bit % j);
+        }
+      }
+    } else {
+      // Over-budget shard: expand the product graph on the fly. exp_stamp
+      // is shared across every entry into this shard within the probe, so
+      // the shard's product graph is walked at most once per probe.
+      const ShardInfo& shard = partition_.shard(sv);
+      const DynamicRlcIndex& dyn = *shards_[sv];
+      scratch.exp_queue.clear();
+      scratch.exp_queue.push_back(pid);
+      for (size_t eh = 0; eh < scratch.exp_queue.size(); ++eh) {
+        const uint64_t epid = scratch.exp_queue[eh];
+        const VertexId u = static_cast<VertexId>(epid / j);
+        const uint32_t q = static_cast<uint32_t>(epid % j);
+        emit_cross(u, q);
+        const Label l = plan.seq[q];
+        const uint32_t nq = (q + 1) % j;
+        const VertexId lu = partition_.LocalOf(u);
+        const auto visit = [&](VertexId local_succ) {
+          const uint64_t npid = pid_of(partition_.GlobalOf(sv, local_succ), nq);
+          if (scratch.exp_stamp[npid] == stamp) return;
+          scratch.exp_stamp[npid] = stamp;
+          scratch.exp_queue.push_back(npid);
+        };
+        for (const LabeledNeighbor& nb : shard.graph.OutEdgesWithLabel(lu, l)) {
+          if (!dyn.OutEdgeRemoved(lu, nb)) visit(nb.v);
+        }
+        for (const LabeledNeighbor& nb : dyn.ExtraOut(lu)) {
+          if (nb.label == l) visit(nb.v);
+        }
+      }
+      result.expanded += static_cast<uint32_t>(scratch.exp_queue.size());
+    }
+  }
+  return result;
+}
+
+bool CompositionEngine::IntraProductReaches(VertexId s, VertexId t,
+                                            const LabelSeq& seq,
+                                            Scratch& scratch) const {
+  const uint32_t ss = partition_.ShardOf(s);
+  RLC_REQUIRE(ss == partition_.ShardOf(t),
+              "IntraProductReaches: endpoints span shards "
+                  << ss << " and " << partition_.ShardOf(t));
+  const uint32_t j = seq.size();
+  RLC_REQUIRE(j >= 1, "IntraProductReaches: empty constraint");
+  EnsureScratch(scratch, j);
+  const uint32_t stamp = scratch.stamp;
+  const ShardInfo& shard = partition_.shard(ss);
+  const DynamicRlcIndex& dyn = *shards_[ss];
+
+  // Forward product BFS from (s, 0); accepting on *arrival* at (t, 0) via
+  // an edge (never on the seed itself) enforces the >= 1-edge requirement,
+  // which makes s == t demand a genuine aligned cycle.
+  scratch.fwd_queue.clear();
+  const uint64_t start = static_cast<uint64_t>(s) * j;
+  scratch.fwd_stamp[start] = stamp;
+  scratch.fwd_queue.push_back(start);
+  for (size_t head = 0; head < scratch.fwd_queue.size(); ++head) {
+    const uint64_t pid = scratch.fwd_queue[head];
+    const VertexId u = static_cast<VertexId>(pid / j);
+    const uint32_t p = static_cast<uint32_t>(pid % j);
+    const Label l = seq[p];
+    const uint32_t np = (p + 1) % j;
+    const VertexId lu = partition_.LocalOf(u);
+    bool found = false;
+    const auto visit = [&](VertexId local_succ) {
+      const VertexId gv = partition_.GlobalOf(ss, local_succ);
+      if (gv == t && np == 0) {
+        found = true;
+        return;
+      }
+      const uint64_t npid = static_cast<uint64_t>(gv) * j + np;
+      if (scratch.fwd_stamp[npid] == stamp) return;
+      scratch.fwd_stamp[npid] = stamp;
+      scratch.fwd_queue.push_back(npid);
+    };
+    for (const LabeledNeighbor& nb : shard.graph.OutEdgesWithLabel(lu, l)) {
+      if (!dyn.OutEdgeRemoved(lu, nb)) {
+        visit(nb.v);
+        if (found) return true;
+      }
+    }
+    for (const LabeledNeighbor& nb : dyn.ExtraOut(lu)) {
+      if (nb.label == l) {
+        visit(nb.v);
+        if (found) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<uint8_t> CompositionEngine::SerializeCache() const {
+  std::vector<uint8_t> out;
+  AppendU32(out, partition_.num_shards());
+  AppendU32(out, static_cast<uint32_t>(plans_.size()));
+  // Deterministic payload: plans in constraint order, rows in slot order.
+  std::vector<const Plan*> ordered;
+  ordered.reserve(plans_.size());
+  for (const auto& [seq, plan] : plans_) ordered.push_back(plan.get());
+  std::sort(ordered.begin(), ordered.end(), [](const Plan* a, const Plan* b) {
+    if (a->j != b->j) return a->j < b->j;
+    for (uint32_t i = 0; i < a->j; ++i) {
+      if (a->seq[i] != b->seq[i]) return a->seq[i] < b->seq[i];
+    }
+    return false;
+  });
+  for (const Plan* plan : ordered) {
+    AppendU32(out, plan->j);
+    for (uint32_t i = 0; i < plan->j; ++i) AppendU32(out, plan->seq[i]);
+    for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
+      const ShardPlan& sp = *plan->shards[s];
+      out.push_back(sp.tables ? 1 : 0);
+      AppendU32(out, sp.num_boundary);
+      uint32_t built = 0;
+      for (const auto& slot : sp.rows) {
+        if (slot.load(std::memory_order_acquire) != nullptr) ++built;
+      }
+      AppendU32(out, built);
+      if (!sp.tables) continue;
+      const uint32_t words = static_cast<uint32_t>(
+          (static_cast<uint64_t>(sp.num_boundary) * plan->j + 63) / 64);
+      AppendU32(out, words);
+      for (uint32_t idx = 0; idx < sp.rows.size(); ++idx) {
+        const BoundaryRow* row = sp.rows[idx].load(std::memory_order_acquire);
+        if (row == nullptr) continue;
+        AppendU32(out, idx);
+        for (const uint64_t w : row->bits) AppendU64(out, w);
+      }
+    }
+  }
+  return out;
+}
+
+bool CompositionEngine::RestoreCache(std::span<const uint8_t> bytes) {
+  plans_.clear();
+  size_t off = 0;
+  try {
+    if (ReadU32(bytes, off) != partition_.num_shards()) {
+      plans_.clear();
+      return false;
+    }
+    const uint32_t num_plans = ReadU32(bytes, off);
+    for (uint32_t pi = 0; pi < num_plans; ++pi) {
+      const uint32_t j = ReadU32(bytes, off);
+      RLC_REQUIRE(j >= 1 && j <= kMaxK, "compose cache: bad constraint length");
+      std::vector<Label> labels(j);
+      for (uint32_t i = 0; i < j; ++i) labels[i] = ReadU32(bytes, off);
+      const LabelSeq seq{std::span<const Label>(labels)};
+      PreparePlan(seq);
+      Plan& plan = *plans_.find(seq)->second;
+      for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
+        ShardPlan& sp = *plan.shards[s];
+        RLC_REQUIRE(off < bytes.size(), "compose cache: truncated payload");
+        const bool tables = bytes[off++] != 0;
+        const uint32_t num_boundary = ReadU32(bytes, off);
+        const uint32_t built = ReadU32(bytes, off);
+        // A shape mismatch means the payload was written against a
+        // different partition state: stay cold rather than trust it.
+        if (tables != sp.tables || num_boundary != sp.num_boundary) {
+          plans_.clear();
+          return false;
+        }
+        if (!sp.tables) {
+          if (built != 0) {
+            plans_.clear();
+            return false;
+          }
+          continue;
+        }
+        const uint32_t words = ReadU32(bytes, off);
+        const uint32_t expect_words = static_cast<uint32_t>(
+            (static_cast<uint64_t>(sp.num_boundary) * plan.j + 63) / 64);
+        if (words != expect_words || built > sp.rows.size()) {
+          plans_.clear();
+          return false;
+        }
+        for (uint32_t r = 0; r < built; ++r) {
+          const uint32_t idx = ReadU32(bytes, off);
+          if (idx >= sp.rows.size() ||
+              sp.rows[idx].load(std::memory_order_relaxed) != nullptr) {
+            plans_.clear();
+            return false;
+          }
+          auto row = std::make_unique<BoundaryRow>();
+          row->bits.resize(words);
+          for (uint32_t w = 0; w < words; ++w) {
+            row->bits[w] = ReadU64(bytes, off);
+          }
+          const BoundaryRow* ptr = row.get();
+          sp.owned.push_back(std::move(row));
+          sp.rows[idx].store(ptr, std::memory_order_release);
+        }
+      }
+    }
+    if (off != bytes.size()) {
+      plans_.clear();
+      return false;
+    }
+  } catch (...) {
+    plans_.clear();
+    return false;
+  }
+  return true;
+}
+
+uint64_t CompositionEngine::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [seq, plan] : plans_) {
+    for (const auto& spp : plan->shards) {
+      ShardPlan& sp = *spp;
+      bytes += sizeof(ShardPlan);
+      bytes += sp.boundary_ord.capacity() * sizeof(int32_t);
+      bytes += sp.rows.size() * sizeof(std::atomic<const BoundaryRow*>);
+      std::lock_guard<std::mutex> lock(sp.build_mu);
+      for (const auto& row : sp.owned) {
+        bytes += sizeof(BoundaryRow) + row->bits.capacity() * sizeof(uint64_t);
+      }
+      bytes += sp.build_stamp.capacity() * sizeof(uint32_t);
+      bytes += sp.build_queue.capacity() * sizeof(uint64_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace rlc

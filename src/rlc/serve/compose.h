@@ -1,0 +1,208 @@
+// Cross-shard query composition over the boundary skeleton.
+//
+// The sharded service answers a cross-shard RLC probe (s, t, L+) without
+// any whole-graph structure by composing three exact pieces over the
+// *product graph* — states (v, p) where p ∈ [0, |L|) counts labels
+// consumed modulo |L|, so a walk (s, 0) ⇝ (t, 0) of >= 1 edge spells
+// exactly L^z for some z >= 1:
+//
+//   1. source-shard suffix: a forward product BFS from (s, 0) inside
+//      shard(s) (base subgraph + live mutation overlay) finds every
+//      product state with an outgoing cross edge carrying the label the
+//      position demands — the skeleton seeds. Seeding with cross-edge
+//      *successors* enforces the >= 1-cross-edge requirement, which keeps
+//      composition disjoint from the shard-index intra tier: a purely
+//      intra-shard witness is exactly the shard index's job.
+//   2. skeleton hops: a BFS over boundary product states alternates
+//      intra-shard closure with label-matched cross-edge hops. Closure
+//      inside a shard comes from its per-(shard, constraint) boundary
+//      transition table when the shard's boundary product graph fits the
+//      table budget — row (b, p) is the bitset of boundary product states
+//      (b', p') intra-reachable from (b, p), built lazily one product BFS
+//      per touched row and reused across probes — or, over budget, from an
+//      incremental per-probe product BFS whose visited set is shared by
+//      every entry into that shard (monotone, so a probe expands each
+//      shard's product graph at most once).
+//   3. target-shard prefix: a reverse product BFS from (t, 0) inside
+//      shard(t) precomputes the accept set A — every product state that
+//      intra-reaches (t, 0). A skeleton entry into shard(t) answers true
+//      iff it lands in A. Membership is intra-closed, so checking entries
+//      on arrival is complete: an interior state of A reachable from an
+//      entry puts the entry itself in A.
+//
+// Correctness does not depend on any shard index: every traversal walks
+// the live mutated graph (shard subgraphs + DynamicRlcIndex overlays +
+// the partition's cross-edge adjacency), so composed answers are exact on
+// the mutated graph even while a shard's index is broken or resealing.
+//
+// Invalidation: transition tables are a function of one shard's intra
+// product graph and its boundary list. The engine keeps a per-shard epoch,
+// bumped by intra-shard mutations of that shard and by cross-edge changes
+// incident to it (those can re-order boundary ordinals); PreparePlan
+// lazily rebuilds exactly the stale shards' tables — the incremental
+// refresh of the affected (shard, state-pair) rows. Reseals do not bump
+// epochs (tables depend on the graph, not the index).
+//
+// Thread contract: PreparePlan, mutation notifications and cache
+// serialization are owner-thread-only. ComposedQuery and
+// IntraProductReaches on a prepared plan are safe to fan out across a
+// worker pool (per-call Scratch; lazy row construction is published with
+// acquire/release atomics under a per-shard build mutex).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rlc/core/dynamic_index.h"
+#include "rlc/core/label_seq.h"
+#include "rlc/serve/partitioner.h"
+
+namespace rlc {
+
+struct ComposeOptions {
+  /// A shard's transition table is materialized only when its boundary
+  /// product graph (|B_S| * |L|) has at most this many states; larger
+  /// shards expand on the fly per probe. Bounds table memory at
+  /// budget^2 bits per (shard, constraint).
+  uint32_t table_budget_nodes = 2048;
+  /// Plan-cache capacity (distinct constraints); the cache flushes when
+  /// full, mirroring the service's constraint memo.
+  size_t max_cached_plans = 1 << 12;
+};
+
+/// Telemetry of one composed probe (the caller folds these into its
+/// metrics registry; sums are independent of thread count).
+struct ComposeResult {
+  bool reachable = false;
+  uint32_t skeleton_hops = 0;  ///< skeleton entries popped
+  uint32_t expanded = 0;       ///< product states visited on the fly
+  uint32_t table_rows_built = 0;  ///< transition rows built by this call
+};
+
+class CompositionEngine {
+ public:
+  /// One boundary-transition row: bitset over the shard's boundary product
+  /// states (ordinal * j + position).
+  struct BoundaryRow {
+    std::vector<uint64_t> bits;
+  };
+
+  /// Per-(shard, constraint) composition state. Rows build lazily and are
+  /// published via atomics; everything else is immutable after
+  /// PreparePlan installs the struct.
+  struct ShardPlan {
+    uint64_t epoch = 0;       ///< engine shard epoch at build time
+    bool tables = false;      ///< boundary product graph within budget
+    uint32_t num_boundary = 0;
+    /// local id -> boundary ordinal, -1 interior (tables only).
+    std::vector<int32_t> boundary_ord;
+    std::vector<std::atomic<const BoundaryRow*>> rows;  ///< |B| * j slots
+    std::mutex build_mu;
+    std::vector<std::unique_ptr<BoundaryRow>> owned;  ///< guarded by build_mu
+    /// Row-build scratch, guarded by build_mu.
+    std::vector<uint32_t> build_stamp;
+    uint32_t build_counter = 0;
+    std::vector<uint64_t> build_queue;
+  };
+
+  /// One constraint's composition plan.
+  struct Plan {
+    LabelSeq seq;
+    uint32_t j = 0;  ///< |seq|
+    std::vector<std::unique_ptr<ShardPlan>> shards;
+  };
+
+  /// Per-thread traversal scratch: stamped visited arrays over the global
+  /// product space plus BFS queues. Reusable across probes and plans.
+  struct Scratch {
+    std::vector<uint32_t> fwd_stamp;   ///< source-shard forward BFS
+    std::vector<uint32_t> acc_stamp;   ///< target-shard accept set A
+    std::vector<uint32_t> exp_stamp;   ///< skeleton + on-the-fly expansion
+    std::vector<uint32_t> exit_stamp;  ///< table exits already emitted
+    uint32_t stamp = 0;
+    std::vector<uint64_t> fwd_queue;
+    std::vector<uint64_t> acc_queue;
+    std::vector<uint64_t> skel_queue;
+    std::vector<uint64_t> exp_queue;
+  };
+
+  /// `partition` and `shards` must outlive the engine; `shards` is the
+  /// service's per-shard dynamic-index vector (the engine reads shard
+  /// graphs through the partition and mutation overlays through the
+  /// dynamic indexes — never the sealed indexes themselves).
+  CompositionEngine(const GraphPartition& partition,
+                    const std::vector<std::unique_ptr<DynamicRlcIndex>>& shards,
+                    ComposeOptions options = {});
+
+  /// Gets (building or refreshing stale shards as needed) the plan for
+  /// `seq`. Owner thread only; the returned reference is stable until the
+  /// cache flushes (max_cached_plans). When `invalidated` is non-null it
+  /// receives how many stale shard plans this call rebuilt.
+  const Plan& PreparePlan(const LabelSeq& seq, uint32_t* invalidated = nullptr);
+
+  /// True iff a path s ⇝ t spelling seq^z (z >= 1) with >= 1 cross-shard
+  /// edge exists on the current mutated graph. Thread-safe on a prepared
+  /// plan (see class comment).
+  ComposeResult ComposedQuery(VertexId s, VertexId t, const Plan& plan,
+                              Scratch& scratch) const;
+
+  /// True iff a purely intra-shard path s ⇝ t spelling seq^z (z >= 1)
+  /// exists (s and t must share a shard) — the index-free exact intra
+  /// answer for degraded probes whose shard index is unavailable.
+  bool IntraProductReaches(VertexId s, VertexId t, const LabelSeq& seq,
+                           Scratch& scratch) const;
+
+  /// Mutation notifications (owner thread): bump the affected shards'
+  /// epochs so stale tables refresh on next PreparePlan.
+  void OnIntraMutation(uint32_t shard) { ++epochs_[shard]; }
+  void OnCrossMutation(uint32_t src_shard, uint32_t dst_shard) {
+    ++epochs_[src_shard];
+    if (dst_shard != src_shard) ++epochs_[dst_shard];
+  }
+  /// Drops every cached plan (recovery / wholesale rebuild).
+  void InvalidateAll();
+
+  /// Serializes the built transition rows (warm-cache checkpoint payload;
+  /// index_io.h frames it into a file). Deterministic for a fixed cache
+  /// state. Owner thread only.
+  std::vector<uint8_t> SerializeCache() const;
+
+  /// Restores a SerializeCache payload. Returns false (leaving the cache
+  /// cold but the engine fully usable) when the payload does not match
+  /// the current partition shape. Owner thread only, before any
+  /// concurrent queries.
+  bool RestoreCache(std::span<const uint8_t> bytes);
+
+  const ComposeOptions& options() const { return options_; }
+  size_t num_cached_plans() const { return plans_.size(); }
+
+  /// Heap footprint of the plan cache (tables, ordinal maps) in bytes.
+  uint64_t MemoryBytes() const;
+
+ private:
+  /// (Re)creates the per-shard plan for shard `s` of `plan`.
+  void BuildShardPlan(Plan& plan, uint32_t s);
+
+  /// Returns the transition row for boundary product state `row_idx`
+  /// of shard `s`, building and publishing it on first use. `built` is
+  /// incremented when this call did the build.
+  const BoundaryRow* GetRow(ShardPlan& sp, uint32_t s, uint32_t row_idx,
+                            const Plan& plan, uint32_t* built) const;
+
+  void EnsureScratch(Scratch& scratch, uint32_t j) const;
+
+  const GraphPartition& partition_;
+  const std::vector<std::unique_ptr<DynamicRlcIndex>>& shards_;
+  ComposeOptions options_;
+  std::vector<uint64_t> epochs_;
+  std::unordered_map<LabelSeq, std::unique_ptr<Plan>, LabelSeqHash> plans_;
+  VertexId num_vertices_ = 0;
+};
+
+}  // namespace rlc

@@ -26,7 +26,7 @@
 //  * a throwing kernel (only injected faults throw today) is caught into
 //    outcome kFailed — ThreadPool::Run's fn must not throw, and the
 //    routing pass upstairs decides whether the probes degrade to the
-//    fallback engine or surface a status.
+//    exact index-free composition path or surface a status.
 
 #pragma once
 

@@ -36,12 +36,28 @@ GraphPartition GraphPartition::Build(const DiGraph& g,
   p.is_boundary_.assign(n, 0);
 
   // Vertex assignment + dense local ids (ascending global order per shard).
+  // kRangeOrdered ranges over the heuristic rank instead of the raw id, so
+  // vertices the ordering places together share a shard.
+  std::vector<VertexId> rank_of;
+  if (options.policy == PartitionPolicy::kRangeOrdered) {
+    rank_of = InvertOrder(ComputeVertexOrder(g, options.ordering,
+                                             options.order_seed));
+  }
   std::vector<std::vector<VertexId>> global_of(num_shards);
   const VertexId block = n == 0 ? 1 : (n + num_shards - 1) / num_shards;
   for (VertexId v = 0; v < n; ++v) {
-    const uint32_t s = options.policy == PartitionPolicy::kHash
-                           ? HashShard(v, options.hash_seed, num_shards)
-                           : v / block;
+    uint32_t s = 0;
+    switch (options.policy) {
+      case PartitionPolicy::kHash:
+        s = HashShard(v, options.hash_seed, num_shards);
+        break;
+      case PartitionPolicy::kRange:
+        s = v / block;
+        break;
+      case PartitionPolicy::kRangeOrdered:
+        s = rank_of[v] / block;
+        break;
+    }
     p.shard_of_[v] = s;
     p.local_of_[v] = static_cast<VertexId>(global_of[s].size());
     global_of[s].push_back(v);
@@ -53,6 +69,7 @@ GraphPartition GraphPartition::Build(const DiGraph& g,
   std::vector<LabelMask> out_mask(num_shards);
   std::vector<LabelMask> in_mask(num_shards);
   std::vector<uint8_t> quotient_adj(static_cast<size_t>(num_shards) * num_shards, 0);
+  p.cross_out_.assign(n, {});
   for (VertexId v = 0; v < n; ++v) {
     const uint32_t sv = p.shard_of_[v];
     for (const LabeledNeighbor& nb : g.OutEdges(v)) {
@@ -61,6 +78,7 @@ GraphPartition GraphPartition::Build(const DiGraph& g,
         shard_edges[sv].push_back({p.local_of_[v], p.local_of_[nb.v], nb.label});
       } else {
         p.cross_edges_.push_back({v, nb.v, nb.label});
+        p.cross_out_[v].push_back(nb);
         p.is_boundary_[v] = 1;
         p.is_boundary_[nb.v] = 1;
         out_mask[sv].Add(nb.label);
@@ -129,6 +147,7 @@ void GraphPartition::AddCrossEdge(VertexId global_src, Label label,
   RLC_REQUIRE(a != b,
               "GraphPartition::AddCrossEdge: endpoints share shard " << a);
   cross_edges_.push_back({global_src, global_dst, label});
+  cross_out_[global_src].push_back({global_dst, label});
   const auto flag_boundary = [&](VertexId global) {
     if (is_boundary_[global]) return;
     is_boundary_[global] = 1;
@@ -188,11 +207,13 @@ void GraphPartition::RebuildSummary() {
     shard.in_cross_labels = LabelMask();
   }
   std::vector<uint8_t> adj(static_cast<size_t>(ns) * ns, 0);
+  cross_out_.assign(is_boundary_.size(), {});
   for (const Edge& e : cross_edges_) {
     const uint32_t a = shard_of_[e.src];
     const uint32_t b = shard_of_[e.dst];
     is_boundary_[e.src] = 1;
     is_boundary_[e.dst] = 1;
+    cross_out_[e.src].push_back({e.dst, e.label});
     shards_[a].out_cross_labels.Add(e.label);
     shards_[b].in_cross_labels.Add(e.label);
     adj[static_cast<size_t>(a) * ns + b] = 1;
@@ -217,6 +238,10 @@ uint64_t GraphPartition::MemoryBytes() const {
   bytes += shard_of_.capacity() * sizeof(uint32_t);
   bytes += local_of_.capacity() * sizeof(VertexId);
   bytes += cross_edges_.capacity() * sizeof(Edge);
+  for (const auto& adj : cross_out_) {
+    bytes += adj.capacity() * sizeof(LabeledNeighbor);
+  }
+  bytes += cross_out_.capacity() * sizeof(std::vector<LabeledNeighbor>);
   bytes += is_boundary_.capacity();
   bytes += quotient_closure_.capacity();
   return bytes;

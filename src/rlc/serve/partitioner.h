@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "rlc/graph/digraph.h"
+#include "rlc/serve/vertex_order.h"
 
 namespace rlc {
 
@@ -37,12 +38,20 @@ enum class PartitionPolicy {
   kHash,   ///< splitmix64(v, seed) % num_shards — stateless and balanced
   kRange,  ///< v / ceil(n / num_shards) — contiguous id blocks, locality-
            ///< friendly when vertex ids correlate with communities
+  kRangeOrdered,  ///< rank(v) / ceil(n / num_shards) under a locality
+                  ///< heuristic (vertex_order.h) — recovers community
+                  ///< locality when raw ids carry none
 };
 
 struct PartitionerOptions {
   uint32_t num_shards = 4;  ///< in [1, kMaxShards]
   PartitionPolicy policy = PartitionPolicy::kHash;
   uint64_t hash_seed = 0x51A2DED5ULL;  ///< salt for PartitionPolicy::kHash
+  /// Ordering heuristic for PartitionPolicy::kRangeOrdered (ignored
+  /// otherwise). GreatestConstraintFirst is the community agglomerator;
+  /// kDegree/kReverseDegree shard by hubness.
+  OrderHeuristic ordering = OrderHeuristic::kGreatestConstraintFirst;
+  uint64_t order_seed = 0;  ///< tie-break seed for the ordering
 };
 
 /// Conservative 64-bit label-presence set (labels folded modulo 64).
@@ -126,6 +135,13 @@ class GraphPartition {
   bool IsBoundary(VertexId global) const { return is_boundary_[global] != 0; }
   uint64_t num_boundary_vertices() const { return num_boundary_; }
 
+  /// Outgoing cross-shard edges of a global vertex (neighbor ids are
+  /// global). Empty for interior vertices. This is the skeleton adjacency
+  /// the composition engine hops over (compose.h).
+  std::span<const LabeledNeighbor> CrossOutEdges(VertexId global) const {
+    return cross_out_[global];
+  }
+
   /// True when a walk of >= 1 cross edges (with free movement inside each
   /// intermediate shard) can take shard `a` to shard `b`. For a == b this
   /// asks for a quotient cycle, i.e. whether a path can leave shard a and
@@ -152,6 +168,9 @@ class GraphPartition {
   std::vector<uint32_t> shard_of_;   // global vertex -> shard
   std::vector<VertexId> local_of_;   // global vertex -> local id in its shard
   std::vector<Edge> cross_edges_;    // global ids
+  // Per-vertex outgoing cross-edge adjacency (global neighbor ids), the
+  // forward skeleton view of cross_edges_.
+  std::vector<std::vector<LabeledNeighbor>> cross_out_;
   std::vector<uint8_t> is_boundary_; // global vertex -> 0/1
   uint64_t num_boundary_ = 0;
   std::vector<uint8_t> quotient_closure_;  // num_shards^2, row-major

@@ -120,7 +120,7 @@ AnswerBatch ExecuteBatch(const RlcIndex& index, const QueryBatch& batch,
 
   // Splice the per-job buffers back in probe order; jobs that the deadline
   // skipped (or that an injected fault failed) surface as statuses instead
-  // of answers — this executor has no fallback engine to degrade to.
+  // of answers — this executor has no degraded path of its own.
   for (const GroupRef& group : group_refs) {
     size_t pos = 0;
     for (size_t j = group.first_job; pos < group.bucket->size(); ++j) {

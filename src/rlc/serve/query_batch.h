@@ -86,14 +86,15 @@ struct AnswerBatch {
   uint64_t num_groups = 0;    ///< index probe groups executed
   uint64_t num_refuted = 0;   ///< probes refuted by the boundary summary
                               ///< (sharded executor only)
-  uint64_t num_fallback = 0;  ///< probes sent to the fallback engine
-                              ///< (sharded executor only)
+  uint64_t num_composed = 0;  ///< probes answered by cross-shard composition
+                              ///< over the boundary skeleton (sharded
+                              ///< executor only)
   uint64_t num_deadline_exceeded = 0;  ///< statuses == kDeadlineExceeded
   uint64_t num_shedded = 0;            ///< statuses == kShedded
   uint64_t num_unavailable = 0;        ///< statuses == kShardUnavailable
-  uint64_t num_degraded = 0;  ///< probes answered exactly by the fallback
-                              ///< because their shard was broken/breaker-
-                              ///< open (sharded executor only; still kOk)
+  uint64_t num_degraded = 0;  ///< probes answered exactly by index-free
+                              ///< evaluation because their shard was broken/
+                              ///< breaker-open (sharded executor only; kOk)
 
   bool all_ok() const {
     return num_deadline_exceeded == 0 && num_shedded == 0 &&

@@ -19,8 +19,8 @@ enum class ProbeStatus : uint8_t {
   kOk = 0,                ///< exact answer produced
   kDeadlineExceeded = 1,  ///< batch deadline expired before this probe ran
   kShedded = 2,           ///< dropped by admission control (overload)
-  kShardUnavailable = 3,  ///< owning engine errored / breaker open, no
-                          ///< fallback available
+  kShardUnavailable = 3,  ///< owning engine errored / breaker open, and the
+                          ///< composition engine cannot answer either
 };
 
 inline const char* ProbeStatusName(ProbeStatus s) {
@@ -71,7 +71,8 @@ class OverloadedError : public std::runtime_error {
 };
 
 /// The engine that owns this probe is failing fast (circuit breaker open
-/// with no healthy fallback). Retrying after the breaker's backoff is safe.
+/// with no healthy engine left to answer exactly). Retrying after the
+/// breaker's backoff is safe.
 class UnavailableError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rlc/core/index_io.h"
 #include "rlc/obs/trace.h"
 #include "rlc/serve/kernel_jobs.h"
 #include "rlc/util/failpoint.h"
@@ -21,7 +22,11 @@ ShardedRlcService::ServiceCounters::ServiceCounters(obs::Registry& reg)
       intra_true(reg.GetCounter("serve.intra_true")),
       intra_miss(reg.GetCounter("serve.intra_miss")),
       cross_refuted(reg.GetCounter("serve.cross_refuted")),
-      fallback_probes(reg.GetCounter("serve.fallback_probes")),
+      compose_probes(reg.GetCounter("serve.compose.probes")),
+      compose_skeleton_hops(reg.GetCounter("serve.compose.skeleton_hops")),
+      compose_table_builds(reg.GetCounter("serve.compose.table_builds")),
+      compose_invalidations(reg.GetCounter("serve.compose.invalidations")),
+      compose_expanded(reg.GetCounter("serve.compose.expanded")),
       batches(reg.GetCounter("serve.batches")),
       batch_groups(reg.GetCounter("serve.batch_groups")),
       seq_cache_flushes(reg.GetCounter("serve.seq_cache_flushes")),
@@ -37,7 +42,7 @@ ShardedRlcService::ServiceCounters::ServiceCounters(obs::Registry& reg)
       breaker_trials(reg.GetCounter("serve.breaker.trials")),
       breaker_degraded(reg.GetCounter("serve.breaker.degraded_probes")),
       breaker_fail_fast(reg.GetCounter("serve.breaker.fail_fast")),
-      fallback_overruns(reg.GetCounter("serve.fallback.budget_overruns")),
+      compose_overruns(reg.GetCounter("serve.compose.budget_overruns")),
       shard_revives(reg.GetCounter("serve.breaker.revives")) {}
 
 ShardedRlcService::StageHistograms::StageHistograms(obs::Registry& reg)
@@ -45,9 +50,8 @@ ShardedRlcService::StageHistograms::StageHistograms(obs::Registry& reg)
       resolve_ns(reg.GetHistogram("serve.stage.resolve_ns")),
       shard_kernel_ns(reg.GetHistogram("serve.stage.shard_kernel_job_ns")),
       route_ns(reg.GetHistogram("serve.stage.route_ns")),
-      fallback_kernel_ns(
-          reg.GetHistogram("serve.stage.fallback_kernel_job_ns")),
-      fallback_probe_ns(reg.GetHistogram("serve.stage.fallback_probe_ns")),
+      compose_job_ns(reg.GetHistogram("serve.stage.compose_job_ns")),
+      compose_probe_ns(reg.GetHistogram("serve.stage.compose_probe_ns")),
       apply_updates_ns(reg.GetHistogram("serve.stage.apply_updates_ns")),
       checkpoint_ns(reg.GetHistogram("serve.stage.checkpoint_ns")) {}
 
@@ -57,7 +61,11 @@ ServiceStats ShardedRlcService::stats() const {
   s.intra_true = c_.intra_true.Value();
   s.intra_miss = c_.intra_miss.Value();
   s.cross_refuted = c_.cross_refuted.Value();
-  s.fallback_probes = c_.fallback_probes.Value();
+  s.compose_probes = c_.compose_probes.Value();
+  s.compose_skeleton_hops = c_.compose_skeleton_hops.Value();
+  s.compose_table_builds = c_.compose_table_builds.Value();
+  s.compose_invalidations = c_.compose_invalidations.Value();
+  s.compose_expanded = c_.compose_expanded.Value();
   s.batches = c_.batches.Value();
   s.batch_groups = c_.batch_groups.Value();
   s.seq_cache_flushes = c_.seq_cache_flushes.Value();
@@ -73,17 +81,17 @@ ServiceStats ShardedRlcService::stats() const {
   s.breaker_trials = c_.breaker_trials.Value();
   s.breaker_degraded = c_.breaker_degraded.Value();
   s.breaker_fail_fast = c_.breaker_fail_fast.Value();
-  s.fallback_overruns = c_.fallback_overruns.Value();
+  s.compose_overruns = c_.compose_overruns.Value();
   s.shard_revives = c_.shard_revives.Value();
   s.partition_seconds = partition_seconds_;
   s.index_build_seconds = index_build_seconds_;
   return s;
 }
 
-std::vector<uint64_t> ShardedRlcService::ShardFallbackCounts() const {
+std::vector<uint64_t> ShardedRlcService::ShardComposeCounts() const {
   std::vector<uint64_t> counts;
-  counts.reserve(shard_fallback_.size());
-  for (const obs::Counter* c : shard_fallback_) counts.push_back(c->Value());
+  counts.reserve(shard_compose_.size());
+  for (const obs::Counter* c : shard_compose_) counts.push_back(c->Value());
   return counts;
 }
 
@@ -92,14 +100,14 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
   Timer timer;
   partition_ = GraphPartition::Build(g_, options_.partition);
   partition_seconds_ = timer.ElapsedSeconds();
-  shard_fallback_.reserve(partition_.num_shards());
+  shard_compose_.reserve(partition_.num_shards());
   for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
-    shard_fallback_.push_back(
-        &metrics_.GetCounter("serve.fallback.shard." + std::to_string(s)));
+    shard_compose_.push_back(
+        &metrics_.GetCounter("serve.compose.shard." + std::to_string(s)));
   }
 
-  // One breaker per shard + one for the fallback engine, each with its own
-  // jitter stream so coupled trips do not retry in lockstep.
+  // One breaker per shard + one for the composition engine, each with its
+  // own jitter stream so coupled trips do not retry in lockstep.
   shard_breakers_.resize(partition_.num_shards());
   for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
     BreakerOptions bo = options_.breaker;
@@ -112,9 +120,9 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
     BreakerOptions bo = options_.breaker;
     bo.seed = (bo.seed != 0 ? bo.seed : 0x6A09E667F3BCC909ULL) +
               partition_.num_shards();
-    fallback_breaker_.breaker = CircuitBreaker(bo);
-    fallback_breaker_.state_gauge =
-        &metrics_.GetGauge("serve.breaker.state.fallback");
+    compose_breaker_.breaker = CircuitBreaker(bo);
+    compose_breaker_.state_gauge =
+        &metrics_.GetGauge("serve.breaker.state.compose");
   }
 
   const bool is_durable = !options_.durability.dir.empty();
@@ -136,6 +144,24 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
   }
   if (!recovered) BuildIndexes();
   index_build_seconds_ = timer.ElapsedSeconds();
+
+  // The composition engine reads the partition and the shard overlays by
+  // reference, so it is created once those exist; WAL replay below routes
+  // through ApplyUpdatesInternal, which already notifies it of mutations.
+  compose_ = std::make_unique<CompositionEngine>(partition_, shard_dyn_,
+                                                 options_.compose);
+  if (recovered) {
+    // Warm the transition tables from the recovered generation's
+    // compose.snap. The file is a pure cache: absent, corrupt, or written
+    // against a different partition shape all mean "start cold", never a
+    // recovery failure.
+    try {
+      const std::vector<uint8_t> payload = ReadCompositionCache(
+          GenDir(recovery_.generation) + "/compose.snap");
+      compose_->RestoreCache(payload);
+    } catch (const std::exception&) {
+    }
+  }
 
   const uint32_t exec_threads =
       ThreadPool::ResolveThreads(options_.exec_threads);
@@ -172,30 +198,17 @@ ShardedRlcService::ShardedRlcService(const DiGraph& g, ServiceOptions options)
 }
 
 void ShardedRlcService::BuildIndexes() {
-  // Build every shard index — plus the whole-graph fallback index when the
-  // hybrid fallback is on — as independent tasks on one worker pool. Each
+  // Build every shard index as an independent task on one worker pool. Each
   // task runs the sequential Algorithm 2 (the parallelism budget is spent
   // across shards, not within one), and always seals: the service serves
-  // from the CSR layout.
+  // from the CSR layout. Nothing whole-graph is built — the composition
+  // engine answers cross-shard probes from the shard graphs alone.
   const uint32_t num_shards = partition_.num_shards();
-  const bool build_global = options_.fallback == FallbackMode::kGlobalHybrid;
   const uint32_t threads =
       std::min(ThreadPool::ResolveThreads(options_.build_threads), num_shards);
   IndexerOptions build_opts = options_.indexer;
   build_opts.num_threads = 1;
   build_opts.seal = true;
-
-  // The whole-graph fallback index dominates the build: give it the full
-  // thread budget by itself (PR 1's speculative builder is bit-identical
-  // for any thread count), then fan the small shard builds out across the
-  // pool — no phase oversubscribes the budget.
-  if (build_global) {
-    IndexerOptions global_opts = build_opts;
-    global_opts.num_threads = ThreadPool::ResolveThreads(options_.build_threads);
-    RlcIndexBuilder builder(g_, global_opts);
-    global_dyn_ = std::make_unique<DynamicRlcIndex>(g_, builder.Build(),
-                                                    options_.reseal);
-  }
 
   shard_dyn_.resize(num_shards);
   auto build_task = [&](uint32_t shard) {
@@ -215,8 +228,6 @@ void ShardedRlcService::BuildIndexes() {
       }
     });
   }
-
-  if (!build_global) online_ = std::make_unique<OnlineSearcher>(g_);
 }
 
 bool ShardedRlcService::TryRecover() {
@@ -264,9 +275,6 @@ bool ShardedRlcService::TryRecover() {
       // A failed attempt may have partially mutated the service; reset
       // everything LoadGeneration touches before the next candidate.
       shard_dyn_.clear();
-      global_dyn_.reset();
-      online_.reset();
-      patched_graph_.reset();
       applied_set_.clear();
       applied_inserts_.clear();
       deleted_base_.clear();
@@ -334,16 +342,6 @@ void ShardedRlcService::LoadGeneration(uint64_t gen) {
     if (!err.empty()) throw std::runtime_error(err);
   }
 
-  if (options_.fallback == FallbackMode::kGlobalHybrid) {
-    LoadedSnapshot snap = LoadSnapshotFile(gdir + "/global.snap");
-    if (!snap.index) {
-      throw std::runtime_error(gdir + "/global.snap has no embedded index");
-    }
-    global_dyn_ = std::make_unique<DynamicRlcIndex>(
-        g_, std::move(*snap.index), options_.reseal);
-    global_dyn_->RestoreOverlay(snap.inserted, snap.removed);
-  }
-
   // Bookkeeping + boundary summary: the partition was built from the base
   // graph, so replaying the *net* cross-edge changes reproduces the exact
   // current cross-edge set (the summaries are a function of it).
@@ -360,7 +358,6 @@ void ShardedRlcService::LoadGeneration(uint64_t gen) {
       partition_.RemoveCrossEdge(e.src, e.label, e.dst);
     }
   }
-  if (options_.fallback == FallbackMode::kOnline) RebuildPatchedGraph();
   last_lsn_ = meta.applied_lsn;
 }
 
@@ -400,10 +397,12 @@ void ShardedRlcService::Checkpoint() {
                       shard_dyn_[shard]->removed_edges(),
                       &shard_dyn_[shard]->index());
   }
-  if (global_dyn_ != nullptr) {
-    WriteSnapshotFile(gdir + "/global.snap", last_lsn_,
-                      global_dyn_->inserted_edges(),
-                      global_dyn_->removed_edges(), &global_dyn_->index());
+  // Warm-cache checkpoint of the composition engine's built transition
+  // rows: recovery restores them so the first cross-shard probes after a
+  // restart skip the lazy rebuilds. Correctness never depends on it.
+  if (compose_ != nullptr) {
+    const std::vector<uint8_t> payload = compose_->SerializeCache();
+    WriteCompositionCache(gdir + "/compose.snap", payload);
   }
   std::vector<EdgeUpdate> removed;
   removed.reserve(deleted_base_.size());
@@ -467,14 +466,6 @@ const ShardedRlcService::SeqEntry& ShardedRlcService::Resolve(
   for (uint32_t s = 0; s < partition_.num_shards(); ++s) {
     entry.shard_mr[s] = shard_dyn_[s]->index().FindMr(seq);
   }
-  entry.plus = PathConstraint::RlcPlus(seq);
-  if (global_dyn_ != nullptr) {
-    entry.global_mr = global_dyn_->index().FindMr(seq);
-  }
-  if (online_ != nullptr) {
-    entry.compiled =
-        std::make_unique<CompiledConstraint>(entry.plus, g_.num_labels());
-  }
   // unordered_map references are stable across later inserts.
   return seq_cache_.emplace(seq, std::move(entry)).first->second;
 }
@@ -505,47 +496,69 @@ void ShardedRlcService::BreakerOk(BreakerSlot& slot) {
   }
 }
 
-bool ShardedRlcService::FallbackProbe(VertexId s, VertexId t,
-                                      const SeqEntry& entry,
-                                      uint32_t source_shard) {
-  if (BreakerDecide(fallback_breaker_) == CircuitBreaker::Decision::kDeny) {
+bool ShardedRlcService::ComposeProbe(VertexId s, VertexId t,
+                                     const LabelSeq& seq, uint32_t source_shard,
+                                     bool need_intra) {
+  if (BreakerDecide(compose_breaker_) == CircuitBreaker::Decision::kDeny) {
     c_.breaker_fail_fast.Inc();
     throw UnavailableError(
-        "ShardedRlcService: fallback engine breaker is open (fail fast)");
+        "ShardedRlcService: compose breaker is open (fail fast)");
   }
-  c_.fallback_probes.Inc();
-  shard_fallback_[source_shard]->Inc();
+  c_.compose_probes.Inc();
+  shard_compose_[source_shard]->Inc();
   try {
-    FailpointHitFast(failpoints::kServeFallbackProbe);
-    bool answer;
-    if (global_dyn_ != nullptr) {
-      // One whole-graph index probe on the pre-resolved MR; the index's own
-      // signature prefilter refutes most negatives from two loads.
-      answer = global_dyn_->index().QueryInterned(s, t, entry.global_mr);
-    } else {
-      obs::ScopedSpan span(h_.fallback_probe_ns, "serve.fallback.bibfs");
-      answer = online_->QueryBiBfs(s, t, *entry.compiled);
+    FailpointHitFast(failpoints::kServeComposeProbe);
+    uint32_t invalidated = 0;
+    const CompositionEngine::Plan& plan =
+        compose_->PreparePlan(seq, &invalidated);
+    if (invalidated > 0) c_.compose_invalidations.Add(invalidated);
+    const bool metrics_on = obs::Enabled();
+    const bool timed = metrics_on || options_.probe_budget_ns != 0;
+    const uint64_t t0 = timed ? obs::NowNanos() : 0;
+    // Degraded same-shard probes OR the index-free intra answer with the
+    // composed one: composition only covers walks using >= 1 cross edge,
+    // the intra product search covers the rest, and both are exact on the
+    // mutated graph.
+    bool answer =
+        need_intra && compose_->IntraProductReaches(s, t, seq, compose_scratch_);
+    if (!answer) {
+      const ComposeResult r =
+          compose_->ComposedQuery(s, t, plan, compose_scratch_);
+      answer = r.reachable;
+      c_.compose_skeleton_hops.Add(r.skeleton_hops);
+      c_.compose_expanded.Add(r.expanded);
+      if (r.table_rows_built > 0) {
+        c_.compose_table_builds.Add(r.table_rows_built);
+      }
     }
-    BreakerOk(fallback_breaker_);
+    const uint64_t elapsed = timed ? obs::NowNanos() - t0 : 0;
+    if (metrics_on) h_.compose_probe_ns.Record(elapsed);
+    if (options_.probe_budget_ns != 0 && elapsed > options_.probe_budget_ns) {
+      // The answer is exact and kept, but the overrun is a timeout against
+      // the compose breaker — sustained slowness trips it into fail-fast
+      // instead of latency collapse.
+      c_.compose_overruns.Inc();
+      BreakerFail(compose_breaker_);
+    } else {
+      BreakerOk(compose_breaker_);
+    }
     return answer;
   } catch (const UnavailableError&) {
     throw;
   } catch (const std::exception& e) {
-    BreakerFail(fallback_breaker_);
-    throw UnavailableError(std::string("ShardedRlcService: fallback probe "
-                                       "failed: ") +
-                           e.what());
+    BreakerFail(compose_breaker_);
+    throw UnavailableError(
+        std::string("ShardedRlcService: composed probe failed: ") + e.what());
   }
 }
 
 bool ShardedRlcService::CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
-                                    const SeqEntry& entry, uint32_t ss,
-                                    uint32_t st) {
+                                    uint32_t ss, uint32_t st) {
   if (RefutedByBoundary(ss, st, seq)) {
     c_.cross_refuted.Inc();
     return false;
   }
-  return FallbackProbe(s, t, entry, ss);
+  return ComposeProbe(s, t, seq, ss, /*need_intra=*/false);
 }
 
 bool ShardedRlcService::Query(VertexId s, VertexId t,
@@ -559,12 +572,10 @@ bool ShardedRlcService::Query(VertexId s, VertexId t,
   if (ss == st) {
     BreakerSlot& slot = shard_breakers_[ss];
     if (BreakerDecide(slot) == CircuitBreaker::Decision::kDeny) {
-      // The shard is sick: detour straight to the fallback engine. The
-      // answer stays exact (the fallback covers the whole graph); boundary
-      // refutation must be skipped — without a shard answer, an
-      // intra-shard witness may exist.
+      // The shard is sick: answer index-free. Boundary refutation must be
+      // skipped — without a shard answer, an intra-shard witness may exist.
       c_.breaker_degraded.Inc();
-      return FallbackProbe(s, t, entry, ss);
+      return ComposeProbe(s, t, constraint, ss, /*need_intra=*/true);
     }
     try {
       FailpointHitFast(failpoints::kServeShardExecute);
@@ -579,10 +590,10 @@ bool ShardedRlcService::Query(VertexId s, VertexId t,
     } catch (const std::exception&) {
       BreakerFail(slot);
       c_.breaker_degraded.Inc();
-      return FallbackProbe(s, t, entry, ss);
+      return ComposeProbe(s, t, constraint, ss, /*need_intra=*/true);
     }
   }
-  return CrossAnswer(s, t, constraint, entry, ss, st);
+  return CrossAnswer(s, t, constraint, ss, st);
 }
 
 AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch) {
@@ -690,21 +701,19 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch,
   std::vector<std::shared_ptr<const RlcIndex>> shard_snaps;
   shard_snaps.reserve(shard_dyn_.size());
   for (const auto& dyn : shard_dyn_) shard_snaps.push_back(dyn->Snapshot());
-  const std::shared_ptr<const RlcIndex> global_snap =
-      global_dyn_ != nullptr ? global_dyn_->Snapshot() : nullptr;
 
   // Phase 1: grouped CSR probes on the shard indexes. The kernel passes of
   // all executable groups fan out across the execution pool (per-job
   // buffers, no shared mutable state); the routing decisions — boundary
-  // refutation, stats, fallback collection — then run sequentially over
-  // the job answers in group submission order, so every thread count
+  // refutation, stats, composed-probe collection — then run sequentially
+  // over the job answers in group submission order, so every thread count
   // produces identical answers and counters.
   const size_t chunk = std::max<size_t>(size_t{1}, options_.exec_probes_per_job);
   std::vector<internal::KernelJob> jobs;
   std::vector<size_t> first_job(groups.size(), SIZE_MAX);
   // Per-shard breaker decision, made once per batch (lazily, only for
   // shards this batch touches). Denied shards get no jobs: their probes
-  // degrade straight to the fallback in the routing pass.
+  // degrade straight to index-free composition in the routing pass.
   std::vector<int8_t> shard_decision(shard_dyn_.size(), -1);
   auto decide_shard = [&](uint32_t shard) {
     if (shard_decision[shard] < 0) {
@@ -742,8 +751,14 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch,
   const uint64_t t_shard_done = metrics_on ? obs::NowNanos() : 0;
   if (metrics_on) internal::MergeJobStats(jobs, &h_.shard_kernel_ns);
 
-  // Sequential routing pass over the shard answers.
-  std::vector<std::vector<uint32_t>> pending(seqs.size());
+  // Sequential routing pass over the shard answers. Pending probes carry
+  // whether they also need the index-free intra answer (degraded probes:
+  // their shard index never reported a miss).
+  struct PendingProbe {
+    uint32_t idx;
+    uint8_t need_intra;
+  };
+  std::vector<std::vector<PendingProbe>> pending(seqs.size());
   auto route_cross = [&](uint32_t probe_i) {
     const BatchProbe& p = probes[probe_i];
     const uint32_t ss = partition_.ShardOf(p.s);
@@ -751,18 +766,19 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch,
       c_.cross_refuted.Inc();
       ++out.num_refuted;
     } else {
-      pending[p.seq_id].push_back(probe_i);
-      shard_fallback_[ss]->Inc();
+      pending[p.seq_id].push_back({probe_i, 0});
+      shard_compose_[ss]->Inc();
     }
   };
   // A probe without a trustworthy shard answer (breaker-open shard, failed
-  // job) detours straight to the fallback: boundary refutation is only
-  // sound after the shard index reported a miss — without that, the
-  // witness may sit entirely inside the shard.
+  // job) is answered index-free: boundary refutation is only sound after
+  // the shard index reported a miss — without that, the witness may sit
+  // entirely inside the shard, so the composed probe also runs the intra
+  // product search.
   auto degrade = [&](uint32_t probe_i) {
     const BatchProbe& p = probes[probe_i];
-    pending[p.seq_id].push_back(probe_i);
-    shard_fallback_[partition_.ShardOf(p.s)]->Inc();
+    pending[p.seq_id].push_back({probe_i, 1});
+    shard_compose_[partition_.ShardOf(p.s)]->Inc();
     ++out.num_degraded;
   };
   // Breaker evidence, resolved once per shard after the whole batch: any
@@ -830,145 +846,196 @@ AnswerBatch ShardedRlcService::Execute(const QueryBatch& batch,
   if (out.num_degraded > 0) c_.breaker_degraded.Add(out.num_degraded);
   if (metrics_on) h_.route_ns.Record(obs::NowNanos() - t_shard_done);
 
-  // Phase 2: fallback. With the hybrid fallback the pending probes run as
-  // grouped CSR probes on the whole-graph index (same answers as the
-  // engine's scalar path — the 2-hop prefilter only short-circuits),
-  // again fanned out across the pool; the online fallback evaluates probe
-  // by probe on the caller's thread (the searcher's scratch is shared).
-  // The fallback engine sits behind its own breaker: open means the
-  // pending probes fail fast as kShardUnavailable instead of piling onto
-  // an engine that is already drowning.
+  // Phase 2: composition. The pending probes fan out across the execution
+  // pool in chunked jobs — the engine's probe path is const on a prepared
+  // plan, each job carries its own scratch and answer buffers, and all
+  // telemetry merges sequentially after the barrier, so answers and
+  // counters are identical for every thread count. The compose breaker is
+  // consulted once per batch: open means the pending probes fail fast as
+  // kShardUnavailable instead of piling onto an engine that is already
+  // drowning.
   size_t pending_total = 0;
-  for (const std::vector<uint32_t>& bucket : pending) {
+  for (const std::vector<PendingProbe>& bucket : pending) {
     pending_total += bucket.size();
   }
-  const bool fallback_denied =
-      pending_total > 0 && BreakerDecide(fallback_breaker_) ==
-                               CircuitBreaker::Decision::kDeny;
-  if (fallback_denied) {
-    for (const std::vector<uint32_t>& bucket : pending) {
-      for (const uint32_t i : bucket) {
-        out.statuses[i] = ProbeStatus::kShardUnavailable;
+  if (pending_total > 0 && BreakerDecide(compose_breaker_) ==
+                               CircuitBreaker::Decision::kDeny) {
+    for (const std::vector<PendingProbe>& bucket : pending) {
+      for (const PendingProbe& pp : bucket) {
+        out.statuses[pp.idx] = ProbeStatus::kShardUnavailable;
         ++out.num_unavailable;
       }
     }
     c_.breaker_fail_fast.Add(pending_total);
-  } else if (global_dyn_ != nullptr) {
-    std::vector<internal::KernelJob> fallback_jobs;
-    struct BucketRef {
-      uint32_t seq_id;
-      size_t first_job;
-    };
-    std::vector<BucketRef> bucket_refs;
+  } else if (pending_total > 0) {
+    const bool timed_probes = metrics_on || limits.probe_budget_ns != 0;
+    bool any_ran = false;
+    bool any_failed = false;
+    uint64_t total_overruns = 0;
+    std::vector<uint32_t> pending_seqs;
     for (uint32_t seq_id = 0; seq_id < pending.size(); ++seq_id) {
-      const std::vector<uint32_t>& bucket = pending[seq_id];
-      if (bucket.empty()) continue;
-      c_.fallback_probes.Add(bucket.size());
-      out.num_fallback += bucket.size();
-      ++out.num_groups;
-      bucket_refs.push_back({seq_id, fallback_jobs.size()});
-      const size_t first_new = fallback_jobs.size();
-      internal::AppendChunkedJobs(
-          *global_snap,
-          entries[seq_id]->global_mr,  // may be kInvalidMrId: all 0
-          bucket.size(), chunk,
-          [&](size_t i) {
-            const BatchProbe& p = probes[bucket[i]];
-            return VertexPair{p.s, p.t};
-          },
-          fallback_jobs);
-      for (size_t j = first_new; j < fallback_jobs.size(); ++j) {
-        fallback_jobs[j].deadline_ns = deadline.at_ns;
-        fallback_jobs[j].failpoint = failpoints::kServeFallbackExecute;
+      if (!pending[seq_id].empty()) pending_seqs.push_back(seq_id);
+    }
+    // Plans are prepared on the caller thread (the engine's only non-const
+    // entry point), in rounds bounded by the engine's plan-cache capacity:
+    // PreparePlan flushes the cache when full, which would dangle earlier
+    // plan pointers if a round outgrew it.
+    const size_t plan_cap =
+        std::max<size_t>(size_t{1}, compose_->options().max_cached_plans);
+    size_t seq_pos = 0;
+    while (seq_pos < pending_seqs.size()) {
+      const size_t round =
+          std::min(plan_cap, pending_seqs.size() - seq_pos);
+      if (compose_->num_cached_plans() + round > plan_cap) {
+        compose_->InvalidateAll();
       }
-    }
-    internal::RunKernelJobs(fallback_jobs, exec_pool_.get());
-    if (metrics_on) {
-      internal::MergeJobStats(fallback_jobs, &h_.fallback_kernel_ns);
-    }
-    bool fb_ran = false;
-    bool fb_failed = false;
-    for (const BucketRef& ref : bucket_refs) {
-      const std::vector<uint32_t>& bucket = pending[ref.seq_id];
-      size_t pos = 0;
-      for (size_t j = ref.first_job; pos < bucket.size(); ++j) {
-        const internal::KernelJob& jb = fallback_jobs[j];
-        if (jb.outcome == internal::KernelJob::Outcome::kRan) {
-          fb_ran = true;
-          for (const uint8_t a : jb.answers) {
-            out.answers[bucket[pos++]] = a;
-          }
-          continue;
+      std::vector<const CompositionEngine::Plan*> plans(seqs.size(), nullptr);
+      uint32_t invalidated_total = 0;
+      struct ComposeItem {
+        uint32_t probe;
+        uint32_t seq_id;
+        uint8_t need_intra;
+      };
+      std::vector<ComposeItem> items;
+      for (size_t r = 0; r < round; ++r) {
+        const uint32_t seq_id = pending_seqs[seq_pos + r];
+        uint32_t invalidated = 0;
+        plans[seq_id] = &compose_->PreparePlan(seqs[seq_id], &invalidated);
+        invalidated_total += invalidated;
+        for (const PendingProbe& pp : pending[seq_id]) {
+          items.push_back({pp.idx, seq_id, pp.need_intra});
         }
-        const bool skipped =
-            jb.outcome == internal::KernelJob::Outcome::kSkippedDeadline;
-        if (!skipped) fb_failed = true;
-        for (size_t k = 0; k < jb.pairs.size(); ++k) {
-          const uint32_t i = bucket[pos++];
-          if (skipped) {
+      }
+      seq_pos += round;
+      if (invalidated_total > 0) {
+        c_.compose_invalidations.Add(invalidated_total);
+      }
+      c_.compose_probes.Add(items.size());
+      out.num_composed += items.size();
+
+      struct ComposeJob {
+        size_t first = 0;
+        size_t count = 0;
+        std::vector<uint8_t> answers;
+        std::vector<ProbeStatus> statuses;
+        std::vector<uint64_t> probe_ns;
+        uint64_t job_ns = 0;
+        uint64_t hops = 0;
+        uint64_t expanded = 0;
+        uint64_t rows_built = 0;
+        uint64_t overruns = 0;
+        bool ran = false;
+        bool failed = false;
+      };
+      std::vector<ComposeJob> compose_jobs;
+      for (size_t first = 0; first < items.size(); first += chunk) {
+        ComposeJob jb;
+        jb.first = first;
+        jb.count = std::min(chunk, items.size() - first);
+        compose_jobs.push_back(std::move(jb));
+      }
+      auto run_compose_job = [&](ComposeJob& jb,
+                                 CompositionEngine::Scratch& scratch) {
+        const uint64_t jt0 = metrics_on ? obs::NowNanos() : 0;
+        jb.answers.assign(jb.count, 0);
+        jb.statuses.assign(jb.count, ProbeStatus::kOk);
+        if (timed_probes) jb.probe_ns.assign(jb.count, 0);
+        bool job_ok = true;
+        try {
+          FailpointHitFast(failpoints::kServeComposeExecute);
+        } catch (const std::exception&) {
+          job_ok = false;  // injected job-level fault: the whole chunk fails
+        }
+        for (size_t k = 0; k < jb.count; ++k) {
+          if (!job_ok) {
+            jb.failed = true;
+            jb.statuses[k] = ProbeStatus::kShardUnavailable;
+            continue;
+          }
+          if (deadline.active() && deadline.Expired(obs::NowNanos())) {
+            jb.statuses[k] = ProbeStatus::kDeadlineExceeded;
+            continue;
+          }
+          const ComposeItem& item = items[jb.first + k];
+          const BatchProbe& p = probes[item.probe];
+          try {
+            FailpointHitFast(failpoints::kServeComposeProbe);
+            const uint64_t t0 = timed_probes ? obs::NowNanos() : 0;
+            bool ans = item.need_intra != 0 &&
+                       compose_->IntraProductReaches(p.s, p.t,
+                                                     seqs[item.seq_id], scratch);
+            if (!ans) {
+              const ComposeResult r = compose_->ComposedQuery(
+                  p.s, p.t, *plans[item.seq_id], scratch);
+              ans = r.reachable;
+              jb.hops += r.skeleton_hops;
+              jb.expanded += r.expanded;
+              jb.rows_built += r.table_rows_built;
+            }
+            const uint64_t elapsed = timed_probes ? obs::NowNanos() - t0 : 0;
+            if (timed_probes) jb.probe_ns[k] = elapsed;
+            jb.answers[k] = ans ? 1 : 0;
+            jb.ran = true;
+            if (limits.probe_budget_ns != 0 &&
+                elapsed > limits.probe_budget_ns) {
+              ++jb.overruns;
+            }
+          } catch (const std::exception&) {
+            jb.failed = true;
+            jb.statuses[k] = ProbeStatus::kShardUnavailable;
+          }
+        }
+        if (metrics_on) jb.job_ns = obs::NowNanos() - jt0;
+      };
+      if (exec_pool_ != nullptr && compose_jobs.size() > 1) {
+        std::atomic<size_t> cursor{0};
+        exec_pool_->Run([&](uint32_t) {
+          CompositionEngine::Scratch scratch;
+          for (size_t ji; (ji = cursor.fetch_add(1)) < compose_jobs.size();) {
+            run_compose_job(compose_jobs[ji], scratch);
+          }
+        });
+      } else {
+        for (ComposeJob& jb : compose_jobs) {
+          run_compose_job(jb, compose_scratch_);
+        }
+      }
+
+      // Merge, sequentially and in item order.
+      uint64_t hops = 0, expanded = 0, rows_built = 0;
+      for (const ComposeJob& jb : compose_jobs) {
+        for (size_t k = 0; k < jb.count; ++k) {
+          const uint32_t i = items[jb.first + k].probe;
+          if (jb.statuses[k] == ProbeStatus::kOk) {
+            out.answers[i] = jb.answers[k];
+            if (metrics_on) h_.compose_probe_ns.Record(jb.probe_ns[k]);
+          } else if (jb.statuses[k] == ProbeStatus::kDeadlineExceeded) {
             out.statuses[i] = ProbeStatus::kDeadlineExceeded;
             ++out.num_deadline_exceeded;
           } else {
-            // No second-level fallback exists: surface the outage.
             out.statuses[i] = ProbeStatus::kShardUnavailable;
             ++out.num_unavailable;
           }
         }
+        hops += jb.hops;
+        expanded += jb.expanded;
+        rows_built += jb.rows_built;
+        total_overruns += jb.overruns;
+        any_ran = any_ran || jb.ran;
+        any_failed = any_failed || jb.failed;
+        if (metrics_on) h_.compose_job_ns.Record(jb.job_ns);
       }
+      c_.compose_skeleton_hops.Add(hops);
+      c_.compose_expanded.Add(expanded);
+      if (rows_built > 0) c_.compose_table_builds.Add(rows_built);
     }
-    if (fb_failed) {
-      BreakerFail(fallback_breaker_);
-    } else if (fb_ran) {
-      BreakerOk(fallback_breaker_);
-    }
-  } else {
-    for (uint32_t seq_id = 0; seq_id < pending.size(); ++seq_id) {
-      const std::vector<uint32_t>& bucket = pending[seq_id];
-      if (bucket.empty()) continue;
-      c_.fallback_probes.Add(bucket.size());
-      out.num_fallback += bucket.size();
-      for (const uint32_t i : bucket) {
-        // Per-probe checkpoints bound how far a batch can overrun: the
-        // deadline is re-checked before every BiBFS, and a mid-loop
-        // breaker trip fails the rest of the bucket fast.
-        if (!fallback_breaker_.breaker.closed() &&
-            BreakerDecide(fallback_breaker_) ==
-                CircuitBreaker::Decision::kDeny) {
-          out.statuses[i] = ProbeStatus::kShardUnavailable;
-          ++out.num_unavailable;
-          c_.breaker_fail_fast.Inc();
-          continue;
-        }
-        if (deadline.active() && deadline.Expired(obs::NowNanos())) {
-          out.statuses[i] = ProbeStatus::kDeadlineExceeded;
-          ++out.num_deadline_exceeded;
-          continue;
-        }
-        try {
-          FailpointHitFast(failpoints::kServeFallbackProbe);
-          const bool timed = metrics_on || limits.probe_budget_ns != 0;
-          const uint64_t t0 = timed ? obs::NowNanos() : 0;
-          const bool answer = online_->QueryBiBfs(probes[i].s, probes[i].t,
-                                                  *entries[seq_id]->compiled);
-          const uint64_t elapsed = timed ? obs::NowNanos() - t0 : 0;
-          if (metrics_on) h_.fallback_probe_ns.Record(elapsed);
-          out.answers[i] = answer ? 1 : 0;
-          if (limits.probe_budget_ns != 0 &&
-              elapsed > limits.probe_budget_ns) {
-            // The answer is exact and kept (kOk), but the overrun is a
-            // timeout against the fallback breaker — sustained slowness
-            // trips it into fail-fast instead of latency collapse.
-            c_.fallback_overruns.Inc();
-            BreakerFail(fallback_breaker_);
-          } else {
-            BreakerOk(fallback_breaker_);
-          }
-        } catch (const std::exception&) {
-          BreakerFail(fallback_breaker_);
-          out.statuses[i] = ProbeStatus::kShardUnavailable;
-          ++out.num_unavailable;
-        }
-      }
+    if (total_overruns > 0) c_.compose_overruns.Add(total_overruns);
+    // Breaker evidence, once per batch: any failed chunk or budget overrun
+    // is a failure; otherwise any composed probe that ran is a success.
+    if (any_failed || total_overruns > 0) {
+      BreakerFail(compose_breaker_);
+    } else if (any_ran) {
+      BreakerOk(compose_breaker_);
     }
   }
   if (out.num_deadline_exceeded > 0) {
@@ -1035,8 +1102,10 @@ size_t ShardedRlcService::ApplyUpdatesInternal(
       if (ss == st) {
         shard_dyn_[ss]->InsertEdge(partition_.LocalOf(e.src), e.label,
                                    partition_.LocalOf(e.dst));
+        if (compose_ != nullptr) compose_->OnIntraMutation(ss);
       } else {
         partition_.AddCrossEdge(e.src, e.label, e.dst);
+        if (compose_ != nullptr) compose_->OnCrossMutation(ss, st);
         c_.updates_cross.Inc();
       }
       if (!deleted_base_.erase({e.src, e.label, e.dst})) {
@@ -1049,8 +1118,10 @@ size_t ShardedRlcService::ApplyUpdatesInternal(
       if (ss == st) {
         shard_dyn_[ss]->DeleteEdge(partition_.LocalOf(e.src), e.label,
                                    partition_.LocalOf(e.dst));
+        if (compose_ != nullptr) compose_->OnIntraMutation(ss);
       } else {
         partition_.RemoveCrossEdge(e.src, e.label, e.dst);
+        if (compose_ != nullptr) compose_->OnCrossMutation(ss, st);
         c_.updates_cross.Inc();
       }
       if (applied_set_.erase({e.src, e.label, e.dst})) {
@@ -1066,15 +1137,6 @@ size_t ShardedRlcService::ApplyUpdatesInternal(
       }
       c_.updates_deleted.Inc();
     }
-    // The fallback must answer on the mutated graph, so the whole-graph
-    // index learns every applied mutation, intra-shard ones included.
-    if (global_dyn_ != nullptr) {
-      if (is_insert) {
-        global_dyn_->InsertEdge(e.src, e.label, e.dst);
-      } else {
-        global_dyn_->DeleteEdge(e.src, e.label, e.dst);
-      }
-    }
     ++applied;
     c_.updates_applied.Inc();
   }
@@ -1086,33 +1148,8 @@ size_t ShardedRlcService::ApplyUpdatesInternal(
       c_.seq_cache_evictions.Add(seq_cache_.size());
       seq_cache_.clear();
     }
-    if (online_ != nullptr) RebuildPatchedGraph();
   }
   return applied;
-}
-
-void ShardedRlcService::RebuildPatchedGraph() {
-  std::vector<Edge> edges;
-  if (deleted_base_.empty()) {
-    edges = g_.ToEdgeList();
-  } else {
-    const std::vector<Edge> base = g_.ToEdgeList();
-    edges.reserve(base.size());
-    for (const Edge& e : base) {
-      if (deleted_base_.find({e.src, e.label, e.dst}) == deleted_base_.end()) {
-        edges.push_back(e);
-      }
-    }
-  }
-  edges.reserve(edges.size() + applied_inserts_.size());
-  for (const EdgeUpdate& e : applied_inserts_) {
-    edges.push_back({e.src, e.dst, e.label});
-  }
-  auto patched = std::make_unique<DiGraph>(g_.num_vertices(), std::move(edges),
-                                           g_.num_labels(),
-                                           /*dedup_parallel=*/false);
-  online_ = std::make_unique<OnlineSearcher>(*patched);
-  patched_graph_ = std::move(patched);
 }
 
 void ShardedRlcService::ReviveShard(uint32_t shard) {
@@ -1192,6 +1229,9 @@ void ShardedRlcService::ReviveShard(uint32_t shard) {
     }
   }
 
+  // The swap itself needs no composition-engine refresh: the engine reads
+  // the shard's overlay through shard_dyn_ at probe time, and the fresh
+  // index's overlay describes the same mutated graph.
   shard_dyn_[shard] = std::move(fresh);
   // Memoized SeqEntries hold MrIds minted by the replaced shard index.
   if (!seq_cache_.empty()) {
@@ -1206,14 +1246,12 @@ void ShardedRlcService::ReviveShard(uint32_t shard) {
 
 void ShardedRlcService::FinishReseals() {
   for (const auto& dyn : shard_dyn_) dyn->FinishReseal();
-  if (global_dyn_ != nullptr) global_dyn_->FinishReseal();
 }
 
 uint64_t ShardedRlcService::MemoryBytes() const {
   uint64_t bytes = partition_.MemoryBytes();
   for (const auto& dyn : shard_dyn_) bytes += dyn->MemoryBytes();
-  if (global_dyn_ != nullptr) bytes += global_dyn_->MemoryBytes();
-  if (patched_graph_ != nullptr) bytes += patched_graph_->MemoryBytes();
+  if (compose_ != nullptr) bytes += compose_->MemoryBytes();
   return bytes;
 }
 

@@ -1,5 +1,5 @@
 // The sharded serving layer: one sealed RLC index per shard behind a
-// batched-query router.
+// batched-query router — no whole-graph structure anywhere.
 //
 // A ShardedRlcService partitions its graph (partitioner.h), builds one
 // sealed per-shard RlcIndex — shard builds run in parallel on the shared
@@ -14,31 +14,43 @@
 //     target shard the same way, and induce a walk in the shard quotient
 //     graph. Each is a necessary condition, so a failed check answers
 //     exactly false from the boundary summary alone.
-//  3. fallback: the remaining probes go to the fallback engine — the
-//     paper's hybrid engine over a whole-graph index (default; fastest,
-//     costs one extra index) or the online NFA-guided bidirectional BFS
-//     (kOnline; no extra index, for memory-lean deployments).
+//  3. composition: the remaining probes are answered by composing
+//     source-shard suffix -> boundary-skeleton hops -> target-shard prefix
+//     over the partition's cross-edge skeleton, with per-(shard,
+//     constraint) boundary transition tables as the intra-shard closure
+//     oracle (compose.h). There is no whole-graph fallback tier: the
+//     aggregate index footprint is the sum of the shard indexes, and
+//     composed answers are exact by construction.
 //
 // All three steps preserve exactness: answers are bit-identical to a
-// whole-graph RlcIndex for every probe (tests/serving_test.cc).
+// whole-graph RlcIndex for every probe (tests/serving_test.cc,
+// tests/composition_test.cc sweep policies x shard counts).
 //
 // The batched entry point (Execute) additionally resolves each distinct
-// constraint once, groups probes by (shard, MR), and runs each group over
-// the sealed CSR layout with lookahead prefetch; see query_batch.h.
+// constraint once, groups probes by (shard, MR), runs each group over the
+// sealed CSR layout with lookahead prefetch (query_batch.h), and fans the
+// surviving composed probes out across the execution pool (the composition
+// engine's probe path is const; lazily built transition rows publish via
+// acquire/release).
 //
 // The service also accepts live edge inserts and deletes (ApplyUpdates):
 // intra-shard edges go to the owning shard's dynamically maintained index
 // (dynamic_index.h), cross-shard edges refresh the boundary summary —
 // AddCrossEdge grows it in place, RemoveCrossEdge shrinks it by a
-// recompute — and the whole-graph fallback index learns every mutation, so
-// answers stay exact on the mutated graph. Each index reseals
-// independently under ServiceOptions::reseal; the kOnline fallback
-// re-materializes a patched graph per update batch. The service keeps no
-// plain-reachability (2-hop) prefilter: plain reachability is not
-// maintained under mutations, and PR 4's drop-on-first-update behavior was
-// a silent perf cliff — the signature prefilter (rlc_index.h) now carries
-// the negative-probe fast path in every state. RlcHybridEngine still
-// accepts an explicit prefilter for static deployments.
+// recompute — and the composition engine is told which shards' transition
+// tables went stale (they refresh lazily on the next probe that needs
+// them), so answers stay exact on the mutated graph. Each shard index
+// reseals independently under ServiceOptions::reseal; reseals do not
+// invalidate composition state (the tables are a function of the graph,
+// not the index).
+//
+// When a shard's breaker is open (or its probe faults), same-shard probes
+// cannot trust the shard index — and no whole-graph index exists to detour
+// to. They are answered exactly anyway, index-free: an intra-shard product
+// BFS over the live mutated shard graph, OR-ed with the composed
+// cross-shard answer (compose.h evaluates both on the graph, not on any
+// index). Degraded probes cost more, but degrade capacity, not
+// correctness.
 
 #pragma once
 
@@ -48,14 +60,14 @@
 #include <unordered_map>
 #include <vector>
 
-#include "rlc/baselines/online_search.h"
 #include "rlc/core/durable_index.h"
-#include "rlc/obs/metrics.h"
 #include "rlc/core/dynamic_index.h"
 #include "rlc/core/indexer.h"
 #include "rlc/core/rlc_index.h"
 #include "rlc/core/wal.h"
+#include "rlc/obs/metrics.h"
 #include "rlc/serve/circuit_breaker.h"
+#include "rlc/serve/compose.h"
 #include "rlc/serve/partitioner.h"
 #include "rlc/serve/query_batch.h"
 #include "rlc/serve/serving_status.h"
@@ -63,43 +75,40 @@
 
 namespace rlc {
 
-/// What answers the probes the shards and the boundary summary cannot.
-enum class FallbackMode {
-  kGlobalHybrid,  ///< dynamically maintained whole-graph index
-  kOnline,        ///< NFA-guided bidirectional BFS; no whole-graph index
-};
-
 struct ServiceOptions {
   PartitionerOptions partition;
   /// Per-shard build configuration. k bounds every constraint the service
   /// accepts; num_threads/seal are overridden (shards build sequentially
   /// inside the service's own pool and are always sealed).
   IndexerOptions indexer;
-  /// Worker pool size for parallel shard (and fallback-index) builds;
-  /// 0 = all hardware threads.
+  /// Worker pool size for parallel shard builds; 0 = all hardware threads.
   uint32_t build_threads = 0;
   /// Worker pool size for batched query execution (Execute): the (shard,
-  /// MR) probe groups fan out across a pool kept alive for the service's
-  /// lifetime, with per-job answer buffers spliced back in probe order.
-  /// 1 = execute on the caller's thread (default); 0 = all hardware
-  /// threads. Answers and stats are identical for every value.
+  /// MR) probe groups and the composed-probe chunks fan out across a pool
+  /// kept alive for the service's lifetime, with per-job answer buffers
+  /// spliced back in probe order. 1 = execute on the caller's thread
+  /// (default); 0 = all hardware threads. Answers and stats are identical
+  /// for every value.
   uint32_t exec_threads = 1;
   /// Split probe groups larger than this into multiple jobs so a batch
   /// dominated by one (shard, MR) group still spreads across the pool.
   size_t exec_probes_per_job = 8192;
-  FallbackMode fallback = FallbackMode::kGlobalHybrid;
-  /// Reseal policy for the dynamically maintained shard and fallback
-  /// indexes (only relevant once ApplyUpdates has been called).
+  /// Cross-shard composition tuning (transition-table budget, plan cache).
+  ComposeOptions compose;
+  /// Reseal policy for the dynamically maintained shard indexes (only
+  /// relevant once ApplyUpdates has been called).
   ResealPolicy reseal;
   /// Crash-safe durability (durable_index.h). With `durability.dir` set the
   /// service logs every ApplyUpdates batch to a WAL before applying it and
   /// checkpoints generation-numbered snapshot directories:
   ///   <dir>/MANIFEST, <dir>/wal-<G>.log,
-  ///   <dir>/gen-<G>/{service.snap, global.snap, shard-<i>.snap}
+  ///   <dir>/gen-<G>/{service.snap, compose.snap, shard-<i>.snap}
   /// When the directory already holds a durable state, the constructor
   /// recovers it — per-shard snapshots load in parallel on the build pool,
-  /// skipping every index build — and replays the WAL tail. Empty dir
-  /// (default) disables durability.
+  /// skipping every index build — and replays the WAL tail. compose.snap
+  /// is a pure warm-cache: a missing or corrupt one restarts the
+  /// transition tables cold, never fails recovery. Empty dir (default)
+  /// disables durability.
   DurabilityOptions durability;
   /// Default per-batch execution budget for Execute(batch) in nanoseconds
   /// (0 = none); overridable per call via ExecuteLimits. When the budget
@@ -107,10 +116,10 @@ struct ServiceOptions {
   /// probes return ProbeStatus::kDeadlineExceeded; completed probes keep
   /// their exact answers.
   uint64_t batch_budget_ns = 0;
-  /// Default per-probe budget for fallback probes (kOnline BiBFS) in
-  /// nanoseconds (0 = none). A probe that overruns keeps its exact answer
-  /// but counts as a fallback timeout: serve.fallback.budget_overruns and
-  /// a failure against the fallback breaker.
+  /// Default per-probe budget for composed probes in nanoseconds (0 =
+  /// none). A probe that overruns keeps its exact answer but counts as a
+  /// composition timeout: serve.compose.budget_overruns and a failure
+  /// against the compose breaker.
   uint64_t probe_budget_ns = 0;
   /// Admission control: Execute rejects batches with more probes than this
   /// before running anything (0 = unlimited).
@@ -121,7 +130,7 @@ struct ServiceOptions {
   /// rejection for a latency collapse. 0 disables.
   int64_t max_pending_jobs = 0;
   /// Circuit-breaker tuning shared by every per-shard breaker and the
-  /// fallback breaker (each slot gets its own seed offset for jitter).
+  /// compose breaker (each slot gets its own seed offset for jitter).
   BreakerOptions breaker;
 };
 
@@ -129,7 +138,7 @@ struct ServiceOptions {
 /// Execute overload fills these from ServiceOptions.
 struct ExecuteLimits {
   uint64_t batch_budget_ns = 0;  ///< 0 = no batch deadline
-  uint64_t probe_budget_ns = 0;  ///< 0 = no per-probe fallback budget
+  uint64_t probe_budget_ns = 0;  ///< 0 = no per-probe compose budget
   /// When admission control rejects the batch: false (default) throws
   /// OverloadedError; true returns an AnswerBatch with every status
   /// ProbeStatus::kShedded instead — for callers that must keep their
@@ -140,16 +149,26 @@ struct ExecuteLimits {
 /// Cumulative query-routing and build telemetry — a point-in-time
 /// materialization of the service's metrics registry (stats() reads the
 /// atomic counters; the struct itself holds plain values). Exact once the
-/// service is quiescent; kernel jobs running on the execution pool update
-/// the underlying counters atomically.
+/// service is quiescent; jobs running on the execution pool update the
+/// underlying counters atomically.
+///
+/// Fault-free invariant: queries == intra_true + cross_refuted +
+/// compose_probes (every probe ends in exactly one of the three tiers;
+/// degraded probes are composed probes).
 struct ServiceStats {
   uint64_t queries = 0;          ///< probes answered (scalar + batched)
   uint64_t intra_true = 0;       ///< answered true by a shard index alone
   uint64_t intra_miss = 0;       ///< same-shard probes the shard index missed
   uint64_t cross_refuted = 0;    ///< answered false by the boundary summary
-  uint64_t fallback_probes = 0;  ///< answered by the fallback engine
+  uint64_t compose_probes = 0;   ///< answered by cross-shard composition
+                                 ///< (degraded index-free probes included)
+  uint64_t compose_skeleton_hops = 0;  ///< boundary product states popped
+  uint64_t compose_table_builds = 0;   ///< transition rows built lazily
+  uint64_t compose_invalidations = 0;  ///< stale shard plans refreshed after
+                                       ///< mutations
+  uint64_t compose_expanded = 0;       ///< product states expanded on the fly
   uint64_t batches = 0;
-  uint64_t batch_groups = 0;     ///< (shard|fallback, MR) groups executed
+  uint64_t batch_groups = 0;     ///< (shard, MR) groups executed
   uint64_t seq_cache_flushes = 0;    ///< constraint-memo capacity flushes
   uint64_t seq_cache_evictions = 0;  ///< memo entries dropped by flushes
   uint64_t updates_applied = 0;      ///< mutations that changed the graph
@@ -162,14 +181,14 @@ struct ServiceStats {
   uint64_t breaker_opened = 0;       ///< breaker transitions into kOpen
   uint64_t breaker_reclosed = 0;     ///< half-open -> closed recoveries
   uint64_t breaker_trials = 0;       ///< half-open trial admissions
-  uint64_t breaker_degraded = 0;     ///< probes detoured to the fallback
-                                     ///< because their shard was broken
-                                     ///< (answers still exact)
-  uint64_t breaker_fail_fast = 0;    ///< probes refused: fallback breaker open
-  uint64_t fallback_overruns = 0;    ///< fallback probes over probe_budget_ns
+  uint64_t breaker_degraded = 0;     ///< probes answered index-free because
+                                     ///< their shard was broken (answers
+                                     ///< still exact)
+  uint64_t breaker_fail_fast = 0;    ///< probes refused: compose breaker open
+  uint64_t compose_overruns = 0;     ///< composed probes over probe_budget_ns
   uint64_t shard_revives = 0;        ///< ReviveShard calls that completed
   double partition_seconds = 0.0;
-  double index_build_seconds = 0.0;  ///< shard + fallback index builds
+  double index_build_seconds = 0.0;  ///< shard index builds
 };
 
 /// A serving instance bound to one graph. `g` must outlive the service.
@@ -182,12 +201,12 @@ class ShardedRlcService {
 
   /// Answers the RLC query (s, t, L+). Exact: equal to a whole-graph
   /// RlcIndex::Query for every input — including when the owning shard's
-  /// breaker is open or the shard probe faults, in which case the probe
-  /// detours to the (whole-graph-exact) fallback engine.
+  /// breaker is open or the shard probe faults, in which case the probe is
+  /// answered index-free (intra product BFS OR composition).
   /// \throws std::invalid_argument on out-of-range vertices or an invalid
   ///         constraint (empty, longer than k, or non-primitive);
-  ///         UnavailableError when the probe needs the fallback engine and
-  ///         its breaker is open (fail fast) or the fallback probe faults.
+  ///         UnavailableError when the probe needs composition and the
+  ///         compose breaker is open (fail fast) or the probe faults.
   bool Query(VertexId s, VertexId t, const LabelSeq& constraint);
 
   /// Answers every probe of `batch` (see class comment). On the fault-free
@@ -210,8 +229,8 @@ class ShardedRlcService {
   ///         before anything is applied).
   size_t ApplyUpdates(std::span<const EdgeUpdate> updates);
 
-  /// Waits for (and swaps in) every in-flight background shard/fallback
-  /// reseal — the deterministic sync point for tests and benches.
+  /// Waits for (and swaps in) every in-flight background shard reseal —
+  /// the deterministic sync point for tests and benches.
   void FinishReseals();
 
   /// Re-adopts one shard after its breaker tripped: in durable mode the
@@ -221,17 +240,19 @@ class ShardedRlcService {
   /// the live mutation overlay. Either way the fresh index answers exactly
   /// on the current mutated graph, the constraint memo flushes (its MR ids
   /// pointed into the old index), and the shard's breaker force-closes.
+  /// The composition engine needs no refresh — its state is a function of
+  /// the graph, which a revive does not change.
   /// \throws std::runtime_error when both the durable reload and the
   ///         rebuild fail; the old index then stays in place.
   void ReviveShard(uint32_t shard);
 
   /// Durable mode only: checkpoints a new snapshot generation (per-shard +
-  /// global + service meta files, WAL switch, manifest commit, stale
-  /// generation cleanup). Called automatically when the current WAL passes
-  /// DurabilityOptions::checkpoint_wal_bytes. \throws std::runtime_error
-  /// on I/O failure or an injected fault — the previous generation then
-  /// stays the recovery target and the service remains usable; throws
-  /// std::logic_error when durability is off.
+  /// service meta + compose-cache files, WAL switch, manifest commit,
+  /// stale generation cleanup). Called automatically when the current WAL
+  /// passes DurabilityOptions::checkpoint_wal_bytes. \throws
+  /// std::runtime_error on I/O failure or an injected fault — the previous
+  /// generation then stays the recovery target and the service remains
+  /// usable; throws std::logic_error when durability is off.
   void Checkpoint();
 
   /// True when the service persists mutations (durability.dir was set).
@@ -251,33 +272,33 @@ class ShardedRlcService {
   const DynamicRlcIndex& shard_dynamic(uint32_t s) const {
     return *shard_dyn_[s];
   }
-  /// The dynamic whole-graph fallback index; null in kOnline mode.
-  const DynamicRlcIndex* global_dynamic() const { return global_dyn_.get(); }
+  /// The cross-shard composition engine (compose.h).
+  const CompositionEngine& composition() const { return *compose_; }
   /// Materializes the routing/build counters (thin shim over the metrics
   /// registry; see ServiceStats).
   ServiceStats stats() const;
 
   /// The per-instance metrics registry: every ServiceStats counter under
-  /// "serve.*", per-shard fallback counters ("serve.fallback.shard.<i>"),
+  /// "serve.*", per-shard composition counters ("serve.compose.shard.<i>"),
   /// and the per-stage latency histograms ("serve.stage.*_ns", recorded
   /// only while obs::Enabled()). Snapshot() it for percentiles/export.
   const obs::Registry& metrics() const { return metrics_; }
 
-  /// Fallback probes attributed to each source shard — the per-shard
-  /// fallback share of the routing pathology BENCH_serving tracks.
-  std::vector<uint64_t> ShardFallbackCounts() const;
+  /// Composed probes attributed to each source shard — the per-shard
+  /// composition share of the routing pathology BENCH_serving tracks.
+  std::vector<uint64_t> ShardComposeCounts() const;
 
   /// Current circuit-breaker states (exported live through the
-  /// "serve.breaker.state.<i>" / ".fallback" gauges: 0 closed, 1 open,
+  /// "serve.breaker.state.<i>" / ".compose" gauges: 0 closed, 1 open,
   /// 2 half-open).
   BreakerState shard_breaker_state(uint32_t shard) const {
     return shard_breakers_[shard].breaker.state();
   }
-  BreakerState fallback_breaker_state() const {
-    return fallback_breaker_.breaker.state();
+  BreakerState compose_breaker_state() const {
+    return compose_breaker_.breaker.state();
   }
 
-  /// Heap footprint: partition + shard indexes + fallback structures.
+  /// Heap footprint: partition + shard indexes + composition state.
   uint64_t MemoryBytes() const;
 
  private:
@@ -285,16 +306,11 @@ class ShardedRlcService {
   /// when full, so template churn cannot grow the process without limit.
   static constexpr size_t kMaxCachedSequences = 1 << 16;
 
-  /// Per distinct constraint: every shard's MR id, the whole-graph MR id
-  /// (kGlobalHybrid), and the compiled automaton (kOnline). Resolved and
-  /// validated once, memoized while cached (MR tables are frozen after
-  /// build, so a flush is only a re-resolution cost).
+  /// Per distinct constraint: every shard's MR id. Resolved and validated
+  /// once, memoized while cached (MR tables are frozen after build, so a
+  /// flush is only a re-resolution cost).
   struct SeqEntry {
     std::vector<MrId> shard_mr;
-    MrId global_mr = kInvalidMrId;
-    PathConstraint plus;  ///< L+ form for the fallback engine (no per-probe
-                          ///< re-construction on the scalar path)
-    std::unique_ptr<CompiledConstraint> compiled;
   };
 
   const SeqEntry& Resolve(const LabelSeq& seq);
@@ -308,9 +324,9 @@ class ShardedRlcService {
            !partition_.shard(st).in_cross_labels.MayContainAny(seq.labels());
   }
 
-  /// Steps 2+3 for one probe (after any intra-shard miss).
-  bool CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq,
-                   const SeqEntry& entry, uint32_t ss, uint32_t st);
+  /// Steps 2+3 for one scalar probe (after any intra-shard miss).
+  bool CrossAnswer(VertexId s, VertexId t, const LabelSeq& seq, uint32_t ss,
+                   uint32_t st);
 
   /// One breaker plus its exported state gauge.
   struct BreakerSlot {
@@ -325,18 +341,15 @@ class ShardedRlcService {
   void BreakerFail(BreakerSlot& slot);
   void BreakerOk(BreakerSlot& slot);
 
-  /// One scalar probe against the fallback engine, behind the fallback
-  /// breaker and the serve.fallback.probe failpoint. Exact on the mutated
-  /// whole graph; used for post-refutation cross probes and for degraded
-  /// intra-shard probes (which must bypass boundary refutation — without a
-  /// shard answer, an intra-shard witness may exist).
-  /// \throws UnavailableError when the fallback breaker denies or the
-  ///         probe faults.
-  bool FallbackProbe(VertexId s, VertexId t, const SeqEntry& entry,
-                     uint32_t source_shard);
-
-  /// Rebuilds the patched graph + online searcher after updates (kOnline).
-  void RebuildPatchedGraph();
+  /// One scalar composed probe, behind the compose breaker and the
+  /// serve.compose.probe failpoint. `need_intra` adds the index-free
+  /// intra-shard product search (degraded same-shard probes: without a
+  /// shard answer an intra witness may exist, and boundary refutation must
+  /// be skipped). Exact on the mutated graph.
+  /// \throws UnavailableError when the compose breaker denies or the probe
+  ///         faults.
+  bool ComposeProbe(VertexId s, VertexId t, const LabelSeq& seq,
+                    uint32_t source_shard, bool need_intra);
 
   /// True when the edge exists in the service's current mutated graph.
   bool EdgePresent(VertexId src, Label label, VertexId dst) const;
@@ -347,8 +360,8 @@ class ShardedRlcService {
   /// The mutation routing of ApplyUpdates, without the durability wrapper.
   size_t ApplyUpdatesInternal(std::span<const EdgeUpdate> updates);
 
-  /// Builds every shard index (and the fallback) from scratch — the
-  /// non-recovery constructor path.
+  /// Builds every shard index from scratch — the non-recovery constructor
+  /// path.
   void BuildIndexes();
 
   /// Durable-mode recovery: loads the newest usable generation (parallel
@@ -372,21 +385,18 @@ class ShardedRlcService {
   ServiceOptions options_;
   GraphPartition partition_;
   std::vector<std::unique_ptr<DynamicRlcIndex>> shard_dyn_;
-  // kGlobalHybrid fallback: dynamically maintained whole-graph index.
-  std::unique_ptr<DynamicRlcIndex> global_dyn_;
-  // kOnline fallback. After updates the searcher runs over patched_graph_
-  // (base minus deletions plus applied inserts), re-materialized once per
-  // update batch.
-  std::unique_ptr<DiGraph> patched_graph_;
-  std::unique_ptr<OnlineSearcher> online_;
+  // Cross-shard composition over the boundary skeleton (created once the
+  // shard indexes exist; reads partition_ and shard_dyn_ by reference).
+  std::unique_ptr<CompositionEngine> compose_;
+  // Scalar-path traversal scratch (Execute jobs carry their own).
+  CompositionEngine::Scratch compose_scratch_;
   // Mutation bookkeeping: overlay inserts currently present (set + ordered
-  // list for deterministic patched rebuilds) and base edges currently
-  // deleted.
+  // list for deterministic rebuilds) and base edges currently deleted.
   std::set<std::tuple<VertexId, Label, VertexId>> applied_set_;
   std::vector<EdgeUpdate> applied_inserts_;
   std::set<std::tuple<VertexId, Label, VertexId>> deleted_base_;
   // Batched-execution worker pool (null when exec_threads resolves to 1).
-  // Only Execute uses it, and only between its fan-out barrier — the
+  // Only Execute uses it, and only between its fan-out barriers — the
   // service's single-caller contract is unchanged.
   std::unique_ptr<ThreadPool> exec_pool_;
   std::unordered_map<LabelSeq, SeqEntry, LabelSeqHash> seq_cache_;
@@ -400,7 +410,11 @@ class ShardedRlcService {
     obs::Counter& intra_true;
     obs::Counter& intra_miss;
     obs::Counter& cross_refuted;
-    obs::Counter& fallback_probes;
+    obs::Counter& compose_probes;        ///< serve.compose.probes
+    obs::Counter& compose_skeleton_hops; ///< serve.compose.skeleton_hops
+    obs::Counter& compose_table_builds;  ///< serve.compose.table_builds
+    obs::Counter& compose_invalidations; ///< serve.compose.invalidations
+    obs::Counter& compose_expanded;      ///< serve.compose.expanded
     obs::Counter& batches;
     obs::Counter& batch_groups;
     obs::Counter& seq_cache_flushes;
@@ -416,7 +430,7 @@ class ShardedRlcService {
     obs::Counter& breaker_trials;      ///< serve.breaker.trials
     obs::Counter& breaker_degraded;    ///< serve.breaker.degraded_probes
     obs::Counter& breaker_fail_fast;   ///< serve.breaker.fail_fast
-    obs::Counter& fallback_overruns;   ///< serve.fallback.budget_overruns
+    obs::Counter& compose_overruns;    ///< serve.compose.budget_overruns
     obs::Counter& shard_revives;       ///< serve.breaker.revives
   };
   struct StageHistograms {
@@ -425,20 +439,20 @@ class ShardedRlcService {
     obs::Histogram& resolve_ns;        ///< constraint resolution + grouping
     obs::Histogram& shard_kernel_ns;   ///< per shard-phase kernel job
     obs::Histogram& route_ns;          ///< sequential routing pass
-    obs::Histogram& fallback_kernel_ns;  ///< per fallback-phase kernel job
-    obs::Histogram& fallback_probe_ns;   ///< per online-BiBFS fallback probe
+    obs::Histogram& compose_job_ns;    ///< per compose-phase job
+    obs::Histogram& compose_probe_ns;  ///< per composed probe
     obs::Histogram& apply_updates_ns;
     obs::Histogram& checkpoint_ns;
   };
   obs::Registry metrics_;
   ServiceCounters c_{metrics_};
   StageHistograms h_{metrics_};
-  std::vector<obs::Counter*> shard_fallback_;  ///< serve.fallback.shard.<i>
+  std::vector<obs::Counter*> shard_compose_;  ///< serve.compose.shard.<i>
   // Fault-tolerance state: one breaker per shard plus one guarding the
-  // fallback engine (initialized in the constructor once the shard count
-  // is known).
+  // composition engine (initialized in the constructor once the shard
+  // count is known).
   std::vector<BreakerSlot> shard_breakers_;
-  BreakerSlot fallback_breaker_;
+  BreakerSlot compose_breaker_;
   double partition_seconds_ = 0.0;
   double index_build_seconds_ = 0.0;
   // Durability state (durable mode only; wal_ stays closed otherwise).

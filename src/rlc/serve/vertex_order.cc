@@ -1,0 +1,118 @@
+#include "rlc/serve/vertex_order.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "rlc/util/common.h"
+
+namespace rlc {
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  // splitmix64 finalizer — the tie-break hash.
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::vector<VertexId> OrderByDegree(const DiGraph& g, bool descending,
+                                    uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const uint64_t da = g.OutDegree(a) + g.InDegree(a);
+    const uint64_t db = g.OutDegree(b) + g.InDegree(b);
+    if (da != db) return descending ? da > db : da < db;
+    const uint64_t ha = Mix(a ^ seed);
+    const uint64_t hb = Mix(b ^ seed);
+    if (ha != hb) return ha < hb;
+    return a < b;
+  });
+  return order;
+}
+
+// Greedy greatest-constraint-first: repeatedly append the unplaced vertex
+// with the most already-placed neighbors (count of adjacency slots whose
+// other endpoint is placed; parallel edges count multiply, which only
+// sharpens the pull toward dense neighborhoods). Ties break by total
+// degree, then seeded hash, then id. A fresh component (all counts zero)
+// starts from its highest-degree vertex. Lazy max-heap: stale entries are
+// skipped on pop, so the whole pass is O((n + m) log n).
+std::vector<VertexId> OrderGreatestConstraintFirst(const DiGraph& g,
+                                                   uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> placed_neighbors(n, 0);
+  std::vector<uint8_t> placed(n, 0);
+
+  struct Entry {
+    uint32_t count;
+    uint64_t degree;
+    uint64_t hash;
+    VertexId v;
+    bool operator<(const Entry& o) const {
+      if (count != o.count) return count < o.count;
+      if (degree != o.degree) return degree < o.degree;
+      if (hash != o.hash) return hash > o.hash;  // smaller hash wins
+      return v > o.v;                            // smaller id wins
+    }
+  };
+  std::priority_queue<Entry> heap;
+  auto push = [&](VertexId v) {
+    heap.push(Entry{placed_neighbors[v], g.OutDegree(v) + g.InDegree(v),
+                    Mix(v ^ seed), v});
+  };
+  for (VertexId v = 0; v < n; ++v) push(v);
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    if (placed[top.v] || top.count != placed_neighbors[top.v]) continue;
+    placed[top.v] = 1;
+    order.push_back(top.v);
+    for (const LabeledNeighbor& nb : g.OutEdges(top.v)) {
+      if (!placed[nb.v]) {
+        ++placed_neighbors[nb.v];
+        push(nb.v);
+      }
+    }
+    for (const LabeledNeighbor& nb : g.InEdges(top.v)) {
+      if (!placed[nb.v]) {
+        ++placed_neighbors[nb.v];
+        push(nb.v);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<VertexId> ComputeVertexOrder(const DiGraph& g,
+                                         OrderHeuristic heuristic,
+                                         uint64_t seed) {
+  switch (heuristic) {
+    case OrderHeuristic::kDegree:
+      return OrderByDegree(g, /*descending=*/true, seed);
+    case OrderHeuristic::kReverseDegree:
+      return OrderByDegree(g, /*descending=*/false, seed);
+    case OrderHeuristic::kGreatestConstraintFirst:
+      return OrderGreatestConstraintFirst(g, seed);
+  }
+  RLC_REQUIRE(false, "ComputeVertexOrder: unknown heuristic");
+  return {};
+}
+
+std::vector<VertexId> InvertOrder(const std::vector<VertexId>& order) {
+  std::vector<VertexId> rank_of(order.size());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    rank_of[order[rank]] = static_cast<VertexId>(rank);
+  }
+  return rank_of;
+}
+
+}  // namespace rlc

@@ -2,13 +2,13 @@
 // serving query path.
 //
 // A failpoint is a named site in the code (WAL append, snapshot save,
-// manifest commit, raw file I/O, kernel-job execution, fallback probes)
+// manifest commit, raw file I/O, kernel-job execution, composed probes)
 // where a test — or an operator chasing a bug — can inject a fault without
 // recompiling:
 //
 //   RLC_FAILPOINTS="wal.append.after_write=crash" ./crash_recovery_test
 //   RLC_FAILPOINTS="index_io.save.before_rename=error;io=short_write" ...
-//   RLC_FAILPOINTS="serve.shard.execute=error@p0.25;serve.fallback.probe=delay(5)@p0.1" ...
+//   RLC_FAILPOINTS="serve.shard.execute=error@p0.25;serve.compose.probe=delay(5)@p0.1" ...
 //
 // Spec grammar: `name=action[@N|@pF]` entries separated by `;` or `,`.
 // Actions:
@@ -334,7 +334,7 @@ inline void FailpointHit(const std::string& name) {
   }
 }
 
-/// FailpointHit for hot paths (kernel jobs, fallback probes): one relaxed
+/// FailpointHit for hot paths (kernel jobs, composed probes): one relaxed
 /// atomic load while nothing is armed anywhere — no mutex, no metrics
 /// counter, no hit-count diagnostics. Armed behavior matches FailpointHit.
 inline void FailpointHitFast(const char* name) {
@@ -430,13 +430,12 @@ inline constexpr const char* kCheckpointAfterCommit = "checkpoint.after_commit";
 // FailpointHitFast at job/probe granularity, never per kernel probe:
 // serve.shard.execute fires in the sharded executor's shard-phase jobs,
 // serve.kernel.job in the single-index ExecuteBatch jobs,
-// serve.fallback.execute in the sharded executor's whole-graph fallback
-// jobs, serve.fallback.probe per online-BiBFS fallback probe (and before
-// the scalar fallback probe).
+// serve.compose.execute once per cross-shard composition job,
+// serve.compose.probe per composed probe (batched and scalar).
 inline constexpr const char* kServeShardExecute = "serve.shard.execute";
 inline constexpr const char* kServeKernelJob = "serve.kernel.job";
-inline constexpr const char* kServeFallbackExecute = "serve.fallback.execute";
-inline constexpr const char* kServeFallbackProbe = "serve.fallback.probe";
+inline constexpr const char* kServeComposeExecute = "serve.compose.execute";
+inline constexpr const char* kServeComposeProbe = "serve.compose.probe";
 
 /// Every registered failpoint on the persist path.
 /// tests/crash_recovery_test.cc kills a child at each of these.

@@ -3,14 +3,14 @@
 // Each scenario drives a ShardedRlcService with mixed read/update traffic
 // while a *seeded* probabilistic failpoint schedule (util/failpoint.h)
 // injects errors and delays into the query path — shard kernel jobs,
-// fallback jobs, online fallback probes. The load-bearing invariants,
-// checked on every round:
+// composed-probe jobs, individual composition probes. The load-bearing
+// invariants, checked on every round:
 //
 //   1. Exactness under faults: every probe whose status is kOk returns the
 //      bit-identical answer of a whole-graph DynamicRlcIndex oracle that
 //      shares the mutation stream but has no failpoint sites on its query
-//      path. Degraded probes (broken shard -> fallback detour) are still
-//      exact; non-kOk probes carry an explicit status and answer 0.
+//      path. Degraded probes (broken shard -> index-free evaluation) are
+//      still exact; non-kOk probes carry an explicit status and answer 0.
 //   2. Breakers are observable: schedules hot enough to trip a breaker
 //      must show serve.breaker.opened transitions, and once the schedule
 //      clears, clean traffic recloses every breaker (half-open trials).
@@ -199,7 +199,7 @@ ChaosOutcome RunChaos(const ChaosConfig& cfg) {
       EXPECT_EQ(healed.answers[i] != 0,
                 oracle.Query(p.s, p.t, clean.sequence(p.seq_id)));
     }
-    all_closed = service.fallback_breaker_state() == BreakerState::kClosed;
+    all_closed = service.compose_breaker_state() == BreakerState::kClosed;
     for (uint32_t s = 0; s < service.partition().num_shards(); ++s) {
       all_closed &= service.shard_breaker_state(s) == BreakerState::kClosed;
     }
@@ -228,14 +228,15 @@ TEST(ChaosTest, MixedFaultScheduleKeepsOkAnswersExact) {
   ChaosConfig cfg;
   cfg.schedule =
       "serve.shard.execute=error@p0.2;"
-      "serve.fallback.execute=error@p0.1;"
-      "serve.fallback.probe=delay(1)@p0.1";
+      "serve.compose.execute=error@p0.1;"
+      "serve.compose.probe=delay(1)@p0.1";
   cfg.seed = 99;
   cfg.expect_breaker_trips = true;
   const ChaosOutcome out = RunChaos(cfg);
   EXPECT_GT(out.ok, 0u);
-  // With the fallback itself failing sometimes there is no second-level
-  // engine: those probes must surface as unavailable, not as answers.
+  // With the composition engine itself failing sometimes there is no
+  // second-level engine: those probes must surface as unavailable, not as
+  // answers.
   EXPECT_GT(out.unavailable, 0u);
 }
 
@@ -301,8 +302,8 @@ TEST(ChaosTest, DeadlineBoundsBatchWallClock) {
   EXPECT_GT(out.num_deadline_exceeded, 0u);
   EXPECT_LT(elapsed_ms, 120.0) << "deadline did not bound the batch";
   // Whatever did complete before expiry (most probes detour through the
-  // fallback, which is already past deadline after the first delayed job,
-  // so this set may be empty) must still be exact.
+  // composition path, which is already past deadline after the first
+  // delayed job, so this set may be empty) must still be exact.
   const RlcIndex oracle = BuildRlcIndex(g, 2);
   uint64_t ok = 0;
   for (size_t i = 0; i < batch.num_probes(); ++i) {

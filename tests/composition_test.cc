@@ -1,0 +1,355 @@
+// Partition-sweep differential suite for cross-shard composition.
+//
+// The routing tier this pins: a cross-shard probe is answered by
+// source-shard suffix -> boundary-skeleton hop(s) -> target-shard prefix
+// (serve/compose.h) with NO whole-graph structure anywhere in the service.
+// The whole-graph RlcIndex appears here only as the test oracle.
+//
+// Every cell of the matrix
+//   policy in {hash, range, range-ordered} x shards in {1, 2, 4, 7}
+//     x k in {2, 3} x oracle signatures {on, off}
+// compares the composed service bit-exact against the oracle on ER,
+// Barabasi-Albert, and planted-partition community graphs — scalar Query
+// and batched Execute both — over probe sets that cover every endpoint
+// category: both endpoints boundary vertices, both interior, and mixed.
+// A second group round-trips the composition warm cache through
+// SerializeCache / WriteCompositionCache / ReadCompositionCache /
+// RestoreCache, including corruption and shape-mismatch rejection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rlc/core/index_io.h"
+#include "rlc/core/indexer.h"
+#include "rlc/graph/generators.h"
+#include "rlc/graph/label_assign.h"
+#include "rlc/serve/compose.h"
+#include "rlc/serve/query_batch.h"
+#include "rlc/serve/sharded_service.h"
+#include "rlc/util/rng.h"
+#include "rlc/workload/query_gen.h"
+
+namespace rlc {
+namespace {
+
+namespace fs = std::filesystem;
+
+RlcIndex BuildSealed(const DiGraph& g, uint32_t k) {
+  IndexerOptions options;
+  options.k = k;
+  RlcIndexBuilder builder(g, options);
+  return builder.Build();
+}
+
+DiGraph ErGraph(VertexId n, uint64_t m, Label labels, uint64_t seed) {
+  Rng rng(seed);
+  auto edges = ErdosRenyiEdges(n, m, rng);
+  AssignZipfLabels(&edges, labels, 2.0, rng);
+  return DiGraph(n, std::move(edges), labels);
+}
+
+DiGraph BaGraph(VertexId n, uint32_t m0, Label labels, uint64_t seed) {
+  Rng rng(seed);
+  auto edges = BarabasiAlbertEdges(n, m0, rng);
+  AssignZipfLabels(&edges, labels, 2.0, rng);
+  return DiGraph(n, std::move(edges), labels);
+}
+
+DiGraph CommunityGraph(VertexId n, uint64_t m, Label labels, uint64_t seed) {
+  Rng rng(seed);
+  auto edges = PlantedPartitionEdges(n, m, 4, 0.85, rng);
+  AssignZipfLabels(&edges, labels, 2.0, rng);
+  return DiGraph(n, std::move(edges), labels);
+}
+
+/// Constraints worth probing: oracle MRs (capped) plus random primitive
+/// sequences of every length up to k.
+std::vector<LabelSeq> ProbeSeqs(const RlcIndex& oracle, Label labels,
+                                uint32_t k, Rng& rng) {
+  std::vector<LabelSeq> seqs;
+  const MrTable& mrs = oracle.mr_table();
+  for (MrId id = 0; id < mrs.size() && seqs.size() < 8; ++id) {
+    if (mrs.Get(id).size() <= k) seqs.push_back(mrs.Get(id));
+  }
+  for (uint32_t i = 0; i < 4; ++i) {
+    seqs.push_back(RandomPrimitiveSeq(1 + i % k, labels, rng));
+  }
+  return seqs;
+}
+
+/// Endpoint pairs covering all categories the skeleton routing has to get
+/// right: boundary->boundary, interior->interior, boundary->interior,
+/// interior->boundary, plus uniform pairs. Single-shard partitions have no
+/// boundary; the uniform pairs then carry the cell.
+std::vector<std::pair<VertexId, VertexId>> ProbePairs(
+    const GraphPartition& partition, VertexId n, Rng& rng) {
+  std::vector<VertexId> boundary, interior;
+  for (VertexId v = 0; v < n; ++v) {
+    (partition.IsBoundary(v) ? boundary : interior).push_back(v);
+  }
+  const auto pick = [&](const std::vector<VertexId>& from) {
+    return from[rng.Below(from.size())];
+  };
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (int i = 0; i < 24; ++i) {
+    if (!boundary.empty()) {
+      pairs.emplace_back(pick(boundary), pick(boundary));
+      if (!interior.empty()) {
+        pairs.emplace_back(pick(boundary), pick(interior));
+        pairs.emplace_back(pick(interior), pick(boundary));
+      }
+    }
+    if (!interior.empty()) pairs.emplace_back(pick(interior), pick(interior));
+    pairs.emplace_back(static_cast<VertexId>(rng.Below(n)),
+                       static_cast<VertexId>(rng.Below(n)));
+  }
+  return pairs;
+}
+
+/// One cell of the sweep: build the service, compare every (pair, seq)
+/// probe scalar and batched against the oracle (signatures as configured).
+void RunCell(const DiGraph& g, const RlcIndex& oracle, bool use_signatures,
+             PartitionPolicy policy, uint32_t shards, uint32_t k,
+             uint64_t seed) {
+  SCOPED_TRACE("policy=" + std::to_string(static_cast<int>(policy)) +
+               " shards=" + std::to_string(shards) + " k=" + std::to_string(k) +
+               " sig=" + std::to_string(use_signatures) +
+               " seed=" + std::to_string(seed));
+  RlcIndex ref = oracle;  // cheap relative to the build; keeps oracle const
+  ref.set_use_signatures(use_signatures);
+
+  ServiceOptions options;
+  options.partition.num_shards = shards;
+  options.partition.policy = policy;
+  options.indexer.k = k;
+  options.build_threads = 2;
+  ShardedRlcService service(g, options);
+
+  Rng rng(seed);
+  const auto seqs = ProbeSeqs(ref, g.num_labels(), k, rng);
+  const auto pairs = ProbePairs(service.partition(), g.num_vertices(), rng);
+
+  QueryBatch batch;
+  std::vector<uint8_t> expected;
+  for (const LabelSeq& seq : seqs) {
+    const uint32_t seq_id = batch.InternSequence(seq);
+    for (const auto& [s, t] : pairs) {
+      const bool want = ref.Query(s, t, seq);
+      ASSERT_EQ(want, service.Query(s, t, seq))
+          << "s=" << s << " t=" << t << " L=" << seq.ToString();
+      batch.Add(s, t, seq_id);
+      expected.push_back(want ? 1 : 0);
+    }
+  }
+  const AnswerBatch answers = service.Execute(batch);
+  ASSERT_EQ(answers.answers, expected);
+  EXPECT_TRUE(answers.all_ok());
+
+  // Routing is total: every scalar probe terminated in exactly one tier.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries,
+            stats.intra_true + stats.cross_refuted + stats.compose_probes);
+}
+
+void RunSweep(const DiGraph& g, uint64_t seed) {
+  for (const uint32_t k : {2u, 3u}) {
+    const RlcIndex oracle = BuildSealed(g, k);
+    for (const PartitionPolicy policy :
+         {PartitionPolicy::kHash, PartitionPolicy::kRange,
+          PartitionPolicy::kRangeOrdered}) {
+      for (const uint32_t shards : {1u, 2u, 4u, 7u}) {
+        for (const bool sig : {true, false}) {
+          RunCell(g, oracle, sig, policy, shards, k,
+                  seed ^ (k * 131) ^ (shards * 17) ^
+                      (static_cast<uint64_t>(policy) << 8) ^ sig);
+        }
+      }
+    }
+  }
+}
+
+TEST(CompositionSweepTest, ErdosRenyi) { RunSweep(ErGraph(72, 300, 3, 0xE1), 0xE1); }
+
+TEST(CompositionSweepTest, BarabasiAlbert) {
+  RunSweep(BaGraph(72, 3, 3, 0xB2), 0xB2);
+}
+
+TEST(CompositionSweepTest, Community) {
+  RunSweep(CommunityGraph(72, 300, 3, 0xC3), 0xC3);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-cache IO: SerializeCache payloads survive the file framing, restore
+// into a same-shape engine byte-deterministically, and are rejected (engine
+// stays usable, cold) on corruption or a different partition shape.
+
+std::string TempCachePath() {
+  std::string templ =
+      (fs::temp_directory_path() / "rlc_compose_cache_XXXXXX").string();
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    throw std::runtime_error("mkdtemp failed for " + templ);
+  }
+  return std::string(buf.data()) + "/compose.snap";
+}
+
+struct EngineParts {
+  GraphPartition partition;
+  std::vector<std::unique_ptr<DynamicRlcIndex>> shards;
+};
+
+EngineParts MakeParts(const DiGraph& g, uint32_t num_shards,
+                      PartitionPolicy policy) {
+  EngineParts parts;
+  PartitionerOptions popts;
+  popts.num_shards = num_shards;
+  popts.policy = policy;
+  parts.partition = GraphPartition::Build(g, popts);
+  for (uint32_t s = 0; s < parts.partition.num_shards(); ++s) {
+    const DiGraph& sg = parts.partition.shard(s).graph;
+    parts.shards.push_back(std::make_unique<DynamicRlcIndex>(
+        sg, BuildSealed(sg, 2), ResealPolicy{}));
+  }
+  return parts;
+}
+
+TEST(CompositionCacheIoTest, RoundTripRestoresWarmTables) {
+  const DiGraph g = ErGraph(60, 260, 3, 0x10);
+  const EngineParts parts = MakeParts(g, 3, PartitionPolicy::kHash);
+  CompositionEngine warm(parts.partition, parts.shards);
+
+  // Warm the cache: prepare plans and run probes so transition rows build.
+  Rng rng(0x10);
+  CompositionEngine::Scratch scratch;
+  std::vector<LabelSeq> seqs;
+  for (uint32_t i = 0; i < 4; ++i) {
+    seqs.push_back(RandomPrimitiveSeq(1 + i % 2, g.num_labels(), rng));
+  }
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (int i = 0; i < 40; ++i) {
+    pairs.emplace_back(static_cast<VertexId>(rng.Below(g.num_vertices())),
+                       static_cast<VertexId>(rng.Below(g.num_vertices())));
+  }
+  std::vector<uint8_t> want;
+  for (const LabelSeq& seq : seqs) {
+    const CompositionEngine::Plan& plan = warm.PreparePlan(seq);
+    for (const auto& [s, t] : pairs) {
+      want.push_back(warm.ComposedQuery(s, t, plan, scratch).reachable ? 1 : 0);
+    }
+  }
+
+  // Payload -> file -> payload is identity.
+  const std::vector<uint8_t> payload = warm.SerializeCache();
+  const std::string path = TempCachePath();
+  WriteCompositionCache(path, payload);
+  const std::vector<uint8_t> read = ReadCompositionCache(path);
+  EXPECT_EQ(payload, read);
+
+  // Restore into a fresh engine over the same partition shape: accepted,
+  // resaves byte-identically, and answers match the warm engine.
+  CompositionEngine cold(parts.partition, parts.shards);
+  ASSERT_TRUE(cold.RestoreCache(read));
+  EXPECT_EQ(cold.SerializeCache(), payload);
+  CompositionEngine::Scratch cold_scratch;
+  size_t i = 0;
+  for (const LabelSeq& seq : seqs) {
+    const CompositionEngine::Plan& plan = cold.PreparePlan(seq);
+    for (const auto& [s, t] : pairs) {
+      EXPECT_EQ(want[i++] != 0,
+                cold.ComposedQuery(s, t, plan, cold_scratch).reachable)
+          << "s=" << s << " t=" << t << " L=" << seq.ToString();
+    }
+  }
+
+  // Corruption is detectable: any flipped byte fails the framing checksum.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(path) / 2));
+    char b = 0;
+    f.seekg(static_cast<std::streamoff>(fs::file_size(path) / 2));
+    f.read(&b, 1);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(path) / 2));
+    b = static_cast<char>(b ^ 0x40);
+    f.write(&b, 1);
+  }
+  EXPECT_THROW(ReadCompositionCache(path), std::runtime_error);
+
+  // Shape mismatch: a different shard count rejects the payload but the
+  // engine stays fully usable (cold).
+  const EngineParts other = MakeParts(g, 4, PartitionPolicy::kRange);
+  CompositionEngine mismatched(other.partition, other.shards);
+  EXPECT_FALSE(mismatched.RestoreCache(payload));
+  EXPECT_EQ(mismatched.num_cached_plans(), 0u);
+  CompositionEngine::Scratch mm_scratch;
+  const CompositionEngine::Plan& plan = mismatched.PreparePlan(seqs[0]);
+  (void)mismatched.ComposedQuery(pairs[0].first, pairs[0].second, plan,
+                                 mm_scratch);
+
+  fs::remove_all(fs::path(path).parent_path());
+}
+
+TEST(CompositionCacheIoTest, ServiceCheckpointCarriesComposeSnap) {
+  // End to end through the service: a checkpointed generation contains
+  // compose.snap; deleting it does NOT break recovery (pure warm cache) —
+  // the reopened service answers identically either way.
+  const DiGraph g = ErGraph(50, 200, 3, 0x20);
+  const RlcIndex oracle = BuildSealed(g, 2);
+  std::string dir;
+  {
+    std::string templ =
+        (fs::temp_directory_path() / "rlc_compose_svc_XXXXXX").string();
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    ASSERT_NE(::mkdtemp(buf.data()), nullptr);
+    dir = buf.data();
+  }
+  ServiceOptions options;
+  options.partition.num_shards = 3;
+  options.indexer.k = 2;
+  options.durability.dir = dir;
+  options.durability.checkpoint_wal_bytes = 0;
+  Rng rng(0x20);
+  {
+    ShardedRlcService service(g, options);
+    for (int i = 0; i < 200; ++i) {  // warm the compose cache
+      service.Query(static_cast<VertexId>(rng.Below(g.num_vertices())),
+                    static_cast<VertexId>(rng.Below(g.num_vertices())),
+                    RandomPrimitiveSeq(1 + rng.Below(2), g.num_labels(), rng));
+    }
+    service.Checkpoint();
+  }
+  std::vector<fs::path> snaps;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.path().filename() == "compose.snap") snaps.push_back(entry);
+  }
+  ASSERT_FALSE(snaps.empty()) << "checkpoint wrote no compose.snap under "
+                              << dir;
+  const auto check = [&] {
+    ShardedRlcService reopened(g, options);
+    EXPECT_TRUE(reopened.recovery_info().recovered);
+    Rng prng(0x21);
+    for (int i = 0; i < 400; ++i) {
+      const auto s = static_cast<VertexId>(prng.Below(g.num_vertices()));
+      const auto t = static_cast<VertexId>(prng.Below(g.num_vertices()));
+      const LabelSeq c =
+          RandomPrimitiveSeq(1 + prng.Below(2), g.num_labels(), prng);
+      ASSERT_EQ(oracle.Query(s, t, c), reopened.Query(s, t, c))
+          << "s=" << s << " t=" << t << " L=" << c.ToString();
+    }
+  };
+  check();                                       // warm restore path
+  for (const fs::path& p : snaps) fs::remove(p);
+  check();                                       // cold path: cache absent
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rlc

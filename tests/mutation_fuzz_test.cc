@@ -346,15 +346,19 @@ TEST(MutationFuzzTest, InsertThenDeleteAnswersLikeNeverMutated) {
 // ---------------------------------------------------------------------------
 // Sharded-service fuzz: the same mixed workloads routed through
 // ShardedRlcService::ApplyUpdates — intra-shard mutations, boundary-summary
-// grow/shrink, both fallback engines, batched execution — against a
-// whole-graph rebuild oracle.
+// grow/shrink, cross-shard composition over the churned skeleton, batched
+// execution — against a whole-graph rebuild oracle. cross_bias steers the
+// schedule toward cross-shard edge adds/removes so boundary membership
+// flips (vertices gaining/losing boundary status) every round, stressing
+// the composition engine's epoch invalidation rather than just intra
+// maintenance.
 
 struct ShardedFuzzConfig {
   std::string name;
   uint64_t seed = 1;
   uint32_t shards = 4;
   PartitionPolicy policy = PartitionPolicy::kHash;
-  FallbackMode fallback = FallbackMode::kGlobalHybrid;
+  bool cross_bias = false;  ///< steer mutations toward cross-shard edges
   bool background_reseals = false;
   uint32_t exec_threads = 1;
   int rounds = 3;
@@ -380,7 +384,6 @@ void RunShardedFuzz(ShardedFuzzConfig config) {
   options.build_threads = 2;
   options.exec_threads = config.exec_threads;
   options.exec_probes_per_job = 64;
-  options.fallback = config.fallback;
   if (config.background_reseals) {
     options.reseal.background = true;
     options.reseal.min_delta_entries = 1;
@@ -396,8 +399,20 @@ void RunShardedFuzz(ShardedFuzzConfig config) {
   for (int round = 0; round < config.rounds; ++round) {
     std::vector<EdgeUpdate> batch;
     for (int i = 0; i < config.batch_size; ++i) {
+      const GraphPartition& part = service.partition();
       if (rng.Below(2) == 0 && !current.empty()) {
-        const size_t pick = rng.Below(current.size());
+        size_t pick = rng.Below(current.size());
+        if (config.cross_bias) {
+          // Prefer deleting a cross edge: removing the last cross edge at a
+          // vertex demotes it from the boundary and shrinks the skeleton.
+          for (size_t off = 0; off < current.size(); ++off) {
+            const size_t i = (pick + off) % current.size();
+            if (part.ShardOf(current[i].src) != part.ShardOf(current[i].dst)) {
+              pick = i;
+              break;
+            }
+          }
+        }
         const Edge e = current[pick];
         current.erase(current.begin() + static_cast<ptrdiff_t>(pick));
         batch.push_back({e.src, e.label, e.dst, EdgeOp::kDelete});
@@ -406,6 +421,9 @@ void RunShardedFuzz(ShardedFuzzConfig config) {
           const Edge e{static_cast<VertexId>(rng.Below(n)),
                        static_cast<VertexId>(rng.Below(n)),
                        static_cast<Label>(rng.Below(labels))};
+          if (config.cross_bias && part.ShardOf(e.src) == part.ShardOf(e.dst)) {
+            continue;  // new edge must cross shards (promotes fresh boundary)
+          }
           if (std::find(current.begin(), current.end(), e) != current.end()) {
             continue;
           }
@@ -449,12 +467,12 @@ void RunShardedFuzz(ShardedFuzzConfig config) {
   EXPECT_GT(service.stats().updates_deleted, 0u) << replay;
 }
 
-TEST(MutationFuzzTest, ShardedHybridHash) {
-  RunShardedFuzz({.name = "sharded_hybrid_hash", .seed = 0x51});
+TEST(MutationFuzzTest, ShardedComposeHash) {
+  RunShardedFuzz({.name = "sharded_compose_hash", .seed = 0x51});
 }
 
-TEST(MutationFuzzTest, ShardedHybridRangeBackgroundReseals) {
-  RunShardedFuzz({.name = "sharded_hybrid_range_bg",
+TEST(MutationFuzzTest, ShardedComposeRangeBackgroundReseals) {
+  RunShardedFuzz({.name = "sharded_compose_range_bg",
                   .seed = 0x52,
                   .shards = 3,
                   .policy = PartitionPolicy::kRange,
@@ -462,25 +480,43 @@ TEST(MutationFuzzTest, ShardedHybridRangeBackgroundReseals) {
                   .exec_threads = 4});
 }
 
-TEST(MutationFuzzTest, ShardedOnlineFallback) {
-  RunShardedFuzz({.name = "sharded_online",
+TEST(MutationFuzzTest, ShardedComposeCrossEdgeChurn) {
+  // Every mutation touches a cross edge: boundary membership and the
+  // skeleton flip constantly under the composition engine.
+  RunShardedFuzz({.name = "sharded_compose_cross_churn",
                   .seed = 0x53,
-                  .fallback = FallbackMode::kOnline,
+                  .cross_bias = true,
+                  .rounds = 2,
+                  .batch_size = 8});
+}
+
+TEST(MutationFuzzTest, ShardedComposeRangeOrdered) {
+  RunShardedFuzz({.name = "sharded_compose_range_ordered",
+                  .seed = 0x54,
+                  .shards = 3,
+                  .policy = PartitionPolicy::kRangeOrdered,
                   .rounds = 2,
                   .batch_size = 8});
 }
 
 TEST(MutationFuzzTest, DeepFuzzShardedManySeeds) {
   for (const uint64_t seed : {101ull, 202ull}) {
-    RunShardedFuzz({.name = "deep_sharded_hybrid",
+    RunShardedFuzz({.name = "deep_sharded_compose",
                     .seed = seed,
                     .rounds = 5,
                     .batch_size = 14});
-    RunShardedFuzz({.name = "deep_sharded_online",
+    RunShardedFuzz({.name = "deep_sharded_cross_churn",
                     .seed = seed ^ 0xAB,
-                    .fallback = FallbackMode::kOnline,
+                    .cross_bias = true,
+                    .exec_threads = 4,
                     .rounds = 3,
                     .batch_size = 10});
+    RunShardedFuzz({.name = "deep_sharded_range_ordered",
+                    .seed = seed ^ 0xCD,
+                    .shards = 5,
+                    .policy = PartitionPolicy::kRangeOrdered,
+                    .rounds = 3,
+                    .batch_size = 12});
   }
 }
 

@@ -566,7 +566,7 @@ TEST(ServiceAdmissionTest, QueueHighWaterMarkSheds) {
 
 // ------------------------------------------------ Service breaker behavior
 
-TEST(ServiceBreakerTest, BrokenShardDegradesToExactFallbackAnswers) {
+TEST(ServiceBreakerTest, BrokenShardDegradesToExactComposedAnswers) {
   FailpointGuard guard;
   const DiGraph g = RandomGraph(200, 800, 4, 21);
   const RlcIndex oracle = BuildRlcIndex(g, 2);
@@ -585,8 +585,8 @@ TEST(ServiceBreakerTest, BrokenShardDegradesToExactFallbackAnswers) {
             : 0);
   }
 
-  // First shard-phase job errors once; its probes must detour to the
-  // fallback and still come back exact.
+  // First shard-phase job errors once; its probes must degrade to the
+  // index-free composition path and still come back exact.
   Failpoints::Instance().Set(failpoints::kServeShardExecute,
                              FailpointAction::kError);
   const AnswerBatch faulted = service.Execute(batch);

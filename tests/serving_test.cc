@@ -1,9 +1,11 @@
 // Serving-subsystem correctness: the partitioner's structural invariants,
 // and — the load-bearing property — that ShardedRlcService answers are
 // bit-identical to a whole-graph RlcIndex for every probe, on the paper's
-// worked-example graphs and on random ER graphs, for both partition
-// policies, with empty shards, all-boundary partitions, and both fallback
-// modes. The batched executors must in turn match the scalar paths.
+// worked-example graphs and on random ER graphs, for every partition
+// policy, with empty shards and all-boundary partitions — with no
+// whole-graph structure anywhere (cross-shard probes compose over the
+// boundary skeleton). The batched executors must match the scalar paths.
+// The dedicated partition-sweep differential lives in composition_test.cc.
 
 #include <gtest/gtest.h>
 
@@ -78,14 +80,12 @@ void ExpectServiceMatchesIndex(const DiGraph& g, const RlcIndex& index,
   }
 }
 
-ServiceOptions Opts(uint32_t shards, PartitionPolicy policy, uint32_t k = 2,
-                    FallbackMode fallback = FallbackMode::kGlobalHybrid) {
+ServiceOptions Opts(uint32_t shards, PartitionPolicy policy, uint32_t k = 2) {
   ServiceOptions options;
   options.partition.num_shards = shards;
   options.partition.policy = policy;
   options.indexer.k = k;
   options.build_threads = 2;
-  options.fallback = fallback;
   return options;
 }
 
@@ -189,7 +189,8 @@ TEST(ServingTest, MatchesWholeGraphOnErGraphs) {
     const DiGraph g = RandomGraph(150, 600, 4, seed);
     const RlcIndex index = BuildRlcIndex(g, 2);
     for (const PartitionPolicy policy :
-         {PartitionPolicy::kHash, PartitionPolicy::kRange}) {
+         {PartitionPolicy::kHash, PartitionPolicy::kRange,
+          PartitionPolicy::kRangeOrdered}) {
       for (const uint32_t shards : {1u, 2u, 4u, 7u}) {
         SCOPED_TRACE("seed=" + std::to_string(seed) +
                      " shards=" + std::to_string(shards));
@@ -202,35 +203,37 @@ TEST(ServingTest, MatchesWholeGraphOnErGraphs) {
 
 TEST(ServingTest, ParallelExecuteMatchesForEveryThreadCount) {
   // The batched executor's fan-out must be invisible: answers and stats
-  // identical for every exec_threads / chunk size, both fallback modes.
+  // identical for every exec_threads / chunk size — shard kernel jobs and
+  // composed-probe jobs both.
   const DiGraph g = RandomGraph(150, 600, 4, 23);
   const RlcIndex index = BuildRlcIndex(g, 2);
-  for (const FallbackMode fallback :
-       {FallbackMode::kGlobalHybrid, FallbackMode::kOnline}) {
-    ServiceStats reference_stats;
-    bool have_reference = false;
-    for (const uint32_t threads : {1u, 2u, 5u}) {
-      for (const size_t chunk : {size_t{3}, size_t{8192}}) {
-        SCOPED_TRACE("threads=" + std::to_string(threads) +
-                     " chunk=" + std::to_string(chunk));
-        ServiceOptions options = Opts(4, PartitionPolicy::kHash, 2, fallback);
-        options.exec_threads = threads;
-        options.exec_probes_per_job = chunk;
-        ShardedRlcService service(g, options);
-        ExpectServiceMatchesIndex(g, index, service, 800, 23);
-        if (!have_reference) {
-          reference_stats = service.stats();
-          have_reference = true;
-        } else {
-          // Deterministic routing: telemetry equal across thread counts.
-          EXPECT_EQ(reference_stats.intra_true, service.stats().intra_true);
-          EXPECT_EQ(reference_stats.intra_miss, service.stats().intra_miss);
-          EXPECT_EQ(reference_stats.cross_refuted,
-                    service.stats().cross_refuted);
-          EXPECT_EQ(reference_stats.fallback_probes,
-                    service.stats().fallback_probes);
-          EXPECT_EQ(reference_stats.batch_groups, service.stats().batch_groups);
-        }
+  ServiceStats reference_stats;
+  bool have_reference = false;
+  for (const uint32_t threads : {1u, 2u, 5u}) {
+    for (const size_t chunk : {size_t{3}, size_t{8192}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " chunk=" + std::to_string(chunk));
+      ServiceOptions options = Opts(4, PartitionPolicy::kHash);
+      options.exec_threads = threads;
+      options.exec_probes_per_job = chunk;
+      ShardedRlcService service(g, options);
+      ExpectServiceMatchesIndex(g, index, service, 800, 23);
+      if (!have_reference) {
+        reference_stats = service.stats();
+        have_reference = true;
+      } else {
+        // Deterministic routing: telemetry equal across thread counts.
+        EXPECT_EQ(reference_stats.intra_true, service.stats().intra_true);
+        EXPECT_EQ(reference_stats.intra_miss, service.stats().intra_miss);
+        EXPECT_EQ(reference_stats.cross_refuted,
+                  service.stats().cross_refuted);
+        EXPECT_EQ(reference_stats.compose_probes,
+                  service.stats().compose_probes);
+        EXPECT_EQ(reference_stats.compose_skeleton_hops,
+                  service.stats().compose_skeleton_hops);
+        EXPECT_EQ(reference_stats.compose_expanded,
+                  service.stats().compose_expanded);
+        EXPECT_EQ(reference_stats.batch_groups, service.stats().batch_groups);
       }
     }
   }
@@ -270,29 +273,34 @@ TEST(ServingTest, AllBoundaryPartition) {
   ExpectServiceMatchesIndex(g, index, service, 500, 31);
 }
 
-TEST(ServingTest, OnlineFallbackMatches) {
+TEST(ServingTest, RangeOrderedPolicyMatches) {
   const DiGraph g = RandomGraph(100, 350, 3, 9);
   const RlcIndex index = BuildRlcIndex(g, 2);
-  ShardedRlcService service(
-      g, Opts(3, PartitionPolicy::kHash, 2, FallbackMode::kOnline));
-  ExpectServiceMatchesIndex(g, index, service, 800, 9);
+  for (const OrderHeuristic h :
+       {OrderHeuristic::kDegree, OrderHeuristic::kReverseDegree,
+        OrderHeuristic::kGreatestConstraintFirst}) {
+    ServiceOptions options = Opts(3, PartitionPolicy::kRangeOrdered);
+    options.partition.ordering = h;
+    ShardedRlcService service(g, options);
+    ExpectServiceMatchesIndex(g, index, service, 800, 9);
+  }
 }
 
 TEST(ServingTest, BoundaryRefutationIsExact) {
   // Two range shards joined by a single label-0 cross edge: a (1)+ query
   // across shards is refutable from the label masks alone, and the stats
-  // must show it never reached the fallback engine.
+  // must show it never reached the composition engine.
   std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 1}, {2, 3, 0},
                              {3, 4, 1}, {4, 5, 1}};
   const DiGraph g(6, std::move(edges), 2);
   ShardedRlcService service(g, Opts(2, PartitionPolicy::kRange));
   EXPECT_FALSE(service.Query(0, 4, LabelSeq{1}));
   EXPECT_EQ(service.stats().cross_refuted, 1u);
-  EXPECT_EQ(service.stats().fallback_probes, 0u);
+  EXPECT_EQ(service.stats().compose_probes, 0u);
   // The label-0 cross query must not be refuted by the masks (it is the
-  // one label that does cross) and resolves via the fallback.
+  // one label that does cross) and resolves via composition.
   EXPECT_FALSE(service.Query(0, 4, LabelSeq{0}));
-  EXPECT_EQ(service.stats().fallback_probes, 1u);
+  EXPECT_EQ(service.stats().compose_probes, 1u);
 }
 
 TEST(ServingTest, StatsAccountForEveryProbe) {
@@ -314,7 +322,7 @@ TEST(ServingTest, StatsAccountForEveryProbe) {
   EXPECT_EQ(stats.batches, 1u);
   // Every probe ends in exactly one terminal bucket.
   EXPECT_EQ(stats.queries,
-            stats.intra_true + stats.cross_refuted + stats.fallback_probes);
+            stats.intra_true + stats.cross_refuted + stats.compose_probes);
   // Misses are the subset of same-shard probes that continued past step 1.
   EXPECT_LE(stats.intra_true, stats.queries);
 }
@@ -531,9 +539,8 @@ TEST(ServingTest, ApplyUpdatesMatchesRebuiltIndexRange) {
   RunUpdateDifferential(Opts(3, PartitionPolicy::kRange), 222);
 }
 
-TEST(ServingTest, ApplyUpdatesMatchesRebuiltIndexOnlineFallback) {
-  RunUpdateDifferential(
-      Opts(4, PartitionPolicy::kHash, 2, FallbackMode::kOnline), 333);
+TEST(ServingTest, ApplyUpdatesMatchesRebuiltIndexRangeOrdered) {
+  RunUpdateDifferential(Opts(4, PartitionPolicy::kRangeOrdered), 333);
 }
 
 TEST(ServingTest, ApplyUpdatesWithBackgroundResealsAndExecThreads) {
@@ -594,7 +601,7 @@ TEST(ServingTest, RoutingIsStableAcrossFirstUpdate) {
     const ServiceStats& after = service.stats();
     return std::tuple(after.intra_true - before.intra_true,
                       after.cross_refuted - before.cross_refuted,
-                      after.fallback_probes - before.fallback_probes);
+                      after.compose_probes - before.compose_probes);
   };
   const auto before_update = run_probes();
 
