@@ -419,6 +419,40 @@ int main(int argc, char** argv) {
           .Set("compose_probes", cs.compose_probes)
           .Set("compose_skeleton_hops", cs.compose_skeleton_hops)
           .Set("agree", agree);
+
+      // Composed-probe latency percentiles at equal shard count: the
+      // nightly gate pins p95(hash) <= RATIO x p95(range_ordered) — hash
+      // composes far more probes, and the batch-shared frontier cache is
+      // what keeps its tail in the same regime. Re-run the batch so warm
+      // rounds (frontier hits) dominate the histogram the way a steady
+      // workload would — enough rounds that the one-off cold frontier
+      // builds fall out of the p95 sample mass (< 5%).
+      for (int warm = 0; warm < 12; ++warm) {
+        const AnswerBatch again = cservice.Execute(cbatch);
+        all_agree = all_agree && again.answers == cexpected;
+      }
+      const auto snapshot = cservice.metrics().Snapshot();
+      const auto* hist = snapshot.FindHistogram("serve.stage.compose_probe_ns");
+      const uint64_t p50 = hist == nullptr ? 0 : hist->Percentile(0.50);
+      const uint64_t p95 = hist == nullptr ? 0 : hist->Percentile(0.95);
+      const uint64_t samples = hist == nullptr ? 0 : hist->count;
+      const ServiceStats warm_stats = cservice.stats();
+      std::printf("compose_p95/%-11s: p50 %llu ns, p95 %llu ns (%llu composed, "
+                  "frontier %llu hit / %llu miss)\n",
+                  name, static_cast<unsigned long long>(p50),
+                  static_cast<unsigned long long>(p95),
+                  static_cast<unsigned long long>(samples),
+                  static_cast<unsigned long long>(warm_stats.frontier_hits),
+                  static_cast<unsigned long long>(warm_stats.frontier_misses));
+      json.AddRecord()
+          .Set("record", "compose_p95")
+          .Set("policy", name)
+          .Set("shards", shards)
+          .Set("samples", samples)
+          .Set("p50_ns", p50)
+          .Set("p95_ns", p95)
+          .Set("frontier_hits", warm_stats.frontier_hits)
+          .Set("frontier_misses", warm_stats.frontier_misses);
     }
   }
 

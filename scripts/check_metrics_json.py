@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validate the metrics records in a BENCH_*.json artifact.
 
-Usage: check_metrics_json.py [--serving] [--memory N] BENCH_query_kernel.json
+Usage: check_metrics_json.py [--serving] [--memory N] [--compose-p95 RATIO]
+       BENCH_query_kernel.json
 
 Checks, in order:
   1. the file is a JSON array whose first record is build provenance,
@@ -24,10 +25,21 @@ With --serving (for BENCH_serving.json), additionally:
      composed over the boundary skeleton, not silently routed through a
      resurrected whole-graph fallback tier,
   9. every {"record": "community"} and mode record with telemetry agrees
-     ("agree": true).
+     ("agree": true),
+ 10. the skeleton frontier cache is live: some source's
+     serve.compose.frontier.{hits,misses} sum to > 0, and for every source
+     evictions <= misses (each eviction drops an installed frontier and
+     every install counted a miss).
+
+With --compose-p95 RATIO (nightly, for BENCH_serving.json), additionally:
+ 11. both {"record": "compose_p95"} policies (hash, range_ordered) exist
+     with samples, and p95(hash) <= RATIO * p95(range_ordered) — the
+     composed-probe tail under the composition-heavy hash partitioning
+     stays within RATIO of the locality-friendly policy at equal shard
+     count.
 
 With --memory N (for BENCH_serving.json from an N-shard run), additionally:
-  10. a {"record": "memory"} summary exists whose
+  12. a {"record": "memory"} summary exists whose
       aggregate_shard_index_bytes / whole_index_bytes <= 1.3 / N — the
       sharded deployment actually divides index memory instead of
       duplicating it.
@@ -91,6 +103,28 @@ def check_serving(path: str, records: list) -> None:
                 fail(f"{path}: record {rec.get('record') or rec.get('mode')!r} "
                      "disagrees with the whole-graph oracle")
 
+    # The skeleton frontier cache must be live in at least one exporting
+    # service, and its counters must conserve per source: every eviction
+    # drops an installed frontier, every install counted a miss.
+    by_source: dict = {}
+    for rec in records:
+        if rec.get("record") == "metric" and rec.get("type") == "counter":
+            by_source.setdefault(rec.get("source", "global"), {})[
+                rec.get("metric")] = rec.get("value", 0)
+    frontier_live = 0
+    for source, cs in by_source.items():
+        hits = cs.get("serve.compose.frontier.hits", 0)
+        misses = cs.get("serve.compose.frontier.misses", 0)
+        evictions = cs.get("serve.compose.frontier.evictions", 0)
+        frontier_live += hits + misses
+        if evictions > misses:
+            fail(f"{path}: source {source!r} has frontier evictions "
+                 f"{evictions} > misses {misses} — the cache evicted "
+                 "entries it never installed")
+    if frontier_live <= 0:
+        fail(f"{path}: serve.compose.frontier.{{hits,misses}} are zero "
+             "everywhere — the skeleton frontier cache was bypassed")
+
     compose = {k: v for k, v in counters.items()
                if k.startswith("serve.compose.") and v > 0}
     print(f"serving: shed={counters['serve.shed']}, "
@@ -98,6 +132,31 @@ def check_serving(path: str, records: list) -> None:
                       for k, v in sorted(breaker.items()))
           + "; " + ", ".join(f"{k.removeprefix('serve.')}={v}"
                              for k, v in sorted(compose.items())))
+
+
+def check_compose_p95(path: str, records: list, ratio: float) -> None:
+    """Nightly gate: composed-probe p95 under hash partitioning stays
+    within `ratio` of range_ordered at equal shard count."""
+    p95 = {}
+    for rec in records:
+        if rec.get("record") != "compose_p95":
+            continue
+        if rec.get("samples", 0) <= 0:
+            fail(f"{path}: compose_p95 record for {rec.get('policy')!r} "
+                 "has no histogram samples")
+        p95[rec.get("policy")] = rec.get("p95_ns", 0)
+    for policy in ("hash", "range_ordered"):
+        if policy not in p95:
+            fail(f"{path}: no compose_p95 record for policy {policy!r}")
+    if p95["range_ordered"] <= 0:
+        fail(f"{path}: compose_p95 for range_ordered is {p95['range_ordered']}")
+    actual = p95["hash"] / p95["range_ordered"]
+    if actual > ratio:
+        fail(f"{path}: composed-probe p95 under hash is {actual:.2f}x "
+             f"range_ordered ({p95['hash']} vs {p95['range_ordered']} ns); "
+             f"bound is {ratio:.2f}x")
+    print(f"compose_p95: hash {p95['hash']} ns vs range_ordered "
+          f"{p95['range_ordered']} ns = {actual:.2f}x (bound {ratio:.2f}x)")
 
 
 def check_memory(path: str, records: list, num_shards: int) -> None:
@@ -124,6 +183,7 @@ def main() -> None:
     argv = sys.argv[1:]
     serving = "--serving" in argv
     memory_shards = None
+    compose_p95_ratio = None
     args = []
     i = 0
     while i < len(argv):
@@ -134,12 +194,20 @@ def main() -> None:
             if i >= len(argv) or not argv[i].isdigit() or int(argv[i]) < 1:
                 fail("--memory requires a positive shard count")
             memory_shards = int(argv[i])
+        elif argv[i] == "--compose-p95":
+            i += 1
+            try:
+                compose_p95_ratio = float(argv[i]) if i < len(argv) else 0.0
+            except ValueError:
+                compose_p95_ratio = 0.0
+            if compose_p95_ratio <= 0:
+                fail("--compose-p95 requires a positive ratio")
         else:
             args.append(argv[i])
         i += 1
     if len(args) != 1:
         fail("usage: check_metrics_json.py [--serving] [--memory N] "
-             "<BENCH_*.json>")
+             "[--compose-p95 RATIO] <BENCH_*.json>")
     path = args[0]
     try:
         with open(path) as f:
@@ -197,6 +265,8 @@ def main() -> None:
 
     if serving:
         check_serving(path, records)
+    if compose_p95_ratio is not None:
+        check_compose_p95(path, records, compose_p95_ratio)
     if memory_shards is not None:
         check_memory(path, records, memory_shards)
 

@@ -62,6 +62,14 @@ struct Deadline {
   }
 };
 
+/// The earlier of two deadlines; an unset deadline never wins (so combining
+/// a batch deadline with an unset per-probe budget keeps the batch one).
+inline Deadline EarlierOf(Deadline a, Deadline b) {
+  if (!a.active()) return b;
+  if (!b.active()) return a;
+  return a.at_ns <= b.at_ns ? a : b;
+}
+
 /// Admission control rejected the work before any of it ran (queue over
 /// the high-water mark or the batch over the probe cap). Nothing was
 /// executed; retrying after backoff is safe.

@@ -318,6 +318,67 @@ TEST(ChaosTest, DeadlineBoundsBatchWallClock) {
             batch.num_probes());  // nothing silently dropped
 }
 
+TEST(ChaosTest, ProbeBudgetBoundsComposedProbeOverrun) {
+  // Regression pin for in-BFS deadline enforcement: every composed probe's
+  // failpoint sleeps 20 ms against a 5 ms probe budget (the budget clock
+  // starts before the failpoint, so the sleep consumes it). The budget used
+  // to be checked only after ComposedQuery returned — a delayed probe kept
+  // its answer, reported kOk, and nothing said kDeadlineExceeded. Now the
+  // deadline is enforced inside the traversal: the delayed probe aborts on
+  // entry (overrun bounded by one check stride), reports kDeadlineExceeded,
+  // and counts a serve.compose.budget_overruns.
+  FailpointGuard guard;
+  const DiGraph g = ChaosGraph(56);
+  ServiceOptions options;
+  options.partition.num_shards = 3;
+  options.indexer.k = 2;
+  options.build_threads = 2;
+  ShardedRlcService service(g, options);
+
+  Rng rng(56);
+  QueryBatch batch;
+  for (int i = 0; i < 96; ++i) {
+    batch.Add(static_cast<VertexId>(rng.Below(g.num_vertices())),
+              static_cast<VertexId>(rng.Below(g.num_vertices())),
+              RandomPrimitiveSeq(1 + static_cast<uint32_t>(i % 2),
+                                 g.num_labels(), rng));
+  }
+
+  Failpoints::Instance().Parse("serve.compose.probe=delay(20)@p1");
+  ExecuteLimits limits;
+  limits.probe_budget_ns = 5'000'000;  // 5 ms per composed probe
+  limits.batch_budget_ns = 5'000'000;  // caps the tail of delayed probes
+  Timer timer;
+  const AnswerBatch out = service.Execute(batch, limits);
+  const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
+  Failpoints::Instance().Clear();
+
+  // At least the first composed probe ate its 20 ms delay and aborted
+  // mid-probe; the rest were cut off by the batch deadline pre-check. Wall
+  // clock is bounded by one delayed probe + slack, not (#composed x 20 ms).
+  EXPECT_GT(out.num_deadline_exceeded, 0u);
+  EXPECT_GT(service.stats().compose_overruns, 0u)
+      << "the delayed probe's budget overrun was not counted";
+  EXPECT_LT(elapsed_ms, 120.0) << "probe budget did not bound the overrun";
+  // No probe may slip through with a stale kOk answer after its budget
+  // blew: every probe is either exact-and-ok or explicitly deadline-failed.
+  uint64_t ok = 0;
+  const RlcIndex oracle = BuildRlcIndex(g, 2);
+  for (size_t i = 0; i < batch.num_probes(); ++i) {
+    if (out.statuses[i] != ProbeStatus::kOk) {
+      ASSERT_EQ(out.statuses[i], ProbeStatus::kDeadlineExceeded);
+      ASSERT_EQ(out.answers[i], 0);
+      continue;
+    }
+    ++ok;
+    const BatchProbe& p = batch.probes()[i];
+    ASSERT_EQ(out.answers[i] != 0,
+              oracle.QueryInterned(p.s, p.t,
+                                   oracle.FindMr(batch.sequence(p.seq_id))));
+  }
+  EXPECT_EQ(ok + out.num_deadline_exceeded, batch.num_probes());
+}
+
 // Operator hook: RLC_CHAOS_FAILPOINTS / RLC_CHAOS_SEED run a custom soak
 // schedule through the full harness (differential oracle, breaker recovery,
 // determinism machinery) without recompiling. No-op when unset.

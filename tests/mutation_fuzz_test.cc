@@ -363,6 +363,10 @@ struct ShardedFuzzConfig {
   uint32_t exec_threads = 1;
   int rounds = 3;
   int batch_size = 10;
+  /// Shrink the skeleton frontier cache to this many entries (0 keeps the
+  /// service default): constant LRU churn on top of the epoch invalidation
+  /// the mutations already force.
+  size_t tiny_frontier_cache = 0;
 };
 
 void RunShardedFuzz(ShardedFuzzConfig config) {
@@ -388,6 +392,9 @@ void RunShardedFuzz(ShardedFuzzConfig config) {
     options.reseal.background = true;
     options.reseal.min_delta_entries = 1;
     options.reseal.max_delta_ratio = 1e-6;
+  }
+  if (config.tiny_frontier_cache != 0) {
+    options.compose.frontier_cache_entries = config.tiny_frontier_cache;
   }
   ShardedRlcService service(g, options);
 
@@ -465,6 +472,14 @@ void RunShardedFuzz(ShardedFuzzConfig config) {
     ASSERT_EQ(oracle.Query(s, t, c), service.Query(s, t, c)) << replay;
   }
   EXPECT_GT(service.stats().updates_deleted, 0u) << replay;
+  // Frontier-cache conservation survives the churn: every installed
+  // frontier was counted as a miss and is either still cached or evicted
+  // (stale after a mutation, LRU capacity, or a wholesale flush).
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.frontier_misses,
+            stats.frontier_evictions +
+                service.composition().num_cached_frontiers())
+      << replay;
 }
 
 TEST(MutationFuzzTest, ShardedComposeHash) {
@@ -488,6 +503,19 @@ TEST(MutationFuzzTest, ShardedComposeCrossEdgeChurn) {
                   .cross_bias = true,
                   .rounds = 2,
                   .batch_size = 8});
+}
+
+TEST(MutationFuzzTest, ShardedComposeCrossChurnTinyFrontierCache) {
+  // Cross-edge churn with a 4-entry frontier cache: every round both
+  // invalidates the cached frontiers (mutation epoch) and thrashes the LRU
+  // (capacity), while the rebuild oracle pins that no stale frontier ever
+  // answers.
+  RunShardedFuzz({.name = "sharded_cross_churn_tiny_frontier",
+                  .seed = 0x55,
+                  .cross_bias = true,
+                  .rounds = 2,
+                  .batch_size = 8,
+                  .tiny_frontier_cache = 4});
 }
 
 TEST(MutationFuzzTest, ShardedComposeRangeOrdered) {

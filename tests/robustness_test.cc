@@ -104,6 +104,23 @@ TEST(DeadlineTest, OverflowSaturatesInsteadOfWrapping) {
   EXPECT_FALSE(d.Expired(max - 1));
 }
 
+TEST(DeadlineTest, EarlierOfPicksTheBindingDeadline) {
+  // The composed-probe path combines a batch deadline with a per-probe
+  // budget via EarlierOf: the earlier active deadline wins, and an unset
+  // deadline (at_ns == 0, "no limit") never beats a set one.
+  const Deadline none;
+  const Deadline early{1000};
+  const Deadline late{2000};
+
+  EXPECT_EQ(EarlierOf(early, late).at_ns, 1000u);
+  EXPECT_EQ(EarlierOf(late, early).at_ns, 1000u);
+  EXPECT_EQ(EarlierOf(early, early).at_ns, 1000u);
+
+  EXPECT_FALSE(EarlierOf(none, none).active());
+  EXPECT_EQ(EarlierOf(none, late).at_ns, 2000u);
+  EXPECT_EQ(EarlierOf(late, none).at_ns, 2000u);
+}
+
 // ---------------------------------------------------------- CircuitBreaker
 
 BreakerOptions FastBreaker(uint32_t failures = 3, uint64_t backoff = 1000) {
